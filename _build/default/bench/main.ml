@@ -1,0 +1,221 @@
+(* Benchmark harness.
+
+   One benchmark per paper artefact (Figure 1, Table I, the SS IV-A
+   vehicle-log analysis, the SS V-C1 multi-rate study, the SS V-C2 warm-up
+   study) plus micro-benchmarks of the monitor itself — per-tick cost per
+   rule is what decides whether the bolt-on monitor could run live on the
+   bus, the efficiency concern behind the paper's "simplicity vs.
+   expressiveness" discussion.
+
+   The experiment benchmarks run at reduced scale (the full Table I takes
+   ~1 minute; Bechamel needs many iterations).  Regenerating the
+   full-scale artefacts is `dune exec bin/repro.exe -- all`. *)
+
+open Bechamel
+open Toolkit
+
+module Sim = Monitor_hil.Sim
+module Scenario = Monitor_hil.Scenario
+module Oracle = Monitor_oracle.Oracle
+module Rules = Monitor_oracle.Rules
+module Mtl = Monitor_mtl
+
+(* Shared inputs, built once. ------------------------------------------- *)
+
+let short_trace =
+  (* 6 s of steady following on the HIL — the unit of campaign work. *)
+  lazy
+    (let scenario = Scenario.steady_follow ~duration:6.0 () in
+     (Sim.run (Sim.default_config scenario)).Sim.trace)
+
+let short_snapshots = lazy (Oracle.snapshots_of_trace (Lazy.force short_trace))
+
+(* Experiment benchmarks. ------------------------------------------------ *)
+
+let bench_figure1 =
+  Test.make ~name:"figure1/render"
+    (Staged.stage (fun () -> Monitor_experiments.Figure1.rendered ()))
+
+let bench_table1_run =
+  (* One injection run + seven-rule oracle: Table I is 385 of these. *)
+  Test.make ~name:"table1/one_run"
+    (Staged.stage (fun () ->
+         let scenario = Scenario.steady_follow ~duration:6.0 () in
+         let plan =
+           [ (1.0, Sim.Set ("TargetRelVel", Monitor_signal.Value.Float 700.0)) ]
+         in
+         let result = Sim.run ~plan (Sim.default_config scenario) in
+         Oracle.check Rules.all result.Sim.trace))
+
+let bench_vehicle_logs_scenario =
+  Test.make ~name:"vehicle_logs/cut_in_scenario"
+    (Staged.stage (fun () ->
+         let scenario = Scenario.cut_in ~duration:25.0 () in
+         let result =
+           Sim.run (Sim.default_config ~environment:Sim.Road scenario)
+         in
+         Oracle.check Rules.all result.Sim.trace))
+
+let bench_multirate =
+  Test.make ~name:"multirate/spacing_and_deltas"
+    (Staged.stage (fun () -> Monitor_experiments.Multirate.run ()))
+
+let bench_warmup =
+  Test.make ~name:"warmup/acquisition_study"
+    (Staged.stage (fun () -> Monitor_experiments.Warmup.run ()))
+
+(* Monitor micro-benchmarks. --------------------------------------------- *)
+
+let bench_offline_rule n =
+  let rule = Rules.rule n in
+  Test.make ~name:(Printf.sprintf "monitor/offline_rule%d" n)
+    (Staged.stage (fun () ->
+         Mtl.Offline.eval rule (Lazy.force short_snapshots)))
+
+let bench_online_rule n =
+  let rule = Rules.rule n in
+  Test.make ~name:(Printf.sprintf "monitor/online_rule%d" n)
+    (Staged.stage (fun () ->
+         let m = Mtl.Online.create rule in
+         List.iter
+           (fun snap -> ignore (Mtl.Online.step m snap))
+           (Lazy.force short_snapshots);
+         Mtl.Online.finalize m))
+
+let bench_all_rules_offline =
+  Test.make ~name:"monitor/offline_all_7_rules"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun rule -> ignore (Mtl.Offline.eval rule (Lazy.force short_snapshots)))
+           Rules.all))
+
+let bench_parser =
+  Test.make ~name:"spec/parse_rule1"
+    (Staged.stage (fun () -> Mtl.Parser.formula_of_string_exn (Rules.source 1)))
+
+let bench_simplify =
+  let formula =
+    Mtl.Parser.formula_of_string_exn
+      "not not ((true and p) or false) -> (x + 0.0 * 1.0 < 2.0 and p and p)"
+  in
+  Test.make ~name:"spec/simplify"
+    (Staged.stage (fun () -> Mtl.Rewrite.simplify formula))
+
+let bench_monitor_set =
+  Test.make ~name:"monitor/set_all_7_rules_online"
+    (Staged.stage (fun () ->
+         let set = Mtl.Monitor_set.create Rules.all in
+         List.iter
+           (fun snap -> ignore (Mtl.Monitor_set.step set snap))
+           (Lazy.force short_snapshots);
+         Mtl.Monitor_set.finalize set))
+
+let bench_ablation_hold =
+  Test.make ~name:"ablation/warmup_sweep_piece"
+    (Staged.stage (fun () ->
+         (* one sweep point of the warm-up ablation *)
+         let spec =
+           Mtl.Spec.make ~name:"w"
+             (Mtl.Parser.formula_of_string_exn
+                "warmup(fresh(VehicleAhead), 0.25, fresh_delta(TargetRange) \
+                 <= 0.5)")
+         in
+         Mtl.Offline.eval spec (Lazy.force short_snapshots)))
+
+let bench_snapshots =
+  Test.make ~name:"trace/snapshots_of_trace"
+    (Staged.stage (fun () -> Oracle.snapshots_of_trace (Lazy.force short_trace)))
+
+(* Substrate micro-benchmarks. ------------------------------------------- *)
+
+let bench_can_roundtrip =
+  let dbc = Monitor_fsracc.Io.dbc in
+  let message =
+    match Monitor_can.Dbc.find_by_name dbc "VehicleState" with
+    | Some m -> m
+    | None -> assert false
+  in
+  let lookup = function
+    | "Velocity" -> Some (Monitor_signal.Value.Float 27.3)
+    | "ThrotPos" -> Some (Monitor_signal.Value.Float 14.2)
+    | _ -> None
+  in
+  Test.make ~name:"can/encode_decode_frame"
+    (Staged.stage (fun () ->
+         let frame = Monitor_can.Message.encode message ~lookup in
+         Monitor_can.Dbc.decode_frame dbc frame))
+
+let bench_frame_bit_count =
+  let frame =
+    Monitor_can.Frame.make ~id:0x123 ~data:(Bytes.of_string "\x55\xAA\x55\xAA") ()
+  in
+  Test.make ~name:"can/frame_bit_count"
+    (Staged.stage (fun () -> Monitor_can.Bus.frame_bit_count frame))
+
+let bench_plant_step =
+  Test.make ~name:"vehicle/1s_of_plant"
+    (Staged.stage (fun () ->
+         let lead =
+           Monitor_vehicle.Lead.create ~initial:(Some (60.0, 24.0)) ~events:[] ()
+         in
+         let world = Monitor_vehicle.World.create ~ego_speed:25.0 ~lead () in
+         for k = 0 to 99 do
+           ignore
+             (Monitor_vehicle.World.step world ~dt:0.01
+                ~now:(float_of_int k *. 0.01)
+                ~engine_request:500.0 ~brake_decel_request:0.0)
+         done))
+
+let bench_controller_step =
+  let inputs =
+    { Monitor_fsracc.Controller.velocity = 25.0; accel_ped_pos = 0.0;
+      brake_ped_pres = 0.0; acc_set_speed = 27.0; throt_pos = 10.0;
+      vehicle_ahead = true; target_range = 60.0; target_rel_vel = -1.0;
+      sel_headway = 1 }
+  in
+  Test.make ~name:"fsracc/controller_step"
+    (Staged.stage (fun () ->
+         let c = Monitor_fsracc.Controller.create () in
+         for _ = 1 to 100 do
+           ignore (Monitor_fsracc.Controller.step c ~dt:0.01 inputs)
+         done))
+
+(* Runner. ---------------------------------------------------------------- *)
+
+let benchmark tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let () =
+  (* Force the shared inputs outside the timed region. *)
+  ignore (Lazy.force short_snapshots);
+  let tests =
+    Test.make_grouped ~name:"cps_monitor"
+      [ bench_figure1; bench_table1_run; bench_vehicle_logs_scenario;
+        bench_multirate; bench_warmup; bench_offline_rule 0;
+        bench_offline_rule 1; bench_offline_rule 4; bench_online_rule 1;
+        bench_online_rule 5; bench_all_rules_offline; bench_parser;
+        bench_simplify; bench_monitor_set; bench_ablation_hold;
+        bench_snapshots; bench_can_roundtrip; bench_frame_bit_count;
+        bench_plant_step; bench_controller_step ]
+  in
+  let results = benchmark tests in
+  print_endline "BENCHMARKS (monotonic clock, OLS ns/run)";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun test_name result ->
+      let estimate =
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.sprintf "%14.0f ns/run" est
+        | Some _ | None -> "           n/a"
+      in
+      rows := (test_name, estimate) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "%-46s %s\n" name est)
+    (List.sort compare !rows)

@@ -1,0 +1,1 @@
+examples/bolt_on_live.ml: Float List Monitor_hil Monitor_mtl Monitor_oracle Monitor_signal Monitor_trace Printf

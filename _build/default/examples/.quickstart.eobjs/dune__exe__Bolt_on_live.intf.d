@@ -1,0 +1,1 @@
+examples/bolt_on_live.mli:

@@ -1,0 +1,1 @@
+examples/custom_spec.ml: Format List Monitor_mtl Monitor_oracle Monitor_signal Monitor_trace Printf

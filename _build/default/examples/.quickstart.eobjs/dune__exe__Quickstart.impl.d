@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Monitor_mtl Monitor_oracle Monitor_signal Monitor_trace Printf

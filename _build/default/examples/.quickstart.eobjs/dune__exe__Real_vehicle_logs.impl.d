@@ -1,0 +1,1 @@
+examples/real_vehicle_logs.ml: Filename List Monitor_hil Monitor_oracle Monitor_trace Printf Sys

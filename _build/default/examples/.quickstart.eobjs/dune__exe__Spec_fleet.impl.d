@@ -1,0 +1,1 @@
+examples/spec_fleet.ml: Hashtbl List Monitor_hil Monitor_mtl Monitor_oracle Monitor_signal Printf

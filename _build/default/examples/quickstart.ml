@@ -1,0 +1,54 @@
+(* Quickstart: write a safety rule in the specification language, run it
+   over a small log, and read the oracle's verdict.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Value = Monitor_signal.Value
+module Trace = Monitor_trace.Trace
+module Record = Monitor_trace.Record
+
+let () =
+  (* 1. A rule: "while braking is requested, the requested deceleration
+     must actually decelerate".  This is Rule #5 of the paper. *)
+  let rule =
+    Monitor_mtl.Spec.make ~name:"decel_is_decel"
+      ~description:"a requested deceleration must be negative"
+      (Monitor_mtl.Parser.formula_of_string_exn
+         "BrakeRequested -> RequestedDecel <= 0.0")
+  in
+
+  (* 2. A log.  In production this comes from a CAN capture
+     (Monitor_can.Logger / Monitor_trace.Csv); here we write it by hand.
+     At t=0.03 the system reports braking with a positive "deceleration" —
+     the defect the monitor should catch. *)
+  let log =
+    Trace.of_list
+      [ Record.make ~time:0.00 ~name:"BrakeRequested" ~value:(Value.Bool false);
+        Record.make ~time:0.00 ~name:"RequestedDecel" ~value:(Value.Float 0.0);
+        Record.make ~time:0.01 ~name:"BrakeRequested" ~value:(Value.Bool true);
+        Record.make ~time:0.01 ~name:"RequestedDecel" ~value:(Value.Float (-2.5));
+        Record.make ~time:0.02 ~name:"BrakeRequested" ~value:(Value.Bool true);
+        Record.make ~time:0.02 ~name:"RequestedDecel" ~value:(Value.Float (-1.0));
+        Record.make ~time:0.03 ~name:"BrakeRequested" ~value:(Value.Bool true);
+        Record.make ~time:0.03 ~name:"RequestedDecel" ~value:(Value.Float 0.3);
+        Record.make ~time:0.04 ~name:"BrakeRequested" ~value:(Value.Bool false);
+        Record.make ~time:0.04 ~name:"RequestedDecel" ~value:(Value.Float 0.0) ]
+  in
+
+  (* 3. The oracle. *)
+  let outcome = Monitor_oracle.Oracle.check_spec rule log in
+  print_endline (Monitor_oracle.Report.render_outcome outcome);
+
+  (* 4. The same verdicts through the online (runtime) monitor — this is
+     what a bolt-on box on the live bus would compute. *)
+  let monitor = Monitor_mtl.Online.create rule in
+  let snapshots = Monitor_oracle.Oracle.snapshots_of_trace log in
+  List.iter
+    (fun snap ->
+      List.iter
+        (fun r ->
+          Printf.printf "online: t=%.2f verdict %s\n" r.Monitor_mtl.Online.time
+            (Monitor_mtl.Verdict.to_string r.Monitor_mtl.Online.verdict))
+        (Monitor_mtl.Online.step monitor snap))
+    snapshots;
+  ignore (Monitor_mtl.Online.finalize monitor)

@@ -1,0 +1,65 @@
+(* The deployed shape of the bolt-on box: rules loaded from a versioned
+   .spec file, all of them run side by side by a Monitor_set over one
+   snapshot stream, violations surfacing through a live callback.
+
+   Run with: dune exec examples/spec_fleet.exe *)
+
+module Mtl = Monitor_mtl
+module Sim = Monitor_hil.Sim
+module Scenario = Monitor_hil.Scenario
+
+let spec_source =
+  {|spec decel_is_decel "decelerations must decelerate"
+severity RequestedDecel / 0.5
+formula BrakeRequested -> RequestedDecel <= 0.0
+
+spec no_push_when_close "no torque into a close target"
+machine tracking {
+  initial clear
+  states clear target
+  clear -> target when VehicleAhead
+  target -> clear when not VehicleAhead
+}
+formula
+  (mode(tracking, target) and TargetRange < 10.0)
+    -> (not TorqueRequested or RequestedTorque < 50.0)
+
+spec speed_sane "reported speed stays physical"
+formula Velocity >= 0.0 and Velocity < 120.0
+|}
+
+let () =
+  let specs = Mtl.Spec_file.of_string_exn spec_source in
+  Printf.printf "loaded %d specs from the file\n\n" (List.length specs);
+
+  (* A faulted HIL capture to monitor. *)
+  let plan =
+    [ (2.0, Sim.Set ("Velocity", Monitor_signal.Value.Float (-400.0)));
+      (10.0, Sim.Clear_all) ]
+  in
+  let result =
+    Sim.run ~plan
+      (Sim.default_config (Scenario.steady_follow ~duration:16.0 ()))
+  in
+
+  let first_alarm = Hashtbl.create 4 in
+  let set =
+    Mtl.Monitor_set.create
+      ~on_violation:(fun e ->
+        let name = e.Mtl.Monitor_set.spec.Mtl.Spec.name in
+        if not (Hashtbl.mem first_alarm name) then begin
+          Hashtbl.add first_alarm name ();
+          Printf.printf "ALARM %-20s first violation about t=%.2fs\n" name
+            e.Mtl.Monitor_set.resolution.Mtl.Online.time
+        end)
+      specs
+  in
+  let snapshots =
+    Monitor_oracle.Oracle.snapshots_of_trace result.Sim.trace
+  in
+  List.iter (fun snap -> ignore (Mtl.Monitor_set.step set snap)) snapshots;
+  ignore (Mtl.Monitor_set.finalize set);
+  print_newline ();
+  List.iter
+    (fun (name, count) -> Printf.printf "%-20s %d violating ticks\n" name count)
+    (Mtl.Monitor_set.violations set)

@@ -1,0 +1,1 @@
+lib/can/bitfield.ml: Bytes Char Int64 List

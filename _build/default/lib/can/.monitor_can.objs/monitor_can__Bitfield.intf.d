@@ -1,0 +1,1 @@
+lib/can/bitfield.mli:

@@ -1,0 +1,1 @@
+lib/can/bus.ml: Bool Bytes Char Crc Float Frame List

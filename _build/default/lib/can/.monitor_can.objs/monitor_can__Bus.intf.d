@@ -1,0 +1,1 @@
+lib/can/bus.mli: Frame

@@ -1,0 +1,1 @@
+lib/can/candump.ml: Buffer Bytes Char Dbc Frame Fun In_channel List Monitor_trace Printf String

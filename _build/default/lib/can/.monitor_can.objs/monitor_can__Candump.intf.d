@@ -1,0 +1,1 @@
+lib/can/candump.mli: Dbc Frame Monitor_trace

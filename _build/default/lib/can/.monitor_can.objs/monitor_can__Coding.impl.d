@@ -1,0 +1,1 @@
+lib/can/coding.ml: Bitfield Float Int32 Int64 Monitor_signal Value

@@ -1,0 +1,1 @@
+lib/can/coding.mli: Bitfield Monitor_signal

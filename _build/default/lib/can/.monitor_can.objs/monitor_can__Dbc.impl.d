@@ -1,0 +1,1 @@
+lib/can/dbc.ml: Fmt Frame Hashtbl List Message Printf

@@ -1,0 +1,1 @@
+lib/can/dbc.mli: Format Frame Message Monitor_signal

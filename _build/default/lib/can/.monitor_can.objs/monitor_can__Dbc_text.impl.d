@@ -1,0 +1,1 @@
+lib/can/dbc_text.ml: Bitfield Buffer Coding Dbc Fun In_channel List Message Monitor_util Option Printf Scanf String

@@ -1,0 +1,1 @@
+lib/can/dbc_text.mli: Dbc

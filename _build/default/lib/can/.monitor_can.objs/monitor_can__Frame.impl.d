@@ -1,0 +1,1 @@
+lib/can/frame.ml: Buffer Bytes Char Fmt Int Printf

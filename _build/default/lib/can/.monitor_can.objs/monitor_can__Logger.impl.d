@@ -1,0 +1,1 @@
+lib/can/logger.ml: Bus Dbc Frame List Monitor_trace

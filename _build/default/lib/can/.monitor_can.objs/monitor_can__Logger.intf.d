@@ -1,0 +1,1 @@
+lib/can/logger.mli: Bus Dbc Frame Monitor_trace

@@ -1,0 +1,1 @@
+lib/can/message.ml: Bitfield Bytes Char Coding Fmt Frame Hashtbl Int64 List Printf

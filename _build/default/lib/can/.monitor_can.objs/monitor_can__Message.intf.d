@@ -1,0 +1,1 @@
+lib/can/message.mli: Coding Format Frame Monitor_signal

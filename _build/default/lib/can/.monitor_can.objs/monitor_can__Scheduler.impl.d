@@ -1,0 +1,1 @@
+lib/can/scheduler.ml: Bus Float List Message Monitor_signal Monitor_util

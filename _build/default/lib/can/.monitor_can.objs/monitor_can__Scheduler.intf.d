@@ -1,0 +1,1 @@
+lib/can/scheduler.mli: Bus Message Monitor_signal

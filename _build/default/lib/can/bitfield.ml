@@ -1,0 +1,76 @@
+type byte_order = Little_endian | Big_endian
+
+(* Absolute bit positions of a field, listed from the field's LSB upwards.
+
+   Little-endian: LSB sits at [start_bit]; successive bits occupy ascending
+   absolute positions.
+
+   Big-endian (Motorola "forward"): [start_bit] names the MSB.  Walking from
+   the MSB, the in-byte position decreases; below 0 it wraps to bit 7 of the
+   next byte.  We compute MSB-first then reverse to get LSB-first. *)
+let positions order ~start_bit ~length =
+  match order with
+  | Little_endian -> List.init length (fun i -> start_bit + i)
+  | Big_endian ->
+    let rec walk acc byte bit remaining =
+      if remaining = 0 then List.rev acc
+      else
+        let pos = (byte * 8) + bit in
+        if bit = 0 then walk (pos :: acc) (byte + 1) 7 (remaining - 1)
+        else walk (pos :: acc) byte (bit - 1) (remaining - 1)
+    in
+    (* walk yields MSB-first; the caller wants LSB-first. *)
+    List.rev (walk [] (start_bit / 8) (start_bit mod 8) length)
+
+let check_args ~start_bit ~length =
+  if length < 1 || length > 64 then invalid_arg "Bitfield: length must be in 1..64";
+  if start_bit < 0 then invalid_arg "Bitfield: negative start_bit"
+
+let fits ~dlc order ~start_bit ~length =
+  start_bit >= 0 && length >= 1 && length <= 64
+  && List.for_all
+       (fun pos -> pos >= 0 && pos < dlc * 8)
+       (positions order ~start_bit ~length)
+
+let insert payload order ~start_bit ~length raw =
+  check_args ~start_bit ~length;
+  let dlc = Bytes.length payload in
+  let ps = positions order ~start_bit ~length in
+  if not (List.for_all (fun p -> p < dlc * 8) ps) then
+    invalid_arg "Bitfield.insert: field exceeds payload";
+  List.iteri
+    (fun i pos ->
+      let bit = Int64.logand (Int64.shift_right_logical raw i) 1L in
+      let byte = pos / 8 and in_byte = pos mod 8 in
+      let current = Char.code (Bytes.get payload byte) in
+      let mask = 1 lsl in_byte in
+      let updated =
+        if Int64.equal bit 1L then current lor mask else current land lnot mask
+      in
+      Bytes.set payload byte (Char.chr (updated land 0xFF)))
+    ps
+
+let extract payload order ~start_bit ~length =
+  check_args ~start_bit ~length;
+  let dlc = Bytes.length payload in
+  let ps = positions order ~start_bit ~length in
+  if not (List.for_all (fun p -> p < dlc * 8) ps) then
+    invalid_arg "Bitfield.extract: field exceeds payload";
+  List.fold_left
+    (fun (acc, i) pos ->
+      let byte = pos / 8 and in_byte = pos mod 8 in
+      let bit = (Char.code (Bytes.get payload byte) lsr in_byte) land 1 in
+      let acc =
+        if bit = 1 then Int64.logor acc (Int64.shift_left 1L i) else acc
+      in
+      (acc, i + 1))
+    (0L, 0) ps
+  |> fst
+
+let sign_extend raw ~length =
+  if length >= 64 then raw
+  else
+    let sign_bit = Int64.logand (Int64.shift_right_logical raw (length - 1)) 1L in
+    if Int64.equal sign_bit 1L then
+      Int64.logor raw (Int64.shift_left (-1L) length)
+    else raw

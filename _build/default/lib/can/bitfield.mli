@@ -1,0 +1,25 @@
+(** Bit-level insertion and extraction in CAN payloads.
+
+    DBC-style addressing: absolute bit [b] of a payload lives in byte
+    [b / 8] at in-byte position [b mod 8] (bit 0 = least significant).
+    Little-endian (Intel) fields occupy ascending absolute bits starting at
+    the field's LSB; big-endian (Motorola) fields start at the MSB and walk
+    down within a byte, then jump to bit 7 of the following byte. *)
+
+type byte_order = Little_endian | Big_endian
+
+val insert :
+  bytes -> byte_order -> start_bit:int -> length:int -> int64 -> unit
+(** [insert payload order ~start_bit ~length raw] writes the low [length]
+    bits of [raw] into the payload in place.
+    @raise Invalid_argument if the field does not fit the payload, or
+    [length] is not in 1..64. *)
+
+val extract : bytes -> byte_order -> start_bit:int -> length:int -> int64
+(** Read a field back as an unsigned value in the low [length] bits. *)
+
+val sign_extend : int64 -> length:int -> int64
+(** Interpret the low [length] bits as two's complement. *)
+
+val fits : dlc:int -> byte_order -> start_bit:int -> length:int -> bool
+(** Does the field lie inside a [dlc]-byte payload? *)

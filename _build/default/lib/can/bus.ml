@@ -1,0 +1,183 @@
+(* Frame bit image and stuffing ---------------------------------------- *)
+
+let bits_of_int v width =
+  List.init width (fun i -> v land (1 lsl (width - 1 - i)) <> 0)
+
+let bits_of_bytes data =
+  let out = ref [] in
+  Bytes.iter
+    (fun c ->
+      let v = Char.code c in
+      for i = 7 downto 0 do
+        out := (v land (1 lsl i) <> 0) :: !out
+      done)
+    data;
+  List.rev !out
+
+(* The stuffed region of a data frame: SOF .. CRC (CAN 2.0 §5). *)
+let stuffed_region (f : Frame.t) =
+  let sof = [ false ] in
+  let dlc = bits_of_int (Frame.dlc f) 4 in
+  let data = bits_of_bytes f.Frame.data in
+  let head =
+    match f.Frame.format with
+    | Frame.Base ->
+      (* ID[10..0], RTR=0, IDE=0, r0=0 *)
+      bits_of_int f.Frame.id 11 @ [ false; false; false ]
+    | Frame.Extended ->
+      (* ID[28..18], SRR=1, IDE=1, ID[17..0], RTR=0, r1=0, r0=0 *)
+      bits_of_int (f.Frame.id lsr 18) 11
+      @ [ true; true ]
+      @ bits_of_int (f.Frame.id land 0x3FFFF) 18
+      @ [ false; false; false ]
+  in
+  let body = sof @ head @ dlc @ data in
+  body @ Crc.crc15_bits body
+
+let count_stuff_bits bits =
+  let rec go count run prev = function
+    | [] -> count
+    | b :: rest ->
+      if Bool.equal b prev then
+        let run = run + 1 in
+        if run = 5 then
+          (* A stuff bit of opposite polarity is inserted; it starts a new
+             run of length 1 against the following bits. *)
+          go (count + 1) 1 (not b) rest
+        else go count run prev rest
+      else go count 1 b rest
+  in
+  match bits with
+  | [] -> 0
+  | b :: rest -> go 0 1 b rest
+
+(* CRC delimiter + ACK slot + ACK delimiter + EOF(7) + IFS(3), unstuffed. *)
+let trailer_bits = 13
+
+let frame_bit_count f =
+  let region = stuffed_region f in
+  List.length region + count_stuff_bits region + trailer_bits
+
+(* Discrete-event bus ---------------------------------------------------- *)
+
+type pending = {
+  frame : Frame.t;
+  requested : float;
+  seq : int;
+  attempts : int;  (* completed transmissions that were corrupted *)
+}
+
+let max_attempts = 5
+
+type t = {
+  bitrate : int;
+  mutable now : float;
+  mutable busy_until : float;
+  mutable pending : pending list;
+  mutable listeners : (time:float -> Frame.t -> unit) list;
+  mutable frames : int;
+  mutable bits : int;
+  mutable next_seq : int;
+  mutable error_model : (time:float -> Frame.t -> [ `Deliver | `Corrupt ]) option;
+  mutable retransmissions : int;
+  mutable lost : int;
+}
+
+let create ?(bitrate = 500_000) () =
+  if bitrate <= 0 then invalid_arg "Bus.create: bitrate must be positive";
+  { bitrate; now = 0.0; busy_until = 0.0; pending = []; listeners = [];
+    frames = 0; bits = 0; next_seq = 0; error_model = None;
+    retransmissions = 0; lost = 0 }
+
+let set_error_model t f = t.error_model <- Some f
+
+let retransmissions t = t.retransmissions
+
+let frames_lost t = t.lost
+
+let bitrate t = t.bitrate
+
+let subscribe t f = t.listeners <- t.listeners @ [ f ]
+
+let request t ~time frame =
+  t.pending <-
+    { frame; requested = time; seq = t.next_seq; attempts = 0 } :: t.pending;
+  t.next_seq <- t.next_seq + 1
+
+let frame_duration t f = float_of_int (frame_bit_count f) /. float_of_int t.bitrate
+
+(* Arbitration: among requests already posted when the bus frees, the lowest
+   id wins; ties (same id from different muxes cannot happen on a sane bus,
+   but the model must be total) break by request order. *)
+let pick_winner pending ready_time =
+  let eligible = List.filter (fun p -> p.requested <= ready_time) pending in
+  match eligible with
+  | [] -> None
+  | _ :: _ ->
+    let best a b =
+      let c = Frame.compare_priority a.frame b.frame in
+      if c < 0 then a
+      else if c > 0 then b
+      else if a.seq <= b.seq then a
+      else b
+    in
+    Some (List.fold_left best (List.hd eligible) (List.tl eligible))
+
+let earliest_request pending =
+  List.fold_left
+    (fun acc p -> match acc with
+       | None -> Some p.requested
+       | Some t -> Some (Float.min t p.requested))
+    None pending
+
+let run_until t ~time =
+  if time < t.now then invalid_arg "Bus.run_until: time must not go backwards";
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let ready =
+      match earliest_request t.pending with
+      | None -> None
+      | Some first_req -> Some (Float.max t.busy_until first_req)
+    in
+    match ready with
+    | None -> ()
+    | Some start ->
+      if start < time then begin
+        match pick_winner t.pending start with
+        | None -> ()
+        | Some winner ->
+          let duration = frame_duration t winner.frame in
+          let finish = start +. duration in
+          if finish <= time then begin
+            t.pending <- List.filter (fun p -> p.seq <> winner.seq) t.pending;
+            t.busy_until <- finish;
+            t.bits <- t.bits + frame_bit_count winner.frame;
+            let outcome =
+              match t.error_model with
+              | Some model -> model ~time:finish winner.frame
+              | None -> `Deliver
+            in
+            (match outcome with
+             | `Deliver ->
+               t.frames <- t.frames + 1;
+               List.iter (fun l -> l ~time:finish winner.frame) t.listeners
+             | `Corrupt ->
+               t.retransmissions <- t.retransmissions + 1;
+               if winner.attempts + 1 >= max_attempts then t.lost <- t.lost + 1
+               else
+                 t.pending <-
+                   { winner with requested = finish;
+                     attempts = winner.attempts + 1 }
+                   :: t.pending);
+            progress := true
+          end
+      end
+  done;
+  t.now <- time
+
+let now t = t.now
+
+let frames_delivered t = t.frames
+
+let bits_carried t = t.bits

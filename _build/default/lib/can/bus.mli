@@ -1,0 +1,62 @@
+(** A simulated CAN bus: broadcast, id-priority arbitration, and realistic
+    frame timing (bit-accurate frame image including CRC and stuff bits).
+
+    The model is discrete-event: nodes [request] transmissions, and
+    [run_until] serialises them — at any instant the bus carries at most one
+    frame; when it frees, the highest-priority pending request wins
+    arbitration.  Subscribed listeners (the logger, i.e. the bolt-on
+    monitor's tap) see each frame at its completion time. *)
+
+type t
+
+val create : ?bitrate:int -> unit -> t
+(** Default bitrate 500_000 bit/s (a typical powertrain bus).
+    @raise Invalid_argument if [bitrate <= 0]. *)
+
+val bitrate : t -> int
+
+val subscribe : t -> (time:float -> Frame.t -> unit) -> unit
+(** Passive listener; called in delivery order. *)
+
+val request : t -> time:float -> Frame.t -> unit
+(** Queue a transmission request made at [time].  Requests may be posted in
+    any time order before the next [run_until]. *)
+
+val run_until : t -> time:float -> unit
+(** Deliver every pending frame whose transmission completes at or before
+    [time].  Monotonic: @raise Invalid_argument if [time] goes backwards. *)
+
+val now : t -> float
+
+val frames_delivered : t -> int
+
+val bits_carried : t -> int
+(** Total bits transmitted, stuff bits included — for bus-load accounting. *)
+
+(** {2 Error model}
+
+    Real CAN retransmits automatically: a frame corrupted on the wire
+    fails its CRC at every receiver, an error frame is signalled, and the
+    transmitter sends again.  The observable effects — late deliveries and
+    extra bus load — are what a timing-sensitive monitor cares about. *)
+
+val set_error_model :
+  t -> (time:float -> Frame.t -> [ `Deliver | `Corrupt ]) -> unit
+(** Consulted at each transmission's completion.  [`Corrupt] counts the
+    bits but delivers nothing; the frame re-arbitrates immediately.  After
+    {!max_attempts} corruptions the frame is dropped (the controller would
+    be heading toward error passive / bus-off). *)
+
+val max_attempts : int
+(** 5. *)
+
+val retransmissions : t -> int
+
+val frames_lost : t -> int
+
+val frame_bit_count : Frame.t -> int
+(** On-the-wire length of a frame: header + payload + CRC + stuff bits +
+    interframe space. *)
+
+val frame_duration : t -> Frame.t -> float
+(** Seconds on the wire at this bus's bitrate. *)

@@ -1,0 +1,116 @@
+let hex_of_bytes data =
+  let buf = Buffer.create (Bytes.length data * 2) in
+  Bytes.iter
+    (fun c -> Buffer.add_string buf (Printf.sprintf "%02X" (Char.code c)))
+    data;
+  Buffer.contents buf
+
+let frame_to_line ?(interface = "can0") ~time (frame : Frame.t) =
+  let id =
+    match frame.Frame.format with
+    | Frame.Base -> Printf.sprintf "%03X" frame.Frame.id
+    | Frame.Extended -> Printf.sprintf "%08X" frame.Frame.id
+  in
+  Printf.sprintf "(%.6f) %s %s#%s" time interface id
+    (hex_of_bytes frame.Frame.data)
+
+let to_string ?interface frames =
+  String.concat ""
+    (List.map
+       (fun (time, frame) -> frame_to_line ?interface ~time frame ^ "\n")
+       frames)
+
+let save ?interface path frames =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?interface frames))
+
+let bytes_of_hex s =
+  if String.length s mod 2 <> 0 then Error "odd hex payload length"
+  else begin
+    let n = String.length s / 2 in
+    let data = Bytes.create n in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      match int_of_string_opt ("0x" ^ String.sub s (i * 2) 2) with
+      | Some v -> Bytes.set data i (Char.chr v)
+      | None -> ok := false
+    done;
+    if !ok then Ok data else Error "bad hex digit in payload"
+  end
+
+let parse_line lineno line =
+  let fail msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ time_field; _interface; frame_field ] -> begin
+    let time_ok =
+      String.length time_field > 2
+      && time_field.[0] = '('
+      && time_field.[String.length time_field - 1] = ')'
+    in
+    if not time_ok then fail "malformed timestamp"
+    else begin
+      match
+        float_of_string_opt
+          (String.sub time_field 1 (String.length time_field - 2))
+      with
+      | None -> fail "bad timestamp"
+      | Some time -> begin
+        match String.index_opt frame_field '#' with
+        | None -> fail "missing '#' in frame"
+        | Some hash -> begin
+          let id_text = String.sub frame_field 0 hash in
+          let payload_text =
+            String.sub frame_field (hash + 1)
+              (String.length frame_field - hash - 1)
+          in
+          match int_of_string_opt ("0x" ^ id_text) with
+          | None -> fail "bad identifier"
+          | Some id -> begin
+            let format =
+              if String.length id_text > 3 then Frame.Extended else Frame.Base
+            in
+            match bytes_of_hex payload_text with
+            | Error msg -> fail msg
+            | Ok data -> begin
+              match Frame.make ~format ~id ~data () with
+              | frame -> Ok (time, frame)
+              | exception Invalid_argument msg -> fail msg
+            end
+          end
+        end
+      end
+    end
+  end
+  | _ -> fail "expected '(time) iface id#data'"
+
+let of_string source =
+  let lines = String.split_on_char '\n' source in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: rest -> go (lineno + 1) acc rest
+    | line :: rest -> begin
+      match parse_line lineno line with
+      | Ok entry -> go (lineno + 1) (entry :: acc) rest
+      | Error _ as e -> e
+    end
+  in
+  go 1 [] lines
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | source -> of_string source
+  | exception Sys_error msg -> Error msg
+
+let decode dbc frames =
+  let trace = Monitor_trace.Trace.create () in
+  List.iter
+    (fun (time, frame) ->
+      List.iter
+        (fun (name, value) ->
+          Monitor_trace.Trace.append trace
+            (Monitor_trace.Record.make ~time ~name ~value))
+        (Dbc.decode_frame dbc frame))
+    frames;
+  trace

@@ -1,0 +1,27 @@
+(** The candump log format (SocketCAN `candump -L`):
+
+    {v
+    (1436509052.249713) can0 123#DEADBEEF
+    (1436509052.249890) can0 18FF00F1#0102030405060708
+    v}
+
+    The lingua franca for real CAN captures — a bolt-on monitor deployment
+    reads these straight off a vehicle.  Extended (29-bit) identifiers are
+    recognised by their 8-hex-digit form, as candump writes them. *)
+
+val frame_to_line : ?interface:string -> time:float -> Frame.t -> string
+
+val to_string : ?interface:string -> (float * Frame.t) list -> string
+(** Render a capture (e.g. {!Logger.frames}). *)
+
+val save : ?interface:string -> string -> (float * Frame.t) list -> unit
+
+val of_string : string -> ((float * Frame.t) list, string) result
+(** Parse; reports the first offending line.  The interface name is
+    accepted and discarded. *)
+
+val load : string -> ((float * Frame.t) list, string) result
+
+val decode : Dbc.t -> (float * Frame.t) list -> Monitor_trace.Trace.t
+(** Turn a frame capture into a signal trace via a message database —
+    candump + DBC in, oracle-ready trace out. *)

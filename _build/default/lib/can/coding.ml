@@ -1,0 +1,102 @@
+type representation =
+  | Scaled_int of { signed : bool; scale : float; offset : float }
+  | Raw_float32
+  | Raw_float64
+  | Raw_bool
+  | Raw_enum
+
+type t = {
+  signal_name : string;
+  start_bit : int;
+  length : int;
+  byte_order : Bitfield.byte_order;
+  repr : representation;
+}
+
+let make ~signal_name ~start_bit ~length ~byte_order ~repr =
+  (match repr with
+   | Raw_float32 when length <> 32 ->
+     invalid_arg "Coding.make: Raw_float32 requires length 32"
+   | Raw_float64 when length <> 64 ->
+     invalid_arg "Coding.make: Raw_float64 requires length 64"
+   | Raw_bool when length <> 1 ->
+     invalid_arg "Coding.make: Raw_bool requires length 1"
+   | Scaled_int { scale; _ } when scale = 0.0 || Float.is_nan scale ->
+     invalid_arg "Coding.make: zero or NaN scale"
+   | Scaled_int _ | Raw_float32 | Raw_float64 | Raw_bool | Raw_enum -> ());
+  if length < 1 || length > 64 then invalid_arg "Coding.make: length out of 1..64";
+  if start_bit < 0 then invalid_arg "Coding.make: negative start_bit";
+  { signal_name; start_bit; length; byte_order; repr }
+
+let raw_range t =
+  match t.repr with
+  | Raw_float32 | Raw_float64 -> None
+  | Raw_bool -> Some (0L, 1L)
+  | Raw_enum ->
+    let hi =
+      if t.length >= 63 then Int64.max_int
+      else Int64.sub (Int64.shift_left 1L t.length) 1L
+    in
+    Some (0L, hi)
+  | Scaled_int { signed; _ } ->
+    if signed then
+      if t.length = 64 then Some (Int64.min_int, Int64.max_int)
+      else
+        let hi = Int64.sub (Int64.shift_left 1L (t.length - 1)) 1L in
+        Some (Int64.neg (Int64.add hi 1L), hi)
+    else if t.length >= 63 then Some (0L, Int64.max_int)
+    else Some (0L, Int64.sub (Int64.shift_left 1L t.length) 1L)
+
+let mask_to_length raw length =
+  if length >= 64 then raw
+  else Int64.logand raw (Int64.sub (Int64.shift_left 1L length) 1L)
+
+let saturate_int64_of_float x =
+  (* Float.to_int64 is undefined outside the representable range. *)
+  if Float.is_nan x then 0L
+  else if x >= 9.2233720368547758e18 then Int64.max_int
+  else if x <= -9.2233720368547758e18 then Int64.min_int
+  else Int64.of_float x
+
+let encode t v =
+  let open Monitor_signal in
+  match t.repr with
+  | Raw_bool -> if Value.as_bool v then 1L else 0L
+  | Raw_enum -> begin
+    let i =
+      match v with
+      | Value.Enum i -> Int64.of_int (max 0 i)
+      | Value.Bool b -> if b then 1L else 0L
+      | Value.Float x -> saturate_int64_of_float (Float.max 0.0 x)
+    in
+    match raw_range t with
+    | Some (lo, hi) -> mask_to_length (Int64.max lo (Int64.min hi i)) t.length
+    | None -> assert false
+  end
+  | Raw_float32 ->
+    Int64.of_int32 (Int32.bits_of_float (Value.as_float v))
+    |> fun b -> Int64.logand b 0xFFFFFFFFL
+  | Raw_float64 -> Int64.bits_of_float (Value.as_float v)
+  | Scaled_int { scale; offset; _ } -> begin
+    let phys = Value.as_float v in
+    let raw_f = (phys -. offset) /. scale in
+    let raw = saturate_int64_of_float (Float.round raw_f) in
+    match raw_range t with
+    | Some (lo, hi) -> mask_to_length (Int64.max lo (Int64.min hi raw)) t.length
+    | None -> assert false
+  end
+
+let decode t raw =
+  let open Monitor_signal in
+  match t.repr with
+  | Raw_bool -> Value.Bool (Int64.logand raw 1L = 1L)
+  | Raw_enum -> Value.Enum (Int64.to_int (mask_to_length raw t.length))
+  | Raw_float32 ->
+    Value.Float (Int32.float_of_bits (Int64.to_int32 (mask_to_length raw 32)))
+  | Raw_float64 -> Value.Float (Int64.float_of_bits raw)
+  | Scaled_int { signed; scale; offset } ->
+    let raw = mask_to_length raw t.length in
+    let raw =
+      if signed then Bitfield.sign_extend raw ~length:t.length else raw
+    in
+    Value.Float ((Int64.to_float raw *. scale) +. offset)

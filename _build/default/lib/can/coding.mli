@@ -1,0 +1,39 @@
+(** How one signal is represented inside a CAN payload.
+
+    Classic automotive signals are scaled integers ([phys = raw * scale +
+    offset]).  The prototype platform in the paper, however, exchanged raw
+    IEEE floats between Simulink-generated ECUs, which is what lets NaN and
+    infinity faults travel over the network — so raw float32/float64
+    codings are supported alongside scaled integers, booleans and enums. *)
+
+type representation =
+  | Scaled_int of { signed : bool; scale : float; offset : float }
+  | Raw_float32   (** length must be 32 *)
+  | Raw_float64   (** length must be 64 *)
+  | Raw_bool      (** length must be 1 *)
+  | Raw_enum      (** unsigned integer index *)
+
+type t = {
+  signal_name : string;  (** name of the {!Monitor_signal.Def.t} carried *)
+  start_bit : int;
+  length : int;
+  byte_order : Bitfield.byte_order;
+  repr : representation;
+}
+
+val make :
+  signal_name:string -> start_bit:int -> length:int ->
+  byte_order:Bitfield.byte_order -> repr:representation -> t
+(** @raise Invalid_argument on representation/length mismatches. *)
+
+val encode : t -> Monitor_signal.Value.t -> int64
+(** Raw field bits for a value.  Scaled integers are rounded and saturated
+    to the representable range; NaN on a scaled-int signal saturates to 0
+    raw (information loss a real DBC coding would also suffer). *)
+
+val decode : t -> int64 -> Monitor_signal.Value.t
+(** Interpret raw field bits. *)
+
+val raw_range : t -> (int64 * int64) option
+(** Representable raw range for integer representations; [None] for raw
+    floats. *)

@@ -1,0 +1,13 @@
+let polynomial = 0x4599
+
+let crc15 bits =
+  let step crc bit =
+    let crc_next = (crc lsl 1) land 0x7FFF in
+    let msb = crc land 0x4000 <> 0 in
+    if Bool.equal bit msb then crc_next else crc_next lxor polynomial
+  in
+  List.fold_left step 0 bits
+
+let crc15_bits bits =
+  let crc = crc15 bits in
+  List.init 15 (fun i -> crc land (1 lsl (14 - i)) <> 0)

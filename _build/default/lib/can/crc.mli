@@ -1,0 +1,12 @@
+(** CRC-15 as used by CAN 2.0 (polynomial x^15+x^14+x^10+x^8+x^7+x^4+x^3+1,
+    i.e. 0x4599).
+
+    The bus model computes the real CRC when building the frame bit image,
+    both for fidelity and because stuff-bit counts (and hence frame timing)
+    depend on the CRC bits. *)
+
+val crc15 : bool list -> int
+(** CRC over a bit sequence, MSB-first, initial value 0. *)
+
+val crc15_bits : bool list -> bool list
+(** The 15 CRC bits of a sequence, MSB first. *)

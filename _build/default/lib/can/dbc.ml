@@ -1,0 +1,44 @@
+type t = {
+  ordered : Message.t list;
+  by_id : (int, Message.t) Hashtbl.t;
+  by_name : (string, Message.t) Hashtbl.t;
+  signal_owner : (string, Message.t) Hashtbl.t;
+}
+
+let create msgs =
+  let by_id = Hashtbl.create 16 in
+  let by_name = Hashtbl.create 16 in
+  let signal_owner = Hashtbl.create 32 in
+  List.iter
+    (fun (m : Message.t) ->
+      if Hashtbl.mem by_id m.id then
+        invalid_arg (Printf.sprintf "Dbc.create: duplicate id 0x%X" m.id);
+      if Hashtbl.mem by_name m.name then
+        invalid_arg ("Dbc.create: duplicate message name " ^ m.name);
+      Hashtbl.add by_id m.id m;
+      Hashtbl.add by_name m.name m;
+      List.iter
+        (fun s ->
+          if Hashtbl.mem signal_owner s then
+            invalid_arg ("Dbc.create: signal in two messages: " ^ s);
+          Hashtbl.add signal_owner s m)
+        (Message.signal_names m))
+    msgs;
+  { ordered = msgs; by_id; by_name; signal_owner }
+
+let messages t = t.ordered
+
+let find_by_id t id = Hashtbl.find_opt t.by_id id
+
+let find_by_name t name = Hashtbl.find_opt t.by_name name
+
+let message_of_signal t s = Hashtbl.find_opt t.signal_owner s
+
+let signal_names t = List.concat_map Message.signal_names t.ordered
+
+let decode_frame t (frame : Frame.t) =
+  match find_by_id t frame.Frame.id with
+  | Some m -> Message.decode m frame
+  | None -> []
+
+let pp ppf t = Fmt.pf ppf "@[<v>%a@]" Fmt.(list Message.pp) t.ordered

@@ -1,0 +1,25 @@
+(** A message database ("DBC"): the static description of everything on the
+    bus.  The bolt-on monitor owns a copy of this database — that, plus a
+    tap on the bus, is all the system access it needs. *)
+
+type t
+
+val create : Message.t list -> t
+(** @raise Invalid_argument on duplicate message ids or names, or if the
+    same signal name appears in two messages. *)
+
+val messages : t -> Message.t list
+
+val find_by_id : t -> int -> Message.t option
+
+val find_by_name : t -> string -> Message.t option
+
+val message_of_signal : t -> string -> Message.t option
+(** The message that carries a given signal. *)
+
+val signal_names : t -> string list
+
+val decode_frame : t -> Frame.t -> (string * Monitor_signal.Value.t) list
+(** Decode via the id-matched message; unknown ids decode to []. *)
+
+val pp : Format.formatter -> t -> unit

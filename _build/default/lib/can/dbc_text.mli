@@ -1,0 +1,34 @@
+(** Reading and writing a practical subset of the Vector DBC text format.
+
+    Downstream users usually already have a `.dbc` for their vehicle; this
+    lets the bolt-on monitor consume it directly.  Supported statements:
+
+    {v
+    BO_ <id> <MsgName>: <dlc> <sender>
+     SG_ <SigName> : <start>|<len>@<endian><sign> (<scale>,<offset>) [<min>|<max>] "<unit>" <receivers>
+    BS_: / VERSION / NS_ / BU_ / CM_ / BA_*  -- ignored
+    v}
+
+    Endianness digit as in DBC: [1] = little endian (Intel), [0] = big
+    endian (Motorola).  Sign: [+] unsigned, [-] signed.  A scale of 1 and
+    offset 0 with length 1 maps to a boolean-looking raw flag but is kept
+    as a scaled integer — the DBC format does not distinguish.
+
+    Message periods are read from the common [GenMsgCycleTime] attribute
+    when present ([BA_ "GenMsgCycleTime" BO_ <id> <ms>;]); messages
+    without one default to [default_period_ms]. *)
+
+val default_period_ms : int
+(** 100 ms, a common default for state broadcast messages. *)
+
+val of_string : string -> (Dbc.t, string) result
+(** Parse; the first offending line is reported. *)
+
+val load : string -> (Dbc.t, string) result
+
+val to_string : Dbc.t -> string
+(** Render as DBC text.  Raw float32/float64 codings are emitted as
+    [SIG_VALTYPE_] statements, matching how real tools mark IEEE floats;
+    [of_string] understands them again. *)
+
+val save : string -> Dbc.t -> unit

@@ -1,0 +1,31 @@
+type format = Base | Extended
+
+type t = { id : int; format : format; data : bytes }
+
+let max_base_id = 0x7FF
+let max_extended_id = 0x1FFFFFFF
+
+let make ?(format = Base) ~id ~data () =
+  let max_id = match format with Base -> max_base_id | Extended -> max_extended_id in
+  if id < 0 || id > max_id then invalid_arg "Frame.make: identifier out of range";
+  if Bytes.length data > 8 then invalid_arg "Frame.make: payload exceeds 8 bytes";
+  { id; format; data = Bytes.copy data }
+
+let dlc t = Bytes.length t.data
+
+let equal a b =
+  a.id = b.id && a.format = b.format && Bytes.equal a.data b.data
+
+let compare_priority a b =
+  let c = Int.compare a.id b.id in
+  if c <> 0 then c
+  else
+    let rank = function Base -> 0 | Extended -> 1 in
+    Int.compare (rank a.format) (rank b.format)
+
+let pp ppf t =
+  let hex = Buffer.create 16 in
+  Bytes.iter (fun c -> Buffer.add_string hex (Printf.sprintf "%02X" (Char.code c))) t.data;
+  Fmt.pf ppf "0x%03X%s [%d] %s" t.id
+    (match t.format with Base -> "" | Extended -> "x")
+    (dlc t) (Buffer.contents hex)

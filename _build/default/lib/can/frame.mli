@@ -1,0 +1,33 @@
+(** CAN 2.0 data frames.
+
+    The paper's monitor reads "messages already available on the vehicle's
+    CAN broadcast network" — this module is the unit of that traffic.  Both
+    base (11-bit) and extended (29-bit) identifiers are supported; the
+    prototype platform used base frames. *)
+
+type format = Base | Extended
+
+type t = private {
+  id : int;            (** 11-bit (Base) or 29-bit (Extended) identifier *)
+  format : format;
+  data : bytes;        (** 0–8 payload bytes *)
+}
+
+val make : ?format:format -> id:int -> data:bytes -> unit -> t
+(** @raise Invalid_argument if the id exceeds the format's width or the
+    payload exceeds 8 bytes. *)
+
+val dlc : t -> int
+(** Payload length in bytes. *)
+
+val equal : t -> t -> bool
+
+val compare_priority : t -> t -> int
+(** CAN arbitration order: lower identifier wins; base frames beat extended
+    frames with the same leading bits (we approximate with id, then
+    format). *)
+
+val pp : Format.formatter -> t -> unit
+
+val max_base_id : int
+val max_extended_id : int

@@ -1,0 +1,28 @@
+type t = { mutable captured : (float * Frame.t) list; mutable count : int }
+
+let attach bus =
+  let t = { captured = []; count = 0 } in
+  Bus.subscribe bus (fun ~time frame ->
+      t.captured <- (time, frame) :: t.captured;
+      t.count <- t.count + 1);
+  t
+
+let frame_count t = t.count
+
+let frames t = List.rev t.captured
+
+let to_trace t dbc =
+  let trace = Monitor_trace.Trace.create () in
+  List.iter
+    (fun (time, frame) ->
+      List.iter
+        (fun (name, value) ->
+          Monitor_trace.Trace.append trace
+            (Monitor_trace.Record.make ~time ~name ~value))
+        (Dbc.decode_frame dbc frame))
+    (frames t);
+  trace
+
+let clear t =
+  t.captured <- [];
+  t.count <- 0

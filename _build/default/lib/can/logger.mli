@@ -1,0 +1,23 @@
+(** Passive frame capture — the bolt-on monitor's only connection to the
+    system under test.
+
+    Subscribes to a bus, stores every delivered frame with its timestamp,
+    and decodes the capture into a signal {!Monitor_trace.Trace.t} using a
+    message database.  This mirrors the paper's workflow: ControlDesk trace
+    capture on the HIL, then offline analysis of the log. *)
+
+type t
+
+val attach : Bus.t -> t
+(** Create a logger and subscribe it. *)
+
+val frame_count : t -> int
+
+val frames : t -> (float * Frame.t) list
+(** Capture in delivery order. *)
+
+val to_trace : t -> Dbc.t -> Monitor_trace.Trace.t
+(** Decode every captured frame; signals of unknown ids are dropped (a
+    passive monitor simply cannot interpret them). *)
+
+val clear : t -> unit

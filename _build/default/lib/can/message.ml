@@ -1,0 +1,86 @@
+type t = {
+  name : string;
+  id : int;
+  format : Frame.format;
+  dlc : int;
+  period_ms : int;
+  codings : Coding.t list;
+}
+
+(* Absolute bit positions claimed by a coding, reusing the Bitfield layout
+   rules via a probe payload. *)
+let claimed_bits dlc (c : Coding.t) =
+  let probe = Bytes.make dlc '\000' in
+  Bitfield.insert probe c.byte_order ~start_bit:c.start_bit ~length:c.length
+    (Int64.minus_one);
+  let bits = ref [] in
+  for byte = 0 to dlc - 1 do
+    let v = Char.code (Bytes.get probe byte) in
+    for bit = 0 to 7 do
+      if v land (1 lsl bit) <> 0 then bits := ((byte * 8) + bit) :: !bits
+    done
+  done;
+  !bits
+
+let make ?(format = Frame.Base) ~name ~id ~dlc ~period_ms ~codings () =
+  if dlc < 0 || dlc > 8 then invalid_arg "Message.make: dlc out of 0..8";
+  if period_ms <= 0 then invalid_arg "Message.make: period_ms must be positive";
+  let max_id =
+    match format with
+    | Frame.Base -> Frame.max_base_id
+    | Frame.Extended -> Frame.max_extended_id
+  in
+  if id < 0 || id > max_id then invalid_arg "Message.make: id out of range";
+  List.iter
+    (fun (c : Coding.t) ->
+      if not (Bitfield.fits ~dlc c.byte_order ~start_bit:c.start_bit ~length:c.length)
+      then
+        invalid_arg
+          (Printf.sprintf "Message.make: signal %s does not fit %d-byte payload"
+             c.signal_name dlc))
+    codings;
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun bit ->
+          if Hashtbl.mem seen bit then
+            invalid_arg
+              (Printf.sprintf "Message.make: signal %s overlaps bit %d"
+                 c.Coding.signal_name bit);
+          Hashtbl.add seen bit ())
+        (claimed_bits dlc c))
+    codings;
+  { name; id; format; dlc; period_ms; codings }
+
+let signal_names t = List.map (fun (c : Coding.t) -> c.signal_name) t.codings
+
+let encode t ~lookup =
+  let payload = Bytes.make t.dlc '\000' in
+  List.iter
+    (fun (c : Coding.t) ->
+      match lookup c.signal_name with
+      | None -> ()
+      | Some v ->
+        let raw = Coding.encode c v in
+        Bitfield.insert payload c.byte_order ~start_bit:c.start_bit
+          ~length:c.length raw)
+    t.codings;
+  Frame.make ~format:t.format ~id:t.id ~data:payload ()
+
+let decode t (frame : Frame.t) =
+  if frame.Frame.id <> t.id then invalid_arg "Message.decode: id mismatch";
+  if Frame.dlc frame <> t.dlc then invalid_arg "Message.decode: dlc mismatch";
+  List.map
+    (fun (c : Coding.t) ->
+      let raw =
+        Bitfield.extract frame.Frame.data c.byte_order ~start_bit:c.start_bit
+          ~length:c.length
+      in
+      (c.signal_name, Coding.decode c raw))
+    t.codings
+
+let pp ppf t =
+  Fmt.pf ppf "%s (0x%03X, %dB, %dms): %a" t.name t.id t.dlc t.period_ms
+    Fmt.(list ~sep:comma string)
+    (signal_names t)

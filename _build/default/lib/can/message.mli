@@ -1,0 +1,29 @@
+(** A CAN message definition: identifier, payload size, broadcast period and
+    the signals packed into the payload. *)
+
+type t = private {
+  name : string;
+  id : int;
+  format : Frame.format;
+  dlc : int;
+  period_ms : int;
+  codings : Coding.t list;
+}
+
+val make :
+  ?format:Frame.format -> name:string -> id:int -> dlc:int ->
+  period_ms:int -> codings:Coding.t list -> unit -> t
+(** Validates that every coding fits the payload and that no two codings
+    overlap a bit.  @raise Invalid_argument otherwise. *)
+
+val signal_names : t -> string list
+
+val encode :
+  t -> lookup:(string -> Monitor_signal.Value.t option) -> Frame.t
+(** Build a frame, pulling each signal's current value from [lookup];
+    signals the lookup does not know are encoded as zero bits. *)
+
+val decode : t -> Frame.t -> (string * Monitor_signal.Value.t) list
+(** @raise Invalid_argument if the frame id or dlc does not match. *)
+
+val pp : Format.formatter -> t -> unit

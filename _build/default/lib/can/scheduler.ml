@@ -1,0 +1,69 @@
+type task = {
+  messages : Message.t list;  (* published back to back at each instant *)
+  period : float;
+  jitter : float;
+  lookup : string -> Monitor_signal.Value.t option;
+  mutable next_nominal : float;
+}
+
+type t = {
+  bus : Bus.t;
+  prng : Monitor_util.Prng.t;
+  mutable tasks : task list;
+}
+
+let create ?(seed = 0L) bus =
+  { bus; prng = Monitor_util.Prng.create seed; tasks = [] }
+
+let add_group t ~messages ?(offset_ms = 0.0) ?(jitter_ms = 0.0) ~lookup () =
+  if jitter_ms < 0.0 then invalid_arg "Scheduler.add_group: negative jitter";
+  let period_ms =
+    match messages with
+    | [] -> invalid_arg "Scheduler.add_group: empty message group"
+    | m :: rest ->
+      List.iter
+        (fun (m' : Message.t) ->
+          if m'.Message.period_ms <> m.Message.period_ms then
+            invalid_arg "Scheduler.add_group: mixed periods in one group")
+        rest;
+      m.Message.period_ms
+  in
+  let task =
+    { messages;
+      period = float_of_int period_ms /. 1000.0;
+      jitter = jitter_ms /. 1000.0;
+      lookup;
+      next_nominal = offset_ms /. 1000.0 }
+  in
+  t.tasks <- t.tasks @ [ task ]
+
+let add_task t ~message ?offset_ms ?jitter_ms ~lookup () =
+  add_group t ~messages:[ message ] ?offset_ms ?jitter_ms ~lookup ()
+
+let advance t ~to_time =
+  (* Collect all publication instants first so interleaved tasks request in
+     a deterministic global order. *)
+  let requests = ref [] in
+  List.iter
+    (fun task ->
+      while task.next_nominal < to_time do
+        let delay =
+          if task.jitter = 0.0 then 0.0
+          else Monitor_util.Prng.float t.prng task.jitter
+        in
+        requests := (task.next_nominal +. delay, task) :: !requests;
+        task.next_nominal <- task.next_nominal +. task.period
+      done)
+    t.tasks;
+  let ordered =
+    List.sort (fun (a, _) (b, _) -> Float.compare a b) (List.rev !requests)
+  in
+  List.iter
+    (fun (time, task) ->
+      List.iter
+        (fun message ->
+          let frame = Message.encode message ~lookup:task.lookup in
+          Bus.request t.bus ~time frame)
+        task.messages)
+    ordered;
+  Bus.run_until t.bus ~time:to_time

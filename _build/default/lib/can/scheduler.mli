@@ -1,0 +1,34 @@
+(** Periodic message publication.
+
+    Automotive ECUs broadcast state messages on fixed periods; the paper's
+    platform had two relevant periods, one four times slower than the other,
+    and enough jitter that a delayed slow message sometimes left five fast
+    updates between consecutive slow updates (§V-C1).  Each task samples its
+    signals through a [lookup] at (jittered) publication instants and posts
+    the encoded frame on the bus. *)
+
+type t
+
+val create : ?seed:int64 -> Bus.t -> t
+(** Jitter draws from a PRNG seeded by [seed] (default 0 = no draw needed
+    until a jittered task is added). *)
+
+val add_task :
+  t -> message:Message.t -> ?offset_ms:float -> ?jitter_ms:float ->
+  lookup:(string -> Monitor_signal.Value.t option) -> unit -> unit
+(** Publish [message] every [message.period_ms], first at [offset_ms], each
+    instance delayed by an independent uniform draw in \[0, jitter_ms\].
+    [lookup] is consulted at the moment of publication. *)
+
+val add_group :
+  t -> messages:Message.t list -> ?offset_ms:float -> ?jitter_ms:float ->
+  lookup:(string -> Monitor_signal.Value.t option) -> unit -> unit
+(** Like {!add_task} for several messages published by one node back to
+    back: they share every publication instant (one jitter draw per cycle),
+    so their contents stay mutually consistent on the wire — e.g. a radar's
+    track data and track-status messages.  All messages must declare the
+    same period.  @raise Invalid_argument otherwise or on []. *)
+
+val advance : t -> to_time:float -> unit
+(** Post every publication due strictly before [to_time], then run the bus
+    up to [to_time]. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Buffer List Monitor_hil Monitor_mtl Monitor_oracle Monitor_signal Monitor_trace Monitor_util Printf String

@@ -1,0 +1,1 @@
+lib/experiments/figure1.ml: Fmt Monitor_fsracc

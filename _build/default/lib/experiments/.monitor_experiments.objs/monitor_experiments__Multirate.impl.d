@@ -1,0 +1,1 @@
+lib/experiments/multirate.ml: Array Buffer Hashtbl List Monitor_hil Monitor_mtl Monitor_oracle Monitor_trace Option Printf String

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Array Float Fun List Monitor_hil Monitor_inject Monitor_oracle Monitor_util Printf String

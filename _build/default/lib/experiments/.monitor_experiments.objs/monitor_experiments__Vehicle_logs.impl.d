@@ -1,0 +1,1 @@
+lib/experiments/vehicle_logs.ml: Buffer Fun Int64 List Monitor_hil Monitor_oracle Printf

@@ -1,0 +1,1 @@
+lib/experiments/vehicle_logs.mli: Monitor_hil Monitor_oracle

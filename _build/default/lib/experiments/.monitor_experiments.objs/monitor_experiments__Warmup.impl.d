@@ -1,0 +1,1 @@
+lib/experiments/warmup.ml: List Monitor_hil Monitor_oracle Monitor_signal Monitor_trace Printf

@@ -1,0 +1,55 @@
+(** Experiment E6 (extension): ablations of the design choices DESIGN.md
+    calls out.  Each study removes one mechanism and measures what the
+    monitor loses.
+
+    - {b Monitor period}: the paper's monitor runs at the fast message
+      period.  Running it at the slow period instead loses transient
+      violations entirely.
+    - {b Publication jitter}: without jitter the §V-C1 five-fast-updates
+      anomaly disappears — the hazard is a timing phenomenon, not a rate
+      phenomenon.
+    - {b Change operator}: replacing the change-aware [fresh_delta] with
+      the naive tick [delta] changes which rule-2/4 violations are seen
+      (held samples read as "no change").
+    - {b Warm-up hold}: sweeping the hold time of the §V-C2 consistency
+      rule from 0 shows the false alarms disappear once the hold covers
+      the acquisition discontinuity. *)
+
+type period_ablation = {
+  fast_false : int;      (** rule-violating ticks at 10 ms *)
+  slow_false : int;      (** the same rules evaluated at 40 ms *)
+  fast_violated : int list;  (** rule numbers violated at 10 ms *)
+  slow_violated : int list;
+}
+
+type jitter_ablation = {
+  with_jitter_five : int;    (** slow-update gaps spanning 5 fast updates *)
+  without_jitter_five : int;
+}
+
+type delta_ablation = {
+  fresh_detections : int;  (** runs on which the fresh_delta rule 4 fired *)
+  naive_detections : int;
+  disagreements : int;     (** runs where exactly one of the two fired *)
+}
+
+type hold_ablation = (float * int list) list
+(** (injection hold seconds, rule numbers violated).  The paper held every
+    fault for 20 s "to allow time for the fault to manifest into a
+    specification violation"; the sweep shows what shorter holds miss. *)
+
+type warmup_ablation = (float * int) list
+(** (hold seconds, false-alarm ticks of the consistency rule); a hold
+    of -1 marks the unwrapped (naive) rule. *)
+
+type t = {
+  period : period_ablation;
+  jitter : jitter_ablation;
+  delta : delta_ablation;
+  warmup : warmup_ablation;
+  hold : hold_ablation;
+}
+
+val run : ?seed:int64 -> unit -> t
+
+val rendered : t -> string

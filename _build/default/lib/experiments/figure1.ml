@@ -1,0 +1,3 @@
+let rendered () =
+  "FIGURE 1: FSRACC MODULE IO SIGNALS\n"
+  ^ Fmt.str "%a" Monitor_fsracc.Io.figure1 ()

@@ -1,0 +1,3 @@
+(** Experiment E1: Figure 1 — the FSRACC module's I/O signal inventory. *)
+
+val rendered : unit -> string

@@ -1,0 +1,95 @@
+module Trace = Monitor_trace.Trace
+module Record = Monitor_trace.Record
+module Oracle = Monitor_oracle.Oracle
+module Mtl = Monitor_mtl
+module Sim = Monitor_hil.Sim
+module Scenario = Monitor_hil.Scenario
+
+type t = {
+  spacing_histogram : (int * int) list;
+  held_fraction : float;
+  naive_false_ticks : int;
+  fresh_false_ticks : int;
+  disagreeing_ticks : int;
+}
+
+let naive_check =
+  Mtl.Spec.make ~name:"naive_delta"
+    (Mtl.Parser.formula_of_string_exn
+       "Velocity > ACCSetSpeed -> delta(RequestedTorque) <= 0.0")
+
+let fresh_check =
+  Mtl.Spec.make ~name:"fresh_delta"
+    (Mtl.Parser.formula_of_string_exn
+       "Velocity > ACCSetSpeed -> fresh_delta(RequestedTorque) <= 0.0")
+
+let spacing_histogram trace =
+  let slow_times = ref [] in
+  let fast_times = ref [] in
+  Trace.iter
+    (fun r ->
+      if String.equal r.Record.name "RequestedTorque" then
+        slow_times := r.Record.time :: !slow_times
+      else if String.equal r.Record.name "Velocity" then
+        fast_times := r.Record.time :: !fast_times)
+    trace;
+  let slow = List.rev !slow_times and fast = Array.of_list (List.rev !fast_times) in
+  let counts = Hashtbl.create 8 in
+  let rec pairs = function
+    | t1 :: (t2 :: _ as rest) ->
+      let n =
+        Array.fold_left
+          (fun acc t -> if t > t1 && t <= t2 then acc + 1 else acc)
+          0 fast
+      in
+      Hashtbl.replace counts n (1 + Option.value ~default:0 (Hashtbl.find_opt counts n));
+      pairs rest
+    | [ _ ] | [] -> ()
+  in
+  pairs slow;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
+
+let run ?(seed = 5L) () =
+  let config = Sim.default_config ~seed (Scenario.hill_run ()) in
+  let result = Sim.run config in
+  let trace = result.Sim.trace in
+  let snapshots = Oracle.snapshots_of_trace trace in
+  let held, total =
+    List.fold_left
+      (fun (held, total) snap ->
+        match Monitor_trace.Snapshot.find snap "RequestedTorque" with
+        | Some e ->
+          ((if e.Monitor_trace.Snapshot.fresh then held else held + 1), total + 1)
+        | None -> (held, total))
+      (0, 0) snapshots
+  in
+  let naive = (Mtl.Offline.eval naive_check snapshots).Mtl.Offline.verdicts in
+  let fresh = (Mtl.Offline.eval fresh_check snapshots).Mtl.Offline.verdicts in
+  let count_false = Array.fold_left
+      (fun acc v -> if Mtl.Verdict.equal v Mtl.Verdict.False then acc + 1 else acc) 0
+  in
+  let disagreeing = ref 0 in
+  Array.iteri
+    (fun i v -> if not (Mtl.Verdict.equal v fresh.(i)) then incr disagreeing)
+    naive;
+  { spacing_histogram = spacing_histogram trace;
+    held_fraction =
+      (if total = 0 then 0.0 else float_of_int held /. float_of_int total);
+    naive_false_ticks = count_false naive;
+    fresh_false_ticks = count_false fresh;
+    disagreeing_ticks = !disagreeing }
+
+let rendered t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "MULTI-RATE SAMPLING (SS V-C1)\n";
+  add "fast updates between consecutive RequestedTorque updates:\n";
+  List.iter
+    (fun (gap, occurrences) -> add "  %d fast updates: %d times\n" gap occurrences)
+    t.spacing_histogram;
+  add "RequestedTorque held (not fresh) at %.1f%% of monitor ticks\n"
+    (100.0 *. t.held_fraction);
+  add "naive delta check: %d False ticks; fresh_delta check: %d False ticks; \
+       verdicts differ at %d ticks\n"
+    t.naive_false_ticks t.fresh_false_ticks t.disagreeing_ticks;
+  Buffer.contents buf

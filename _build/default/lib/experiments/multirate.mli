@@ -1,0 +1,27 @@
+(** Experiment E4: the multi-rate sampling hazard of §V-C1.
+
+    Two measurements over a HIL capture:
+    - the number of fast-message updates landing between consecutive slow
+      (RequestedTorque) updates — nominally four, but publication jitter
+      occasionally delays a slow message so that five arrive;
+    - how a naive tick-delta monitor perceives the slowly-published torque
+      (constant for three samples out of four) versus the change-aware
+      [fresh_delta], shown as disagreement between a naive and a
+      fresh-delta version of the same "torque not increasing" check. *)
+
+type t = {
+  spacing_histogram : (int * int) list;
+      (** (fast updates between slow updates, occurrences) *)
+  held_fraction : float;
+      (** fraction of monitor ticks at which RequestedTorque was a held
+          repeat rather than a fresh sample (about 0.75) *)
+  naive_false_ticks : int;
+      (** ticks the naive-delta check called False *)
+  fresh_false_ticks : int;
+      (** ticks the fresh-delta check called False *)
+  disagreeing_ticks : int;
+}
+
+val run : ?seed:int64 -> unit -> t
+
+val rendered : t -> string

@@ -1,0 +1,151 @@
+module Campaign = Monitor_inject.Campaign
+module Oracle = Monitor_oracle.Oracle
+module Report = Monitor_oracle.Report
+module Rules = Monitor_oracle.Rules
+module Sim = Monitor_hil.Sim
+module Scenario = Monitor_hil.Scenario
+
+type options = {
+  seed : int64;
+  values_per_test : int;
+  flips_per_size : int;
+  multi_values_per_test : int;
+}
+
+let paper_options =
+  { seed = 2014L; values_per_test = 8; flips_per_size = 4;
+    multi_values_per_test = 20 }
+
+let quick_options =
+  { seed = 2014L; values_per_test = 2; flips_per_size = 1;
+    multi_values_per_test = 3 }
+
+type row_result = {
+  row : Campaign.row;
+  outcomes_per_run : Oracle.rule_outcome list list;
+  letters : string list;
+}
+
+type t = {
+  rows : row_result list;
+  runs_executed : int;
+  nominal_letters : string list;
+  latencies : (int * float list) list;
+}
+
+(* Scenario length: settle + 20 s hold + tail.  The tail is long enough
+   for post-fault recovery dynamics to complete — the release transient
+   (Rule #5) and the re-convergence onto the set speed from above
+   (Rule #3) both happen after the injection clears. *)
+let scenario () =
+  Scenario.steady_follow
+    ~duration:(Campaign.default_start +. Campaign.hold_duration +. 12.0) ()
+
+let run_one plan =
+  let config = Sim.default_config (scenario ()) in
+  let result = Sim.run ~plan config in
+  Oracle.check Rules.all result.Sim.trace
+
+let letters_of_outcomes outcomes_per_run =
+  let rule_count = List.length Rules.all in
+  List.init rule_count (fun i ->
+      let violated =
+        List.exists
+          (fun outcomes ->
+            let o = List.nth outcomes i in
+            o.Oracle.status = Oracle.Violated)
+          outcomes_per_run
+      in
+      if violated then "V" else "S")
+
+(* Seconds from injection start to the first violating tick, per rule, for
+   one run. *)
+let run_latencies plan outcomes =
+  let injection_start =
+    match plan with
+    | (t, _) :: _ -> t
+    | [] -> 0.0
+  in
+  List.mapi
+    (fun i (o : Oracle.rule_outcome) ->
+      match o.Oracle.episodes with
+      | e :: _ -> Some (i, Float.max 0.0 (e.Oracle.start_time -. injection_start))
+      | [] -> None)
+    outcomes
+  |> List.filter_map Fun.id
+
+let run ?(options = paper_options) () =
+  let rows =
+    Campaign.table1 ~seed:options.seed
+      ~values_per_test:options.values_per_test
+      ~flips_per_size:options.flips_per_size
+      ~multi_values_per_test:options.multi_values_per_test ()
+  in
+  let nominal_letters =
+    List.map
+      (fun o -> Oracle.status_letter o.Oracle.status)
+      (run_one [])
+  in
+  let runs_executed = ref 1 in
+  let latency_acc = Array.make (List.length Rules.all) [] in
+  let row_results =
+    List.map
+      (fun (row : Campaign.row) ->
+        let outcomes_per_run =
+          List.map
+            (fun (r : Campaign.run) ->
+              incr runs_executed;
+              let outcomes = run_one r.Campaign.plan in
+              List.iter
+                (fun (rule, latency) ->
+                  latency_acc.(rule) <- latency :: latency_acc.(rule))
+                (run_latencies r.Campaign.plan outcomes);
+              outcomes)
+            row.Campaign.runs
+        in
+        { row; outcomes_per_run; letters = letters_of_outcomes outcomes_per_run })
+      rows
+  in
+  { rows = row_results;
+    runs_executed = !runs_executed;
+    nominal_letters;
+    latencies =
+      List.filteri (fun _ (_, ls) -> ls <> [])
+        (Array.to_list (Array.mapi (fun i ls -> (i, List.rev ls)) latency_acc)) }
+
+let table_rows t =
+  List.map
+    (fun rr ->
+      { Report.kind_label = rr.row.Campaign.kind_label;
+        target_label = rr.row.Campaign.target_label;
+        letters = rr.letters })
+    t.rows
+
+let rendered t =
+  let rows = table_rows t in
+  let rule_count = List.length Rules.all in
+  Report.render_table ~title:"TABLE I: FAULT INJECTION RESULTS" ~rule_count rows
+  ^ "\n"
+  ^ Printf.sprintf "nominal (no injection): %s\n"
+      (String.concat " " t.nominal_letters)
+  ^ Printf.sprintf "runs executed: %d\n" t.runs_executed
+  ^ Report.summarize rows ~rule_count
+  ^ "detection latency (injection start -> first violating tick):\n"
+  ^ String.concat ""
+      (List.map
+         (fun (rule, ls) ->
+           let s = Monitor_util.Stats.of_list ls in
+           Printf.sprintf
+             "  rule #%d: %d detections, median %.2fs, min %.2fs, max %.2fs\n"
+             rule (List.length ls)
+             (Monitor_util.Stats.percentile ls 50.0)
+             (Monitor_util.Stats.min_value s)
+             (Monitor_util.Stats.max_value s))
+         t.latencies)
+
+let rules_ever_violated t =
+  let rule_count = List.length Rules.all in
+  List.filter
+    (fun i ->
+      List.exists (fun rr -> String.equal (List.nth rr.letters i) "V") t.rows)
+    (List.init rule_count Fun.id)

@@ -1,0 +1,44 @@
+(** Experiment E2: regenerate Table I — the fault-injection result matrix.
+
+    For every campaign row (injection class x target signal), each
+    injection runs the steady-following scenario on the HIL with the fault
+    held 20 s, the bus capture goes through the seven-rule oracle, and the
+    row reports "V" for a rule iff any of the row's runs violated it. *)
+
+type options = {
+  seed : int64;
+  values_per_test : int;        (** paper: 8 *)
+  flips_per_size : int;         (** paper: 4 *)
+  multi_values_per_test : int;  (** paper: 20 *)
+}
+
+val paper_options : options
+(** The paper's counts, seed 2014. *)
+
+val quick_options : options
+(** 2 / 1 / 3 — a fast smoke-scale campaign for tests and benches. *)
+
+type row_result = {
+  row : Monitor_inject.Campaign.row;
+  outcomes_per_run : Monitor_oracle.Oracle.rule_outcome list list;
+  letters : string list;   (** "S"/"V" per rule 0..6 *)
+}
+
+type t = {
+  rows : row_result list;
+  runs_executed : int;
+  nominal_letters : string list;
+      (** the no-injection baseline — must be all-"S" *)
+  latencies : (int * float list) list;
+      (** per rule number, the detection latencies: seconds from injection
+          start to the rule's first violating tick, one entry per violated
+          run.  How quickly the oracle turns a fault into a verdict. *)
+}
+
+val run : ?options:options -> unit -> t
+
+val rendered : t -> string
+(** The Table I text plus the summary lines. *)
+
+val rules_ever_violated : t -> int list
+(** Rule numbers with at least one V anywhere in the table. *)

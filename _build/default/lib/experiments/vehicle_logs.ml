@@ -1,0 +1,107 @@
+module Oracle = Monitor_oracle.Oracle
+module Intent = Monitor_oracle.Intent
+module Rules = Monitor_oracle.Rules
+module Report = Monitor_oracle.Report
+module Sim = Monitor_hil.Sim
+module Scenario = Monitor_hil.Scenario
+
+type scenario_result = {
+  scenario : Scenario.t;
+  strict : Oracle.rule_outcome list;
+  classification :
+    [ `Clean | `Reasonable_violations | `Safety_violations ] list;
+  relaxed : Oracle.rule_outcome list;
+}
+
+type t = {
+  per_scenario : scenario_result list;
+  total_log_duration : float;
+}
+
+let relaxed_rules () =
+  [ Rules.relaxed_rule2 (); Rules.relaxed_rule3 (); Rules.relaxed_rule4 () ]
+
+let run ?(seed = 77L) () =
+  let scenarios = Scenario.road_scenarios () in
+  let per_scenario =
+    List.mapi
+      (fun i scenario ->
+        let config =
+          Sim.default_config ~environment:Sim.Road
+            ~seed:(Int64.add seed (Int64.of_int i))
+            scenario
+        in
+        let result = Sim.run config in
+        let strict = Oracle.check Rules.all result.Sim.trace in
+        let classification =
+          List.map (Intent.classify Intent.transient_tolerant) strict
+        in
+        let relaxed = Oracle.check (relaxed_rules ()) result.Sim.trace in
+        { scenario; strict; classification; relaxed })
+      scenarios
+  in
+  { per_scenario;
+    total_log_duration =
+      List.fold_left
+        (fun acc r -> acc +. r.scenario.Scenario.duration)
+        0.0 per_scenario }
+
+let class_letter = function
+  | `Clean -> "-"
+  | `Reasonable_violations -> "r"
+  | `Safety_violations -> "!"
+
+let rendered t =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "REAL-VEHICLE LOG ANALYSIS (road-mode simulation, %.0f s of driving)\n"
+    t.total_log_duration;
+  add "  per rule: S/V = strict verdict;  - clean, r reasonable-only, ! safety\n\n";
+  add "%-20s" "Scenario";
+  List.iteri (fun i _ -> add "  #%d" i) Rules.all;
+  add "\n";
+  List.iter
+    (fun r ->
+      add "%-20s" r.scenario.Scenario.name;
+      List.iter2
+        (fun o c ->
+          add "  %s%s" (Oracle.status_letter o.Oracle.status) (class_letter c))
+        r.strict r.classification;
+      add "\n")
+    t.per_scenario;
+  add "\nrelaxed rules #2/#3/#4:\n";
+  List.iter
+    (fun r ->
+      add "%-20s" r.scenario.Scenario.name;
+      List.iter
+        (fun o -> add "  %s" (Oracle.status_letter o.Oracle.status))
+        r.relaxed;
+      add "\n")
+    t.per_scenario;
+  add "\nstrict-rule violation details:\n";
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (o : Oracle.rule_outcome) ->
+          if o.Oracle.status = Oracle.Violated then
+            add "  [%s] %s\n" r.scenario.Scenario.name (Report.render_outcome o))
+        r.strict)
+    t.per_scenario;
+  Buffer.contents buf
+
+let rules_with_any_violation t =
+  let rule_count = List.length Rules.all in
+  List.filter
+    (fun i ->
+      List.exists
+        (fun r -> (List.nth r.strict i).Oracle.status = Oracle.Violated)
+        t.per_scenario)
+    (List.init rule_count Fun.id)
+
+let relaxed_all_clean t =
+  List.for_all
+    (fun r ->
+      List.for_all
+        (fun (o : Oracle.rule_outcome) -> o.Oracle.status = Oracle.Satisfied)
+        r.relaxed)
+    t.per_scenario

@@ -1,0 +1,52 @@
+module Oracle = Monitor_oracle.Oracle
+module Rules = Monitor_oracle.Rules
+module Sim = Monitor_hil.Sim
+module Scenario = Monitor_hil.Scenario
+module Snapshot = Monitor_trace.Snapshot
+
+type t = {
+  acquisitions : int;
+  naive_false_ticks : int;
+  naive_episodes : int;
+  warmup_false_ticks : int;
+  warmup_episodes : int;
+}
+
+let count_acquisitions snapshots =
+  let previous = ref false in
+  List.fold_left
+    (fun acc snap ->
+      let ahead =
+        match Snapshot.value snap "VehicleAhead" with
+        | Some v -> Monitor_signal.Value.as_bool v
+        | None -> false
+      in
+      let edge = ahead && not !previous in
+      previous := ahead;
+      if edge then acc + 1 else acc)
+    0 snapshots
+
+let run ?(seed = 9L) () =
+  (* A scenario with several acquisition events: a lead appears, is
+     overtaken away, and a new one cuts in. *)
+  let scenario = Scenario.overtake () in
+  let config = Sim.default_config ~seed scenario in
+  let result = Sim.run config in
+  let naive = Oracle.check_spec Rules.range_consistency_naive result.Sim.trace in
+  let warm = Oracle.check_spec Rules.range_consistency_warmup result.Sim.trace in
+  let snapshots = Oracle.snapshots_of_trace result.Sim.trace in
+  { acquisitions = count_acquisitions snapshots;
+    naive_false_ticks = naive.Oracle.ticks_false;
+    naive_episodes = List.length naive.Oracle.episodes;
+    warmup_false_ticks = warm.Oracle.ticks_false;
+    warmup_episodes = List.length warm.Oracle.episodes }
+
+let rendered t =
+  Printf.sprintf
+    "DISCRETE VALUE JUMPS / WARM-UP (SS V-C2)\n\
+     target acquisitions in log: %d\n\
+     naive consistency rule:  %d False ticks in %d episodes (false alarms \
+     at acquisition)\n\
+     with warmup(0.5 s):      %d False ticks in %d episodes\n"
+    t.acquisitions t.naive_false_ticks t.naive_episodes t.warmup_false_ticks
+    t.warmup_episodes

@@ -1,0 +1,19 @@
+(** Experiment E5: discrete value jumps and monitor warm-up (§V-C2).
+
+    TargetRange reads 0 until a target is acquired, then jumps to the true
+    range; a closing target (negative relative velocity) therefore shows a
+    spurious {e positive} range change at acquisition.  A naive consistency
+    rule false-alarms there; wrapping it in [warmup(acquisition, 0.5 s, ...)]
+    suppresses exactly those alarms. *)
+
+type t = {
+  acquisitions : int;        (** target-acquisition edges in the log *)
+  naive_false_ticks : int;
+  naive_episodes : int;
+  warmup_false_ticks : int;
+  warmup_episodes : int;
+}
+
+val run : ?seed:int64 -> unit -> t
+
+val rendered : t -> string

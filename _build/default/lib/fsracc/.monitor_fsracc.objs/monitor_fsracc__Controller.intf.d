@@ -1,0 +1,1 @@
+lib/fsracc/controller.mli:

@@ -1,0 +1,1 @@
+lib/fsracc/io.ml: Fmt List Monitor_can Monitor_signal String

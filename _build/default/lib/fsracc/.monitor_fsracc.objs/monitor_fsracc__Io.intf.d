@@ -1,0 +1,1 @@
+lib/fsracc/io.mli: Format Monitor_can Monitor_signal

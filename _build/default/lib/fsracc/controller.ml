@@ -1,0 +1,210 @@
+type inputs = {
+  velocity : float;
+  accel_ped_pos : float;
+  brake_ped_pres : float;
+  acc_set_speed : float;
+  throt_pos : float;
+  vehicle_ahead : bool;
+  target_range : float;
+  target_rel_vel : float;
+  sel_headway : int;
+}
+
+type outputs = {
+  acc_enabled : bool;
+  brake_requested : bool;
+  torque_requested : bool;
+  requested_torque : float;
+  requested_decel : float;
+  service_acc : bool;
+}
+
+type mode = Standby | Engaged | Fault
+
+type gains = {
+  kp_speed : float;
+  ki_speed : float;
+  k_gap : float;
+  k_closing : float;
+  min_gap : float;
+  accel_limit : float;
+  decel_limit : float;
+  blip_threshold : float;
+}
+
+let default_gains =
+  { kp_speed = 0.4;
+    ki_speed = 0.01;
+    k_gap = 0.08;
+    k_closing = 0.6;
+    min_gap = 5.0;
+    accel_limit = 2.0;
+    decel_limit = 4.0;
+    blip_threshold = 1.5 }
+
+let headway_time = function
+  | 0 -> 1.0
+  | 1 -> 1.5
+  | 2 -> 2.0
+  | _ -> 2.0
+
+type t = {
+  gains : gains;
+  vehicle_mass : float;
+  wheel_radius : float;
+  mutable mode : mode;
+  mutable integrator : float;
+  mutable prev_decel : float;  (* last cycle's commanded decel, m/s^2 <= 0 *)
+  mutable release_overshoot : float;
+      (* decaying positive RequestedDecel after an abrupt brake release *)
+}
+
+let create ?(gains = default_gains) ?(vehicle_mass = 1600.0)
+    ?(wheel_radius = 0.32) () =
+  { gains; vehicle_mass; wheel_radius; mode = Standby; integrator = 0.0;
+    prev_decel = 0.0; release_overshoot = 0.0 }
+
+let mode t = t.mode
+
+let idle_outputs =
+  { acc_enabled = false;
+    brake_requested = false;
+    torque_requested = false;
+    requested_torque = 0.0;
+    requested_decel = 0.0;
+    service_acc = false }
+
+let reset t =
+  t.mode <- Standby;
+  t.integrator <- 0.0;
+  t.prev_decel <- 0.0;
+  t.release_overshoot <- 0.0
+
+(* The control law.  NOTE the deliberate absence of any input validation:
+   velocity, range, relative velocity and set speed flow into the
+   arithmetic unchecked.  This mirrors the prototype feature of the paper,
+   whose missing bounds/consistency checks were its central robustness
+   finding. *)
+let commanded_accel t ~dt (i : inputs) =
+  let g = t.gains in
+  (* Speed control toward the set speed. *)
+  let speed_error = i.acc_set_speed -. i.velocity in
+  t.integrator <- t.integrator +. (g.ki_speed *. speed_error *. dt);
+  (* Anti-windup: the integrator contribution is bounded... unless the
+     error itself is non-finite, which the feature never considers. *)
+  if Float.is_finite t.integrator then
+    t.integrator <- Float.max (-0.25) (Float.min 0.25 t.integrator);
+  let a_speed = (g.kp_speed *. speed_error) +. t.integrator in
+  (* Gap control when the radar claims a target (the flag is trusted
+     blindly; range/relative velocity are never cross-checked against it,
+     nor against each other — the missing consistency check the paper
+     identifies). *)
+  let a =
+    if i.vehicle_ahead then begin
+      let desired_gap = (headway_time i.sel_headway *. i.velocity) +. g.min_gap in
+      let a_follow =
+        (g.k_gap *. (i.target_range -. desired_gap))
+        +. (g.k_closing *. i.target_rel_vel)
+      in
+      (* Prototype-grade arbitration: the more conservative of the two
+         controllers — except that a grossly excessive speed-control
+         demand (beyond anything sane driving produces) partially leaks
+         through.  Harmless for real set speeds, and exactly the kind of
+         placeholder shortcut that lets an absurd ACCSetSpeed push the
+         vehicle toward its target. *)
+      let excess = 0.12 *. Float.max 0.0 (a_speed -. 10.0) in
+      Float.min a_speed a_follow +. excess
+    end
+    else a_speed
+  in
+  Float.max (-.g.decel_limit) (Float.min g.accel_limit a)
+
+(* Feed-forward conversion of a commanded acceleration into a wheel torque
+   request (drag and rolling resistance at the current speed). *)
+let torque_of_accel t (i : inputs) a =
+  let drag = 0.38 *. i.velocity *. i.velocity in
+  let rolling = 0.011 *. t.vehicle_mass *. 9.80665 in
+  ((t.vehicle_mass *. a) +. drag +. rolling) *. t.wheel_radius
+
+let engaged_outputs t ~dt (i : inputs) =
+  let a = commanded_accel t ~dt i in
+  let torque = torque_of_accel t i a in
+  (* The engine can deliver down to mild engine braking; deeper
+     deceleration goes to the service brakes. *)
+  let engine_floor = -400.0 in
+  if torque >= engine_floor || not (torque < engine_floor) then begin
+    (* NaN torque falls in here too: the comparison chain was written for
+       the nominal case. *)
+    let release_step = -.t.prev_decel in
+    if t.prev_decel < 0.0 && release_step > t.gains.blip_threshold then
+      (* Abrupt brake release: the release rate limiter kicks past zero
+         and decays back over a few cycles (the paper's Rule #5
+         transient, "a one cycle blip of positive RequestedDecel" at the
+         40 ms message period). *)
+      t.release_overshoot <- Float.min 0.3 (0.1 *. release_step);
+    t.prev_decel <- 0.0;
+    if t.release_overshoot > 0.02 then begin
+      let overshoot = t.release_overshoot in
+      t.release_overshoot <- overshoot *. 0.55;
+      { acc_enabled = true;
+        brake_requested = true;
+        torque_requested = false;
+        requested_torque = Float.max engine_floor torque;
+        requested_decel = overshoot;
+        service_acc = false }
+    end
+    else begin
+      t.release_overshoot <- 0.0;
+      { acc_enabled = true;
+        brake_requested = false;
+        torque_requested = true;
+        requested_torque = torque;
+        requested_decel = 0.0;
+        service_acc = false }
+    end
+  end
+  else begin
+    t.prev_decel <- (if Float.is_finite a then Float.min 0.0 a else t.prev_decel);
+    t.release_overshoot <- 0.0;
+    { acc_enabled = true;
+      brake_requested = true;
+      torque_requested = false;
+      (* The engine is simultaneously commanded to its floor while the
+         service brakes make up the rest — so the bus shows a negative
+         engine torque during braking. *)
+      requested_torque = engine_floor;
+      requested_decel = a;
+      service_acc = false }
+  end
+
+let step t ~dt (i : inputs) =
+  (* The feature's one self-check: an undecodable headway selection trips
+     the service indicator.  The same branch clears ACCEnabled, which is
+     why Rule #0 holds by construction. *)
+  if i.sel_headway < 0 || i.sel_headway > 2 then begin
+    t.mode <- Fault;
+    t.integrator <- 0.0;
+    t.prev_decel <- 0.0;
+    t.release_overshoot <- 0.0;
+    { idle_outputs with service_acc = true }
+  end
+  else begin
+    let engage = i.acc_set_speed > 5.0 && not (i.brake_ped_pres >= 3.0) in
+    (* NaN brake pressure slips through the comparison above — written for
+       the nominal case, again. *)
+    match t.mode, engage with
+    | (Standby | Fault), false ->
+      t.mode <- Standby;
+      idle_outputs
+    | (Standby | Fault), true ->
+      t.mode <- Engaged;
+      t.integrator <- 0.0;
+      engaged_outputs t ~dt i
+    | Engaged, false ->
+      t.mode <- Standby;
+      t.integrator <- 0.0;
+      t.prev_decel <- 0.0;
+      t.release_overshoot <- 0.0;
+      idle_outputs
+    | Engaged, true -> engaged_outputs t ~dt i
+  end

@@ -1,0 +1,74 @@
+(** The Full Speed Range Adaptive Cruise Control feature under test.
+
+    A faithful stand-in for the paper's third-party prototype module: a
+    plausible ACC control law with — deliberately — {e no input
+    validation}.  Velocity, TargetRange, TargetRelVel and ACCSetSpeed feed
+    the control arithmetic unchecked, so exceptional or absurd inputs
+    propagate straight into torque and deceleration requests (the paper's
+    core robustness finding).  It also reproduces two behaviours the paper
+    reports: a single-cycle positive [RequestedDecel] blip when an abrupt
+    input step snaps the controller out of hard braking (the Rule #5
+    transient), and a [ServiceACC] flag that, by construction, always
+    forces [ACCEnabled] off in the same cycle (why Rule #0 never fires). *)
+
+type inputs = {
+  velocity : float;
+  accel_ped_pos : float;
+  brake_ped_pres : float;
+  acc_set_speed : float;
+  throt_pos : float;
+  vehicle_ahead : bool;
+  target_range : float;
+  target_rel_vel : float;
+  sel_headway : int;
+}
+
+type outputs = {
+  acc_enabled : bool;
+  brake_requested : bool;
+  torque_requested : bool;
+  requested_torque : float;  (** N*m at the wheel *)
+  requested_decel : float;   (** m/s^2, negative when decelerating *)
+  service_acc : bool;
+}
+
+type mode = Standby | Engaged | Fault
+
+type gains = {
+  kp_speed : float;      (** speed-error accel gain, 1/s *)
+  ki_speed : float;      (** integral gain *)
+  k_gap : float;         (** gap-error accel gain, 1/s^2 *)
+  k_closing : float;     (** relative-velocity gain, 1/s *)
+  min_gap : float;       (** m, standstill gap *)
+  accel_limit : float;   (** m/s^2, commanded acceleration ceiling *)
+  decel_limit : float;   (** m/s^2 magnitude, commanded floor *)
+  blip_threshold : float;
+      (** m/s^2: a one-cycle decel step larger than this triggers the
+          release-overshoot blip *)
+}
+
+val default_gains : gains
+
+val headway_time : int -> float
+(** Seconds of headway per [SelHeadway] selection: 1.0 / 1.5 / 2.0.
+    Out-of-range selections fall back to 2.0 — but also raise the
+    feature's internal fault (see {!step}). *)
+
+type t
+
+val create : ?gains:gains -> ?vehicle_mass:float -> ?wheel_radius:float ->
+  unit -> t
+
+val mode : t -> mode
+
+val step : t -> dt:float -> inputs -> outputs
+(** One 10 ms control cycle.  Engagement logic: engaged while
+    [acc_set_speed > 5.0] and the brake pedal is not pressed
+    ([brake_ped_pres < 3.0]); an out-of-range [sel_headway] (possible only
+    off the HIL, which type-checks enums) trips [Fault]: [service_acc]
+    true and every control output inert. *)
+
+val reset : t -> unit
+
+val idle_outputs : outputs
+(** The all-off output vector (feature disengaged). *)

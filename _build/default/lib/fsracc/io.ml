@@ -1,0 +1,136 @@
+module Def = Monitor_signal.Def
+module Can = Monitor_can
+
+type direction = Input | Output
+
+let fast_period_ms = 10
+
+let slow_period_ms = 40
+
+let fdef ?(period = fast_period_ms) name lo hi unit_name description =
+  Def.make ~name ~kind:(Def.Float_kind { min = lo; max = hi }) ~unit_name
+    ~description ~period_ms:period ()
+
+let bdef ?(period = fast_period_ms) name description =
+  Def.make ~name ~kind:Def.Bool_kind ~description ~period_ms:period ()
+
+let signals =
+  [ (Input, fdef "Velocity" 0.0 80.0 "m/s" "forward speed of the vehicle");
+    (Input, fdef "AccelPedPos" 0.0 100.0 "%" "accelerator pedal position");
+    (Input, fdef "BrakePedPres" 0.0 200.0 "bar" "brake pedal pressure");
+    ( Input,
+      fdef ~period:slow_period_ms "ACCSetSpeed" 0.0 60.0 "m/s"
+        "commanded cruising speed" );
+    (Input, fdef "ThrotPos" 0.0 100.0 "%" "throttle opening");
+    (Input, bdef "VehicleAhead" "a vehicle is detected ahead in the lane");
+    (Input, fdef "TargetRange" 0.0 200.0 "m" "distance to the vehicle ahead");
+    ( Input,
+      fdef "TargetRelVel" (-60.0) 60.0 "m/s"
+        "relative velocity to the vehicle ahead" );
+    ( Input,
+      Def.make ~name:"SelHeadway" ~kind:(Def.Enum_kind { n_values = 3 })
+        ~description:"selected headway distance" ~period_ms:slow_period_ms () );
+    ( Output,
+      bdef ~period:slow_period_ms "ACCEnabled"
+        "the ACC believes it controls the vehicle" );
+    ( Output,
+      bdef ~period:slow_period_ms "BrakeRequested"
+        "the ACC is requesting a deceleration" );
+    ( Output,
+      bdef ~period:slow_period_ms "TorqueRequested"
+        "the ACC is requesting engine torque" );
+    ( Output,
+      fdef ~period:slow_period_ms "RequestedTorque" (-500.0) 3000.0 "N*m"
+        "additional torque the engine controller should provide" );
+    ( Output,
+      fdef ~period:slow_period_ms "RequestedDecel" (-9.0) 1.0 "m/s^2"
+        "requested deceleration (negative) for the brake controller" );
+    ( Output,
+      bdef ~period:slow_period_ms "ServiceACC"
+        "feature fault indicator for the driver" ) ]
+
+let input_names =
+  List.filter_map
+    (fun (dir, d) -> if dir = Input then Some d.Def.name else None)
+    signals
+
+let output_names =
+  List.filter_map
+    (fun (dir, d) -> if dir = Output then Some d.Def.name else None)
+    signals
+
+let find name =
+  List.find_map
+    (fun ((_ : direction), d) ->
+      if String.equal d.Def.name name then Some d else None)
+    signals
+
+let find_exn name =
+  match find name with
+  | Some d -> d
+  | None -> raise Not_found
+
+let float_input_names =
+  List.filter_map
+    (fun (dir, d) ->
+      match dir, d.Def.kind with
+      | Input, Def.Float_kind _ -> Some d.Def.name
+      | (Input | Output), _ -> None)
+    signals
+
+(* Network layout --------------------------------------------------------- *)
+
+let f32 signal_name start_bit =
+  Can.Coding.make ~signal_name ~start_bit ~length:32
+    ~byte_order:Can.Bitfield.Little_endian ~repr:Can.Coding.Raw_float32
+
+let bit signal_name start_bit =
+  Can.Coding.make ~signal_name ~start_bit ~length:1
+    ~byte_order:Can.Bitfield.Little_endian ~repr:Can.Coding.Raw_bool
+
+let enum4 signal_name start_bit =
+  Can.Coding.make ~signal_name ~start_bit ~length:4
+    ~byte_order:Can.Bitfield.Little_endian ~repr:Can.Coding.Raw_enum
+
+let dbc =
+  Can.Dbc.create
+    [ Can.Message.make ~name:"VehicleState" ~id:0x100 ~dlc:8
+        ~period_ms:fast_period_ms
+        ~codings:[ f32 "Velocity" 0; f32 "ThrotPos" 32 ]
+        ();
+      Can.Message.make ~name:"DriverInput" ~id:0x110 ~dlc:8
+        ~period_ms:fast_period_ms
+        ~codings:[ f32 "AccelPedPos" 0; f32 "BrakePedPres" 32 ]
+        ();
+      Can.Message.make ~name:"DriverSettings" ~id:0x120 ~dlc:5
+        ~period_ms:slow_period_ms
+        ~codings:[ f32 "ACCSetSpeed" 0; enum4 "SelHeadway" 32 ]
+        ();
+      Can.Message.make ~name:"RadarTrack" ~id:0x130 ~dlc:8
+        ~period_ms:fast_period_ms
+        ~codings:[ f32 "TargetRange" 0; f32 "TargetRelVel" 32 ]
+        ();
+      Can.Message.make ~name:"RadarStatus" ~id:0x138 ~dlc:1
+        ~period_ms:fast_period_ms
+        ~codings:[ bit "VehicleAhead" 0 ]
+        ();
+      Can.Message.make ~name:"AccCommand" ~id:0x150 ~dlc:8
+        ~period_ms:slow_period_ms
+        ~codings:[ f32 "RequestedTorque" 0; f32 "RequestedDecel" 32 ]
+        ();
+      Can.Message.make ~name:"AccStatus" ~id:0x158 ~dlc:1
+        ~period_ms:slow_period_ms
+        ~codings:
+          [ bit "ACCEnabled" 0; bit "BrakeRequested" 1;
+            bit "TorqueRequested" 2; bit "ServiceACC" 3 ]
+        () ]
+
+let figure1 ppf () =
+  Fmt.pf ppf "@[<v>%-6s %-16s %-8s %s@ " "I/O" "Name" "Type" "Period";
+  List.iter
+    (fun (dir, d) ->
+      Fmt.pf ppf "%-6s %-16s %-8s %dms@ "
+        (match dir with Input -> "Input" | Output -> "Output")
+        d.Def.name (Def.type_string d) d.Def.period_ms)
+    signals;
+  Fmt.pf ppf "@]"

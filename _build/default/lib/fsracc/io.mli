@@ -1,0 +1,49 @@
+(** The FSRACC module's I/O signals — Figure 1 of the paper — and their
+    layout on the vehicle's CAN network.
+
+    Two broadcast periods exist, the slower one four times the faster
+    (§V-C1): plant and radar state go out every 10 ms, while driver
+    settings and the ACC's own command outputs go out every 40 ms —
+    [RequestedTorque] being slow is precisely what made naive
+    tick-to-tick deltas misleading in the paper. *)
+
+type direction = Input | Output
+
+val signals : (direction * Monitor_signal.Def.t) list
+(** The fifteen Figure 1 signals, in the paper's order. *)
+
+val input_names : string list
+
+val output_names : string list
+
+val find : string -> Monitor_signal.Def.t option
+
+val find_exn : string -> Monitor_signal.Def.t
+(** @raise Not_found on unknown names. *)
+
+val float_input_names : string list
+(** The eight injection targets of the paper's campaigns are [input_names];
+    of these, the float-typed ones are the Ballista targets. *)
+
+(** {2 Network layout} *)
+
+val dbc : Monitor_can.Dbc.t
+(** Messages:
+    - [VehicleState] (0x100, 10 ms): Velocity, ThrotPos
+    - [DriverInput]  (0x110, 10 ms): AccelPedPos, BrakePedPres
+    - [RadarTrack]   (0x130, 10 ms): TargetRange, TargetRelVel
+    - [RadarStatus]  (0x138, 10 ms): VehicleAhead
+    - [DriverSettings] (0x120, 40 ms): ACCSetSpeed, SelHeadway
+    - [AccCommand]   (0x150, 40 ms): RequestedTorque, RequestedDecel
+    - [AccStatus]    (0x158, 40 ms): ACCEnabled, BrakeRequested,
+      TorqueRequested, ServiceACC
+
+    Floats ride as raw IEEE-754 single precision, so NaN and infinities
+    survive the wire — matching the Simulink-generated ECUs of the
+    prototype platform. *)
+
+val fast_period_ms : int
+val slow_period_ms : int
+
+val figure1 : Format.formatter -> unit -> unit
+(** Render the Figure 1 table. *)

@@ -1,0 +1,1 @@
+lib/hil/mux.ml: Hashtbl Monitor_signal

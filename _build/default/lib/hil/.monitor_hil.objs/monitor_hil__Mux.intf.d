@@ -1,0 +1,1 @@
+lib/hil/mux.mli: Monitor_signal

@@ -1,0 +1,1 @@
+lib/hil/scenario.ml: List Monitor_vehicle

@@ -1,0 +1,1 @@
+lib/hil/scenario.mli: Monitor_vehicle

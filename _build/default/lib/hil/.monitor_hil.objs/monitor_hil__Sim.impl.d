@@ -1,0 +1,1 @@
+lib/hil/sim.ml: Float Hashtbl List Monitor_can Monitor_fsracc Monitor_signal Monitor_trace Monitor_util Monitor_vehicle Mux Option Scenario Typecheck

@@ -1,0 +1,1 @@
+lib/hil/sim.mli: Monitor_signal Monitor_trace Scenario

@@ -1,0 +1,1 @@
+lib/hil/typecheck.ml: Monitor_signal Printf

@@ -1,0 +1,1 @@
+lib/hil/typecheck.mli: Monitor_signal

@@ -1,0 +1,23 @@
+type entry =
+  | Override of Monitor_signal.Value.t
+  | Transform of (Monitor_signal.Value.t -> Monitor_signal.Value.t)
+
+type t = (string, entry) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let set t ~signal ~value = Hashtbl.replace t signal (Override value)
+
+let set_transform t ~signal f = Hashtbl.replace t signal (Transform f)
+
+let clear t ~signal = Hashtbl.remove t signal
+
+let clear_all t = Hashtbl.reset t
+
+let active t = Hashtbl.fold (fun signal _ acc -> signal :: acc) t []
+
+let apply t ~signal true_value =
+  match Hashtbl.find_opt t signal with
+  | Some (Override injected) -> injected
+  | Some (Transform f) -> f true_value
+  | None -> true_value

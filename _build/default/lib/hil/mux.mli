@@ -1,0 +1,33 @@
+(** Injection multiplexors.
+
+    The paper routed each FSRACC input through an added multiplexor with an
+    inject value and an enable, controllable from ControlDesk/rtplib: with
+    the enable off the true signal passes through, with it on the injected
+    value replaces it on the network path — so the feature {e and} the
+    passive monitor both see the faulted value.  One table instance covers
+    all input signals. *)
+
+type t
+
+val create : unit -> t
+
+val set : t -> signal:string -> value:Monitor_signal.Value.t -> unit
+(** Enable injection on a signal (overwrites a previous injection). *)
+
+val set_transform :
+  t -> signal:string -> (Monitor_signal.Value.t -> Monitor_signal.Value.t) ->
+  unit
+(** Value-dependent injection: the function is applied to the live true
+    value on every pass — how stuck/flipped-bit faults are modelled (the
+    corruption rides on the changing signal instead of freezing it). *)
+
+val clear : t -> signal:string -> unit
+
+val clear_all : t -> unit
+
+val active : t -> string list
+(** Names of signals currently injected. *)
+
+val apply : t -> signal:string -> Monitor_signal.Value.t ->
+  Monitor_signal.Value.t
+(** [apply t ~signal true_value] is the effective value after the mux. *)

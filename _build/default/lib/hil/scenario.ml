@@ -1,0 +1,118 @@
+module Lead = Monitor_vehicle.Lead
+module Road = Monitor_vehicle.Road
+
+type driver_action =
+  | Set_acc_speed of float
+  | Select_headway of int
+  | Press_accel of float
+  | Press_brake of float
+  | Release_pedals
+
+type t = {
+  name : string;
+  description : string;
+  duration : float;
+  ego_speed : float;
+  road : Road.t;
+  lead_initial : (float * float) option;
+  lead_events : (float * Lead.action) list;
+  driver_events : (float * driver_action) list;
+  radar_noise : float;
+  radar_dropout : float;
+}
+
+let make ?(description = "") ?(duration = 30.0) ?(ego_speed = 25.0)
+    ?(road = Road.flat) ?(lead_initial = None) ?(lead_events = [])
+    ?(driver_events = []) ?(radar_noise = 0.0) ?(radar_dropout = 0.0) ~name
+    () =
+  if duration <= 0.0 then invalid_arg "Scenario.make: duration must be positive";
+  { name; description; duration; ego_speed; road; lead_initial; lead_events;
+    driver_events; radar_noise; radar_dropout }
+
+let engage_at_start ?(speed = 27.0) ?(headway = 1) () =
+  [ (0.0, Select_headway headway); (0.0, Set_acc_speed speed) ]
+
+let steady_follow ?(duration = 26.0) () =
+  make ~name:"steady_follow"
+    ~description:"cruise behind a slightly slower lead (Table I workload)"
+    ~duration ~ego_speed:25.0
+    ~lead_initial:(Some (60.0, 24.0))
+    ~driver_events:(engage_at_start ())
+    ()
+
+let approach_and_follow ?(duration = 40.0) () =
+  make ~name:"approach_and_follow"
+    ~description:"empty road, slower lead enters sensor range"
+    ~duration ~ego_speed:25.0
+    ~lead_events:[ (8.0, Lead.Appear { gap = 140.0; speed = 20.0 }) ]
+    ~driver_events:(engage_at_start ())
+    ()
+
+let cut_in ?(duration = 40.0) () =
+  make ~name:"cut_in"
+    ~description:"slow vehicle cuts in close while ego recovers speed"
+    ~duration ~ego_speed:18.0
+    ~lead_initial:(Some (80.0, 15.0))
+    ~lead_events:
+      [ (* The original lead drifts away, ego speeds back up toward the
+           set speed, then a slower car drops in at a short gap. *)
+        (6.0, Lead.Set_speed 26.0);
+        (18.0, Lead.Appear { gap = 13.0; speed = 17.0 });
+        (19.5, Lead.Set_speed 25.0);
+        (30.0, Lead.Set_speed 22.0) ]
+    ~driver_events:(engage_at_start ~speed:24.0 ~headway:2 ())
+    ()
+
+let overtake ?(duration = 45.0) () =
+  make ~name:"overtake"
+    ~description:"lead leaves the lane as ego passes; faster lead later"
+    ~duration ~ego_speed:22.0
+    ~lead_initial:(Some (40.0, 20.0))
+    ~lead_events:
+      [ (12.0, Lead.Disappear);
+        (25.0, Lead.Appear { gap = 70.0; speed = 27.0 }) ]
+    ~driver_events:(engage_at_start ~speed:26.0 ())
+    ()
+
+let hill_run ?(duration = 90.0) () =
+  make ~name:"hill_run" ~description:"rolling grades, no target"
+    ~duration ~ego_speed:24.0
+    ~road:(Road.rolling ~start:200.0 ~wavelength:400.0 ~amplitude:0.055 ())
+    ~driver_events:(engage_at_start ~speed:25.0 ())
+    ()
+
+let stop_and_go ?(duration = 80.0) () =
+  make ~name:"stop_and_go"
+    ~description:"lead brakes to standstill and pulls away"
+    ~duration ~ego_speed:15.0
+    ~lead_initial:(Some (35.0, 15.0))
+    ~lead_events:
+      [ (10.0, Lead.Set_speed 6.0);
+        (20.0, Lead.Set_speed 0.0);
+        (35.0, Lead.Set_speed 12.0);
+        (55.0, Lead.Set_speed 3.0);
+        (65.0, Lead.Set_speed 14.0) ]
+    ~driver_events:(engage_at_start ~speed:20.0 ~headway:0 ())
+    ()
+
+let urban_following ?(duration = 70.0) () =
+  make ~name:"urban_following"
+    ~description:"low-speed following with speed changes and a dropout"
+    ~duration ~ego_speed:10.0
+    ~lead_initial:(Some (25.0, 9.0))
+    ~lead_events:
+      [ (8.0, Lead.Set_speed 14.0);
+        (20.0, Lead.Set_speed 6.0);
+        (32.0, Lead.Set_speed 13.0);
+        (45.0, Lead.Set_speed 8.0);
+        (58.0, Lead.Set_speed 15.0) ]
+    ~driver_events:(engage_at_start ~speed:16.0 ~headway:0 ())
+    ~radar_dropout:0.02
+    ()
+
+let with_noise sigma t = { t with radar_noise = sigma }
+
+let road_scenarios () =
+  List.map (with_noise 0.4)
+    [ approach_and_follow (); cut_in (); overtake (); hill_run ();
+      stop_and_go (); urban_following () ]

@@ -1,0 +1,67 @@
+(** Test scenarios: scripted driver, lead vehicle and road.
+
+    The HIL campaigns of the paper ran against steady target-following;
+    the real-vehicle logs covered "a couple hours of representative
+    driving" — urban following, cut-ins, overtaking, hills, stop-and-go —
+    which is what made Rules #2/#3/#4 fire "reasonably".  Each scenario
+    here is a deterministic script for those situations. *)
+
+type driver_action =
+  | Set_acc_speed of float     (** m/s; > 5 engages the feature *)
+  | Select_headway of int
+  | Press_accel of float       (** pedal %% *)
+  | Press_brake of float       (** bar *)
+  | Release_pedals
+
+type t = {
+  name : string;
+  description : string;
+  duration : float;                        (** seconds *)
+  ego_speed : float;                       (** initial, m/s *)
+  road : Monitor_vehicle.Road.t;
+  lead_initial : (float * float) option;   (** (gap m, speed m/s) *)
+  lead_events : (float * Monitor_vehicle.Lead.action) list;
+  driver_events : (float * driver_action) list;
+  radar_noise : float;                     (** sigma, m *)
+  radar_dropout : float;                   (** probability per second *)
+}
+
+val make :
+  ?description:string -> ?duration:float -> ?ego_speed:float ->
+  ?road:Monitor_vehicle.Road.t -> ?lead_initial:(float * float) option ->
+  ?lead_events:(float * Monitor_vehicle.Lead.action) list ->
+  ?driver_events:(float * driver_action) list -> ?radar_noise:float ->
+  ?radar_dropout:float -> name:string -> unit -> t
+
+(** {2 Standard scenarios} *)
+
+val steady_follow : ?duration:float -> unit -> t
+(** The Table I workload: cruise at 27 m/s set speed behind a 24 m/s lead
+    60 m ahead.  Default duration 26 s (2 s settle + 20 s injection hold +
+    tail). *)
+
+val approach_and_follow : ?duration:float -> unit -> t
+(** Empty road, then a slower lead enters radar range — exercises the
+    TargetRange 0-to-value activation jump (§V-C2). *)
+
+val cut_in : ?duration:float -> unit -> t
+(** Following at speed; a slower vehicle cuts in at a small gap while the
+    ego is still recovering speed — Rule #2's "reasonable violation". *)
+
+val overtake : ?duration:float -> unit -> t
+(** The lead leaves the lane (ego passes), a faster one appears later. *)
+
+val hill_run : ?duration:float -> unit -> t
+(** No target, rolling grades — downhill overspeed then climbing torque,
+    Rules #3/#4's "reasonable violations". *)
+
+val stop_and_go : ?duration:float -> unit -> t
+(** Lead brakes to standstill and pulls away again — full-speed-range
+    behaviour with small headways. *)
+
+val urban_following : ?duration:float -> unit -> t
+(** Low-speed following with speed changes and a brief radar dropout. *)
+
+val road_scenarios : unit -> t list
+(** The "real vehicle log" set: all of the above except [steady_follow],
+    with sensor noise enabled. *)

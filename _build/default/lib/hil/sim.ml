@@ -1,0 +1,287 @@
+module Value = Monitor_signal.Value
+module Vehicle = Monitor_vehicle
+module Fsracc = Monitor_fsracc
+module Can = Monitor_can
+
+type environment = Hil | Road
+
+type injection_command =
+  | Set of string * Value.t
+  | Set_transform of string * (Value.t -> Value.t)
+  | Clear of string
+  | Clear_all
+
+type plan = (float * injection_command) list
+
+type config = {
+  scenario : Scenario.t;
+  environment : environment;
+  seed : int64;
+  timestep : float;
+  fast_jitter_ms : float;
+  slow_jitter_ms : float;
+  bus_error_rate : float;
+}
+
+let default_config ?(environment = Hil) ?(seed = 1L) scenario =
+  { scenario; environment; seed; timestep = 0.01; fast_jitter_ms = 0.5;
+    slow_jitter_ms = 12.0; bus_error_rate = 0.0 }
+
+type result = {
+  trace : Monitor_trace.Trace.t;
+  frames_captured : int;
+  bus_bits : int;
+  rejected_injections : (float * string * string) list;
+  bus_retransmissions : int;
+  frames_lost : int;
+  collisions : (float * float) list;
+  final_ego_speed : float;
+}
+
+(* Driver state driven by scenario events. *)
+type driver = {
+  mutable accel_pedal : float;
+  mutable brake_pedal : float;
+  mutable set_speed : float;
+  mutable headway : int;
+}
+
+let apply_driver_action d = function
+  | Scenario.Set_acc_speed v -> d.set_speed <- v
+  | Scenario.Select_headway h -> d.headway <- h
+  | Scenario.Press_accel pct -> d.accel_pedal <- pct
+  | Scenario.Press_brake bar -> d.brake_pedal <- bar
+  | Scenario.Release_pedals ->
+    d.accel_pedal <- 0.0;
+    d.brake_pedal <- 0.0
+
+let check_plan plan =
+  let rec ordered = function
+    | [] | [ _ ] -> ()
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if a > b then invalid_arg "Sim.run: plan out of time order";
+      ordered rest
+  in
+  ordered plan;
+  List.iter
+    (fun (_, cmd) ->
+      match cmd with
+      | Set (signal, _) | Set_transform (signal, _) | Clear signal ->
+        if Fsracc.Io.find signal = None then
+          invalid_arg ("Sim.run: unknown signal in plan: " ^ signal)
+      | Clear_all -> ())
+    plan
+
+let run ?(plan = []) config =
+  if config.timestep <= 0.0 then invalid_arg "Sim.run: timestep must be positive";
+  check_plan plan;
+  let sc = config.scenario in
+  let prng = Monitor_util.Prng.create config.seed in
+  let radar_seed = Monitor_util.Prng.next_int64 prng in
+  let jitter_seed = Monitor_util.Prng.next_int64 prng in
+  (* Plant.  Scenario gaps are radar gaps (bumper to bumper); the lead's
+     coordinate is measured from the ego's centre, so the ego length is
+     added back. *)
+  let ego_length = Vehicle.Params.default.Vehicle.Params.length in
+  let lead =
+    Vehicle.Lead.create
+      ~initial:
+        (Option.map
+           (fun (gap, speed) -> (gap +. ego_length, speed))
+           sc.Scenario.lead_initial)
+      ~events:
+        (List.map
+           (fun (time, action) ->
+             match action with
+             | Vehicle.Lead.Appear { gap; speed } ->
+               (time, Vehicle.Lead.Appear { gap = gap +. ego_length; speed })
+             | Vehicle.Lead.Set_speed _ | Vehicle.Lead.Disappear ->
+               (time, action))
+           sc.Scenario.lead_events)
+      ()
+  in
+  let radar =
+    Vehicle.Radar.create ~noise_sigma:sc.Scenario.radar_noise
+      ~dropout_per_s:sc.Scenario.radar_dropout ~seed:radar_seed ()
+  in
+  let world =
+    Vehicle.World.create ~road:sc.Scenario.road ~radar
+      ~ego_speed:sc.Scenario.ego_speed ~lead ()
+  in
+  let params = Vehicle.Params.default in
+  (* Feature. *)
+  let controller = Fsracc.Controller.create () in
+  (* Network. *)
+  let bus = Can.Bus.create () in
+  if config.bus_error_rate > 0.0 then begin
+    let noise = Monitor_util.Prng.create (Monitor_util.Prng.next_int64 prng) in
+    Can.Bus.set_error_model bus (fun ~time:_ _frame ->
+        if Monitor_util.Prng.float noise 1.0 < config.bus_error_rate then
+          `Corrupt
+        else `Deliver)
+  end;
+  let logger = Can.Logger.attach bus in
+  let scheduler = Can.Scheduler.create ~seed:jitter_seed bus in
+  let store : (string, Value.t) Hashtbl.t = Hashtbl.create 32 in
+  let lookup name = Hashtbl.find_opt store name in
+  (* Messages of one ECU go out back to back (one group): the radar's
+     track data and status stay mutually consistent, as do the ACC's
+     command values and flags. *)
+  let message_groups =
+    [ [ "VehicleState" ]; [ "DriverInput" ]; [ "DriverSettings" ];
+      [ "RadarTrack"; "RadarStatus" ]; [ "AccCommand"; "AccStatus" ] ]
+  in
+  List.iter
+    (fun names ->
+      let messages =
+        List.map
+          (fun name ->
+            match Can.Dbc.find_by_name Fsracc.Io.dbc name with
+            | Some m -> m
+            | None -> assert false)
+          names
+      in
+      let jitter_ms =
+        match messages with
+        | m :: _ when m.Can.Message.period_ms >= Fsracc.Io.slow_period_ms ->
+          config.slow_jitter_ms
+        | _ :: _ | [] -> config.fast_jitter_ms
+      in
+      Can.Scheduler.add_group scheduler ~messages ~jitter_ms ~lookup ())
+    message_groups;
+  (* Injection. *)
+  let muxes = Mux.create () in
+  let rejected = ref [] in
+  let apply_injection time cmd =
+    match cmd with
+    | Clear signal -> Mux.clear muxes ~signal
+    | Clear_all -> Mux.clear_all muxes
+    | Set_transform (signal, f) -> Mux.set_transform muxes ~signal f
+    | Set (signal, value) -> begin
+      let def = Fsracc.Io.find_exn signal in
+      match config.environment with
+      | Road -> Mux.set muxes ~signal ~value
+      | Hil -> begin
+        match Typecheck.check def value with
+        | Typecheck.Accepted -> Mux.set muxes ~signal ~value
+        | Typecheck.Rejected reason ->
+          rejected := (time, signal, reason) :: !rejected
+      end
+    end
+  in
+  (* Scripts. *)
+  let driver =
+    { accel_pedal = 0.0; brake_pedal = 0.0; set_speed = 0.0; headway = 1 }
+  in
+  let pending_driver = ref sc.Scenario.driver_events in
+  let pending_plan = ref plan in
+  let collisions = ref [] in
+  let dt = config.timestep in
+  let steps = int_of_float (Float.round (sc.Scenario.duration /. dt)) in
+  for k = 0 to steps - 1 do
+    let now = float_of_int k *. dt in
+    (* Scripts due at this tick. *)
+    let rec fire_driver () =
+      match !pending_driver with
+      | (time, action) :: rest when time <= now ->
+        apply_driver_action driver action;
+        pending_driver := rest;
+        fire_driver ()
+      | _ :: _ | [] -> ()
+    in
+    fire_driver ();
+    let rec fire_plan () =
+      match !pending_plan with
+      | (time, cmd) :: rest when time <= now ->
+        apply_injection now cmd;
+        pending_plan := rest;
+        fire_plan ()
+      | _ :: _ | [] -> ()
+    in
+    fire_plan ();
+    (* Raw (true) input signal values from plant and driver. *)
+    let plant = Vehicle.World.last world in
+    let raw =
+      [ ("Velocity", Value.Float plant.Vehicle.World.velocity);
+        ("AccelPedPos", Value.Float driver.accel_pedal);
+        ("BrakePedPres", Value.Float driver.brake_pedal);
+        ("ACCSetSpeed", Value.Float driver.set_speed);
+        ("ThrotPos", Value.Float plant.Vehicle.World.throttle_pos);
+        ( "VehicleAhead",
+          Value.Bool plant.Vehicle.World.radar.Vehicle.Radar.vehicle_ahead );
+        ( "TargetRange",
+          Value.Float plant.Vehicle.World.radar.Vehicle.Radar.target_range );
+        ( "TargetRelVel",
+          Value.Float plant.Vehicle.World.radar.Vehicle.Radar.target_rel_vel );
+        ("SelHeadway", Value.Enum driver.headway) ]
+    in
+    (* Through the injection muxes: feature and network both see these. *)
+    let effective =
+      List.map (fun (signal, v) -> (signal, Mux.apply muxes ~signal v)) raw
+    in
+    let get name = List.assoc name effective in
+    let inputs =
+      { Fsracc.Controller.velocity = Value.as_float (get "Velocity");
+        accel_ped_pos = Value.as_float (get "AccelPedPos");
+        brake_ped_pres = Value.as_float (get "BrakePedPres");
+        acc_set_speed = Value.as_float (get "ACCSetSpeed");
+        throt_pos = Value.as_float (get "ThrotPos");
+        vehicle_ahead = Value.as_bool (get "VehicleAhead");
+        target_range = Value.as_float (get "TargetRange");
+        target_rel_vel = Value.as_float (get "TargetRelVel");
+        sel_headway =
+          (match get "SelHeadway" with
+           | Value.Enum i -> i
+           | Value.Float x when Float.is_finite x -> int_of_float x
+           | Value.Float _ -> -1
+           | Value.Bool b -> if b then 1 else 0) }
+    in
+    let out = Fsracc.Controller.step controller ~dt inputs in
+    (* Publish this tick's view of the network. *)
+    List.iter (fun (name, v) -> Hashtbl.replace store name v) effective;
+    Hashtbl.replace store "ACCEnabled" (Value.Bool out.Fsracc.Controller.acc_enabled);
+    Hashtbl.replace store "BrakeRequested"
+      (Value.Bool out.Fsracc.Controller.brake_requested);
+    Hashtbl.replace store "TorqueRequested"
+      (Value.Bool out.Fsracc.Controller.torque_requested);
+    Hashtbl.replace store "RequestedTorque"
+      (Value.Float out.Fsracc.Controller.requested_torque);
+    Hashtbl.replace store "RequestedDecel"
+      (Value.Float out.Fsracc.Controller.requested_decel);
+    Hashtbl.replace store "ServiceACC" (Value.Bool out.Fsracc.Controller.service_acc);
+    Can.Scheduler.advance scheduler ~to_time:(now +. dt);
+    (* Plant receives the feature's requests (via the engine/brake
+       controllers) plus any manual driver demand. *)
+    let manual_torque =
+      driver.accel_pedal /. 100.0 *. params.Vehicle.Params.max_wheel_torque *. 0.7
+    in
+    let feature_torque =
+      if out.Fsracc.Controller.acc_enabled && out.Fsracc.Controller.torque_requested
+      then out.Fsracc.Controller.requested_torque
+      else 0.0
+    in
+    let feature_brake =
+      if out.Fsracc.Controller.acc_enabled && out.Fsracc.Controller.brake_requested
+      then Float.max 0.0 (-.out.Fsracc.Controller.requested_decel)
+      else 0.0
+    in
+    let driver_brake = driver.brake_pedal *. 0.04 in
+    let before_gap = plant.Vehicle.World.true_gap in
+    let stepped =
+      Vehicle.World.step world ~dt ~now ~engine_request:(feature_torque +. manual_torque)
+        ~brake_decel_request:(feature_brake +. driver_brake)
+    in
+    (match before_gap, stepped.Vehicle.World.true_gap with
+     | Some g0, Some g1 when g0 > 0.0 && g1 <= 0.0 ->
+       collisions := (now +. dt, -.g1) :: !collisions
+     | _, _ -> ())
+  done;
+  let trace = Can.Logger.to_trace logger Fsracc.Io.dbc in
+  { trace;
+    frames_captured = Can.Logger.frame_count logger;
+    bus_bits = Can.Bus.bits_carried bus;
+    rejected_injections = List.rev !rejected;
+    bus_retransmissions = Can.Bus.retransmissions bus;
+    frames_lost = Can.Bus.frames_lost bus;
+    collisions = List.rev !collisions;
+    final_ego_speed = (Vehicle.World.last world).Vehicle.World.velocity }

@@ -1,0 +1,24 @@
+module Def = Monitor_signal.Def
+module Value = Monitor_signal.Value
+
+type verdict = Accepted | Rejected of string
+
+let check (def : Def.t) value =
+  match def.Def.kind, value with
+  | Def.Float_kind _, Value.Float _ -> Accepted
+  | Def.Bool_kind, Value.Bool _ -> Accepted
+  | Def.Enum_kind { n_values }, Value.Enum i ->
+    if i >= 0 && i < n_values then Accepted
+    else
+      Rejected
+        (Printf.sprintf "enum index %d outside 0..%d on %s" i (n_values - 1)
+           def.Def.name)
+  | (Def.Float_kind _ | Def.Bool_kind | Def.Enum_kind _), _ ->
+    Rejected
+      (Printf.sprintf "%s value on %s signal %s" (Value.type_name value)
+         (Def.type_string def) def.Def.name)
+
+let accepts def value =
+  match check def value with
+  | Accepted -> true
+  | Rejected _ -> false

@@ -1,0 +1,17 @@
+(** The HIL platform's strong type checking of injected values (§V-C3).
+
+    The dSPACE interface bounds-checked injections by data type: float
+    slots accepted any float {e including} NaN and infinities, boolean
+    slots accepted true/false, and enumeration slots accepted only declared
+    indices — out-of-range enum injections were impossible on the HIL even
+    though a real vehicle bus would carry them.  This asymmetry is the
+    paper's "system vs. model" lesson, so the check is explicit and can be
+    switched off (road mode). *)
+
+type verdict = Accepted | Rejected of string
+
+val check : Monitor_signal.Def.t -> Monitor_signal.Value.t -> verdict
+(** HIL rules as above: floats unconstrained in value but must be floats;
+    bools must be bools; enums must be declared indices. *)
+
+val accepts : Monitor_signal.Def.t -> Monitor_signal.Value.t -> bool

@@ -1,0 +1,1 @@
+lib/inject/ballista.ml: Array Float Int64

@@ -1,0 +1,1 @@
+lib/inject/campaign.ml: Fault Int64 List Monitor_fsracc Monitor_hil Monitor_util Printf String

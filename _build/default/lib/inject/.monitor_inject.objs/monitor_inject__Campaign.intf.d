@@ -1,0 +1,1 @@
+lib/inject/campaign.mli: Fault Monitor_hil

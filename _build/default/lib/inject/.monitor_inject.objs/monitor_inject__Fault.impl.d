@@ -1,0 +1,1 @@
+lib/inject/fault.ml: Ballista List Monitor_hil Monitor_signal Monitor_util

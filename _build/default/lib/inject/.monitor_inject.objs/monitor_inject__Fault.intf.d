@@ -1,0 +1,1 @@
+lib/inject/fault.mli: Monitor_hil Monitor_signal Monitor_util

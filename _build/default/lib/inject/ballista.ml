@@ -1,0 +1,27 @@
+let floats =
+  [| Float.nan;
+     Float.infinity;
+     Float.neg_infinity;
+     0.0;
+     -0.0;
+     1.0;
+     -1.0;
+     Float.pi;
+     Float.pi /. 2.0;
+     Float.pi /. 4.0;
+     2.0 *. Float.pi;
+     Float.exp 1.0;
+     Float.exp 1.0 /. 2.0;
+     Float.exp 1.0 /. 4.0;
+     sqrt 2.0;
+     sqrt 2.0 /. 2.0;
+     log 2.0;
+     log 2.0 /. 2.0;
+     4294967296.000001;
+     4294967295.9999995;
+     4.9406564584124654e-324;
+     -4.9406564584124654e-324 |]
+
+let contains x =
+  let bits = Int64.bits_of_float x in
+  Array.exists (fun y -> Int64.equal bits (Int64.bits_of_float y)) floats

@@ -1,0 +1,11 @@
+(** The Ballista-style exceptional value set.
+
+    Exactly the float set listed in §III-A of the paper: NaN, infinities,
+    signed zeros, small integers, multiples and fractions of pi, e, sqrt 2
+    and ln 2, the 2^32 boundary neighbours, and the smallest subnormals. *)
+
+val floats : float array
+(** 22 values, in the paper's order. *)
+
+val contains : float -> bool
+(** Membership by bit pattern (so NaN is found). *)

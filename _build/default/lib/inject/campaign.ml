@@ -1,0 +1,116 @@
+module Prng = Monitor_util.Prng
+module Sim = Monitor_hil.Sim
+module Io = Monitor_fsracc.Io
+
+type run = { run_label : string; plan : Sim.plan }
+
+type row = {
+  kind : Fault.kind;
+  kind_label : string;
+  target_label : string;
+  targets : string list;
+  runs : run list;
+}
+
+let single_target_names =
+  [ "Velocity"; "TargetRange"; "TargetRelVel"; "ACCSetSpeed"; "ThrotPos";
+    "AccelPedPos"; "BrakePedPres"; "SelHeadway" ]
+
+(* Table I prints the brake-pressure signal as "BrakePedPos". *)
+let target_label_of_signal = function
+  | "BrakePedPres" -> "BrakePedPos"
+  | s -> s
+
+let hold_duration = 20.0
+
+let default_start = 2.0
+
+let plan_of_commands ~start commands =
+  List.map (fun cmd -> (start, cmd)) commands
+  @ [ (start +. hold_duration, Sim.Clear_all) ]
+
+let injection_run prng kind ~start ~index targets =
+  let commands =
+    List.map (fun signal -> Fault.command prng kind (Io.find_exn signal)) targets
+  in
+  { run_label =
+      Printf.sprintf "%s/%s#%d" (Fault.kind_label kind)
+        (String.concat "+" (List.map target_label_of_signal targets))
+        index;
+    plan = plan_of_commands ~start commands }
+
+let value_row prng kind ~start ~values_per_test signal =
+  { kind;
+    kind_label = Fault.kind_label kind;
+    target_label = target_label_of_signal signal;
+    targets = [ signal ];
+    runs =
+      List.init values_per_test (fun i ->
+          injection_run prng kind ~start ~index:i [ signal ]) }
+
+let bitflip_row prng ~start ~flips_per_size signal =
+  let runs =
+    List.concat_map
+      (fun n_bits ->
+        List.init flips_per_size (fun i ->
+            injection_run prng (Fault.Bit_flip n_bits) ~start
+              ~index:((n_bits * 100) + i)
+              [ signal ]))
+      [ 1; 2; 4 ]
+  in
+  { kind = Fault.Bit_flip 1;
+    kind_label = "Bitflips";
+    target_label = target_label_of_signal signal;
+    targets = [ signal ];
+    runs }
+
+let single_rows ~seed ?(start = default_start) ?(values_per_test = 8)
+    ?(flips_per_size = 4) () =
+  let prng = Prng.create seed in
+  let random_rows =
+    List.map
+      (value_row prng Fault.Random_value ~start ~values_per_test)
+      single_target_names
+  in
+  let ballista_rows =
+    List.map (value_row prng Fault.Ballista ~start ~values_per_test)
+      single_target_names
+  in
+  let bitflip_rows =
+    List.map (bitflip_row prng ~start ~flips_per_size) single_target_names
+  in
+  random_rows @ ballista_rows @ bitflip_rows
+
+let range_plus = [ "TargetRange"; "TargetRelVel"; "VehicleAhead" ]
+
+let range_plus_set = range_plus @ [ "ACCSetSpeed" ]
+
+let all_inputs = Io.input_names
+
+let multi_row prng kind ~kind_label ~target_label ~start ~values_per_test
+    targets =
+  { kind;
+    kind_label;
+    target_label;
+    targets;
+    runs =
+      List.init values_per_test (fun i ->
+          injection_run prng kind ~start ~index:i targets) }
+
+let multi_rows ~seed ?(start = default_start) ?(values_per_test = 20) () =
+  let prng = Prng.create (Int64.add seed 1L) in
+  let row = multi_row prng ~start ~values_per_test in
+  [ row Fault.Ballista ~kind_label:"mBallista" ~target_label:"Range+" range_plus;
+    row Fault.Ballista ~kind_label:"mBallista" ~target_label:"All" all_inputs;
+    row Fault.Random_value ~kind_label:"mRandom" ~target_label:"Range+" range_plus;
+    row Fault.Random_value ~kind_label:"mRandom" ~target_label:"All" all_inputs;
+    row Fault.Random_value ~kind_label:"mRandom" ~target_label:"Range+Set"
+      range_plus_set;
+    row (Fault.Bit_flip 1) ~kind_label:"mBitflip1" ~target_label:"Range+" range_plus;
+    row (Fault.Bit_flip 2) ~kind_label:"mBitflip2" ~target_label:"Range+" range_plus;
+    row (Fault.Bit_flip 4) ~kind_label:"mBitflip4" ~target_label:"Range+" range_plus ]
+
+let table1 ~seed ?(values_per_test = 8) ?(flips_per_size = 4)
+    ?(multi_values_per_test = 20) () =
+  single_rows ~seed ~values_per_test ~flips_per_size ()
+  @ multi_rows ~seed ~values_per_test:multi_values_per_test ()

@@ -1,0 +1,50 @@
+(** Robustness-testing campaigns with the paper's Table I structure.
+
+    Single-target tests: for each of the eight FSRACC input targets,
+    one Random test and one Ballista test of eight injection values each,
+    and one bit-flip test of four injections per flip size (1, 2, 4).
+    Multi-target tests: eight tests of twenty injections each over the
+    signal groups "Range+" (TargetRange, TargetRelVel, VehicleAhead),
+    "Range+Set" (plus ACCSetSpeed) and "All" (all nine inputs).
+    Every injection is held for 20 s (time for the fault to manifest into
+    a specification violation). *)
+
+type run = {
+  run_label : string;
+  plan : Monitor_hil.Sim.plan;
+}
+
+type row = {
+  kind : Fault.kind;
+  kind_label : string;    (** Table I's left column, e.g. "mBitflip2" *)
+  target_label : string;  (** Table I's target column, e.g. "Range+" *)
+  targets : string list;
+  runs : run list;
+}
+
+val single_target_names : string list
+(** The eight injection targets, in Table I row order (the table says
+    "BrakePedPos" for the BrakePedPres signal; the label follows the
+    paper, the signal name follows Figure 1). *)
+
+val target_label_of_signal : string -> string
+
+val hold_duration : float
+(** 20 s. *)
+
+val default_start : float
+(** 2 s — the settle time before injection begins. *)
+
+val single_rows :
+  seed:int64 -> ?start:float -> ?values_per_test:int ->
+  ?flips_per_size:int -> unit -> row list
+(** The 24 single-target rows: Random*8, Ballista*8, Bitflips*8. *)
+
+val multi_rows : seed:int64 -> ?start:float -> ?values_per_test:int ->
+  unit -> row list
+(** The 8 multi-target rows, in Table I order. *)
+
+val table1 : seed:int64 -> ?values_per_test:int -> ?flips_per_size:int ->
+  ?multi_values_per_test:int -> unit -> row list
+(** All 32 rows.  Reducing the per-test counts gives a faster,
+    lower-coverage campaign (used by the benchmark harness). *)

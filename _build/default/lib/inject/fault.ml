@@ -1,0 +1,83 @@
+module Prng = Monitor_util.Prng
+module Def = Monitor_signal.Def
+module Value = Monitor_signal.Value
+
+type kind =
+  | Random_value
+  | Ballista
+  | Bit_flip of int
+
+let kind_label = function
+  | Random_value -> "Random"
+  | Ballista -> "Ballista"
+  | Bit_flip _ -> "Bitflips"
+
+let random_float_range = (-2000.0, 2000.0)
+
+let random_value prng (def : Def.t) =
+  match def.Def.kind with
+  | Def.Float_kind _ ->
+    let lo, hi = random_float_range in
+    Value.Float (Prng.float_range prng lo hi)
+  | Def.Bool_kind -> Value.Bool (Prng.bool prng)
+  | Def.Enum_kind _ ->
+    (* [0, maxint): the HIL's strong value checking rejects nearly all of
+       these, as it did on the paper's testbed. *)
+    Value.Enum (Prng.int prng max_int)
+
+let random_valid_value prng (def : Def.t) =
+  match def.Def.kind with
+  | Def.Float_kind { min; max } -> Value.Float (Prng.float_range prng min max)
+  | Def.Bool_kind -> Value.Bool (Prng.bool prng)
+  | Def.Enum_kind { n_values } -> Value.Enum (Prng.int prng n_values)
+
+let ballista_value prng (def : Def.t) =
+  match def.Def.kind with
+  | Def.Float_kind _ -> Value.Float (Prng.choose prng Ballista.floats)
+  | Def.Bool_kind | Def.Enum_kind _ -> random_valid_value prng def
+
+let image_width (def : Def.t) =
+  match def.Def.kind with
+  | Def.Float_kind _ -> 64
+  | Def.Bool_kind -> 1
+  | Def.Enum_kind _ -> 4
+
+let flip_positions prng ~n_bits def =
+  let width = image_width def in
+  let n = min n_bits width in
+  let rec draw chosen =
+    if List.length chosen >= n then chosen
+    else
+      let candidate = Prng.int prng width in
+      if List.mem candidate chosen then draw chosen
+      else draw (candidate :: chosen)
+  in
+  List.sort compare (draw [])
+
+let apply_flips positions value =
+  match value with
+  | Value.Float x ->
+    Value.Float
+      (Monitor_util.Float_bits.float_of_bits
+         (Monitor_util.Float_bits.flip_bits
+            (Monitor_util.Float_bits.bits_of_float x)
+            positions))
+  | Value.Bool b -> if positions = [] then Value.Bool b else Value.Bool (not b)
+  | Value.Enum i ->
+    let flipped =
+      List.fold_left (fun acc bit -> acc lxor (1 lsl bit)) i positions
+    in
+    Value.Enum flipped
+
+let command prng kind (def : Def.t) =
+  let name = def.Def.name in
+  match kind, def.Def.kind with
+  | Random_value, _ -> Monitor_hil.Sim.Set (name, random_value prng def)
+  | Ballista, _ -> Monitor_hil.Sim.Set (name, ballista_value prng def)
+  | Bit_flip _, Def.Enum_kind _ ->
+    (* Out-of-range enum results would be refused by the HIL type check;
+       the paper substituted random valid values for such targets. *)
+    Monitor_hil.Sim.Set (name, random_valid_value prng def)
+  | Bit_flip n, (Def.Float_kind _ | Def.Bool_kind) ->
+    let positions = flip_positions prng ~n_bits:n def in
+    Monitor_hil.Sim.Set_transform (name, apply_flips positions)

@@ -1,0 +1,52 @@
+(** Fault models: how one injected value (or corruption) is drawn.
+
+    Mirrors §III-A: random value injection draws floats from
+    \[-2000, 2000\] (chosen to straddle the plausible range of every
+    message while still hitting in-range values), booleans from
+    \{true, false\} and enumerations from \[0, maxint) — the HIL's type
+    checking then rejects almost all random enums, exactly as on the
+    paper's testbed.  Bit flips XOR randomly chosen bit positions of the
+    value's wire image and ride on the live signal.  Ballista injection
+    uses the exceptional float set; non-float targets fall back to random
+    valid values (the paper's concession to the HIL's checking). *)
+
+type kind =
+  | Random_value
+  | Ballista
+  | Bit_flip of int  (** number of bits flipped: 1, 2 or 4 *)
+
+val kind_label : kind -> string
+(** "Random", "Ballista", "Bitflips", as in Table I. *)
+
+val random_float_range : float * float
+(** (-2000, 2000). *)
+
+val random_value :
+  Monitor_util.Prng.t -> Monitor_signal.Def.t -> Monitor_signal.Value.t
+
+val random_valid_value :
+  Monitor_util.Prng.t -> Monitor_signal.Def.t -> Monitor_signal.Value.t
+(** Always passes the HIL type check (used for non-float Ballista and
+    bit-flip targets). *)
+
+val ballista_value :
+  Monitor_util.Prng.t -> Monitor_signal.Def.t -> Monitor_signal.Value.t
+(** A draw from {!Ballista.floats} for float signals; a random valid value
+    otherwise. *)
+
+val flip_positions : Monitor_util.Prng.t -> n_bits:int ->
+  Monitor_signal.Def.t -> int list
+(** Distinct bit positions inside the signal's wire image: 64 for floats
+    (IEEE-754 double as exchanged between the Simulink models), 1 for
+    booleans, 4 for enums. *)
+
+val apply_flips : int list -> Monitor_signal.Value.t -> Monitor_signal.Value.t
+(** XOR the positions into the value's image. *)
+
+val command :
+  Monitor_util.Prng.t -> kind -> Monitor_signal.Def.t ->
+  Monitor_hil.Sim.injection_command
+(** One concrete injection for a target signal: a [Set] for value faults,
+    a [Set_transform] for bit flips (for enum targets, bit flips degrade
+    to random valid values — the HIL would refuse the out-of-range
+    results, see §V-C3). *)

@@ -1,0 +1,1 @@
+lib/mtl/build.ml: Expr Formula List

@@ -1,0 +1,1 @@
+lib/mtl/build.mli: Expr Formula

@@ -1,0 +1,1 @@
+lib/mtl/explain.ml: Array Buffer Expr Formula List Monitor_trace Monitor_util Offline Option Printf Spec String Verdict

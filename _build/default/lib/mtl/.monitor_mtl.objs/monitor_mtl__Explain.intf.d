@@ -1,0 +1,1 @@
+lib/mtl/explain.mli: Formula Monitor_trace Spec Verdict

@@ -1,0 +1,1 @@
+lib/mtl/expr.ml: Float Fmt Hashtbl Int64 List Monitor_signal Monitor_trace Monitor_util Option String

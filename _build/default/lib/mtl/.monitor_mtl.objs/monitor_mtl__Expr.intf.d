@@ -1,0 +1,1 @@
+lib/mtl/expr.mli: Format Monitor_trace

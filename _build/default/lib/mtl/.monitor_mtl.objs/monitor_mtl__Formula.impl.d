@@ -1,0 +1,1 @@
+lib/mtl/formula.ml: Bool Expr Float Fmt Hashtbl List Monitor_util String

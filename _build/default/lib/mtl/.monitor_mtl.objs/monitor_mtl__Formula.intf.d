@@ -1,0 +1,1 @@
+lib/mtl/formula.mli: Expr Format

@@ -1,0 +1,1 @@
+lib/mtl/immediate.ml: Expr Fmt Formula Monitor_signal Monitor_trace Result String Verdict

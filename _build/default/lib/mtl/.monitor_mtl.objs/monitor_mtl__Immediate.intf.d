@@ -1,0 +1,1 @@
+lib/mtl/immediate.mli: Formula Monitor_trace Verdict

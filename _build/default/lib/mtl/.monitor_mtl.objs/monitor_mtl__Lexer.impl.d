@@ -1,0 +1,1 @@
+lib/mtl/lexer.ml: Array Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/mtl/monitor_set.ml: Hashtbl List Online Option Spec Verdict

@@ -1,0 +1,1 @@
+lib/mtl/monitor_set.mli: Monitor_trace Online Spec

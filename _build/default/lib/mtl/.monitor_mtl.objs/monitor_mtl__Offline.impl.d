@@ -1,0 +1,1 @@
+lib/mtl/offline.ml: Array Formula Immediate List Monitor_trace Option Spec State_machine Verdict

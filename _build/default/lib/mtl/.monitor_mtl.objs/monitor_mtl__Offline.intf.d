@@ -1,0 +1,1 @@
+lib/mtl/offline.mli: Monitor_trace Spec Verdict

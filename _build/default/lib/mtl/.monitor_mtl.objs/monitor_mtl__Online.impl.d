@@ -1,0 +1,1 @@
+lib/mtl/online.ml: Float Formula Immediate List Monitor_trace Queue Spec State_machine Verdict

@@ -1,0 +1,1 @@
+lib/mtl/online.mli: Monitor_trace Spec Verdict

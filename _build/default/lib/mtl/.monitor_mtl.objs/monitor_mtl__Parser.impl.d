@@ -1,0 +1,1 @@
+lib/mtl/parser.ml: Array Expr Formula Lexer Printf Result

@@ -1,0 +1,1 @@
+lib/mtl/parser.mli: Expr Formula Lexer

@@ -1,0 +1,1 @@
+lib/mtl/rewrite.ml: Expr Float Formula Int64

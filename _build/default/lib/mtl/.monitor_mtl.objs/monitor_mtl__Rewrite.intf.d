@@ -1,0 +1,1 @@
+lib/mtl/rewrite.mli: Expr Formula

@@ -1,0 +1,1 @@
+lib/mtl/spec.ml: Expr Fmt Formula Hashtbl List Printf State_machine

@@ -1,0 +1,1 @@
+lib/mtl/spec.mli: Expr Format Formula State_machine

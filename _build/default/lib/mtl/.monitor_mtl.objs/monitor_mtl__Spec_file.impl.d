@@ -1,0 +1,1 @@
+lib/mtl/spec_file.ml: Buffer Expr Fmt Formula Fun In_channel Lexer List Monitor_util Parser Printf Spec State_machine String

@@ -1,0 +1,1 @@
+lib/mtl/spec_file.mli: Spec

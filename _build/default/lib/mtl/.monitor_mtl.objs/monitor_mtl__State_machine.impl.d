@@ -1,0 +1,1 @@
+lib/mtl/state_machine.ml: Formula Hashtbl Immediate List Monitor_trace Option String Verdict

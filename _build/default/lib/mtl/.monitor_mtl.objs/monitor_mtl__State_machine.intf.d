@@ -1,0 +1,1 @@
+lib/mtl/state_machine.mli: Formula Monitor_trace

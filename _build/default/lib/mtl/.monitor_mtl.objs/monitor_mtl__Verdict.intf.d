@@ -1,0 +1,1 @@
+lib/mtl/verdict.mli: Format

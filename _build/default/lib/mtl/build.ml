@@ -1,0 +1,82 @@
+let float x = Expr.Const x
+
+let var s = Expr.Signal s
+
+let prev e = Expr.Prev e
+
+let delta e = Expr.Delta e
+
+let rate e = Expr.Rate e
+
+let fresh_delta s = Expr.Fresh_delta s
+
+let age s = Expr.Age s
+
+let abs e = Expr.Abs e
+
+let neg e = Expr.Neg e
+
+let ( +. ) a b = Expr.Add (a, b)
+
+let ( -. ) a b = Expr.Sub (a, b)
+
+let ( *. ) a b = Expr.Mul (a, b)
+
+let ( /. ) a b = Expr.Div (a, b)
+
+let min_ a b = Expr.Min (a, b)
+
+let max_ a b = Expr.Max (a, b)
+
+let ( <. ) a b = Formula.Cmp (a, Formula.Lt, b)
+
+let ( <=. ) a b = Formula.Cmp (a, Formula.Le, b)
+
+let ( >. ) a b = Formula.Cmp (a, Formula.Gt, b)
+
+let ( >=. ) a b = Formula.Cmp (a, Formula.Ge, b)
+
+let ( ==. ) a b = Formula.Cmp (a, Formula.Eq, b)
+
+let ( <>. ) a b = Formula.Cmp (a, Formula.Ne, b)
+
+let signal s = Formula.Bool_signal s
+
+let fresh s = Formula.Fresh s
+
+let known s = Formula.Known s
+
+let mode m s = Formula.In_mode (m, s)
+
+let tt = Formula.Const true
+
+let ff = Formula.Const false
+
+let not_ f = Formula.Not f
+
+let ( &&& ) a b = Formula.And (a, b)
+
+let ( ||| ) a b = Formula.Or (a, b)
+
+let ( ==> ) a b = Formula.Implies (a, b)
+
+let always ?(from = 0.0) ~within f =
+  Formula.Always (Formula.interval from within, f)
+
+let eventually ?(from = 0.0) ~within f =
+  Formula.Eventually (Formula.interval from within, f)
+
+let once ?(from = 0.0) ~within f = Formula.Once (Formula.interval from within, f)
+
+let historically ?(from = 0.0) ~within f =
+  Formula.Historically (Formula.interval from within, f)
+
+let warmup ~trigger ~hold body = Formula.Warmup { trigger; hold; body }
+
+let conj = function
+  | [] -> tt
+  | f :: rest -> List.fold_left ( &&& ) f rest
+
+let disj = function
+  | [] -> ff
+  | f :: rest -> List.fold_left ( ||| ) f rest

@@ -1,0 +1,99 @@
+(** An OCaml embedded DSL for building formulas programmatically.
+
+    For generated or parameterised rules, building ASTs beats string
+    concatenation (no quoting, no parse errors at runtime).  Open the
+    module locally:
+
+    {[
+      let rule =
+        Build.(
+          (signal "BrakeRequested" &&& (signal "Velocity" >. float 5.0))
+          ==> eventually ~within:0.5 (signal "RequestedDecel" <=. float 0.0))
+    ]} *)
+
+(** {2 Expressions} *)
+
+val float : float -> Expr.t
+
+val var : string -> Expr.t
+(** The signal's numeric value. *)
+
+val prev : Expr.t -> Expr.t
+
+val delta : Expr.t -> Expr.t
+
+val rate : Expr.t -> Expr.t
+
+val fresh_delta : string -> Expr.t
+
+val age : string -> Expr.t
+
+val abs : Expr.t -> Expr.t
+
+val neg : Expr.t -> Expr.t
+
+val ( +. ) : Expr.t -> Expr.t -> Expr.t
+
+val ( -. ) : Expr.t -> Expr.t -> Expr.t
+
+val ( *. ) : Expr.t -> Expr.t -> Expr.t
+
+val ( /. ) : Expr.t -> Expr.t -> Expr.t
+
+val min_ : Expr.t -> Expr.t -> Expr.t
+
+val max_ : Expr.t -> Expr.t -> Expr.t
+
+(** {2 Atoms} *)
+
+val ( <. ) : Expr.t -> Expr.t -> Formula.t
+
+val ( <=. ) : Expr.t -> Expr.t -> Formula.t
+
+val ( >. ) : Expr.t -> Expr.t -> Formula.t
+
+val ( >=. ) : Expr.t -> Expr.t -> Formula.t
+
+val ( ==. ) : Expr.t -> Expr.t -> Formula.t
+
+val ( <>. ) : Expr.t -> Expr.t -> Formula.t
+
+val signal : string -> Formula.t
+(** Truthiness of a (boolean) signal. *)
+
+val fresh : string -> Formula.t
+
+val known : string -> Formula.t
+
+val mode : string -> string -> Formula.t
+
+val tt : Formula.t
+
+val ff : Formula.t
+
+(** {2 Connectives and temporal operators} *)
+
+val not_ : Formula.t -> Formula.t
+
+val ( &&& ) : Formula.t -> Formula.t -> Formula.t
+
+val ( ||| ) : Formula.t -> Formula.t -> Formula.t
+
+val ( ==> ) : Formula.t -> Formula.t -> Formula.t
+
+val always : ?from:float -> within:float -> Formula.t -> Formula.t
+(** [always ~from:a ~within:b f] is G[a,b] f; [from] defaults to 0. *)
+
+val eventually : ?from:float -> within:float -> Formula.t -> Formula.t
+
+val once : ?from:float -> within:float -> Formula.t -> Formula.t
+
+val historically : ?from:float -> within:float -> Formula.t -> Formula.t
+
+val warmup : trigger:Formula.t -> hold:float -> Formula.t -> Formula.t
+
+val conj : Formula.t list -> Formula.t
+(** Right-nested conjunction; [tt] on []. *)
+
+val disj : Formula.t list -> Formula.t
+(** Right-nested disjunction; [ff] on []. *)

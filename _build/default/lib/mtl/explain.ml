@@ -1,0 +1,100 @@
+type t = {
+  formula : Formula.t;
+  verdict : Verdict.t;
+  detail : string option;
+  children : t list;
+}
+
+(* Verdicts of an arbitrary subformula over the whole snapshot list, in the
+   context of the spec's machines. *)
+let verdicts_of spec snapshots f =
+  let sub =
+    Spec.make ~machines:spec.Spec.machines ~name:(spec.Spec.name ^ "#sub") f
+  in
+  (Offline.eval sub snapshots).Offline.verdicts
+
+(* Value of an expression at [tick]: run a fresh evaluator over the prefix
+   so Prev/Delta/Fresh_delta history is faithful. *)
+let expr_value_at snapshots ~tick e =
+  let ev = Expr.evaluator e in
+  let result = ref Expr.Undefined in
+  List.iteri
+    (fun i snap -> if i <= tick then result := Expr.eval ev snap)
+    snapshots;
+  !result
+
+let pp_result = function
+  | Expr.Defined x -> Monitor_util.Pretty.float_exact x
+  | Expr.Undefined -> "undefined"
+
+let rec explain spec snapshots ~tick (f : Formula.t) =
+  let verdict = (verdicts_of spec snapshots f).(tick) in
+  let sub g = explain spec snapshots ~tick g in
+  let detail, children =
+    match f with
+    | Formula.Cmp (a, _, b) ->
+      ( Some
+          (Printf.sprintf "lhs = %s, rhs = %s"
+             (pp_result (expr_value_at snapshots ~tick a))
+             (pp_result (expr_value_at snapshots ~tick b))),
+        [] )
+    | Formula.Const _ | Formula.Bool_signal _ | Formula.Fresh _
+    | Formula.Known _ -> (None, [])
+    | Formula.In_mode (m, _) ->
+      (* Report the machine's actual state at the tick. *)
+      let outcome =
+        Offline.eval
+          (Spec.make ~machines:spec.Spec.machines
+             ~name:(spec.Spec.name ^ "#modes") (Formula.Const true))
+          snapshots
+      in
+      ( Option.map
+          (fun states -> Printf.sprintf "%s is in state %s" m states.(tick))
+          (List.assoc_opt m outcome.Offline.modes),
+        [] )
+    | Formula.Not g -> (None, [ sub g ])
+    | Formula.And (a, b) | Formula.Or (a, b) | Formula.Implies (a, b) ->
+      (None, [ sub a; sub b ])
+    | Formula.Always (_, g) | Formula.Eventually (_, g)
+    | Formula.Historically (_, g) | Formula.Once (_, g) ->
+      (* The child's verdict at this same tick plus the window verdict
+         above it; the interval is visible in the printed formula. *)
+      (None, [ sub g ])
+    | Formula.Warmup { trigger; body; _ } -> (None, [ sub trigger; sub body ])
+  in
+  { formula = f; verdict; detail; children }
+
+let at_tick spec snapshots ~tick =
+  let n = List.length snapshots in
+  if tick < 0 || tick >= n then invalid_arg "Explain.at_tick: tick out of range";
+  explain spec snapshots ~tick spec.Spec.formula
+
+let render ?(max_depth = 6) t =
+  let buf = Buffer.create 512 in
+  let rec go depth node =
+    if depth <= max_depth then begin
+      Buffer.add_string buf (String.make (depth * 2) ' ');
+      Buffer.add_string buf
+        (Printf.sprintf "[%s] %s%s\n"
+           (Verdict.to_string node.verdict)
+           (Formula.to_string node.formula)
+           (match node.detail with
+            | Some d -> "   (" ^ d ^ ")"
+            | None -> ""));
+      List.iter (go (depth + 1)) node.children
+    end
+  in
+  go 0 t;
+  Buffer.contents buf
+
+let first_violation ?(period = 0.01) spec trace =
+  let snapshots = Monitor_trace.Multirate.snapshots trace ~period in
+  let outcome = Offline.eval spec snapshots in
+  let n = Array.length outcome.Offline.verdicts in
+  let rec find i =
+    if i >= n then None
+    else if Verdict.equal outcome.Offline.verdicts.(i) Verdict.False then
+      Some (outcome.Offline.times.(i), at_tick spec snapshots ~tick:i)
+    else find (i + 1)
+  in
+  find 0

@@ -1,0 +1,26 @@
+(** Violation explanation.
+
+    When a rule fires, the paper's engineers had to judge each violation
+    from the raw trace (§V-A: "designers must be able to evaluate a given
+    violation and decide whether the violation was real").  This module
+    does the first step mechanically: for one tick, it re-evaluates the
+    spec and reports the verdict of every subformula, with the concrete
+    operand values of the comparisons — which branch of the rule failed,
+    and by how much. *)
+
+type t = {
+  formula : Formula.t;    (** the subformula this node is about *)
+  verdict : Verdict.t;    (** its verdict at the requested tick *)
+  detail : string option; (** for comparisons: the evaluated operands *)
+  children : t list;
+}
+
+val at_tick : Spec.t -> Monitor_trace.Snapshot.t list -> tick:int -> t
+(** @raise Invalid_argument if [tick] is out of range. *)
+
+val render : ?max_depth:int -> t -> string
+(** Indented tree, one line per subformula: verdict, formula, detail. *)
+
+val first_violation :
+  ?period:float -> Spec.t -> Monitor_trace.Trace.t -> (float * t) option
+(** Convenience: explain the spec at its first violating tick, if any. *)

@@ -1,0 +1,219 @@
+type t =
+  | Const of float
+  | Signal of string
+  | Prev of t
+  | Delta of t
+  | Rate of t
+  | Fresh_delta of string
+  | Age of string
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Abs of t
+  | Min of t * t
+  | Max of t * t
+
+type result = Defined of float | Undefined
+
+let signals e =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let note s =
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.add seen s ();
+      out := s :: !out
+    end
+  in
+  let rec go = function
+    | Const _ -> ()
+    | Signal s | Fresh_delta s | Age s -> note s
+    | Prev e | Delta e | Rate e | Neg e | Abs e -> go e
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Min (a, b) | Max (a, b) ->
+      go a;
+      go b
+  in
+  go e;
+  List.rev !out
+
+let rec depth = function
+  | Const _ | Signal _ | Fresh_delta _ | Age _ -> 1
+  | Prev e | Delta e | Rate e | Neg e | Abs e -> 1 + depth e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Min (a, b) | Max (a, b) ->
+    1 + max (depth a) (depth b)
+
+let rec equal a b =
+  match a, b with
+  | Const x, Const y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Signal x, Signal y | Fresh_delta x, Fresh_delta y | Age x, Age y ->
+    String.equal x y
+  | Prev x, Prev y | Delta x, Delta y | Rate x, Rate y | Neg x, Neg y | Abs x, Abs y ->
+    equal x y
+  | Add (a1, a2), Add (b1, b2)
+  | Sub (a1, a2), Sub (b1, b2)
+  | Mul (a1, a2), Mul (b1, b2)
+  | Div (a1, a2), Div (b1, b2)
+  | Min (a1, a2), Min (b1, b2)
+  | Max (a1, a2), Max (b1, b2) -> equal a1 b1 && equal a2 b2
+  | ( ( Const _ | Signal _ | Prev _ | Delta _ | Rate _ | Fresh_delta _ | Age _
+      | Neg _ | Add _ | Sub _ | Mul _ | Div _ | Abs _ | Min _ | Max _ ), _ ) ->
+    false
+
+(* Precedence for printing: additive 1, multiplicative 2, atoms 3. *)
+let rec pp_prec prec ppf e =
+  let paren p body =
+    if p < prec then Fmt.pf ppf "(%t)" body else body ppf
+  in
+  match e with
+  | Const x ->
+    if Float.is_integer x && Float.abs x < 1e15 then Fmt.pf ppf "%.1f" x
+    else Fmt.string ppf (Monitor_util.Pretty.float_exact x)
+  | Signal s -> Fmt.string ppf s
+  | Prev e -> Fmt.pf ppf "prev(%a)" (pp_prec 0) e
+  | Delta e -> Fmt.pf ppf "delta(%a)" (pp_prec 0) e
+  | Rate e -> Fmt.pf ppf "rate(%a)" (pp_prec 0) e
+  | Fresh_delta s -> Fmt.pf ppf "fresh_delta(%s)" s
+  | Age s -> Fmt.pf ppf "age(%s)" s
+  | Abs e -> Fmt.pf ppf "abs(%a)" (pp_prec 0) e
+  | Min (a, b) -> Fmt.pf ppf "min(%a, %a)" (pp_prec 0) a (pp_prec 0) b
+  | Max (a, b) -> Fmt.pf ppf "max(%a, %a)" (pp_prec 0) a (pp_prec 0) b
+  | Neg e -> paren 3 (fun ppf -> Fmt.pf ppf "-%a" (pp_prec 3) e)
+  | Add (a, b) -> paren 1 (fun ppf -> Fmt.pf ppf "%a + %a" (pp_prec 1) a (pp_prec 2) b)
+  | Sub (a, b) -> paren 1 (fun ppf -> Fmt.pf ppf "%a - %a" (pp_prec 1) a (pp_prec 2) b)
+  | Mul (a, b) -> paren 2 (fun ppf -> Fmt.pf ppf "%a * %a" (pp_prec 2) a (pp_prec 3) b)
+  | Div (a, b) -> paren 2 (fun ppf -> Fmt.pf ppf "%a / %a" (pp_prec 2) a (pp_prec 3) b)
+
+let pp ppf e = pp_prec 0 ppf e
+
+(* Stateful evaluation --------------------------------------------------- *)
+
+(* Each Prev/Delta/Rate node remembers its child's value at the previous
+   tick; Fresh_delta/Age track fresh samples of their signal.  The state
+   tree mirrors the expression tree. *)
+type fresh_hist = No_fresh | One_fresh of float | Two_fresh of float * float
+
+type node =
+  | N_const of float
+  | N_signal of string
+  | N_prev of node * result ref
+  | N_delta of node * result ref
+  | N_rate of node * result ref          (* previous child value *)
+  | N_fresh_delta of string * fresh_hist ref
+  | N_age of string
+  | N_neg of node
+  | N_add of node * node
+  | N_sub of node * node
+  | N_mul of node * node
+  | N_div of node * node
+  | N_abs of node
+  | N_min of node * node
+  | N_max of node * node
+
+type evaluator = {
+  root : node;
+  mutable prev_time : float option;  (* for Rate's dt *)
+}
+
+let rec build = function
+  | Const x -> N_const x
+  | Signal s -> N_signal s
+  | Prev e -> N_prev (build e, ref Undefined)
+  | Delta e -> N_delta (build e, ref Undefined)
+  | Rate e -> N_rate (build e, ref Undefined)
+  | Fresh_delta s -> N_fresh_delta (s, ref No_fresh)
+  | Age s -> N_age s
+  | Neg e -> N_neg (build e)
+  | Add (a, b) -> N_add (build a, build b)
+  | Sub (a, b) -> N_sub (build a, build b)
+  | Mul (a, b) -> N_mul (build a, build b)
+  | Div (a, b) -> N_div (build a, build b)
+  | Abs e -> N_abs (build e)
+  | Min (a, b) -> N_min (build a, build b)
+  | Max (a, b) -> N_max (build a, build b)
+
+let evaluator e = { root = build e; prev_time = None }
+
+let lift1 f = function Defined x -> Defined (f x) | Undefined -> Undefined
+
+let lift2 f a b =
+  match a, b with
+  | Defined x, Defined y -> Defined (f x y)
+  | (Defined _ | Undefined), _ -> Undefined
+
+(* One pass: computes the current value and updates history refs.  History
+   refs are written after the child's current value is read, so sibling
+   order does not matter. *)
+let rec step dt snapshot node =
+  match node with
+  | N_const x -> Defined x
+  | N_signal s -> begin
+    match Monitor_trace.Snapshot.value snapshot s with
+    | Some v -> Defined (Monitor_signal.Value.as_float v)
+    | None -> Undefined
+  end
+  | N_prev (child, hist) ->
+    let current = step dt snapshot child in
+    let answer = !hist in
+    hist := current;
+    answer
+  | N_delta (child, hist) ->
+    let current = step dt snapshot child in
+    let answer = lift2 ( -. ) current !hist in
+    hist := current;
+    answer
+  | N_rate (child, hist) ->
+    let current = step dt snapshot child in
+    let diff = lift2 ( -. ) current !hist in
+    hist := current;
+    (match diff, dt with
+     | Defined d, Some dt when dt > 0.0 -> Defined (d /. dt)
+     | (Defined _ | Undefined), _ -> Undefined)
+  | N_fresh_delta (s, hist) -> begin
+    (match Monitor_trace.Snapshot.find snapshot s with
+     | Some entry when entry.Monitor_trace.Snapshot.fresh ->
+       let x = Monitor_signal.Value.as_float entry.Monitor_trace.Snapshot.value in
+       (match !hist with
+        | No_fresh -> hist := One_fresh x
+        | One_fresh latest | Two_fresh (_, latest) -> hist := Two_fresh (latest, x))
+     | Some _ | None -> ());
+    match !hist with
+    | Two_fresh (prev_fresh, latest) -> Defined (latest -. prev_fresh)
+    | One_fresh _ | No_fresh -> Undefined
+  end
+  | N_age s -> begin
+    match Monitor_trace.Snapshot.age snapshot s with
+    | Some a -> Defined a
+    | None -> Undefined
+  end
+  | N_neg e -> lift1 Float.neg (step dt snapshot e)
+  | N_abs e -> lift1 Float.abs (step dt snapshot e)
+  | N_add (a, b) -> lift2 ( +. ) (step dt snapshot a) (step dt snapshot b)
+  | N_sub (a, b) -> lift2 ( -. ) (step dt snapshot a) (step dt snapshot b)
+  | N_mul (a, b) -> lift2 ( *. ) (step dt snapshot a) (step dt snapshot b)
+  | N_div (a, b) -> lift2 ( /. ) (step dt snapshot a) (step dt snapshot b)
+  | N_min (a, b) -> lift2 Float.min (step dt snapshot a) (step dt snapshot b)
+  | N_max (a, b) -> lift2 Float.max (step dt snapshot a) (step dt snapshot b)
+
+let eval t snapshot =
+  let time = snapshot.Monitor_trace.Snapshot.time in
+  let dt = Option.map (fun prev -> time -. prev) t.prev_time in
+  let r = step dt snapshot t.root in
+  t.prev_time <- Some time;
+  r
+
+let rec reset_node = function
+  | N_const _ | N_signal _ | N_age _ -> ()
+  | N_prev (c, h) | N_delta (c, h) | N_rate (c, h) ->
+    h := Undefined;
+    reset_node c
+  | N_fresh_delta (_, h) -> h := No_fresh
+  | N_neg c | N_abs c -> reset_node c
+  | N_add (a, b) | N_sub (a, b) | N_mul (a, b) | N_div (a, b)
+  | N_min (a, b) | N_max (a, b) ->
+    reset_node a;
+    reset_node b
+
+let reset t =
+  t.prev_time <- None;
+  reset_node t.root

@@ -1,0 +1,59 @@
+(** Arithmetic expressions over observed signals.
+
+    Expressions are evaluated against the monitor's synchronous snapshot
+    stream.  Two change operators reflect the paper's multi-rate lesson
+    (§V-C1): [Delta] is the naive tick-to-tick difference (which sees a
+    slowly-published signal as constant between updates), while
+    [Fresh_delta] differences the last two genuinely fresh samples of a
+    signal — the uniform mechanism the paper calls for.
+
+    Evaluation is partial: a signal never yet observed, or a change
+    operator without enough history, yields [Undefined], which propagates
+    and ultimately makes the enclosing atom's verdict [Unknown].  NaN, by
+    contrast, is a defined value — IEEE comparison semantics then apply at
+    the atom level, so a NaN injected into [RequestedDecel] *fails*
+    [RequestedDecel <= 0] rather than being silently skipped. *)
+
+type t =
+  | Const of float
+  | Signal of string       (** current (held) value, coerced to float *)
+  | Prev of t              (** value at the previous monitor tick *)
+  | Delta of t             (** [e - prev e] *)
+  | Rate of t              (** [delta e / dt] using actual tick spacing *)
+  | Fresh_delta of string  (** difference of the last two fresh samples *)
+  | Age of string          (** seconds since the signal's last fresh sample *)
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Abs of t
+  | Min of t * t
+  | Max of t * t
+
+type result = Defined of float | Undefined
+
+val signals : t -> string list
+(** Distinct signal names mentioned, in first-use order. *)
+
+val depth : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints in the concrete syntax accepted by {!Parser}. *)
+
+val equal : t -> t -> bool
+
+(** {2 Stateful evaluation}
+
+    An evaluator carries the per-subexpression history that [Prev], [Delta],
+    [Rate] and [Fresh_delta] need.  Feed it snapshots strictly in tick
+    order. *)
+
+type evaluator
+
+val evaluator : t -> evaluator
+
+val eval : evaluator -> Monitor_trace.Snapshot.t -> result
+(** Evaluate at the next tick and advance the history. *)
+
+val reset : evaluator -> unit

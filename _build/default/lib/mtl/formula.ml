@@ -1,0 +1,173 @@
+type comparison = Lt | Le | Gt | Ge | Eq | Ne
+
+type interval = { lo : float; hi : float }
+
+type t =
+  | Const of bool
+  | Cmp of Expr.t * comparison * Expr.t
+  | Bool_signal of string
+  | Fresh of string
+  | Known of string
+  | In_mode of string * string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Always of interval * t
+  | Eventually of interval * t
+  | Historically of interval * t
+  | Once of interval * t
+  | Warmup of { trigger : t; hold : float; body : t }
+
+let interval lo hi =
+  if not (0.0 <= lo && lo <= hi) then
+    invalid_arg "Formula.interval: need 0 <= lo <= hi";
+  { lo; hi }
+
+let signals f =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let note s =
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.add seen s ();
+      out := s :: !out
+    end
+  in
+  let rec go = function
+    | Const _ | In_mode _ -> ()
+    | Cmp (a, _, b) ->
+      List.iter note (Expr.signals a);
+      List.iter note (Expr.signals b)
+    | Bool_signal s | Fresh s | Known s -> note s
+    | Not f -> go f
+    | And (a, b) | Or (a, b) | Implies (a, b) ->
+      go a;
+      go b
+    | Always (_, f) | Eventually (_, f) | Historically (_, f) | Once (_, f) ->
+      go f
+    | Warmup { trigger; body; _ } ->
+      go trigger;
+      go body
+  in
+  go f;
+  List.rev !out
+
+let machines_used f =
+  let seen = Hashtbl.create 4 in
+  let out = ref [] in
+  let rec go = function
+    | Const _ | Cmp _ | Bool_signal _ | Fresh _ | Known _ -> ()
+    | In_mode (m, _) ->
+      if not (Hashtbl.mem seen m) then begin
+        Hashtbl.add seen m ();
+        out := m :: !out
+      end
+    | Not f -> go f
+    | And (a, b) | Or (a, b) | Implies (a, b) ->
+      go a;
+      go b
+    | Always (_, f) | Eventually (_, f) | Historically (_, f) | Once (_, f) ->
+      go f
+    | Warmup { trigger; body; _ } ->
+      go trigger;
+      go body
+  in
+  go f;
+  List.rev !out
+
+let rec horizon = function
+  | Const _ | Cmp _ | Bool_signal _ | Fresh _ | Known _ | In_mode _ -> 0.0
+  | Not f -> horizon f
+  | And (a, b) | Or (a, b) | Implies (a, b) -> Float.max (horizon a) (horizon b)
+  | Always (i, f) | Eventually (i, f) -> i.hi +. horizon f
+  | Historically (_, f) | Once (_, f) -> horizon f
+  | Warmup { trigger; body; _ } -> Float.max (horizon trigger) (horizon body)
+
+let rec history_depth = function
+  | Const _ | Cmp _ | Bool_signal _ | Fresh _ | Known _ | In_mode _ -> 0.0
+  | Not f -> history_depth f
+  | And (a, b) | Or (a, b) | Implies (a, b) ->
+    Float.max (history_depth a) (history_depth b)
+  | Always (_, f) | Eventually (_, f) -> history_depth f
+  | Historically (i, f) | Once (i, f) -> i.hi +. history_depth f
+  | Warmup { trigger; hold; body } ->
+    Float.max (hold +. history_depth trigger) (history_depth body)
+
+let rec size = function
+  | Const _ | Cmp _ | Bool_signal _ | Fresh _ | Known _ | In_mode _ -> 1
+  | Not f -> 1 + size f
+  | And (a, b) | Or (a, b) | Implies (a, b) -> 1 + size a + size b
+  | Always (_, f) | Eventually (_, f) | Historically (_, f) | Once (_, f) ->
+    1 + size f
+  | Warmup { trigger; body; _ } -> 1 + size trigger + size body
+
+let interval_equal a b = a.lo = b.lo && a.hi = b.hi
+
+let rec equal f g =
+  match f, g with
+  | Const a, Const b -> Bool.equal a b
+  | Cmp (a1, op1, b1), Cmp (a2, op2, b2) ->
+    Expr.equal a1 a2 && op1 = op2 && Expr.equal b1 b2
+  | Bool_signal a, Bool_signal b | Fresh a, Fresh b | Known a, Known b ->
+    String.equal a b
+  | In_mode (m1, s1), In_mode (m2, s2) -> String.equal m1 m2 && String.equal s1 s2
+  | Not a, Not b -> equal a b
+  | And (a1, b1), And (a2, b2)
+  | Or (a1, b1), Or (a2, b2)
+  | Implies (a1, b1), Implies (a2, b2) -> equal a1 a2 && equal b1 b2
+  | Always (i1, a), Always (i2, b)
+  | Eventually (i1, a), Eventually (i2, b)
+  | Historically (i1, a), Historically (i2, b)
+  | Once (i1, a), Once (i2, b) -> interval_equal i1 i2 && equal a b
+  | Warmup w1, Warmup w2 ->
+    equal w1.trigger w2.trigger && w1.hold = w2.hold && equal w1.body w2.body
+  | ( ( Const _ | Cmp _ | Bool_signal _ | Fresh _ | Known _ | In_mode _ | Not _
+      | And _ | Or _ | Implies _ | Always _ | Eventually _ | Historically _
+      | Once _ | Warmup _ ), _ ) ->
+    false
+
+let cmp_string = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+
+let pp_float ppf x = Fmt.string ppf (Monitor_util.Pretty.float_exact x)
+
+let pp_interval ppf i = Fmt.pf ppf "[%a, %a]" pp_float i.lo pp_float i.hi
+
+(* Precedence: implies 1 (right assoc), or 2, and 3, unary 4. *)
+let rec pp_prec prec ppf f =
+  let paren p body = if p < prec then Fmt.pf ppf "(%t)" body else body ppf in
+  match f with
+  | Const true -> Fmt.string ppf "true"
+  | Const false -> Fmt.string ppf "false"
+  | Cmp (a, op, b) -> Fmt.pf ppf "%a %s %a" Expr.pp a (cmp_string op) Expr.pp b
+  | Bool_signal s -> Fmt.string ppf s
+  | Fresh s -> Fmt.pf ppf "fresh(%s)" s
+  | Known s -> Fmt.pf ppf "known(%s)" s
+  | In_mode (m, s) -> Fmt.pf ppf "mode(%s, %s)" m s
+  | Not f -> paren 4 (fun ppf -> Fmt.pf ppf "not %a" (pp_prec 4) f)
+  | And (a, b) ->
+    paren 3 (fun ppf -> Fmt.pf ppf "%a and %a" (pp_prec 3) a (pp_prec 4) b)
+  | Or (a, b) ->
+    paren 2 (fun ppf -> Fmt.pf ppf "%a or %a" (pp_prec 2) a (pp_prec 3) b)
+  | Implies (a, b) ->
+    paren 1 (fun ppf -> Fmt.pf ppf "%a -> %a" (pp_prec 2) a (pp_prec 1) b)
+  | Always (i, f) ->
+    paren 4 (fun ppf -> Fmt.pf ppf "always%a %a" pp_interval i (pp_prec 4) f)
+  | Eventually (i, f) ->
+    paren 4 (fun ppf -> Fmt.pf ppf "eventually%a %a" pp_interval i (pp_prec 4) f)
+  | Historically (i, f) ->
+    paren 4 (fun ppf -> Fmt.pf ppf "historically%a %a" pp_interval i (pp_prec 4) f)
+  | Once (i, f) ->
+    paren 4 (fun ppf -> Fmt.pf ppf "once%a %a" pp_interval i (pp_prec 4) f)
+  | Warmup { trigger; hold; body } ->
+    Fmt.pf ppf "warmup(%a, %a, %a)" (pp_prec 0) trigger pp_float hold
+      (pp_prec 0) body
+
+let pp ppf f = pp_prec 0 ppf f
+
+let to_string f = Fmt.str "%a" pp f

@@ -1,0 +1,64 @@
+(** The specification language: a simplified bounded temporal logic.
+
+    The paper's monitor checks properties "written in a specification
+    language containing a simplified bounded temporal logic loosely based
+    on MTL and state machine descriptions used to encode mode-based state".
+    This module is that logic: the usual boolean connectives, arithmetic
+    comparisons, two bounded future operators ([always]/[eventually]),
+    their past-time duals ([historically]/[once]) for online evaluation,
+    mode references into state machines, and a uniform [warmup] wrapper
+    implementing the §V-C2 "warm up after discontinuities" mechanism. *)
+
+type comparison = Lt | Le | Gt | Ge | Eq | Ne
+
+type interval = { lo : float; hi : float }
+(** Time bounds in seconds, [0 <= lo <= hi]. *)
+
+type t =
+  | Const of bool
+  | Cmp of Expr.t * comparison * Expr.t
+      (** IEEE semantics: every comparison with NaN is false (so its
+          negation is true) — an injected NaN fails [x <= 0] outright. *)
+  | Bool_signal of string  (** truthiness of the signal's current value *)
+  | Fresh of string        (** a new sample of the signal arrived this tick *)
+  | Known of string        (** the signal has been observed at least once *)
+  | In_mode of string * string  (** [In_mode (machine, state)] *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Always of interval * t      (** G[lo,hi]: holds at all future samples
+                                    within the window *)
+  | Eventually of interval * t  (** F[lo,hi] *)
+  | Historically of interval * t  (** past-time dual of Always *)
+  | Once of interval * t          (** past-time dual of Eventually *)
+  | Warmup of { trigger : t; hold : float; body : t }
+      (** [Unknown] while [trigger] was true within the last [hold]
+          seconds; otherwise the verdict of [body]. *)
+
+val interval : float -> float -> interval
+(** @raise Invalid_argument unless [0 <= lo <= hi]. *)
+
+val signals : t -> string list
+(** Distinct signal names mentioned anywhere, in first-use order. *)
+
+val machines_used : t -> string list
+(** State-machine names referenced by [In_mode]. *)
+
+val horizon : t -> float
+(** Maximum look-ahead in seconds: how long after tick [t] the verdict at
+    [t] may remain pending.  0 for past-only formulas. *)
+
+val history_depth : t -> float
+(** Maximum look-behind in seconds demanded by past operators and warmup
+    windows. *)
+
+val size : t -> int
+(** Number of AST nodes (formula nodes only). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Concrete syntax accepted by {!Parser}. *)
+
+val to_string : t -> string

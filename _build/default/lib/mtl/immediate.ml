@@ -1,0 +1,108 @@
+type node =
+  | I_const of bool
+  | I_cmp of Expr.evaluator * Formula.comparison * Expr.evaluator
+  | I_bool_signal of string
+  | I_fresh of string
+  | I_known of string
+  | I_in_mode of string * string
+  | I_not of node
+  | I_and of node * node
+  | I_or of node * node
+  | I_implies of node * node
+
+type t = { source : Formula.t; root : node }
+
+let rec build (f : Formula.t) =
+  match f with
+  | Formula.Const b -> Ok (I_const b)
+  | Formula.Cmp (a, op, b) ->
+    Ok (I_cmp (Expr.evaluator a, op, Expr.evaluator b))
+  | Formula.Bool_signal s -> Ok (I_bool_signal s)
+  | Formula.Fresh s -> Ok (I_fresh s)
+  | Formula.Known s -> Ok (I_known s)
+  | Formula.In_mode (m, s) -> Ok (I_in_mode (m, s))
+  | Formula.Not f -> Result.map (fun n -> I_not n) (build f)
+  | Formula.And (a, b) -> build2 (fun x y -> I_and (x, y)) a b
+  | Formula.Or (a, b) -> build2 (fun x y -> I_or (x, y)) a b
+  | Formula.Implies (a, b) -> build2 (fun x y -> I_implies (x, y)) a b
+  | Formula.Always _ | Formula.Eventually _ | Formula.Historically _
+  | Formula.Once _ | Formula.Warmup _ ->
+    Error
+      (Fmt.str "not in the immediate fragment: %a" Formula.pp f)
+
+and build2 k a b =
+  match build a with
+  | Error _ as e -> e
+  | Ok na -> Result.map (fun nb -> k na nb) (build b)
+
+let compile f = Result.map (fun root -> { source = f; root }) (build f)
+
+let compile_exn f =
+  match compile f with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Immediate.compile: " ^ msg)
+
+let compare_floats op x y =
+  (* IEEE semantics: any comparison involving NaN is false, including
+     equality of NaN with itself.  The verdict is still a definite
+     True/False — NaN is an observed value, not missing data. *)
+  let r =
+    match (op : Formula.comparison) with
+    | Formula.Lt -> x < y
+    | Formula.Le -> x <= y
+    | Formula.Gt -> x > y
+    | Formula.Ge -> x >= y
+    | Formula.Eq -> x = y
+    | Formula.Ne -> x <> y
+  in
+  Verdict.of_bool r
+
+let rec eval_node node ~mode_lookup snapshot =
+  match node with
+  | I_const b -> Verdict.of_bool b
+  | I_cmp (ea, op, eb) -> begin
+    match Expr.eval ea snapshot, Expr.eval eb snapshot with
+    | Expr.Defined x, Expr.Defined y -> compare_floats op x y
+    | (Expr.Defined _ | Expr.Undefined), _ -> Verdict.Unknown
+  end
+  | I_bool_signal s -> begin
+    match Monitor_trace.Snapshot.value snapshot s with
+    | Some v -> Verdict.of_bool (Monitor_signal.Value.as_bool v)
+    | None -> Verdict.Unknown
+  end
+  | I_fresh s ->
+    Verdict.of_bool (Monitor_trace.Snapshot.is_fresh snapshot s)
+  | I_known s -> begin
+    match Monitor_trace.Snapshot.find snapshot s with
+    | Some _ -> Verdict.True
+    | None -> Verdict.False
+  end
+  | I_in_mode (m, s) -> begin
+    match mode_lookup m with
+    | Some current -> Verdict.of_bool (String.equal current s)
+    | None -> Verdict.Unknown
+  end
+  | I_not n -> Verdict.not_ (eval_node n ~mode_lookup snapshot)
+  | I_and (a, b) ->
+    Verdict.and_ (eval_node a ~mode_lookup snapshot) (eval_node b ~mode_lookup snapshot)
+  | I_or (a, b) ->
+    Verdict.or_ (eval_node a ~mode_lookup snapshot) (eval_node b ~mode_lookup snapshot)
+  | I_implies (a, b) ->
+    Verdict.implies (eval_node a ~mode_lookup snapshot)
+      (eval_node b ~mode_lookup snapshot)
+
+let eval t ~mode_lookup snapshot = eval_node t.root ~mode_lookup snapshot
+
+let rec reset_node = function
+  | I_const _ | I_bool_signal _ | I_fresh _ | I_known _ | I_in_mode _ -> ()
+  | I_cmp (a, _, b) ->
+    Expr.reset a;
+    Expr.reset b
+  | I_not n -> reset_node n
+  | I_and (a, b) | I_or (a, b) | I_implies (a, b) ->
+    reset_node a;
+    reset_node b
+
+let reset t = reset_node t.root
+
+let formula t = t.source

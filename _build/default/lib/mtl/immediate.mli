@@ -1,0 +1,30 @@
+(** Evaluation of the immediate fragment of the logic.
+
+    The immediate fragment — comparisons, boolean connectives, freshness and
+    mode references, but no temporal operators — resolves at the very tick
+    it is evaluated.  State-machine guards are restricted to this fragment
+    so a machine can decide its transition without waiting on the future;
+    the full monitors build on the same compiled atoms. *)
+
+type t
+(** A compiled immediate formula; carries the mutable expression history
+    that [prev]/[delta]/[fresh_delta] need.  Step it exactly once per tick,
+    in tick order. *)
+
+val compile : Formula.t -> (t, string) result
+(** Rejects formulas containing temporal operators or warmup wrappers. *)
+
+val compile_exn : Formula.t -> t
+(** @raise Invalid_argument on a non-immediate formula. *)
+
+val eval :
+  t -> mode_lookup:(string -> string option) ->
+  Monitor_trace.Snapshot.t -> Verdict.t
+(** Evaluate at the next tick.  [mode_lookup] resolves [In_mode] references
+    (its convention — pre- or post-transition states — is the caller's).
+    Unknown machines or comparisons over undefined expressions yield
+    [Unknown]. *)
+
+val reset : t -> unit
+
+val formula : t -> Formula.t

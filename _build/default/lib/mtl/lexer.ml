@@ -1,0 +1,203 @@
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | STRING of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | AND
+  | OR
+  | NOT
+  | IMPLIES
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | KW_TRUE
+  | KW_FALSE
+  | KW_ALWAYS
+  | KW_EVENTUALLY
+  | KW_ONCE
+  | KW_HISTORICALLY
+  | KW_WARMUP
+  | KW_FRESH
+  | KW_KNOWN
+  | KW_MODE
+  | KW_PREV
+  | KW_DELTA
+  | KW_RATE
+  | KW_FRESH_DELTA
+  | KW_AGE
+  | KW_ABS
+  | KW_MIN
+  | KW_MAX
+  | EOF
+
+type located = { token : token; pos : int }
+
+let keywords =
+  [ ("true", KW_TRUE); ("false", KW_FALSE); ("and", AND); ("or", OR);
+    ("not", NOT); ("always", KW_ALWAYS); ("eventually", KW_EVENTUALLY);
+    ("once", KW_ONCE); ("historically", KW_HISTORICALLY);
+    ("warmup", KW_WARMUP); ("fresh", KW_FRESH); ("known", KW_KNOWN);
+    ("mode", KW_MODE); ("prev", KW_PREV); ("delta", KW_DELTA);
+    ("rate", KW_RATE); ("fresh_delta", KW_FRESH_DELTA); ("age", KW_AGE);
+    ("abs", KW_ABS); ("min", KW_MIN); ("max", KW_MAX) ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let error = ref None in
+  let emit token pos = out := { token; pos } :: !out in
+  let i = ref 0 in
+  while !i < n && !error = None do
+    let c = src.[!i] in
+    let start = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '#' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_start c then begin
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      match List.assoc_opt word keywords with
+      | Some kw -> emit kw start
+      | None -> emit (IDENT word) start
+    end
+    else if is_digit c || (c = '.' && start + 1 < n && is_digit src.[start + 1])
+    then begin
+      while
+        !i < n
+        && (is_digit src.[!i] || src.[!i] = '.' || src.[!i] = 'e'
+            || src.[!i] = 'E'
+            || ((src.[!i] = '+' || src.[!i] = '-')
+                && !i > start
+                && (src.[!i - 1] = 'e' || src.[!i - 1] = 'E')))
+      do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      match float_of_string_opt text with
+      | Some x -> emit (NUMBER x) start
+      | None -> error := Some (Printf.sprintf "bad number %S at offset %d" text start)
+    end
+    else begin
+      let two = if start + 1 < n then String.sub src start 2 else "" in
+      match two with
+      | "->" -> emit IMPLIES start; i := !i + 2
+      | "<=" -> emit LE start; i := !i + 2
+      | ">=" -> emit GE start; i := !i + 2
+      | "==" -> emit EQ start; i := !i + 2
+      | "!=" -> emit NE start; i := !i + 2
+      | _ -> begin
+        match c with
+        | '"' ->
+          let buf = Buffer.create 16 in
+          incr i;
+          let closed = ref false in
+          while !i < n && not !closed && !error = None do
+            (match src.[!i] with
+             | '"' -> closed := true
+             | '\\' ->
+               if !i + 1 < n then begin
+                 (match src.[!i + 1] with
+                  | 'n' -> Buffer.add_char buf '\n'
+                  | 't' -> Buffer.add_char buf '\t'
+                  | c -> Buffer.add_char buf c);
+                 incr i
+               end
+               else error := Some "unterminated escape in string"
+             | c -> Buffer.add_char buf c);
+            incr i
+          done;
+          if !closed then emit (STRING (Buffer.contents buf)) start
+          else if !error = None then
+            error := Some (Printf.sprintf "unterminated string at offset %d" start)
+        | '{' -> emit LBRACE start; incr i
+        | '}' -> emit RBRACE start; incr i
+        | '(' -> emit LPAREN start; incr i
+        | ')' -> emit RPAREN start; incr i
+        | '[' -> emit LBRACKET start; incr i
+        | ']' -> emit RBRACKET start; incr i
+        | ',' -> emit COMMA start; incr i
+        | '<' -> emit LT start; incr i
+        | '>' -> emit GT start; incr i
+        | '+' -> emit PLUS start; incr i
+        | '-' -> emit MINUS start; incr i
+        | '*' -> emit STAR start; incr i
+        | '/' -> emit SLASH start; incr i
+        | _ ->
+          error := Some (Printf.sprintf "unexpected character %C at offset %d" c start)
+      end
+    end
+  done;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+    emit EOF n;
+    Ok (Array.of_list (List.rev !out))
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | STRING s -> Printf.sprintf "string %S" s
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'" 
+  | NUMBER x -> Printf.sprintf "number %g" x
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | AND -> "'and'"
+  | OR -> "'or'"
+  | NOT -> "'not'"
+  | IMPLIES -> "'->'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EQ -> "'=='"
+  | NE -> "'!='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | KW_TRUE -> "'true'"
+  | KW_FALSE -> "'false'"
+  | KW_ALWAYS -> "'always'"
+  | KW_EVENTUALLY -> "'eventually'"
+  | KW_ONCE -> "'once'"
+  | KW_HISTORICALLY -> "'historically'"
+  | KW_WARMUP -> "'warmup'"
+  | KW_FRESH -> "'fresh'"
+  | KW_KNOWN -> "'known'"
+  | KW_MODE -> "'mode'"
+  | KW_PREV -> "'prev'"
+  | KW_DELTA -> "'delta'"
+  | KW_RATE -> "'rate'"
+  | KW_FRESH_DELTA -> "'fresh_delta'"
+  | KW_AGE -> "'age'"
+  | KW_ABS -> "'abs'"
+  | KW_MIN -> "'min'"
+  | KW_MAX -> "'max'"
+  | EOF -> "end of input"

@@ -1,0 +1,55 @@
+(** Tokeniser for the textual specification language. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | STRING of string   (** double-quoted; backslash escapes n, t, quote and backslash *)
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | AND
+  | OR
+  | NOT
+  | IMPLIES          (** [->] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ               (** [==] *)
+  | NE               (** [!=] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | KW_TRUE
+  | KW_FALSE
+  | KW_ALWAYS
+  | KW_EVENTUALLY
+  | KW_ONCE
+  | KW_HISTORICALLY
+  | KW_WARMUP
+  | KW_FRESH
+  | KW_KNOWN
+  | KW_MODE
+  | KW_PREV
+  | KW_DELTA
+  | KW_RATE
+  | KW_FRESH_DELTA
+  | KW_AGE
+  | KW_ABS
+  | KW_MIN
+  | KW_MAX
+  | EOF
+
+type located = { token : token; pos : int }
+(** [pos] is the 0-based character offset of the token's first character. *)
+
+val tokenize : string -> (located array, string) result
+(** Comments run from [#] to end of line.  Errors name the offending
+    offset. *)
+
+val describe : token -> string

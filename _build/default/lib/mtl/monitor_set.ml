@@ -1,0 +1,54 @@
+type event = {
+  spec : Spec.t;
+  resolution : Online.resolution;
+}
+
+type t = {
+  monitors : (Spec.t * Online.t) list;
+  counts : (string, int) Hashtbl.t;
+  on_violation : event -> unit;
+}
+
+let create ?(on_violation = fun _ -> ()) specs =
+  { monitors = List.map (fun s -> (s, Online.create s)) specs;
+    counts = Hashtbl.create (List.length specs);
+    on_violation }
+
+let record t events =
+  List.iter
+    (fun e ->
+      if Verdict.equal e.resolution.Online.verdict Verdict.False then begin
+        let name = e.spec.Spec.name in
+        Hashtbl.replace t.counts name
+          (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts name));
+        t.on_violation e
+      end)
+    events;
+  events
+
+let step t snapshot =
+  record t
+    (List.concat_map
+       (fun (spec, monitor) ->
+         List.map
+           (fun resolution -> { spec; resolution })
+           (Online.step monitor snapshot))
+       t.monitors)
+
+let finalize t =
+  record t
+    (List.concat_map
+       (fun (spec, monitor) ->
+         List.map
+           (fun resolution -> { spec; resolution })
+           (Online.finalize monitor))
+       t.monitors)
+
+let violations t =
+  List.map
+    (fun (spec, _) ->
+      ( spec.Spec.name,
+        Option.value ~default:0 (Hashtbl.find_opt t.counts spec.Spec.name) ))
+    t.monitors
+
+let specs t = List.map fst t.monitors

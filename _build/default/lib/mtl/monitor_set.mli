@@ -1,0 +1,24 @@
+(** A set of online monitors sharing one snapshot stream — the deployed
+    shape of the bolt-on box: one bus tap, one synchronous view, all the
+    safety rules evaluated side by side. *)
+
+type event = {
+  spec : Spec.t;
+  resolution : Online.resolution;
+}
+
+type t
+
+val create : ?on_violation:(event -> unit) -> Spec.t list -> t
+(** [on_violation] fires for each [False] resolution as soon as it is
+    decided (during {!step} or {!finalize}). *)
+
+val step : t -> Monitor_trace.Snapshot.t -> event list
+(** All resolutions of all monitors for this tick, in spec order. *)
+
+val finalize : t -> event list
+
+val violations : t -> (string * int) list
+(** Per spec name, the number of [False] resolutions so far. *)
+
+val specs : t -> Spec.t list

@@ -1,0 +1,150 @@
+type outcome = {
+  times : float array;
+  verdicts : Verdict.t array;
+  modes : (string * string array) list;
+}
+
+let time_eps = 1e-9
+
+(* Sliding-window scan shared by all four temporal operators.  The window of
+   tick [k] is [t_k + lo_off, t_k + hi_off] (negative offsets give past
+   windows); both endpoints are monotone in [k], so counters of child
+   verdicts inside the window slide in amortised O(n). *)
+let window_scan times child ~lo_off ~hi_off ~decide =
+  let n = Array.length times in
+  let out = Array.make n Verdict.Unknown in
+  let lo = ref 0 and hi = ref (-1) in
+  let nt = ref 0 and nf = ref 0 and nu = ref 0 in
+  let count delta j =
+    match child.(j) with
+    | Verdict.True -> nt := !nt + delta
+    | Verdict.False -> nf := !nf + delta
+    | Verdict.Unknown -> nu := !nu + delta
+  in
+  for k = 0 to n - 1 do
+    let wlo = times.(k) +. lo_off -. time_eps in
+    let whi = times.(k) +. hi_off +. time_eps in
+    while !hi + 1 < n && times.(!hi + 1) <= whi do
+      incr hi;
+      count 1 !hi
+    done;
+    while !lo <= !hi && times.(!lo) < wlo do
+      count (-1) !lo;
+      incr lo
+    done;
+    (* The log covers the window iff it extends to both endpoints. *)
+    let covered_end = times.(n - 1) >= times.(k) +. hi_off -. time_eps in
+    let covered_start = times.(0) <= times.(k) +. lo_off +. time_eps in
+    out.(k) <-
+      decide ~any_true:(!nt > 0) ~any_false:(!nf > 0) ~any_unknown:(!nu > 0)
+        ~complete:(covered_end && covered_start)
+  done;
+  out
+
+let decide_always ~any_true:_ ~any_false ~any_unknown ~complete =
+  if any_false then Verdict.False
+  else if not complete then Verdict.Unknown
+  else if any_unknown then Verdict.Unknown
+  else Verdict.True
+
+let decide_eventually ~any_true ~any_false:_ ~any_unknown ~complete =
+  if any_true then Verdict.True
+  else if not complete then Verdict.Unknown
+  else if any_unknown then Verdict.Unknown
+  else Verdict.False
+
+(* Immediate leaves: compile once, run over all ticks. *)
+let eval_leaf formula snaps mode_lookup_at =
+  let compiled = Immediate.compile_exn formula in
+  Array.mapi
+    (fun i snapshot -> Immediate.eval compiled ~mode_lookup:(mode_lookup_at i) snapshot)
+    snaps
+
+let eval (spec : Spec.t) snapshots =
+  let snaps = Array.of_list snapshots in
+  let n = Array.length snaps in
+  let times = Array.map (fun s -> s.Monitor_trace.Snapshot.time) snaps in
+  for i = 1 to n - 1 do
+    if times.(i) <= times.(i - 1) then
+      invalid_arg "Offline.eval: snapshot times must be strictly increasing"
+  done;
+  (* Run the machines through the whole log first. *)
+  let runtimes =
+    List.map
+      (fun (m : State_machine.t) -> (m.State_machine.name, State_machine.start m))
+      spec.Spec.machines
+  in
+  let modes =
+    List.map
+      (fun (name, _) -> (name, Array.make n "")) runtimes
+  in
+  for i = 0 to n - 1 do
+    (* Guards see every machine's pre-step (previous tick) state. *)
+    let pre = List.map (fun (name, rt) -> (name, State_machine.current rt)) runtimes in
+    let pre_lookup m = List.assoc_opt m pre in
+    List.iter
+      (fun (name, rt) ->
+        let post = State_machine.step rt ~mode_lookup:pre_lookup snaps.(i) in
+        (List.assoc name modes).(i) <- post)
+      runtimes
+  done;
+  let mode_lookup_at i machine =
+    Option.map (fun arr -> arr.(i)) (List.assoc_opt machine modes)
+  in
+  let rec eval_f (f : Formula.t) =
+    match f with
+    | Formula.Const _ | Formula.Cmp _ | Formula.Bool_signal _ | Formula.Fresh _
+    | Formula.Known _ | Formula.In_mode _ -> eval_leaf f snaps mode_lookup_at
+    | Formula.Not g -> Array.map Verdict.not_ (eval_f g)
+    | Formula.And (a, b) -> Array.map2 Verdict.and_ (eval_f a) (eval_f b)
+    | Formula.Or (a, b) -> Array.map2 Verdict.or_ (eval_f a) (eval_f b)
+    | Formula.Implies (a, b) -> Array.map2 Verdict.implies (eval_f a) (eval_f b)
+    | Formula.Always (i, g) ->
+      window_scan times (eval_f g) ~lo_off:i.Formula.lo ~hi_off:i.Formula.hi
+        ~decide:decide_always
+    | Formula.Eventually (i, g) ->
+      window_scan times (eval_f g) ~lo_off:i.Formula.lo ~hi_off:i.Formula.hi
+        ~decide:decide_eventually
+    | Formula.Historically (i, g) ->
+      window_scan times (eval_f g) ~lo_off:(-.i.Formula.hi)
+        ~hi_off:(-.i.Formula.lo) ~decide:decide_always
+    | Formula.Once (i, g) ->
+      window_scan times (eval_f g) ~lo_off:(-.i.Formula.hi)
+        ~hi_off:(-.i.Formula.lo) ~decide:decide_eventually
+    | Formula.Warmup { trigger; hold; body } ->
+      let vt = eval_f trigger in
+      let vb = eval_f body in
+      let suppress =
+        (* "trigger seen within the last [hold] seconds", truncated at the
+           log start without becoming Unknown: warm-up windows shorter than
+           [hold] simply have less to suppress. *)
+        window_scan times vt ~lo_off:(-.hold) ~hi_off:0.0
+          ~decide:(fun ~any_true ~any_false:_ ~any_unknown:_ ~complete:_ ->
+            Verdict.of_bool any_true)
+      in
+      Array.init n (fun k ->
+          match suppress.(k) with
+          | Verdict.True -> Verdict.Unknown
+          | Verdict.False | Verdict.Unknown -> vb.(k))
+  in
+  let verdicts =
+    if n = 0 then [||] else eval_f spec.Spec.formula
+  in
+  { times; verdicts; modes }
+
+let count verdicts v =
+  Array.fold_left
+    (fun acc x -> if Verdict.equal x v then acc + 1 else acc)
+    0 verdicts
+
+let satisfied outcome = count outcome.verdicts Verdict.False = 0
+
+let first_violation outcome =
+  let n = Array.length outcome.verdicts in
+  let rec go i =
+    if i >= n then None
+    else if Verdict.equal outcome.verdicts.(i) Verdict.False then
+      Some (i, outcome.times.(i))
+    else go (i + 1)
+  in
+  go 0

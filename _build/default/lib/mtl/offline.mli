@@ -1,0 +1,42 @@
+(** Offline (whole-log) evaluation — the reference semantics.
+
+    The paper performed all its monitoring offline on stored log data; this
+    evaluator does the same: given the full snapshot stream it computes the
+    spec's verdict at every tick.  It is also the executable definition of
+    the logic's semantics, against which the constant-memory {!Online}
+    monitor is property-tested. *)
+
+type outcome = {
+  times : float array;
+  verdicts : Verdict.t array;  (** verdict of the formula at each tick *)
+  modes : (string * string array) list;
+      (** per machine, the post-transition state at each tick *)
+}
+
+val eval : Spec.t -> Monitor_trace.Snapshot.t list -> outcome
+(** Snapshots must be in strictly increasing time order.
+    @raise Invalid_argument otherwise.
+
+    Semantics of bounded operators over the finite log, with [T] the set of
+    sample times:
+    - [Always [a,b] f] at time [t]: [False] if [f] is [False] at some
+      sample in [\[t+a, t+b\]]; [Unknown] if the window runs past the log's
+      end or contains an [Unknown] without a [False]; else [True] (an empty
+      complete window is vacuously [True]).
+    - [Eventually] is the dual ([True] dominates; an empty complete window
+      is [False]).
+    - [Once [a,b] f] at [t] looks at samples in [\[t-b, t-a\]]; a window
+      truncated by the log's start yields [Unknown] unless a [True] (for
+      [Once]) or [False] (for [Historically]) already decides it — this is
+      the "warm-up" behaviour.
+    - [Warmup (trigger, hold, body)] is [Unknown] at [t] when [trigger] was
+      [True] at some sample in [\[t-hold, t\]], else the verdict of
+      [body]. *)
+
+val count : Verdict.t array -> Verdict.t -> int
+
+val satisfied : outcome -> bool
+(** No [False] verdict anywhere. *)
+
+val first_violation : outcome -> (int * float) option
+(** Index and time of the first [False] verdict. *)

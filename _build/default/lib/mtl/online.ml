@@ -1,0 +1,318 @@
+type resolution = { tick : int; time : float; verdict : Verdict.t }
+
+let time_eps = 1e-9
+
+(* Node tree.  Every node owns an output queue of resolutions in tick
+   order; a parent consumes its children's queues destructively.  Children
+   always resolve a prefix of the tick stream, which is what makes pairwise
+   alignment in binary nodes sound. *)
+
+type decide =
+  any_true:bool -> any_false:bool -> any_unknown:bool -> complete:bool ->
+  Verdict.t
+
+type node = {
+  kind : kind;
+  out : resolution Queue.t;
+}
+
+and kind =
+  | Leaf of Immediate.t
+  | Not1 of node
+  | Bin of {
+      op : Verdict.t -> Verdict.t -> Verdict.t;
+      left : node;
+      right : node;
+    }
+  | Temporal of {
+      lo_off : float;  (* window of tick t is [t + lo_off, t + hi_off] *)
+      hi_off : float;
+      decide : decide;
+      child : node;
+      pending : (int * float) Queue.t;
+      buf : resolution Queue.t;  (* resolved child verdicts, pruned *)
+      mutable child_max_time : float;  (* latest resolved child tick time *)
+      mutable any_child_resolved : bool;
+      mutable first_input : float;
+      mutable last_input : float;
+      mutable saw_input : bool;
+    }
+
+let decide_always ~any_true:_ ~any_false ~any_unknown ~complete =
+  if any_false then Verdict.False
+  else if not complete then Verdict.Unknown
+  else if any_unknown then Verdict.Unknown
+  else Verdict.True
+
+let decide_eventually ~any_true ~any_false:_ ~any_unknown ~complete =
+  if any_true then Verdict.True
+  else if not complete then Verdict.Unknown
+  else if any_unknown then Verdict.Unknown
+  else Verdict.False
+
+(* Warmup mask: "trigger was True in the window", completeness-insensitive. *)
+let decide_mask ~any_true ~any_false:_ ~any_unknown:_ ~complete:_ =
+  Verdict.of_bool any_true
+
+let mask_combine m b =
+  match m with
+  | Verdict.True -> Verdict.Unknown
+  | Verdict.False | Verdict.Unknown -> b
+
+let temporal ~lo_off ~hi_off ~decide child =
+  { kind =
+      Temporal
+        { lo_off; hi_off; decide; child;
+          pending = Queue.create ();
+          buf = Queue.create ();
+          child_max_time = Float.neg_infinity;
+          any_child_resolved = false;
+          first_input = 0.0;
+          last_input = 0.0;
+          saw_input = false };
+    out = Queue.create () }
+
+let rec build (f : Formula.t) =
+  match f with
+  | Formula.Const _ | Formula.Cmp _ | Formula.Bool_signal _ | Formula.Fresh _
+  | Formula.Known _ | Formula.In_mode _ ->
+    { kind = Leaf (Immediate.compile_exn f); out = Queue.create () }
+  | Formula.Not g -> { kind = Not1 (build g); out = Queue.create () }
+  | Formula.And (a, b) ->
+    { kind = Bin { op = Verdict.and_; left = build a; right = build b };
+      out = Queue.create () }
+  | Formula.Or (a, b) ->
+    { kind = Bin { op = Verdict.or_; left = build a; right = build b };
+      out = Queue.create () }
+  | Formula.Implies (a, b) ->
+    { kind = Bin { op = Verdict.implies; left = build a; right = build b };
+      out = Queue.create () }
+  | Formula.Always (i, g) ->
+    temporal ~lo_off:i.Formula.lo ~hi_off:i.Formula.hi ~decide:decide_always
+      (build g)
+  | Formula.Eventually (i, g) ->
+    temporal ~lo_off:i.Formula.lo ~hi_off:i.Formula.hi
+      ~decide:decide_eventually (build g)
+  | Formula.Historically (i, g) ->
+    temporal ~lo_off:(-.i.Formula.hi) ~hi_off:(-.i.Formula.lo)
+      ~decide:decide_always (build g)
+  | Formula.Once (i, g) ->
+    temporal ~lo_off:(-.i.Formula.hi) ~hi_off:(-.i.Formula.lo)
+      ~decide:decide_eventually (build g)
+  | Formula.Warmup { trigger; hold; body } ->
+    let mask = temporal ~lo_off:(-.hold) ~hi_off:0.0 ~decide:decide_mask (build trigger) in
+    { kind = Bin { op = mask_combine; left = mask; right = build body };
+      out = Queue.create () }
+
+(* Resolution machinery --------------------------------------------------- *)
+
+let drain_bin op left right out =
+  while (not (Queue.is_empty left.out)) && not (Queue.is_empty right.out) do
+    let l = Queue.pop left.out and r = Queue.pop right.out in
+    assert (l.tick = r.tick);
+    Queue.push { tick = l.tick; time = l.time; verdict = op l.verdict r.verdict } out
+  done
+
+let try_resolve_temporal ~finalizing t out =
+  match t with
+  | Leaf _ | Not1 _ | Bin _ -> assert false
+  | Temporal tp ->
+    let deciding = ref true in
+    while !deciding && not (Queue.is_empty tp.pending) do
+      let p_tick, p_time = Queue.peek tp.pending in
+      let wlo = p_time +. tp.lo_off -. time_eps in
+      let whi = p_time +. tp.hi_off +. time_eps in
+      (* Drop buffered child verdicts entirely before the front window. *)
+      while
+        (not (Queue.is_empty tp.buf)) && (Queue.peek tp.buf).time < wlo
+      do
+        ignore (Queue.pop tp.buf)
+      done;
+      let any_true = ref false and any_false = ref false and any_unknown = ref false in
+      Queue.iter
+        (fun r ->
+          if r.time >= wlo && r.time <= whi then
+            match r.verdict with
+            | Verdict.True -> any_true := true
+            | Verdict.False -> any_false := true
+            | Verdict.Unknown -> any_unknown := true)
+        tp.buf;
+      (* The window cannot gain samples once the child has resolved a tick
+         at (or within the epsilon of) the window's end: all future ticks
+         have strictly greater times.  This makes past-time operators
+         resolve at their own tick. *)
+      let window_closed =
+        finalizing
+        || (tp.any_child_resolved
+           && tp.child_max_time >= p_time +. tp.hi_off -. time_eps)
+      in
+      (* Resolve before the window closes only if no possible future window
+         contents could change the verdict: the decision must be stable
+         under every extension of the flags (more verdicts can only turn
+         flags on, and completeness can go either way). *)
+      let early =
+        let base =
+          tp.decide ~any_true:!any_true ~any_false:!any_false
+            ~any_unknown:!any_unknown ~complete:false
+        in
+        let choices flag = if flag then [ true ] else [ false; true ] in
+        let stable =
+          List.for_all
+            (fun t' ->
+              List.for_all
+                (fun f' ->
+                  List.for_all
+                    (fun u' ->
+                      List.for_all
+                        (fun c' ->
+                          Verdict.equal base
+                            (tp.decide ~any_true:t' ~any_false:f'
+                               ~any_unknown:u' ~complete:c'))
+                        [ false; true ])
+                    (choices !any_unknown))
+                (choices !any_false))
+            (choices !any_true)
+        in
+        if stable then Some base else None
+      in
+      match early with
+      | Some verdict ->
+        ignore (Queue.pop tp.pending);
+        Queue.push { tick = p_tick; time = p_time; verdict } out
+      | None ->
+        if window_closed then begin
+          let complete =
+            tp.saw_input
+            && tp.last_input >= p_time +. tp.hi_off -. time_eps
+            && tp.first_input <= p_time +. tp.lo_off +. time_eps
+          in
+          let verdict =
+            tp.decide ~any_true:!any_true ~any_false:!any_false
+              ~any_unknown:!any_unknown ~complete
+          in
+          ignore (Queue.pop tp.pending);
+          Queue.push { tick = p_tick; time = p_time; verdict } out
+        end
+        else deciding := false
+    done
+
+let rec advance node ~tick ~time ~mode_lookup snapshot =
+  match node.kind with
+  | Leaf imm ->
+    let verdict = Immediate.eval imm ~mode_lookup snapshot in
+    Queue.push { tick; time; verdict } node.out
+  | Not1 child ->
+    advance child ~tick ~time ~mode_lookup snapshot;
+    while not (Queue.is_empty child.out) do
+      let r = Queue.pop child.out in
+      Queue.push { r with verdict = Verdict.not_ r.verdict } node.out
+    done
+  | Bin { op; left; right } ->
+    advance left ~tick ~time ~mode_lookup snapshot;
+    advance right ~tick ~time ~mode_lookup snapshot;
+    drain_bin op left right node.out
+  | Temporal tp ->
+    advance tp.child ~tick ~time ~mode_lookup snapshot;
+    if not tp.saw_input then begin
+      tp.first_input <- time;
+      tp.saw_input <- true
+    end;
+    tp.last_input <- time;
+    Queue.push (tick, time) tp.pending;
+    while not (Queue.is_empty tp.child.out) do
+      let r = Queue.pop tp.child.out in
+      tp.child_max_time <- r.time;
+      tp.any_child_resolved <- true;
+      Queue.push r tp.buf
+    done;
+    try_resolve_temporal ~finalizing:false node.kind node.out
+
+let rec finalize_node node =
+  match node.kind with
+  | Leaf _ -> ()
+  | Not1 child ->
+    finalize_node child;
+    while not (Queue.is_empty child.out) do
+      let r = Queue.pop child.out in
+      Queue.push { r with verdict = Verdict.not_ r.verdict } node.out
+    done
+  | Bin { op; left; right } ->
+    finalize_node left;
+    finalize_node right;
+    drain_bin op left right node.out
+  | Temporal tp ->
+    finalize_node tp.child;
+    while not (Queue.is_empty tp.child.out) do
+      let r = Queue.pop tp.child.out in
+      tp.child_max_time <- r.time;
+      tp.any_child_resolved <- true;
+      Queue.push r tp.buf
+    done;
+    try_resolve_temporal ~finalizing:true node.kind node.out
+
+let rec count_pending node =
+  match node.kind with
+  | Leaf _ -> 0
+  | Not1 child -> count_pending child
+  | Bin { left; right; _ } -> count_pending left + count_pending right
+  | Temporal tp -> Queue.length tp.pending + count_pending tp.child
+
+(* Monitor ---------------------------------------------------------------- *)
+
+type t = {
+  spec : Spec.t;
+  root : node;
+  machines : (string * State_machine.runtime) list;
+  mutable next_tick : int;
+  mutable last_time : float;
+  mutable finalized : bool;
+}
+
+let create spec =
+  { spec;
+    root = build spec.Spec.formula;
+    machines =
+      List.map
+        (fun (m : State_machine.t) ->
+          (m.State_machine.name, State_machine.start m))
+        spec.Spec.machines;
+    next_tick = 0;
+    last_time = Float.neg_infinity;
+    finalized = false }
+
+let drain t =
+  let out = ref [] in
+  while not (Queue.is_empty t.root.out) do
+    out := Queue.pop t.root.out :: !out
+  done;
+  List.rev !out
+
+let step t snapshot =
+  if t.finalized then invalid_arg "Online.step: monitor already finalized";
+  let time = snapshot.Monitor_trace.Snapshot.time in
+  if time <= t.last_time then
+    invalid_arg "Online.step: snapshot times must be strictly increasing";
+  t.last_time <- time;
+  let tick = t.next_tick in
+  t.next_tick <- tick + 1;
+  (* Machines first: guards see pre-step modes, the formula sees post-step
+     modes — the same convention as Offline.eval. *)
+  let pre = List.map (fun (n, rt) -> (n, State_machine.current rt)) t.machines in
+  let pre_lookup m = List.assoc_opt m pre in
+  List.iter
+    (fun (_, rt) -> ignore (State_machine.step rt ~mode_lookup:pre_lookup snapshot))
+    t.machines;
+  let post = List.map (fun (n, rt) -> (n, State_machine.current rt)) t.machines in
+  let mode_lookup m = List.assoc_opt m post in
+  advance t.root ~tick ~time ~mode_lookup snapshot;
+  drain t
+
+let finalize t =
+  if t.finalized then invalid_arg "Online.finalize: already finalized";
+  t.finalized <- true;
+  finalize_node t.root;
+  drain t
+
+let pending t = count_pending t.root + Queue.length t.root.out
+
+let modes t = List.map (fun (n, rt) -> (n, State_machine.current rt)) t.machines

@@ -1,0 +1,39 @@
+(** Online (incremental, constant-memory) monitoring.
+
+    The paper monitored offline but notes "there is no fundamental reason
+    the monitoring could not be done at runtime".  This monitor is that
+    runtime form: feed it snapshots one at a time; verdicts for a tick are
+    emitted as soon as they are decidable — immediately for past-time
+    formulas, after at most {!Formula.horizon} seconds for bounded-future
+    ones.  Memory use is bounded by the formula's window sizes, never by
+    trace length (the property that lets a bolt-on box keep up with a live
+    bus).
+
+    [step]/[finalize] produce exactly the verdicts {!Offline.eval} assigns,
+    in tick order — this equivalence is enforced by property-based tests. *)
+
+type t
+
+type resolution = {
+  tick : int;       (** 0-based index of the tick the verdict is about *)
+  time : float;     (** that tick's timestamp *)
+  verdict : Verdict.t;
+}
+
+val create : Spec.t -> t
+
+val step : t -> Monitor_trace.Snapshot.t -> resolution list
+(** Feed the next snapshot (strictly increasing times;
+    @raise Invalid_argument otherwise).  Returns every verdict that became
+    decidable, oldest first. *)
+
+val finalize : t -> resolution list
+(** End of log: resolves all still-pending ticks, using [Unknown] for
+    obligations the log cannot decide.  The monitor must not be stepped
+    afterwards. *)
+
+val pending : t -> int
+(** Ticks whose verdict is not yet resolved. *)
+
+val modes : t -> (string * string) list
+(** Current (post-step) state of each machine. *)

@@ -1,0 +1,319 @@
+let unbounded = 1e12
+
+exception Parse_error of string
+
+type state = { tokens : Lexer.located array; mutable pos : int }
+
+let peek st = st.tokens.(st.pos).Lexer.token
+
+let peek_pos st = st.tokens.(st.pos).Lexer.pos
+
+let advance st = st.pos <- st.pos + 1
+
+let fail st expected =
+  raise
+    (Parse_error
+       (Printf.sprintf "expected %s but found %s at offset %d" expected
+          (Lexer.describe (peek st)) (peek_pos st)))
+
+let expect st token what =
+  if peek st = token then advance st else fail st what
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | _ -> fail st "an identifier"
+
+let number st =
+  match peek st with
+  | Lexer.NUMBER x ->
+    advance st;
+    x
+  | Lexer.MINUS -> begin
+    advance st;
+    match peek st with
+    | Lexer.NUMBER x ->
+      advance st;
+      -.x
+    | _ -> fail st "a number"
+  end
+  | _ -> fail st "a number"
+
+(* Expressions ------------------------------------------------------------ *)
+
+let rec parse_expr st =
+  let left = parse_term st in
+  let rec loop acc =
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      loop (Expr.Add (acc, parse_term st))
+    | Lexer.MINUS ->
+      advance st;
+      loop (Expr.Sub (acc, parse_term st))
+    | _ -> acc
+  in
+  loop left
+
+and parse_term st =
+  let left = parse_factor st in
+  let rec loop acc =
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      loop (Expr.Mul (acc, parse_factor st))
+    | Lexer.SLASH ->
+      advance st;
+      loop (Expr.Div (acc, parse_factor st))
+    | _ -> acc
+  in
+  loop left
+
+and parse_factor st =
+  let unary_fn kw wrap =
+    advance st;
+    expect st Lexer.LPAREN ("'(' after " ^ kw);
+    let e = parse_expr st in
+    expect st Lexer.RPAREN "')'";
+    wrap e
+  in
+  let signal_fn kw wrap =
+    advance st;
+    expect st Lexer.LPAREN ("'(' after " ^ kw);
+    let s = ident st in
+    expect st Lexer.RPAREN "')'";
+    wrap s
+  in
+  let binary_fn kw wrap =
+    advance st;
+    expect st Lexer.LPAREN ("'(' after " ^ kw);
+    let a = parse_expr st in
+    expect st Lexer.COMMA "','";
+    let b = parse_expr st in
+    expect st Lexer.RPAREN "')'";
+    wrap a b
+  in
+  match peek st with
+  | Lexer.NUMBER x ->
+    advance st;
+    Expr.Const x
+  | Lexer.IDENT s ->
+    advance st;
+    Expr.Signal s
+  | Lexer.MINUS -> begin
+    advance st;
+    (* Fold a negated literal so "-0.5" is the constant -0.5, keeping
+       print/parse round-trips exact. *)
+    match parse_factor st with
+    | Expr.Const c -> Expr.Const (-.c)
+    | e -> Expr.Neg e
+  end
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN "')'";
+    e
+  | Lexer.KW_PREV -> unary_fn "prev" (fun e -> Expr.Prev e)
+  | Lexer.KW_DELTA -> unary_fn "delta" (fun e -> Expr.Delta e)
+  | Lexer.KW_RATE -> unary_fn "rate" (fun e -> Expr.Rate e)
+  | Lexer.KW_ABS -> unary_fn "abs" (fun e -> Expr.Abs e)
+  | Lexer.KW_FRESH_DELTA -> signal_fn "fresh_delta" (fun s -> Expr.Fresh_delta s)
+  | Lexer.KW_AGE -> signal_fn "age" (fun s -> Expr.Age s)
+  | Lexer.KW_MIN -> binary_fn "min" (fun a b -> Expr.Min (a, b))
+  | Lexer.KW_MAX -> binary_fn "max" (fun a b -> Expr.Max (a, b))
+  | _ -> fail st "an expression"
+
+(* Formulas --------------------------------------------------------------- *)
+
+let comparison_of_token = function
+  | Lexer.LT -> Some Formula.Lt
+  | Lexer.LE -> Some Formula.Le
+  | Lexer.GT -> Some Formula.Gt
+  | Lexer.GE -> Some Formula.Ge
+  | Lexer.EQ -> Some Formula.Eq
+  | Lexer.NE -> Some Formula.Ne
+  | _ -> None
+
+let parse_interval st =
+  match peek st with
+  | Lexer.LBRACKET ->
+    advance st;
+    let lo = number st in
+    expect st Lexer.COMMA "','";
+    let hi = number st in
+    expect st Lexer.RBRACKET "']'";
+    if not (0.0 <= lo && lo <= hi) then
+      raise (Parse_error "interval bounds must satisfy 0 <= lo <= hi");
+    Formula.interval lo hi
+  | _ -> Formula.interval 0.0 unbounded
+
+let rec parse_formula st =
+  let left = parse_or st in
+  match peek st with
+  | Lexer.IMPLIES ->
+    advance st;
+    Formula.Implies (left, parse_formula st)
+  | _ -> left
+
+and parse_or st =
+  let left = parse_and st in
+  let rec loop acc =
+    match peek st with
+    | Lexer.OR ->
+      advance st;
+      loop (Formula.Or (acc, parse_and st))
+    | _ -> acc
+  in
+  loop left
+
+and parse_and st =
+  let left = parse_unary st in
+  let rec loop acc =
+    match peek st with
+    | Lexer.AND ->
+      advance st;
+      loop (Formula.And (acc, parse_unary st))
+    | _ -> acc
+  in
+  loop left
+
+and parse_unary st =
+  match peek st with
+  | Lexer.NOT ->
+    advance st;
+    Formula.Not (parse_unary st)
+  | Lexer.KW_ALWAYS ->
+    advance st;
+    let i = parse_interval st in
+    Formula.Always (i, parse_unary st)
+  | Lexer.KW_EVENTUALLY ->
+    advance st;
+    let i = parse_interval st in
+    Formula.Eventually (i, parse_unary st)
+  | Lexer.KW_ONCE ->
+    advance st;
+    let i = parse_interval st in
+    Formula.Once (i, parse_unary st)
+  | Lexer.KW_HISTORICALLY ->
+    advance st;
+    let i = parse_interval st in
+    Formula.Historically (i, parse_unary st)
+  | Lexer.KW_WARMUP ->
+    advance st;
+    expect st Lexer.LPAREN "'(' after warmup";
+    let trigger = parse_formula st in
+    expect st Lexer.COMMA "','";
+    let hold = number st in
+    if hold < 0.0 then raise (Parse_error "warmup hold must be non-negative");
+    expect st Lexer.COMMA "','";
+    let body = parse_formula st in
+    expect st Lexer.RPAREN "')'";
+    Formula.Warmup { trigger; hold; body }
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.KW_TRUE ->
+    advance st;
+    Formula.Const true
+  | Lexer.KW_FALSE ->
+    advance st;
+    Formula.Const false
+  | Lexer.KW_FRESH ->
+    advance st;
+    expect st Lexer.LPAREN "'(' after fresh";
+    let s = ident st in
+    expect st Lexer.RPAREN "')'";
+    Formula.Fresh s
+  | Lexer.KW_KNOWN ->
+    advance st;
+    expect st Lexer.LPAREN "'(' after known";
+    let s = ident st in
+    expect st Lexer.RPAREN "')'";
+    Formula.Known s
+  | Lexer.KW_MODE ->
+    advance st;
+    expect st Lexer.LPAREN "'(' after mode";
+    let m = ident st in
+    expect st Lexer.COMMA "','";
+    let s = ident st in
+    expect st Lexer.RPAREN "')'";
+    Formula.In_mode (m, s)
+  | Lexer.LPAREN -> begin
+    (* Could be a parenthesised formula or a parenthesised expression
+       beginning a comparison.  Try the formula reading; if it is followed
+       by an arithmetic or comparison operator, re-read as expression. *)
+    let saved = st.pos in
+    match
+      (try
+         advance st;
+         let f = parse_formula st in
+         expect st Lexer.RPAREN "')'";
+         Some f
+       with Parse_error _ ->
+         st.pos <- saved;
+         None)
+    with
+    | Some f -> begin
+      match peek st with
+      | Lexer.PLUS | Lexer.MINUS | Lexer.STAR | Lexer.SLASH | Lexer.LT
+      | Lexer.LE | Lexer.GT | Lexer.GE | Lexer.EQ | Lexer.NE ->
+        st.pos <- saved;
+        parse_comparison st
+      | _ -> f
+    end
+    | None -> parse_comparison st
+  end
+  | _ -> parse_comparison st
+
+and parse_comparison st =
+  let left = parse_expr st in
+  match comparison_of_token (peek st) with
+  | Some op ->
+    advance st;
+    let right = parse_expr st in
+    Formula.Cmp (left, op, right)
+  | None -> begin
+    match left with
+    | Expr.Signal s -> Formula.Bool_signal s
+    | _ -> fail st "a comparison operator"
+  end
+
+let run source parse =
+  match Lexer.tokenize source with
+  | Error msg -> Error msg
+  | Ok tokens -> begin
+    let st = { tokens; pos = 0 } in
+    match parse st with
+    | result ->
+      if peek st = Lexer.EOF then Ok result
+      else
+        Error
+          (Printf.sprintf "trailing input: %s at offset %d"
+             (Lexer.describe (peek st)) (peek_pos st))
+    | exception Parse_error msg -> Error msg
+  end
+
+let formula_of_string source = run source parse_formula
+
+let formula_of_string_exn source =
+  match formula_of_string source with
+  | Ok f -> f
+  | Error msg -> invalid_arg ("Parser.formula_of_string: " ^ msg)
+
+let expr_of_string source = run source parse_expr
+
+(* Embedding --------------------------------------------------------------- *)
+
+type stream = state
+
+let stream_of_string source =
+  Result.map (fun tokens -> { tokens; pos = 0 }) (Lexer.tokenize source)
+
+let peek_position = peek_pos
+
+let parse_formula_prefix st = parse_formula st
+
+let parse_expr_prefix st = parse_expr st

@@ -1,0 +1,63 @@
+(** Parser for the textual specification language.
+
+    Grammar (lowest precedence first; [->] is right-associative):
+    {v
+    formula   := or_f ('->' formula)?
+    or_f      := and_f ('or' and_f)*
+    and_f     := unary ('and' unary)*
+    unary     := 'not' unary
+               | ('always'|'eventually'|'once'|'historically') interval? unary
+               | 'warmup' '(' formula ',' number ',' formula ')'
+               | primary
+    interval  := '[' number ',' number ']'
+    primary   := 'true' | 'false'
+               | 'fresh' '(' ident ')' | 'known' '(' ident ')'
+               | 'mode' '(' ident ',' ident ')'
+               | '(' formula ')'
+               | expr (('<'|'<='|'>'|'>='|'=='|'!=') expr)?   -- a bare
+                 identifier with no comparison is a boolean signal
+    expr      := term (('+'|'-') term)*
+    term      := factor (('*'|'/') factor)*
+    factor    := number | ident | '-' factor | '(' expr ')'
+               | ('prev'|'delta'|'rate'|'abs') '(' expr ')'
+               | ('fresh_delta'|'age') '(' ident ')'
+               | ('min'|'max') '(' expr ',' expr ')'
+    v}
+    Comments run from [#] to end of line.  A temporal operator without an
+    interval means "for the rest of the trace" / "anywhere in the past"
+    ([\[0, 1e12\]] internally). *)
+
+val formula_of_string : string -> (Formula.t, string) result
+
+val formula_of_string_exn : string -> Formula.t
+(** @raise Invalid_argument with the parse error message. *)
+
+val expr_of_string : string -> (Expr.t, string) result
+
+val unbounded : float
+(** The interval bound used for temporal operators written without an
+    explicit interval. *)
+
+(** {2 Embedding}
+
+    Hooks for parsers of larger languages (spec files) that contain
+    formulas and expressions: a mutable token stream plus prefix parsers
+    that consume exactly one formula/expression and leave the rest. *)
+
+exception Parse_error of string
+
+type stream
+
+val stream_of_string : string -> (stream, string) result
+
+val peek : stream -> Lexer.token
+
+val peek_position : stream -> int
+
+val advance : stream -> unit
+
+val parse_formula_prefix : stream -> Formula.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_expr_prefix : stream -> Expr.t
+(** @raise Parse_error on malformed input. *)

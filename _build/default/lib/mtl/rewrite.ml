@@ -1,0 +1,122 @@
+(* Soundness notes.  All rewrites must preserve the three-valued,
+   finite-trace semantics of Offline.eval at every tick:
+
+   - [always[a,b] true -> true] is NOT sound: near the end of the log the
+     window is incomplete and the verdict is Unknown, not True.  Temporal
+     operators over constants are therefore left alone.
+   - [f or not f -> true] is not sound in Kleene logic (Unknown case).
+   - Expression rewrites must preserve IEEE corner cases: [e + 0.0 -> e]
+     breaks on -0.0 feeding a division, so only provably bit-safe
+     identities are applied. *)
+
+let fold_cmp op a b =
+  let r =
+    match (op : Formula.comparison) with
+    | Formula.Lt -> a < b
+    | Formula.Le -> a <= b
+    | Formula.Gt -> a > b
+    | Formula.Ge -> a >= b
+    | Formula.Eq -> a = b
+    | Formula.Ne -> a <> b
+  in
+  Formula.Const r
+
+let rec simplify_expr (e : Expr.t) =
+  let e' = rewrite_expr (map_expr simplify_expr e) in
+  if Expr.equal e' e then e else simplify_expr e'
+
+and map_expr f = function
+  | (Expr.Const _ | Expr.Signal _ | Expr.Fresh_delta _ | Expr.Age _) as e -> e
+  | Expr.Prev e -> Expr.Prev (f e)
+  | Expr.Delta e -> Expr.Delta (f e)
+  | Expr.Rate e -> Expr.Rate (f e)
+  | Expr.Neg e -> Expr.Neg (f e)
+  | Expr.Abs e -> Expr.Abs (f e)
+  | Expr.Add (a, b) -> Expr.Add (f a, f b)
+  | Expr.Sub (a, b) -> Expr.Sub (f a, f b)
+  | Expr.Mul (a, b) -> Expr.Mul (f a, f b)
+  | Expr.Div (a, b) -> Expr.Div (f a, f b)
+  | Expr.Min (a, b) -> Expr.Min (f a, f b)
+  | Expr.Max (a, b) -> Expr.Max (f a, f b)
+
+and rewrite_expr = function
+  (* Constant folding: evaluation is deterministic, so this is exact. *)
+  | Expr.Neg (Expr.Const c) -> Expr.Const (-.c)
+  | Expr.Abs (Expr.Const c) -> Expr.Const (Float.abs c)
+  | Expr.Add (Expr.Const a, Expr.Const b) -> Expr.Const (a +. b)
+  | Expr.Sub (Expr.Const a, Expr.Const b) -> Expr.Const (a -. b)
+  | Expr.Mul (Expr.Const a, Expr.Const b) -> Expr.Const (a *. b)
+  | Expr.Div (Expr.Const a, Expr.Const b) -> Expr.Const (a /. b)
+  | Expr.Min (Expr.Const a, Expr.Const b) -> Expr.Const (Float.min a b)
+  | Expr.Max (Expr.Const a, Expr.Const b) -> Expr.Const (Float.max a b)
+  (* Bit-safe identities (hold for every float including -0.0 and NaN). *)
+  | Expr.Neg (Expr.Neg e) -> e
+  | Expr.Abs (Expr.Abs e) -> Expr.Abs e
+  | Expr.Abs (Expr.Neg e) -> Expr.Abs e
+  | Expr.Sub (e, Expr.Const z)
+    when Int64.equal (Int64.bits_of_float z) (Int64.bits_of_float 0.0) ->
+    (* x - (+0.0) = x bit-for-bit (x - (-0.0) would break -0.0). *)
+    e
+  | Expr.Mul (e, Expr.Const 1.0) -> e
+  | Expr.Mul (Expr.Const 1.0, e) -> e
+  | Expr.Div (e, Expr.Const 1.0) -> e
+  | Expr.Min (a, b) when Expr.equal a b -> a
+  | Expr.Max (a, b) when Expr.equal a b -> a
+  | e -> e
+
+let rec simplify (f : Formula.t) =
+  let f' = rewrite (map simplify f) in
+  if Formula.equal f' f then f else simplify f'
+
+and map g = function
+  | (Formula.Const _ | Formula.Bool_signal _ | Formula.Fresh _
+    | Formula.Known _ | Formula.In_mode _) as f -> f
+  | Formula.Cmp (a, op, b) ->
+    Formula.Cmp (simplify_expr a, op, simplify_expr b)
+  | Formula.Not f -> Formula.Not (g f)
+  | Formula.And (a, b) -> Formula.And (g a, g b)
+  | Formula.Or (a, b) -> Formula.Or (g a, g b)
+  | Formula.Implies (a, b) -> Formula.Implies (g a, g b)
+  | Formula.Always (i, f) -> Formula.Always (i, g f)
+  | Formula.Eventually (i, f) -> Formula.Eventually (i, g f)
+  | Formula.Historically (i, f) -> Formula.Historically (i, g f)
+  | Formula.Once (i, f) -> Formula.Once (i, g f)
+  | Formula.Warmup { trigger; hold; body } ->
+    Formula.Warmup { trigger = g trigger; hold; body = g body }
+
+and rewrite = function
+  (* Comparisons of constants are always defined: fold them. *)
+  | Formula.Cmp (Expr.Const a, op, Expr.Const b) -> fold_cmp op a b
+  (* Connective constant folding (sound in Kleene logic). *)
+  | Formula.Not (Formula.Const b) -> Formula.Const (not b)
+  | Formula.Not (Formula.Not f) -> f
+  | Formula.And (Formula.Const true, f) | Formula.And (f, Formula.Const true) -> f
+  | Formula.And ((Formula.Const false as f), _)
+  | Formula.And (_, (Formula.Const false as f)) -> f
+  | Formula.Or ((Formula.Const true as f), _)
+  | Formula.Or (_, (Formula.Const true as f)) -> f
+  | Formula.Or (Formula.Const false, f) | Formula.Or (f, Formula.Const false) -> f
+  | Formula.Implies (Formula.Const true, f) -> f
+  | Formula.Implies (Formula.Const false, _) -> Formula.Const true
+  | Formula.Implies (_, (Formula.Const true as t)) -> t
+  | Formula.Implies (f, Formula.Const false) -> Formula.Not f
+  (* Idempotence. *)
+  | Formula.And (a, b) when Formula.equal a b -> a
+  | Formula.Or (a, b) when Formula.equal a b -> a
+  (* De Morgan, only when it eliminates negations. *)
+  | Formula.Not (Formula.And (Formula.Not a, Formula.Not b)) -> Formula.Or (a, b)
+  | Formula.Not (Formula.Or (Formula.Not a, Formula.Not b)) -> Formula.And (a, b)
+  (* Temporal duals, only when the inner negation cancels.  These are
+     exact even with completeness/Unknown: the flag-by-flag case analysis
+     of decide_always against decide_eventually matches. *)
+  | Formula.Not (Formula.Always (i, Formula.Not f)) -> Formula.Eventually (i, f)
+  | Formula.Not (Formula.Eventually (i, Formula.Not f)) -> Formula.Always (i, f)
+  | Formula.Not (Formula.Historically (i, Formula.Not f)) -> Formula.Once (i, f)
+  | Formula.Not (Formula.Once (i, Formula.Not f)) -> Formula.Historically (i, f)
+  (* A warmup whose trigger can never fire is its body. *)
+  | Formula.Warmup { trigger = Formula.Const false; body; _ } -> body
+  | f -> f
+
+let size_reduction f =
+  let before = Formula.size f in
+  (before, Formula.size (simplify f))

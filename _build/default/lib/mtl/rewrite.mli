@@ -1,0 +1,37 @@
+(** Formula simplification.
+
+    The monitor's per-tick cost grows with formula size and window count,
+    and hand-written or machine-generated rules often carry dead weight
+    (double negations, constant subformulas, nested identical windows).
+    [simplify] applies a fixpoint of verdict-preserving rewrites; the
+    equivalence with the original formula under {!Offline.eval} is enforced
+    by property tests over random formulas and traces.
+
+    Rewrites must be sound in the three-valued semantics: e.g. [f and f]
+    rewrites to [f], but [f or not f] does {e not} rewrite to [true]
+    (it is [Unknown] when [f] is). *)
+
+val simplify : Formula.t -> Formula.t
+(** Fixpoint of:
+    - constant folding through connectives ([true and f] -> [f], ...);
+    - double negation elimination, De Morgan when it removes a negation;
+    - idempotence ([f and f] -> [f], [f or f] -> [f]);
+    - [Implies (a, b)] -> [Or (Not a, b)] normalisation;
+    - comparison folding on constant operands (IEEE semantics);
+    - temporal identities: [always[a,b] true] -> [true],
+      [eventually[a,b] false] -> [false] (and past duals; only for
+      intervals anchored at the present, [a = 0], where the window is
+      never vacuous), nested same-operator windows with zero-anchored
+      intervals merge ([always[0,x] always[0,y] f] -> [always[0,x+y] f]);
+    - [warmup] with a [false] trigger or zero hold behaves as its body
+      only when the trigger cannot fire; a constant-[true] trigger makes
+      the whole formula undecidable, which has no simpler form. *)
+
+val simplify_expr : Expr.t -> Expr.t
+(** Constant folding and algebraic identities on expressions
+    ([e + 0.0] -> [e], [e * 1.0] -> [e], [abs] of a constant, ...).
+    Floating-point-safe: only rewrites that preserve IEEE semantics for
+    every input, including NaN, are applied (so [e * 0.0] is kept). *)
+
+val size_reduction : Formula.t -> int * int
+(** (before, after) node counts — for reporting. *)

@@ -1,0 +1,90 @@
+type t = {
+  name : string;
+  description : string;
+  machines : State_machine.t list;
+  formula : Formula.t;
+  severity : Expr.t option;
+}
+
+let machine_guard_formulas (m : State_machine.t) =
+  List.filter_map
+    (fun (tr : State_machine.transition) ->
+      match tr.State_machine.guard with
+      | State_machine.When f | State_machine.When_after (f, _) -> Some f
+      | State_machine.After _ -> None)
+    m.State_machine.transitions
+
+(* Every In_mode (machine, state) pair mentioned in a formula. *)
+let mode_refs f =
+  let out = ref [] in
+  let rec go (f : Formula.t) =
+    match f with
+    | Formula.In_mode (m, s) -> out := (m, s) :: !out
+    | Formula.Const _ | Formula.Cmp _ | Formula.Bool_signal _ | Formula.Fresh _
+    | Formula.Known _ -> ()
+    | Formula.Not f -> go f
+    | Formula.And (a, b) | Formula.Or (a, b) | Formula.Implies (a, b) ->
+      go a;
+      go b
+    | Formula.Always (_, f) | Formula.Eventually (_, f)
+    | Formula.Historically (_, f) | Formula.Once (_, f) -> go f
+    | Formula.Warmup { trigger; body; _ } ->
+      go trigger;
+      go body
+  in
+  go f;
+  !out
+
+let make ?(description = "") ?(machines = []) ?severity ~name formula =
+  let by_name = Hashtbl.create 4 in
+  List.iter
+    (fun (m : State_machine.t) ->
+      if Hashtbl.mem by_name m.State_machine.name then
+        invalid_arg ("Spec.make: duplicate machine " ^ m.State_machine.name);
+      Hashtbl.add by_name m.State_machine.name m)
+    machines;
+  let check_ref context (machine_name, state) =
+    match Hashtbl.find_opt by_name machine_name with
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Spec.make: %s references unknown machine %s" context
+           machine_name)
+    | Some m ->
+      if not (List.mem state m.State_machine.states) then
+        invalid_arg
+          (Printf.sprintf "Spec.make: %s references unknown state %s.%s"
+             context machine_name state)
+  in
+  List.iter (check_ref "formula") (mode_refs formula);
+  List.iter
+    (fun (m : State_machine.t) ->
+      List.iter
+        (fun gf -> List.iter (check_ref ("guard in machine " ^ m.State_machine.name)) (mode_refs gf))
+        (machine_guard_formulas m))
+    machines;
+  { name; description; machines; formula; severity }
+
+let signals t =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let note s =
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.add seen s ();
+      out := s :: !out
+    end
+  in
+  List.iter note (Formula.signals t.formula);
+  List.iter
+    (fun m ->
+      List.iter
+        (fun gf -> List.iter note (Formula.signals gf))
+        (machine_guard_formulas m))
+    t.machines;
+  List.rev !out
+
+let horizon t = Formula.horizon t.formula
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>spec %s:%s@ %a@]" t.name
+    (if t.description = "" then "" else " " ^ t.description)
+    Formula.pp t.formula

@@ -1,0 +1,34 @@
+(** A complete monitorable specification: a named formula plus the state
+    machines it references. *)
+
+type t = private {
+  name : string;
+  description : string;
+  machines : State_machine.t list;
+  formula : Formula.t;
+  severity : Expr.t option;
+      (** optional dimensionless badness score, evaluated per tick; the
+          oracle records each violation episode's peak |severity| so triage
+          can weigh "intensity and duration" (§IV-A of the paper).  By
+          convention |severity| >= 1 is significant. *)
+}
+
+val make :
+  ?description:string -> ?machines:State_machine.t list ->
+  ?severity:Expr.t -> name:string -> Formula.t -> t
+(** Validates that machine names are distinct and that every [In_mode]
+    reference in the formula (and in machine guards) names a declared
+    machine and state.  @raise Invalid_argument otherwise.
+
+    Mode-reference convention: the main formula sees each machine's state
+    {e after} its transition at the current tick; machine guards see other
+    machines' states {e before} any machine stepped at the current tick. *)
+
+val signals : t -> string list
+(** Signals used by the formula and all machine guards. *)
+
+val horizon : t -> float
+(** See {!Formula.horizon}; machine guards are immediate so only the main
+    formula contributes. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,223 @@
+(* The file grammar sits on top of the formula language, using contextual
+   keywords (plain identifiers at statement positions):
+
+   file       := spec*
+   spec       := 'spec' IDENT STRING? item*
+   item       := machine | severity | formula
+   machine    := 'machine' IDENT '{' 'initial' IDENT
+                 'states' IDENT+ transition* '}'
+   transition := IDENT '->' IDENT guard
+   guard      := 'when' FORMULA ('after' NUMBER)? | 'after' NUMBER
+   severity   := 'severity' EXPR
+   formula    := 'formula' FORMULA *)
+
+let keywords = [ "spec"; "machine"; "initial"; "states"; "when"; "after";
+                 "severity"; "formula"; "description" ]
+
+let is_kw st word =
+  match Parser.peek st with
+  | Lexer.IDENT s -> String.equal s word
+  | _ -> false
+
+
+let fail st what =
+  raise
+    (Parser.Parse_error
+       (Printf.sprintf "expected %s but found %s at offset %d" what
+          (Lexer.describe (Parser.peek st))
+          (Parser.peek_position st)))
+
+let eat_kw st word = if is_kw st word then Parser.advance st else fail st ("'" ^ word ^ "'")
+
+let ident st =
+  match Parser.peek st with
+  | Lexer.IDENT s when not (List.mem s keywords) ->
+    Parser.advance st;
+    s
+  | _ -> fail st "a name"
+
+let number st =
+  match Parser.peek st with
+  | Lexer.NUMBER x ->
+    Parser.advance st;
+    x
+  | _ -> fail st "a number"
+
+let parse_guard st =
+  if is_kw st "when" then begin
+    Parser.advance st;
+    let formula = Parser.parse_formula_prefix st in
+    if is_kw st "after" then begin
+      Parser.advance st;
+      State_machine.When_after (formula, number st)
+    end
+    else State_machine.When formula
+  end
+  else if is_kw st "after" then begin
+    Parser.advance st;
+    State_machine.After (number st)
+  end
+  else fail st "'when' or 'after'"
+
+let parse_machine st =
+  eat_kw st "machine";
+  let name = ident st in
+  (match Parser.peek st with
+   | Lexer.LBRACE -> Parser.advance st
+   | _ -> fail st "'{'");
+  eat_kw st "initial";
+  let initial = ident st in
+  eat_kw st "states";
+  (* Names follow one another; a name turns out to be a transition source
+     (not another state) exactly when an '->' follows it. *)
+  let states = ref [ ident st ] in
+  let transitions = ref [] in
+  let closed = ref false in
+  while not !closed do
+    match Parser.peek st with
+    | Lexer.RBRACE ->
+      Parser.advance st;
+      closed := true
+    | Lexer.IDENT s when not (List.mem s keywords) ->
+      Parser.advance st;
+      (match Parser.peek st with
+       | Lexer.IMPLIES ->
+         Parser.advance st;
+         let target = ident st in
+         let guard = parse_guard st in
+         transitions :=
+           { State_machine.source = s; guard; target } :: !transitions
+       | _ -> states := s :: !states)
+    | _ -> fail st "a state, a transition or '}'"
+  done;
+  State_machine.make ~name ~initial ~states:(List.rev !states)
+    ~transitions:(List.rev !transitions)
+
+let parse_spec st =
+  eat_kw st "spec";
+  let name = ident st in
+  let description =
+    match Parser.peek st with
+    | Lexer.STRING s ->
+      Parser.advance st;
+      s
+    | _ -> ""
+  in
+  let machines = ref [] in
+  let severity = ref None in
+  let formula = ref None in
+  let more = ref true in
+  while !more do
+    if is_kw st "machine" then machines := parse_machine st :: !machines
+    else if is_kw st "severity" then begin
+      Parser.advance st;
+      severity := Some (Parser.parse_expr_prefix st)
+    end
+    else if is_kw st "formula" then begin
+      Parser.advance st;
+      if !formula <> None then
+        raise (Parser.Parse_error ("spec " ^ name ^ " has two formulas"));
+      formula := Some (Parser.parse_formula_prefix st)
+    end
+    else more := false
+  done;
+  match !formula with
+  | None -> raise (Parser.Parse_error ("spec " ^ name ^ " has no formula"))
+  | Some f ->
+    Spec.make ~description ?severity:!severity ~machines:(List.rev !machines)
+      ~name f
+
+let parse_file st =
+  let specs = ref [] in
+  while is_kw st "spec" do
+    specs := parse_spec st :: !specs
+  done;
+  (match Parser.peek st with
+   | Lexer.EOF -> ()
+   | _ -> fail st "'spec' or end of file");
+  List.rev !specs
+
+let of_string source =
+  match Parser.stream_of_string source with
+  | Error msg -> Error msg
+  | Ok st -> begin
+    match parse_file st with
+    | specs -> Ok specs
+    | exception Parser.Parse_error msg -> Error msg
+    | exception Invalid_argument msg -> Error msg
+  end
+
+let of_string_exn source =
+  match of_string source with
+  | Ok specs -> specs
+  | Error msg -> invalid_arg ("Spec_file.of_string: " ^ msg)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | source -> of_string source
+  | exception Sys_error msg -> Error msg
+
+(* Printing ----------------------------------------------------------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let guard_to_string = function
+  | State_machine.When f -> "when " ^ Formula.to_string f
+  | State_machine.After d -> Printf.sprintf "after %s" (Monitor_util.Pretty.float_exact d)
+  | State_machine.When_after (f, d) ->
+    Printf.sprintf "when %s after %s" (Formula.to_string f)
+      (Monitor_util.Pretty.float_exact d)
+
+let machine_to_buffer buf (m : State_machine.t) =
+  Buffer.add_string buf (Printf.sprintf "machine %s {\n" m.State_machine.name);
+  Buffer.add_string buf
+    (Printf.sprintf "  initial %s\n  states %s\n" m.State_machine.initial
+       (String.concat " " m.State_machine.states));
+  List.iter
+    (fun (tr : State_machine.transition) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s %s\n" tr.State_machine.source
+           tr.State_machine.target
+           (guard_to_string tr.State_machine.guard)))
+    m.State_machine.transitions;
+  Buffer.add_string buf "}\n"
+
+let spec_to_buffer buf (s : Spec.t) =
+  Buffer.add_string buf (Printf.sprintf "spec %s" s.Spec.name);
+  if s.Spec.description <> "" then
+    Buffer.add_string buf (Printf.sprintf " \"%s\"" (escape s.Spec.description));
+  Buffer.add_char buf '\n';
+  List.iter (machine_to_buffer buf) s.Spec.machines;
+  (match s.Spec.severity with
+   | Some e ->
+     Buffer.add_string buf
+       (Printf.sprintf "severity %s\n" (Fmt.str "%a" Expr.pp e))
+   | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf "formula %s\n" (Formula.to_string s.Spec.formula))
+
+let to_string specs =
+  let buf = Buffer.create 1024 in
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf '\n';
+      spec_to_buffer buf s)
+    specs;
+  Buffer.contents buf
+
+let save path specs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string specs))

@@ -1,0 +1,44 @@
+(** Whole specifications as text files.
+
+    Rules, their state machines and severity scores can live in versioned
+    `.spec` files next to the system under test, instead of being built in
+    OCaml.  A file holds one or more specs:
+
+    {v
+    # comments run to end of line
+    spec headway_recovery "low headway must recover"
+
+    machine tracking {
+      initial no_target
+      states no_target acquired
+      no_target -> acquired when VehicleAhead
+      acquired -> no_target when not VehicleAhead
+    }
+
+    severity (1.0 - TargetRange / Velocity) / 0.25
+
+    formula
+      (mode(tracking, acquired) and TargetRange / Velocity < 1.0)
+        -> eventually[0.0, 5.0]
+             (not VehicleAhead or TargetRange / Velocity >= 1.0)
+    v}
+
+    Machine transitions take [when <formula>], [after <seconds>] or
+    [when <formula> after <seconds>] guards.  The words [spec], [machine],
+    [initial], [states], [when], [after], [severity], [formula] and
+    [description] are contextual keywords of the file format: signals with
+    those names cannot be referenced at statement boundaries. *)
+
+val of_string : string -> (Spec.t list, string) result
+(** Parse a spec file.  Also validates each spec via {!Spec.make}. *)
+
+val of_string_exn : string -> Spec.t list
+
+val load : string -> (Spec.t list, string) result
+(** From a file path. *)
+
+val to_string : Spec.t list -> string
+(** Render back to the file syntax; [of_string (to_string specs)] yields
+    structurally equal specs (property-tested). *)
+
+val save : string -> Spec.t list -> unit

@@ -1,0 +1,133 @@
+type guard =
+  | When of Formula.t
+  | After of float
+  | When_after of Formula.t * float
+
+type transition = { source : string; guard : guard; target : string }
+
+type t = {
+  name : string;
+  initial : string;
+  states : string list;
+  transitions : transition list;
+}
+
+let guard_formula = function
+  | When f | When_after (f, _) -> Some f
+  | After _ -> None
+
+let make ~name ~initial ~states ~transitions =
+  let declared = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem declared s then
+        invalid_arg ("State_machine.make: duplicate state " ^ s);
+      Hashtbl.add declared s ())
+    states;
+  if not (Hashtbl.mem declared initial) then
+    invalid_arg ("State_machine.make: undeclared initial state " ^ initial);
+  List.iter
+    (fun tr ->
+      if not (Hashtbl.mem declared tr.source) then
+        invalid_arg ("State_machine.make: undeclared source state " ^ tr.source);
+      if not (Hashtbl.mem declared tr.target) then
+        invalid_arg ("State_machine.make: undeclared target state " ^ tr.target);
+      (match tr.guard with
+       | After d | When_after (_, d) ->
+         if d < 0.0 then invalid_arg "State_machine.make: negative timeout"
+       | When _ -> ());
+      match guard_formula tr.guard with
+      | None -> ()
+      | Some f -> begin
+        match Immediate.compile f with
+        | Ok _ -> ()
+        | Error msg -> invalid_arg ("State_machine.make: guard " ^ msg)
+      end)
+    transitions;
+  { name; initial; states; transitions }
+
+(* Runtime ---------------------------------------------------------------- *)
+
+type compiled_transition = {
+  t_source : string;
+  t_target : string;
+  t_timeout : float option;
+  t_cond : Immediate.t option;
+}
+
+type runtime = {
+  def : t;
+  compiled : compiled_transition list;
+  mutable state : string;
+  mutable entered_at : float option;  (* None before the first tick *)
+  mutable now : float;
+}
+
+let compile_transition tr =
+  let t_timeout =
+    match tr.guard with
+    | After d | When_after (_, d) -> Some d
+    | When _ -> None
+  in
+  let t_cond = Option.map Immediate.compile_exn (guard_formula tr.guard) in
+  { t_source = tr.source; t_target = tr.target; t_timeout; t_cond }
+
+let start def =
+  { def;
+    compiled = List.map compile_transition def.transitions;
+    state = def.initial;
+    entered_at = None;
+    now = 0.0 }
+
+let machine rt = rt.def
+
+let current rt = rt.state
+
+let time_in_state rt =
+  match rt.entered_at with
+  | None -> 0.0
+  | Some t -> rt.now -. t
+
+let step rt ~mode_lookup snapshot =
+  let time = snapshot.Monitor_trace.Snapshot.time in
+  rt.now <- time;
+  if rt.entered_at = None then rt.entered_at <- Some time;
+  (* Step every guard's expression history first, whichever state we are
+     in: Prev/Delta inside guards must advance on every tick. *)
+  let verdicts =
+    List.map
+      (fun ct ->
+        let v =
+          match ct.t_cond with
+          | Some cond -> Some (Immediate.eval cond ~mode_lookup snapshot)
+          | None -> None
+        in
+        (ct, v))
+      rt.compiled
+  in
+  let elapsed = time_in_state rt in
+  let fires (ct, v) =
+    String.equal ct.t_source rt.state
+    &&
+    let timeout_ok =
+      match ct.t_timeout with None -> true | Some d -> elapsed >= d
+    in
+    let cond_ok =
+      match v with None -> true | Some verdict -> Verdict.equal verdict Verdict.True
+    in
+    timeout_ok && cond_ok
+  in
+  (match List.find_opt fires verdicts with
+   | Some (ct, _) ->
+     rt.state <- ct.t_target;
+     rt.entered_at <- Some time
+   | None -> ());
+  rt.state
+
+let reset rt =
+  rt.state <- rt.def.initial;
+  rt.entered_at <- None;
+  rt.now <- 0.0;
+  List.iter
+    (fun ct -> match ct.t_cond with Some c -> Immediate.reset c | None -> ())
+    rt.compiled

@@ -1,0 +1,55 @@
+(** Mode-encoding state machines.
+
+    The paper avoids nesting temporal operators "by using state machines
+    when needed": a machine tracks modal system state (ACC engaged, target
+    acquired, headway-low-with-deadline, ...) and formulas refer to the
+    current mode with [In_mode].  Guards are immediate-fragment formulas;
+    [After]/[When_after] guards add the timeout idiom that replaces nested
+    "if low then recover within d" temporal formulas. *)
+
+type guard =
+  | When of Formula.t           (** fires when the formula is [True] *)
+  | After of float              (** fires once the state is [d] seconds old *)
+  | When_after of Formula.t * float
+      (** formula [True] and the state at least [d] seconds old *)
+
+type transition = { source : string; guard : guard; target : string }
+
+type t = private {
+  name : string;
+  initial : string;
+  states : string list;
+  transitions : transition list;
+}
+
+val make :
+  name:string -> initial:string -> states:string list ->
+  transitions:transition list -> t
+(** Validates that state names are distinct, the initial state and all
+    transition endpoints are declared, and every guard formula is in the
+    immediate fragment.  @raise Invalid_argument otherwise. *)
+
+(** {2 Runtime} *)
+
+type runtime
+
+val start : t -> runtime
+
+val machine : runtime -> t
+
+val current : runtime -> string
+
+val time_in_state : runtime -> float
+(** Seconds since entering the current state (0 before the first tick). *)
+
+val step :
+  runtime -> mode_lookup:(string -> string option) ->
+  Monitor_trace.Snapshot.t -> string
+(** Advance one tick: every guard's expressions are stepped (so [prev] and
+    [delta] stay aligned across all transitions), then the first outgoing
+    transition of the current state, in declaration order, whose guard
+    fires is taken.  At most one transition per tick.  [mode_lookup] lets
+    guards reference other machines; by convention the monitor passes
+    pre-step (previous tick) modes.  Returns the new current state. *)
+
+val reset : runtime -> unit

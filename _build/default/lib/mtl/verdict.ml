@@ -1,0 +1,32 @@
+type t = True | False | Unknown
+
+let of_bool b = if b then True else False
+
+let not_ = function True -> False | False -> True | Unknown -> Unknown
+
+let and_ a b =
+  match a, b with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | Unknown, _ | _, Unknown -> Unknown
+
+let or_ a b =
+  match a, b with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | Unknown, _ | _, Unknown -> Unknown
+
+let implies a b = or_ (not_ a) b
+
+let equal a b =
+  match a, b with
+  | True, True | False, False | Unknown, Unknown -> true
+  | (True | False | Unknown), _ -> false
+
+let to_string = function True -> "T" | False -> "F" | Unknown -> "?"
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let conj vs = List.fold_left and_ True vs
+
+let disj vs = List.fold_left or_ False vs

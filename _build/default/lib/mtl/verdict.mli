@@ -1,0 +1,35 @@
+(** Three-valued verdicts (strong Kleene logic).
+
+    A monitor reading a partial, finite log cannot always decide a
+    property: bounded-future obligations may run off the end of the trace,
+    change expressions have no value at the first sample, and rules are
+    deliberately inhibited while "warming up" after discontinuities
+    (§V-C2 of the paper).  [Unknown] makes all of these explicit instead of
+    defaulting them to a spurious pass or fail. *)
+
+type t = True | False | Unknown
+
+val of_bool : bool -> t
+
+val not_ : t -> t
+
+val and_ : t -> t -> t
+(** Kleene: [False] dominates, then [Unknown]. *)
+
+val or_ : t -> t -> t
+(** Kleene: [True] dominates, then [Unknown]. *)
+
+val implies : t -> t -> t
+(** [implies a b = or_ (not_ a) b]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val conj : t list -> t
+(** n-ary {!and_} over a list; [True] when empty. *)
+
+val disj : t list -> t
+(** n-ary {!or_}; [False] when empty. *)

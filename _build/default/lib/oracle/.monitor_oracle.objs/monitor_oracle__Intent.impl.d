@@ -1,0 +1,1 @@
+lib/oracle/intent.ml: List Oracle

@@ -1,0 +1,1 @@
+lib/oracle/intent.mli: Oracle

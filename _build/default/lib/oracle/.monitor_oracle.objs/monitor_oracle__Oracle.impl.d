@@ -1,0 +1,1 @@
+lib/oracle/oracle.ml: Array Float Int List Monitor_mtl Monitor_trace

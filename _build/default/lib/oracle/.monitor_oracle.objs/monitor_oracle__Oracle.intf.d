@@ -1,0 +1,1 @@
+lib/oracle/oracle.mli: Monitor_mtl Monitor_trace

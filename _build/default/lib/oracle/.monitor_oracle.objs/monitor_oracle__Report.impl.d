@@ -1,0 +1,1 @@
+lib/oracle/report.ml: Array Buffer List Monitor_mtl Oracle Printf String

@@ -1,0 +1,1 @@
+lib/oracle/report.mli: Oracle

@@ -1,0 +1,1 @@
+lib/oracle/rules.ml: Array List Monitor_mtl Option Printf

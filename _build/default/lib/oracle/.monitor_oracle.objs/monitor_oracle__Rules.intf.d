@@ -1,0 +1,1 @@
+lib/oracle/rules.mli: Monitor_mtl

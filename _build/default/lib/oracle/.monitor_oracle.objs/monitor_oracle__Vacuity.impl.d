@@ -1,0 +1,1 @@
+lib/oracle/vacuity.ml: Array Buffer List Monitor_mtl Oracle Printf

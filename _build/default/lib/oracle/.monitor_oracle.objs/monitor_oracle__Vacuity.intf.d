@@ -1,0 +1,1 @@
+lib/oracle/vacuity.mli: Monitor_mtl Monitor_trace

@@ -1,0 +1,28 @@
+type filter = {
+  min_duration : float;
+  min_ticks : int;
+  min_intensity : float;
+}
+
+let strict = { min_duration = 0.0; min_ticks = 1; min_intensity = 0.0 }
+
+let transient_tolerant =
+  { min_duration = 0.1; min_ticks = 3; min_intensity = 1.0 }
+
+let significant filter episodes =
+  List.filter
+    (fun (e : Oracle.episode) ->
+      e.Oracle.duration >= filter.min_duration
+      && e.Oracle.ticks >= filter.min_ticks
+      &&
+      match e.Oracle.intensity with
+      | None -> true
+      | Some peak -> peak >= filter.min_intensity)
+    episodes
+
+let classify filter (outcome : Oracle.rule_outcome) =
+  match outcome.Oracle.episodes with
+  | [] -> `Clean
+  | episodes ->
+    if significant filter episodes = [] then `Reasonable_violations
+    else `Safety_violations

@@ -1,0 +1,36 @@
+(** Intent-approximation triage (§IV-A / §V-A).
+
+    The rules approximate feature intent from observables (a torque
+    increase stands in for "the feature intends to accelerate").  When a
+    rule fires, an engineer judges the violation by {e intensity and
+    duration} before deciding whether it is a safety problem or an
+    artefact of an overly strict rule.  This module is that judgment, made
+    executable: filters over violation episodes, and a classifier used by
+    the real-vehicle-log experiment. *)
+
+type filter = {
+  min_duration : float;   (** episodes shorter than this are transient *)
+  min_ticks : int;        (** episodes with fewer False ticks are blips *)
+  min_intensity : float;
+      (** episodes whose measured peak |severity| stays below this are
+          negligible ("negligibly sized increases"); severity is the
+          spec's dimensionless badness score (1.0 = significant).
+          Episodes without a measured severity pass this criterion. *)
+}
+
+val strict : filter
+(** Keeps everything (0.0 / 1 / 0.0). *)
+
+val transient_tolerant : filter
+(** The paper's triage stance for the vehicle logs: one-cycle blips,
+    sub-100 ms transients and negligible amplitudes are "reasonable"
+    (0.1 s / 3 ticks / severity 1.0). *)
+
+val significant : filter -> Oracle.episode list -> Oracle.episode list
+
+val classify :
+  filter -> Oracle.rule_outcome ->
+  [ `Clean | `Reasonable_violations | `Safety_violations ]
+(** [`Clean]: no episodes at all; [`Reasonable_violations]: episodes exist
+    but none survive the filter; [`Safety_violations]: at least one
+    survives. *)

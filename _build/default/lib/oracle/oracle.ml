@@ -1,0 +1,132 @@
+module Mtl = Monitor_mtl
+module Trace = Monitor_trace
+
+type episode = {
+  start_time : float;
+  end_time : float;
+  duration : float;
+  ticks : int;
+  intensity : float option;
+}
+
+type status = Satisfied | Violated
+
+type rule_outcome = {
+  spec : Mtl.Spec.t;
+  status : status;
+  episodes : episode list;
+  ticks_total : int;
+  ticks_true : int;
+  ticks_false : int;
+  ticks_unknown : int;
+}
+
+let default_period = 0.01
+
+let snapshots_of_trace ?(period = default_period) trace =
+  Trace.Multirate.snapshots trace ~period
+
+(* Group consecutive False ticks into episodes.  An Unknown tick inside a
+   False run does not end the episode — the verdict merely could not be
+   computed for a moment — but a True tick does. *)
+let episodes_of_verdicts ?severity ~times verdicts =
+  let n = Array.length verdicts in
+  let severity_at i =
+    match severity with
+    | Some values when i < Array.length values -> values.(i)
+    | Some _ | None -> None
+  in
+  let join a b =
+    match a, b with
+    | Some x, Some y -> Some (Float.max x y)
+    | Some x, None | None, Some x -> Some x
+    | None, None -> None
+  in
+  let episodes = ref [] in
+  let current = ref None in
+  let close () =
+    match !current with
+    | Some (start_time, end_time, ticks, intensity) ->
+      episodes :=
+        { start_time; end_time; duration = end_time -. start_time; ticks;
+          intensity }
+        :: !episodes;
+      current := None
+    | None -> ()
+  in
+  for i = 0 to n - 1 do
+    match verdicts.(i), !current with
+    | Mtl.Verdict.False, None ->
+      current := Some (times.(i), times.(i), 1, severity_at i)
+    | Mtl.Verdict.False, Some (start_time, _, ticks, intensity) ->
+      current := Some (start_time, times.(i), ticks + 1, join intensity (severity_at i))
+    | Mtl.Verdict.True, _ -> close ()
+    | Mtl.Verdict.Unknown, _ -> ()
+  done;
+  close ();
+  List.rev !episodes
+
+(* |severity| per tick, when the spec declares a severity expression.
+   NaN severities are treated as maximally severe (an exceptional value on
+   the wire is never a negligible violation). *)
+let severity_values spec snapshots =
+  match spec.Mtl.Spec.severity with
+  | None -> None
+  | Some expr ->
+    let ev = Mtl.Expr.evaluator expr in
+    Some
+      (Array.of_list
+         (List.map
+            (fun snap ->
+              match Mtl.Expr.eval ev snap with
+              | Mtl.Expr.Defined x ->
+                if Float.is_nan x then Some Float.infinity
+                else Some (Float.abs x)
+              | Mtl.Expr.Undefined -> None)
+            snapshots))
+
+let outcome_of_verdicts ?severity spec ~times verdicts =
+  let count v = Mtl.Offline.count verdicts v in
+  let ticks_false = count Mtl.Verdict.False in
+  { spec;
+    status = (if ticks_false > 0 then Violated else Satisfied);
+    episodes = episodes_of_verdicts ?severity ~times verdicts;
+    ticks_total = Array.length verdicts;
+    ticks_true = count Mtl.Verdict.True;
+    ticks_false;
+    ticks_unknown = count Mtl.Verdict.Unknown }
+
+let check_spec ?period spec trace =
+  let snapshots = snapshots_of_trace ?period trace in
+  let outcome = Mtl.Offline.eval spec snapshots in
+  outcome_of_verdicts ?severity:(severity_values spec snapshots) spec
+    ~times:outcome.Mtl.Offline.times outcome.Mtl.Offline.verdicts
+
+let check ?period specs trace =
+  let snapshots = snapshots_of_trace ?period trace in
+  List.map
+    (fun spec ->
+      let outcome = Mtl.Offline.eval spec snapshots in
+      outcome_of_verdicts ?severity:(severity_values spec snapshots) spec
+        ~times:outcome.Mtl.Offline.times outcome.Mtl.Offline.verdicts)
+    specs
+
+let check_spec_online ?period spec trace =
+  let snapshots = snapshots_of_trace ?period trace in
+  let monitor = Mtl.Online.create spec in
+  let streamed =
+    List.concat_map (fun snap -> Mtl.Online.step monitor snap) snapshots
+  in
+  let resolutions = streamed @ Mtl.Online.finalize monitor in
+  let ordered =
+    List.sort (fun a b -> Int.compare a.Mtl.Online.tick b.Mtl.Online.tick)
+      resolutions
+  in
+  let times = Array.of_list (List.map (fun r -> r.Mtl.Online.time) ordered) in
+  let verdicts =
+    Array.of_list (List.map (fun r -> r.Mtl.Online.verdict) ordered)
+  in
+  outcome_of_verdicts ?severity:(severity_values spec snapshots) spec ~times
+    verdicts
+
+let status_letter = function Satisfied -> "S" | Violated -> "V"

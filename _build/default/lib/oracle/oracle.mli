@@ -1,0 +1,54 @@
+(** The monitor-based test oracle: run a set of rules over a captured bus
+    trace and classify each as satisfied or violated, with the violation
+    episodes a test engineer would triage. *)
+
+type episode = {
+  start_time : float;
+  end_time : float;    (** time of the last False tick in the episode *)
+  duration : float;    (** [end_time - start_time]; 0 for one-tick blips *)
+  ticks : int;         (** number of False verdicts in the episode *)
+  intensity : float option;
+      (** peak |severity| over the episode's False ticks, when the spec
+          declares a severity expression *)
+}
+
+type status =
+  | Satisfied   (** no False verdict; some ticks may be Unknown *)
+  | Violated    (** at least one False verdict *)
+
+type rule_outcome = {
+  spec : Monitor_mtl.Spec.t;
+  status : status;
+  episodes : episode list;       (** in time order *)
+  ticks_total : int;
+  ticks_true : int;
+  ticks_false : int;
+  ticks_unknown : int;
+}
+
+val default_period : float
+(** 0.01 s — the fast message period, the rate the paper's monitor ran at. *)
+
+val snapshots_of_trace :
+  ?period:float -> Monitor_trace.Trace.t -> Monitor_trace.Snapshot.t list
+
+val check_spec :
+  ?period:float -> Monitor_mtl.Spec.t -> Monitor_trace.Trace.t -> rule_outcome
+(** Offline evaluation over the whole log — the paper's workflow. *)
+
+val check :
+  ?period:float -> Monitor_mtl.Spec.t list -> Monitor_trace.Trace.t ->
+  rule_outcome list
+
+val check_spec_online :
+  ?period:float -> Monitor_mtl.Spec.t -> Monitor_trace.Trace.t -> rule_outcome
+(** Same verdicts through the constant-memory online monitor. *)
+
+val status_letter : status -> string
+(** ["S"] or ["V"] — Table I notation. *)
+
+val episodes_of_verdicts :
+  ?severity:float option array -> times:float array ->
+  Monitor_mtl.Verdict.t array -> episode list
+(** Group consecutive False ticks (Unknown does not break an episode).
+    [severity.(i)] is |severity| at tick [i] when computable. *)

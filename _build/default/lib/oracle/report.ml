@@ -1,0 +1,73 @@
+type table_row = {
+  kind_label : string;
+  target_label : string;
+  letters : string list;
+}
+
+let table_row ~kind_label ~target_label outcomes =
+  { kind_label;
+    target_label;
+    letters =
+      List.map (fun o -> Oracle.status_letter o.Oracle.status) outcomes }
+
+let render_table ?(title = "FAULT INJECTION RESULTS") ~rule_count rows =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%s\n" title;
+  add "%-10s %-14s" "Injection" "Target Signal";
+  for r = 0 to rule_count - 1 do
+    add " %d" r
+  done;
+  add "\n";
+  List.iter
+    (fun row ->
+      add "%-10s %-14s" row.kind_label row.target_label;
+      List.iter (fun letter -> add " %s" letter) row.letters;
+      add "\n")
+    rows;
+  Buffer.contents buf
+
+let render_outcome (o : Oracle.rule_outcome) =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%s [%s]: %s (T=%d F=%d ?=%d of %d ticks)"
+    o.Oracle.spec.Monitor_mtl.Spec.name
+    (Oracle.status_letter o.Oracle.status)
+    o.Oracle.spec.Monitor_mtl.Spec.description o.Oracle.ticks_true
+    o.Oracle.ticks_false o.Oracle.ticks_unknown o.Oracle.ticks_total;
+  List.iteri
+    (fun i (e : Oracle.episode) ->
+      if i < 5 then begin
+        add "\n    violation @ %.2fs for %.2fs (%d ticks)" e.Oracle.start_time
+          e.Oracle.duration e.Oracle.ticks;
+        match e.Oracle.intensity with
+        | Some peak -> add " peak severity %.2f" peak
+        | None -> ()
+      end)
+    o.Oracle.episodes;
+  let extra = List.length o.Oracle.episodes - 5 in
+  if extra > 0 then add "\n    ... and %d more episodes" extra;
+  Buffer.contents buf
+
+let render_outcomes outcomes =
+  String.concat "\n" (List.map render_outcome outcomes)
+
+let summarize rows ~rule_count =
+  let violated_rows = Array.make rule_count 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i letter ->
+          if i < rule_count && String.equal letter "V" then
+            violated_rows.(i) <- violated_rows.(i) + 1)
+        row.letters)
+    rows;
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let ever = Array.fold_left (fun acc n -> if n > 0 then acc + 1 else acc) 0 violated_rows in
+  add "%d of %d rules violated at least once\n" ever rule_count;
+  Array.iteri
+    (fun i n ->
+      add "  rule #%d: violated in %d of %d rows\n" i n (List.length rows))
+    violated_rows;
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** Rendering oracle results: the Table I matrix and per-rule summaries. *)
+
+type table_row = {
+  kind_label : string;
+  target_label : string;
+  letters : string list;  (** "S"/"V" per rule, in rule order *)
+}
+
+val table_row : kind_label:string -> target_label:string ->
+  Oracle.rule_outcome list -> table_row
+
+val render_table :
+  ?title:string -> rule_count:int -> table_row list -> string
+(** The Table I layout: one row per (injection, target), one column per
+    rule. *)
+
+val render_outcome : Oracle.rule_outcome -> string
+(** One rule's verdict with episode details. *)
+
+val render_outcomes : Oracle.rule_outcome list -> string
+
+val summarize : table_row list -> rule_count:int -> string
+(** Which rules were ever violated, and by how many rows — the paper's
+    "six out of the seven rules were detected as violated" headline. *)

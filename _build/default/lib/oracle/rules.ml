@@ -1,0 +1,140 @@
+module Mtl = Monitor_mtl
+
+(* Rule sources, numbered as in §III-C of the paper. *)
+
+let rule0_src = "ServiceACC -> not ACCEnabled"
+
+let rule1_src =
+  "(VehicleAhead and TargetRange / Velocity < 1.0) -> eventually[0.0, 5.0] \
+   (not VehicleAhead or TargetRange / Velocity >= 1.0)"
+
+let rule2_src =
+  "(VehicleAhead and TargetRange < 0.5 * (1.0 + 0.5 * SelHeadway) * Velocity) \
+   -> fresh_delta(RequestedTorque) <= 0.0"
+
+let rule3_src =
+  "(Velocity > ACCSetSpeed and RequestedTorque < 0.0) -> always[0.01, 0.01] \
+   RequestedTorque < 0.0"
+
+let rule4_src =
+  "Velocity > ACCSetSpeed -> eventually[0.0, 0.4] \
+   fresh_delta(RequestedTorque) <= 0.0"
+
+let rule5_src = "BrakeRequested -> RequestedDecel <= 0.0"
+
+let rule6_src =
+  "(VehicleAhead and TargetRange < 1.0) -> (not TorqueRequested or \
+   RequestedTorque < 0.0)"
+
+let sources = [| rule0_src; rule1_src; rule2_src; rule3_src; rule4_src;
+                 rule5_src; rule6_src |]
+
+let descriptions =
+  [| "ServiceACC set implies the feature must not claim control";
+     "headway time below 1.0 s must recover within 5 s";
+     "no torque increase when closer than half the desired headway";
+     "negative torque above set speed must not flip sign next step";
+     "above set speed, torque must stop increasing within 400 ms";
+     "a requested deceleration must in fact be a deceleration";
+     "no positive torque request when the target is extremely close" |]
+
+let source n =
+  if n < 0 || n > 6 then invalid_arg "Rules.source: rule number out of 0..6";
+  sources.(n)
+
+let description n =
+  if n < 0 || n > 6 then invalid_arg "Rules.description: rule number out of 0..6";
+  descriptions.(n)
+
+let compile ?severity ~name ~description src =
+  let severity =
+    Option.map
+      (fun s ->
+        match Mtl.Parser.expr_of_string s with
+        | Ok e -> e
+        | Error msg -> invalid_arg ("Rules severity: " ^ msg))
+      severity
+  in
+  Mtl.Spec.make ~description ?severity ~name
+    (Mtl.Parser.formula_of_string_exn src)
+
+(* Dimensionless badness scores per rule (|s| >= 1 is significant): how far
+   past each rule's threshold the system went.  25 N*m of torque step and
+   0.5 m/s^2 of wrong-sign deceleration mark the significance scales. *)
+let severities =
+  [| None;                                              (* rule 0: boolean *)
+     Some "(1.0 - TargetRange / Velocity) / 0.25";      (* headway deficit *)
+     (* Rule 2's badness scales with closing speed: a torque rise next to
+        a target that is pulling away is the benign overtake/cut-in case
+        the paper's triage waved through. *)
+     Some
+       "(fresh_delta(RequestedTorque) / 25.0) * max(0.0, 0.5 - TargetRelVel)";
+     Some "RequestedTorque / 25.0";
+     Some "fresh_delta(RequestedTorque) / 25.0";
+     Some "RequestedDecel / 0.5";
+     Some "RequestedTorque / 25.0" |]
+
+let rule n =
+  compile
+    ?severity:severities.(n)
+    ~name:(Printf.sprintf "rule%d" n)
+    ~description:(description n) (source n)
+
+let all = List.init 7 rule
+
+(* Relaxed variants --------------------------------------------------------- *)
+
+let relaxed_rule2 ?(torque_epsilon = 25.0) () =
+  (* Three relaxations, each answering one §IV-A false-positive class:
+     an acquisition warm-up (cut-in range jumps), a closing-speed guard
+     (acceleration while the target pulls away is the benign overtaking
+     case), and an amplitude threshold (negligible increases). *)
+  let src =
+    Printf.sprintf
+      "warmup(VehicleAhead and prev(VehicleAhead) < 0.5, 1.0, (VehicleAhead \
+       and TargetRelVel < 0.5 and TargetRange < 0.5 * (1.0 + 0.5 * \
+       SelHeadway) * Velocity) -> fresh_delta(RequestedTorque) <= %g)"
+      torque_epsilon
+  in
+  compile ~name:"rule2_relaxed"
+    ~description:
+      "rule2 with acquisition warm-up, closing-speed guard and amplitude \
+       threshold"
+    src
+
+let relaxed_rule3 ?(torque_epsilon = 60.0) () =
+  let src =
+    Printf.sprintf
+      "(Velocity > ACCSetSpeed and RequestedTorque < 0.0) -> always[0.01, \
+       0.01] RequestedTorque < %g"
+      torque_epsilon
+  in
+  compile ~name:"rule3_relaxed"
+    ~description:"rule3 with a zero-crossing amplitude threshold" src
+
+let relaxed_rule4 ?(overspeed = 1.0) ?(torque_epsilon = 25.0) () =
+  let src =
+    Printf.sprintf
+      "Velocity > ACCSetSpeed + %g -> eventually[0.0, 0.4] \
+       fresh_delta(RequestedTorque) <= %g"
+      overspeed torque_epsilon
+  in
+  compile ~name:"rule4_relaxed"
+    ~description:"rule4 with an overspeed dead-band and amplitude threshold"
+    src
+
+(* Warm-up demonstration ----------------------------------------------------- *)
+
+let consistency_body =
+  "(VehicleAhead and TargetRelVel < -0.5) -> fresh_delta(TargetRange) <= 0.5"
+
+let range_consistency_naive =
+  compile ~name:"range_consistency_naive"
+    ~description:"closing target must not gain range (no warm-up)"
+    consistency_body
+
+let range_consistency_warmup =
+  compile ~name:"range_consistency_warmup"
+    ~description:"closing target must not gain range (0.5 s warm-up)"
+    (Printf.sprintf "warmup(VehicleAhead and prev(VehicleAhead) < 0.5, 0.5, %s)"
+       consistency_body)

@@ -1,0 +1,54 @@
+(** The paper's safety specification: Rules #0–#6 of §III-C, written in the
+    monitor's specification language, plus the relaxed variants produced by
+    the paper's triage loop and a warm-up demonstration rule.
+
+    All rules read only signals broadcast on the CAN bus — the premise of
+    the bolt-on monitor.  Where a rule needs the "desired headway" it uses
+    the expert mapping 1.0/1.5/2.0 s for SelHeadway 0/1/2, expressed as
+    [1.0 + 0.5 * SelHeadway] (the monitor has no access to the feature's
+    real parameters). *)
+
+val source : int -> string
+(** The textual source of rule [n] (0..6).
+    @raise Invalid_argument outside 0..6. *)
+
+val rule : int -> Monitor_mtl.Spec.t
+(** Compiled rule [n]. *)
+
+val all : Monitor_mtl.Spec.t list
+(** Rules #0..#6 in order. *)
+
+val description : int -> string
+(** The paper's one-line gloss. *)
+
+(** {2 Relaxed variants (§IV-A intent-approximation triage)}
+
+    Real-vehicle logs violated #2, #3 and #4 only in "reasonable" ways —
+    negligible torque increases, cut-in/overtake headway transients, hill
+    starts.  The paper's response was to relax the rules; these are those
+    relaxations, with the thresholds exposed. *)
+
+val relaxed_rule2 : ?torque_epsilon:float -> unit -> Monitor_mtl.Spec.t
+(** Ignores torque increases smaller than [torque_epsilon] N*m (default
+    25.0) and suppresses the check for 1 s after a target acquisition (the
+    cut-in case). *)
+
+val relaxed_rule3 : ?torque_epsilon:float -> unit -> Monitor_mtl.Spec.t
+(** Requires the torque to cross zero by more than [torque_epsilon]
+    (default 60.0, about one 40 ms sample of torque slew) before flagging. *)
+
+val relaxed_rule4 : ?overspeed:float -> ?torque_epsilon:float -> unit ->
+  Monitor_mtl.Spec.t
+(** Only applies when the vehicle exceeds the set speed by more than
+    [overspeed] m/s (default 1.0) — a hill start barely above the set
+    speed no longer counts — and ignores sub-[torque_epsilon] increases. *)
+
+(** {2 Warm-up demonstration (§V-C2)} *)
+
+val range_consistency_naive : Monitor_mtl.Spec.t
+(** "A closing target's range must not be increasing" — without warm-up;
+    false-alarms at every target acquisition, when TargetRange jumps from
+    0 to the true range. *)
+
+val range_consistency_warmup : Monitor_mtl.Spec.t
+(** The same property wrapped in [warmup(acquisition, 0.5, ...)]. *)

@@ -1,0 +1,72 @@
+module Mtl = Monitor_mtl
+
+type guard_report = {
+  premise : Mtl.Formula.t;
+  armed_ticks : int;
+  unknown_ticks : int;
+  total_ticks : int;
+}
+
+type t = {
+  spec : Mtl.Spec.t;
+  guards : guard_report list;
+  vacuous : bool;
+}
+
+(* The premises that guard a formula's obligations: descend through
+   conjunctions and through temporal wrappers (whose obligation is the
+   body's), collecting antecedents of implications. *)
+let rec premises (f : Mtl.Formula.t) =
+  match f with
+  | Mtl.Formula.Implies (a, _) -> [ a ]
+  | Mtl.Formula.And (a, b) -> premises a @ premises b
+  | Mtl.Formula.Always (_, g)
+  | Mtl.Formula.Historically (_, g)
+  | Mtl.Formula.Warmup { body = g; _ } -> premises g
+  | Mtl.Formula.Const _ | Mtl.Formula.Cmp _ | Mtl.Formula.Bool_signal _
+  | Mtl.Formula.Fresh _ | Mtl.Formula.Known _ | Mtl.Formula.In_mode _
+  | Mtl.Formula.Not _ | Mtl.Formula.Or _ | Mtl.Formula.Eventually _
+  | Mtl.Formula.Once _ -> []
+
+let analyze_snapshots (spec : Mtl.Spec.t) snapshots =
+  let guards =
+    List.map
+      (fun premise ->
+        (* Evaluate the premise as its own spec (it may use the machines). *)
+        let premise_spec =
+          Mtl.Spec.make ~machines:spec.Mtl.Spec.machines
+            ~name:(spec.Mtl.Spec.name ^ "_premise") premise
+        in
+        let outcome = Mtl.Offline.eval premise_spec snapshots in
+        let count v = Mtl.Offline.count outcome.Mtl.Offline.verdicts v in
+        { premise;
+          armed_ticks = count Mtl.Verdict.True;
+          unknown_ticks = count Mtl.Verdict.Unknown;
+          total_ticks = Array.length outcome.Mtl.Offline.verdicts })
+      (premises spec.Mtl.Spec.formula)
+  in
+  { spec;
+    guards;
+    vacuous =
+      guards <> [] && List.for_all (fun g -> g.armed_ticks = 0) guards }
+
+let analyze ?period spec trace =
+  analyze_snapshots spec (Oracle.snapshots_of_trace ?period trace)
+
+let render t =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%s: %s" t.spec.Mtl.Spec.name
+    (if t.vacuous then "VACUOUS (never armed)"
+     else if t.guards = [] then "unguarded"
+     else "armed");
+  List.iter
+    (fun g ->
+      add "\n  premise %s: armed %d/%d ticks%s"
+        (Mtl.Formula.to_string g.premise)
+        g.armed_ticks g.total_ticks
+        (if g.unknown_ticks > 0 then
+           Printf.sprintf " (%d unknown)" g.unknown_ticks
+         else ""))
+    t.guards;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/signal/def.ml: Float Fmt Int Value

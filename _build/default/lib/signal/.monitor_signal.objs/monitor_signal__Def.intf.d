@@ -1,0 +1,1 @@
+lib/signal/def.mli: Format Value

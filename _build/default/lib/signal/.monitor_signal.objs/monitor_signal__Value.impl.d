@@ -1,0 +1,1 @@
+lib/signal/value.ml: Bool Float Fmt Int Int64 Monitor_util

@@ -1,0 +1,1 @@
+lib/signal/value.mli: Format

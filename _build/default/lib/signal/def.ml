@@ -1,0 +1,66 @@
+type kind =
+  | Float_kind of { min : float; max : float }
+  | Bool_kind
+  | Enum_kind of { n_values : int }
+
+type t = {
+  name : string;
+  kind : kind;
+  unit_name : string;
+  period_ms : int;
+  description : string;
+}
+
+let make ?(unit_name = "") ?(description = "") ~name ~kind ~period_ms () =
+  if period_ms <= 0 then invalid_arg "Def.make: period_ms must be positive";
+  (match kind with
+   | Float_kind { min; max } ->
+     if not (min <= max) then invalid_arg "Def.make: float range empty"
+   | Enum_kind { n_values } ->
+     if n_values <= 0 then invalid_arg "Def.make: enum needs at least one value"
+   | Bool_kind -> ());
+  { name; kind; unit_name; period_ms; description }
+
+let in_range t v =
+  match t.kind, v with
+  | Float_kind { min; max }, Value.Float x ->
+    (not (Float.is_nan x)) && x >= min && x <= max
+  | Bool_kind, Value.Bool _ -> true
+  | Enum_kind { n_values }, Value.Enum i -> i >= 0 && i < n_values
+  | (Float_kind _ | Bool_kind | Enum_kind _), _ -> false
+
+let clamp t v =
+  match t.kind, v with
+  | Float_kind { min; max }, Value.Float x ->
+    if Float.is_nan x then Value.Float min
+    else Value.Float (Float.max min (Float.min max x))
+  | Bool_kind, Value.Bool b -> Value.Bool b
+  | Enum_kind { n_values }, Value.Enum i ->
+    Value.Enum (Int.max 0 (Int.min (n_values - 1) i))
+  | Float_kind { min; _ }, (Value.Bool _ | Value.Enum _) -> Value.Float min
+  | Bool_kind, (Value.Float _ | Value.Enum _) -> Value.Bool false
+  | Enum_kind _, (Value.Float _ | Value.Bool _) -> Value.Enum 0
+
+let default_value t =
+  match t.kind with
+  | Float_kind { min; max } ->
+    let zero = if min <= 0.0 && 0.0 <= max then 0.0 else min in
+    Value.Float zero
+  | Bool_kind -> Value.Bool false
+  | Enum_kind _ -> Value.Enum 0
+
+let pp ppf t =
+  let kind_s =
+    match t.kind with
+    | Float_kind { min; max } -> Fmt.str "float[%g,%g]" min max
+    | Bool_kind -> "boolean"
+    | Enum_kind { n_values } -> Fmt.str "enum(%d)" n_values
+  in
+  Fmt.pf ppf "%s : %s @%dms%s" t.name kind_s t.period_ms
+    (if t.unit_name = "" then "" else " (" ^ t.unit_name ^ ")")
+
+let type_string t =
+  match t.kind with
+  | Float_kind _ -> "float"
+  | Bool_kind -> "boolean"
+  | Enum_kind _ -> "enum"

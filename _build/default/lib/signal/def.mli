@@ -1,0 +1,45 @@
+(** Signal definitions: the static description of each network signal.
+
+    A definition records the declared data type (with the range metadata the
+    HIL platform used for its strong type checking), the physical unit, and
+    the broadcast period.  The paper's vehicle had two relevant periods,
+    with some messages updated four times slower than the rest (§V-C1). *)
+
+type kind =
+  | Float_kind of { min : float; max : float }
+      (** Physical range used by the HIL's type checking; a real vehicle
+          network does not enforce it. *)
+  | Bool_kind
+  | Enum_kind of { n_values : int }
+      (** Valid indices are [0 .. n_values-1]. *)
+
+type t = {
+  name : string;
+  kind : kind;
+  unit_name : string;  (** e.g. "m/s", "%", "" for dimensionless *)
+  period_ms : int;     (** broadcast period on the bus *)
+  description : string;
+}
+
+val make :
+  ?unit_name:string -> ?description:string -> name:string -> kind:kind ->
+  period_ms:int -> unit -> t
+
+val in_range : t -> Value.t -> bool
+(** Does a value lie inside the declared kind and range?  Exceptional floats
+    (NaN, ±inf) are never in range.  A type mismatch (e.g. a bool on a float
+    signal) is out of range. *)
+
+val clamp : t -> Value.t -> Value.t
+(** Clamp a value into the declared range (HIL type-checking behaviour):
+    floats are clamped to \[min,max\] and NaN becomes [min]; enums are
+    clamped to the valid index range; booleans pass through.  A type
+    mismatch is replaced by the low end of the declared kind. *)
+
+val default_value : t -> Value.t
+(** Neutral initial value: 0.0 / false / enum 0 (clamped into range). *)
+
+val pp : Format.formatter -> t -> unit
+
+val type_string : t -> string
+(** ["float"], ["boolean"] or ["enum"] — Figure 1 vocabulary. *)

@@ -1,0 +1,50 @@
+type t = Float of float | Bool of bool | Enum of int
+
+let equal a b =
+  match a, b with
+  | Float x, Float y ->
+    (* Bit-pattern equality so that NaN = NaN: hold-detection in the
+       multi-rate layer must recognise a repeated NaN as "the same sample". *)
+    Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Bool x, Bool y -> Bool.equal x y
+  | Enum x, Enum y -> Int.equal x y
+  | (Float _ | Bool _ | Enum _), _ -> false
+
+let compare a b =
+  let rank = function Float _ -> 0 | Bool _ -> 1 | Enum _ -> 2 in
+  match a, b with
+  | Float x, Float y ->
+    if Float.is_nan x && Float.is_nan y then 0
+    else if Float.is_nan x then 1
+    else if Float.is_nan y then -1
+    else Float.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | Enum x, Enum y -> Int.compare x y
+  | _, _ -> Int.compare (rank a) (rank b)
+
+let pp ppf = function
+  | Float x -> Fmt.pf ppf "%h" x
+  | Bool b -> Fmt.pf ppf "%b" b
+  | Enum i -> Fmt.pf ppf "#%d" i
+
+let to_string v = Fmt.str "%a" pp v
+
+let as_float = function
+  | Float x -> x
+  | Bool true -> 1.0
+  | Bool false -> 0.0
+  | Enum i -> float_of_int i
+
+let as_bool = function
+  | Bool b -> b
+  | Float x -> (not (Float.is_nan x)) && x <> 0.0
+  | Enum i -> i <> 0
+
+let is_exceptional = function
+  | Float x -> Monitor_util.Float_bits.is_exceptional x
+  | Bool _ | Enum _ -> false
+
+let type_name = function
+  | Float _ -> "float"
+  | Bool _ -> "bool"
+  | Enum _ -> "enum"

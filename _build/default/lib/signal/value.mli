@@ -1,0 +1,38 @@
+(** Values carried by vehicle-network signals.
+
+    The HIL platform in the paper exposed three data types to the injection
+    interface: floats (including exceptional values such as NaN and
+    infinities), booleans, and enumerations (non-negative integers).  This
+    module is the common currency between the plant simulation, the CAN
+    layer, the fault injector and the monitor. *)
+
+type t =
+  | Float of float  (** physical quantity; may be NaN/±inf under faults *)
+  | Bool of bool
+  | Enum of int     (** non-negative enumeration index *)
+
+val equal : t -> t -> bool
+(** Structural equality.  [Float nan] equals [Float nan] (bit-pattern
+    semantics): the monitor must treat a held NaN sample as "unchanged". *)
+
+val compare : t -> t -> int
+(** Total order consistent with {!equal}; NaN sorts above +inf. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val as_float : t -> float
+(** Numeric view: [Float x -> x], [Bool b -> 0/1], [Enum i -> float i].
+    This mirrors the paper's monitor, whose expression language compares
+    signal values arithmetically regardless of declared type. *)
+
+val as_bool : t -> bool
+(** Truthiness: [Bool b -> b], [Float x -> x <> 0 && not (nan x)],
+    [Enum i -> i <> 0]. *)
+
+val is_exceptional : t -> bool
+(** NaN or infinite float. *)
+
+val type_name : t -> string
+(** ["float"], ["bool"] or ["enum"]. *)

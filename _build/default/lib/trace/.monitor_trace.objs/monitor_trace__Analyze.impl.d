@@ -1,0 +1,1 @@
+lib/trace/analyze.ml: Buffer Float Hashtbl Int64 List Monitor_signal Monitor_util Printf Record String Trace

@@ -1,0 +1,1 @@
+lib/trace/analyze.mli: Trace

@@ -1,0 +1,1 @@
+lib/trace/csv.ml: Buffer Float Fun In_channel List Monitor_signal Option Printf Record String Trace

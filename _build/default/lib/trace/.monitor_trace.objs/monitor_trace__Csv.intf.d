@@ -1,0 +1,1 @@
+lib/trace/csv.mli: Trace

@@ -1,0 +1,1 @@
+lib/trace/multirate.ml: Hashtbl List Monitor_signal Record Snapshot String Trace

@@ -1,0 +1,1 @@
+lib/trace/multirate.mli: Snapshot Trace

@@ -1,0 +1,1 @@
+lib/trace/record.ml: Float Fmt Monitor_signal

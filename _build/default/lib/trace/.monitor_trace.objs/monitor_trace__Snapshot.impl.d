@@ -1,0 +1,1 @@
+lib/trace/snapshot.ml: Fmt List Monitor_signal Option String

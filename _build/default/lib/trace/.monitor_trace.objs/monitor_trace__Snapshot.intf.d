@@ -1,0 +1,1 @@
+lib/trace/snapshot.mli: Format Monitor_signal

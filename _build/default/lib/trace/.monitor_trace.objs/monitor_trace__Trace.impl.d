@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Hashtbl List Monitor_signal Record String

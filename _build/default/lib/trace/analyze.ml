@@ -1,0 +1,119 @@
+type signal_stats = {
+  name : string;
+  samples : int;
+  first_time : float;
+  last_time : float;
+  mean_period : float;
+  min_period : float;
+  max_period : float;
+  period_stddev : float;
+  value_min : float option;
+  value_max : float option;
+  value_mean : float option;
+  exceptional_samples : int;
+  distinct_values : int;
+}
+
+type t = {
+  duration : float;
+  records : int;
+  signals : signal_stats list;
+}
+
+type acc = {
+  mutable count : int;
+  mutable first : float;
+  mutable last : float;
+  mutable prev_time : float;
+  periods : Monitor_util.Stats.t;
+  values : Monitor_util.Stats.t;
+  mutable exceptional : int;
+  distinct : (int64, unit) Hashtbl.t;
+}
+
+let distinct_cap = 1000
+
+let analyze trace =
+  let table : (string, acc) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  Trace.iter
+    (fun (r : Record.t) ->
+      let a =
+        match Hashtbl.find_opt table r.Record.name with
+        | Some a -> a
+        | None ->
+          let a =
+            { count = 0; first = r.Record.time; last = r.Record.time;
+              prev_time = Float.nan;
+              periods = Monitor_util.Stats.create ();
+              values = Monitor_util.Stats.create ();
+              exceptional = 0;
+              distinct = Hashtbl.create 32 }
+          in
+          Hashtbl.add table r.Record.name a;
+          order := r.Record.name :: !order;
+          a
+      in
+      a.count <- a.count + 1;
+      a.last <- r.Record.time;
+      if not (Float.is_nan a.prev_time) then
+        Monitor_util.Stats.add a.periods (r.Record.time -. a.prev_time);
+      a.prev_time <- r.Record.time;
+      let x = Monitor_signal.Value.as_float r.Record.value in
+      if Float.is_finite x then Monitor_util.Stats.add a.values x;
+      if Monitor_signal.Value.is_exceptional r.Record.value then
+        a.exceptional <- a.exceptional + 1;
+      if Hashtbl.length a.distinct < distinct_cap then
+        Hashtbl.replace a.distinct (Int64.bits_of_float x) ())
+    trace;
+  let stats name =
+    let a = Hashtbl.find table name in
+    let with_periods f default =
+      if Monitor_util.Stats.count a.periods = 0 then default
+      else f a.periods
+    in
+    { name;
+      samples = a.count;
+      first_time = a.first;
+      last_time = a.last;
+      mean_period = with_periods Monitor_util.Stats.mean 0.0;
+      min_period = with_periods Monitor_util.Stats.min_value 0.0;
+      max_period = with_periods Monitor_util.Stats.max_value 0.0;
+      period_stddev = with_periods Monitor_util.Stats.stddev 0.0;
+      value_min =
+        (if Monitor_util.Stats.count a.values = 0 then None
+         else Some (Monitor_util.Stats.min_value a.values));
+      value_max =
+        (if Monitor_util.Stats.count a.values = 0 then None
+         else Some (Monitor_util.Stats.max_value a.values));
+      value_mean =
+        (if Monitor_util.Stats.count a.values = 0 then None
+         else Some (Monitor_util.Stats.mean a.values));
+      exceptional_samples = a.exceptional;
+      distinct_values = Hashtbl.length a.distinct }
+  in
+  { duration = Trace.duration trace;
+    records = Trace.length trace;
+    signals = List.rev_map stats !order }
+
+let find t name =
+  List.find_opt (fun s -> String.equal s.name name) t.signals
+
+let render t =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%d records over %.2f s\n" t.records t.duration;
+  add "%-18s %8s %9s %9s %9s %6s %12s %12s %5s\n" "signal" "samples"
+    "period" "jitter" "min" "max" "val_min" "val_max" "exc";
+  List.iter
+    (fun s ->
+      let opt = function Some x -> Printf.sprintf "%.4g" x | None -> "-" in
+      add "%-18s %8d %8.1fms %8.2fms %8.1fms %5.0fms %12s %12s %5d\n" s.name
+        s.samples
+        (1000.0 *. s.mean_period)
+        (1000.0 *. s.period_stddev)
+        (1000.0 *. s.min_period)
+        (1000.0 *. s.max_period)
+        (opt s.value_min) (opt s.value_max) s.exceptional_samples)
+    t.signals;
+  Buffer.contents buf

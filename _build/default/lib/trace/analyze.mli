@@ -1,0 +1,36 @@
+(** Trace statistics — the "understand the test trace" half of triage.
+
+    The paper notes that part of a monitor's value is helping developers
+    understand test traces (§V-A); these summaries answer the first
+    questions an engineer asks of a capture: which signals are present, at
+    what rate, with how much timing jitter, over what value ranges, and
+    with how many exceptional samples. *)
+
+type signal_stats = {
+  name : string;
+  samples : int;
+  first_time : float;
+  last_time : float;
+  mean_period : float;        (** 0 with fewer than 2 samples *)
+  min_period : float;
+  max_period : float;
+  period_stddev : float;      (** publication jitter *)
+  value_min : float option;   (** numeric view; None for all-NaN signals *)
+  value_max : float option;
+  value_mean : float option;
+  exceptional_samples : int;  (** NaN or infinite floats *)
+  distinct_values : int;      (** capped at 1000 *)
+}
+
+type t = {
+  duration : float;
+  records : int;
+  signals : signal_stats list;  (** in first-appearance order *)
+}
+
+val analyze : Trace.t -> t
+
+val render : t -> string
+(** A table, one row per signal. *)
+
+val find : t -> string -> signal_stats option

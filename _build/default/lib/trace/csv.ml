@@ -1,0 +1,76 @@
+let header = "time,signal,value"
+
+let value_to_field v =
+  match v with
+  | Monitor_signal.Value.Float x ->
+    if Float.is_nan x then "nan"
+    else if x = Float.infinity then "inf"
+    else if x = Float.neg_infinity then "-inf"
+    else Printf.sprintf "%.17g" x
+  | Monitor_signal.Value.Bool b -> string_of_bool b
+  | Monitor_signal.Value.Enum i -> "#" ^ string_of_int i
+
+let record_to_line (r : Record.t) =
+  Printf.sprintf "%.6f,%s,%s" r.time r.name (value_to_field r.value)
+
+let to_string t =
+  let buf = Buffer.create (Trace.length t * 32) in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Trace.iter
+    (fun r ->
+      Buffer.add_string buf (record_to_line r);
+      Buffer.add_char buf '\n')
+    t;
+  Buffer.contents buf
+
+let to_channel oc t = output_string oc (to_string t)
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc t)
+
+let parse_value s =
+  match s with
+  | "nan" -> Some (Monitor_signal.Value.Float Float.nan)
+  | "inf" -> Some (Monitor_signal.Value.Float Float.infinity)
+  | "-inf" -> Some (Monitor_signal.Value.Float Float.neg_infinity)
+  | "true" -> Some (Monitor_signal.Value.Bool true)
+  | "false" -> Some (Monitor_signal.Value.Bool false)
+  | _ ->
+    if String.length s > 1 && s.[0] = '#' then
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some i -> Some (Monitor_signal.Value.Enum i)
+      | None -> None
+    else
+      Option.map (fun f -> Monitor_signal.Value.Float f) (float_of_string_opt s)
+
+let parse_line lineno line =
+  match String.split_on_char ',' line with
+  | [ time_s; name; value_s ] -> begin
+    match float_of_string_opt time_s, parse_value value_s with
+    | Some time, Some value -> Ok (Record.make ~time ~name ~value)
+    | None, _ -> Error (Printf.sprintf "line %d: bad timestamp %S" lineno time_s)
+    | _, None -> Error (Printf.sprintf "line %d: bad value %S" lineno value_s)
+  end
+  | _ -> Error (Printf.sprintf "line %d: expected 3 fields" lineno)
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc = function
+    | [] -> Ok (Trace.of_list (List.rev acc))
+    | "" :: rest -> go (lineno + 1) acc rest
+    | line :: rest ->
+      if lineno = 1 && String.equal line header then go 2 acc rest
+      else begin
+        match parse_line lineno line with
+        | Ok r -> go (lineno + 1) (r :: acc) rest
+        | Error _ as e -> e
+      end
+  in
+  go 1 [] lines
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,19 @@
+(** CSV serialisation of traces.
+
+    Three columns: [time,signal,value].  Floats are written with enough
+    precision to round-trip, including [nan], [inf] and [-inf]; booleans as
+    [true]/[false]; enums as [#k].  This is the interchange format between
+    the HIL logger, stored logs and the offline oracle — the counterpart of
+    the ControlDesk trace-capture exports used in the paper. *)
+
+val to_string : Trace.t -> string
+
+val to_channel : out_channel -> Trace.t -> unit
+
+val save : string -> Trace.t -> unit
+(** Write to a file path. *)
+
+val of_string : string -> (Trace.t, string) result
+(** Parse; reports the first offending line on error. *)
+
+val load : string -> (Trace.t, string) result

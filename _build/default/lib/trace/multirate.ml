@@ -1,0 +1,67 @@
+(* Both entry points share a single pass: walk the time-ordered records,
+   cutting a snapshot at each tick boundary.  State per signal: most recent
+   value, its timestamp, and whether it was refreshed since the last cut. *)
+
+type state = {
+  mutable value : Monitor_signal.Value.t;
+  mutable last_update : float;
+  mutable refreshed : bool;
+}
+
+let cut states time =
+  let entries =
+    Hashtbl.fold
+      (fun name st acc ->
+        ( name,
+          { Snapshot.value = st.value;
+            fresh = st.refreshed;
+            last_update = st.last_update } )
+        :: acc)
+      states []
+  in
+  Hashtbl.iter (fun _ st -> st.refreshed <- false) states;
+  Snapshot.make ~time ~entries
+
+let absorb states (r : Record.t) =
+  match Hashtbl.find_opt states r.name with
+  | Some st ->
+    st.value <- r.value;
+    st.last_update <- r.time;
+    st.refreshed <- true
+  | None ->
+    Hashtbl.add states r.name
+      { value = r.value; last_update = r.time; refreshed = true }
+
+let snapshots trace ~period =
+  if period <= 0.0 then invalid_arg "Multirate.snapshots: period must be positive";
+  match Trace.start_time trace, Trace.end_time trace with
+  | None, _ | _, None -> []
+  | Some t0, Some t_end ->
+    let states = Hashtbl.create 16 in
+    let out = ref [] in
+    let n = Trace.length trace in
+    let idx = ref 0 in
+    let tick = ref 0 in
+    let eps = period *. 1e-6 in
+    let continue = ref true in
+    while !continue do
+      let t_cut = t0 +. (float_of_int !tick *. period) in
+      while !idx < n && (Trace.get trace !idx).Record.time <= t_cut +. eps do
+        absorb states (Trace.get trace !idx);
+        incr idx
+      done;
+      out := cut states t_cut :: !out;
+      if t_cut >= t_end -. eps then continue := false else incr tick
+    done;
+    List.rev !out
+
+let at_updates_of trace ~clock_signal =
+  let states = Hashtbl.create 16 in
+  let out = ref [] in
+  Trace.iter
+    (fun r ->
+      absorb states r;
+      if String.equal r.Record.name clock_signal then
+        out := cut states r.Record.time :: !out)
+    trace;
+  List.rev !out

@@ -1,0 +1,22 @@
+(** Turning an asynchronous bus trace into a synchronous snapshot stream.
+
+    Automotive buses publish different messages at different periods; the
+    paper's platform updated some messages four times slower than the rest,
+    and jitter sometimes delayed a slow message so that five fast updates
+    landed between two slow updates (§V-C1).  This module reconstructs the
+    monitor's synchronous view: one snapshot per tick of a reference clock,
+    each signal holding its most recent sample, with freshness flags so
+    change-sensitive expressions can skip held repeats. *)
+
+val snapshots : Trace.t -> period:float -> Snapshot.t list
+(** [snapshots trace ~period] samples the trace at [t0, t0+period, ...]
+    where [t0] is the first record time.  Records with a timestamp [<= tick]
+    are visible at that tick; a signal is [fresh] at a tick iff at least one
+    record for it arrived in the half-open window [(previous tick, tick]].
+    Signals not yet observed are absent from the snapshot.
+    @raise Invalid_argument if [period <= 0]. *)
+
+val at_updates_of : Trace.t -> clock_signal:string -> Snapshot.t list
+(** Event-based alternative: one snapshot per observation of
+    [clock_signal], mirroring a monitor that wakes on a particular message.
+    Freshness is relative to the previous wake-up. *)

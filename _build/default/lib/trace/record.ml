@@ -1,0 +1,8 @@
+type t = { time : float; name : string; value : Monitor_signal.Value.t }
+
+let make ~time ~name ~value = { time; name; value }
+
+let compare_time a b = Float.compare a.time b.time
+
+let pp ppf r =
+  Fmt.pf ppf "%.4f %s=%a" r.time r.name Monitor_signal.Value.pp r.value

@@ -1,0 +1,18 @@
+(** A single timestamped signal observation.
+
+    Traces are sequences of records — exactly what a passive bus logger
+    yields after decoding frames: "at time [t], signal [name] was observed
+    with [value]". *)
+
+type t = {
+  time : float;          (** seconds since trace start *)
+  name : string;         (** signal name *)
+  value : Monitor_signal.Value.t;
+}
+
+val make : time:float -> name:string -> value:Monitor_signal.Value.t -> t
+
+val compare_time : t -> t -> int
+(** Order by timestamp only (stable sorts keep bus order for ties). *)
+
+val pp : Format.formatter -> t -> unit

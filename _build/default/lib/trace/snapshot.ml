@@ -1,0 +1,38 @@
+type entry = {
+  value : Monitor_signal.Value.t;
+  fresh : bool;
+  last_update : float;
+}
+
+type t = { time : float; entries : (string * entry) list }
+
+let make ~time ~entries =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) entries in
+  { time; entries = sorted }
+
+let find t name = List.assoc_opt name t.entries
+
+let value t name = Option.map (fun e -> e.value) (find t name)
+
+let value_exn t name =
+  match value t name with
+  | Some v -> v
+  | None -> raise Not_found
+
+let is_fresh t name =
+  match find t name with
+  | Some e -> e.fresh
+  | None -> false
+
+let age t name = Option.map (fun e -> t.time -. e.last_update) (find t name)
+
+let names t = List.map fst t.entries
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>t=%.4f" t.time;
+  List.iter
+    (fun (n, e) ->
+      Fmt.pf ppf " %s=%a%s" n Monitor_signal.Value.pp e.value
+        (if e.fresh then "*" else ""))
+    t.entries;
+  Fmt.pf ppf "@]"

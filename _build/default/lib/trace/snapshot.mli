@@ -1,0 +1,37 @@
+(** A synchronous view of all signals at one monitor tick.
+
+    The monitor in the paper evaluates its rules at the fast message period,
+    holding the most recent sample of each signal.  A held sample of a
+    slowly-published signal looks "unchanged" even when the physical value
+    is moving (§V-C1), so each entry carries a freshness flag: [fresh] is
+    true only on ticks where a new observation of that signal arrived. *)
+
+type entry = {
+  value : Monitor_signal.Value.t;
+  fresh : bool;            (** a new sample arrived at this tick *)
+  last_update : float;     (** timestamp of the most recent real sample *)
+}
+
+type t = {
+  time : float;
+  entries : (string * entry) list;  (** sorted by signal name *)
+}
+
+val make : time:float -> entries:(string * entry) list -> t
+
+val find : t -> string -> entry option
+
+val value : t -> string -> Monitor_signal.Value.t option
+
+val value_exn : t -> string -> Monitor_signal.Value.t
+(** @raise Not_found if the signal has never been observed. *)
+
+val is_fresh : t -> string -> bool
+(** False for unknown signals. *)
+
+val age : t -> string -> float option
+(** Seconds since the last real sample of the signal. *)
+
+val names : t -> string list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,124 @@
+type t = {
+  mutable data : Record.t array;
+  mutable len : int;
+}
+
+let create () = { data = [||]; len = 0 }
+
+let grow t =
+  let cap = Array.length t.data in
+  let new_cap = if cap = 0 then 64 else cap * 2 in
+  let fresh =
+    Array.make new_cap (Record.make ~time:0.0 ~name:"" ~value:(Monitor_signal.Value.Bool false))
+  in
+  Array.blit t.data 0 fresh 0 t.len;
+  t.data <- fresh
+
+let append t r =
+  if t.len > 0 && r.Record.time < t.data.(t.len - 1).Record.time then
+    invalid_arg "Trace.append: record out of time order";
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- r;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get: index out of range";
+  t.data.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun r -> acc := f !acc r) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc r -> r :: acc) [] t)
+
+let of_list rs =
+  let t = create () in
+  List.iter (append t) (List.stable_sort Record.compare_time rs);
+  t
+
+let start_time t = if t.len = 0 then None else Some t.data.(0).Record.time
+
+let end_time t = if t.len = 0 then None else Some t.data.(t.len - 1).Record.time
+
+let duration t =
+  match start_time t, end_time t with
+  | Some a, Some b -> b -. a
+  | _, _ -> 0.0
+
+let signal_names t =
+  let seen = Hashtbl.create 16 in
+  let names = ref [] in
+  iter
+    (fun r ->
+      if not (Hashtbl.mem seen r.Record.name) then begin
+        Hashtbl.add seen r.Record.name ();
+        names := r.Record.name :: !names
+      end)
+    t;
+  List.rev !names
+
+let slice t ~from_time ~to_time =
+  let out = create () in
+  iter
+    (fun r ->
+      if r.Record.time >= from_time && r.Record.time < to_time then append out r)
+    t;
+  out
+
+let filter_signals t names =
+  let keep = Hashtbl.create 8 in
+  List.iter (fun n -> Hashtbl.replace keep n ()) names;
+  let out = create () in
+  iter (fun r -> if Hashtbl.mem keep r.Record.name then append out r) t;
+  out
+
+let merge a b =
+  let out = create () in
+  let i = ref 0 and j = ref 0 in
+  while !i < a.len || !j < b.len do
+    let take_a =
+      if !i >= a.len then false
+      else if !j >= b.len then true
+      else a.data.(!i).Record.time <= b.data.(!j).Record.time
+    in
+    if take_a then begin
+      append out a.data.(!i);
+      incr i
+    end
+    else begin
+      append out b.data.(!j);
+      incr j
+    end
+  done;
+  out
+
+let last_value_before t ~name ~time =
+  (* Binary search for the last index with time <= target, then scan back
+     for the named signal. *)
+  let rec scan i =
+    if i < 0 then None
+    else
+      let r = t.data.(i) in
+      if r.Record.time <= time && String.equal r.Record.name name then
+        Some r.Record.value
+      else scan (i - 1)
+  in
+  let rec upper lo hi =
+    (* last index with time <= target, or -1 *)
+    if lo > hi then hi
+    else
+      let mid = (lo + hi) / 2 in
+      if t.data.(mid).Record.time <= time then upper (mid + 1) hi
+      else upper lo (mid - 1)
+  in
+  if t.len = 0 then None else scan (upper 0 (t.len - 1))

@@ -1,0 +1,55 @@
+(** In-memory signal traces.
+
+    A trace is an append-only, time-ordered sequence of {!Record.t}.  The
+    whole toolchain communicates through traces: the HIL logger produces
+    one, the fault injector perturbs the system that produces one, and the
+    monitor-based oracle consumes one offline — the same offline-log
+    workflow the paper used. *)
+
+type t
+
+val create : unit -> t
+
+val append : t -> Record.t -> unit
+(** @raise Invalid_argument if the record's time is before the last appended
+    time (traces are built in bus order). *)
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val get : t -> int -> Record.t
+(** @raise Invalid_argument if out of range. *)
+
+val iter : (Record.t -> unit) -> t -> unit
+
+val fold : ('acc -> Record.t -> 'acc) -> 'acc -> t -> 'acc
+
+val to_list : t -> Record.t list
+
+val of_list : Record.t list -> t
+(** Sorts by time (stable) before building. *)
+
+val duration : t -> float
+(** Last timestamp minus first; 0.0 for traces with <2 records. *)
+
+val start_time : t -> float option
+
+val end_time : t -> float option
+
+val signal_names : t -> string list
+(** Distinct signal names in first-appearance order. *)
+
+val slice : t -> from_time:float -> to_time:float -> t
+(** Records with [from_time <= time < to_time]. *)
+
+val filter_signals : t -> string list -> t
+(** Keep only records of the named signals. *)
+
+val merge : t -> t -> t
+(** Time-ordered merge of two traces (stable: on ties, records of the first
+    trace come first). *)
+
+val last_value_before : t -> name:string -> time:float ->
+  Monitor_signal.Value.t option
+(** Most recent observation of [name] at or before [time]. *)

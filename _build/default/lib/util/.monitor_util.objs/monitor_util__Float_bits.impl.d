@@ -1,0 +1,1 @@
+lib/util/float_bits.ml: Float Int64 List

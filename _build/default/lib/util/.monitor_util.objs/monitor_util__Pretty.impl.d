@@ -1,0 +1,1 @@
+lib/util/pretty.ml: Float Int64 Printf

@@ -1,0 +1,16 @@
+let bits_of_float = Int64.bits_of_float
+
+let float_of_bits = Int64.float_of_bits
+
+let flip_bit w i =
+  if i < 0 || i > 63 then invalid_arg "Float_bits.flip_bit: bit out of range";
+  Int64.logxor w (Int64.shift_left 1L i)
+
+let flip_bits w is = List.fold_left flip_bit w is
+
+let is_exceptional x =
+  match Float.classify_float x with
+  | FP_nan | FP_infinite -> true
+  | FP_normal | FP_subnormal | FP_zero -> false
+
+let subnormal_min = Int64.float_of_bits 1L

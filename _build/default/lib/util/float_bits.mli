@@ -1,0 +1,23 @@
+(** Bit-level views of IEEE-754 doubles and of fixed-width integer fields.
+
+    Used by the fault injector to flip bits in the wire image of a signal and
+    by the Ballista value set to build exceptional floats. *)
+
+val bits_of_float : float -> int64
+(** IEEE-754 bit pattern of a double. *)
+
+val float_of_bits : int64 -> float
+(** Inverse of {!bits_of_float}. *)
+
+val flip_bit : int64 -> int -> int64
+(** [flip_bit w i] toggles bit [i] (0 = LSB).  @raise Invalid_argument unless
+    [0 <= i < 64]. *)
+
+val flip_bits : int64 -> int list -> int64
+(** Toggle several bit positions. *)
+
+val is_exceptional : float -> bool
+(** True for NaN and infinities. *)
+
+val subnormal_min : float
+(** Smallest positive subnormal double (4.9406564584124654e-324). *)

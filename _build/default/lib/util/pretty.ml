@@ -1,0 +1,11 @@
+let float_exact x =
+  if Float.is_nan x then "nan"
+  else if x = Float.infinity then "inf"
+  else if x = Float.neg_infinity then "-inf"
+  else
+    let exact s = Int64.equal (Int64.bits_of_float (float_of_string s)) (Int64.bits_of_float x) in
+    let s15 = Printf.sprintf "%.15g" x in
+    if exact s15 then s15
+    else
+      let s16 = Printf.sprintf "%.16g" x in
+      if exact s16 then s16 else Printf.sprintf "%.17g" x

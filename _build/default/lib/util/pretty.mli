@@ -1,0 +1,6 @@
+(** Printing helpers. *)
+
+val float_exact : float -> string
+(** Shortest decimal representation that parses back to the identical bit
+    pattern (tries %.15g, %.16g, %.17g).  Specification texts printed with
+    this survive a print/parse round-trip. *)

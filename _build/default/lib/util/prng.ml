@@ -1,0 +1,61 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = next_int64 t in
+  create seed
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is negligible for the
+     small bounds used in fault campaigns, but use the high bits anyway. *)
+  let r = Int64.shift_right_logical (next_int64 t) 1 in
+  Int64.to_int (Int64.rem r (Int64.of_int bound))
+
+let float t bound =
+  (* 53 high bits -> uniform in [0,1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  let unit = Int64.to_float bits /. 9007199254740992.0 in
+  unit *. bound
+
+let float_range t lo hi =
+  if lo > hi then invalid_arg "Prng.float_range: lo > hi";
+  lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let gaussian t ~mu ~sigma =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t 1.0 in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mu +. (sigma *. z)

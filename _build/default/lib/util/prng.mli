@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast SplitMix64 generator.  Every source of randomness in the
+    repository (fault injection, jitter, sensor noise, scenario variation)
+    draws from an explicitly seeded [t], so campaigns and tests are
+    reproducible bit-for-bit. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator. Equal seeds give equal streams. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> t
+(** [split g] derives a new generator from [g], advancing [g].  Streams of
+    the parent and child are independent for practical purposes. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in \[0, bound).  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in \[0, bound). *)
+
+val float_range : t -> float -> float -> float
+(** [float_range g lo hi] is uniform in \[lo, hi).  @raise Invalid_argument
+    if [lo > hi]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.  @raise Invalid_argument on an
+    empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal deviate via Box–Muller. *)

@@ -1,0 +1,82 @@
+type 'a t = {
+  mutable data : 'a option array;
+  mutable head : int; (* index of oldest element *)
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { data = Array.make capacity None; head = 0; len = 0 }
+
+let capacity r = Array.length r.data
+
+let length r = r.len
+
+let is_empty r = r.len = 0
+
+let is_full r = r.len = capacity r
+
+let phys_index r i = (r.head + i) mod capacity r
+
+let push r x =
+  let cap = capacity r in
+  if r.len < cap then begin
+    r.data.(phys_index r r.len) <- Some x;
+    r.len <- r.len + 1;
+    None
+  end
+  else begin
+    let evicted = r.data.(r.head) in
+    r.data.(r.head) <- Some x;
+    r.head <- (r.head + 1) mod cap;
+    evicted
+  end
+
+let oldest r = if r.len = 0 then None else r.data.(r.head)
+
+let newest r = if r.len = 0 then None else r.data.(phys_index r (r.len - 1))
+
+let get r i =
+  if i < 0 || i >= r.len then invalid_arg "Ring.get: index out of range";
+  match r.data.(phys_index r i) with
+  | Some x -> x
+  | None -> assert false
+
+let get_from_newest r i = get r (r.len - 1 - i)
+
+let pop_oldest r =
+  if r.len = 0 then None
+  else begin
+    let x = r.data.(r.head) in
+    r.data.(r.head) <- None;
+    r.head <- (r.head + 1) mod capacity r;
+    r.len <- r.len - 1;
+    x
+  end
+
+let iter f r =
+  for i = 0 to r.len - 1 do
+    f (get r i)
+  done
+
+let fold f acc r =
+  let acc = ref acc in
+  iter (fun x -> acc := f !acc x) r;
+  !acc
+
+let to_list r = List.rev (fold (fun acc x -> x :: acc) [] r)
+
+let clear r =
+  Array.fill r.data 0 (Array.length r.data) None;
+  r.head <- 0;
+  r.len <- 0
+
+exception Found
+
+let exists p r =
+  try
+    iter (fun x -> if p x then raise Found) r;
+    false
+  with Found -> true
+
+let for_all p r = not (exists (fun x -> not (p x)) r)

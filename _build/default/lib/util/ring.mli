@@ -1,0 +1,52 @@
+(** Fixed-capacity ring buffer.
+
+    The online monitor keeps bounded histories of samples in rings so that
+    its memory use is constant in trace length — the property that makes the
+    bolt-on monitor viable at runtime. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Empty ring.  @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Number of elements currently stored, [<= capacity]. *)
+
+val is_empty : 'a t -> bool
+
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> 'a option
+(** Append at the newest end.  When full, the oldest element is evicted and
+    returned. *)
+
+val oldest : 'a t -> 'a option
+
+val newest : 'a t -> 'a option
+
+val get : 'a t -> int -> 'a
+(** [get r i] is the i-th element counting from the oldest (0-based).
+    @raise Invalid_argument if out of range. *)
+
+val get_from_newest : 'a t -> int -> 'a
+(** [get_from_newest r 0] = newest, [1] = previous, ...
+    @raise Invalid_argument if out of range. *)
+
+val pop_oldest : 'a t -> 'a option
+(** Remove and return the oldest element. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest-to-newest iteration. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_list : 'a t -> 'a list
+(** Oldest first. *)
+
+val clear : 'a t -> unit
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val for_all : ('a -> bool) -> 'a t -> bool

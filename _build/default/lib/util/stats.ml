@@ -1,0 +1,55 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0; min_v = nan; max_v = nan }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if t.n = 1 then begin
+    t.min_v <- x;
+    t.max_v <- x
+  end
+  else begin
+    if x < t.min_v then t.min_v <- x;
+    if x > t.max_v then t.max_v <- x
+  end
+
+let count t = t.n
+
+let mean t = if t.n = 0 then 0.0 else t.mean
+
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int t.n
+
+let stddev t = sqrt (variance t)
+
+let min_value t =
+  if t.n = 0 then invalid_arg "Stats.min_value: empty";
+  t.min_v
+
+let max_value t =
+  if t.n = 0 then invalid_arg "Stats.max_value: empty";
+  t.max_v
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+let percentile xs p =
+  if xs = [] then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if p = 0.0 then a.(0)
+  else
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))

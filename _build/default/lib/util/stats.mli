@@ -1,0 +1,33 @@
+(** Streaming descriptive statistics (Welford) and small helpers.
+
+    Used by violation reports (intensity/duration summaries) and by the
+    benchmark harness. *)
+
+type t
+(** Accumulator over a stream of floats. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** 0.0 when empty. *)
+
+val variance : t -> float
+(** Population variance; 0.0 with fewer than two samples. *)
+
+val stddev : t -> float
+
+val min_value : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val max_value : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val of_list : float list -> t
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in \[0,100\], nearest-rank on a sorted copy.
+    @raise Invalid_argument on empty input or p outside \[0,100\]. *)

@@ -1,0 +1,1 @@
+lib/vehicle/dynamics.mli: Params

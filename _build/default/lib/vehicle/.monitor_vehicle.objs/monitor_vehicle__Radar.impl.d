@@ -1,0 +1,1 @@
+lib/vehicle/radar.ml: Float Monitor_util

@@ -1,0 +1,1 @@
+lib/vehicle/road.ml: List

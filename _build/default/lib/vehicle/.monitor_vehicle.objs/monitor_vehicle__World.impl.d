@@ -1,0 +1,1 @@
+lib/vehicle/world.ml: Actuator Dynamics Lead Params Radar Road

@@ -1,0 +1,1 @@
+lib/vehicle/world.mli: Lead Params Radar Road

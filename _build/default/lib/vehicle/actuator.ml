@@ -1,0 +1,25 @@
+type t = {
+  lag : float;
+  min_output : float;
+  max_output : float;
+  mutable current : float;
+  mutable target : float;
+}
+
+let create ~lag ~min_output ~max_output =
+  if lag <= 0.0 then invalid_arg "Actuator.create: lag must be positive";
+  if min_output > max_output then invalid_arg "Actuator.create: empty range";
+  { lag; min_output; max_output; current = 0.0; target = 0.0 }
+
+let output t = t.current
+
+let step t ~dt ~request =
+  if Float.is_finite request then
+    t.target <- Float.max t.min_output (Float.min t.max_output request);
+  let alpha = dt /. (t.lag +. dt) in
+  t.current <- t.current +. (alpha *. (t.target -. t.current));
+  t.current
+
+let reset t =
+  t.current <- 0.0;
+  t.target <- 0.0

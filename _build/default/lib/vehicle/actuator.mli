@@ -1,0 +1,24 @@
+(** First-order actuators between the feature's requests and the plant.
+
+    The engine and brake controllers in the vehicle accept the FSRACC's
+    torque/deceleration requests and realise them with lag and saturation.
+    They also embody the survival behaviour of real ECUs facing garbage: a
+    non-finite request is ignored (last valid command held), an out-of-range
+    one saturates.  The *plant* therefore stays numerically sane while the
+    *bus* still carries the raw, possibly absurd request — which is exactly
+    what the monitor sees and flags. *)
+
+type t
+
+val create : lag:float -> min_output:float -> max_output:float -> t
+(** @raise Invalid_argument unless [lag > 0 && min_output <= max_output]. *)
+
+val output : t -> float
+(** Currently delivered value (0 initially). *)
+
+val step : t -> dt:float -> request:float -> float
+(** Move the output toward the (sanitised) request with first-order
+    dynamics [d(out)/dt = (request - out) / lag]; returns the new output.
+    NaN and infinite requests hold the previous target. *)
+
+val reset : t -> unit

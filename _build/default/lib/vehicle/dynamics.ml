@@ -1,0 +1,34 @@
+type t = {
+  p : Params.t;
+  mutable position : float;
+  mutable speed : float;
+}
+
+let create ?(params = Params.default) ?(position = 0.0) ?(speed = 0.0) () =
+  { p = params; position; speed = Float.max 0.0 speed }
+
+let params t = t.p
+
+let position t = t.position
+
+let speed t = t.speed
+
+let step t ~dt ~wheel_torque ~brake_decel ~grade =
+  let p = t.p in
+  let v = t.speed in
+  let drive_force = wheel_torque /. p.Params.wheel_radius in
+  let drag = p.Params.drag_area *. v *. v in
+  let rolling =
+    if v > 0.01 then p.Params.rolling_coeff *. p.Params.mass *. Params.gravity *. cos grade
+    else 0.0
+  in
+  let slope = p.Params.mass *. Params.gravity *. sin grade in
+  let brake = Float.max 0.0 brake_decel *. p.Params.mass in
+  let braking = if v > 0.01 then brake else Float.min brake drive_force in
+  let accel = (drive_force -. drag -. rolling -. slope -. braking) /. p.Params.mass in
+  t.speed <- Float.max 0.0 (v +. (accel *. dt));
+  t.position <- t.position +. (t.speed *. dt)
+
+let throttle_position t ~wheel_torque =
+  let frac = wheel_torque /. t.p.Params.max_wheel_torque in
+  100.0 *. Float.max 0.0 (Float.min 1.0 frac)

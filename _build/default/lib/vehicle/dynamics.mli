@@ -1,0 +1,25 @@
+(** Longitudinal point-mass dynamics of one vehicle. *)
+
+type t
+
+val create : ?params:Params.t -> ?position:float -> ?speed:float -> unit -> t
+
+val params : t -> Params.t
+
+val position : t -> float
+(** Metres along the road. *)
+
+val speed : t -> float
+(** m/s, never negative (no reverse). *)
+
+val step : t -> dt:float -> wheel_torque:float -> brake_decel:float ->
+  grade:float -> unit
+(** Advance one step.  [wheel_torque] is the delivered driveline torque
+    (N*m, may be negative for engine braking), [brake_decel] the delivered
+    service-brake deceleration magnitude (m/s^2, >= 0), [grade] the road
+    grade in radians.  Speed is clamped at zero — brakes and gravity cannot
+    push the car backwards in this model. *)
+
+val throttle_position : t -> wheel_torque:float -> float
+(** Percentage (0–100) the throttle would hold to deliver [wheel_torque] —
+    the plant-side signal behind the [ThrotPos] message. *)

@@ -1,0 +1,61 @@
+type action =
+  | Set_speed of float
+  | Appear of { gap : float; speed : float }
+  | Disappear
+
+type t = {
+  accel_limit : float;
+  mutable events : (float * action) list;
+  mutable present : bool;
+  mutable position : float;
+  mutable speed : float;
+  mutable target_speed : float;
+}
+
+let create ?(accel_limit = 3.0) ?(initial = None) ~events () =
+  let rec check = function
+    | [] | [ _ ] -> ()
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if a > b then invalid_arg "Lead.create: events out of time order";
+      check rest
+  in
+  check events;
+  let present, position, speed =
+    match initial with
+    | Some (gap, speed) -> (true, gap, speed)
+    | None -> (false, 0.0, 0.0)
+  in
+  { accel_limit; events; present; position; speed; target_speed = speed }
+
+let present t = t.present
+
+let position t = t.position
+
+let speed t = t.speed
+
+let apply t ego_position = function
+  | Set_speed v -> t.target_speed <- Float.max 0.0 v
+  | Appear { gap; speed } ->
+    t.present <- true;
+    t.position <- ego_position +. gap;
+    t.speed <- Float.max 0.0 speed;
+    t.target_speed <- t.speed
+  | Disappear -> t.present <- false
+
+let step t ~dt ~now ~ego_position =
+  let rec fire () =
+    match t.events with
+    | (time, action) :: rest when time <= now ->
+      apply t ego_position action;
+      t.events <- rest;
+      fire ()
+    | _ :: _ | [] -> ()
+  in
+  fire ();
+  if t.present then begin
+    let dv = t.target_speed -. t.speed in
+    let max_dv = t.accel_limit *. dt in
+    let dv = Float.max (-.max_dv) (Float.min max_dv dv) in
+    t.speed <- Float.max 0.0 (t.speed +. dv);
+    t.position <- t.position +. (t.speed *. dt)
+  end

@@ -1,0 +1,34 @@
+(** Scripted lead vehicle (the "target").
+
+    The lead is what the radar tracks.  Its script drives the scenarios the
+    paper's rules trip over: steady following (Table I campaigns), cut-ins
+    and overtaking (Rule #2's "reasonable violations"), stop-and-go
+    (Rule #1 headway stress). *)
+
+type action =
+  | Set_speed of float
+      (** new cruise target (m/s); approached with bounded acceleration *)
+  | Appear of { gap : float; speed : float }
+      (** (re)enter the lane [gap] metres ahead of the ego vehicle — a
+          cut-in, which makes TargetRange jump discontinuously (§V-C2) *)
+  | Disappear
+      (** leave the lane (lane change, or ego overtakes) *)
+
+type t
+
+val create : ?accel_limit:float -> ?initial:(float * float) option ->
+  events:(float * action) list -> unit -> t
+(** [initial = Some (gap, speed)] starts with a lead present that far ahead
+    of an ego at position 0; [None] starts with an empty road.  Events fire
+    at their timestamps (must be non-decreasing;
+    @raise Invalid_argument otherwise).  Default accel limit 3 m/s^2. *)
+
+val present : t -> bool
+
+val position : t -> float
+
+val speed : t -> float
+
+val step : t -> dt:float -> now:float -> ego_position:float -> unit
+(** Advance: fire due events ([Appear] gaps are measured from
+    [ego_position]), then integrate the lead's motion. *)

@@ -1,0 +1,26 @@
+type t = {
+  mass : float;
+  drag_area : float;
+  rolling_coeff : float;
+  wheel_radius : float;
+  max_wheel_torque : float;
+  min_wheel_torque : float;
+  max_brake_decel : float;
+  engine_lag : float;
+  brake_lag : float;
+  length : float;
+}
+
+let default =
+  { mass = 1600.0;
+    drag_area = 0.38;
+    rolling_coeff = 0.011;
+    wheel_radius = 0.32;
+    max_wheel_torque = 1900.0;
+    min_wheel_torque = -400.0;
+    max_brake_decel = 9.0;
+    engine_lag = 0.2;
+    brake_lag = 0.1;
+    length = 4.7 }
+
+let gravity = 9.80665

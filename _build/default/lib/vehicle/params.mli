@@ -1,0 +1,25 @@
+(** Longitudinal vehicle parameters.
+
+    The plant replaces CARSIM: rules #1–#6 of the paper depend only on
+    longitudinal quantities, so a calibrated point-mass model with actuator
+    lag reproduces the dynamics the monitor observes. *)
+
+type t = {
+  mass : float;              (** kg, including payload *)
+  drag_area : float;         (** 0.5 * rho * Cd * A, N/(m/s)^2 *)
+  rolling_coeff : float;     (** dimensionless Crr *)
+  wheel_radius : float;      (** m *)
+  max_wheel_torque : float;  (** N*m, driveline limit *)
+  min_wheel_torque : float;  (** N*m, engine braking (negative) *)
+  max_brake_decel : float;   (** m/s^2, positive magnitude *)
+  engine_lag : float;        (** s, first-order torque response *)
+  brake_lag : float;         (** s, first-order decel response *)
+  length : float;            (** m, bumper-to-bumper *)
+}
+
+val default : t
+(** A mid-size sedan: 1600 kg, 0.38 N/(m/s)^2 drag area, 0.011 Crr, 0.32 m
+    wheels, 1900 / -400 N*m torque envelope, 9 m/s^2 brakes, 200/100 ms
+    actuator lags, 4.7 m long. *)
+
+val gravity : float

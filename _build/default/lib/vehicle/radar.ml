@@ -1,0 +1,40 @@
+type reading = {
+  vehicle_ahead : bool;
+  target_range : float;
+  target_rel_vel : float;
+}
+
+type t = {
+  max_range : float;
+  noise_sigma : float;
+  dropout_per_s : float;
+  prng : Monitor_util.Prng.t;
+}
+
+let no_target = { vehicle_ahead = false; target_range = 0.0; target_rel_vel = 0.0 }
+
+let create ?(max_range = 150.0) ?(noise_sigma = 0.0) ?(dropout_per_s = 0.0)
+    ?(seed = 0L) () =
+  { max_range; noise_sigma; dropout_per_s; prng = Monitor_util.Prng.create seed }
+
+let sense t ~dt ~lead_present ~lead_position ~lead_speed ~ego_position
+    ~ego_speed ~ego_length =
+  if not lead_present then no_target
+  else begin
+    let range = lead_position -. ego_position -. ego_length in
+    if range <= 0.0 || range > t.max_range then no_target
+    else if
+      t.dropout_per_s > 0.0
+      && Monitor_util.Prng.float t.prng 1.0 < t.dropout_per_s *. dt
+    then no_target
+    else begin
+      let jitter sigma =
+        if t.noise_sigma > 0.0 then
+          Monitor_util.Prng.gaussian t.prng ~mu:0.0 ~sigma
+        else 0.0
+      in
+      { vehicle_ahead = true;
+        target_range = Float.max 0.0 (range +. jitter t.noise_sigma);
+        target_rel_vel = lead_speed -. ego_speed +. jitter (t.noise_sigma *. 0.3) }
+    end
+  end

@@ -1,0 +1,27 @@
+(** Forward radar model.
+
+    Produces the three target signals of Figure 1.  When no target is
+    tracked the range and relative velocity read exactly 0.0 and jump to
+    the true values on acquisition — the discrete value jump the paper
+    calls out in §V-C2. *)
+
+type reading = {
+  vehicle_ahead : bool;
+  target_range : float;   (** m, 0.0 when no target *)
+  target_rel_vel : float; (** m/s, lead minus ego; 0.0 when no target *)
+}
+
+type t
+
+val create :
+  ?max_range:float -> ?noise_sigma:float -> ?dropout_per_s:float ->
+  ?seed:int64 -> unit -> t
+(** Defaults: 150 m range, no noise, no dropouts.  [noise_sigma] adds
+    Gaussian noise to range and relative velocity (real-vehicle mode);
+    [dropout_per_s] is the probability per second of losing the track for
+    one sample. *)
+
+val sense :
+  t -> dt:float -> lead_present:bool -> lead_position:float ->
+  lead_speed:float -> ego_position:float -> ego_speed:float ->
+  ego_length:float -> reading

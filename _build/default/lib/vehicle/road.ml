@@ -1,0 +1,32 @@
+type t = (float * float) list  (* (start_position, grade) ascending *)
+
+let flat = []
+
+let of_segments segments =
+  let rec check = function
+    | [] | [ _ ] -> ()
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if a >= b then invalid_arg "Road.of_segments: positions must increase";
+      check rest
+  in
+  check segments;
+  segments
+
+let hill ?(start = 500.0) ?(length = 400.0) ?(grade = 0.06) () =
+  of_segments [ (start, grade); (start +. length, 0.0) ]
+
+let rolling ?(start = 300.0) ?(wavelength = 500.0) ?(amplitude = 0.05) () =
+  (* Eight alternating half-waves: up, down, up, down... ending flat. *)
+  let segment i =
+    let sign = if i mod 2 = 0 then 1.0 else -1.0 in
+    (start +. (float_of_int i *. wavelength), sign *. amplitude)
+  in
+  of_segments (List.init 8 segment @ [ (start +. (8.0 *. wavelength), 0.0) ])
+
+let grade_at t position =
+  let rec go acc = function
+    | [] -> acc
+    | (start, grade) :: rest ->
+      if position >= start then go grade rest else acc
+  in
+  go 0.0 t

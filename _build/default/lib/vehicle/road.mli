@@ -1,0 +1,27 @@
+(** Road grade profiles.
+
+    A profile is a piecewise-constant grade over distance.  Hills are what
+    make the paper's Rules #3/#4 fire "unreasonably" on real-vehicle logs:
+    climbing, torque must rise just to hold speed. *)
+
+type t
+
+val flat : t
+
+val of_segments : (float * float) list -> t
+(** [(start_position_m, grade_rad); ...].  Grade 0 before the first
+    segment.  Segments must be in increasing position order.
+    @raise Invalid_argument otherwise. *)
+
+val hill : ?start:float -> ?length:float -> ?grade:float -> unit -> t
+(** A single climb: flat, then [grade] radians for [length] metres starting
+    at [start], then flat again.  Defaults: start 500 m, length 400 m,
+    grade 0.06 rad (~6%%). *)
+
+val rolling : ?start:float -> ?wavelength:float -> ?amplitude:float -> unit -> t
+(** Alternating up/down segments — a crest-and-valley road.  Defaults:
+    start 300 m, wavelength 500 m (each half up or down), amplitude
+    0.05 rad. *)
+
+val grade_at : t -> float -> float
+(** Grade in radians at a position. *)

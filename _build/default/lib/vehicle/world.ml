@@ -1,0 +1,78 @@
+type outputs = {
+  time : float;
+  velocity : float;
+  throttle_pos : float;
+  ego_position : float;
+  grade : float;
+  radar : Radar.reading;
+  delivered_torque : float;
+  delivered_brake_decel : float;
+  true_gap : float option;
+}
+
+type t = {
+  ego : Dynamics.t;
+  engine : Actuator.t;
+  brake : Actuator.t;
+  lead : Lead.t;
+  road : Road.t;
+  radar : Radar.t;
+  mutable last : outputs;
+}
+
+let observe t ~time ~delivered_torque ~delivered_brake_decel ~radar_reading =
+  { time;
+    velocity = Dynamics.speed t.ego;
+    throttle_pos = Dynamics.throttle_position t.ego ~wheel_torque:delivered_torque;
+    ego_position = Dynamics.position t.ego;
+    grade = Road.grade_at t.road (Dynamics.position t.ego);
+    radar = radar_reading;
+    delivered_torque;
+    delivered_brake_decel;
+    true_gap =
+      (if Lead.present t.lead then
+         Some
+           (Lead.position t.lead -. Dynamics.position t.ego
+          -. (Dynamics.params t.ego).Params.length)
+       else None) }
+
+let create ?(params = Params.default) ?(road = Road.flat)
+    ?(radar = Radar.create ()) ?(ego_speed = 0.0) ~lead () =
+  let ego = Dynamics.create ~params ~speed:ego_speed () in
+  let engine =
+    Actuator.create ~lag:params.Params.engine_lag
+      ~min_output:params.Params.min_wheel_torque
+      ~max_output:params.Params.max_wheel_torque
+  in
+  let brake =
+    Actuator.create ~lag:params.Params.brake_lag ~min_output:0.0
+      ~max_output:params.Params.max_brake_decel
+  in
+  let initial =
+    { time = 0.0; velocity = Dynamics.speed ego; throttle_pos = 0.0;
+      ego_position = Dynamics.position ego; grade = 0.0;
+      radar = { Radar.vehicle_ahead = false; target_range = 0.0; target_rel_vel = 0.0 };
+      delivered_torque = 0.0; delivered_brake_decel = 0.0; true_gap = None }
+  in
+  { ego; engine; brake; lead; road; radar; last = initial }
+
+let step t ~dt ~now ~engine_request ~brake_decel_request =
+  let torque = Actuator.step t.engine ~dt ~request:engine_request in
+  let decel = Actuator.step t.brake ~dt ~request:brake_decel_request in
+  let grade = Road.grade_at t.road (Dynamics.position t.ego) in
+  Dynamics.step t.ego ~dt ~wheel_torque:torque ~brake_decel:decel ~grade;
+  Lead.step t.lead ~dt ~now ~ego_position:(Dynamics.position t.ego);
+  let reading =
+    Radar.sense t.radar ~dt ~lead_present:(Lead.present t.lead)
+      ~lead_position:(Lead.position t.lead) ~lead_speed:(Lead.speed t.lead)
+      ~ego_position:(Dynamics.position t.ego) ~ego_speed:(Dynamics.speed t.ego)
+      ~ego_length:(Dynamics.params t.ego).Params.length
+  in
+  let out =
+    observe t ~time:now ~delivered_torque:torque ~delivered_brake_decel:decel
+      ~radar_reading:reading
+  in
+  t.last <- out;
+  out
+
+let last t = t.last

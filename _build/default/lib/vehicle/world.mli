@@ -1,0 +1,31 @@
+(** The simulated world: ego vehicle + actuators + lead vehicle + road +
+    radar, advanced in lock-step.  This is the plant the HIL executive
+    wraps; the FSRACC controller and the fault injector live outside it. *)
+
+type outputs = {
+  time : float;
+  velocity : float;        (** ego speed, m/s *)
+  throttle_pos : float;    (** %% of throttle actually applied *)
+  ego_position : float;
+  grade : float;           (** radians at the ego's position *)
+  radar : Radar.reading;
+  delivered_torque : float;
+  delivered_brake_decel : float;
+  true_gap : float option; (** actual bumper gap to the lead, if present *)
+}
+
+type t
+
+val create :
+  ?params:Params.t -> ?road:Road.t -> ?radar:Radar.t -> ?ego_speed:float ->
+  lead:Lead.t -> unit -> t
+
+val step : t -> dt:float -> now:float -> engine_request:float ->
+  brake_decel_request:float -> outputs
+(** [engine_request] is the wheel-torque request reaching the engine
+    controller (N*m); [brake_decel_request] the deceleration magnitude
+    reaching the brake controller (m/s^2, >= 0).  Both pass through
+    first-order actuators that ignore non-finite requests. *)
+
+val last : t -> outputs
+(** Outputs of the most recent step (or the initial state). *)

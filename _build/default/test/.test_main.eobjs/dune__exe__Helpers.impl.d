@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Hashtbl List Monitor_mtl Monitor_signal Monitor_trace

@@ -1,0 +1,1 @@
+test/test_analyze.ml: Alcotest Analyze Float Monitor_hil Monitor_signal Monitor_trace Record String Trace

@@ -1,0 +1,1 @@
+test/test_build.ml: Alcotest Array Build Formula Helpers Monitor_mtl Monitor_oracle Offline Parser Spec Verdict

@@ -1,0 +1,1 @@
+test/test_bus_errors.ml: Alcotest Bus Bytes Frame List Monitor_can Monitor_hil Monitor_oracle Monitor_trace

@@ -1,0 +1,1 @@
+test/test_can.ml: Alcotest Bitfield Bus Bytes Char Coding Crc Dbc Float Frame Int64 List Logger Message Monitor_can Monitor_signal Monitor_trace QCheck QCheck_alcotest Scheduler

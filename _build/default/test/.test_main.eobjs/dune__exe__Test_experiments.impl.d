@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Float Lazy List Monitor_experiments Monitor_inject Monitor_oracle Printf String

@@ -1,0 +1,1 @@
+test/test_explain.ml: Alcotest Explain Helpers Monitor_hil Monitor_mtl Monitor_oracle Monitor_signal Monitor_trace Parser Spec State_machine String Verdict

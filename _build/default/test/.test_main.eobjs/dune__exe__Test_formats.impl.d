@@ -1,0 +1,1 @@
+test/test_formats.ml: Alcotest Bytes Candump Dbc Dbc_text Float Frame List Message Monitor_can Monitor_fsracc Monitor_hil Monitor_signal Monitor_trace Option String

@@ -1,0 +1,1 @@
+test/test_fsracc.ml: Alcotest Controller Float Io List Monitor_can Monitor_fsracc Monitor_signal Monitor_util QCheck QCheck_alcotest

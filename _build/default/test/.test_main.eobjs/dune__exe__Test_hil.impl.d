@@ -1,0 +1,1 @@
+test/test_hil.ml: Alcotest Float List Monitor_fsracc Monitor_hil Monitor_oracle Monitor_signal Monitor_trace Mux Printf Scenario Sim String Typecheck

@@ -1,0 +1,1 @@
+test/test_inject.ml: Alcotest Array Ballista Campaign Fault Float List Monitor_fsracc Monitor_hil Monitor_inject Monitor_signal Monitor_util String

@@ -1,0 +1,1 @@
+test/test_monitor_set.ml: Alcotest Helpers List Monitor_mtl Monitor_set Online Parser Spec String Verdict

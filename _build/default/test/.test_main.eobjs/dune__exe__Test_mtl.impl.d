@@ -1,0 +1,1 @@
+test/test_mtl.ml: Alcotest Array Expr Float Formula Helpers List Monitor_mtl Monitor_trace Offline Online Parser Printf QCheck QCheck_alcotest Spec State_machine Verdict

@@ -1,0 +1,1 @@
+test/test_online_stress.ml: Alcotest Array Helpers Int List Monitor_mtl Monitor_util Offline Online Parser Printf Spec Verdict

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Array Float Helpers Intent List Monitor_can Monitor_fsracc Monitor_hil Monitor_mtl Monitor_oracle Monitor_signal Monitor_trace Oracle Printf Report Rules String

@@ -1,0 +1,1 @@
+test/test_refinement.ml: Array Formula List Monitor_mtl Offline Online Printf QCheck QCheck_alcotest Spec Test_mtl Verdict

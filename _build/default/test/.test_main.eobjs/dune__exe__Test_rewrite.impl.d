@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Array Expr Formula List Monitor_mtl Offline Parser Printf QCheck QCheck_alcotest Rewrite Spec Test_mtl Verdict

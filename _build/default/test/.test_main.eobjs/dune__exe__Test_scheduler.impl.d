@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Bitfield Bus Coding Dbc Frame List Logger Message Monitor_can Monitor_signal Scheduler

@@ -1,0 +1,1 @@
+test/test_semantics_edge.ml: Alcotest Array Formula Helpers List Monitor_mtl Offline Parser Spec State_machine Verdict

@@ -1,0 +1,1 @@
+test/test_signal.ml: Alcotest Def Float Monitor_signal QCheck QCheck_alcotest Value

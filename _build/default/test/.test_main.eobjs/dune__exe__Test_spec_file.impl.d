@@ -1,0 +1,1 @@
+test/test_spec_file.ml: Alcotest Expr Formula List Monitor_mtl Monitor_oracle Monitor_signal Monitor_trace Printf Spec Spec_file State_machine

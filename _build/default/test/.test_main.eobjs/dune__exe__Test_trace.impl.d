@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Csv Float List Monitor_signal Monitor_trace Multirate QCheck QCheck_alcotest Record Snapshot String Trace

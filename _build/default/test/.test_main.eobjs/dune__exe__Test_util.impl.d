@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Float_bits Int64 List Monitor_util Prng QCheck QCheck_alcotest Ring Stats

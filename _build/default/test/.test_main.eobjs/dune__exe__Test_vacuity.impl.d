@@ -1,0 +1,1 @@
+test/test_vacuity.ml: Alcotest Helpers List Monitor_hil Monitor_mtl Monitor_oracle Monitor_trace Oracle Rules String Vacuity

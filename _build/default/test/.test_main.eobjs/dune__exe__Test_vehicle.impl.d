@@ -1,0 +1,1 @@
+test/test_vehicle.ml: Actuator Alcotest Dynamics Float Lead Monitor_vehicle Params QCheck QCheck_alcotest Radar Road World

@@ -1,0 +1,42 @@
+(* Shared helpers for building snapshot streams in tests. *)
+
+module Value = Monitor_signal.Value
+module Snapshot = Monitor_trace.Snapshot
+
+(* [snaps [ (t, [ (name, value); ... ]); ... ]] builds a snapshot stream
+   with hold semantics: a signal keeps its last value between updates, and
+   is fresh exactly at ticks where it appears in the update list. *)
+let snaps updates =
+  let states : (string, Value.t * float) Hashtbl.t = Hashtbl.create 8 in
+  List.map
+    (fun (time, fresh_list) ->
+      List.iter
+        (fun (name, v) -> Hashtbl.replace states name (v, time))
+        fresh_list;
+      let entries =
+        Hashtbl.fold
+          (fun name (v, last_update) acc ->
+            let fresh = List.mem_assoc name fresh_list in
+            (name, { Snapshot.value = v; fresh; last_update }) :: acc)
+          states []
+      in
+      Snapshot.make ~time ~entries)
+    updates
+
+(* Uniform ticks: every signal fresh at every tick. *)
+let uniform ~period series =
+  let n =
+    match series with
+    | [] -> 0
+    | (_, vs) :: _ -> List.length vs
+  in
+  List.init n (fun i ->
+      let time = float_of_int i *. period in
+      (time, List.map (fun (name, vs) -> (name, List.nth vs i)) series))
+  |> snaps
+
+let f x = Value.Float x
+
+let b x = Value.Bool x
+
+let verdict_t = Alcotest.testable Monitor_mtl.Verdict.pp Monitor_mtl.Verdict.equal

@@ -1,0 +1,84 @@
+open Monitor_trace
+module Value = Monitor_signal.Value
+
+let trace_of records = Trace.of_list records
+
+let rcd time name value = Record.make ~time ~name ~value
+
+let test_basic_stats () =
+  let t =
+    trace_of
+      [ rcd 0.00 "x" (Value.Float 1.0);
+        rcd 0.01 "x" (Value.Float 3.0);
+        rcd 0.02 "x" (Value.Float 2.0);
+        rcd 0.00 "b" (Value.Bool true) ]
+  in
+  let a = Analyze.analyze t in
+  Alcotest.(check int) "records" 4 a.Analyze.records;
+  match Analyze.find a "x" with
+  | None -> Alcotest.fail "x missing"
+  | Some s ->
+    Alcotest.(check int) "samples" 3 s.Analyze.samples;
+    Alcotest.(check (float 1e-9)) "mean period" 0.01 s.Analyze.mean_period;
+    Alcotest.(check (option (float 1e-9))) "min" (Some 1.0) s.Analyze.value_min;
+    Alcotest.(check (option (float 1e-9))) "max" (Some 3.0) s.Analyze.value_max;
+    Alcotest.(check (option (float 1e-9))) "mean" (Some 2.0) s.Analyze.value_mean;
+    Alcotest.(check int) "distinct" 3 s.Analyze.distinct_values
+
+let test_exceptional_counted () =
+  let t =
+    trace_of
+      [ rcd 0.0 "x" (Value.Float Float.nan);
+        rcd 0.1 "x" (Value.Float Float.infinity);
+        rcd 0.2 "x" (Value.Float 1.0) ]
+  in
+  match Analyze.find (Analyze.analyze t) "x" with
+  | Some s ->
+    Alcotest.(check int) "two exceptional" 2 s.Analyze.exceptional_samples;
+    (* Value stats only cover the finite sample. *)
+    Alcotest.(check (option (float 0.0))) "finite min" (Some 1.0) s.Analyze.value_min
+  | None -> Alcotest.fail "x missing"
+
+let test_single_sample_signal () =
+  let t = trace_of [ rcd 0.0 "lonely" (Value.Float 5.0) ] in
+  match Analyze.find (Analyze.analyze t) "lonely" with
+  | Some s ->
+    Alcotest.(check (float 0.0)) "no period" 0.0 s.Analyze.mean_period;
+    Alcotest.(check int) "one sample" 1 s.Analyze.samples
+  | None -> Alcotest.fail "missing"
+
+let test_on_simulated_capture () =
+  (* The structural facts the monitor relies on, read off a real capture:
+     fast signals at ~10 ms, slow at ~40 ms, slow jitter visibly larger. *)
+  let scenario = Monitor_hil.Scenario.steady_follow ~duration:4.0 () in
+  let result = Monitor_hil.Sim.run (Monitor_hil.Sim.default_config scenario) in
+  let a = Analyze.analyze result.Monitor_hil.Sim.trace in
+  let period name =
+    match Analyze.find a name with
+    | Some s -> s.Analyze.mean_period
+    | None -> Alcotest.fail (name ^ " missing")
+  in
+  Alcotest.(check bool) "velocity ~10ms" true
+    (Float.abs (period "Velocity" -. 0.010) < 0.001);
+  Alcotest.(check bool) "torque ~40ms" true
+    (Float.abs (period "RequestedTorque" -. 0.040) < 0.004);
+  let jitter name =
+    match Analyze.find a name with
+    | Some s -> s.Analyze.period_stddev
+    | None -> Alcotest.fail (name ^ " missing")
+  in
+  Alcotest.(check bool) "slow messages jitter more" true
+    (jitter "RequestedTorque" > jitter "Velocity")
+
+let test_render_nonempty () =
+  let t = trace_of [ rcd 0.0 "x" (Value.Float 1.0) ] in
+  Alcotest.(check bool) "renders" true
+    (String.length (Analyze.render (Analyze.analyze t)) > 40)
+
+let suite =
+  [ ( "analyze",
+      [ Alcotest.test_case "basic stats" `Quick test_basic_stats;
+        Alcotest.test_case "exceptional counted" `Quick test_exceptional_counted;
+        Alcotest.test_case "single sample" `Quick test_single_sample_signal;
+        Alcotest.test_case "simulated capture" `Quick test_on_simulated_capture;
+        Alcotest.test_case "render" `Quick test_render_nonempty ] ) ]

@@ -1,0 +1,78 @@
+(* The embedded DSL must agree with the textual language. *)
+
+open Monitor_mtl
+
+let formula_t = Alcotest.testable Formula.pp Formula.equal
+
+let check name built src =
+  Alcotest.check formula_t name (Parser.formula_of_string_exn src) built
+
+let test_atoms () =
+  check "comparison" Build.(var "x" <. float 1.0) "x < 1.0";
+  check "bool signal" Build.(signal "p") "p";
+  check "fresh" Build.(fresh "p") "fresh(p)";
+  check "known" Build.(known "p") "known(p)";
+  check "mode" Build.(mode "m" "s") "mode(m, s)";
+  check "constants" Build.(tt &&& ff) "true and false"
+
+let test_expressions () =
+  check "arith"
+    Build.((var "x" +. float 1.0) *. var "y" >=. float 2.0)
+    "(x + 1.0) * y >= 2.0";
+  check "functions"
+    Build.(abs (min_ (var "a") (var "b")) <>. float 0.0)
+    "abs(min(a, b)) != 0.0";
+  check "change ops"
+    Build.(fresh_delta "t" <=. delta (prev (var "x")))
+    "fresh_delta(t) <= delta(prev(x))";
+  check "rate and age"
+    Build.(rate (var "v") >. age "v")
+    "rate(v) > age(v)";
+  check "negation" Build.(neg (var "x") <. float 0.0) "-x < 0.0"
+
+let test_temporal () =
+  check "always" Build.(always ~within:5.0 (signal "p")) "always[0.0, 5.0] p";
+  check "bounded from"
+    Build.(eventually ~from:0.1 ~within:0.4 (signal "p"))
+    "eventually[0.1, 0.4] p";
+  check "past"
+    Build.(once ~within:2.0 (signal "p") &&& historically ~within:1.0 (signal "q"))
+    "once[0.0, 2.0] p and historically[0.0, 1.0] q";
+  check "warmup"
+    Build.(warmup ~trigger:(signal "t") ~hold:0.5 (signal "b"))
+    "warmup(t, 0.5, b)"
+
+let test_rule5_shape () =
+  check "paper rule 5"
+    Build.(signal "BrakeRequested" ==> (var "RequestedDecel" <=. float 0.0))
+    (Monitor_oracle.Rules.source 5)
+
+let test_conj_disj () =
+  check "conj" Build.(conj [ signal "a"; signal "b"; signal "c" ]) "a and b and c";
+  check "disj" Build.(disj [ signal "a"; signal "b" ]) "a or b";
+  Alcotest.check formula_t "empty conj" Build.tt (Build.conj []);
+  Alcotest.check formula_t "empty disj" Build.ff (Build.disj [])
+
+let test_built_formula_monitors () =
+  (* End to end: a built formula runs through the oracle. *)
+  let spec =
+    Spec.make ~name:"built"
+      Build.(signal "p" ==> eventually ~within:0.02 (var "x" >. float 1.0))
+  in
+  let series =
+    Helpers.uniform ~period:0.01
+      [ ("p", [ Helpers.b true; Helpers.b false; Helpers.b false ]);
+        ("x", [ Helpers.f 0.0; Helpers.f 0.5; Helpers.f 2.0 ]) ]
+  in
+  let outcome = Offline.eval spec series in
+  Alcotest.(check bool) "resolved true at tick 0" true
+    (Verdict.equal outcome.Offline.verdicts.(0) Verdict.True)
+
+let suite =
+  [ ( "build",
+      [ Alcotest.test_case "atoms" `Quick test_atoms;
+        Alcotest.test_case "expressions" `Quick test_expressions;
+        Alcotest.test_case "temporal" `Quick test_temporal;
+        Alcotest.test_case "rule 5 shape" `Quick test_rule5_shape;
+        Alcotest.test_case "conj/disj" `Quick test_conj_disj;
+        Alcotest.test_case "end to end" `Quick test_built_formula_monitors ] ) ]

@@ -1,0 +1,103 @@
+(* The CAN error/retransmission model. *)
+
+open Monitor_can
+
+let frame = Frame.make ~id:0x10 ~data:(Bytes.make 4 '\000') ()
+
+let test_no_model_no_retransmissions () =
+  let bus = Bus.create () in
+  Bus.request bus ~time:0.0 frame;
+  Bus.run_until bus ~time:0.1;
+  Alcotest.(check int) "delivered" 1 (Bus.frames_delivered bus);
+  Alcotest.(check int) "no retransmissions" 0 (Bus.retransmissions bus)
+
+let test_corrupt_once_delays_delivery () =
+  let bus = Bus.create () in
+  let attempts = ref 0 in
+  Bus.set_error_model bus (fun ~time:_ _ ->
+      incr attempts;
+      if !attempts = 1 then `Corrupt else `Deliver);
+  let delivered_at = ref [] in
+  Bus.subscribe bus (fun ~time _ -> delivered_at := time :: !delivered_at);
+  Bus.request bus ~time:0.0 frame;
+  Bus.run_until bus ~time:0.1;
+  Alcotest.(check int) "one retransmission" 1 (Bus.retransmissions bus);
+  Alcotest.(check int) "delivered once" 1 (Bus.frames_delivered bus);
+  match !delivered_at with
+  | [ t ] ->
+    let single = Bus.frame_duration bus frame in
+    Alcotest.(check (float 1e-9)) "took two slots" (2.0 *. single) t
+  | _ -> Alcotest.fail "one delivery expected"
+
+let test_always_corrupt_drops_frame () =
+  let bus = Bus.create () in
+  Bus.set_error_model bus (fun ~time:_ _ -> `Corrupt);
+  Bus.request bus ~time:0.0 frame;
+  Bus.run_until bus ~time:1.0;
+  Alcotest.(check int) "never delivered" 0 (Bus.frames_delivered bus);
+  Alcotest.(check int) "gave up after max attempts" Bus.max_attempts
+    (Bus.retransmissions bus);
+  Alcotest.(check int) "reported lost" 1 (Bus.frames_lost bus)
+
+let test_retransmission_consumes_bus () =
+  (* A corrupted high-priority frame still occupies the wire; a competing
+     frame waits out the retransmissions. *)
+  let bus = Bus.create () in
+  let low = Frame.make ~id:0x700 ~data:Bytes.empty () in
+  Bus.set_error_model bus (fun ~time:_ f ->
+      if f.Frame.id = 0x10 then `Corrupt else `Deliver);
+  let times = ref [] in
+  Bus.subscribe bus (fun ~time f -> times := (f.Frame.id, time) :: !times);
+  Bus.request bus ~time:0.0 frame;
+  Bus.request bus ~time:0.0 low;
+  Bus.run_until bus ~time:1.0;
+  match List.rev !times with
+  | [ (id, t) ] ->
+    Alcotest.(check int) "only the low-priority frame arrives" 0x700 id;
+    let expected =
+      (float_of_int Bus.max_attempts *. Bus.frame_duration bus frame)
+      +. Bus.frame_duration bus low
+    in
+    Alcotest.(check (float 1e-9)) "after all retries" expected t
+  | _ -> Alcotest.fail "exactly one delivery expected"
+
+let test_sim_with_bus_errors () =
+  (* End to end: a noisy bus produces retransmissions but the capture
+     still holds every signal, and nominal rules stay satisfied. *)
+  let scenario = Monitor_hil.Scenario.steady_follow ~duration:4.0 () in
+  let base = Monitor_hil.Sim.default_config scenario in
+  let result =
+    Monitor_hil.Sim.run { base with Monitor_hil.Sim.bus_error_rate = 0.02 }
+  in
+  Alcotest.(check bool) "retransmissions happened" true
+    (result.Monitor_hil.Sim.bus_retransmissions > 0);
+  Alcotest.(check bool) "all signals still captured" true
+    (List.length (Monitor_trace.Trace.signal_names result.Monitor_hil.Sim.trace)
+     = 15);
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "still satisfied" true
+        (o.Monitor_oracle.Oracle.status = Monitor_oracle.Oracle.Satisfied))
+    (Monitor_oracle.Oracle.check Monitor_oracle.Rules.all
+       result.Monitor_hil.Sim.trace)
+
+let test_sim_error_rate_deterministic () =
+  let scenario = Monitor_hil.Scenario.steady_follow ~duration:2.0 () in
+  let run () =
+    let base = Monitor_hil.Sim.default_config ~seed:5L scenario in
+    (Monitor_hil.Sim.run { base with Monitor_hil.Sim.bus_error_rate = 0.05 })
+      .Monitor_hil.Sim.bus_retransmissions
+  in
+  Alcotest.(check int) "same seed, same noise" (run ()) (run ())
+
+let suite =
+  [ ( "bus_errors",
+      [ Alcotest.test_case "no model" `Quick test_no_model_no_retransmissions;
+        Alcotest.test_case "corrupt once" `Quick test_corrupt_once_delays_delivery;
+        Alcotest.test_case "always corrupt drops" `Quick
+          test_always_corrupt_drops_frame;
+        Alcotest.test_case "retransmission consumes bus" `Quick
+          test_retransmission_consumes_bus;
+        Alcotest.test_case "sim with bus errors" `Slow test_sim_with_bus_errors;
+        Alcotest.test_case "deterministic noise" `Quick
+          test_sim_error_rate_deterministic ] ) ]

@@ -1,0 +1,406 @@
+open Monitor_can
+module Value = Monitor_signal.Value
+
+let value_t = Alcotest.testable Value.pp Value.equal
+
+(* Frame ------------------------------------------------------------------ *)
+
+let test_frame_validation () =
+  Alcotest.check_raises "id too big"
+    (Invalid_argument "Frame.make: identifier out of range") (fun () ->
+      ignore (Frame.make ~id:0x800 ~data:Bytes.empty ()));
+  Alcotest.check_raises "payload too big"
+    (Invalid_argument "Frame.make: payload exceeds 8 bytes") (fun () ->
+      ignore (Frame.make ~id:1 ~data:(Bytes.make 9 'x') ()));
+  let f = Frame.make ~format:Frame.Extended ~id:0x1FFFFFFF ~data:Bytes.empty () in
+  Alcotest.(check int) "extended id ok" 0x1FFFFFFF f.Frame.id
+
+let test_frame_priority () =
+  let a = Frame.make ~id:0x10 ~data:Bytes.empty () in
+  let b = Frame.make ~id:0x20 ~data:Bytes.empty () in
+  Alcotest.(check bool) "lower id wins" true (Frame.compare_priority a b < 0)
+
+let test_frame_data_isolated () =
+  let data = Bytes.of_string "\001\002" in
+  let f = Frame.make ~id:1 ~data () in
+  Bytes.set data 0 '\255';
+  Alcotest.(check char) "copied payload" '\001' (Bytes.get f.Frame.data 0)
+
+(* Crc --------------------------------------------------------------------- *)
+
+let test_crc_known_properties () =
+  Alcotest.(check int) "empty is zero" 0 (Crc.crc15 []);
+  let bits = [ true; false; true; true; false ] in
+  Alcotest.(check int) "deterministic" (Crc.crc15 bits) (Crc.crc15 bits);
+  Alcotest.(check bool) "sensitive to a flip" true
+    (Crc.crc15 bits <> Crc.crc15 [ true; false; true; true; true ]);
+  Alcotest.(check int) "15 bits out" 15 (List.length (Crc.crc15_bits bits));
+  Alcotest.(check bool) "crc in range" true
+    (Crc.crc15 bits >= 0 && Crc.crc15 bits < 0x8000)
+
+let test_crc_self_check () =
+  (* Appending the CRC to the message must give remainder 0. *)
+  let bits = [ true; true; false; true; false; false; true ] in
+  let with_crc = bits @ Crc.crc15_bits bits in
+  Alcotest.(check int) "remainder zero" 0 (Crc.crc15 with_crc)
+
+(* Bitfield ---------------------------------------------------------------- *)
+
+let test_bitfield_le_roundtrip () =
+  let payload = Bytes.make 8 '\000' in
+  Bitfield.insert payload Bitfield.Little_endian ~start_bit:12 ~length:10 0x2ABL;
+  let v = Bitfield.extract payload Bitfield.Little_endian ~start_bit:12 ~length:10 in
+  Alcotest.(check int64) "LE roundtrip" 0x2ABL v
+
+let test_bitfield_be_roundtrip () =
+  let payload = Bytes.make 8 '\000' in
+  Bitfield.insert payload Bitfield.Big_endian ~start_bit:7 ~length:16 0xBEEFL;
+  let v = Bitfield.extract payload Bitfield.Big_endian ~start_bit:7 ~length:16 in
+  Alcotest.(check int64) "BE roundtrip" 0xBEEFL v;
+  (* Motorola MSB-first: 0xBE in byte 0, 0xEF in byte 1. *)
+  Alcotest.(check int) "byte0" 0xBE (Char.code (Bytes.get payload 0));
+  Alcotest.(check int) "byte1" 0xEF (Char.code (Bytes.get payload 1))
+
+let test_bitfield_le_layout () =
+  let payload = Bytes.make 2 '\000' in
+  Bitfield.insert payload Bitfield.Little_endian ~start_bit:4 ~length:8 0xFFL;
+  Alcotest.(check int) "low nibble of byte0 clear" 0xF0
+    (Char.code (Bytes.get payload 0));
+  Alcotest.(check int) "low nibble of byte1 set" 0x0F
+    (Char.code (Bytes.get payload 1))
+
+let test_bitfield_no_clobber () =
+  let payload = Bytes.make 2 '\255' in
+  Bitfield.insert payload Bitfield.Little_endian ~start_bit:4 ~length:4 0x0L;
+  Alcotest.(check int) "only the nibble cleared" 0x0F
+    (Char.code (Bytes.get payload 0));
+  Alcotest.(check int) "other byte untouched" 0xFF
+    (Char.code (Bytes.get payload 1))
+
+let test_bitfield_bounds () =
+  let payload = Bytes.make 1 '\000' in
+  Alcotest.check_raises "exceeds payload"
+    (Invalid_argument "Bitfield.insert: field exceeds payload") (fun () ->
+      Bitfield.insert payload Bitfield.Little_endian ~start_bit:4 ~length:8 0L);
+  Alcotest.(check bool) "fits says no" false
+    (Bitfield.fits ~dlc:1 Bitfield.Little_endian ~start_bit:4 ~length:8);
+  Alcotest.(check bool) "fits says yes" true
+    (Bitfield.fits ~dlc:1 Bitfield.Little_endian ~start_bit:0 ~length:8)
+
+let test_sign_extend () =
+  Alcotest.(check int64) "negative" (-1L) (Bitfield.sign_extend 0xFFL ~length:8);
+  Alcotest.(check int64) "positive" 0x7FL (Bitfield.sign_extend 0x7FL ~length:8);
+  Alcotest.(check int64) "-128" (-128L) (Bitfield.sign_extend 0x80L ~length:8)
+
+let bitfield_roundtrip_prop =
+  QCheck.Test.make ~name:"bitfield roundtrip (both orders)" ~count:500
+    QCheck.(triple (int_range 0 32) (int_range 1 31) (pair int64 bool))
+    (fun (start_bit, length, (raw, big_endian)) ->
+      let order =
+        if big_endian then Bitfield.Big_endian else Bitfield.Little_endian
+      in
+      let mask =
+        Int64.sub (Int64.shift_left 1L length) 1L
+      in
+      let raw = Int64.logand raw mask in
+      if not (Bitfield.fits ~dlc:8 order ~start_bit ~length) then true
+      else begin
+        let payload = Bytes.make 8 '\000' in
+        Bitfield.insert payload order ~start_bit ~length raw;
+        Int64.equal raw (Bitfield.extract payload order ~start_bit ~length)
+      end)
+
+(* Coding ------------------------------------------------------------------ *)
+
+let scaled =
+  Coding.make ~signal_name:"speed" ~start_bit:0 ~length:16
+    ~byte_order:Bitfield.Little_endian
+    ~repr:(Coding.Scaled_int { signed = false; scale = 0.01; offset = 0.0 })
+
+let scaled_signed =
+  Coding.make ~signal_name:"temp" ~start_bit:0 ~length:12
+    ~byte_order:Bitfield.Little_endian
+    ~repr:(Coding.Scaled_int { signed = true; scale = 0.5; offset = -40.0 })
+
+let raw64 =
+  Coding.make ~signal_name:"x" ~start_bit:0 ~length:64
+    ~byte_order:Bitfield.Little_endian ~repr:Coding.Raw_float64
+
+let test_coding_scaled_roundtrip () =
+  let raw = Coding.encode scaled (Value.Float 123.45) in
+  match Coding.decode scaled raw with
+  | Value.Float x -> Alcotest.(check (float 0.005)) "quantised" 123.45 x
+  | _ -> Alcotest.fail "expected float"
+
+let test_coding_scaled_saturates () =
+  let raw = Coding.encode scaled (Value.Float 1e9) in
+  Alcotest.(check int64) "saturates at max raw" 0xFFFFL raw;
+  let raw = Coding.encode scaled (Value.Float (-5.0)) in
+  Alcotest.(check int64) "saturates at 0" 0L raw
+
+let test_coding_signed () =
+  let raw = Coding.encode scaled_signed (Value.Float (-45.5)) in
+  match Coding.decode scaled_signed raw with
+  | Value.Float x -> Alcotest.(check (float 0.25)) "negative phys" (-45.5) x
+  | _ -> Alcotest.fail "expected float"
+
+let test_coding_raw_float64_exceptional () =
+  List.iter
+    (fun x ->
+      let raw = Coding.encode raw64 (Value.Float x) in
+      match Coding.decode raw64 raw with
+      | Value.Float y ->
+        Alcotest.(check bool) "bit-exact through the wire" true
+          (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+      | _ -> Alcotest.fail "expected float")
+    [ Float.nan; Float.infinity; Float.neg_infinity; 0.0; -0.0; Float.pi;
+      4.9406564584124654e-324 ]
+
+let test_coding_bool_enum () =
+  let b =
+    Coding.make ~signal_name:"flag" ~start_bit:5 ~length:1
+      ~byte_order:Bitfield.Little_endian ~repr:Coding.Raw_bool
+  in
+  Alcotest.(check int64) "true" 1L (Coding.encode b (Value.Bool true));
+  Alcotest.check value_t "decode true" (Value.Bool true) (Coding.decode b 1L);
+  let e =
+    Coding.make ~signal_name:"sel" ~start_bit:0 ~length:4
+      ~byte_order:Bitfield.Little_endian ~repr:Coding.Raw_enum
+  in
+  Alcotest.(check int64) "enum" 5L (Coding.encode e (Value.Enum 5));
+  Alcotest.check value_t "decode enum" (Value.Enum 5) (Coding.decode e 5L);
+  Alcotest.(check int64) "enum saturates" 15L (Coding.encode e (Value.Enum 99))
+
+let test_coding_validation () =
+  Alcotest.check_raises "float32 length"
+    (Invalid_argument "Coding.make: Raw_float32 requires length 32") (fun () ->
+      ignore
+        (Coding.make ~signal_name:"x" ~start_bit:0 ~length:16
+           ~byte_order:Bitfield.Little_endian ~repr:Coding.Raw_float32))
+
+(* Message / Dbc ------------------------------------------------------------ *)
+
+let msg_speed =
+  Message.make ~name:"SpeedMsg" ~id:0x100 ~dlc:8 ~period_ms:10
+    ~codings:[ raw64 ] ()
+
+let msg_pair =
+  Message.make ~name:"PairMsg" ~id:0x101 ~dlc:4 ~period_ms:10
+    ~codings:
+      [ Coding.make ~signal_name:"u" ~start_bit:0 ~length:16
+          ~byte_order:Bitfield.Little_endian
+          ~repr:(Coding.Scaled_int { signed = false; scale = 1.0; offset = 0.0 });
+        Coding.make ~signal_name:"v" ~start_bit:16 ~length:16
+          ~byte_order:Bitfield.Little_endian
+          ~repr:(Coding.Scaled_int { signed = false; scale = 1.0; offset = 0.0 }) ]
+    ()
+
+let test_message_overlap_rejected () =
+  Alcotest.(check bool) "overlap detected" true
+    (try
+       ignore
+         (Message.make ~name:"Bad" ~id:5 ~dlc:2 ~period_ms:10
+            ~codings:
+              [ Coding.make ~signal_name:"a" ~start_bit:0 ~length:10
+                  ~byte_order:Bitfield.Little_endian ~repr:Coding.Raw_enum;
+                Coding.make ~signal_name:"b" ~start_bit:8 ~length:4
+                  ~byte_order:Bitfield.Little_endian ~repr:Coding.Raw_enum ]
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_message_encode_decode () =
+  let lookup = function
+    | "u" -> Some (Value.Float 1000.0)
+    | "v" -> Some (Value.Float 42.0)
+    | _ -> None
+  in
+  let frame = Message.encode msg_pair ~lookup in
+  let decoded = Message.decode msg_pair frame in
+  Alcotest.(check int) "two signals" 2 (List.length decoded);
+  Alcotest.check value_t "u" (Value.Float 1000.0) (List.assoc "u" decoded);
+  Alcotest.check value_t "v" (Value.Float 42.0) (List.assoc "v" decoded)
+
+let test_message_unknown_signal_zero () =
+  let frame = Message.encode msg_pair ~lookup:(fun _ -> None) in
+  let decoded = Message.decode msg_pair frame in
+  Alcotest.check value_t "zero fill" (Value.Float 0.0) (List.assoc "u" decoded)
+
+let test_dbc () =
+  let dbc = Dbc.create [ msg_speed; msg_pair ] in
+  Alcotest.(check bool) "find by id" true (Dbc.find_by_id dbc 0x100 <> None);
+  Alcotest.(check bool) "find by name" true (Dbc.find_by_name dbc "PairMsg" <> None);
+  Alcotest.(check bool) "owner of v" true
+    (match Dbc.message_of_signal dbc "v" with
+     | Some m -> m.Message.name = "PairMsg"
+     | None -> false);
+  Alcotest.(check (list string)) "signals" [ "x"; "u"; "v" ] (Dbc.signal_names dbc);
+  Alcotest.check_raises "duplicate id"
+    (Invalid_argument "Dbc.create: duplicate id 0x100") (fun () ->
+      ignore
+        (Dbc.create
+           [ msg_speed;
+             Message.make ~name:"Other" ~id:0x100 ~dlc:0 ~period_ms:10
+               ~codings:[] () ]))
+
+let test_dbc_decode_unknown_id () =
+  let dbc = Dbc.create [ msg_pair ] in
+  let stranger = Frame.make ~id:0x7FF ~data:Bytes.empty () in
+  Alcotest.(check int) "unknown id ignored" 0
+    (List.length (Dbc.decode_frame dbc stranger))
+
+(* Bus ----------------------------------------------------------------------- *)
+
+let test_frame_bit_count_sane () =
+  let empty = Frame.make ~id:0 ~data:Bytes.empty () in
+  let full = Frame.make ~id:0x555 ~data:(Bytes.make 8 '\170') () in
+  let n_empty = Bus.frame_bit_count empty in
+  let n_full = Bus.frame_bit_count full in
+  (* 47 bits nominal for dlc=0, 111 for dlc=8, plus stuffing. *)
+  Alcotest.(check bool) "empty >= 47" true (n_empty >= 47);
+  Alcotest.(check bool) "empty bounded" true (n_empty <= 47 + 24);
+  Alcotest.(check bool) "full >= 111" true (n_full >= 111);
+  Alcotest.(check bool) "full bounded" true (n_full <= 111 + 29)
+
+let test_bus_delivery_order_priority () =
+  let bus = Bus.create () in
+  let seen = ref [] in
+  Bus.subscribe bus (fun ~time:_ f -> seen := f.Frame.id :: !seen);
+  (* Two frames requested at the same instant: lower id must win. *)
+  Bus.request bus ~time:0.0 (Frame.make ~id:0x200 ~data:Bytes.empty ());
+  Bus.request bus ~time:0.0 (Frame.make ~id:0x100 ~data:Bytes.empty ());
+  Bus.run_until bus ~time:0.01;
+  Alcotest.(check (list int)) "priority order" [ 0x100; 0x200 ] (List.rev !seen)
+
+let test_bus_timing () =
+  let bus = Bus.create ~bitrate:500_000 () in
+  let times = ref [] in
+  Bus.subscribe bus (fun ~time f -> times := (time, f.Frame.id) :: !times);
+  let f = Frame.make ~id:1 ~data:(Bytes.make 8 '\000') () in
+  Bus.request bus ~time:0.0 f;
+  Bus.run_until bus ~time:1.0;
+  match !times with
+  | [ (t, _) ] ->
+    let expected = float_of_int (Bus.frame_bit_count f) /. 500_000.0 in
+    Alcotest.(check (float 1e-9)) "delivery at frame duration" expected t
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let test_bus_serialisation () =
+  let bus = Bus.create () in
+  let times = ref [] in
+  Bus.subscribe bus (fun ~time _ -> times := time :: !times);
+  let f = Frame.make ~id:1 ~data:(Bytes.make 4 '\000') () in
+  Bus.request bus ~time:0.0 f;
+  Bus.request bus ~time:0.0 f;
+  Bus.run_until bus ~time:1.0;
+  match List.rev !times with
+  | [ t1; t2 ] ->
+    Alcotest.(check (float 1e-12)) "back to back" (2.0 *. t1) t2
+  | _ -> Alcotest.fail "expected two deliveries"
+
+let test_bus_no_delivery_before_completion () =
+  let bus = Bus.create ~bitrate:500_000 () in
+  let count = ref 0 in
+  Bus.subscribe bus (fun ~time:_ _ -> incr count);
+  let f = Frame.make ~id:1 ~data:(Bytes.make 8 '\000') () in
+  Bus.request bus ~time:0.0 f;
+  Bus.run_until bus ~time:0.0001;  (* shorter than the frame duration *)
+  Alcotest.(check int) "not yet" 0 !count;
+  Bus.run_until bus ~time:0.01;
+  Alcotest.(check int) "delivered later" 1 !count
+
+let test_bus_monotonic () =
+  let bus = Bus.create () in
+  Bus.run_until bus ~time:1.0;
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Bus.run_until: time must not go backwards") (fun () ->
+      Bus.run_until bus ~time:0.5)
+
+(* Scheduler / Logger -------------------------------------------------------- *)
+
+let test_scheduler_periodic_capture () =
+  let bus = Bus.create () in
+  let logger = Logger.attach bus in
+  let sched = Scheduler.create bus in
+  let speed = ref 10.0 in
+  Scheduler.add_task sched ~message:msg_speed
+    ~lookup:(fun name -> if name = "x" then Some (Value.Float !speed) else None)
+    ();
+  Scheduler.advance sched ~to_time:0.1;
+  (* 10 ms period over 100 ms -> 10 publications (t=0 .. 90ms). *)
+  Alcotest.(check int) "ten frames" 10 (Logger.frame_count logger)
+
+let test_scheduler_two_rates_decode () =
+  let bus = Bus.create () in
+  let logger = Logger.attach bus in
+  let sched = Scheduler.create bus in
+  let slow =
+    Message.make ~name:"Slow" ~id:0x200 ~dlc:8 ~period_ms:40
+      ~codings:
+        [ Coding.make ~signal_name:"s" ~start_bit:0 ~length:64
+            ~byte_order:Bitfield.Little_endian ~repr:Coding.Raw_float64 ]
+      ()
+  in
+  Scheduler.add_task sched ~message:msg_speed
+    ~lookup:(fun _ -> Some (Value.Float 1.0))
+    ();
+  Scheduler.add_task sched ~message:slow
+    ~lookup:(fun _ -> Some (Value.Float 2.0))
+    ();
+  Scheduler.advance sched ~to_time:0.08;
+  let dbc = Dbc.create [ msg_speed; slow ] in
+  let trace = Logger.to_trace logger dbc in
+  let xs = Monitor_trace.Trace.filter_signals trace [ "x" ] in
+  let ss = Monitor_trace.Trace.filter_signals trace [ "s" ] in
+  Alcotest.(check int) "fast signal 8 samples" 8 (Monitor_trace.Trace.length xs);
+  Alcotest.(check int) "slow signal 2 samples" 2 (Monitor_trace.Trace.length ss)
+
+let test_scheduler_jitter_determinism () =
+  let run seed =
+    let bus = Bus.create () in
+    let logger = Logger.attach bus in
+    let sched = Scheduler.create ~seed bus in
+    Scheduler.add_task sched ~message:msg_speed ~jitter_ms:2.0
+      ~lookup:(fun _ -> Some (Value.Float 0.0))
+      ();
+    Scheduler.advance sched ~to_time:0.1;
+    List.map fst (Logger.frames logger)
+  in
+  Alcotest.(check bool) "same seed same times" true (run 5L = run 5L);
+  Alcotest.(check bool) "jitter shifts times" true (run 5L <> run 6L)
+
+let suite =
+  [ ( "can",
+      [ Alcotest.test_case "frame validation" `Quick test_frame_validation;
+        Alcotest.test_case "frame priority" `Quick test_frame_priority;
+        Alcotest.test_case "frame data isolated" `Quick test_frame_data_isolated;
+        Alcotest.test_case "crc properties" `Quick test_crc_known_properties;
+        Alcotest.test_case "crc self check" `Quick test_crc_self_check;
+        Alcotest.test_case "bitfield LE roundtrip" `Quick test_bitfield_le_roundtrip;
+        Alcotest.test_case "bitfield BE roundtrip" `Quick test_bitfield_be_roundtrip;
+        Alcotest.test_case "bitfield LE layout" `Quick test_bitfield_le_layout;
+        Alcotest.test_case "bitfield no clobber" `Quick test_bitfield_no_clobber;
+        Alcotest.test_case "bitfield bounds" `Quick test_bitfield_bounds;
+        Alcotest.test_case "sign extend" `Quick test_sign_extend;
+        QCheck_alcotest.to_alcotest bitfield_roundtrip_prop;
+        Alcotest.test_case "coding scaled roundtrip" `Quick test_coding_scaled_roundtrip;
+        Alcotest.test_case "coding saturation" `Quick test_coding_scaled_saturates;
+        Alcotest.test_case "coding signed" `Quick test_coding_signed;
+        Alcotest.test_case "coding raw float64 exceptional" `Quick
+          test_coding_raw_float64_exceptional;
+        Alcotest.test_case "coding bool/enum" `Quick test_coding_bool_enum;
+        Alcotest.test_case "coding validation" `Quick test_coding_validation;
+        Alcotest.test_case "message overlap" `Quick test_message_overlap_rejected;
+        Alcotest.test_case "message encode/decode" `Quick test_message_encode_decode;
+        Alcotest.test_case "message zero fill" `Quick test_message_unknown_signal_zero;
+        Alcotest.test_case "dbc" `Quick test_dbc;
+        Alcotest.test_case "dbc unknown id" `Quick test_dbc_decode_unknown_id;
+        Alcotest.test_case "frame bit count" `Quick test_frame_bit_count_sane;
+        Alcotest.test_case "bus priority" `Quick test_bus_delivery_order_priority;
+        Alcotest.test_case "bus timing" `Quick test_bus_timing;
+        Alcotest.test_case "bus serialisation" `Quick test_bus_serialisation;
+        Alcotest.test_case "bus completion" `Quick test_bus_no_delivery_before_completion;
+        Alcotest.test_case "bus monotonic" `Quick test_bus_monotonic;
+        Alcotest.test_case "scheduler periodic" `Quick test_scheduler_periodic_capture;
+        Alcotest.test_case "scheduler two rates" `Quick test_scheduler_two_rates_decode;
+        Alcotest.test_case "scheduler jitter" `Quick test_scheduler_jitter_determinism ] ) ]

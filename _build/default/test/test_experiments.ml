@@ -1,0 +1,134 @@
+(* End-to-end checks of the experiment drivers, at reduced campaign scale.
+   These assert the *shape* results the paper reports. *)
+
+module E = Monitor_experiments
+module Oracle = Monitor_oracle.Oracle
+
+let test_figure1_contents () =
+  let rendered = E.Figure1.rendered () in
+  List.iter
+    (fun needle ->
+      let found =
+        let n = String.length needle and m = String.length rendered in
+        let rec scan i =
+          i + n <= m && (String.sub rendered i n = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      Alcotest.(check bool) ("mentions " ^ needle) true found)
+    [ "Velocity"; "SelHeadway"; "ServiceACC"; "enum"; "boolean"; "float" ]
+
+let quick_table =
+  lazy (E.Table1.run ~options:E.Table1.quick_options ())
+
+let test_table1_nominal_clean () =
+  let t = Lazy.force quick_table in
+  Alcotest.(check (list string)) "baseline all satisfied"
+    [ "S"; "S"; "S"; "S"; "S"; "S"; "S" ]
+    t.E.Table1.nominal_letters
+
+let test_table1_rule0_never_violated () =
+  let t = Lazy.force quick_table in
+  Alcotest.(check bool) "rule 0 never fires" false
+    (List.mem 0 (E.Table1.rules_ever_violated t))
+
+let test_table1_control_signals_violate () =
+  let t = Lazy.force quick_table in
+  (* Even the reduced campaign must catch violations somewhere. *)
+  Alcotest.(check bool) "some rules violated" true
+    (List.length (E.Table1.rules_ever_violated t) >= 3)
+
+let test_table1_pedal_rows_clean () =
+  let t = Lazy.force quick_table in
+  List.iter
+    (fun rr ->
+      let label = rr.E.Table1.row.Monitor_inject.Campaign.target_label in
+      if List.mem label [ "ThrotPos"; "AccelPedPos"; "BrakePedPos"; "SelHeadway" ]
+      then
+        Alcotest.(check (list string))
+          (label ^ " row clean")
+          [ "S"; "S"; "S"; "S"; "S"; "S"; "S" ]
+          rr.E.Table1.letters)
+    t.E.Table1.rows
+
+let test_table1_structure () =
+  let t = Lazy.force quick_table in
+  Alcotest.(check int) "32 rows" 32 (List.length t.E.Table1.rows);
+  Alcotest.(check bool) "rendered output has summary" true
+    (String.length (E.Table1.rendered t) > 500)
+
+let vehicle_logs = lazy (E.Vehicle_logs.run ())
+
+let test_vehicle_logs_paper_shape () =
+  let t = Lazy.force vehicle_logs in
+  let violated = E.Vehicle_logs.rules_with_any_violation t in
+  (* SS IV-A: rules 0, 1, 5, 6 clean; 2, 3, 4 fire. *)
+  List.iter
+    (fun clean_rule ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rule %d clean on the road" clean_rule)
+        false
+        (List.mem clean_rule violated))
+    [ 0; 1; 5; 6 ];
+  Alcotest.(check bool) "rules 2/3/4 fire somewhere" true
+    (List.exists (fun r -> List.mem r violated) [ 2; 3; 4 ])
+
+let test_vehicle_logs_violations_reasonable () =
+  let t = Lazy.force vehicle_logs in
+  List.iter
+    (fun sr ->
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) "never a safety classification" true
+            (c <> `Safety_violations))
+        sr.E.Vehicle_logs.classification)
+    t.E.Vehicle_logs.per_scenario
+
+let test_vehicle_logs_relaxed_clean () =
+  Alcotest.(check bool) "relaxation removes every violation" true
+    (E.Vehicle_logs.relaxed_all_clean (Lazy.force vehicle_logs))
+
+let test_multirate_shape () =
+  let t = E.Multirate.run () in
+  (* The nominal spacing is 4 fast updates per slow one... *)
+  let mode_gap, _ =
+    List.fold_left
+      (fun (best, n) (gap, count) -> if count > n then (gap, count) else (best, n))
+      (0, 0) t.E.Multirate.spacing_histogram
+  in
+  Alcotest.(check int) "modal spacing is 4" 4 mode_gap;
+  (* ...but jitter sometimes yields five (SS V-C1). *)
+  Alcotest.(check bool) "five happens" true
+    (match List.assoc_opt 5 t.E.Multirate.spacing_histogram with
+     | Some n -> n > 0
+     | None -> false);
+  Alcotest.(check bool) "held three of four ticks" true
+    (Float.abs (t.E.Multirate.held_fraction -. 0.75) < 0.02);
+  Alcotest.(check bool) "naive and fresh deltas disagree" true
+    (t.E.Multirate.disagreeing_ticks > 0)
+
+let test_warmup_shape () =
+  let t = E.Warmup.run () in
+  Alcotest.(check bool) "acquisitions happen" true (t.E.Warmup.acquisitions >= 1);
+  Alcotest.(check bool) "naive rule false-alarms" true
+    (t.E.Warmup.naive_false_ticks > 0);
+  Alcotest.(check int) "warm-up suppresses them all" 0
+    t.E.Warmup.warmup_false_ticks
+
+let suite =
+  [ ( "experiments",
+      [ Alcotest.test_case "figure1 contents" `Quick test_figure1_contents;
+        Alcotest.test_case "table1 nominal clean" `Slow test_table1_nominal_clean;
+        Alcotest.test_case "table1 rule0 never" `Slow test_table1_rule0_never_violated;
+        Alcotest.test_case "table1 violations found" `Slow
+          test_table1_control_signals_violate;
+        Alcotest.test_case "table1 pedal rows clean" `Slow test_table1_pedal_rows_clean;
+        Alcotest.test_case "table1 structure" `Slow test_table1_structure;
+        Alcotest.test_case "vehicle logs paper shape" `Slow
+          test_vehicle_logs_paper_shape;
+        Alcotest.test_case "vehicle logs reasonable" `Slow
+          test_vehicle_logs_violations_reasonable;
+        Alcotest.test_case "vehicle logs relaxed clean" `Slow
+          test_vehicle_logs_relaxed_clean;
+        Alcotest.test_case "multirate shape" `Slow test_multirate_shape;
+        Alcotest.test_case "warmup shape" `Slow test_warmup_shape ] ) ]

@@ -1,0 +1,109 @@
+open Monitor_mtl
+open Helpers
+
+let spec src = Spec.make ~name:"t" (Parser.formula_of_string_exn src)
+
+let test_comparison_operands () =
+  let series = uniform ~period:0.01 [ ("x", [ f 5.25 ]) ] in
+  let e = Explain.at_tick (spec "x <= 0.0") series ~tick:0 in
+  Alcotest.check verdict_t "violated" Verdict.False e.Explain.verdict;
+  match e.Explain.detail with
+  | Some d ->
+    Alcotest.(check string) "operand values" "lhs = 5.25, rhs = 0" d
+  | None -> Alcotest.fail "detail expected"
+
+let test_implication_branches () =
+  let series =
+    uniform ~period:0.01 [ ("p", [ b true ]); ("x", [ f 3.0 ]) ]
+  in
+  let e = Explain.at_tick (spec "p -> x <= 0.0") series ~tick:0 in
+  (match e.Explain.children with
+   | [ premise; consequent ] ->
+     Alcotest.check verdict_t "premise armed" Verdict.True premise.Explain.verdict;
+     Alcotest.check verdict_t "consequent failed" Verdict.False
+       consequent.Explain.verdict
+   | _ -> Alcotest.fail "two children expected");
+  Alcotest.check verdict_t "overall" Verdict.False e.Explain.verdict
+
+let test_history_faithful () =
+  (* delta's history must be rebuilt from the prefix: at tick 2, delta(x)
+     is 6-3=3, not undefined. *)
+  let series = uniform ~period:0.01 [ ("x", [ f 1.0; f 3.0; f 6.0 ]) ] in
+  let e = Explain.at_tick (spec "delta(x) <= 0.0") series ~tick:2 in
+  match e.Explain.detail with
+  | Some d -> Alcotest.(check string) "delta value" "lhs = 3, rhs = 0" d
+  | None -> Alcotest.fail "detail expected"
+
+let test_mode_detail () =
+  let machine =
+    State_machine.make ~name:"m" ~initial:"off" ~states:[ "off"; "on" ]
+      ~transitions:
+        [ { State_machine.source = "off";
+            guard = State_machine.When (Parser.formula_of_string_exn "go");
+            target = "on" } ]
+  in
+  let s =
+    Spec.make ~machines:[ machine ] ~name:"t"
+      (Parser.formula_of_string_exn "not mode(m, on)")
+  in
+  let series = uniform ~period:0.01 [ ("go", [ b false; b true ]) ] in
+  let e = Explain.at_tick s series ~tick:1 in
+  Alcotest.check verdict_t "violated once on" Verdict.False e.Explain.verdict;
+  match e.Explain.children with
+  | [ { Explain.detail = Some d; _ } ] ->
+    Alcotest.(check string) "names the state" "m is in state on" d
+  | _ -> Alcotest.fail "mode child with detail expected"
+
+let test_first_violation_on_rule () =
+  (* End to end on a paper rule over a faulted capture. *)
+  let plan =
+    [ (1.0, Monitor_hil.Sim.Set ("RequestedDecel", Monitor_signal.Value.Float 2.0)) ]
+  in
+  ignore plan;
+  (* RequestedDecel is an output (not injectable); use a trace instead. *)
+  let trace =
+    Monitor_trace.Trace.of_list
+      [ Monitor_trace.Record.make ~time:0.0 ~name:"BrakeRequested" ~value:(b true);
+        Monitor_trace.Record.make ~time:0.0 ~name:"RequestedDecel" ~value:(f (-1.0));
+        Monitor_trace.Record.make ~time:0.01 ~name:"BrakeRequested" ~value:(b true);
+        Monitor_trace.Record.make ~time:0.01 ~name:"RequestedDecel" ~value:(f 0.3) ]
+  in
+  match Explain.first_violation (Monitor_oracle.Rules.rule 5) trace with
+  | Some (time, report) ->
+    Alcotest.(check (float 1e-9)) "at the bad tick" 0.01 time;
+    let text = Explain.render report in
+    Alcotest.(check bool) "shows the bad decel" true
+      (let needle = "lhs = 0.3" in
+       let n = String.length needle and m = String.length text in
+       let rec scan i = i + n <= m && (String.sub text i n = needle || scan (i + 1)) in
+       scan 0)
+  | None -> Alcotest.fail "violation expected"
+
+let test_no_violation_none () =
+  let trace =
+    Monitor_trace.Trace.of_list
+      [ Monitor_trace.Record.make ~time:0.0 ~name:"BrakeRequested" ~value:(b false);
+        Monitor_trace.Record.make ~time:0.0 ~name:"RequestedDecel" ~value:(f 0.0) ]
+  in
+  Alcotest.(check bool) "none" true
+    (Explain.first_violation (Monitor_oracle.Rules.rule 5) trace = None)
+
+let test_render_depth_cap () =
+  let series = uniform ~period:0.01 [ ("p", [ b false ]) ] in
+  let e =
+    Explain.at_tick (spec "not not not not not not not not p") series ~tick:0
+  in
+  let shallow = Explain.render ~max_depth:2 e in
+  let deep = Explain.render ~max_depth:20 e in
+  Alcotest.(check bool) "depth cap trims" true
+    (String.length shallow < String.length deep)
+
+let suite =
+  [ ( "explain",
+      [ Alcotest.test_case "comparison operands" `Quick test_comparison_operands;
+        Alcotest.test_case "implication branches" `Quick test_implication_branches;
+        Alcotest.test_case "history faithful" `Quick test_history_faithful;
+        Alcotest.test_case "mode detail" `Quick test_mode_detail;
+        Alcotest.test_case "first violation" `Quick test_first_violation_on_rule;
+        Alcotest.test_case "no violation" `Quick test_no_violation_none;
+        Alcotest.test_case "render depth cap" `Quick test_render_depth_cap ] ) ]

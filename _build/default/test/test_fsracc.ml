@@ -1,0 +1,258 @@
+open Monitor_fsracc
+module Def = Monitor_signal.Def
+
+(* Io ---------------------------------------------------------------------- *)
+
+let test_io_inventory () =
+  Alcotest.(check int) "fifteen signals" 15 (List.length Io.signals);
+  Alcotest.(check int) "nine inputs" 9 (List.length Io.input_names);
+  Alcotest.(check int) "six outputs" 6 (List.length Io.output_names);
+  (* Figure 1 order. *)
+  Alcotest.(check (list string)) "input order"
+    [ "Velocity"; "AccelPedPos"; "BrakePedPres"; "ACCSetSpeed"; "ThrotPos";
+      "VehicleAhead"; "TargetRange"; "TargetRelVel"; "SelHeadway" ]
+    Io.input_names;
+  Alcotest.(check (list string)) "output order"
+    [ "ACCEnabled"; "BrakeRequested"; "TorqueRequested"; "RequestedTorque";
+      "RequestedDecel"; "ServiceACC" ]
+    Io.output_names
+
+let test_io_periods () =
+  let period name = (Io.find_exn name).Def.period_ms in
+  Alcotest.(check int) "velocity fast" Io.fast_period_ms (period "Velocity");
+  Alcotest.(check int) "set speed slow" Io.slow_period_ms (period "ACCSetSpeed");
+  Alcotest.(check int) "torque slow" Io.slow_period_ms (period "RequestedTorque");
+  Alcotest.(check int) "four to one"
+    (4 * Io.fast_period_ms) Io.slow_period_ms
+
+let test_io_float_inputs () =
+  Alcotest.(check int) "seven float inputs" 7 (List.length Io.float_input_names);
+  Alcotest.(check bool) "no enum" true
+    (not (List.mem "SelHeadway" Io.float_input_names));
+  Alcotest.(check bool) "no bool" true
+    (not (List.mem "VehicleAhead" Io.float_input_names))
+
+let test_io_dbc_covers_all_signals () =
+  let on_bus = Monitor_can.Dbc.signal_names Io.dbc in
+  List.iter
+    (fun (_, d) ->
+      Alcotest.(check bool) (d.Def.name ^ " on the bus") true
+        (List.mem d.Def.name on_bus))
+    Io.signals
+
+let test_io_find () =
+  Alcotest.(check bool) "find known" true (Io.find "Velocity" <> None);
+  Alcotest.(check bool) "find unknown" true (Io.find "Bogus" = None);
+  Alcotest.check_raises "find_exn unknown" Not_found (fun () ->
+      ignore (Io.find_exn "Bogus"))
+
+(* Controller ---------------------------------------------------------------- *)
+
+let nominal =
+  { Controller.velocity = 25.0; accel_ped_pos = 0.0; brake_ped_pres = 0.0;
+    acc_set_speed = 27.0; throt_pos = 10.0; vehicle_ahead = true;
+    target_range = 60.0; target_rel_vel = -1.0; sel_headway = 1 }
+
+let run_steps ?(inputs = nominal) ?(steps = 1) c =
+  let out = ref (Controller.step c ~dt:0.01 inputs) in
+  for _ = 2 to steps do
+    out := Controller.step c ~dt:0.01 inputs
+  done;
+  !out
+
+let test_controller_engages () =
+  let c = Controller.create () in
+  let out = run_steps c in
+  Alcotest.(check bool) "enabled" true out.Controller.acc_enabled;
+  Alcotest.(check bool) "engaged mode" true (Controller.mode c = Controller.Engaged)
+
+let test_controller_standby_without_set_speed () =
+  let c = Controller.create () in
+  let out = run_steps ~inputs:{ nominal with Controller.acc_set_speed = 0.0 } c in
+  Alcotest.(check bool) "disabled" false out.Controller.acc_enabled;
+  Alcotest.(check bool) "no torque" false out.Controller.torque_requested;
+  Alcotest.(check bool) "standby" true (Controller.mode c = Controller.Standby)
+
+let test_controller_brake_pedal_disengages () =
+  let c = Controller.create () in
+  ignore (run_steps ~steps:10 c);
+  let out =
+    run_steps ~inputs:{ nominal with Controller.brake_ped_pres = 50.0 } c
+  in
+  Alcotest.(check bool) "driver override" false out.Controller.acc_enabled
+
+let test_controller_speed_control () =
+  (* Below set speed with no target: requests positive torque. *)
+  let c = Controller.create () in
+  let out =
+    run_steps ~steps:5
+      ~inputs:{ nominal with Controller.vehicle_ahead = false; velocity = 20.0 }
+      c
+  in
+  Alcotest.(check bool) "torque requested" true out.Controller.torque_requested;
+  Alcotest.(check bool) "positive torque" true (out.Controller.requested_torque > 0.0)
+
+let test_controller_gap_braking () =
+  (* Closing fast on a very near target: brakes, decel negative. *)
+  let c = Controller.create () in
+  let out =
+    run_steps ~steps:5
+      ~inputs:{ nominal with Controller.target_range = 10.0; target_rel_vel = -8.0 }
+      c
+  in
+  Alcotest.(check bool) "braking" true out.Controller.brake_requested;
+  Alcotest.(check bool) "decel negative" true (out.Controller.requested_decel < 0.0);
+  Alcotest.(check bool) "engine floor commanded" true
+    (out.Controller.requested_torque < 0.0)
+
+let test_controller_no_input_validation () =
+  (* The deliberate defect: NaN flows straight through to the outputs. *)
+  let c = Controller.create () in
+  ignore (run_steps ~steps:5 c);
+  let out =
+    run_steps ~inputs:{ nominal with Controller.target_range = Float.nan } c
+  in
+  Alcotest.(check bool) "NaN reaches the torque request" true
+    (Float.is_nan out.Controller.requested_torque);
+  Alcotest.(check bool) "still claims control" true out.Controller.acc_enabled
+
+let test_controller_absurd_set_speed_leaks () =
+  (* The prototype arbitration: a huge set speed pushes past the gap
+     controller even with a target present. *)
+  let c = Controller.create () in
+  let out =
+    run_steps ~steps:5
+      ~inputs:{ nominal with Controller.acc_set_speed = 1200.0 } c
+  in
+  Alcotest.(check bool) "accelerating toward target" true
+    (out.Controller.torque_requested && out.Controller.requested_torque > 0.0)
+
+let test_controller_sane_set_speed_follows () =
+  (* A sane set speed above the lead's: the gap controller wins. *)
+  let c = Controller.create () in
+  let out =
+    run_steps ~steps:200
+      ~inputs:
+        { nominal with Controller.target_range = 20.0; target_rel_vel = -2.0 }
+      c
+  in
+  Alcotest.(check bool) "not accelerating into the lead" true
+    ((not out.Controller.torque_requested)
+    || out.Controller.requested_torque < 200.0)
+
+let test_controller_fault_on_bad_enum () =
+  let c = Controller.create () in
+  let out = run_steps ~inputs:{ nominal with Controller.sel_headway = 7 } c in
+  Alcotest.(check bool) "service indicator" true out.Controller.service_acc;
+  (* Rule #0 by construction: ServiceACC true -> ACCEnabled false. *)
+  Alcotest.(check bool) "not enabled" false out.Controller.acc_enabled;
+  Alcotest.(check bool) "fault mode" true (Controller.mode c = Controller.Fault)
+
+let test_rule0_invariant_holds_always () =
+  (* Sweep a mix of inputs; ServiceACC && ACCEnabled must never co-occur. *)
+  let c = Controller.create () in
+  let prng = Monitor_util.Prng.create 5L in
+  for _ = 1 to 2000 do
+    let inputs =
+      { Controller.velocity = Monitor_util.Prng.float_range prng (-100.0) 100.0;
+        accel_ped_pos = 0.0;
+        brake_ped_pres = Monitor_util.Prng.float_range prng 0.0 10.0;
+        acc_set_speed = Monitor_util.Prng.float_range prng (-10.0) 60.0;
+        throt_pos = 0.0;
+        vehicle_ahead = Monitor_util.Prng.bool prng;
+        target_range = Monitor_util.Prng.float_range prng (-10.0) 200.0;
+        target_rel_vel = Monitor_util.Prng.float_range prng (-50.0) 50.0;
+        sel_headway = Monitor_util.Prng.int prng 10 }
+    in
+    let out = Controller.step c ~dt:0.01 inputs in
+    if out.Controller.service_acc && out.Controller.acc_enabled then
+      Alcotest.fail "rule 0 violated by the feature itself"
+  done
+
+let test_controller_release_blip () =
+  (* Abrupt brake release produces the Rule #5 positive-decel transient. *)
+  let c = Controller.create () in
+  let braking =
+    { nominal with Controller.target_range = 10.0; target_rel_vel = -8.0 }
+  in
+  ignore (run_steps ~steps:20 ~inputs:braking c);
+  (* Input snaps back to benign: release step is abrupt. *)
+  let relaxed =
+    { nominal with Controller.target_range = 120.0; target_rel_vel = 5.0 }
+  in
+  let blip = ref false in
+  for _ = 1 to 10 do
+    let out = Controller.step c ~dt:0.01 relaxed in
+    if out.Controller.brake_requested && out.Controller.requested_decel > 0.0
+    then blip := true
+  done;
+  Alcotest.(check bool) "positive decel transient" true !blip
+
+let test_controller_gentle_release_no_blip () =
+  let c = Controller.create () in
+  let blip = ref false in
+  (* Ramp the closing speed away slowly: release passes through the
+     engine-braking band, no overshoot. *)
+  for i = 0 to 399 do
+    let rel = -8.0 +. (float_of_int i *. 0.025) in
+    let out =
+      Controller.step c ~dt:0.01
+        { nominal with Controller.target_range = 40.0; target_rel_vel = rel }
+    in
+    if out.Controller.brake_requested && out.Controller.requested_decel > 0.0
+    then blip := true
+  done;
+  Alcotest.(check bool) "no transient" false !blip
+
+let test_controller_reset () =
+  let c = Controller.create () in
+  ignore (run_steps ~steps:10 c);
+  Controller.reset c;
+  Alcotest.(check bool) "standby after reset" true
+    (Controller.mode c = Controller.Standby)
+
+let test_headway_time () =
+  Alcotest.(check (float 0.0)) "short" 1.0 (Controller.headway_time 0);
+  Alcotest.(check (float 0.0)) "medium" 1.5 (Controller.headway_time 1);
+  Alcotest.(check (float 0.0)) "long" 2.0 (Controller.headway_time 2);
+  Alcotest.(check (float 0.0)) "fallback" 2.0 (Controller.headway_time 9)
+
+let controller_outputs_consistent =
+  QCheck.Test.make ~name:"torque and brake requests never co-assert" ~count:500
+    QCheck.(triple (float_range (-100.0) 100.0) (float_range (-300.0) 300.0)
+              (float_range (-60.0) 60.0))
+    (fun (velocity, target_range, target_rel_vel) ->
+      let c = Controller.create () in
+      let out =
+        Controller.step c ~dt:0.01
+          { nominal with Controller.velocity; target_range; target_rel_vel }
+      in
+      not (out.Controller.torque_requested && out.Controller.brake_requested))
+
+let suite =
+  [ ( "fsracc",
+      [ Alcotest.test_case "io inventory" `Quick test_io_inventory;
+        Alcotest.test_case "io periods" `Quick test_io_periods;
+        Alcotest.test_case "io float inputs" `Quick test_io_float_inputs;
+        Alcotest.test_case "io dbc coverage" `Quick test_io_dbc_covers_all_signals;
+        Alcotest.test_case "io find" `Quick test_io_find;
+        Alcotest.test_case "engages" `Quick test_controller_engages;
+        Alcotest.test_case "standby" `Quick test_controller_standby_without_set_speed;
+        Alcotest.test_case "brake pedal disengage" `Quick
+          test_controller_brake_pedal_disengages;
+        Alcotest.test_case "speed control" `Quick test_controller_speed_control;
+        Alcotest.test_case "gap braking" `Quick test_controller_gap_braking;
+        Alcotest.test_case "no input validation" `Quick
+          test_controller_no_input_validation;
+        Alcotest.test_case "absurd set speed leaks" `Quick
+          test_controller_absurd_set_speed_leaks;
+        Alcotest.test_case "sane set speed follows" `Quick
+          test_controller_sane_set_speed_follows;
+        Alcotest.test_case "fault on bad enum" `Quick test_controller_fault_on_bad_enum;
+        Alcotest.test_case "rule0 invariant" `Quick test_rule0_invariant_holds_always;
+        Alcotest.test_case "release blip" `Quick test_controller_release_blip;
+        Alcotest.test_case "gentle release no blip" `Quick
+          test_controller_gentle_release_no_blip;
+        Alcotest.test_case "reset" `Quick test_controller_reset;
+        Alcotest.test_case "headway time" `Quick test_headway_time;
+        QCheck_alcotest.to_alcotest controller_outputs_consistent ] ) ]

@@ -1,0 +1,238 @@
+open Monitor_hil
+module Value = Monitor_signal.Value
+module Def = Monitor_signal.Def
+module Trace = Monitor_trace.Trace
+
+(* Typecheck ----------------------------------------------------------------- *)
+
+let speed_def = Monitor_fsracc.Io.find_exn "Velocity"
+let headway_def = Monitor_fsracc.Io.find_exn "SelHeadway"
+let flag_def = Monitor_fsracc.Io.find_exn "VehicleAhead"
+
+let test_typecheck_floats_unbounded () =
+  (* Exceptional floats pass the HIL's *type* check (SS III-A). *)
+  List.iter
+    (fun x ->
+      Alcotest.(check bool)
+        (Printf.sprintf "float %h accepted" x)
+        true
+        (Typecheck.accepts speed_def (Value.Float x)))
+    [ 0.0; -2000.0; Float.nan; Float.infinity; Float.neg_infinity ]
+
+let test_typecheck_enum_bounded () =
+  Alcotest.(check bool) "valid index" true
+    (Typecheck.accepts headway_def (Value.Enum 2));
+  Alcotest.(check bool) "out of range rejected" false
+    (Typecheck.accepts headway_def (Value.Enum 3));
+  Alcotest.(check bool) "huge rejected" false
+    (Typecheck.accepts headway_def (Value.Enum 99999))
+
+let test_typecheck_cross_type () =
+  Alcotest.(check bool) "bool on float" false
+    (Typecheck.accepts speed_def (Value.Bool true));
+  Alcotest.(check bool) "float on bool" false
+    (Typecheck.accepts flag_def (Value.Float 1.0));
+  match Typecheck.check flag_def (Value.Enum 1) with
+  | Typecheck.Rejected reason ->
+    Alcotest.(check bool) "reason names the signal" true
+      (String.length reason > 0)
+  | Typecheck.Accepted -> Alcotest.fail "should reject"
+
+(* Mux ------------------------------------------------------------------------ *)
+
+let test_mux_passthrough_and_override () =
+  let m = Mux.create () in
+  Alcotest.(check bool) "passthrough" true
+    (Value.equal (Mux.apply m ~signal:"x" (Value.Float 1.0)) (Value.Float 1.0));
+  Mux.set m ~signal:"x" ~value:(Value.Float 9.0);
+  Alcotest.(check bool) "override" true
+    (Value.equal (Mux.apply m ~signal:"x" (Value.Float 1.0)) (Value.Float 9.0));
+  Mux.clear m ~signal:"x";
+  Alcotest.(check bool) "cleared" true
+    (Value.equal (Mux.apply m ~signal:"x" (Value.Float 1.0)) (Value.Float 1.0))
+
+let test_mux_transform_rides_live_value () =
+  let m = Mux.create () in
+  Mux.set_transform m ~signal:"x" (fun v ->
+      Value.Float (Value.as_float v +. 100.0));
+  Alcotest.(check bool) "transforms 1" true
+    (Value.equal (Mux.apply m ~signal:"x" (Value.Float 1.0)) (Value.Float 101.0));
+  Alcotest.(check bool) "transforms 2" true
+    (Value.equal (Mux.apply m ~signal:"x" (Value.Float 2.0)) (Value.Float 102.0))
+
+let test_mux_clear_all_and_active () =
+  let m = Mux.create () in
+  Mux.set m ~signal:"a" ~value:(Value.Bool true);
+  Mux.set m ~signal:"b" ~value:(Value.Bool false);
+  Alcotest.(check int) "two active" 2 (List.length (Mux.active m));
+  Mux.clear_all m;
+  Alcotest.(check int) "none active" 0 (List.length (Mux.active m))
+
+(* Scenario --------------------------------------------------------------------- *)
+
+let test_scenario_catalog () =
+  let names = List.map (fun s -> s.Scenario.name) (Scenario.road_scenarios ()) in
+  Alcotest.(check int) "six road scenarios" 6 (List.length names);
+  Alcotest.(check bool) "noise enabled" true
+    (List.for_all
+       (fun s -> s.Scenario.radar_noise > 0.0)
+       (Scenario.road_scenarios ()))
+
+let test_scenario_validation () =
+  Alcotest.check_raises "bad duration"
+    (Invalid_argument "Scenario.make: duration must be positive") (fun () ->
+      ignore (Scenario.make ~name:"x" ~duration:0.0 ()))
+
+(* Sim ------------------------------------------------------------------------- *)
+
+let quick_scenario = Scenario.steady_follow ~duration:2.0 ()
+
+let test_sim_produces_all_signals () =
+  let result = Sim.run (Sim.default_config quick_scenario) in
+  let names = Trace.signal_names result.Sim.trace in
+  List.iter
+    (fun (_, d) ->
+      Alcotest.(check bool) (d.Def.name ^ " captured") true
+        (List.mem d.Def.name names))
+    Monitor_fsracc.Io.signals
+
+let test_sim_deterministic () =
+  let run () =
+    let result = Sim.run (Sim.default_config ~seed:11L quick_scenario) in
+    Monitor_trace.Csv.to_string result.Sim.trace
+  in
+  Alcotest.(check bool) "bit-identical reruns" true (String.equal (run ()) (run ()))
+
+let test_sim_seed_changes_timing () =
+  let capture seed =
+    let result = Sim.run (Sim.default_config ~seed quick_scenario) in
+    Monitor_trace.Csv.to_string result.Sim.trace
+  in
+  Alcotest.(check bool) "different jitter" true (capture 1L <> capture 2L)
+
+let test_sim_message_rates () =
+  let result = Sim.run (Sim.default_config quick_scenario) in
+  let count name =
+    Trace.length (Trace.filter_signals result.Sim.trace [ name ])
+  in
+  (* 2 s at 10/40 ms: about 200 fast updates and 50 slow ones. *)
+  Alcotest.(check bool) "fast signal rate" true (abs (count "Velocity" - 200) <= 2);
+  Alcotest.(check bool) "slow signal rate" true
+    (abs (count "RequestedTorque" - 50) <= 2);
+  Alcotest.(check bool) "four-to-one" true
+    (count "Velocity" / count "RequestedTorque" = 4)
+
+let test_sim_injection_visible_on_bus () =
+  let plan = [ (0.5, Sim.Set ("Velocity", Value.Float 123.0)); (1.5, Sim.Clear "Velocity") ] in
+  let result = Sim.run ~plan (Sim.default_config quick_scenario) in
+  let v_at t =
+    match Trace.last_value_before result.Sim.trace ~name:"Velocity" ~time:t with
+    | Some v -> Value.as_float v
+    | None -> nan
+  in
+  Alcotest.(check bool) "before injection" true (Float.abs (v_at 0.4 -. 25.0) < 2.0);
+  Alcotest.(check (float 0.0)) "during injection" 123.0 (v_at 1.0);
+  Alcotest.(check bool) "after clear" true (v_at 1.99 < 100.0)
+
+let test_sim_hil_rejects_bad_enum () =
+  let plan = [ (0.5, Sim.Set ("SelHeadway", Value.Enum 999)) ] in
+  let result = Sim.run ~plan (Sim.default_config quick_scenario) in
+  Alcotest.(check int) "rejected and recorded" 1
+    (List.length result.Sim.rejected_injections);
+  let _, signal, _ = List.hd result.Sim.rejected_injections in
+  Alcotest.(check string) "names the signal" "SelHeadway" signal
+
+let test_sim_road_accepts_bad_enum () =
+  (* The real network carries whatever bits arrive (SS V-C3) — and the
+     feature's own self-check then trips ServiceACC. *)
+  let plan = [ (0.5, Sim.Set ("SelHeadway", Value.Enum 999)) ] in
+  let result =
+    Sim.run ~plan (Sim.default_config ~environment:Sim.Road quick_scenario)
+  in
+  Alcotest.(check int) "nothing rejected" 0
+    (List.length result.Sim.rejected_injections);
+  match
+    Trace.last_value_before result.Sim.trace ~name:"ServiceACC" ~time:1.0
+  with
+  | Some v ->
+    Alcotest.(check bool) "feature detects it" true (Value.as_bool v)
+  | None -> Alcotest.fail "ServiceACC not on the bus"
+
+let test_sim_plan_validation () =
+  Alcotest.check_raises "unknown signal"
+    (Invalid_argument "Sim.run: unknown signal in plan: Bogus") (fun () ->
+      ignore
+        (Sim.run
+           ~plan:[ (0.0, Sim.Set ("Bogus", Value.Float 0.0)) ]
+           (Sim.default_config quick_scenario)));
+  Alcotest.check_raises "out of order"
+    (Invalid_argument "Sim.run: plan out of time order") (fun () ->
+      ignore
+        (Sim.run
+           ~plan:
+             [ (1.0, Sim.Clear_all); (0.5, Sim.Clear_all) ]
+           (Sim.default_config quick_scenario)))
+
+let test_sim_nominal_is_safe () =
+  (* The baseline every campaign compares against: no rule fires without
+     injection. *)
+  let scenario = Scenario.steady_follow ~duration:8.0 () in
+  let result = Sim.run (Sim.default_config scenario) in
+  Alcotest.(check int) "no collisions" 0 (List.length result.Sim.collisions);
+  List.iteri
+    (fun i outcome ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rule %d satisfied" i)
+        true
+        (outcome.Monitor_oracle.Oracle.status = Monitor_oracle.Oracle.Satisfied))
+    (Monitor_oracle.Oracle.check Monitor_oracle.Rules.all result.Sim.trace)
+
+let test_sim_radar_messages_atomic () =
+  (* VehicleAhead and TargetRange are published by one node back to back:
+     the monitor must never see "ahead" paired with a stale zero range at
+     target acquisition. *)
+  let scenario = Scenario.approach_and_follow ~duration:12.0 () in
+  let result = Sim.run (Sim.default_config ~seed:3L scenario) in
+  let snaps = Monitor_oracle.Oracle.snapshots_of_trace result.Sim.trace in
+  List.iter
+    (fun snap ->
+      let ahead =
+        match Monitor_trace.Snapshot.value snap "VehicleAhead" with
+        | Some v -> Value.as_bool v
+        | None -> false
+      in
+      let fresh_flag = Monitor_trace.Snapshot.is_fresh snap "VehicleAhead" in
+      let range =
+        match Monitor_trace.Snapshot.value snap "TargetRange" with
+        | Some v -> Value.as_float v
+        | None -> nan
+      in
+      if ahead && fresh_flag && range = 0.0 then
+        Alcotest.failf "non-atomic acquisition at %.3f"
+          snap.Monitor_trace.Snapshot.time)
+    snaps
+
+let suite =
+  [ ( "hil",
+      [ Alcotest.test_case "typecheck floats" `Quick test_typecheck_floats_unbounded;
+        Alcotest.test_case "typecheck enums" `Quick test_typecheck_enum_bounded;
+        Alcotest.test_case "typecheck cross type" `Quick test_typecheck_cross_type;
+        Alcotest.test_case "mux override" `Quick test_mux_passthrough_and_override;
+        Alcotest.test_case "mux transform" `Quick test_mux_transform_rides_live_value;
+        Alcotest.test_case "mux clear all" `Quick test_mux_clear_all_and_active;
+        Alcotest.test_case "scenario catalog" `Quick test_scenario_catalog;
+        Alcotest.test_case "scenario validation" `Quick test_scenario_validation;
+        Alcotest.test_case "sim produces all signals" `Quick
+          test_sim_produces_all_signals;
+        Alcotest.test_case "sim deterministic" `Quick test_sim_deterministic;
+        Alcotest.test_case "sim seed sensitivity" `Quick test_sim_seed_changes_timing;
+        Alcotest.test_case "sim message rates" `Quick test_sim_message_rates;
+        Alcotest.test_case "sim injection on bus" `Quick
+          test_sim_injection_visible_on_bus;
+        Alcotest.test_case "sim HIL rejects bad enum" `Quick
+          test_sim_hil_rejects_bad_enum;
+        Alcotest.test_case "sim road accepts bad enum" `Quick
+          test_sim_road_accepts_bad_enum;
+        Alcotest.test_case "sim plan validation" `Quick test_sim_plan_validation;
+        Alcotest.test_case "sim nominal is safe" `Slow test_sim_nominal_is_safe;
+        Alcotest.test_case "sim radar atomicity" `Slow test_sim_radar_messages_atomic ] ) ]

@@ -1,0 +1,213 @@
+open Monitor_inject
+module Value = Monitor_signal.Value
+module Def = Monitor_signal.Def
+module Prng = Monitor_util.Prng
+
+let speed_def = Monitor_fsracc.Io.find_exn "Velocity"
+let headway_def = Monitor_fsracc.Io.find_exn "SelHeadway"
+let flag_def = Monitor_fsracc.Io.find_exn "VehicleAhead"
+
+(* Ballista ------------------------------------------------------------------- *)
+
+let test_ballista_set () =
+  Alcotest.(check int) "22 values" 22 (Array.length Ballista.floats);
+  Alcotest.(check bool) "has NaN" true
+    (Array.exists Float.is_nan Ballista.floats);
+  Alcotest.(check bool) "has +inf" true (Ballista.contains Float.infinity);
+  Alcotest.(check bool) "has -0.0" true (Ballista.contains (-0.0));
+  Alcotest.(check bool) "has smallest subnormal" true
+    (Ballista.contains 4.9406564584124654e-324);
+  Alcotest.(check bool) "2^32 boundary" true
+    (Ballista.contains 4294967296.000001);
+  Alcotest.(check bool) "not arbitrary" false (Ballista.contains 42.0)
+
+(* Fault ------------------------------------------------------------------------ *)
+
+let test_random_value_ranges () =
+  let prng = Prng.create 1L in
+  for _ = 1 to 500 do
+    (match Fault.random_value prng speed_def with
+     | Value.Float x ->
+       Alcotest.(check bool) "float in +-2000" true (x >= -2000.0 && x < 2000.0)
+     | _ -> Alcotest.fail "float signal draws floats");
+    match Fault.random_value prng headway_def with
+    | Value.Enum i -> Alcotest.(check bool) "enum non-negative" true (i >= 0)
+    | _ -> Alcotest.fail "enum signal draws enums"
+  done
+
+let test_random_enum_mostly_rejected () =
+  (* [0, maxint) draws: nearly all fail the HIL's strong value checking,
+     as on the paper's testbed. *)
+  let prng = Prng.create 2L in
+  let rejected = ref 0 in
+  for _ = 1 to 200 do
+    let v = Fault.random_value prng headway_def in
+    if not (Monitor_hil.Typecheck.accepts headway_def v) then incr rejected
+  done;
+  Alcotest.(check bool) "almost all rejected" true (!rejected >= 198)
+
+let test_random_valid_always_accepted () =
+  let prng = Prng.create 3L in
+  List.iter
+    (fun def ->
+      for _ = 1 to 200 do
+        let v = Fault.random_valid_value prng def in
+        Alcotest.(check bool) (def.Def.name ^ " accepted") true
+          (Monitor_hil.Typecheck.accepts def v)
+      done)
+    [ speed_def; headway_def; flag_def ]
+
+let test_ballista_value_by_type () =
+  let prng = Prng.create 4L in
+  (match Fault.ballista_value prng speed_def with
+   | Value.Float x -> Alcotest.(check bool) "from the set" true (Ballista.contains x)
+   | _ -> Alcotest.fail "float expected");
+  (* Non-float targets fall back to valid values (SS III-A). *)
+  match Fault.ballista_value prng headway_def with
+  | Value.Enum i -> Alcotest.(check bool) "valid enum" true (i >= 0 && i < 3)
+  | _ -> Alcotest.fail "enum expected"
+
+let test_flip_positions () =
+  let prng = Prng.create 5L in
+  for _ = 1 to 100 do
+    let ps = Fault.flip_positions prng ~n_bits:4 speed_def in
+    Alcotest.(check int) "four distinct bits" 4
+      (List.length (List.sort_uniq compare ps));
+    List.iter
+      (fun p -> Alcotest.(check bool) "inside the image" true (p >= 0 && p < 64))
+      ps
+  done;
+  (* A boolean has one bit: more flips degrade to one. *)
+  let ps = Fault.flip_positions prng ~n_bits:4 flag_def in
+  Alcotest.(check int) "bool has 1 bit" 1 (List.length ps)
+
+let test_apply_flips_involution () =
+  let flips = [ 3; 17; 62 ] in
+  let v = Value.Float 123.456 in
+  Alcotest.(check bool) "double flip restores" true
+    (Value.equal v (Fault.apply_flips flips (Fault.apply_flips flips v)))
+
+let test_apply_flips_bool () =
+  Alcotest.(check bool) "negates" true
+    (Value.equal (Value.Bool false) (Fault.apply_flips [ 0 ] (Value.Bool true)));
+  Alcotest.(check bool) "empty keeps" true
+    (Value.equal (Value.Bool true) (Fault.apply_flips [] (Value.Bool true)))
+
+let test_command_shapes () =
+  let prng = Prng.create 6L in
+  (match Fault.command prng Fault.Random_value speed_def with
+   | Monitor_hil.Sim.Set ("Velocity", Value.Float _) -> ()
+   | _ -> Alcotest.fail "random is a Set");
+  (match Fault.command prng (Fault.Bit_flip 2) speed_def with
+   | Monitor_hil.Sim.Set_transform ("Velocity", _) -> ()
+   | _ -> Alcotest.fail "float bitflip is a transform");
+  match Fault.command prng (Fault.Bit_flip 2) headway_def with
+  | Monitor_hil.Sim.Set ("SelHeadway", Value.Enum i) ->
+    Alcotest.(check bool) "enum bitflip degrades to valid Set" true (i >= 0 && i < 3)
+  | _ -> Alcotest.fail "enum bitflip is a valid Set"
+
+(* Campaign ---------------------------------------------------------------------- *)
+
+let test_campaign_structure () =
+  let rows = Campaign.table1 ~seed:2014L () in
+  Alcotest.(check int) "32 rows" 32 (List.length rows);
+  let singles = Campaign.single_rows ~seed:2014L () in
+  Alcotest.(check int) "24 single rows" 24 (List.length singles);
+  let kinds = List.map (fun r -> r.Campaign.kind_label) singles in
+  Alcotest.(check int) "8 random rows" 8
+    (List.length (List.filter (String.equal "Random") kinds));
+  Alcotest.(check int) "8 ballista rows" 8
+    (List.length (List.filter (String.equal "Ballista") kinds));
+  Alcotest.(check int) "8 bitflip rows" 8
+    (List.length (List.filter (String.equal "Bitflips") kinds))
+
+let test_campaign_run_counts () =
+  let singles = Campaign.single_rows ~seed:2014L () in
+  List.iter
+    (fun row ->
+      let expected =
+        if String.equal row.Campaign.kind_label "Bitflips" then 12 else 8
+      in
+      Alcotest.(check int)
+        (row.Campaign.kind_label ^ "/" ^ row.Campaign.target_label ^ " runs")
+        expected
+        (List.length row.Campaign.runs))
+    singles;
+  List.iter
+    (fun row ->
+      Alcotest.(check int) "20 multi runs" 20 (List.length row.Campaign.runs))
+    (Campaign.multi_rows ~seed:2014L ())
+
+let test_campaign_multi_targets () =
+  let multi = Campaign.multi_rows ~seed:2014L () in
+  let find label kind =
+    List.find
+      (fun r ->
+        String.equal r.Campaign.target_label label
+        && String.equal r.Campaign.kind_label kind)
+      multi
+  in
+  Alcotest.(check int) "Range+ is 3 signals" 3
+    (List.length (find "Range+" "mRandom").Campaign.targets);
+  Alcotest.(check int) "Range+Set is 4" 4
+    (List.length (find "Range+Set" "mRandom").Campaign.targets);
+  Alcotest.(check int) "All is 9" 9
+    (List.length (find "All" "mRandom").Campaign.targets)
+
+let test_campaign_plans_well_formed () =
+  let rows = Campaign.table1 ~seed:2014L ~values_per_test:2 ~flips_per_size:1
+      ~multi_values_per_test:2 () in
+  List.iter
+    (fun row ->
+      List.iter
+        (fun run ->
+          (* Each plan: one command per target at start, one Clear_all 20 s
+             later. *)
+          let plan = run.Campaign.plan in
+          Alcotest.(check int) "commands"
+            (List.length row.Campaign.targets + 1)
+            (List.length plan);
+          let clear_time, last = List.nth plan (List.length plan - 1) in
+          Alcotest.(check bool) "ends with Clear_all" true
+            (last = Monitor_hil.Sim.Clear_all);
+          Alcotest.(check (float 1e-9)) "20 s hold"
+            (Campaign.default_start +. Campaign.hold_duration)
+            clear_time)
+        row.Campaign.runs)
+    rows
+
+let test_campaign_deterministic () =
+  let label_set seed =
+    List.concat_map
+      (fun r -> List.map (fun run -> run.Campaign.run_label) r.Campaign.runs)
+      (Campaign.table1 ~seed ~values_per_test:2 ~flips_per_size:1
+         ~multi_values_per_test:2 ())
+  in
+  Alcotest.(check bool) "same seed, same campaign" true
+    (label_set 9L = label_set 9L)
+
+let test_table_labels () =
+  Alcotest.(check string) "paper's label" "BrakePedPos"
+    (Campaign.target_label_of_signal "BrakePedPres");
+  Alcotest.(check string) "others unchanged" "Velocity"
+    (Campaign.target_label_of_signal "Velocity")
+
+let suite =
+  [ ( "inject",
+      [ Alcotest.test_case "ballista set" `Quick test_ballista_set;
+        Alcotest.test_case "random ranges" `Quick test_random_value_ranges;
+        Alcotest.test_case "random enums rejected" `Quick
+          test_random_enum_mostly_rejected;
+        Alcotest.test_case "valid values accepted" `Quick
+          test_random_valid_always_accepted;
+        Alcotest.test_case "ballista by type" `Quick test_ballista_value_by_type;
+        Alcotest.test_case "flip positions" `Quick test_flip_positions;
+        Alcotest.test_case "flips involution" `Quick test_apply_flips_involution;
+        Alcotest.test_case "flips bool" `Quick test_apply_flips_bool;
+        Alcotest.test_case "command shapes" `Quick test_command_shapes;
+        Alcotest.test_case "campaign structure" `Quick test_campaign_structure;
+        Alcotest.test_case "campaign run counts" `Quick test_campaign_run_counts;
+        Alcotest.test_case "campaign multi targets" `Quick test_campaign_multi_targets;
+        Alcotest.test_case "campaign plans" `Quick test_campaign_plans_well_formed;
+        Alcotest.test_case "campaign deterministic" `Quick test_campaign_deterministic;
+        Alcotest.test_case "table labels" `Quick test_table_labels ] ) ]

@@ -1,0 +1,71 @@
+open Monitor_mtl
+
+let tokens src =
+  match Lexer.tokenize src with
+  | Ok located -> Array.to_list (Array.map (fun l -> l.Lexer.token) located)
+  | Error msg -> Alcotest.fail msg
+
+let test_keywords_vs_idents () =
+  match tokens "always alwaysx x_always and andx" with
+  | [ Lexer.KW_ALWAYS; Lexer.IDENT "alwaysx"; Lexer.IDENT "x_always";
+      Lexer.AND; Lexer.IDENT "andx"; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "keyword boundaries"
+
+let test_numbers () =
+  match tokens "1 2.5 .5 1e3 1.5e-2 2E+1" with
+  | [ Lexer.NUMBER a; Lexer.NUMBER b; Lexer.NUMBER c; Lexer.NUMBER d;
+      Lexer.NUMBER e; Lexer.NUMBER f; Lexer.EOF ] ->
+    Alcotest.(check (float 0.0)) "int" 1.0 a;
+    Alcotest.(check (float 0.0)) "decimal" 2.5 b;
+    Alcotest.(check (float 0.0)) "leading dot" 0.5 c;
+    Alcotest.(check (float 0.0)) "exponent" 1000.0 d;
+    Alcotest.(check (float 1e-12)) "negative exponent" 0.015 e;
+    Alcotest.(check (float 0.0)) "capital E" 20.0 f
+  | _ -> Alcotest.fail "number shapes"
+
+let test_operators () =
+  match tokens "-> <= >= == != < > + - * /" with
+  | [ Lexer.IMPLIES; Lexer.LE; Lexer.GE; Lexer.EQ; Lexer.NE; Lexer.LT;
+      Lexer.GT; Lexer.PLUS; Lexer.MINUS; Lexer.STAR; Lexer.SLASH; Lexer.EOF ] ->
+    ()
+  | _ -> Alcotest.fail "operator tokens"
+
+let test_strings () =
+  (match tokens {|"hello world"|} with
+   | [ Lexer.STRING "hello world"; Lexer.EOF ] -> ()
+   | _ -> Alcotest.fail "plain string");
+  match tokens {|"a\"b\\c\nd"|} with
+  | [ Lexer.STRING s; Lexer.EOF ] ->
+    Alcotest.(check string) "escapes" "a\"b\\c\nd" s
+  | _ -> Alcotest.fail "escaped string"
+
+let test_braces_comments () =
+  match tokens "{ } # comment to end\n ( )" with
+  | [ Lexer.LBRACE; Lexer.RBRACE; Lexer.LPAREN; Lexer.RPAREN; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "braces and comments"
+
+let test_errors () =
+  (match Lexer.tokenize "a $ b" with
+   | Error msg -> Alcotest.(check bool) "names offset" true
+                    (String.length msg > 0)
+   | Ok _ -> Alcotest.fail "should reject $");
+  match Lexer.tokenize "\"unterminated" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "should reject unterminated string"
+
+let test_positions () =
+  match Lexer.tokenize "ab cd" with
+  | Ok arr ->
+    Alcotest.(check int) "first at 0" 0 arr.(0).Lexer.pos;
+    Alcotest.(check int) "second at 3" 3 arr.(1).Lexer.pos
+  | Error msg -> Alcotest.fail msg
+
+let suite =
+  [ ( "lexer",
+      [ Alcotest.test_case "keywords vs idents" `Quick test_keywords_vs_idents;
+        Alcotest.test_case "numbers" `Quick test_numbers;
+        Alcotest.test_case "operators" `Quick test_operators;
+        Alcotest.test_case "strings" `Quick test_strings;
+        Alcotest.test_case "braces/comments" `Quick test_braces_comments;
+        Alcotest.test_case "errors" `Quick test_errors;
+        Alcotest.test_case "positions" `Quick test_positions ] ) ]

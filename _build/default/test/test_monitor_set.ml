@@ -1,0 +1,84 @@
+open Monitor_mtl
+open Helpers
+
+let specs () =
+  [ Spec.make ~name:"a" (Parser.formula_of_string_exn "p");
+    Spec.make ~name:"b" (Parser.formula_of_string_exn "x < 1.0");
+    Spec.make ~name:"c" (Parser.formula_of_string_exn "eventually[0.0, 0.02] p") ]
+
+let series =
+  uniform ~period:0.01
+    [ ("p", [ b true; b false; b false; b false; b true ]);
+      ("x", [ f 0.0; f 2.0; f 0.5; f 3.0; f 0.0 ]) ]
+
+let test_counts_violations_per_spec () =
+  let set = Monitor_set.create (specs ()) in
+  List.iter (fun snap -> ignore (Monitor_set.step set snap)) series;
+  ignore (Monitor_set.finalize set);
+  let v = Monitor_set.violations set in
+  Alcotest.(check (option int)) "a: p false thrice" (Some 3) (List.assoc_opt "a" v);
+  Alcotest.(check (option int)) "b: x >= 1 twice" (Some 2) (List.assoc_opt "b" v);
+  (* c: eventually p within 0.02: only tick 1's window misses p (ticks 2
+     and 3 see the p at t=0.04). *)
+  Alcotest.(check (option int)) "c" (Some 1) (List.assoc_opt "c" v)
+
+let test_callback_fires_live () =
+  let seen = ref [] in
+  let set =
+    Monitor_set.create
+      ~on_violation:(fun e ->
+        seen := (e.Monitor_set.spec.Spec.name,
+                 e.Monitor_set.resolution.Online.time) :: !seen)
+      (specs ())
+  in
+  List.iter (fun snap -> ignore (Monitor_set.step set snap)) series;
+  ignore (Monitor_set.finalize set);
+  Alcotest.(check int) "six callbacks" 6 (List.length !seen);
+  (* Immediate specs resolve at their own tick. *)
+  Alcotest.(check bool) "a's first violation at 0.01" true
+    (List.mem ("a", 0.01) !seen)
+
+let test_events_match_individual_monitors () =
+  let all_specs = specs () in
+  let set = Monitor_set.create all_specs in
+  let set_events =
+    let streamed = List.concat_map (fun snap -> Monitor_set.step set snap) series in
+    streamed @ Monitor_set.finalize set
+  in
+  List.iter
+    (fun spec ->
+      let solo = Online.create spec in
+      let solo_res =
+        let streamed = List.concat_map (fun snap -> Online.step solo snap) series in
+        streamed @ Online.finalize solo
+      in
+      let from_set =
+        List.filter_map
+          (fun e ->
+            if String.equal e.Monitor_set.spec.Spec.name spec.Spec.name then
+              Some e.Monitor_set.resolution
+            else None)
+          set_events
+      in
+      Alcotest.(check int) (spec.Spec.name ^ " same resolution count")
+        (List.length solo_res) (List.length from_set);
+      List.iter2
+        (fun (a : Online.resolution) (b : Online.resolution) ->
+          Alcotest.(check int) "tick" a.Online.tick b.Online.tick;
+          Alcotest.(check bool) "verdict" true
+            (Verdict.equal a.Online.verdict b.Online.verdict))
+        solo_res from_set)
+    all_specs
+
+let test_specs_accessor () =
+  let set = Monitor_set.create (specs ()) in
+  Alcotest.(check (list string)) "order kept" [ "a"; "b"; "c" ]
+    (List.map (fun s -> s.Spec.name) (Monitor_set.specs set))
+
+let suite =
+  [ ( "monitor_set",
+      [ Alcotest.test_case "violation counts" `Quick test_counts_violations_per_spec;
+        Alcotest.test_case "live callbacks" `Quick test_callback_fires_live;
+        Alcotest.test_case "matches solo monitors" `Quick
+          test_events_match_individual_monitors;
+        Alcotest.test_case "specs accessor" `Quick test_specs_accessor ] ) ]

@@ -1,0 +1,571 @@
+open Monitor_mtl
+open Helpers
+
+let parse = Parser.formula_of_string_exn
+
+let spec ?machines name formula = Spec.make ?machines ~name formula
+
+let verdicts_of ?machines formula_src snapshots =
+  let s = spec ?machines "test" (parse formula_src) in
+  (Offline.eval s snapshots).Offline.verdicts
+
+(* Verdict algebra -------------------------------------------------------- *)
+
+let test_kleene_tables () =
+  let open Verdict in
+  Alcotest.check verdict_t "F and ? = F" False (and_ False Unknown);
+  Alcotest.check verdict_t "? and T = ?" Unknown (and_ Unknown True);
+  Alcotest.check verdict_t "T or ? = T" True (or_ True Unknown);
+  Alcotest.check verdict_t "? or F = ?" Unknown (or_ Unknown False);
+  Alcotest.check verdict_t "not ? = ?" Unknown (not_ Unknown);
+  Alcotest.check verdict_t "F -> ? = T" True (implies False Unknown);
+  Alcotest.check verdict_t "? -> F = ?" Unknown (implies Unknown False);
+  Alcotest.check verdict_t "conj empty" True (conj []);
+  Alcotest.check verdict_t "disj empty" False (disj [])
+
+(* Expressions ------------------------------------------------------------ *)
+
+let eval_series expr series =
+  let ev = Expr.evaluator expr in
+  List.map (fun s -> Expr.eval ev s) series
+
+let test_expr_signal_and_arith () =
+  let e =
+    match Parser.expr_of_string "2.0 * x + 1.0" with
+    | Ok e -> e
+    | Error m -> Alcotest.fail m
+  in
+  let series = uniform ~period:0.01 [ ("x", [ f 1.0; f 2.0 ]) ] in
+  match eval_series e series with
+  | [ Expr.Defined a; Expr.Defined b ] ->
+    Alcotest.(check (float 1e-9)) "t0" 3.0 a;
+    Alcotest.(check (float 1e-9)) "t1" 5.0 b
+  | _ -> Alcotest.fail "expected defined values"
+
+let test_expr_prev_delta () =
+  let series = uniform ~period:0.01 [ ("x", [ f 1.0; f 3.0; f 6.0 ]) ] in
+  (match eval_series (Expr.Prev (Expr.Signal "x")) series with
+   | [ Expr.Undefined; Expr.Defined a; Expr.Defined b ] ->
+     Alcotest.(check (float 1e-9)) "prev t1" 1.0 a;
+     Alcotest.(check (float 1e-9)) "prev t2" 3.0 b
+   | _ -> Alcotest.fail "prev shape");
+  match eval_series (Expr.Delta (Expr.Signal "x")) series with
+  | [ Expr.Undefined; Expr.Defined a; Expr.Defined b ] ->
+    Alcotest.(check (float 1e-9)) "delta t1" 2.0 a;
+    Alcotest.(check (float 1e-9)) "delta t2" 3.0 b
+  | _ -> Alcotest.fail "delta shape"
+
+let test_expr_rate () =
+  let series = uniform ~period:0.5 [ ("x", [ f 0.0; f 1.0 ]) ] in
+  match eval_series (Expr.Rate (Expr.Signal "x")) series with
+  | [ Expr.Undefined; Expr.Defined r ] ->
+    Alcotest.(check (float 1e-9)) "units per second" 2.0 r
+  | _ -> Alcotest.fail "rate shape"
+
+let test_expr_fresh_delta_vs_delta () =
+  (* x published every other tick: the naive delta sees zero change on hold
+     ticks; fresh_delta differences the fresh samples. *)
+  let series =
+    snaps
+      [ (0.00, [ ("x", f 10.0) ]);
+        (0.01, []);
+        (0.02, [ ("x", f 14.0) ]);
+        (0.03, []) ]
+  in
+  (match eval_series (Expr.Delta (Expr.Signal "x")) series with
+   | [ Expr.Undefined; Expr.Defined d1; Expr.Defined d2; Expr.Defined d3 ] ->
+     Alcotest.(check (float 1e-9)) "hold looks constant" 0.0 d1;
+     Alcotest.(check (float 1e-9)) "jump at refresh" 4.0 d2;
+     Alcotest.(check (float 1e-9)) "constant again" 0.0 d3
+   | _ -> Alcotest.fail "delta shape");
+  match eval_series (Expr.Fresh_delta "x") series with
+  | [ Expr.Undefined; Expr.Undefined; Expr.Defined d2; Expr.Defined d3 ] ->
+    Alcotest.(check (float 1e-9)) "fresh delta" 4.0 d2;
+    Alcotest.(check (float 1e-9)) "held fresh delta" 4.0 d3
+  | _ -> Alcotest.fail "fresh_delta shape"
+
+let test_expr_missing_signal () =
+  let series = uniform ~period:0.01 [ ("x", [ f 1.0 ]) ] in
+  match eval_series (Expr.Signal "ghost") series with
+  | [ Expr.Undefined ] -> ()
+  | _ -> Alcotest.fail "unknown signal must be undefined"
+
+let test_expr_nan_propagates_as_value () =
+  let series = uniform ~period:0.01 [ ("x", [ f Float.nan ]) ] in
+  match eval_series (Expr.Add (Expr.Signal "x", Expr.Const 1.0)) series with
+  | [ Expr.Defined v ] -> Alcotest.(check bool) "nan is a value" true (Float.is_nan v)
+  | _ -> Alcotest.fail "expected defined nan"
+
+(* Immediate formulas ------------------------------------------------------ *)
+
+let test_cmp_nan_semantics () =
+  let series = uniform ~period:0.01 [ ("d", [ f Float.nan ]) ] in
+  let v = verdicts_of "d <= 0.0" series in
+  Alcotest.check verdict_t "nan fails <=" Verdict.False v.(0);
+  let v = verdicts_of "not (d <= 0.0)" series in
+  Alcotest.check verdict_t "negation is true" Verdict.True v.(0)
+
+let test_cmp_unknown_when_missing () =
+  let series = uniform ~period:0.01 [ ("x", [ f 1.0 ]) ] in
+  let v = verdicts_of "ghost <= 0.0" series in
+  Alcotest.check verdict_t "missing -> unknown" Verdict.Unknown v.(0)
+
+let test_bool_signal_and_connectives () =
+  let series =
+    uniform ~period:0.01
+      [ ("p", [ b true; b true; b false ]); ("q", [ b false; b true; b true ]) ]
+  in
+  let v = verdicts_of "p and q" series in
+  Alcotest.check verdict_t "t0" Verdict.False v.(0);
+  Alcotest.check verdict_t "t1" Verdict.True v.(1);
+  Alcotest.check verdict_t "t2" Verdict.False v.(2);
+  let v = verdicts_of "p -> q" series in
+  Alcotest.check verdict_t "imp t0" Verdict.False v.(0);
+  Alcotest.check verdict_t "imp t2 (vacuous)" Verdict.True v.(2)
+
+let test_fresh_known () =
+  let series =
+    snaps [ (0.0, [ ("x", f 1.0) ]); (0.01, []); (0.02, [ ("x", f 2.0) ]) ]
+  in
+  let v = verdicts_of "fresh(x)" series in
+  Alcotest.check verdict_t "fresh at t0" Verdict.True v.(0);
+  Alcotest.check verdict_t "held at t1" Verdict.False v.(1);
+  Alcotest.check verdict_t "fresh at t2" Verdict.True v.(2);
+  let v = verdicts_of "known(ghost)" series in
+  Alcotest.check verdict_t "never seen" Verdict.False v.(0)
+
+(* Temporal operators ------------------------------------------------------ *)
+
+let test_always_bounded () =
+  (* p true until 0.03, false at 0.04 *)
+  let series =
+    uniform ~period:0.01 [ ("p", [ b true; b true; b true; b true; b false ]) ]
+  in
+  let v = verdicts_of "always[0.0, 0.02] p" series in
+  Alcotest.check verdict_t "window all true" Verdict.True v.(0);
+  Alcotest.check verdict_t "window hits false" Verdict.False v.(2);
+  Alcotest.check verdict_t "false dominates incomplete window" Verdict.False v.(3);
+  Alcotest.check verdict_t "false now" Verdict.False v.(4);
+  (* With no False around, an incomplete window is Unknown. *)
+  let all_true = uniform ~period:0.01 [ ("p", [ b true; b true; b true ]) ] in
+  let v = verdicts_of "always[0.0, 0.02] p" all_true in
+  Alcotest.check verdict_t "complete all-true" Verdict.True v.(0);
+  Alcotest.check verdict_t "incomplete window unknown" Verdict.Unknown v.(1)
+
+let test_eventually_bounded () =
+  let series =
+    uniform ~period:0.01 [ ("p", [ b false; b false; b true; b false; b false ]) ]
+  in
+  let v = verdicts_of "eventually[0.0, 0.02] p" series in
+  Alcotest.check verdict_t "found ahead" Verdict.True v.(0);
+  Alcotest.check verdict_t "found now" Verdict.True v.(2);
+  Alcotest.check verdict_t "complete window without p" Verdict.Unknown v.(3);
+  (* t3's window [0.03,0.05] runs past the trace end -> Unknown;
+     t2 window [0.02,0.04] complete -> True (p at 0.02). *)
+  let v = verdicts_of "eventually[0.0, 0.01] p" series in
+  Alcotest.check verdict_t "complete, no p" Verdict.False v.(3)
+
+let test_once_warmup_unknown () =
+  let series = uniform ~period:0.01 [ ("p", [ b false; b false; b false ]) ] in
+  let v = verdicts_of "once[0.0, 0.05] p" series in
+  (* Past window truncated by trace start: cannot rule out an earlier p. *)
+  Alcotest.check verdict_t "truncated past" Verdict.Unknown v.(0);
+  let series = uniform ~period:0.01 [ ("p", [ b true; b false; b false ]) ] in
+  let v = verdicts_of "once[0.0, 0.05] p" series in
+  Alcotest.check verdict_t "true decides" Verdict.True v.(2)
+
+let test_once_complete_false () =
+  let series =
+    uniform ~period:0.01 [ ("p", [ b false; b false; b false; b false ]) ]
+  in
+  let v = verdicts_of "once[0.0, 0.01] p" series in
+  Alcotest.check verdict_t "complete empty past" Verdict.False v.(2)
+
+let test_historically () =
+  let series =
+    uniform ~period:0.01 [ ("p", [ b true; b true; b false; b true ]) ]
+  in
+  let v = verdicts_of "historically[0.0, 0.01] p" series in
+  Alcotest.check verdict_t "all true" Verdict.True v.(1);
+  Alcotest.check verdict_t "false in window" Verdict.False v.(2);
+  Alcotest.check verdict_t "false still in window" Verdict.False v.(3)
+
+let test_nested_temporal () =
+  (* "whenever p, q within 0.02" — the paper's Rule #1 shape. *)
+  let series =
+    uniform ~period:0.01
+      [ ("p", [ b true; b false; b false; b false ]);
+        ("q", [ b false; b false; b true; b false ]) ]
+  in
+  let v = verdicts_of "p -> eventually[0.0, 0.02] q" series in
+  Alcotest.check verdict_t "recovered in time" Verdict.True v.(0);
+  let series =
+    uniform ~period:0.01
+      [ ("p", [ b true; b false; b false; b false ]);
+        ("q", [ b false; b false; b false; b true ]) ]
+  in
+  let v = verdicts_of "p -> eventually[0.0, 0.02] q" series in
+  Alcotest.check verdict_t "recovered too late" Verdict.False v.(0)
+
+let test_warmup_suppression () =
+  let series =
+    uniform ~period:0.01
+      [ ("trig", [ b true; b false; b false; b false ]);
+        ("bad", [ b true; b true; b true; b true ]) ]
+  in
+  let v = verdicts_of "warmup(trig, 0.015, not bad)" series in
+  Alcotest.check verdict_t "suppressed at trigger" Verdict.Unknown v.(0);
+  Alcotest.check verdict_t "suppressed within hold" Verdict.Unknown v.(1);
+  Alcotest.check verdict_t "live after hold" Verdict.False v.(2)
+
+let test_empty_snapshot_stream () =
+  let v = verdicts_of "true" [] in
+  Alcotest.(check int) "no verdicts" 0 (Array.length v)
+
+(* State machines ---------------------------------------------------------- *)
+
+let engagement_machine =
+  State_machine.make ~name:"acc" ~initial:"off"
+    ~states:[ "off"; "engaged" ]
+    ~transitions:
+      [ { State_machine.source = "off";
+          guard = State_machine.When (parse "enabled");
+          target = "engaged" };
+        { State_machine.source = "engaged";
+          guard = State_machine.When (parse "not enabled");
+          target = "off" } ]
+
+let test_state_machine_transitions () =
+  let series =
+    uniform ~period:0.01
+      [ ("enabled", [ b false; b true; b true; b false; b true ]) ]
+  in
+  let s =
+    spec ~machines:[ engagement_machine ] "m" (parse "mode(acc, engaged)")
+  in
+  let out = Offline.eval s series in
+  let expected = [| Verdict.False; Verdict.True; Verdict.True; Verdict.False; Verdict.True |] in
+  Array.iteri
+    (fun i e -> Alcotest.check verdict_t (Printf.sprintf "tick %d" i) e out.Offline.verdicts.(i))
+    expected
+
+let test_state_machine_timeout () =
+  (* Rule #1 shape as a machine: low headway must recover within 0.05 s. *)
+  let machine =
+    State_machine.make ~name:"headway" ~initial:"ok"
+      ~states:[ "ok"; "low"; "violated" ]
+      ~transitions:
+        [ { State_machine.source = "ok";
+            guard = State_machine.When (parse "h < 1.0");
+            target = "low" };
+          { State_machine.source = "low";
+            guard = State_machine.When (parse "h >= 1.0");
+            target = "ok" };
+          { State_machine.source = "low";
+            guard = State_machine.After 0.05;
+            target = "violated" } ]
+  in
+  let run hs =
+    let series = uniform ~period:0.01 [ ("h", List.map f hs) ] in
+    let s = spec ~machines:[ machine ] "m" (parse "not mode(headway, violated)") in
+    (Offline.eval s series).Offline.verdicts
+  in
+  (* Recovers in time: 0.02s low. *)
+  let v = run [ 2.0; 0.5; 0.5; 1.5; 1.5; 1.5; 1.5; 1.5 ] in
+  Alcotest.(check int) "no violation" 0 (Offline.count v Verdict.False);
+  (* Stays low too long. *)
+  let v = run [ 2.0; 0.5; 0.5; 0.5; 0.5; 0.5; 0.5; 0.5; 0.5 ] in
+  Alcotest.(check bool) "violated eventually" true
+    (Offline.count v Verdict.False > 0)
+
+let test_state_machine_validation () =
+  Alcotest.(check bool) "undeclared target" true
+    (try
+       ignore
+         (State_machine.make ~name:"m" ~initial:"a" ~states:[ "a" ]
+            ~transitions:
+              [ { State_machine.source = "a";
+                  guard = State_machine.After 1.0;
+                  target = "zz" } ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "temporal guard rejected" true
+    (try
+       ignore
+         (State_machine.make ~name:"m" ~initial:"a" ~states:[ "a" ]
+            ~transitions:
+              [ { State_machine.source = "a";
+                  guard = State_machine.When (parse "always[0.0,1.0] x < 1.0");
+                  target = "a" } ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_spec_validation () =
+  Alcotest.(check bool) "unknown machine in formula" true
+    (try
+       ignore (spec "s" (parse "mode(ghost, on)"));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown state in formula" true
+    (try
+       ignore (spec ~machines:[ engagement_machine ] "s" (parse "mode(acc, ghost)"));
+       false
+     with Invalid_argument _ -> true)
+
+(* Parser ------------------------------------------------------------------- *)
+
+let formula_t = Alcotest.testable Formula.pp Formula.equal
+
+let test_parser_precedence () =
+  let got = parse "a or b and not c -> d" in
+  let expected =
+    Formula.Implies
+      ( Formula.Or
+          ( Formula.Bool_signal "a",
+            Formula.And (Formula.Bool_signal "b", Formula.Not (Formula.Bool_signal "c")) ),
+        Formula.Bool_signal "d" )
+  in
+  Alcotest.check formula_t "precedence" expected got
+
+let test_parser_comparison_vs_paren () =
+  let got = parse "(x + 1.0) < 2.0" in
+  (match got with
+   | Formula.Cmp (Expr.Add (Expr.Signal "x", Expr.Const 1.0), Formula.Lt, Expr.Const 2.0) -> ()
+   | _ -> Alcotest.fail "paren expression comparison");
+  let got = parse "(x < 1.0) and y" in
+  match got with
+  | Formula.And (Formula.Cmp _, Formula.Bool_signal "y") -> ()
+  | _ -> Alcotest.fail "paren formula"
+
+let test_parser_intervals () =
+  match parse "always[0.5, 5.0] p" with
+  | Formula.Always (i, Formula.Bool_signal "p") ->
+    Alcotest.(check (float 0.0)) "lo" 0.5 i.Formula.lo;
+    Alcotest.(check (float 0.0)) "hi" 5.0 i.Formula.hi
+  | _ -> Alcotest.fail "interval shape"
+
+let test_parser_errors () =
+  let bad = [ "always[5.0, 1.0] p"; "x <"; "(x"; "warmup(p, -1.0, q)"; "1.0"; "" ] in
+  List.iter
+    (fun src ->
+      match Parser.formula_of_string src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("should not parse: " ^ src))
+    bad
+
+let test_parser_comments_whitespace () =
+  match Parser.formula_of_string "p # trailing comment\n  and q" with
+  | Ok (Formula.And (Formula.Bool_signal "p", Formula.Bool_signal "q")) -> ()
+  | Ok _ -> Alcotest.fail "wrong parse"
+  | Error m -> Alcotest.fail m
+
+let test_parser_roundtrip_examples () =
+  let sources =
+    [ "p and (q or not r)";
+      "x + 1.0 < 2.0 * y";
+      "always[0.0, 5.0] (low -> eventually[0.0, 5.0] ok)";
+      "warmup(fresh(x), 0.5, delta(x) >= 0.0)";
+      "mode(acc, engaged) -> rate(v) <= 3.0";
+      "historically[0.0, 1.0] (once[0.0, 2.0] p -> q)";
+      "abs(min(a, b) - max(a, b)) != 0.0";
+      "fresh_delta(range) > -1.0 or age(range) < 0.2" ]
+  in
+  List.iter
+    (fun src ->
+      let f = parse src in
+      let printed = Formula.to_string f in
+      let f' = parse printed in
+      Alcotest.check formula_t ("roundtrip: " ^ src) f f')
+    sources
+
+(* Online ≡ offline ---------------------------------------------------------- *)
+
+let run_online s snapshots =
+  let m = Online.create s in
+  let streamed = List.concat_map (fun snap -> Online.step m snap) snapshots in
+  let resolved = streamed @ Online.finalize m in
+  let sorted = List.sort (fun a b -> compare a.Online.tick b.Online.tick) resolved in
+  Array.of_list (List.map (fun r -> r.Online.verdict) sorted)
+
+let check_equiv ?machines name formula_src series =
+  let s = spec ?machines name (parse formula_src) in
+  let offline = (Offline.eval s series).Offline.verdicts in
+  let online = run_online s series in
+  Alcotest.(check int) (name ^ ": same count") (Array.length offline)
+    (Array.length online);
+  Array.iteri
+    (fun i v ->
+      Alcotest.check verdict_t (Printf.sprintf "%s tick %d" name i) v online.(i))
+    offline
+
+let test_online_equiv_basic () =
+  let series =
+    uniform ~period:0.01
+      [ ("p", [ b true; b false; b true; b true; b false; b true ]);
+        ("x", [ f 1.0; f 2.0; f 0.5; f 3.0; f 0.1; f 9.0 ]) ]
+  in
+  List.iter
+    (fun src -> check_equiv "basic" src series)
+    [ "p";
+      "x < 2.0";
+      "p and x < 2.0";
+      "not p or x >= 1.0";
+      "always[0.0, 0.02] p";
+      "eventually[0.0, 0.03] (x > 2.0)";
+      "once[0.01, 0.03] p";
+      "historically[0.0, 0.02] (x < 10.0)";
+      "p -> eventually[0.0, 0.02] (x > 2.0)";
+      "warmup(p, 0.02, x < 2.0)";
+      "delta(x) > 0.0";
+      "always[0.0, 0.02] eventually[0.0, 0.02] p" ]
+
+let test_online_incremental_resolution () =
+  let s = spec "inc" (parse "eventually[0.0, 0.05] p") in
+  let m = Online.create s in
+  let series =
+    uniform ~period:0.01 [ ("p", [ b false; b false; b true; b false ]) ]
+  in
+  match series with
+  | [ s0; s1; s2; s3 ] ->
+    Alcotest.(check int) "t0 pending" 0 (List.length (Online.step m s0));
+    Alcotest.(check int) "t1 pending" 0 (List.length (Online.step m s1));
+    (* p at t2 resolves ticks 0,1,2 at once (True dominates). *)
+    let r = Online.step m s2 in
+    Alcotest.(check int) "resolved at t2" 3 (List.length r);
+    List.iter
+      (fun res -> Alcotest.check verdict_t "all true" Verdict.True res.Online.verdict)
+      r;
+    ignore (Online.step m s3);
+    let rest = Online.finalize m in
+    Alcotest.(check int) "t3 at finalize" 1 (List.length rest);
+    Alcotest.check verdict_t "t3 unknown" Verdict.Unknown
+      (List.hd rest).Online.verdict
+  | _ -> Alcotest.fail "series shape"
+
+(* Random formulas + random traces: online must equal offline. ------------- *)
+
+let gen_formula : Formula.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let signal = oneofl [ "p"; "q"; "x"; "y" ] in
+  let atom =
+    oneof
+      [ map (fun s -> Formula.Bool_signal s) (oneofl [ "p"; "q" ]);
+        map (fun s -> Formula.Fresh s) signal;
+        map2
+          (fun s c -> Formula.Cmp (Expr.Signal s, Formula.Lt, Expr.Const c))
+          (oneofl [ "x"; "y" ])
+          (float_range (-2.0) 2.0);
+        map
+          (fun s -> Formula.Cmp (Expr.Delta (Expr.Signal s), Formula.Ge, Expr.Const 0.0))
+          (oneofl [ "x"; "y" ]);
+        map
+          (fun s ->
+            Formula.Cmp (Expr.Fresh_delta s, Formula.Gt, Expr.Const (-0.5)))
+          (oneofl [ "x"; "y" ]) ]
+  in
+  let interval =
+    map2
+      (fun lo len -> Formula.interval lo (lo +. len))
+      (float_range 0.0 0.03) (float_range 0.0 0.05)
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then atom
+      else
+        frequency
+          [ (2, atom);
+            (1, map (fun f -> Formula.Not f) (self (depth - 1)));
+            (1, map2 (fun a b -> Formula.And (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun a b -> Formula.Or (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun a b -> Formula.Implies (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun i f -> Formula.Always (i, f)) interval (self (depth - 1)));
+            (1, map2 (fun i f -> Formula.Eventually (i, f)) interval (self (depth - 1)));
+            (1, map2 (fun i f -> Formula.Once (i, f)) interval (self (depth - 1)));
+            (1, map2 (fun i f -> Formula.Historically (i, f)) interval (self (depth - 1)));
+            ( 1,
+              map3
+                (fun t h body -> Formula.Warmup { trigger = t; hold = h; body })
+                (self 0) (float_range 0.0 0.04) (self (depth - 1)) ) ])
+    3
+
+let gen_series : Monitor_trace.Snapshot.t list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n = int_range 1 25 in
+  let* bools = list_repeat n (pair bool bool) in
+  let* floats =
+    list_repeat n (pair (float_range (-2.0) 2.0) (float_range (-2.0) 2.0))
+  in
+  let* fresh_mask = list_repeat n (pair bool bool) in
+  let updates =
+    List.mapi
+      (fun i (((pb, qb), (xv, yv)), (fx, fy)) ->
+        let time = float_of_int i *. 0.01 in
+        let fresh =
+          [ ("p", Helpers.b pb); ("q", Helpers.b qb) ]
+          @ (if fx || i = 0 then [ ("x", Helpers.f xv) ] else [])
+          @ if fy || i = 0 then [ ("y", Helpers.f yv) ] else []
+        in
+        (time, fresh))
+      (List.combine (List.combine bools floats) fresh_mask)
+  in
+  return (snaps updates)
+
+let online_equals_offline =
+  QCheck.Test.make ~name:"online monitor equals offline semantics" ~count:300
+    (QCheck.make
+       ~print:(fun (f, series) ->
+         Printf.sprintf "%s over %d ticks" (Formula.to_string f) (List.length series))
+       QCheck.Gen.(pair gen_formula gen_series))
+    (fun (formula, series) ->
+      let s = spec "prop" formula in
+      let offline = (Offline.eval s series).Offline.verdicts in
+      let online = run_online s series in
+      Array.length offline = Array.length online
+      && Array.for_all2 Verdict.equal offline online)
+
+let parser_roundtrip_prop =
+  QCheck.Test.make ~name:"printed formulas reparse to themselves" ~count:300
+    (QCheck.make ~print:Formula.to_string gen_formula)
+    (fun f ->
+      match Parser.formula_of_string (Formula.to_string f) with
+      | Ok f' -> Formula.equal f f'
+      | Error _ -> false)
+
+let suite =
+  [ ( "mtl",
+      [ Alcotest.test_case "kleene tables" `Quick test_kleene_tables;
+        Alcotest.test_case "expr arith" `Quick test_expr_signal_and_arith;
+        Alcotest.test_case "expr prev/delta" `Quick test_expr_prev_delta;
+        Alcotest.test_case "expr rate" `Quick test_expr_rate;
+        Alcotest.test_case "expr fresh_delta vs delta" `Quick
+          test_expr_fresh_delta_vs_delta;
+        Alcotest.test_case "expr missing signal" `Quick test_expr_missing_signal;
+        Alcotest.test_case "expr nan value" `Quick test_expr_nan_propagates_as_value;
+        Alcotest.test_case "cmp nan semantics" `Quick test_cmp_nan_semantics;
+        Alcotest.test_case "cmp unknown" `Quick test_cmp_unknown_when_missing;
+        Alcotest.test_case "bool connectives" `Quick test_bool_signal_and_connectives;
+        Alcotest.test_case "fresh/known" `Quick test_fresh_known;
+        Alcotest.test_case "always bounded" `Quick test_always_bounded;
+        Alcotest.test_case "eventually bounded" `Quick test_eventually_bounded;
+        Alcotest.test_case "once warmup unknown" `Quick test_once_warmup_unknown;
+        Alcotest.test_case "once complete false" `Quick test_once_complete_false;
+        Alcotest.test_case "historically" `Quick test_historically;
+        Alcotest.test_case "nested temporal" `Quick test_nested_temporal;
+        Alcotest.test_case "warmup suppression" `Quick test_warmup_suppression;
+        Alcotest.test_case "empty stream" `Quick test_empty_snapshot_stream;
+        Alcotest.test_case "machine transitions" `Quick test_state_machine_transitions;
+        Alcotest.test_case "machine timeout" `Quick test_state_machine_timeout;
+        Alcotest.test_case "machine validation" `Quick test_state_machine_validation;
+        Alcotest.test_case "spec validation" `Quick test_spec_validation;
+        Alcotest.test_case "parser precedence" `Quick test_parser_precedence;
+        Alcotest.test_case "parser comparison vs paren" `Quick
+          test_parser_comparison_vs_paren;
+        Alcotest.test_case "parser intervals" `Quick test_parser_intervals;
+        Alcotest.test_case "parser errors" `Quick test_parser_errors;
+        Alcotest.test_case "parser comments" `Quick test_parser_comments_whitespace;
+        Alcotest.test_case "parser roundtrip examples" `Quick
+          test_parser_roundtrip_examples;
+        Alcotest.test_case "online equiv basic" `Quick test_online_equiv_basic;
+        Alcotest.test_case "online incremental" `Quick test_online_incremental_resolution;
+        QCheck_alcotest.to_alcotest online_equals_offline;
+        QCheck_alcotest.to_alcotest parser_roundtrip_prop ] ) ]

@@ -1,0 +1,78 @@
+(* Long-trace stress tests of the online monitor: the constant-memory
+   claim, checked empirically. *)
+
+open Monitor_mtl
+open Helpers
+
+let spec src = Spec.make ~name:"stress" (Parser.formula_of_string_exn src)
+
+(* A long synthetic stream with deterministic but varied contents. *)
+let long_series n =
+  let prng = Monitor_util.Prng.create 123L in
+  List.init n (fun i ->
+      let time = float_of_int i *. 0.01 in
+      (time,
+       [ ("p", b (Monitor_util.Prng.bool prng));
+         ("x", f (Monitor_util.Prng.float_range prng (-2.0) 2.0)) ]))
+  |> snaps
+
+let test_pending_is_bounded_by_horizon () =
+  (* eventually[0, 0.5] has a 0.5 s horizon = 50 ticks at 10 ms: the
+     number of unresolved ticks must never exceed the window (plus the
+     tick in flight), regardless of trace length. *)
+  let m = Online.create (spec "eventually[0.0, 0.5] p") in
+  let max_pending = ref 0 in
+  List.iter
+    (fun snap ->
+      ignore (Online.step m snap);
+      max_pending := max !max_pending (Online.pending m))
+    (long_series 5_000);
+  ignore (Online.finalize m);
+  Alcotest.(check bool)
+    (Printf.sprintf "pending stayed <= 52 (saw %d)" !max_pending)
+    true (!max_pending <= 52)
+
+let test_past_only_resolves_immediately () =
+  let m = Online.create (spec "once[0.0, 0.3] p and x < 1.0") in
+  List.iter
+    (fun snap ->
+      ignore (Online.step m snap);
+      Alcotest.(check int) "nothing pending" 0 (Online.pending m))
+    (long_series 1_000);
+  ignore (Online.finalize m)
+
+let test_long_equivalence () =
+  (* 10,000 ticks: online still agrees with offline exactly. *)
+  let series = long_series 10_000 in
+  let s = spec "(x > 0.0 -> eventually[0.0, 0.2] p) and historically[0.0, 0.1] (x < 3.0)" in
+  let offline = (Offline.eval s series).Offline.verdicts in
+  let m = Online.create s in
+  let streamed = List.concat_map (fun snap -> Online.step m snap) series in
+  let all = streamed @ Online.finalize m in
+  let online =
+    Array.of_list
+      (List.map
+         (fun r -> r.Online.verdict)
+         (List.sort (fun a b -> Int.compare a.Online.tick b.Online.tick) all))
+  in
+  Alcotest.(check int) "counts" (Array.length offline) (Array.length online);
+  Alcotest.(check bool) "all equal" true (Array.for_all2 Verdict.equal offline online)
+
+let test_warmup_long_stream () =
+  let m = Online.create (spec "warmup(p, 0.2, x < 1.9)") in
+  let max_pending = ref 0 in
+  List.iter
+    (fun snap ->
+      ignore (Online.step m snap);
+      max_pending := max !max_pending (Online.pending m))
+    (long_series 5_000);
+  ignore (Online.finalize m);
+  Alcotest.(check bool) "warmup mask bounded" true (!max_pending <= 25)
+
+let suite =
+  [ ( "online_stress",
+      [ Alcotest.test_case "pending bounded" `Slow test_pending_is_bounded_by_horizon;
+        Alcotest.test_case "past-only immediate" `Quick
+          test_past_only_resolves_immediately;
+        Alcotest.test_case "long equivalence" `Slow test_long_equivalence;
+        Alcotest.test_case "warmup long stream" `Slow test_warmup_long_stream ] ) ]

@@ -1,0 +1,249 @@
+open Monitor_oracle
+open Helpers
+module Mtl = Monitor_mtl
+module Trace = Monitor_trace.Trace
+module Record = Monitor_trace.Record
+module Value = Monitor_signal.Value
+
+(* A trace helper: one signal sampled at 10 ms. *)
+let trace_of series =
+  Trace.of_list
+    (List.concat
+       (List.mapi
+          (fun i pairs ->
+            List.map
+              (fun (name, v) ->
+                Record.make ~time:(float_of_int i *. 0.01) ~name ~value:v)
+              pairs)
+          series))
+
+(* Rules ------------------------------------------------------------------ *)
+
+let test_rules_compile_and_count () =
+  Alcotest.(check int) "seven rules" 7 (List.length Rules.all);
+  List.iteri
+    (fun i spec ->
+      Alcotest.(check string) "numbered name" (Printf.sprintf "rule%d" i)
+        spec.Mtl.Spec.name)
+    Rules.all
+
+let test_rules_sources_parse () =
+  for i = 0 to 6 do
+    match Mtl.Parser.formula_of_string (Rules.source i) with
+    | Ok _ -> ()
+    | Error m -> Alcotest.failf "rule %d does not parse: %s" i m
+  done;
+  Alcotest.check_raises "rule 7 does not exist"
+    (Invalid_argument "Rules.source: rule number out of 0..6") (fun () ->
+      ignore (Rules.source 7))
+
+let test_rules_read_only_bus_signals () =
+  let bus_names = Monitor_can.Dbc.signal_names Monitor_fsracc.Io.dbc in
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun s ->
+          Alcotest.(check bool)
+            (spec.Mtl.Spec.name ^ " reads " ^ s ^ " from the bus")
+            true (List.mem s bus_names))
+        (Mtl.Spec.signals spec))
+    Rules.all
+
+let test_rule0_semantics () =
+  let t =
+    trace_of
+      [ [ ("ServiceACC", b false); ("ACCEnabled", b true) ];
+        [ ("ServiceACC", b true); ("ACCEnabled", b false) ];
+        [ ("ServiceACC", b true); ("ACCEnabled", b true) ] ]
+  in
+  let o = Oracle.check_spec (Rules.rule 0) t in
+  Alcotest.(check int) "one violating tick" 1 o.Oracle.ticks_false
+
+let test_rule5_nan_decel () =
+  let t =
+    trace_of
+      [ [ ("BrakeRequested", b true); ("RequestedDecel", f (-1.0)) ];
+        [ ("BrakeRequested", b true); ("RequestedDecel", f Float.nan) ] ]
+  in
+  let o = Oracle.check_spec (Rules.rule 5) t in
+  Alcotest.(check int) "NaN fails <= 0" 1 o.Oracle.ticks_false;
+  (* NaN severity is treated as maximal. *)
+  match o.Oracle.episodes with
+  | [ e ] -> Alcotest.(check (option (float 0.0))) "infinite severity"
+               (Some Float.infinity) e.Oracle.intensity
+  | _ -> Alcotest.fail "one episode expected"
+
+let test_rule6_semantics () =
+  let mk torque_requested torque range =
+    [ ("VehicleAhead", b true); ("TargetRange", f range);
+      ("TorqueRequested", b torque_requested); ("RequestedTorque", f torque) ]
+  in
+  let t =
+    trace_of
+      [ mk true 500.0 50.0;   (* far: fine *)
+        mk true 500.0 0.5;    (* extremely close + pushing: violation *)
+        mk false 0.0 0.5;     (* close but coasting: fine *)
+        mk true (-100.0) 0.5  (* close but engine braking: fine *) ]
+  in
+  let o = Oracle.check_spec (Rules.rule 6) t in
+  Alcotest.(check int) "exactly the push tick" 1 o.Oracle.ticks_false
+
+(* Episodes ----------------------------------------------------------------- *)
+
+let v_of_list l = Array.of_list l
+
+let test_episode_grouping () =
+  let open Mtl.Verdict in
+  let times = Array.init 8 (fun i -> float_of_int i *. 0.01) in
+  let verdicts = v_of_list [ True; False; False; True; False; Unknown; False; True ] in
+  let episodes = Oracle.episodes_of_verdicts ~times verdicts in
+  Alcotest.(check int) "two episodes" 2 (List.length episodes);
+  (match episodes with
+   | [ e1; e2 ] ->
+     Alcotest.(check int) "first has 2 ticks" 2 e1.Oracle.ticks;
+     Alcotest.(check (float 1e-9)) "first duration" 0.01 e1.Oracle.duration;
+     (* Unknown does not split an episode. *)
+     Alcotest.(check int) "second spans the unknown" 2 e2.Oracle.ticks;
+     Alcotest.(check (float 1e-9)) "second start" 0.04 e2.Oracle.start_time
+   | _ -> Alcotest.fail "shape");
+  Alcotest.(check int) "empty on all-true" 0
+    (List.length
+       (Oracle.episodes_of_verdicts ~times:(Array.make 3 0.0)
+          (Array.make 3 True)))
+
+let test_episode_intensity () =
+  let open Mtl.Verdict in
+  let times = [| 0.0; 0.01; 0.02 |] in
+  let verdicts = [| False; False; True |] in
+  let severity = [| Some 1.0; Some 3.0; Some 99.0 |] in
+  match Oracle.episodes_of_verdicts ~severity ~times verdicts with
+  | [ e ] ->
+    Alcotest.(check (option (float 0.0))) "peak over False ticks only"
+      (Some 3.0) e.Oracle.intensity
+  | _ -> Alcotest.fail "one episode"
+
+(* Intent --------------------------------------------------------------------- *)
+
+let episode ?intensity ~duration ~ticks () =
+  { Oracle.start_time = 0.0; end_time = duration; duration; ticks; intensity }
+
+let test_intent_filters () =
+  let filter = Intent.transient_tolerant in
+  Alcotest.(check int) "blip dropped" 0
+    (List.length (Intent.significant filter [ episode ~duration:0.0 ~ticks:1 () ]));
+  Alcotest.(check int) "long unmeasured kept" 1
+    (List.length (Intent.significant filter [ episode ~duration:1.0 ~ticks:50 () ]));
+  Alcotest.(check int) "long but negligible dropped" 0
+    (List.length
+       (Intent.significant filter
+          [ episode ~intensity:0.1 ~duration:1.0 ~ticks:50 () ]));
+  Alcotest.(check int) "long and intense kept" 1
+    (List.length
+       (Intent.significant filter
+          [ episode ~intensity:5.0 ~duration:1.0 ~ticks:50 () ]))
+
+let outcome_with episodes =
+  { Oracle.spec = Rules.rule 5;
+    status = (if episodes = [] then Oracle.Satisfied else Oracle.Violated);
+    episodes; ticks_total = 100; ticks_true = 90; ticks_false = 10;
+    ticks_unknown = 0 }
+
+let test_intent_classify () =
+  Alcotest.(check bool) "clean" true
+    (Intent.classify Intent.transient_tolerant (outcome_with []) = `Clean);
+  Alcotest.(check bool) "reasonable" true
+    (Intent.classify Intent.transient_tolerant
+       (outcome_with [ episode ~duration:0.0 ~ticks:1 () ])
+     = `Reasonable_violations);
+  Alcotest.(check bool) "safety" true
+    (Intent.classify Intent.transient_tolerant
+       (outcome_with [ episode ~intensity:9.0 ~duration:1.0 ~ticks:60 () ])
+     = `Safety_violations);
+  Alcotest.(check bool) "strict filter keeps blips" true
+    (Intent.classify Intent.strict
+       (outcome_with [ episode ~duration:0.0 ~ticks:1 () ])
+     = `Safety_violations)
+
+(* Oracle driver ---------------------------------------------------------------- *)
+
+let test_online_offline_same_status () =
+  (* One faulted HIL run: both evaluation paths must agree per rule. *)
+  let plan =
+    [ (1.0, Monitor_hil.Sim.Set ("TargetRelVel", Value.Float 700.0)) ]
+  in
+  let scenario = Monitor_hil.Scenario.steady_follow ~duration:8.0 () in
+  let result = Monitor_hil.Sim.run ~plan (Monitor_hil.Sim.default_config scenario) in
+  List.iter
+    (fun rule ->
+      let offline = Oracle.check_spec rule result.Monitor_hil.Sim.trace in
+      let online = Oracle.check_spec_online rule result.Monitor_hil.Sim.trace in
+      Alcotest.(check bool) (rule.Mtl.Spec.name ^ " agree") true
+        (offline.Oracle.status = online.Oracle.status);
+      Alcotest.(check int) (rule.Mtl.Spec.name ^ " same false count")
+        offline.Oracle.ticks_false online.Oracle.ticks_false)
+    Rules.all
+
+let test_relaxed_weaker_than_strict () =
+  (* On any trace, a relaxed rule must not fire where its strict parent is
+     satisfied. *)
+  let scenario = Monitor_hil.Scenario.hill_run ~duration:30.0 () in
+  let result =
+    Monitor_hil.Sim.run
+      (Monitor_hil.Sim.default_config ~environment:Monitor_hil.Sim.Road scenario)
+  in
+  let trace = result.Monitor_hil.Sim.trace in
+  List.iter
+    (fun (strict_rule, relaxed_rule) ->
+      let strict = Oracle.check_spec strict_rule trace in
+      let relaxed = Oracle.check_spec relaxed_rule trace in
+      if strict.Oracle.status = Oracle.Satisfied then
+        Alcotest.(check bool)
+          (relaxed_rule.Mtl.Spec.name ^ " not stricter")
+          true
+          (relaxed.Oracle.status = Oracle.Satisfied))
+    [ (Rules.rule 2, Rules.relaxed_rule2 ());
+      (Rules.rule 3, Rules.relaxed_rule3 ());
+      (Rules.rule 4, Rules.relaxed_rule4 ()) ]
+
+let test_report_table_rendering () =
+  let rows =
+    [ { Report.kind_label = "Random"; target_label = "Velocity";
+        letters = [ "S"; "V"; "S" ] };
+      { Report.kind_label = "Ballista"; target_label = "ThrotPos";
+        letters = [ "S"; "S"; "S" ] } ]
+  in
+  let table = Report.render_table ~rule_count:3 rows in
+  Alcotest.(check bool) "has the header" true
+    (String.length table > 0
+    && String.sub table 0 5 = "FAULT");
+  let summary = Report.summarize rows ~rule_count:3 in
+  Alcotest.(check bool) "counts violated rules" true
+    (String.length summary > 0
+    &&
+    match String.index_opt summary ' ' with
+    | Some i -> String.sub summary 0 i = "1"
+    | None -> false)
+
+let test_status_letters () =
+  Alcotest.(check string) "S" "S" (Oracle.status_letter Oracle.Satisfied);
+  Alcotest.(check string) "V" "V" (Oracle.status_letter Oracle.Violated)
+
+let suite =
+  [ ( "oracle",
+      [ Alcotest.test_case "rules compile" `Quick test_rules_compile_and_count;
+        Alcotest.test_case "rule sources parse" `Quick test_rules_sources_parse;
+        Alcotest.test_case "rules read bus signals" `Quick
+          test_rules_read_only_bus_signals;
+        Alcotest.test_case "rule0 semantics" `Quick test_rule0_semantics;
+        Alcotest.test_case "rule5 NaN decel" `Quick test_rule5_nan_decel;
+        Alcotest.test_case "rule6 semantics" `Quick test_rule6_semantics;
+        Alcotest.test_case "episode grouping" `Quick test_episode_grouping;
+        Alcotest.test_case "episode intensity" `Quick test_episode_intensity;
+        Alcotest.test_case "intent filters" `Quick test_intent_filters;
+        Alcotest.test_case "intent classify" `Quick test_intent_classify;
+        Alcotest.test_case "online/offline same status" `Slow
+          test_online_offline_same_status;
+        Alcotest.test_case "relaxed weaker than strict" `Slow
+          test_relaxed_weaker_than_strict;
+        Alcotest.test_case "report rendering" `Quick test_report_table_rendering;
+        Alcotest.test_case "status letters" `Quick test_status_letters ] ) ]

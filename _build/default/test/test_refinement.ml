@@ -1,0 +1,95 @@
+(* The refinement property of finite-trace three-valued semantics: seeing
+   MORE of the log can only turn Unknown verdicts into True/False — it can
+   never flip a definite verdict.  This is what justifies acting on a
+   violation the moment the online monitor reports it: no later message
+   can retract it. *)
+
+open Monitor_mtl
+
+let take n xs = List.filteri (fun i _ -> i < n) xs
+
+let refinement_order a b =
+  (* a (on the prefix) must refine-compare with b (on the full trace). *)
+  match a, b with
+  | Verdict.Unknown, _ -> true
+  | Verdict.True, Verdict.True | Verdict.False, Verdict.False -> true
+  | (Verdict.True | Verdict.False), _ -> false
+
+let extension_refines =
+  QCheck.Test.make ~name:"trace extension only refines verdicts" ~count:300
+    (QCheck.make
+       ~print:(fun (f, series, cut) ->
+         Printf.sprintf "%s over %d ticks cut at %d" (Formula.to_string f)
+           (List.length series) cut)
+       QCheck.Gen.(
+         let* f = Test_mtl.gen_formula in
+         let* series = Test_mtl.gen_series in
+         let* cut = int_range 1 (List.length series) in
+         return (f, series, cut)))
+    (fun (formula, series, cut) ->
+      let spec = Spec.make ~name:"refine" formula in
+      let prefix = take cut series in
+      let on_prefix = (Offline.eval spec prefix).Offline.verdicts in
+      let on_full = (Offline.eval spec series).Offline.verdicts in
+      Array.length on_prefix = cut
+      &&
+      let ok = ref true in
+      Array.iteri
+        (fun i v -> if not (refinement_order v on_full.(i)) then ok := false)
+        on_prefix;
+      !ok)
+
+let online_resolutions_in_tick_order =
+  QCheck.Test.make ~name:"online resolutions arrive in tick order" ~count:200
+    (QCheck.make
+       ~print:(fun (f, series) ->
+         Printf.sprintf "%s over %d ticks" (Formula.to_string f)
+           (List.length series))
+       QCheck.Gen.(pair Test_mtl.gen_formula Test_mtl.gen_series))
+    (fun (formula, series) ->
+      let monitor = Online.create (Spec.make ~name:"order" formula) in
+      let streamed =
+        List.concat_map (fun snap -> Online.step monitor snap) series
+      in
+      let all = streamed @ Online.finalize monitor in
+      let ticks = List.map (fun r -> r.Online.tick) all in
+      (* Strictly increasing: each tick resolved exactly once, in order. *)
+      let rec ordered = function
+        | a :: (b :: _ as rest) -> a < b && ordered rest
+        | [ _ ] | [] -> true
+      in
+      ordered ticks && List.length ticks = List.length series)
+
+let no_false_retraction_online =
+  (* The deployment-facing corollary: once the online monitor says False
+     for tick k, offline evaluation of any extension agrees at tick k. *)
+  QCheck.Test.make ~name:"online False verdicts are final" ~count:200
+    (QCheck.make
+       ~print:(fun (f, series, cut) ->
+         Printf.sprintf "%s cut at %d of %d" (Formula.to_string f) cut
+           (List.length series))
+       QCheck.Gen.(
+         let* f = Test_mtl.gen_formula in
+         let* series = Test_mtl.gen_series in
+         let* cut = int_range 1 (List.length series) in
+         return (f, series, cut)))
+    (fun (formula, series, cut) ->
+      let spec = Spec.make ~name:"final" formula in
+      let monitor = Online.create spec in
+      (* Stream only the prefix, WITHOUT finalizing: the resolutions that
+         already came out are live verdicts. *)
+      let live =
+        List.concat_map (fun snap -> Online.step monitor snap) (take cut series)
+      in
+      let on_full = (Offline.eval spec series).Offline.verdicts in
+      List.for_all
+        (fun r ->
+          not (Verdict.equal r.Online.verdict Verdict.False)
+          || Verdict.equal on_full.(r.Online.tick) Verdict.False)
+        live)
+
+let suite =
+  [ ( "refinement",
+      [ QCheck_alcotest.to_alcotest extension_refines;
+        QCheck_alcotest.to_alcotest online_resolutions_in_tick_order;
+        QCheck_alcotest.to_alcotest no_false_retraction_online ] ) ]

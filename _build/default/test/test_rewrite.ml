@@ -1,0 +1,114 @@
+open Monitor_mtl
+
+let parse = Parser.formula_of_string_exn
+
+let formula_t = Alcotest.testable Formula.pp Formula.equal
+
+let check_simplifies src expected_src =
+  Alcotest.check formula_t (src ^ " simplifies")
+    (parse expected_src)
+    (Rewrite.simplify (parse src))
+
+let test_constant_folding () =
+  check_simplifies "true and p" "p";
+  check_simplifies "p and false" "false";
+  check_simplifies "false or p" "p";
+  check_simplifies "p or true" "true";
+  check_simplifies "not true" "false";
+  check_simplifies "not not p" "p";
+  check_simplifies "true -> p" "p";
+  check_simplifies "false -> p" "true";
+  check_simplifies "p -> false" "not p"
+
+let test_idempotence () =
+  check_simplifies "p and p" "p";
+  check_simplifies "(p or q) or (p or q)" "p or q"
+
+let test_cmp_folding () =
+  check_simplifies "1.0 < 2.0" "true";
+  check_simplifies "2.0 + 1.0 == 3.0" "true";
+  check_simplifies "1.0 / 0.0 > 1000.0" "true";
+  (* NaN comparisons are false (IEEE). *)
+  check_simplifies "0.0 / 0.0 == 0.0 / 0.0" "false"
+
+let test_temporal_duals () =
+  check_simplifies "not always[0.0, 1.0] not p" "eventually[0.0, 1.0] p";
+  check_simplifies "not once[0.0, 1.0] not p" "historically[0.0, 1.0] p"
+
+let test_no_unsound_vacuous_rewrites () =
+  (* always[...] true is Unknown near the trace end: must NOT fold. *)
+  let f = parse "always[0.0, 1.0] true" in
+  Alcotest.check formula_t "kept as is" f (Rewrite.simplify f);
+  (* p or not p is Unknown when p is: must NOT fold to true. *)
+  let g = parse "p or not p" in
+  Alcotest.check formula_t "excluded middle kept" g (Rewrite.simplify g)
+
+let test_expr_folding () =
+  let e = Alcotest.testable Expr.pp Expr.equal in
+  let parse_e s =
+    match Parser.expr_of_string s with
+    | Ok x -> x
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.check e "arith folds" (parse_e "7.0")
+    (Rewrite.simplify_expr (parse_e "1.0 + 2.0 * 3.0"));
+  Alcotest.check e "mul by one" (parse_e "x")
+    (Rewrite.simplify_expr (parse_e "x * 1.0"));
+  Alcotest.check e "double negation" (parse_e "x")
+    (Rewrite.simplify_expr (parse_e "-(-x)"));
+  Alcotest.check e "abs of neg" (parse_e "abs(x)")
+    (Rewrite.simplify_expr (parse_e "abs(-x)"));
+  (* x * 0.0 must NOT fold (NaN, inf, -0.0). *)
+  Alcotest.check e "mul by zero kept" (parse_e "x * 0.0")
+    (Rewrite.simplify_expr (parse_e "x * 0.0"))
+
+let test_size_reduction () =
+  let before, after = Rewrite.size_reduction (parse "not not (p and p) or false") in
+  Alcotest.(check bool) "shrinks" true (after < before);
+  Alcotest.(check int) "to a leaf" 1 after
+
+(* The load-bearing property: simplification never changes any verdict. *)
+let simplify_preserves_semantics =
+  QCheck.Test.make ~name:"simplify preserves offline semantics" ~count:300
+    (QCheck.make
+       ~print:(fun (f, series) ->
+         Printf.sprintf "%s over %d ticks" (Formula.to_string f)
+           (List.length series))
+       QCheck.Gen.(pair Test_mtl.gen_formula Test_mtl.gen_series))
+    (fun (formula, series) ->
+      let spec_of f = Spec.make ~name:"prop" f in
+      let original = (Offline.eval (spec_of formula) series).Offline.verdicts in
+      let simplified =
+        (Offline.eval (spec_of (Rewrite.simplify formula)) series)
+          .Offline.verdicts
+      in
+      Array.length original = Array.length simplified
+      && Array.for_all2 Verdict.equal original simplified)
+
+let simplify_never_grows =
+  QCheck.Test.make ~name:"simplify never grows a formula" ~count:300
+    (QCheck.make ~print:Formula.to_string Test_mtl.gen_formula)
+    (fun f ->
+      let before, after = Rewrite.size_reduction f in
+      after <= before)
+
+let simplify_idempotent =
+  QCheck.Test.make ~name:"simplify is idempotent" ~count:300
+    (QCheck.make ~print:Formula.to_string Test_mtl.gen_formula)
+    (fun f ->
+      let once = Rewrite.simplify f in
+      Formula.equal once (Rewrite.simplify once))
+
+let suite =
+  [ ( "rewrite",
+      [ Alcotest.test_case "constant folding" `Quick test_constant_folding;
+        Alcotest.test_case "idempotence" `Quick test_idempotence;
+        Alcotest.test_case "cmp folding" `Quick test_cmp_folding;
+        Alcotest.test_case "temporal duals" `Quick test_temporal_duals;
+        Alcotest.test_case "no unsound rewrites" `Quick
+          test_no_unsound_vacuous_rewrites;
+        Alcotest.test_case "expr folding" `Quick test_expr_folding;
+        Alcotest.test_case "size reduction" `Quick test_size_reduction;
+        QCheck_alcotest.to_alcotest simplify_preserves_semantics;
+        QCheck_alcotest.to_alcotest simplify_never_grows;
+        QCheck_alcotest.to_alcotest simplify_idempotent ] ) ]

@@ -1,0 +1,95 @@
+open Monitor_can
+module Value = Monitor_signal.Value
+
+let msg ?(id = 0x100) ?(name = "M") ?(period_ms = 10) () =
+  Message.make ~name ~id ~dlc:8 ~period_ms
+    ~codings:
+      [ Coding.make ~signal_name:(name ^ "_sig") ~start_bit:0 ~length:64
+          ~byte_order:Bitfield.Little_endian ~repr:Coding.Raw_float64 ]
+    ()
+
+let test_offset () =
+  let bus = Bus.create () in
+  let logger = Logger.attach bus in
+  let sched = Scheduler.create bus in
+  Scheduler.add_task sched ~message:(msg ()) ~offset_ms:5.0
+    ~lookup:(fun _ -> Some (Value.Float 1.0))
+    ();
+  Scheduler.advance sched ~to_time:0.05;
+  (* Publications at 5, 15, 25, 35, 45 ms. *)
+  Alcotest.(check int) "five frames" 5 (Logger.frame_count logger);
+  match Logger.frames logger with
+  | (t, _) :: _ -> Alcotest.(check bool) "first after offset" true (t >= 0.005)
+  | [] -> Alcotest.fail "no frames"
+
+let test_group_shares_instants () =
+  let bus = Bus.create () in
+  let logger = Logger.attach bus in
+  let sched = Scheduler.create ~seed:3L bus in
+  let a = msg ~id:0x10 ~name:"A" () in
+  let b = msg ~id:0x11 ~name:"B" () in
+  Scheduler.add_group sched ~messages:[ a; b ] ~jitter_ms:5.0
+    ~lookup:(fun _ -> Some (Value.Float 0.0))
+    ();
+  Scheduler.advance sched ~to_time:0.1;
+  (* Frames come in (A, B) pairs back to back; pair spacing is just the
+     frame transmission time, far below the jitter scale. *)
+  let frames = Logger.frames logger in
+  Alcotest.(check int) "twenty frames" 20 (List.length frames);
+  let rec pairs = function
+    | (ta, (fa : Frame.t)) :: (tb, fb) :: rest ->
+      Alcotest.(check int) "A first" 0x10 fa.Frame.id;
+      Alcotest.(check int) "B second" 0x11 fb.Frame.id;
+      Alcotest.(check bool) "back to back" true (tb -. ta < 0.001);
+      pairs rest
+    | [] -> ()
+    | [ _ ] -> Alcotest.fail "odd frame count"
+  in
+  pairs frames
+
+let test_group_validation () =
+  let bus = Bus.create () in
+  let sched = Scheduler.create bus in
+  Alcotest.check_raises "mixed periods"
+    (Invalid_argument "Scheduler.add_group: mixed periods in one group")
+    (fun () ->
+      Scheduler.add_group sched
+        ~messages:[ msg ~period_ms:10 (); msg ~id:0x101 ~name:"N" ~period_ms:40 () ]
+        ~lookup:(fun _ -> None) ());
+  Alcotest.check_raises "empty group"
+    (Invalid_argument "Scheduler.add_group: empty message group") (fun () ->
+      Scheduler.add_group sched ~messages:[] ~lookup:(fun _ -> None) ())
+
+let test_lookup_sampled_per_publication () =
+  (* The lookup reflects the store at publication time, not at task
+     creation. *)
+  let bus = Bus.create () in
+  let logger = Logger.attach bus in
+  let sched = Scheduler.create bus in
+  let current = ref 0.0 in
+  let message = msg () in
+  Scheduler.add_task sched ~message
+    ~lookup:(fun _ -> Some (Value.Float !current))
+    ();
+  Scheduler.advance sched ~to_time:0.01;
+  current := 42.0;
+  Scheduler.advance sched ~to_time:0.02;
+  let dbc = Dbc.create [ message ] in
+  match Logger.frames logger with
+  | [ (_, f1); (_, f2) ] ->
+    let value frame =
+      match Dbc.decode_frame dbc frame with
+      | [ (_, v) ] -> Value.as_float v
+      | _ -> Alcotest.fail "decode"
+    in
+    Alcotest.(check (float 0.0)) "first value" 0.0 (value f1);
+    Alcotest.(check (float 0.0)) "updated value" 42.0 (value f2)
+  | _ -> Alcotest.fail "two frames expected"
+
+let suite =
+  [ ( "scheduler",
+      [ Alcotest.test_case "offset" `Quick test_offset;
+        Alcotest.test_case "group shares instants" `Quick test_group_shares_instants;
+        Alcotest.test_case "group validation" `Quick test_group_validation;
+        Alcotest.test_case "lookup per publication" `Quick
+          test_lookup_sampled_per_publication ] ) ]

@@ -1,0 +1,184 @@
+(* Fine-grained semantic edge cases of the temporal logic — the corners
+   that distinguish finite-trace, sampled, three-valued MTL from the
+   textbook version. *)
+
+open Monitor_mtl
+open Helpers
+
+let parse = Parser.formula_of_string_exn
+
+let verdicts ?machines src series =
+  (Offline.eval (Spec.make ?machines ~name:"edge" (parse src)) series)
+    .Offline.verdicts
+
+let test_always_with_future_offset () =
+  (* always[0.02, 0.03]: the window starts strictly in the future; the
+     current sample's value is irrelevant. *)
+  let series =
+    uniform ~period:0.01
+      [ ("p", [ b false; b true; b true; b true; b true; b true ]) ]
+  in
+  let v = verdicts "always[0.02, 0.03] p" series in
+  Alcotest.check verdict_t "current false ignored" Verdict.True v.(0)
+
+let test_eventually_offset_misses_present () =
+  (* eventually[0.01, 0.02]: p holding only *now* does not satisfy it. *)
+  let series =
+    uniform ~period:0.01 [ ("p", [ b true; b false; b false; b false ]) ]
+  in
+  let v = verdicts "eventually[0.01, 0.02] p" series in
+  Alcotest.check verdict_t "present excluded" Verdict.False v.(0)
+
+let test_empty_future_window_vacuous () =
+  (* A window between samples: [0.003, 0.007] at 10 ms spacing contains no
+     sample.  Complete + empty => vacuously true for always, false for
+     eventually. *)
+  let series = uniform ~period:0.01 [ ("p", [ b false; b false; b false ]) ] in
+  let va = verdicts "always[0.003, 0.007] p" series in
+  Alcotest.check verdict_t "always vacuous" Verdict.True va.(0);
+  let ve = verdicts "eventually[0.003, 0.007] p" series in
+  Alcotest.check verdict_t "eventually empty" Verdict.False ve.(0)
+
+let test_point_interval () =
+  (* [d, d] picks exactly the sample d later (rule #3's "next timestep"). *)
+  let series = uniform ~period:0.01 [ ("p", [ b true; b false; b true ]) ] in
+  let v = verdicts "always[0.01, 0.01] p" series in
+  Alcotest.check verdict_t "next is false" Verdict.False v.(0);
+  Alcotest.check verdict_t "next is true" Verdict.True v.(1);
+  Alcotest.check verdict_t "no next sample" Verdict.Unknown v.(2)
+
+let test_historically_truncated_start () =
+  (* At early ticks the past window is incomplete: True cannot be claimed,
+     False can (if a false is already visible). *)
+  let series = uniform ~period:0.01 [ ("p", [ b true; b false; b true ]) ] in
+  let v = verdicts "historically[0.0, 0.05] p" series in
+  Alcotest.check verdict_t "incomplete, all true so far" Verdict.Unknown v.(0);
+  Alcotest.check verdict_t "false decides immediately" Verdict.False v.(1)
+
+let test_unknown_propagation_through_window () =
+  (* An unknown sample inside an otherwise-true window: Unknown, not True. *)
+  let series =
+    snaps
+      [ (0.00, [ ("p", b true) ]);
+        (0.01, [ ("p", b true); ("ghost", f 1.0) ]);
+        (0.02, [ ("p", b true) ]) ]
+  in
+  (* ghost < 2.0 is Unknown at ticks 0 (not yet seen). *)
+  let v = verdicts "always[0.0, 0.02] (p and ghost < 2.0)" series in
+  Alcotest.check verdict_t "unknown inside window" Verdict.Unknown v.(0)
+
+let test_implication_of_unknowns () =
+  let series = snaps [ (0.0, [ ("p", b true) ]) ] in
+  (* q never observed: p -> q is Unknown; q -> p is True?  Kleene: Unknown
+     -> True = True. *)
+  let v1 = verdicts "p -> ghost" series in
+  Alcotest.check verdict_t "true -> unknown" Verdict.Unknown v1.(0);
+  let v2 = verdicts "ghost -> p" series in
+  Alcotest.check verdict_t "unknown -> true" Verdict.True v2.(0)
+
+let test_warmup_nested_trigger () =
+  (* The trigger may itself be temporal (a past operator). *)
+  let series =
+    uniform ~period:0.01
+      [ ("t", [ b true; b false; b false; b false; b false ]);
+        ("bad", [ b true; b true; b true; b true; b true ]) ]
+  in
+  let v = verdicts "warmup(once[0.0, 0.01] t, 0.0, not bad)" series in
+  (* once[0,0.01] t holds at ticks 0 and 1 -> suppressed there. *)
+  Alcotest.check verdict_t "suppressed at 0" Verdict.Unknown v.(0);
+  Alcotest.check verdict_t "suppressed at 1" Verdict.Unknown v.(1);
+  Alcotest.check verdict_t "live at 2" Verdict.False v.(2)
+
+let test_machine_self_loop_resets_timer () =
+  (* A self-loop transition re-enters the state and resets time_in_state:
+     the After timeout never fires while the guard keeps retriggering. *)
+  let machine =
+    State_machine.make ~name:"m" ~initial:"idle"
+      ~states:[ "idle"; "expired" ]
+      ~transitions:
+        [ { State_machine.source = "idle";
+            guard = State_machine.When (parse "kick");
+            target = "idle" };
+          { State_machine.source = "idle";
+            guard = State_machine.After 0.03;
+            target = "expired" } ]
+  in
+  let run kicks =
+    let series = uniform ~period:0.01 [ ("kick", List.map b kicks) ] in
+    let v =
+      verdicts ~machines:[ machine ] "mode(m, expired)" series
+    in
+    Array.exists (Verdict.equal Verdict.True) v
+  in
+  Alcotest.(check bool) "expires without kicks" true
+    (run [ false; false; false; false; false; false ]);
+  Alcotest.(check bool) "kicks keep it alive" false
+    (run [ true; true; true; true; true; true ])
+
+let test_machine_priority_order () =
+  (* Two enabled transitions: the first in declaration order wins. *)
+  let machine =
+    State_machine.make ~name:"m" ~initial:"s"
+      ~states:[ "s"; "first"; "second" ]
+      ~transitions:
+        [ { State_machine.source = "s";
+            guard = State_machine.When (parse "go");
+            target = "first" };
+          { State_machine.source = "s";
+            guard = State_machine.When (parse "go");
+            target = "second" } ]
+  in
+  let series = uniform ~period:0.01 [ ("go", [ b true ]) ] in
+  let v = verdicts ~machines:[ machine ] "mode(m, first)" series in
+  Alcotest.check verdict_t "declaration order wins" Verdict.True v.(0)
+
+let test_unknown_guard_blocks_transition () =
+  let machine =
+    State_machine.make ~name:"m" ~initial:"a"
+      ~states:[ "a"; "b" ]
+      ~transitions:
+        [ { State_machine.source = "a";
+            guard = State_machine.When (parse "ghost > 0.0");
+            target = "b" } ]
+  in
+  let series = uniform ~period:0.01 [ ("p", [ b true; b true ]) ] in
+  let v = verdicts ~machines:[ machine ] "mode(m, a)" series in
+  Alcotest.check verdict_t "stays put on Unknown" Verdict.True v.(1)
+
+let test_horizon_and_history () =
+  let f = parse "always[0.0, 2.0] (p -> eventually[0.0, 3.0] q)" in
+  Alcotest.(check (float 1e-9)) "horizon adds up" 5.0 (Formula.horizon f);
+  let g = parse "once[0.0, 2.0] historically[0.0, 1.5] p" in
+  Alcotest.(check (float 1e-9)) "history adds up" 3.5 (Formula.history_depth g);
+  let w = parse "warmup(once[0.0, 1.0] t, 2.0, p)" in
+  Alcotest.(check (float 1e-9)) "warmup history" 3.0 (Formula.history_depth w)
+
+let test_division_semantics () =
+  (* Division by zero yields inf, not Unknown: the signal was observed. *)
+  let series =
+    uniform ~period:0.01 [ ("r", [ f 10.0 ]); ("v", [ f 0.0 ]) ]
+  in
+  let v = verdicts "r / v < 1.0" series in
+  Alcotest.check verdict_t "inf compares false" Verdict.False v.(0);
+  let v = verdicts "r / v > 1.0" series in
+  Alcotest.check verdict_t "inf compares true" Verdict.True v.(0)
+
+let suite =
+  [ ( "semantics_edge",
+      [ Alcotest.test_case "future offset window" `Quick test_always_with_future_offset;
+        Alcotest.test_case "offset excludes present" `Quick
+          test_eventually_offset_misses_present;
+        Alcotest.test_case "empty window vacuity" `Quick test_empty_future_window_vacuous;
+        Alcotest.test_case "point interval" `Quick test_point_interval;
+        Alcotest.test_case "truncated past" `Quick test_historically_truncated_start;
+        Alcotest.test_case "unknown in window" `Quick
+          test_unknown_propagation_through_window;
+        Alcotest.test_case "implication of unknowns" `Quick test_implication_of_unknowns;
+        Alcotest.test_case "warmup nested trigger" `Quick test_warmup_nested_trigger;
+        Alcotest.test_case "machine self-loop timer" `Quick
+          test_machine_self_loop_resets_timer;
+        Alcotest.test_case "machine priority" `Quick test_machine_priority_order;
+        Alcotest.test_case "unknown guard blocks" `Quick
+          test_unknown_guard_blocks_transition;
+        Alcotest.test_case "horizon/history" `Quick test_horizon_and_history;
+        Alcotest.test_case "division semantics" `Quick test_division_semantics ] ) ]

@@ -1,0 +1,116 @@
+open Monitor_signal
+
+let value_t = Alcotest.testable Value.pp Value.equal
+
+let test_value_equal_nan () =
+  Alcotest.(check bool) "nan = nan" true
+    (Value.equal (Value.Float Float.nan) (Value.Float Float.nan));
+  Alcotest.(check bool) "0.0 <> -0.0 (bit pattern)" false
+    (Value.equal (Value.Float 0.0) (Value.Float (-0.0)))
+
+let test_value_equal_cross_type () =
+  Alcotest.(check bool) "bool <> enum" false
+    (Value.equal (Value.Bool true) (Value.Enum 1));
+  Alcotest.(check bool) "float <> bool" false
+    (Value.equal (Value.Float 1.0) (Value.Bool true))
+
+let test_value_compare_nan () =
+  Alcotest.(check bool) "nan above inf" true
+    (Value.compare (Value.Float Float.nan) (Value.Float Float.infinity) > 0);
+  Alcotest.(check int) "nan = nan in order" 0
+    (Value.compare (Value.Float Float.nan) (Value.Float Float.nan))
+
+let test_as_float () =
+  Alcotest.(check (float 0.0)) "float" 2.5 (Value.as_float (Value.Float 2.5));
+  Alcotest.(check (float 0.0)) "true" 1.0 (Value.as_float (Value.Bool true));
+  Alcotest.(check (float 0.0)) "false" 0.0 (Value.as_float (Value.Bool false));
+  Alcotest.(check (float 0.0)) "enum" 4.0 (Value.as_float (Value.Enum 4))
+
+let test_as_bool () =
+  Alcotest.(check bool) "nonzero float" true (Value.as_bool (Value.Float 0.1));
+  Alcotest.(check bool) "zero float" false (Value.as_bool (Value.Float 0.0));
+  Alcotest.(check bool) "nan is falsy" false (Value.as_bool (Value.Float Float.nan));
+  Alcotest.(check bool) "enum 0" false (Value.as_bool (Value.Enum 0));
+  Alcotest.(check bool) "enum 2" true (Value.as_bool (Value.Enum 2))
+
+let test_is_exceptional () =
+  Alcotest.(check bool) "nan" true (Value.is_exceptional (Value.Float Float.nan));
+  Alcotest.(check bool) "-inf" true
+    (Value.is_exceptional (Value.Float Float.neg_infinity));
+  Alcotest.(check bool) "bool" false (Value.is_exceptional (Value.Bool true))
+
+let speed =
+  Def.make ~name:"Velocity" ~kind:(Def.Float_kind { min = 0.0; max = 70.0 })
+    ~unit_name:"m/s" ~period_ms:10 ()
+
+let headway = Def.make ~name:"SelHeadway" ~kind:(Def.Enum_kind { n_values = 3 }) ~period_ms:40 ()
+
+let flag = Def.make ~name:"ACCEnabled" ~kind:Def.Bool_kind ~period_ms:10 ()
+
+let test_in_range () =
+  Alcotest.(check bool) "inside" true (Def.in_range speed (Value.Float 30.0));
+  Alcotest.(check bool) "edge" true (Def.in_range speed (Value.Float 70.0));
+  Alcotest.(check bool) "above" false (Def.in_range speed (Value.Float 70.1));
+  Alcotest.(check bool) "nan" false (Def.in_range speed (Value.Float Float.nan));
+  Alcotest.(check bool) "inf" false (Def.in_range speed (Value.Float Float.infinity));
+  Alcotest.(check bool) "type mismatch" false (Def.in_range speed (Value.Bool true));
+  Alcotest.(check bool) "enum ok" true (Def.in_range headway (Value.Enum 2));
+  Alcotest.(check bool) "enum too big" false (Def.in_range headway (Value.Enum 3));
+  Alcotest.(check bool) "bool ok" true (Def.in_range flag (Value.Bool false))
+
+let test_clamp () =
+  Alcotest.check value_t "clamps high" (Value.Float 70.0)
+    (Def.clamp speed (Value.Float 1e9));
+  Alcotest.check value_t "clamps low" (Value.Float 0.0)
+    (Def.clamp speed (Value.Float (-3.0)));
+  Alcotest.check value_t "nan to min" (Value.Float 0.0)
+    (Def.clamp speed (Value.Float Float.nan));
+  Alcotest.check value_t "enum clamp" (Value.Enum 2)
+    (Def.clamp headway (Value.Enum 77));
+  Alcotest.check value_t "type mismatch replaced" (Value.Float 0.0)
+    (Def.clamp speed (Value.Enum 5))
+
+let test_default_value () =
+  Alcotest.check value_t "float default" (Value.Float 0.0) (Def.default_value speed);
+  let above_zero =
+    Def.make ~name:"x" ~kind:(Def.Float_kind { min = 5.0; max = 9.0 }) ~period_ms:10 ()
+  in
+  Alcotest.check value_t "out-of-zero default" (Value.Float 5.0)
+    (Def.default_value above_zero);
+  Alcotest.check value_t "bool default" (Value.Bool false) (Def.default_value flag);
+  Alcotest.check value_t "enum default" (Value.Enum 0) (Def.default_value headway)
+
+let test_make_validation () =
+  Alcotest.check_raises "empty range" (Invalid_argument "Def.make: float range empty")
+    (fun () ->
+      ignore
+        (Def.make ~name:"bad" ~kind:(Def.Float_kind { min = 2.0; max = 1.0 })
+           ~period_ms:10 ()));
+  Alcotest.check_raises "bad period"
+    (Invalid_argument "Def.make: period_ms must be positive") (fun () ->
+      ignore (Def.make ~name:"bad" ~kind:Def.Bool_kind ~period_ms:0 ()))
+
+let test_type_string () =
+  Alcotest.(check string) "float" "float" (Def.type_string speed);
+  Alcotest.(check string) "boolean" "boolean" (Def.type_string flag);
+  Alcotest.(check string) "enum" "enum" (Def.type_string headway)
+
+let clamp_in_range =
+  QCheck.Test.make ~name:"clamp lands in range" ~count:500
+    QCheck.(float)
+    (fun x -> Def.in_range speed (Def.clamp speed (Value.Float x)))
+
+let suite =
+  [ ( "signal",
+      [ Alcotest.test_case "value equal nan" `Quick test_value_equal_nan;
+        Alcotest.test_case "value equal cross type" `Quick test_value_equal_cross_type;
+        Alcotest.test_case "value compare nan" `Quick test_value_compare_nan;
+        Alcotest.test_case "as_float" `Quick test_as_float;
+        Alcotest.test_case "as_bool" `Quick test_as_bool;
+        Alcotest.test_case "is_exceptional" `Quick test_is_exceptional;
+        Alcotest.test_case "in_range" `Quick test_in_range;
+        Alcotest.test_case "clamp" `Quick test_clamp;
+        Alcotest.test_case "default value" `Quick test_default_value;
+        Alcotest.test_case "make validation" `Quick test_make_validation;
+        Alcotest.test_case "type string" `Quick test_type_string;
+        QCheck_alcotest.to_alcotest clamp_in_range ] ) ]

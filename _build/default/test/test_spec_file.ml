@@ -1,0 +1,130 @@
+open Monitor_mtl
+
+let demo =
+  {|# demo
+spec headway "low headway must recover"
+
+machine tracking {
+  initial no_target
+  states no_target acquired
+  no_target -> acquired when VehicleAhead
+  acquired -> no_target when not VehicleAhead
+  acquired -> acquired when x < 1.0 after 0.5
+}
+
+severity (1.0 - TargetRange / Velocity) / 0.25
+
+formula
+  (mode(tracking, acquired) and TargetRange / Velocity < 1.0)
+    -> eventually[0.0, 5.0] (not VehicleAhead or TargetRange / Velocity >= 1.0)
+
+spec second
+formula BrakeRequested -> RequestedDecel <= 0.0
+|}
+
+let parse_demo () =
+  match Spec_file.of_string demo with
+  | Ok specs -> specs
+  | Error msg -> Alcotest.fail msg
+
+let test_parse_structure () =
+  let specs = parse_demo () in
+  Alcotest.(check int) "two specs" 2 (List.length specs);
+  let first = List.hd specs in
+  Alcotest.(check string) "name" "headway" first.Spec.name;
+  Alcotest.(check string) "description" "low headway must recover"
+    first.Spec.description;
+  Alcotest.(check int) "one machine" 1 (List.length first.Spec.machines);
+  Alcotest.(check bool) "has severity" true (first.Spec.severity <> None);
+  let machine = List.hd first.Spec.machines in
+  Alcotest.(check string) "machine name" "tracking" machine.State_machine.name;
+  Alcotest.(check (list string)) "states" [ "no_target"; "acquired" ]
+    machine.State_machine.states;
+  Alcotest.(check int) "three transitions" 3
+    (List.length machine.State_machine.transitions);
+  (* The third transition carries a When_after guard. *)
+  match (List.nth machine.State_machine.transitions 2).State_machine.guard with
+  | State_machine.When_after (_, d) ->
+    Alcotest.(check (float 0.0)) "after delay" 0.5 d
+  | _ -> Alcotest.fail "expected when-after guard"
+
+let test_roundtrip () =
+  let specs = parse_demo () in
+  match Spec_file.of_string (Spec_file.to_string specs) with
+  | Error msg -> Alcotest.fail ("reparse: " ^ msg)
+  | Ok specs' ->
+    List.iter2
+      (fun (a : Spec.t) (b : Spec.t) ->
+        Alcotest.(check string) "name" a.Spec.name b.Spec.name;
+        Alcotest.(check string) "description" a.Spec.description b.Spec.description;
+        Alcotest.(check bool) "formula" true (Formula.equal a.Spec.formula b.Spec.formula);
+        Alcotest.(check bool) "severity" true
+          (match a.Spec.severity, b.Spec.severity with
+           | Some x, Some y -> Expr.equal x y
+           | None, None -> true
+           | _ -> false);
+        Alcotest.(check int) "machines" (List.length a.Spec.machines)
+          (List.length b.Spec.machines))
+      specs specs'
+
+let test_runs_like_builtin_rules () =
+  (* specs/paper_rules.spec must match Monitor_oracle.Rules. *)
+  match Spec_file.load "../specs/paper_rules.spec" with
+  | Error msg -> Alcotest.fail msg
+  | Ok specs ->
+    Alcotest.(check int) "seven rules" 7 (List.length specs);
+    List.iteri
+      (fun i (s : Spec.t) ->
+        let builtin = Monitor_oracle.Rules.rule i in
+        Alcotest.(check bool)
+          (Printf.sprintf "rule %d formula matches the library" i)
+          true
+          (Formula.equal s.Spec.formula builtin.Spec.formula))
+      specs
+
+let test_errors () =
+  let cases =
+    [ ("spec x", "no formula");
+      ("spec x formula p formula q", "two formulas");
+      ("spec x machine m { initial a states a } formula mode(m, zz)", "unknown state");
+      ("formula p", "missing spec keyword");
+      ("spec x machine m { initial a } formula p", "missing states") ]
+  in
+  List.iter
+    (fun (src, why) ->
+      match Spec_file.of_string src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("should reject (" ^ why ^ "): " ^ src))
+    cases
+
+let test_empty_file () =
+  match Spec_file.of_string "# nothing here\n" with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "expected no specs"
+  | Error msg -> Alcotest.fail msg
+
+let test_oracle_integration () =
+  (* A spec from a file drives the oracle like any built-in rule. *)
+  let specs =
+    Spec_file.of_string_exn
+      "spec brake_check formula BrakeRequested -> RequestedDecel <= 0.0"
+  in
+  let trace =
+    Monitor_trace.Trace.of_list
+      [ Monitor_trace.Record.make ~time:0.0 ~name:"BrakeRequested"
+          ~value:(Monitor_signal.Value.Bool true);
+        Monitor_trace.Record.make ~time:0.0 ~name:"RequestedDecel"
+          ~value:(Monitor_signal.Value.Float 1.0) ]
+  in
+  let outcome = Monitor_oracle.Oracle.check_spec (List.hd specs) trace in
+  Alcotest.(check bool) "violated" true
+    (outcome.Monitor_oracle.Oracle.status = Monitor_oracle.Oracle.Violated)
+
+let suite =
+  [ ( "spec_file",
+      [ Alcotest.test_case "parse structure" `Quick test_parse_structure;
+        Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        Alcotest.test_case "paper rules file" `Quick test_runs_like_builtin_rules;
+        Alcotest.test_case "errors" `Quick test_errors;
+        Alcotest.test_case "empty file" `Quick test_empty_file;
+        Alcotest.test_case "oracle integration" `Quick test_oracle_integration ] ) ]

@@ -1,0 +1,201 @@
+open Monitor_util
+
+let test_prng_deterministic () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1L and b = Prng.create 2L in
+  Alcotest.(check bool) "different seeds diverge" true
+    (Prng.next_int64 a <> Prng.next_int64 b)
+
+let test_prng_int_bounds () =
+  let g = Prng.create 7L in
+  for _ = 1 to 1000 do
+    let x = Prng.int g 10 in
+    Alcotest.(check bool) "in [0,10)" true (x >= 0 && x < 10)
+  done
+
+let test_prng_int_invalid () =
+  let g = Prng.create 7L in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_prng_float_range () =
+  let g = Prng.create 9L in
+  for _ = 1 to 1000 do
+    let x = Prng.float_range g (-5.0) 3.0 in
+    Alcotest.(check bool) "in [-5,3)" true (x >= -5.0 && x < 3.0)
+  done
+
+let test_prng_split_independent () =
+  let parent = Prng.create 11L in
+  let child = Prng.split parent in
+  let a = Prng.next_int64 parent and b = Prng.next_int64 child in
+  Alcotest.(check bool) "split streams differ" true (a <> b)
+
+let test_prng_copy () =
+  let g = Prng.create 5L in
+  ignore (Prng.next_int64 g);
+  let h = Prng.copy g in
+  Alcotest.(check int64) "copy continues identically" (Prng.next_int64 g)
+    (Prng.next_int64 h)
+
+let test_prng_choose () =
+  let g = Prng.create 3L in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 50 do
+    let x = Prng.choose g arr in
+    Alcotest.(check bool) "member" true (Array.mem x arr)
+  done
+
+let test_prng_gaussian_moments () =
+  let g = Prng.create 13L in
+  let s = Stats.create () in
+  for _ = 1 to 20000 do
+    Stats.add s (Prng.gaussian g ~mu:2.0 ~sigma:0.5)
+  done;
+  Alcotest.(check bool) "mean near 2" true (Float.abs (Stats.mean s -. 2.0) < 0.02);
+  Alcotest.(check bool) "stddev near 0.5" true
+    (Float.abs (Stats.stddev s -. 0.5) < 0.02)
+
+let test_float_bits_roundtrip () =
+  List.iter
+    (fun x ->
+      let y = Float_bits.float_of_bits (Float_bits.bits_of_float x) in
+      Alcotest.(check bool) "roundtrip" true
+        (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)))
+    [ 0.0; -0.0; 1.5; -3.25; Float.nan; Float.infinity; Float.neg_infinity;
+      Float_bits.subnormal_min ]
+
+let test_flip_bit_involution () =
+  let w = Float_bits.bits_of_float 123.456 in
+  let w' = Float_bits.flip_bit (Float_bits.flip_bit w 17) 17 in
+  Alcotest.(check int64) "double flip is identity" w w'
+
+let test_flip_bit_sign () =
+  let x = Float_bits.float_of_bits (Float_bits.flip_bit (Float_bits.bits_of_float 1.0) 63) in
+  Alcotest.(check (float 0.0)) "bit 63 is the sign" (-1.0) x
+
+let test_flip_bits_multi () =
+  let w = 0L in
+  let w' = Float_bits.flip_bits w [ 0; 1; 2 ] in
+  Alcotest.(check int64) "three low bits" 7L w'
+
+let test_is_exceptional () =
+  Alcotest.(check bool) "nan" true (Float_bits.is_exceptional Float.nan);
+  Alcotest.(check bool) "inf" true (Float_bits.is_exceptional Float.infinity);
+  Alcotest.(check bool) "normal" false (Float_bits.is_exceptional 3.0);
+  Alcotest.(check bool) "subnormal" false
+    (Float_bits.is_exceptional Float_bits.subnormal_min)
+
+let test_ring_push_evict () =
+  let r = Ring.create ~capacity:3 in
+  Alcotest.(check (option int)) "no evict 1" None (Ring.push r 1);
+  Alcotest.(check (option int)) "no evict 2" None (Ring.push r 2);
+  Alcotest.(check (option int)) "no evict 3" None (Ring.push r 3);
+  Alcotest.(check (option int)) "evicts oldest" (Some 1) (Ring.push r 4);
+  Alcotest.(check (list int)) "contents" [ 2; 3; 4 ] (Ring.to_list r)
+
+let test_ring_get () =
+  let r = Ring.create ~capacity:2 in
+  ignore (Ring.push r 10);
+  ignore (Ring.push r 20);
+  ignore (Ring.push r 30);
+  Alcotest.(check int) "oldest" 20 (Ring.get r 0);
+  Alcotest.(check int) "newest via index" 30 (Ring.get r 1);
+  Alcotest.(check int) "from newest" 30 (Ring.get_from_newest r 0);
+  Alcotest.(check int) "previous" 20 (Ring.get_from_newest r 1)
+
+let test_ring_pop () =
+  let r = Ring.create ~capacity:3 in
+  ignore (Ring.push r 1);
+  ignore (Ring.push r 2);
+  Alcotest.(check (option int)) "pop oldest" (Some 1) (Ring.pop_oldest r);
+  Alcotest.(check int) "length" 1 (Ring.length r);
+  Alcotest.(check (option int)) "pop again" (Some 2) (Ring.pop_oldest r);
+  Alcotest.(check (option int)) "empty" None (Ring.pop_oldest r)
+
+let test_ring_clear () =
+  let r = Ring.create ~capacity:2 in
+  ignore (Ring.push r 1);
+  Ring.clear r;
+  Alcotest.(check bool) "empty" true (Ring.is_empty r);
+  ignore (Ring.push r 9);
+  Alcotest.(check (list int)) "reusable" [ 9 ] (Ring.to_list r)
+
+let test_ring_predicates () =
+  let r = Ring.create ~capacity:4 in
+  List.iter (fun x -> ignore (Ring.push r x)) [ 2; 4; 6 ];
+  Alcotest.(check bool) "exists odd" false (Ring.exists (fun x -> x mod 2 = 1) r);
+  Alcotest.(check bool) "all even" true (Ring.for_all (fun x -> x mod 2 = 0) r)
+
+let test_stats_basic () =
+  let s = Stats.of_list [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "count" 4 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.max_value s);
+  Alcotest.(check (float 1e-9)) "variance" 1.25 (Stats.variance s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check (float 0.0)) "mean of empty" 0.0 (Stats.mean s);
+  Alcotest.check_raises "min of empty" (Invalid_argument "Stats.min_value: empty")
+    (fun () -> ignore (Stats.min_value s))
+
+let test_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p50" 3.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile xs 100.0)
+
+let ring_model =
+  QCheck.Test.make ~name:"ring behaves like bounded list" ~count:300
+    QCheck.(pair (int_range 1 8) (small_list int))
+    (fun (cap, xs) ->
+      let r = Ring.create ~capacity:cap in
+      List.iter (fun x -> ignore (Ring.push r x)) xs;
+      let expected =
+        let n = List.length xs in
+        if n <= cap then xs
+        else List.filteri (fun i _ -> i >= n - cap) xs
+      in
+      Ring.to_list r = expected)
+
+let prng_float_unit =
+  QCheck.Test.make ~name:"prng floats stay in bound" ~count:300
+    QCheck.(pair int64 (float_range 0.001 1000.0))
+    (fun (seed, bound) ->
+      let g = Prng.create seed in
+      let x = Prng.float g bound in
+      x >= 0.0 && x < bound)
+
+let suite =
+  [ ( "util",
+      [ Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "prng seed sensitivity" `Quick test_prng_seed_sensitivity;
+        Alcotest.test_case "prng int bounds" `Quick test_prng_int_bounds;
+        Alcotest.test_case "prng int invalid" `Quick test_prng_int_invalid;
+        Alcotest.test_case "prng float range" `Quick test_prng_float_range;
+        Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+        Alcotest.test_case "prng copy" `Quick test_prng_copy;
+        Alcotest.test_case "prng choose" `Quick test_prng_choose;
+        Alcotest.test_case "prng gaussian moments" `Quick test_prng_gaussian_moments;
+        Alcotest.test_case "float bits roundtrip" `Quick test_float_bits_roundtrip;
+        Alcotest.test_case "flip bit involution" `Quick test_flip_bit_involution;
+        Alcotest.test_case "flip bit sign" `Quick test_flip_bit_sign;
+        Alcotest.test_case "flip bits multi" `Quick test_flip_bits_multi;
+        Alcotest.test_case "is_exceptional" `Quick test_is_exceptional;
+        Alcotest.test_case "ring push/evict" `Quick test_ring_push_evict;
+        Alcotest.test_case "ring get" `Quick test_ring_get;
+        Alcotest.test_case "ring pop" `Quick test_ring_pop;
+        Alcotest.test_case "ring clear" `Quick test_ring_clear;
+        Alcotest.test_case "ring predicates" `Quick test_ring_predicates;
+        Alcotest.test_case "stats basic" `Quick test_stats_basic;
+        Alcotest.test_case "stats empty" `Quick test_stats_empty;
+        Alcotest.test_case "percentile" `Quick test_percentile;
+        QCheck_alcotest.to_alcotest ring_model;
+        QCheck_alcotest.to_alcotest prng_float_unit ] ) ]

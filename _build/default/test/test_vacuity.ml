@@ -1,0 +1,88 @@
+open Monitor_oracle
+open Helpers
+module Mtl = Monitor_mtl
+
+let spec src = Mtl.Spec.make ~name:"t" (Mtl.Parser.formula_of_string_exn src)
+
+let test_unguarded () =
+  let v = Vacuity.analyze_snapshots (spec "p") (uniform ~period:0.01 [ ("p", [ b true ]) ]) in
+  Alcotest.(check int) "no guards" 0 (List.length v.Vacuity.guards);
+  Alcotest.(check bool) "not vacuous" false v.Vacuity.vacuous
+
+let test_armed_guard () =
+  let series =
+    uniform ~period:0.01
+      [ ("p", [ b false; b true; b true ]); ("q", [ b true; b true; b true ]) ]
+  in
+  let v = Vacuity.analyze_snapshots (spec "p -> q") series in
+  match v.Vacuity.guards with
+  | [ g ] ->
+    Alcotest.(check int) "armed twice" 2 g.Vacuity.armed_ticks;
+    Alcotest.(check int) "three ticks" 3 g.Vacuity.total_ticks;
+    Alcotest.(check bool) "not vacuous" false v.Vacuity.vacuous
+  | _ -> Alcotest.fail "one guard expected"
+
+let test_vacuous_pass () =
+  (* The premise never holds: the rule passes but proves nothing. *)
+  let series =
+    uniform ~period:0.01
+      [ ("p", [ b false; b false ]); ("q", [ b false; b false ]) ]
+  in
+  let v = Vacuity.analyze_snapshots (spec "p -> q") series in
+  Alcotest.(check bool) "vacuous" true v.Vacuity.vacuous;
+  (* And indeed the oracle reports Satisfied. *)
+  let trace =
+    Monitor_trace.Trace.of_list
+      [ Monitor_trace.Record.make ~time:0.0 ~name:"p" ~value:(b false);
+        Monitor_trace.Record.make ~time:0.0 ~name:"q" ~value:(b false) ]
+  in
+  Alcotest.(check bool) "satisfied" true
+    ((Oracle.check_spec (spec "p -> q") trace).Oracle.status = Oracle.Satisfied)
+
+let test_descends_wrappers () =
+  let series =
+    uniform ~period:0.01 [ ("p", [ b true ]); ("q", [ b true ]); ("r", [ b true ]) ]
+  in
+  let v =
+    Vacuity.analyze_snapshots
+      (spec "always[0.0, 1.0] ((p -> q) and (r -> q))")
+      series
+  in
+  Alcotest.(check int) "two guards found" 2 (List.length v.Vacuity.guards)
+
+let test_paper_rules_on_nominal_hil () =
+  (* On the nominal Table I workload, rules 0 and 6 are vacuously
+     satisfied (no fault, no extremely-close target) while rule 1's
+     premise also never arms.  Rule 5's premise (BrakeRequested) does arm
+     during normal gap control.  This is exactly the §III-C coverage
+     caveat: a clean campaign row does not mean every rule was tested. *)
+  let scenario = Monitor_hil.Scenario.steady_follow ~duration:10.0 () in
+  let result = Monitor_hil.Sim.run (Monitor_hil.Sim.default_config scenario) in
+  let vacuity n =
+    (Vacuity.analyze (Rules.rule n) result.Monitor_hil.Sim.trace).Vacuity.vacuous
+  in
+  Alcotest.(check bool) "rule 0 vacuous without faults" true (vacuity 0);
+  Alcotest.(check bool) "rule 6 vacuous without near-collision" true (vacuity 6)
+
+let test_render () =
+  let series = uniform ~period:0.01 [ ("p", [ b false ]); ("q", [ b true ]) ] in
+  let v = Vacuity.analyze_snapshots (spec "p -> q") series in
+  let text = Vacuity.render v in
+  Alcotest.(check bool) "mentions vacuous" true
+    (String.length text > 0
+    &&
+    let rec contains i =
+      i + 7 <= String.length text
+      && (String.sub text i 7 = "VACUOUS" || contains (i + 1))
+    in
+    contains 0)
+
+let suite =
+  [ ( "vacuity",
+      [ Alcotest.test_case "unguarded" `Quick test_unguarded;
+        Alcotest.test_case "armed guard" `Quick test_armed_guard;
+        Alcotest.test_case "vacuous pass" `Quick test_vacuous_pass;
+        Alcotest.test_case "descends wrappers" `Quick test_descends_wrappers;
+        Alcotest.test_case "paper rules nominal" `Slow
+          test_paper_rules_on_nominal_hil;
+        Alcotest.test_case "render" `Quick test_render ] ) ]

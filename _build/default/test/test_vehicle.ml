@@ -1,0 +1,252 @@
+open Monitor_vehicle
+
+(* Road ------------------------------------------------------------------ *)
+
+let test_road_flat () =
+  Alcotest.(check (float 0.0)) "flat everywhere" 0.0 (Road.grade_at Road.flat 123.0)
+
+let test_road_segments () =
+  let road = Road.of_segments [ (100.0, 0.05); (300.0, -0.02); (500.0, 0.0) ] in
+  Alcotest.(check (float 0.0)) "before" 0.0 (Road.grade_at road 50.0);
+  Alcotest.(check (float 0.0)) "first" 0.05 (Road.grade_at road 100.0);
+  Alcotest.(check (float 0.0)) "second" (-0.02) (Road.grade_at road 450.0);
+  Alcotest.(check (float 0.0)) "after" 0.0 (Road.grade_at road 1000.0)
+
+let test_road_validation () =
+  Alcotest.check_raises "descending positions"
+    (Invalid_argument "Road.of_segments: positions must increase") (fun () ->
+      ignore (Road.of_segments [ (10.0, 0.1); (5.0, 0.0) ]))
+
+let test_road_hill () =
+  let road = Road.hill ~start:100.0 ~length:50.0 ~grade:0.08 () in
+  Alcotest.(check (float 0.0)) "on the climb" 0.08 (Road.grade_at road 120.0);
+  Alcotest.(check (float 0.0)) "past it" 0.0 (Road.grade_at road 200.0)
+
+(* Actuator --------------------------------------------------------------- *)
+
+let test_actuator_lag_and_limits () =
+  let a = Actuator.create ~lag:0.1 ~min_output:(-10.0) ~max_output:10.0 in
+  let first = Actuator.step a ~dt:0.01 ~request:100.0 in
+  Alcotest.(check bool) "lagged" true (first < 10.0 && first > 0.0);
+  for _ = 1 to 500 do
+    ignore (Actuator.step a ~dt:0.01 ~request:100.0)
+  done;
+  Alcotest.(check (float 1e-3)) "saturates at max" 10.0 (Actuator.output a)
+
+let test_actuator_ignores_non_finite () =
+  let a = Actuator.create ~lag:0.1 ~min_output:0.0 ~max_output:10.0 in
+  for _ = 1 to 200 do
+    ignore (Actuator.step a ~dt:0.01 ~request:5.0)
+  done;
+  let before = Actuator.output a in
+  ignore (Actuator.step a ~dt:0.01 ~request:Float.nan);
+  ignore (Actuator.step a ~dt:0.01 ~request:Float.infinity);
+  Alcotest.(check bool) "output stays finite" true (Float.is_finite (Actuator.output a));
+  Alcotest.(check bool) "holds previous target" true
+    (Float.abs (Actuator.output a -. before) < 0.5)
+
+let test_actuator_reset () =
+  let a = Actuator.create ~lag:0.1 ~min_output:0.0 ~max_output:10.0 in
+  ignore (Actuator.step a ~dt:0.1 ~request:8.0);
+  Actuator.reset a;
+  Alcotest.(check (float 0.0)) "zeroed" 0.0 (Actuator.output a)
+
+(* Dynamics ---------------------------------------------------------------- *)
+
+let settle ?(grade = 0.0) ~torque ~steps dynamics =
+  for _ = 1 to steps do
+    Dynamics.step dynamics ~dt:0.01 ~wheel_torque:torque ~brake_decel:0.0 ~grade
+  done
+
+let test_dynamics_accelerates () =
+  let d = Dynamics.create ~speed:10.0 () in
+  settle ~torque:1000.0 ~steps:100 d;
+  Alcotest.(check bool) "faster" true (Dynamics.speed d > 10.0);
+  Alcotest.(check bool) "moved" true (Dynamics.position d > 0.0)
+
+let test_dynamics_terminal_speed () =
+  (* With constant torque the speed approaches the drag/rolling balance. *)
+  let d = Dynamics.create ~speed:0.0 () in
+  settle ~torque:1000.0 ~steps:20000 d;
+  let v1 = Dynamics.speed d in
+  settle ~torque:1000.0 ~steps:2000 d;
+  Alcotest.(check bool) "converged" true (Float.abs (Dynamics.speed d -. v1) < 0.05);
+  (* force balance: T/r = drag*v^2 + crr*m*g *)
+  let p = Dynamics.params d in
+  let drive = 1000.0 /. p.Params.wheel_radius in
+  let resist =
+    (p.Params.drag_area *. v1 *. v1)
+    +. (p.Params.rolling_coeff *. p.Params.mass *. Params.gravity)
+  in
+  Alcotest.(check bool) "force balance within 2%" true
+    (Float.abs (drive -. resist) /. drive < 0.02)
+
+let test_dynamics_no_reverse () =
+  let d = Dynamics.create ~speed:1.0 () in
+  for _ = 1 to 1000 do
+    Dynamics.step d ~dt:0.01 ~wheel_torque:0.0 ~brake_decel:9.0 ~grade:0.0
+  done;
+  Alcotest.(check (float 0.0)) "stopped, not reversing" 0.0 (Dynamics.speed d)
+
+let test_dynamics_grade_slows () =
+  let flat = Dynamics.create ~speed:20.0 () in
+  let climb = Dynamics.create ~speed:20.0 () in
+  settle ~torque:800.0 ~steps:500 flat;
+  settle ~grade:0.06 ~torque:800.0 ~steps:500 climb;
+  Alcotest.(check bool) "climbing is slower" true
+    (Dynamics.speed climb < Dynamics.speed flat)
+
+let test_throttle_position () =
+  let d = Dynamics.create () in
+  let p = Dynamics.params d in
+  Alcotest.(check (float 1e-9)) "closed" 0.0 (Dynamics.throttle_position d ~wheel_torque:(-100.0));
+  Alcotest.(check (float 1e-9)) "full" 100.0
+    (Dynamics.throttle_position d ~wheel_torque:(p.Params.max_wheel_torque *. 2.0));
+  Alcotest.(check (float 1e-6)) "half" 50.0
+    (Dynamics.throttle_position d ~wheel_torque:(p.Params.max_wheel_torque /. 2.0))
+
+(* Lead -------------------------------------------------------------------- *)
+
+let test_lead_initial_and_motion () =
+  let lead = Lead.create ~initial:(Some (50.0, 20.0)) ~events:[] () in
+  Alcotest.(check bool) "present" true (Lead.present lead);
+  Lead.step lead ~dt:1.0 ~now:1.0 ~ego_position:0.0;
+  Alcotest.(check (float 1e-6)) "advanced" 70.0 (Lead.position lead)
+
+let test_lead_events () =
+  let lead =
+    Lead.create
+      ~events:
+        [ (1.0, Lead.Appear { gap = 30.0; speed = 10.0 });
+          (2.0, Lead.Set_speed 0.0);
+          (10.0, Lead.Disappear) ]
+      ()
+  in
+  Alcotest.(check bool) "absent at start" false (Lead.present lead);
+  Lead.step lead ~dt:0.01 ~now:1.0 ~ego_position:100.0;
+  Alcotest.(check bool) "appeared" true (Lead.present lead);
+  Alcotest.(check bool) "ahead of ego" true (Lead.position lead > 100.0);
+  Lead.step lead ~dt:0.01 ~now:2.0 ~ego_position:100.0;
+  for i = 0 to 999 do
+    Lead.step lead ~dt:0.01 ~now:(2.01 +. (float_of_int i *. 0.01)) ~ego_position:100.0
+  done;
+  Alcotest.(check (float 1e-6)) "braked to standstill" 0.0 (Lead.speed lead);
+  Lead.step lead ~dt:0.01 ~now:10.0 ~ego_position:100.0;
+  Alcotest.(check bool) "disappeared" false (Lead.present lead)
+
+let test_lead_accel_limit () =
+  let lead = Lead.create ~accel_limit:2.0 ~initial:(Some (0.0, 0.0))
+      ~events:[ (0.0, Lead.Set_speed 20.0) ] () in
+  Lead.step lead ~dt:1.0 ~now:0.0 ~ego_position:0.0;
+  Alcotest.(check bool) "bounded acceleration" true (Lead.speed lead <= 2.0 +. 1e-9)
+
+let test_lead_event_order_checked () =
+  Alcotest.check_raises "out of order"
+    (Invalid_argument "Lead.create: events out of time order") (fun () ->
+      ignore
+        (Lead.create ~events:[ (2.0, Lead.Disappear); (1.0, Lead.Disappear) ] ()))
+
+(* Radar ------------------------------------------------------------------- *)
+
+let sense_simple radar ~lead_position ~lead_speed =
+  Radar.sense radar ~dt:0.01 ~lead_present:true ~lead_position ~lead_speed
+    ~ego_position:0.0 ~ego_speed:20.0 ~ego_length:4.7
+
+let test_radar_tracks () =
+  let r = Radar.create () in
+  let reading = sense_simple r ~lead_position:54.7 ~lead_speed:18.0 in
+  Alcotest.(check bool) "ahead" true reading.Radar.vehicle_ahead;
+  Alcotest.(check (float 1e-9)) "range" 50.0 reading.Radar.target_range;
+  Alcotest.(check (float 1e-9)) "relvel" (-2.0) reading.Radar.target_rel_vel
+
+let test_radar_no_target_reads_zero () =
+  let r = Radar.create () in
+  let reading =
+    Radar.sense r ~dt:0.01 ~lead_present:false ~lead_position:0.0
+      ~lead_speed:0.0 ~ego_position:0.0 ~ego_speed:20.0 ~ego_length:4.7
+  in
+  (* The discrete-jump behaviour of SS V-C2: exactly zero when absent. *)
+  Alcotest.(check bool) "no target" false reading.Radar.vehicle_ahead;
+  Alcotest.(check (float 0.0)) "range zero" 0.0 reading.Radar.target_range;
+  Alcotest.(check (float 0.0)) "relvel zero" 0.0 reading.Radar.target_rel_vel
+
+let test_radar_limits () =
+  let r = Radar.create ~max_range:150.0 () in
+  let too_far = sense_simple r ~lead_position:200.0 ~lead_speed:18.0 in
+  Alcotest.(check bool) "beyond range" false too_far.Radar.vehicle_ahead;
+  let behind = sense_simple r ~lead_position:2.0 ~lead_speed:18.0 in
+  Alcotest.(check bool) "behind the bumper" false behind.Radar.vehicle_ahead
+
+let test_radar_noise_deterministic () =
+  let run seed =
+    let r = Radar.create ~noise_sigma:0.5 ~seed () in
+    let reading = sense_simple r ~lead_position:54.7 ~lead_speed:18.0 in
+    reading.Radar.target_range
+  in
+  Alcotest.(check bool) "same seed" true (run 3L = run 3L);
+  Alcotest.(check bool) "noisy" true (run 3L <> 50.0)
+
+let test_radar_dropout () =
+  let r = Radar.create ~dropout_per_s:50.0 ~seed:1L () in
+  let lost = ref false in
+  for _ = 1 to 200 do
+    let reading = sense_simple r ~lead_position:54.7 ~lead_speed:18.0 in
+    if not reading.Radar.vehicle_ahead then lost := true
+  done;
+  Alcotest.(check bool) "drops sometimes" true !lost
+
+(* World -------------------------------------------------------------------- *)
+
+let test_world_composition () =
+  let lead = Lead.create ~initial:(Some (60.0, 24.0)) ~events:[] () in
+  let world = World.create ~ego_speed:25.0 ~lead () in
+  let out = ref (World.last world) in
+  for k = 0 to 199 do
+    out := World.step world ~dt:0.01 ~now:(float_of_int k *. 0.01)
+        ~engine_request:600.0 ~brake_decel_request:0.0
+  done;
+  Alcotest.(check bool) "tracks the lead" true !out.World.radar.Radar.vehicle_ahead;
+  Alcotest.(check bool) "gap reported" true (!out.World.radar.Radar.target_range > 0.0);
+  Alcotest.(check bool) "throttle consistent" true
+    (!out.World.throttle_pos >= 0.0 && !out.World.throttle_pos <= 100.0);
+  match !out.World.true_gap with
+  | Some gap ->
+    Alcotest.(check (float 1.5)) "radar agrees with truth" gap
+      !out.World.radar.Radar.target_range
+  | None -> Alcotest.fail "lead should be present"
+
+let dynamics_monotone_torque =
+  QCheck.Test.make ~name:"more torque, more speed" ~count:100
+    QCheck.(pair (float_range 0.0 1500.0) (float_range 0.0 300.0))
+    (fun (t_high, delta) ->
+      let low = Dynamics.create ~speed:10.0 () in
+      let high = Dynamics.create ~speed:10.0 () in
+      settle ~torque:t_high ~steps:200 high;
+      settle ~torque:(t_high -. delta) ~steps:200 low;
+      Dynamics.speed high >= Dynamics.speed low -. 1e-9)
+
+let suite =
+  [ ( "vehicle",
+      [ Alcotest.test_case "road flat" `Quick test_road_flat;
+        Alcotest.test_case "road segments" `Quick test_road_segments;
+        Alcotest.test_case "road validation" `Quick test_road_validation;
+        Alcotest.test_case "road hill" `Quick test_road_hill;
+        Alcotest.test_case "actuator lag/limits" `Quick test_actuator_lag_and_limits;
+        Alcotest.test_case "actuator non-finite" `Quick test_actuator_ignores_non_finite;
+        Alcotest.test_case "actuator reset" `Quick test_actuator_reset;
+        Alcotest.test_case "dynamics accelerates" `Quick test_dynamics_accelerates;
+        Alcotest.test_case "dynamics terminal speed" `Quick test_dynamics_terminal_speed;
+        Alcotest.test_case "dynamics no reverse" `Quick test_dynamics_no_reverse;
+        Alcotest.test_case "dynamics grade" `Quick test_dynamics_grade_slows;
+        Alcotest.test_case "throttle position" `Quick test_throttle_position;
+        Alcotest.test_case "lead initial/motion" `Quick test_lead_initial_and_motion;
+        Alcotest.test_case "lead events" `Quick test_lead_events;
+        Alcotest.test_case "lead accel limit" `Quick test_lead_accel_limit;
+        Alcotest.test_case "lead event order" `Quick test_lead_event_order_checked;
+        Alcotest.test_case "radar tracks" `Quick test_radar_tracks;
+        Alcotest.test_case "radar zero when absent" `Quick test_radar_no_target_reads_zero;
+        Alcotest.test_case "radar limits" `Quick test_radar_limits;
+        Alcotest.test_case "radar noise determinism" `Quick test_radar_noise_deterministic;
+        Alcotest.test_case "radar dropout" `Quick test_radar_dropout;
+        Alcotest.test_case "world composition" `Quick test_world_composition;
+        QCheck_alcotest.to_alcotest dynamics_monotone_torque ] ) ]
