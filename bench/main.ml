@@ -47,6 +47,36 @@ let bench_table1_run =
          let result = Sim.run ~plan (Sim.default_config scenario) in
          Oracle.check Rules.all result.Sim.trace))
 
+(* A slice of the Table I campaign — 8 independent injection runs —
+   executed sequentially and through the domain pool.  On >= 2 cores
+   table1/parallel should beat 8x the table1/one_run cost (and
+   table1/sequential_slice8); on one core the pool degrades to the
+   sequential path, so the two slices cost the same. *)
+let slice_plans =
+  List.init 8 (fun i ->
+      [ ( 1.0,
+          Sim.Set
+            ("TargetRelVel", Monitor_signal.Value.Float (600.0 +. float_of_int i))
+        ) ])
+
+let run_slice pool =
+  Monitor_util.Pool.map_list ?pool
+    (fun plan ->
+      let scenario = Scenario.steady_follow ~duration:6.0 () in
+      let result = Sim.run ~plan (Sim.default_config scenario) in
+      Oracle.check Rules.all result.Sim.trace)
+    slice_plans
+
+let shared_pool = lazy (Monitor_util.Pool.create ())
+
+let bench_table1_sequential_slice =
+  Test.make ~name:"table1/sequential_slice8"
+    (Staged.stage (fun () -> run_slice None))
+
+let bench_table1_parallel =
+  Test.make ~name:"table1/parallel"
+    (Staged.stage (fun () -> run_slice (Some (Lazy.force shared_pool))))
+
 let bench_vehicle_logs_scenario =
   Test.make ~name:"vehicle_logs/cut_in_scenario"
     (Staged.stage (fun () ->
@@ -196,7 +226,8 @@ let () =
   ignore (Lazy.force short_snapshots);
   let tests =
     Test.make_grouped ~name:"cps_monitor"
-      [ bench_figure1; bench_table1_run; bench_vehicle_logs_scenario;
+      [ bench_figure1; bench_table1_run; bench_table1_sequential_slice;
+        bench_table1_parallel; bench_vehicle_logs_scenario;
         bench_multirate; bench_warmup; bench_offline_rule 0;
         bench_offline_rule 1; bench_offline_rule 4; bench_online_rule 1;
         bench_online_rule 5; bench_all_rules_offline; bench_parser;

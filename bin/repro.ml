@@ -10,35 +10,55 @@ let seed_arg default =
   let doc = "Random seed for the campaign / scenario set." in
   Arg.(value & opt int64 default & info [ "seed" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of worker domains for parallel campaigns (0 = one per           available core, 1 = sequential).  Output is byte-identical at any           job count."
+  in
+  let env = Cmd.Env.info "CPS_MONITOR_JOBS" ~doc in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~env ~docv:"N" ~doc)
+
+(* [jobs = 0] lets the pool pick its own default; any other value is the
+   requested domain count (the pool itself degrades to sequential for
+   [jobs <= 1]). *)
+let with_pool jobs f =
+  let num_domains = if jobs = 0 then None else Some jobs in
+  Monitor_util.Pool.with_pool ?num_domains f
+
 let figure1_cmd =
   let run () = print_string (Monitor_experiments.Figure1.rendered ()) in
   Cmd.v (Cmd.info "figure1" ~doc:"Print Figure 1: the FSRACC I/O signals")
     Term.(const run $ const ())
 
 let table1_cmd =
-  let run quick seed =
+  let run quick seed jobs =
     let base =
       if quick then Monitor_experiments.Table1.quick_options
       else Monitor_experiments.Table1.paper_options
     in
     let options = { base with Monitor_experiments.Table1.seed } in
-    let t = Monitor_experiments.Table1.run ~options () in
+    let t =
+      with_pool jobs (fun pool ->
+          Monitor_experiments.Table1.run ~options ~pool ())
+    in
     print_string (Monitor_experiments.Table1.rendered t)
   in
   Cmd.v
     (Cmd.info "table1"
        ~doc:"Regenerate Table I: the fault-injection result matrix")
-    Term.(const run $ quick_arg $ seed_arg 2014L)
+    Term.(const run $ quick_arg $ seed_arg 2014L $ jobs_arg)
 
 let vehicle_logs_cmd =
-  let run seed =
-    let t = Monitor_experiments.Vehicle_logs.run ~seed () in
+  let run seed jobs =
+    let t =
+      with_pool jobs (fun pool ->
+          Monitor_experiments.Vehicle_logs.run ~seed ~pool ())
+    in
     print_string (Monitor_experiments.Vehicle_logs.rendered t)
   in
   Cmd.v
     (Cmd.info "vehicle-logs"
        ~doc:"Analyse real-vehicle (road-mode) logs with the same rules (SS IV-A)")
-    Term.(const run $ seed_arg 77L)
+    Term.(const run $ seed_arg 77L $ jobs_arg)
 
 let multirate_cmd =
   let run seed =
@@ -61,14 +81,17 @@ let warmup_cmd =
     Term.(const run $ seed_arg 9L)
 
 let ablation_cmd =
-  let run seed =
-    let t = Monitor_experiments.Ablation.run ~seed () in
+  let run seed jobs =
+    let t =
+      with_pool jobs (fun pool ->
+          Monitor_experiments.Ablation.run ~seed ~pool ())
+    in
     print_string (Monitor_experiments.Ablation.rendered t)
   in
   Cmd.v
     (Cmd.info "ablation"
        ~doc:"Ablate the monitor's design choices (period, jitter,              change operator, warm-up hold)")
-    Term.(const run $ seed_arg 21L)
+    Term.(const run $ seed_arg 21L $ jobs_arg)
 
 let simulate_cmd =
   let scenario_arg =
@@ -277,30 +300,32 @@ let check_cmd =
     Term.(const run $ trace_arg $ rule_arg $ spec_file_arg $ explain_arg)
 
 let all_cmd =
-  let run quick seed =
-    print_string (Monitor_experiments.Figure1.rendered ());
-    print_newline ();
-    let base =
-      if quick then Monitor_experiments.Table1.quick_options
-      else Monitor_experiments.Table1.paper_options
-    in
-    let options = { base with Monitor_experiments.Table1.seed } in
-    print_string
-      (Monitor_experiments.Table1.rendered
-         (Monitor_experiments.Table1.run ~options ()));
-    print_newline ();
-    print_string
-      (Monitor_experiments.Vehicle_logs.rendered
-         (Monitor_experiments.Vehicle_logs.run ()));
-    print_newline ();
-    print_string
-      (Monitor_experiments.Multirate.rendered (Monitor_experiments.Multirate.run ()));
-    print_newline ();
-    print_string
-      (Monitor_experiments.Warmup.rendered (Monitor_experiments.Warmup.run ()))
+  let run quick seed jobs =
+    with_pool jobs (fun pool ->
+        print_string (Monitor_experiments.Figure1.rendered ());
+        print_newline ();
+        let base =
+          if quick then Monitor_experiments.Table1.quick_options
+          else Monitor_experiments.Table1.paper_options
+        in
+        let options = { base with Monitor_experiments.Table1.seed } in
+        print_string
+          (Monitor_experiments.Table1.rendered
+             (Monitor_experiments.Table1.run ~options ~pool ()));
+        print_newline ();
+        print_string
+          (Monitor_experiments.Vehicle_logs.rendered
+             (Monitor_experiments.Vehicle_logs.run ~pool ()));
+        print_newline ();
+        print_string
+          (Monitor_experiments.Multirate.rendered
+             (Monitor_experiments.Multirate.run ()));
+        print_newline ();
+        print_string
+          (Monitor_experiments.Warmup.rendered (Monitor_experiments.Warmup.run ())))
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment in sequence")
-    Term.(const run $ quick_arg $ seed_arg 2014L)
+    Term.(const run $ quick_arg $ seed_arg 2014L $ jobs_arg)
 
 let () =
   let doc = "Monitor-based oracles for CPS testing (DSN 2014) reproduction" in

@@ -105,32 +105,41 @@ let naive_rule4 =
        "Velocity > ACCSetSpeed -> eventually[0.0, 0.4] \
         delta(RequestedTorque) <= 0.0")
 
-let delta_study ~seed =
+let delta_study ~seed ?pool () =
   let prng = Monitor_util.Prng.create seed in
-  let fresh_hits = ref 0 and naive_hits = ref 0 and differ = ref 0 in
-  (* A small sweep of set-speed faults (the rule-4 trigger). *)
-  for _ = 1 to 8 do
-    let value = Monitor_util.Prng.float_range prng 40.0 400.0 in
-    let plan =
-      [ (2.0, Sim.Set ("ACCSetSpeed", Value.Float value)); (12.0, Sim.Clear_all) ]
-    in
-    let scenario = Scenario.steady_follow ~duration:20.0 () in
-    let trace =
-      (Sim.run ~plan
-         (Sim.default_config ~seed:(Monitor_util.Prng.next_int64 prng) scenario))
-        .Sim.trace
-    in
-    let fresh = Oracle.check_spec (Rules.rule 4) trace in
-    let naive = Oracle.check_spec naive_rule4 trace in
-    let f = fresh.Oracle.status = Oracle.Violated in
-    let n = naive.Oracle.status = Oracle.Violated in
-    if f then incr fresh_hits;
-    if n then incr naive_hits;
-    if f <> n then incr differ
-  done;
-  { fresh_detections = !fresh_hits;
-    naive_detections = !naive_hits;
-    disagreements = !differ }
+  (* A small sweep of set-speed faults (the rule-4 trigger).  All random
+     draws happen here, in a fixed order, before the simulations fan
+     out — parallel execution cannot perturb them. *)
+  let cases =
+    List.init 8 (fun _ ->
+        let value = Monitor_util.Prng.float_range prng 40.0 400.0 in
+        let sim_seed = Monitor_util.Prng.next_int64 prng in
+        (value, sim_seed))
+  in
+  let verdicts =
+    Monitor_util.Pool.map_list ?pool
+      (fun (value, sim_seed) ->
+        let plan =
+          [ (2.0, Sim.Set ("ACCSetSpeed", Value.Float value));
+            (12.0, Sim.Clear_all) ]
+        in
+        let scenario = Scenario.steady_follow ~duration:20.0 () in
+        let trace =
+          (Sim.run ~plan (Sim.default_config ~seed:sim_seed scenario)).Sim.trace
+        in
+        let fresh = Oracle.check_spec (Rules.rule 4) trace in
+        let naive = Oracle.check_spec naive_rule4 trace in
+        ( fresh.Oracle.status = Oracle.Violated,
+          naive.Oracle.status = Oracle.Violated ))
+      cases
+  in
+  List.fold_left
+    (fun acc (f, n) ->
+      { fresh_detections = acc.fresh_detections + Bool.to_int f;
+        naive_detections = acc.naive_detections + Bool.to_int n;
+        disagreements = acc.disagreements + Bool.to_int (f <> n) })
+    { fresh_detections = 0; naive_detections = 0; disagreements = 0 }
+    verdicts
 
 let warmup_study ~seed =
   let scenario = Scenario.overtake () in
@@ -154,8 +163,8 @@ let warmup_study ~seed =
 
 (* The paper held injections for 20 s; this fault (a positive relative
    velocity) needs most of that to push the vehicle into its target. *)
-let hold_study ~seed =
-  List.map
+let hold_study ~seed ?pool () =
+  Monitor_util.Pool.map_list ?pool
     (fun hold ->
       let plan =
         [ (2.0, Sim.Set ("TargetRelVel", Value.Float 700.0));
@@ -166,13 +175,13 @@ let hold_study ~seed =
       (hold, violated_rules (Oracle.check Rules.all trace)))
     [ 1.0; 5.0; 10.0; 20.0 ]
 
-let run ?(seed = 21L) () =
+let run ?(seed = 21L) ?pool () =
   let trace = faulted_trace ~seed () in
   { period = period_study trace;
     jitter = jitter_study ~seed;
-    delta = delta_study ~seed;
+    delta = delta_study ~seed ?pool ();
     warmup = warmup_study ~seed:9L;
-    hold = hold_study ~seed }
+    hold = hold_study ~seed ?pool () }
 
 let rendered t =
   let buf = Buffer.create 1024 in

@@ -50,6 +50,10 @@ type t = {
   hold : hold_ablation;
 }
 
-val run : ?seed:int64 -> unit -> t
+val run : ?seed:int64 -> ?pool:Monitor_util.Pool.t -> unit -> t
+(** With [?pool], the independent sweep simulations (the delta study's
+    faulted runs and the injection-hold sweep) fan out over the pool;
+    random draws are made before fan-out, so results match the
+    sequential run exactly. *)
 
 val rendered : t -> string

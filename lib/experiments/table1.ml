@@ -74,28 +74,49 @@ let run_latencies plan outcomes =
     outcomes
   |> List.filter_map Fun.id
 
-let run ?(options = paper_options) () =
+let run ?(options = paper_options) ?pool () =
   let rows =
     Campaign.table1 ~seed:options.seed
       ~values_per_test:options.values_per_test
       ~flips_per_size:options.flips_per_size
       ~multi_values_per_test:options.multi_values_per_test ()
   in
-  let nominal_letters =
-    List.map
-      (fun o -> Oracle.status_letter o.Oracle.status)
-      (run_one [])
+  (* Fan the independent simulations out over the pool: the nominal
+     baseline plus every campaign run, in campaign order.  [map_list]
+     returns outcomes in submission order, so everything below — letter
+     aggregation, latency accumulation, rendering — is identical
+     whether the runs executed sequentially or on N domains. *)
+  let all_plans =
+    [] :: List.concat_map
+            (fun (row : Campaign.row) ->
+              List.map (fun (r : Campaign.run) -> r.Campaign.plan)
+                row.Campaign.runs)
+            rows
   in
-  let runs_executed = ref 1 in
+  let all_outcomes = Monitor_util.Pool.map_list ?pool run_one all_plans in
+  let nominal_outcomes, campaign_outcomes =
+    match all_outcomes with
+    | nominal :: rest -> (nominal, rest)
+    | [] -> assert false
+  in
+  let nominal_letters =
+    List.map (fun o -> Oracle.status_letter o.Oracle.status) nominal_outcomes
+  in
   let latency_acc = Array.make (List.length Rules.all) [] in
+  let remaining = ref campaign_outcomes in
   let row_results =
     List.map
       (fun (row : Campaign.row) ->
         let outcomes_per_run =
           List.map
             (fun (r : Campaign.run) ->
-              incr runs_executed;
-              let outcomes = run_one r.Campaign.plan in
+              let outcomes =
+                match !remaining with
+                | o :: rest ->
+                  remaining := rest;
+                  o
+                | [] -> assert false
+              in
               List.iter
                 (fun (rule, latency) ->
                   latency_acc.(rule) <- latency :: latency_acc.(rule))
@@ -107,7 +128,7 @@ let run ?(options = paper_options) () =
       rows
   in
   { rows = row_results;
-    runs_executed = !runs_executed;
+    runs_executed = 1 + List.length campaign_outcomes;
     nominal_letters;
     latencies =
       List.filteri (fun _ (_, ls) -> ls <> [])

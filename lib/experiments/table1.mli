@@ -35,7 +35,12 @@ type t = {
           run.  How quickly the oracle turns a fault into a verdict. *)
 }
 
-val run : ?options:options -> unit -> t
+val run : ?options:options -> ?pool:Monitor_util.Pool.t -> unit -> t
+(** Runs the campaign.  With [?pool], the independent (injection x
+    target) simulations fan out over the pool's domains; results are
+    merged in campaign order and every run draws from its own
+    index-derived PRNG stream, so the outcome — including [rendered] —
+    is byte-identical to a sequential run. *)
 
 val rendered : t -> string
 (** The Table I text plus the summary lines. *)

@@ -21,11 +21,14 @@ type t = {
 let relaxed_rules () =
   [ Rules.relaxed_rule2 (); Rules.relaxed_rule3 (); Rules.relaxed_rule4 () ]
 
-let run ?(seed = 77L) () =
+let run ?(seed = 77L) ?pool () =
   let scenarios = Scenario.road_scenarios () in
+  (* Each scenario's seed depends only on its index, so the per-scenario
+     analyses are independent and fan out over the pool; [map_list]
+     keeps them in scenario order. *)
   let per_scenario =
-    List.mapi
-      (fun i scenario ->
+    Monitor_util.Pool.map_list ?pool
+      (fun (i, scenario) ->
         let config =
           Sim.default_config ~environment:Sim.Road
             ~seed:(Int64.add seed (Int64.of_int i))
@@ -38,7 +41,7 @@ let run ?(seed = 77L) () =
         in
         let relaxed = Oracle.check (relaxed_rules ()) result.Sim.trace in
         { scenario; strict; classification; relaxed })
-      scenarios
+      (List.mapi (fun i scenario -> (i, scenario)) scenarios)
   in
   { per_scenario;
     total_log_duration =

@@ -22,7 +22,10 @@ type t = {
   total_log_duration : float;
 }
 
-val run : ?seed:int64 -> unit -> t
+val run : ?seed:int64 -> ?pool:Monitor_util.Pool.t -> unit -> t
+(** With [?pool], the per-scenario log analyses run in parallel (each
+    scenario's seed is derived from its index alone, so the result is
+    identical to the sequential one). *)
 
 val rendered : t -> string
 

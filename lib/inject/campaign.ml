@@ -25,6 +25,15 @@ let hold_duration = 20.0
 
 let default_start = 2.0
 
+(* Stable row-index blocks for PRNG derivation: single-target rows use
+   0..23, multi-target rows 32..39.  The blocks are disjoint constants
+   (not derived from list lengths) so the draws of any one run are a
+   pure function of (campaign seed, row index, run index). *)
+let multi_row_index_base = 32
+
+let run_prng ~seed ~row_index ~run_index =
+  Prng.create (Prng.derive (Prng.derive seed row_index) run_index)
+
 let plan_of_commands ~start commands =
   List.map (fun cmd -> (start, cmd)) commands
   @ [ (start +. hold_duration, Sim.Clear_all) ]
@@ -39,24 +48,28 @@ let injection_run prng kind ~start ~index targets =
         index;
     plan = plan_of_commands ~start commands }
 
-let value_row prng kind ~start ~values_per_test signal =
+let value_row ~seed ~row_index kind ~start ~values_per_test signal =
   { kind;
     kind_label = Fault.kind_label kind;
     target_label = target_label_of_signal signal;
     targets = [ signal ];
     runs =
       List.init values_per_test (fun i ->
-          injection_run prng kind ~start ~index:i [ signal ]) }
+          injection_run (run_prng ~seed ~row_index ~run_index:i) kind ~start
+            ~index:i [ signal ]) }
 
-let bitflip_row prng ~start ~flips_per_size signal =
+let bitflip_row ~seed ~row_index ~start ~flips_per_size signal =
   let runs =
     List.concat_map
-      (fun n_bits ->
+      (fun (size_ordinal, n_bits) ->
         List.init flips_per_size (fun i ->
-            injection_run prng (Fault.Bit_flip n_bits) ~start
+            injection_run
+              (run_prng ~seed ~row_index
+                 ~run_index:((size_ordinal * flips_per_size) + i))
+              (Fault.Bit_flip n_bits) ~start
               ~index:((n_bits * 100) + i)
               [ signal ]))
-      [ 1; 2; 4 ]
+      [ (0, 1); (1, 2); (2, 4) ]
   in
   { kind = Fault.Bit_flip 1;
     kind_label = "Bitflips";
@@ -66,18 +79,27 @@ let bitflip_row prng ~start ~flips_per_size signal =
 
 let single_rows ~seed ?(start = default_start) ?(values_per_test = 8)
     ?(flips_per_size = 4) () =
-  let prng = Prng.create seed in
+  let n = List.length single_target_names in
   let random_rows =
-    List.map
-      (value_row prng Fault.Random_value ~start ~values_per_test)
+    List.mapi
+      (fun i signal ->
+        value_row ~seed ~row_index:i Fault.Random_value ~start ~values_per_test
+          signal)
       single_target_names
   in
   let ballista_rows =
-    List.map (value_row prng Fault.Ballista ~start ~values_per_test)
+    List.mapi
+      (fun i signal ->
+        value_row ~seed ~row_index:(n + i) Fault.Ballista ~start
+          ~values_per_test signal)
       single_target_names
   in
   let bitflip_rows =
-    List.map (bitflip_row prng ~start ~flips_per_size) single_target_names
+    List.mapi
+      (fun i signal ->
+        bitflip_row ~seed ~row_index:((2 * n) + i) ~start ~flips_per_size
+          signal)
+      single_target_names
   in
   random_rows @ ballista_rows @ bitflip_rows
 
@@ -87,28 +109,35 @@ let range_plus_set = range_plus @ [ "ACCSetSpeed" ]
 
 let all_inputs = Io.input_names
 
-let multi_row prng kind ~kind_label ~target_label ~start ~values_per_test
-    targets =
+let multi_row ~seed ~row_index kind ~kind_label ~target_label ~start
+    ~values_per_test targets =
   { kind;
     kind_label;
     target_label;
     targets;
     runs =
       List.init values_per_test (fun i ->
-          injection_run prng kind ~start ~index:i targets) }
+          injection_run (run_prng ~seed ~row_index ~run_index:i) kind ~start
+            ~index:i targets) }
 
 let multi_rows ~seed ?(start = default_start) ?(values_per_test = 20) () =
-  let prng = Prng.create (Int64.add seed 1L) in
-  let row = multi_row prng ~start ~values_per_test in
-  [ row Fault.Ballista ~kind_label:"mBallista" ~target_label:"Range+" range_plus;
-    row Fault.Ballista ~kind_label:"mBallista" ~target_label:"All" all_inputs;
-    row Fault.Random_value ~kind_label:"mRandom" ~target_label:"Range+" range_plus;
-    row Fault.Random_value ~kind_label:"mRandom" ~target_label:"All" all_inputs;
-    row Fault.Random_value ~kind_label:"mRandom" ~target_label:"Range+Set"
+  let row i = multi_row ~seed ~row_index:(multi_row_index_base + i) ~start
+      ~values_per_test in
+  [ row 0 Fault.Ballista ~kind_label:"mBallista" ~target_label:"Range+"
+      range_plus;
+    row 1 Fault.Ballista ~kind_label:"mBallista" ~target_label:"All" all_inputs;
+    row 2 Fault.Random_value ~kind_label:"mRandom" ~target_label:"Range+"
+      range_plus;
+    row 3 Fault.Random_value ~kind_label:"mRandom" ~target_label:"All"
+      all_inputs;
+    row 4 Fault.Random_value ~kind_label:"mRandom" ~target_label:"Range+Set"
       range_plus_set;
-    row (Fault.Bit_flip 1) ~kind_label:"mBitflip1" ~target_label:"Range+" range_plus;
-    row (Fault.Bit_flip 2) ~kind_label:"mBitflip2" ~target_label:"Range+" range_plus;
-    row (Fault.Bit_flip 4) ~kind_label:"mBitflip4" ~target_label:"Range+" range_plus ]
+    row 5 (Fault.Bit_flip 1) ~kind_label:"mBitflip1" ~target_label:"Range+"
+      range_plus;
+    row 6 (Fault.Bit_flip 2) ~kind_label:"mBitflip2" ~target_label:"Range+"
+      range_plus;
+    row 7 (Fault.Bit_flip 4) ~kind_label:"mBitflip4" ~target_label:"Range+"
+      range_plus ]
 
 let table1 ~seed ?(values_per_test = 8) ?(flips_per_size = 4)
     ?(multi_values_per_test = 20) () =

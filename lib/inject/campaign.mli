@@ -7,7 +7,20 @@
     signal groups "Range+" (TargetRange, TargetRelVel, VehicleAhead),
     "Range+Set" (plus ACCSetSpeed) and "All" (all nine inputs).
     Every injection is held for 20 s (time for the fault to manifest into
-    a specification violation). *)
+    a specification violation).
+
+    {2 Seed determinism}
+
+    Every run's random draws come from its own PRNG stream, derived as
+    [Prng.derive (Prng.derive seed row_index) run_index] where
+    [row_index] is the row's fixed position in the campaign layout
+    (single-target rows occupy indices 0..23 — Random 0..7, Ballista
+    8..15, Bitflips 16..23 — and multi-target rows the disjoint block
+    32..39) and [run_index] is the run's ordinal within its row.  The
+    derivation is a pure function of those indices: no generator is
+    shared between runs, so neither construction order nor execution
+    order (in particular, parallel execution) can ever change which
+    faults a campaign injects for a given seed. *)
 
 type run = {
   run_label : string;

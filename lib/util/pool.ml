@@ -1,0 +1,167 @@
+type phase =
+  | Running
+  | Stopping  (* no new submissions; workers drain the queue, then exit *)
+  | Stopped
+
+type t = {
+  mutex : Mutex.t;
+  not_empty : Condition.t;  (* queue gained a job, or the pool is stopping *)
+  not_full : Condition.t;   (* queue gained room, or the pool is stopping *)
+  queue : (unit -> unit) Queue.t;
+  capacity : int;
+  mutable phase : phase;
+  mutable workers : unit Domain.t list;
+  worker_count : int;
+}
+
+type 'a outcome =
+  | Pending
+  | Value of 'a
+  | Raised of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  f_mutex : Mutex.t;
+  f_done : Condition.t;
+  mutable outcome : 'a outcome;
+}
+
+let default_num_domains () = Domain.recommended_domain_count () - 1
+
+let worker_loop pool =
+  let rec next () =
+    Mutex.lock pool.mutex;
+    let rec take () =
+      if not (Queue.is_empty pool.queue) then begin
+        let job = Queue.pop pool.queue in
+        Condition.signal pool.not_full;
+        Some job
+      end
+      else
+        match pool.phase with
+        | Running ->
+          Condition.wait pool.not_empty pool.mutex;
+          take ()
+        | Stopping | Stopped -> None
+    in
+    let job = take () in
+    Mutex.unlock pool.mutex;
+    match job with
+    | None -> ()
+    | Some job ->
+      job ();
+      next ()
+  in
+  next ()
+
+let create ?num_domains ?(queue_capacity = 64) () =
+  let requested =
+    match num_domains with
+    | Some n -> n
+    | None -> default_num_domains ()
+  in
+  let worker_count = if requested <= 1 then 0 else requested in
+  let pool =
+    { mutex = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      queue = Queue.create ();
+      capacity = max 1 queue_capacity;
+      phase = Running;
+      workers = [];
+      worker_count }
+  in
+  pool.workers <-
+    List.init worker_count (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let num_domains pool = pool.worker_count
+
+let make_future () =
+  { f_mutex = Mutex.create (); f_done = Condition.create (); outcome = Pending }
+
+(* Run the task and publish its outcome; never lets an exception escape
+   into the worker loop. *)
+let fill future task =
+  let outcome =
+    match task () with
+    | v -> Value v
+    | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+  in
+  Mutex.lock future.f_mutex;
+  future.outcome <- outcome;
+  Condition.broadcast future.f_done;
+  Mutex.unlock future.f_mutex
+
+let refuse () = invalid_arg "Pool.submit: pool is shut down"
+
+let submit pool task =
+  let future = make_future () in
+  if pool.worker_count = 0 then begin
+    (match pool.phase with Running -> () | Stopping | Stopped -> refuse ());
+    fill future task
+  end
+  else begin
+    Mutex.lock pool.mutex;
+    let rec wait_for_room () =
+      match pool.phase with
+      | Stopping | Stopped ->
+        Mutex.unlock pool.mutex;
+        refuse ()
+      | Running ->
+        if Queue.length pool.queue >= pool.capacity then begin
+          Condition.wait pool.not_full pool.mutex;
+          wait_for_room ()
+        end
+    in
+    wait_for_room ();
+    Queue.push (fun () -> fill future task) pool.queue;
+    Condition.signal pool.not_empty;
+    Mutex.unlock pool.mutex
+  end;
+  future
+
+let await future =
+  Mutex.lock future.f_mutex;
+  let rec wait () =
+    match future.outcome with
+    | Pending ->
+      Condition.wait future.f_done future.f_mutex;
+      wait ()
+    | (Value _ | Raised _) as o -> o
+  in
+  let outcome = wait () in
+  Mutex.unlock future.f_mutex;
+  match outcome with
+  | Value v -> v
+  | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let map_list ?pool f xs =
+  match pool with
+  | None -> List.map f xs
+  | Some pool when pool.worker_count = 0 -> List.map f xs
+  | Some pool ->
+    (* Submit everything first (back-pressured by the bounded queue),
+       then await in input order: the merge is deterministic no matter
+       which worker finishes first. *)
+    let futures = List.map (fun x -> submit pool (fun () -> f x)) xs in
+    List.map await futures
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  match pool.phase with
+  | Stopped | Stopping -> Mutex.unlock pool.mutex
+  | Running ->
+    pool.phase <- Stopping;
+    Condition.broadcast pool.not_empty;
+    Condition.broadcast pool.not_full;
+    Mutex.unlock pool.mutex;
+    List.iter Domain.join pool.workers;
+    pool.workers <- [];
+    Mutex.lock pool.mutex;
+    pool.phase <- Stopped;
+    Mutex.unlock pool.mutex
+
+let with_pool ?num_domains ?queue_capacity f =
+  let pool = create ?num_domains ?queue_capacity () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

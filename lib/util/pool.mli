@@ -1,0 +1,64 @@
+(** A work-sharing pool of OCaml 5 domains.
+
+    Campaign-scale workloads (Table I is 385 independent simulation +
+    oracle runs) fan out over [num_domains] worker domains through a
+    bounded job queue.  The pool is deliberately small and deterministic
+    in its API: [submit] hands a closure to a worker, [await] blocks for
+    the result, and [map_list] preserves input order in its output, so a
+    parallel campaign merged with [map_list] renders byte-identically to
+    a sequential one.
+
+    Tasks must not [submit] to, [await] futures of, or [shutdown] the
+    pool they run on — workers are plain domains, not a re-entrant
+    scheduler, and nesting can deadlock.  Create the pool after any
+    read-only global state (rule tables, DBC databases) is initialised;
+    tasks may freely read such state but must not mutate shared data. *)
+
+type t
+(** A pool of worker domains.  With zero workers (see [create]) every
+    submitted task runs immediately in the calling domain; the API is
+    otherwise identical, so callers need no sequential special case. *)
+
+type 'a future
+(** The pending result of a submitted task. *)
+
+val create : ?num_domains:int -> ?queue_capacity:int -> unit -> t
+(** [create ()] spawns the worker domains.
+
+    [num_domains] defaults to [Domain.recommended_domain_count () - 1]
+    (the calling domain keeps one core for itself).  When the resulting
+    count is [<= 1] — single-core machines, or an explicit [-j 1] — no
+    domains are spawned at all and the pool degrades to sequential
+    execution in the caller.
+
+    [queue_capacity] (default 64) bounds the job queue; [submit] blocks
+    when the queue is full, providing back-pressure instead of unbounded
+    buffering when producers outrun the workers. *)
+
+val num_domains : t -> int
+(** Number of worker domains actually spawned (0 means sequential). *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** [submit pool task] enqueues [task]; blocks while the queue is full.
+    On a zero-worker pool the task runs before [submit] returns.
+    @raise Invalid_argument if the pool has been shut down. *)
+
+val await : 'a future -> 'a
+(** Blocks until the task finishes.  If the task raised, the exception
+    is re-raised here (with its original backtrace) in the awaiting
+    domain — worker exceptions are never silently dropped. *)
+
+val map_list : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list ~pool f xs] is [List.map f xs] with the applications of
+    [f] distributed over the pool.  Results are returned in input
+    order whatever order the workers finish in.  Without [?pool] (or
+    with a zero-worker pool) it is exactly [List.map f xs]. *)
+
+val shutdown : t -> unit
+(** Graceful shutdown: already-queued tasks are drained and completed,
+    further [submit]s are refused, and the worker domains are joined.
+    Idempotent — repeated calls return immediately. *)
+
+val with_pool : ?num_domains:int -> ?queue_capacity:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down
+    afterwards, whether [f] returns or raises. *)

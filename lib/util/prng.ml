@@ -20,6 +20,16 @@ let split t =
   let seed = next_int64 t in
   create seed
 
+let derive seed index =
+  (* Two mixing rounds over (seed, index).  The xor constant separates
+     this derivation from the generator's own output sequence, so
+     [create (derive seed i)] never collides with a stream obtained by
+     advancing [create seed]. *)
+  let indexed =
+    Int64.add seed (Int64.mul golden_gamma (Int64.of_int index))
+  in
+  mix (Int64.logxor (mix indexed) 0xD6E8FEB86659FD93L)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   (* Rejection-free for our purposes: modulo bias is negligible for the

@@ -18,6 +18,14 @@ val split : t -> t
 (** [split g] derives a new generator from [g], advancing [g].  Streams of
     the parent and child are independent for practical purposes. *)
 
+val derive : int64 -> int -> int64
+(** [derive seed i] is the seed of the [i]-th child stream of [seed]: a
+    pure function of [(seed, i)] alone.  Unlike [split], which advances
+    a shared generator and therefore depends on every draw made before
+    it, [derive] lets independent work items (campaign runs, parallel
+    tasks) build their generators from a stable index — the draws can
+    never be affected by construction or execution order. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -1,0 +1,143 @@
+(* The domain pool: ordering, exception propagation, shutdown semantics,
+   and the end-to-end guarantee the campaign engine rests on — a parallel
+   Table I renders byte-identically to a sequential one. *)
+
+module Pool = Monitor_util.Pool
+module E = Monitor_experiments
+
+let test_map_list_ordering () =
+  Pool.with_pool ~num_domains:3 (fun pool ->
+      let inputs = List.init 100 Fun.id in
+      Alcotest.(check (list int))
+        "parallel map_list equals List.map, in order"
+        (List.map (fun i -> i * i) inputs)
+        (Pool.map_list ~pool (fun i -> i * i) inputs))
+
+let test_map_list_without_pool () =
+  Alcotest.(check (list int))
+    "no pool means plain List.map"
+    [ 2; 4; 6 ]
+    (Pool.map_list (fun i -> 2 * i) [ 1; 2; 3 ])
+
+let test_submit_await_out_of_order () =
+  Pool.with_pool ~num_domains:2 (fun pool ->
+      let futures = List.init 20 (fun i -> Pool.submit pool (fun () -> 10 * i)) in
+      (* Await in reverse submission order: results must still match the
+         task, not the completion schedule. *)
+      List.iteri
+        (fun rev_i future ->
+          let i = 19 - rev_i in
+          Alcotest.(check int) (Printf.sprintf "future %d" i) (10 * i)
+            (Pool.await future))
+        (List.rev futures))
+
+let test_await_twice () =
+  Pool.with_pool ~num_domains:2 (fun pool ->
+      let future = Pool.submit pool (fun () -> 42) in
+      Alcotest.(check int) "first await" 42 (Pool.await future);
+      Alcotest.(check int) "second await" 42 (Pool.await future))
+
+exception Boom of string
+
+let test_exception_propagation () =
+  Pool.with_pool ~num_domains:2 (fun pool ->
+      let ok = Pool.submit pool (fun () -> "fine") in
+      let bad = Pool.submit pool (fun () -> raise (Boom "worker failed")) in
+      Alcotest.(check string) "healthy task unaffected" "fine" (Pool.await ok);
+      (match Pool.await bad with
+       | _ -> Alcotest.fail "worker exception was swallowed"
+       | exception Boom msg ->
+         Alcotest.(check string) "original exception" "worker failed" msg);
+      (* The worker that raised keeps serving jobs. *)
+      let again = Pool.submit pool (fun () -> 7) in
+      Alcotest.(check int) "pool survives a raise" 7 (Pool.await again))
+
+let test_sequential_fallback () =
+  (* num_domains <= 1 spawns nothing: the task runs in the caller. *)
+  List.iter
+    (fun n ->
+      Pool.with_pool ~num_domains:n (fun pool ->
+          Alcotest.(check int)
+            (Printf.sprintf "no workers for num_domains=%d" n)
+            0 (Pool.num_domains pool);
+          let self = Domain.self () in
+          let ran_on =
+            Pool.await (Pool.submit pool (fun () -> Domain.self ()))
+          in
+          Alcotest.(check bool) "ran in the calling domain" true
+            (ran_on = self)))
+    [ -1; 0; 1 ]
+
+let test_bounded_queue_backpressure () =
+  (* Far more tasks than queue slots: submit must block (not fail, not
+     drop) and every result must come back. *)
+  Pool.with_pool ~num_domains:2 ~queue_capacity:4 (fun pool ->
+      let inputs = List.init 200 Fun.id in
+      Alcotest.(check int) "all 200 results"
+        (List.fold_left ( + ) 0 inputs)
+        (List.fold_left ( + ) 0 (Pool.map_list ~pool Fun.id inputs)))
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~num_domains:2 () in
+  let future = Pool.submit pool (fun () -> 5) in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* Queued work was drained, not discarded. *)
+  Alcotest.(check int) "queued task completed" 5 (Pool.await future);
+  (match Pool.submit pool (fun () -> 6) with
+   | _ -> Alcotest.fail "submit after shutdown must be refused"
+   | exception Invalid_argument _ -> ());
+  (* The zero-worker pool refuses post-shutdown submissions too. *)
+  let seq = Pool.create ~num_domains:1 () in
+  Pool.shutdown seq;
+  Pool.shutdown seq;
+  match Pool.submit seq (fun () -> 8) with
+  | _ -> Alcotest.fail "sequential submit after shutdown must be refused"
+  | exception Invalid_argument _ -> ()
+
+let test_with_pool_shuts_down_on_raise () =
+  let captured = ref None in
+  (match
+     Pool.with_pool ~num_domains:2 (fun pool ->
+         captured := Some pool;
+         failwith "body raises")
+   with
+  | () -> Alcotest.fail "body exception must escape with_pool"
+  | exception Failure _ -> ());
+  match !captured with
+  | None -> Alcotest.fail "with_pool body never ran"
+  | Some pool ->
+    (match Pool.submit pool (fun () -> 1) with
+     | _ -> Alcotest.fail "pool must be shut down after the body raised"
+     | exception Invalid_argument _ -> ())
+
+let test_table1_parallel_equals_sequential () =
+  (* The acceptance bar for the campaign engine: the same quick campaign
+     through a 2-domain pool renders byte-identically to the sequential
+     run (which Test_experiments already computed). *)
+  let sequential = E.Table1.rendered (Lazy.force Test_experiments.quick_table) in
+  let parallel =
+    Pool.with_pool ~num_domains:2 (fun pool ->
+        E.Table1.rendered (E.Table1.run ~options:E.Table1.quick_options ~pool ()))
+  in
+  Alcotest.(check string) "byte-identical rendering" sequential parallel
+
+let suite =
+  [ ( "pool",
+      [ Alcotest.test_case "map_list ordering" `Quick test_map_list_ordering;
+        Alcotest.test_case "map_list without pool" `Quick
+          test_map_list_without_pool;
+        Alcotest.test_case "await out of order" `Quick
+          test_submit_await_out_of_order;
+        Alcotest.test_case "await twice" `Quick test_await_twice;
+        Alcotest.test_case "exception propagation" `Quick
+          test_exception_propagation;
+        Alcotest.test_case "sequential fallback" `Quick test_sequential_fallback;
+        Alcotest.test_case "bounded queue backpressure" `Quick
+          test_bounded_queue_backpressure;
+        Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+        Alcotest.test_case "with_pool cleans up on raise" `Quick
+          test_with_pool_shuts_down_on_raise;
+        Alcotest.test_case "parallel table1 equals sequential" `Slow
+          test_table1_parallel_equals_sequential ] ) ]

@@ -36,6 +36,23 @@ let test_prng_split_independent () =
   let a = Prng.next_int64 parent and b = Prng.next_int64 child in
   Alcotest.(check bool) "split streams differ" true (a <> b)
 
+let test_prng_derive_pure () =
+  (* derive is a pure function of (seed, index): no draw made anywhere
+     else can perturb it, and distinct indices give distinct streams. *)
+  Alcotest.(check int64) "pure in (seed, index)" (Prng.derive 2014L 5)
+    (Prng.derive 2014L 5);
+  Alcotest.(check bool) "indices separate streams" true
+    (Prng.derive 2014L 5 <> Prng.derive 2014L 6);
+  Alcotest.(check bool) "seeds separate streams" true
+    (Prng.derive 2014L 5 <> Prng.derive 2015L 5);
+  (* Child streams are disjoint from the parent's own output sequence. *)
+  let parent = Prng.create 2014L in
+  let first_outputs = List.init 64 (fun _ -> Prng.next_int64 parent) in
+  Alcotest.(check bool) "disjoint from the parent stream" false
+    (List.exists
+       (fun i -> List.mem (Prng.derive 2014L i) first_outputs)
+       (List.init 64 Fun.id))
+
 let test_prng_copy () =
   let g = Prng.create 5L in
   ignore (Prng.next_int64 g);
@@ -181,6 +198,7 @@ let suite =
         Alcotest.test_case "prng int invalid" `Quick test_prng_int_invalid;
         Alcotest.test_case "prng float range" `Quick test_prng_float_range;
         Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+        Alcotest.test_case "prng derive" `Quick test_prng_derive_pure;
         Alcotest.test_case "prng copy" `Quick test_prng_copy;
         Alcotest.test_case "prng choose" `Quick test_prng_choose;
         Alcotest.test_case "prng gaussian moments" `Quick test_prng_gaussian_moments;
