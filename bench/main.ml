@@ -86,6 +86,22 @@ let bench_vehicle_logs_scenario =
          in
          Oracle.check Rules.all result.Sim.trace))
 
+let bench_lossy_bus_run =
+  (* One lossy-channel run + stale-aware seven-rule oracle: the unit of
+     E7 campaign work (channel decode + staleness gating on top of
+     table1/one_run). *)
+  Test.make ~name:"lossy_bus/one_run"
+    (Staged.stage (fun () ->
+         let scenario = Scenario.steady_follow ~duration:6.0 () in
+         let channel =
+           Monitor_inject.Channel.model ~seed:7L
+             (Monitor_inject.Channel.Bernoulli 0.05)
+         in
+         let result = Sim.run ~channel (Sim.default_config scenario) in
+         Oracle.check_stale_aware
+           ~periods:(Monitor_can.Dbc.signal_period Monitor_fsracc.Io.dbc)
+           Rules.all result.Sim.trace))
+
 let bench_multirate =
   Test.make ~name:"multirate/spacing_and_deltas"
     (Staged.stage (fun () -> Monitor_experiments.Multirate.run ()))
@@ -228,7 +244,7 @@ let () =
     Test.make_grouped ~name:"cps_monitor"
       [ bench_figure1; bench_table1_run; bench_table1_sequential_slice;
         bench_table1_parallel; bench_vehicle_logs_scenario;
-        bench_multirate; bench_warmup; bench_offline_rule 0;
+        bench_lossy_bus_run; bench_multirate; bench_warmup; bench_offline_rule 0;
         bench_offline_rule 1; bench_offline_rule 4; bench_online_rule 1;
         bench_online_rule 5; bench_all_rules_offline; bench_parser;
         bench_simplify; bench_monitor_set; bench_ablation_hold;

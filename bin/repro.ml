@@ -93,6 +93,24 @@ let ablation_cmd =
        ~doc:"Ablate the monitor's design choices (period, jitter,              change operator, warm-up hold)")
     Term.(const run $ seed_arg 21L $ jobs_arg)
 
+let lossy_bus_cmd =
+  let run quick seed jobs =
+    let base =
+      if quick then Monitor_experiments.Lossy_bus.quick_options
+      else Monitor_experiments.Lossy_bus.paper_options
+    in
+    let options = { base with Monitor_experiments.Lossy_bus.seed } in
+    let t =
+      with_pool jobs (fun pool ->
+          Monitor_experiments.Lossy_bus.run ~options ~pool ())
+    in
+    print_string (Monitor_experiments.Lossy_bus.rendered t)
+  in
+  Cmd.v
+    (Cmd.info "lossy-bus"
+       ~doc:"E7: verdict degradation when the monitor's bus tap loses,              delays or corrupts frames")
+    Term.(const run $ quick_arg $ seed_arg 2014L $ jobs_arg)
+
 let simulate_cmd =
   let scenario_arg =
     let doc =
@@ -322,7 +340,18 @@ let all_cmd =
              (Monitor_experiments.Multirate.run ()));
         print_newline ();
         print_string
-          (Monitor_experiments.Warmup.rendered (Monitor_experiments.Warmup.run ())))
+          (Monitor_experiments.Warmup.rendered (Monitor_experiments.Warmup.run ()));
+        print_newline ();
+        let lossy_base =
+          if quick then Monitor_experiments.Lossy_bus.quick_options
+          else Monitor_experiments.Lossy_bus.paper_options
+        in
+        let lossy_options =
+          { lossy_base with Monitor_experiments.Lossy_bus.seed }
+        in
+        print_string
+          (Monitor_experiments.Lossy_bus.rendered
+             (Monitor_experiments.Lossy_bus.run ~options:lossy_options ~pool ())))
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment in sequence")
     Term.(const run $ quick_arg $ seed_arg 2014L $ jobs_arg)
@@ -332,5 +361,5 @@ let () =
   let info = Cmd.info "repro" ~doc in
   exit (Cmd.eval (Cmd.group info
     [ figure1_cmd; table1_cmd; vehicle_logs_cmd; multirate_cmd; warmup_cmd;
-      ablation_cmd; simulate_cmd; trace_stats_cmd; rules_cmd; check_cmd;
-      all_cmd ]))
+      ablation_cmd; lossy_bus_cmd; simulate_cmd; trace_stats_cmd; rules_cmd;
+      check_cmd; all_cmd ]))

@@ -78,22 +78,26 @@ type t = {
   mutable frames : int;
   mutable bits : int;
   mutable next_seq : int;
-  mutable error_model : (time:float -> Frame.t -> [ `Deliver | `Corrupt ]) option;
+  mutable error_model :
+    (time:float -> Frame.t -> [ `Deliver | `Corrupt | `Drop ]) option;
   mutable retransmissions : int;
   mutable lost : int;
+  mutable dropped : int;
 }
 
 let create ?(bitrate = 500_000) () =
   if bitrate <= 0 then invalid_arg "Bus.create: bitrate must be positive";
   { bitrate; now = 0.0; busy_until = 0.0; pending = []; listeners = [];
     frames = 0; bits = 0; next_seq = 0; error_model = None;
-    retransmissions = 0; lost = 0 }
+    retransmissions = 0; lost = 0; dropped = 0 }
 
 let set_error_model t f = t.error_model <- Some f
 
 let retransmissions t = t.retransmissions
 
 let frames_lost t = t.lost
+
+let frames_dropped t = t.dropped
 
 let bitrate t = t.bitrate
 
@@ -169,7 +173,11 @@ let run_until t ~time =
                  t.pending <-
                    { winner with requested = finish;
                      attempts = winner.attempts + 1 }
-                   :: t.pending);
+                   :: t.pending
+             | `Drop ->
+               (* The frame occupied the wire but this tap never saw it:
+                  no delivery, no error frame, no retransmission. *)
+               t.dropped <- t.dropped + 1);
             progress := true
           end
       end

@@ -38,14 +38,20 @@ val bits_carried : t -> int
     Real CAN retransmits automatically: a frame corrupted on the wire
     fails its CRC at every receiver, an error frame is signalled, and the
     transmitter sends again.  The observable effects — late deliveries and
-    extra bus load — are what a timing-sensitive monitor cares about. *)
+    extra bus load — are what a timing-sensitive monitor cares about.
+
+    A passive tap can also simply miss a frame — a saturated gateway, a
+    flaky connector on the logging port, an ECU silenced by bus-off — with
+    no error frame and hence no retransmission.  That is [`Drop]. *)
 
 val set_error_model :
-  t -> (time:float -> Frame.t -> [ `Deliver | `Corrupt ]) -> unit
+  t -> (time:float -> Frame.t -> [ `Deliver | `Corrupt | `Drop ]) -> unit
 (** Consulted at each transmission's completion.  [`Corrupt] counts the
     bits but delivers nothing; the frame re-arbitrates immediately.  After
     {!max_attempts} corruptions the frame is dropped (the controller would
-    be heading toward error passive / bus-off). *)
+    be heading toward error passive / bus-off).  [`Drop] counts the bits
+    and silently discards the frame: listeners never see it and the
+    transmitter does not retry — loss as seen from the monitor's tap. *)
 
 val max_attempts : int
 (** 5. *)
@@ -53,6 +59,10 @@ val max_attempts : int
 val retransmissions : t -> int
 
 val frames_lost : t -> int
+(** Frames abandoned after {!max_attempts} corrupted transmissions. *)
+
+val frames_dropped : t -> int
+(** Frames silently discarded by a [`Drop] verdict of the error model. *)
 
 val frame_bit_count : Frame.t -> int
 (** On-the-wire length of a frame: header + payload + CRC + stuff bits +

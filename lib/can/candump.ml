@@ -40,8 +40,8 @@ let bytes_of_hex s =
     if !ok then Ok data else Error "bad hex digit in payload"
   end
 
-let parse_line lineno line =
-  let fail msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+let parse_line line =
+  let fail msg = Error msg in
   match String.split_on_char ' ' (String.trim line) with
   | [ time_field; _interface; frame_field ] -> begin
     let time_ok =
@@ -85,22 +85,38 @@ let parse_line lineno line =
   end
   | _ -> fail "expected '(time) iface id#data'"
 
-let of_string source =
+type diagnostic = { line : int; reason : string }
+
+let pp_diagnostic ppf d = Fmt.pf ppf "line %d: %s" d.line d.reason
+
+let is_comment line =
+  String.length line > 0 && line.[0] = '#'
+
+let of_string ?(mode = `Strict) source =
   let lines = String.split_on_char '\n' source in
-  let rec go lineno acc = function
-    | [] -> Ok (List.rev acc)
-    | "" :: rest -> go (lineno + 1) acc rest
+  let rec go lineno acc diags = function
+    | [] -> Ok (List.rev acc, List.rev diags)
+    | "" :: rest -> go (lineno + 1) acc diags rest
+    | line :: rest when mode = `Lenient && String.trim line = "" ->
+      go (lineno + 1) acc diags rest
+    | line :: rest when mode = `Lenient && is_comment (String.trim line) ->
+      go (lineno + 1) acc ({ line = lineno; reason = "comment" } :: diags) rest
     | line :: rest -> begin
-      match parse_line lineno line with
-      | Ok entry -> go (lineno + 1) (entry :: acc) rest
-      | Error _ as e -> e
+      match parse_line line with
+      | Ok entry -> go (lineno + 1) (entry :: acc) diags rest
+      | Error reason -> begin
+        match mode with
+        | `Strict -> Error (Printf.sprintf "line %d: %s" lineno reason)
+        | `Lenient ->
+          go (lineno + 1) acc ({ line = lineno; reason } :: diags) rest
+      end
     end
   in
-  go 1 [] lines
+  go 1 [] [] lines
 
-let load path =
+let load ?mode path =
   match In_channel.with_open_text path In_channel.input_all with
-  | source -> of_string source
+  | source -> of_string ?mode source
   | exception Sys_error msg -> Error msg
 
 let decode dbc frames =

@@ -16,11 +16,29 @@ val to_string : ?interface:string -> (float * Frame.t) list -> string
 
 val save : ?interface:string -> string -> (float * Frame.t) list -> unit
 
-val of_string : string -> ((float * Frame.t) list, string) result
-(** Parse; reports the first offending line.  The interface name is
-    accepted and discarded. *)
+type diagnostic = { line : int; reason : string }
+(** One skipped input line (lenient mode): its 1-based line number and why
+    it was not a frame. *)
 
-val load : string -> ((float * Frame.t) list, string) result
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+val of_string :
+  ?mode:[ `Strict | `Lenient ] -> string ->
+  ((float * Frame.t) list * diagnostic list, string) result
+(** Parse.  The interface name is accepted and discarded.
+
+    [`Strict] (the default) fails on the first offending line, exactly as
+    real captures written by this library should parse; its diagnostic
+    list is always empty.  [`Lenient] is for logs that passed through
+    human hands: blank, [#]-comment, and malformed lines are skipped and
+    returned as per-line diagnostics — the count of dropped lines is
+    [List.length] of that list — so one mangled line no longer discards a
+    whole capture. *)
+
+val load :
+  ?mode:[ `Strict | `Lenient ] -> string ->
+  ((float * Frame.t) list * diagnostic list, string) result
+(** [of_string] on a file; I/O errors are reported as [Error]. *)
 
 val decode : Dbc.t -> (float * Frame.t) list -> Monitor_trace.Trace.t
 (** Turn a frame capture into a signal trace via a message database —

@@ -36,6 +36,18 @@ let message_of_signal t s = Hashtbl.find_opt t.signal_owner s
 
 let signal_names t = List.concat_map Message.signal_names t.ordered
 
+let signal_periods t =
+  List.concat_map
+    (fun (m : Message.t) ->
+      let period = float_of_int m.Message.period_ms /. 1000.0 in
+      List.map (fun s -> (s, period)) (Message.signal_names m))
+    t.ordered
+
+let signal_period t s =
+  Option.map
+    (fun (m : Message.t) -> float_of_int m.Message.period_ms /. 1000.0)
+    (message_of_signal t s)
+
 let decode_frame t (frame : Frame.t) =
   match find_by_id t frame.Frame.id with
   | Some m -> Message.decode m frame

@@ -19,6 +19,13 @@ val message_of_signal : t -> string -> Message.t option
 
 val signal_names : t -> string list
 
+val signal_periods : t -> (string * float) list
+(** Every signal with its carrying message's broadcast period in seconds —
+    the expected refresh rate a staleness policy is built from. *)
+
+val signal_period : t -> string -> float option
+(** The carrying message's period in seconds, if the signal is known. *)
+
 val decode_frame : t -> Frame.t -> (string * Monitor_signal.Value.t) list
 (** Decode via the id-matched message; unknown ids decode to []. *)
 

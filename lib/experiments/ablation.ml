@@ -4,6 +4,7 @@ module Oracle = Monitor_oracle.Oracle
 module Rules = Monitor_oracle.Rules
 module Mtl = Monitor_mtl
 module Value = Monitor_signal.Value
+module Campaign = Monitor_inject.Campaign
 
 type period_ablation = {
   fast_false : int;
@@ -33,6 +34,7 @@ type t = {
   delta : delta_ablation;
   warmup : warmup_ablation;
   hold : hold_ablation;
+  errored : Campaign.error list;
 }
 
 (* A fault run rich in both sustained and transient violations: a small
@@ -116,8 +118,9 @@ let delta_study ~seed ?pool () =
         let sim_seed = Monitor_util.Prng.next_int64 prng in
         (value, sim_seed))
   in
-  let verdicts =
-    Monitor_util.Pool.map_list ?pool
+  let attempts =
+    Campaign.guarded_map ?pool
+      ~label:(fun (value, _) -> Printf.sprintf "delta/ACCSetSpeed=%.1f" value)
       (fun (value, sim_seed) ->
         let plan =
           [ (2.0, Sim.Set ("ACCSetSpeed", Value.Float value));
@@ -133,13 +136,14 @@ let delta_study ~seed ?pool () =
           naive.Oracle.status = Oracle.Violated ))
       cases
   in
-  List.fold_left
-    (fun acc (f, n) ->
-      { fresh_detections = acc.fresh_detections + Bool.to_int f;
-        naive_detections = acc.naive_detections + Bool.to_int n;
-        disagreements = acc.disagreements + Bool.to_int (f <> n) })
-    { fresh_detections = 0; naive_detections = 0; disagreements = 0 }
-    verdicts
+  ( List.fold_left
+      (fun acc (f, n) ->
+        { fresh_detections = acc.fresh_detections + Bool.to_int f;
+          naive_detections = acc.naive_detections + Bool.to_int n;
+          disagreements = acc.disagreements + Bool.to_int (f <> n) })
+      { fresh_detections = 0; naive_detections = 0; disagreements = 0 }
+      (Campaign.completed attempts),
+    Campaign.errors attempts )
 
 let warmup_study ~seed =
   let scenario = Scenario.overtake () in
@@ -164,24 +168,31 @@ let warmup_study ~seed =
 (* The paper held injections for 20 s; this fault (a positive relative
    velocity) needs most of that to push the vehicle into its target. *)
 let hold_study ~seed ?pool () =
-  Monitor_util.Pool.map_list ?pool
-    (fun hold ->
-      let plan =
-        [ (2.0, Sim.Set ("TargetRelVel", Value.Float 700.0));
-          (2.0 +. hold, Sim.Clear_all) ]
-      in
-      let scenario = Scenario.steady_follow ~duration:(hold +. 14.0) () in
-      let trace = (Sim.run ~plan (Sim.default_config ~seed scenario)).Sim.trace in
-      (hold, violated_rules (Oracle.check Rules.all trace)))
-    [ 1.0; 5.0; 10.0; 20.0 ]
+  let attempts =
+    Campaign.guarded_map ?pool
+      ~label:(fun hold -> Printf.sprintf "hold/%.1fs" hold)
+      (fun hold ->
+        let plan =
+          [ (2.0, Sim.Set ("TargetRelVel", Value.Float 700.0));
+            (2.0 +. hold, Sim.Clear_all) ]
+        in
+        let scenario = Scenario.steady_follow ~duration:(hold +. 14.0) () in
+        let trace = (Sim.run ~plan (Sim.default_config ~seed scenario)).Sim.trace in
+        (hold, violated_rules (Oracle.check Rules.all trace)))
+      [ 1.0; 5.0; 10.0; 20.0 ]
+  in
+  (Campaign.completed attempts, Campaign.errors attempts)
 
 let run ?(seed = 21L) ?pool () =
   let trace = faulted_trace ~seed () in
+  let delta, delta_errors = delta_study ~seed ?pool () in
+  let hold, hold_errors = hold_study ~seed ?pool () in
   { period = period_study trace;
     jitter = jitter_study ~seed;
-    delta = delta_study ~seed ?pool ();
+    delta;
     warmup = warmup_study ~seed:9L;
-    hold = hold_study ~seed ?pool () }
+    hold;
+    errored = delta_errors @ hold_errors }
 
 let rendered t =
   let buf = Buffer.create 1024 in
@@ -209,4 +220,8 @@ let rendered t =
       add "  hold %5.1fs -> rules {%s}\n" hold
         (String.concat "," (List.map string_of_int rules)))
     t.hold;
+  if t.errored <> [] then begin
+    add "errored runs: %d\n" (List.length t.errored);
+    List.iter (fun e -> add "  %s\n" (Fmt.str "%a" Campaign.pp_error e)) t.errored
+  end;
   Buffer.contents buf

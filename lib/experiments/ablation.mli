@@ -48,6 +48,9 @@ type t = {
   delta : delta_ablation;
   warmup : warmup_ablation;
   hold : hold_ablation;
+  errored : Monitor_inject.Campaign.error list;
+      (** sweep runs quarantined after raising twice; excluded from their
+          study instead of aborting the experiment *)
 }
 
 val run : ?seed:int64 -> ?pool:Monitor_util.Pool.t -> unit -> t

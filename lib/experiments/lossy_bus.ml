@@ -1,0 +1,207 @@
+module Campaign = Monitor_inject.Campaign
+module Channel = Monitor_inject.Channel
+module Fault = Monitor_inject.Fault
+module Oracle = Monitor_oracle.Oracle
+module Report = Monitor_oracle.Report
+module Rules = Monitor_oracle.Rules
+module Sim = Monitor_hil.Sim
+module Scenario = Monitor_hil.Scenario
+module Prng = Monitor_util.Prng
+module Can = Monitor_can
+
+type options = {
+  seed : int64;
+  values_per_test : int;
+}
+
+let paper_options = { seed = 2014L; values_per_test = 4 }
+
+let quick_options = { seed = 2014L; values_per_test = 1 }
+
+(* RadarTrack + RadarStatus: the silence condition models the radar ECU
+   going bus-off mid-drive — exactly the §V concern that a bolt-on
+   monitor must not turn a sensor outage into a phantom violation. *)
+let radar_ids = [ 0x130; 0x138 ]
+
+let conditions =
+  [ Channel.Clean;
+    Channel.Bernoulli 0.01;
+    Channel.Bernoulli 0.05;
+    Channel.Bernoulli 0.20;
+    Channel.Burst { hazard = 0.002; duration = 0.2 };
+    Channel.Silence { ids = radar_ids; windows = [ (8.0, 14.0) ] };
+    Channel.Corruption [ (0.0, 0.0); (8.0, 0.3); (16.0, 0.6) ] ]
+
+type condition_result = {
+  channel : Channel.t;
+  letters : string list;
+  availability : float list;
+  frames_dropped : int;
+  retransmissions : int;
+}
+
+type t = {
+  per_condition : condition_result list;
+  runs_per_condition : int;
+  errored : Campaign.error list;
+}
+
+let periods = Can.Dbc.signal_period Monitor_fsracc.Io.dbc
+
+let scenario () =
+  Scenario.steady_follow
+    ~duration:(Campaign.default_start +. Campaign.hold_duration +. 12.0) ()
+
+(* The faulted plans: the nominal (no-injection) run plus the Random rows
+   of the single-target campaign.  Value faults attack the system while
+   the channel faults attack the observation, so the table shows both
+   "does loss hide real violations?" and "does loss invent false ones?". *)
+let plans ~options =
+  let random_rows =
+    List.filter
+      (fun (row : Campaign.row) -> row.Campaign.kind = Fault.Random_value)
+      (Campaign.single_rows ~seed:options.seed
+         ~values_per_test:options.values_per_test ~flips_per_size:1 ())
+  in
+  ("nominal", [])
+  :: List.concat_map
+       (fun (row : Campaign.row) ->
+         List.map
+           (fun (r : Campaign.run) -> (r.Campaign.run_label, r.Campaign.plan))
+           row.Campaign.runs)
+       random_rows
+
+let run_one ~channel_spec ~channel_seed plan =
+  (* The channel closure is rebuilt inside the worker from a seed that is
+     a pure function of (campaign seed, condition index, run index), so
+     pool scheduling can never perturb which frames are lost. *)
+  let channel = Channel.model ~seed:channel_seed channel_spec in
+  let config = Sim.default_config (scenario ()) in
+  let result = Sim.run ~plan ~channel config in
+  let outcomes = Oracle.check_stale_aware ~periods Rules.all result.Sim.trace in
+  (outcomes, result.Sim.frames_dropped, result.Sim.bus_retransmissions)
+
+let aggregate channel per_run =
+  let rule_count = List.length Rules.all in
+  let letters =
+    List.init rule_count (fun i ->
+        if
+          List.exists
+            (fun (outcomes, _, _) ->
+              (List.nth outcomes i).Oracle.status = Oracle.Violated)
+            per_run
+        then "V"
+        else "S")
+  in
+  let availability =
+    List.init rule_count (fun i ->
+        match per_run with
+        | [] -> 0.0
+        | _ ->
+          List.fold_left
+            (fun acc (outcomes, _, _) ->
+              acc +. (List.nth outcomes i).Oracle.availability)
+            0.0 per_run
+          /. float_of_int (List.length per_run))
+  in
+  { channel;
+    letters;
+    availability;
+    frames_dropped =
+      List.fold_left (fun acc (_, d, _) -> acc + d) 0 per_run;
+    retransmissions =
+      List.fold_left (fun acc (_, _, r) -> acc + r) 0 per_run }
+
+let run ?(options = paper_options) ?pool () =
+  let plans = plans ~options in
+  let runs_per_condition = List.length plans in
+  (* One work item per (condition, plan), flattened in condition-major
+     order; [guarded_map] preserves that order, so the aggregation below
+     is identical under any job count. *)
+  let work =
+    List.concat
+      (List.mapi
+         (fun c channel_spec ->
+           let condition_seed = Prng.derive options.seed (1000 + c) in
+           List.mapi
+             (fun j (run_label, plan) ->
+               ( Printf.sprintf "%s/%s" (Channel.label channel_spec) run_label,
+                 channel_spec,
+                 Prng.derive condition_seed j,
+                 plan ))
+             plans)
+         conditions)
+  in
+  let attempts =
+    Campaign.guarded_map ?pool
+      ~label:(fun (label, _, _, _) -> label)
+      (fun (_, channel_spec, channel_seed, plan) ->
+        run_one ~channel_spec ~channel_seed plan)
+      work
+  in
+  let errored = Campaign.errors attempts in
+  let remaining = ref attempts in
+  let per_condition =
+    List.map
+      (fun channel_spec ->
+        let per_run =
+          List.filter_map Fun.id
+            (List.init runs_per_condition (fun _ ->
+                 match !remaining with
+                 | a :: rest ->
+                   remaining := rest;
+                   (match a with
+                   | Campaign.Completed r -> Some r
+                   | Campaign.Errored _ -> None)
+                 | [] -> assert false))
+        in
+        aggregate channel_spec per_run)
+      conditions
+  in
+  { per_condition; runs_per_condition; errored }
+
+let rule_count = List.length Rules.all
+
+let availability_rows t =
+  List.map
+    (fun c ->
+      { Report.condition_label = Channel.label c.channel;
+        cells = List.combine c.letters c.availability })
+    t.per_condition
+
+let rendered t =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  Buffer.add_string buf
+    (Report.render_availability_table
+       ~title:"E7: VERDICT DEGRADATION UNDER CHANNEL FAULTS" ~rule_count
+       (availability_rows t));
+  add "\nruns per condition: %d (nominal + Random-value injections)\n"
+    t.runs_per_condition;
+  add "channel effects (frames withheld from the tap / CRC retransmissions):\n";
+  List.iter
+    (fun c ->
+      add "  %-22s dropped %6d, retransmitted %6d\n" (Channel.label c.channel)
+        c.frames_dropped c.retransmissions)
+    t.per_condition;
+  (match t.errored with
+  | [] -> ()
+  | errored ->
+    add "errored runs: %d\n" (List.length errored);
+    List.iter (fun e -> add "  %s\n" (Fmt.str "%a" Campaign.pp_error e)) errored);
+  Buffer.contents buf
+
+let clean_condition t = List.hd t.per_condition
+
+let verdicts_never_invented t =
+  (* Channel faults may lower availability or hide a violation (V -> S),
+     but must never invent one: any V under a lossy channel must also be
+     a V under the clean channel. *)
+  let clean = clean_condition t in
+  List.for_all
+    (fun c ->
+      List.for_all2
+        (fun lossy_letter clean_letter ->
+          (not (String.equal lossy_letter "V")) || String.equal clean_letter "V")
+        c.letters clean.letters)
+    t.per_condition

@@ -1,0 +1,63 @@
+(** Experiment E7 (extension): graceful degradation under bus faults.
+
+    The paper's monitor is bolt-on: it taps the bus passively and the
+    vehicle drives on regardless of what the tap sees.  E7 asks what the
+    oracle's verdicts are worth when that tap degrades — frames lost at
+    random, in bursts, an ECU silent for a window, corruption ramping up —
+    by sweeping channel-fault conditions over the nominal run plus the
+    Random-value injection campaign and evaluating with the stale-aware
+    oracle ({!Monitor_oracle.Oracle.check_stale_aware}).
+
+    The intended reading of the table: as the channel worsens, the
+    availability numbers fall (the monitor abstains with Unknown where its
+    inputs are stale) while the S/V letters stay truthful — a lossy
+    channel may {e hide} a violation, but must never {e invent} one. *)
+
+type options = {
+  seed : int64;
+  values_per_test : int;  (** Random-value injections per target signal *)
+}
+
+val paper_options : options
+(** seed 2014, 4 injections per target. *)
+
+val quick_options : options
+(** 1 injection per target — the smoke-test scale. *)
+
+val conditions : Monitor_inject.Channel.t list
+(** The swept channel conditions, clean first: Bernoulli loss at
+    1/5/20 %, a burst regime, a radar-ECU silence window, and a
+    corruption-rate ramp. *)
+
+type condition_result = {
+  channel : Monitor_inject.Channel.t;
+  letters : string list;
+      (** per rule: "V" iff any of the condition's runs violated it *)
+  availability : float list;
+      (** per rule: mean fraction of ticks with a definite verdict *)
+  frames_dropped : int;      (** summed over the condition's runs *)
+  retransmissions : int;
+}
+
+type t = {
+  per_condition : condition_result list;  (** in {!conditions} order *)
+  runs_per_condition : int;
+  errored : Monitor_inject.Campaign.error list;
+}
+
+val run : ?options:options -> ?pool:Monitor_util.Pool.t -> unit -> t
+(** Each (condition, run) pair simulates independently and fans out over
+    [?pool]; the channel's PRNG stream is derived from
+    [(seed, condition index, run index)] alone, so the result — including
+    [rendered] — is byte-identical at any job count. *)
+
+val rendered : t -> string
+(** The degradation table plus per-condition channel-effect counters. *)
+
+val clean_condition : t -> condition_result
+(** The [Channel.Clean] row — must reproduce the fault-free campaign's
+    letters with availability limited only by warm-up. *)
+
+val verdicts_never_invented : t -> bool
+(** True iff no lossy condition reports "V" on a rule the clean channel
+    found satisfied — the headline trustworthiness property. *)

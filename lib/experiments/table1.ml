@@ -31,6 +31,7 @@ type t = {
   runs_executed : int;
   nominal_letters : string list;
   latencies : (int * float list) list;
+  errored : Campaign.error list;
 }
 
 (* Scenario length: settle + 20 s hold + tail.  The tail is long enough
@@ -74,7 +75,7 @@ let run_latencies plan outcomes =
     outcomes
   |> List.filter_map Fun.id
 
-let run ?(options = paper_options) ?pool () =
+let run ?(options = paper_options) ?pool ?budget ?(runner = run_one) () =
   let rows =
     Campaign.table1 ~seed:options.seed
       ~values_per_test:options.values_per_test
@@ -82,57 +83,77 @@ let run ?(options = paper_options) ?pool () =
       ~multi_values_per_test:options.multi_values_per_test ()
   in
   (* Fan the independent simulations out over the pool: the nominal
-     baseline plus every campaign run, in campaign order.  [map_list]
-     returns outcomes in submission order, so everything below — letter
+     baseline plus every campaign run, in campaign order.  [guarded_map]
+     returns attempts in submission order, so everything below — letter
      aggregation, latency accumulation, rendering — is identical
-     whether the runs executed sequentially or on N domains. *)
+     whether the runs executed sequentially or on N domains.  A run that
+     raises (or overruns [budget]) is retried once from its same derived
+     seed and then quarantined as an error, never aborting the campaign. *)
   let all_plans =
-    [] :: List.concat_map
-            (fun (row : Campaign.row) ->
-              List.map (fun (r : Campaign.run) -> r.Campaign.plan)
-                row.Campaign.runs)
-            rows
+    ("nominal", [])
+    :: List.concat_map
+         (fun (row : Campaign.row) ->
+           List.map
+             (fun (r : Campaign.run) -> (r.Campaign.run_label, r.Campaign.plan))
+             row.Campaign.runs)
+         rows
   in
-  let all_outcomes = Monitor_util.Pool.map_list ?pool run_one all_plans in
-  let nominal_outcomes, campaign_outcomes =
-    match all_outcomes with
+  let all_attempts =
+    Campaign.guarded_map ?pool ?budget ~label:fst
+      (fun (_, plan) -> runner plan)
+      all_plans
+  in
+  let nominal_attempt, campaign_attempts =
+    match all_attempts with
     | nominal :: rest -> (nominal, rest)
     | [] -> assert false
   in
+  let errored_acc = ref [] in
   let nominal_letters =
-    List.map (fun o -> Oracle.status_letter o.Oracle.status) nominal_outcomes
+    match nominal_attempt with
+    | Campaign.Completed outcomes ->
+      List.map (fun o -> Oracle.status_letter o.Oracle.status) outcomes
+    | Campaign.Errored e ->
+      errored_acc := [ e ];
+      []
   in
   let latency_acc = Array.make (List.length Rules.all) [] in
-  let remaining = ref campaign_outcomes in
+  let remaining = ref campaign_attempts in
   let row_results =
     List.map
       (fun (row : Campaign.row) ->
         let outcomes_per_run =
-          List.map
+          List.filter_map
             (fun (r : Campaign.run) ->
-              let outcomes =
+              let attempt =
                 match !remaining with
-                | o :: rest ->
+                | a :: rest ->
                   remaining := rest;
-                  o
+                  a
                 | [] -> assert false
               in
-              List.iter
-                (fun (rule, latency) ->
-                  latency_acc.(rule) <- latency :: latency_acc.(rule))
-                (run_latencies r.Campaign.plan outcomes);
-              outcomes)
+              match attempt with
+              | Campaign.Errored e ->
+                errored_acc := e :: !errored_acc;
+                None
+              | Campaign.Completed outcomes ->
+                List.iter
+                  (fun (rule, latency) ->
+                    latency_acc.(rule) <- latency :: latency_acc.(rule))
+                  (run_latencies r.Campaign.plan outcomes);
+                Some outcomes)
             row.Campaign.runs
         in
         { row; outcomes_per_run; letters = letters_of_outcomes outcomes_per_run })
       rows
   in
   { rows = row_results;
-    runs_executed = 1 + List.length campaign_outcomes;
+    runs_executed = 1 + List.length campaign_attempts;
     nominal_letters;
     latencies =
       List.filteri (fun _ (_, ls) -> ls <> [])
-        (Array.to_list (Array.mapi (fun i ls -> (i, List.rev ls)) latency_acc)) }
+        (Array.to_list (Array.mapi (fun i ls -> (i, List.rev ls)) latency_acc));
+    errored = List.rev !errored_acc }
 
 let table_rows t =
   List.map
@@ -150,6 +171,14 @@ let rendered t =
   ^ Printf.sprintf "nominal (no injection): %s\n"
       (String.concat " " t.nominal_letters)
   ^ Printf.sprintf "runs executed: %d\n" t.runs_executed
+  ^ (match t.errored with
+    | [] -> ""
+    | errored ->
+      Printf.sprintf "errored runs: %d\n" (List.length errored)
+      ^ String.concat ""
+          (List.map
+             (fun e -> Fmt.str "  %a\n" Campaign.pp_error e)
+             errored))
   ^ Report.summarize rows ~rule_count
   ^ "detection latency (injection start -> first violating tick):\n"
   ^ String.concat ""

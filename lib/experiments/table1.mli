@@ -33,14 +33,26 @@ type t = {
       (** per rule number, the detection latencies: seconds from injection
           start to the rule's first violating tick, one entry per violated
           run.  How quickly the oracle turns a fault into a verdict. *)
+  errored : Monitor_inject.Campaign.error list;
+      (** quarantined runs: raised twice (or overran the budget twice) and
+          were excluded from letters and latencies instead of aborting the
+          campaign *)
 }
 
-val run : ?options:options -> ?pool:Monitor_util.Pool.t -> unit -> t
+val run :
+  ?options:options -> ?pool:Monitor_util.Pool.t -> ?budget:float ->
+  ?runner:(Monitor_hil.Sim.plan -> Monitor_oracle.Oracle.rule_outcome list) ->
+  unit -> t
 (** Runs the campaign.  With [?pool], the independent (injection x
     target) simulations fan out over the pool's domains; results are
     merged in campaign order and every run draws from its own
     index-derived PRNG stream, so the outcome — including [rendered] —
-    is byte-identical to a sequential run. *)
+    is byte-identical to a sequential run.  Every run goes through
+    {!Monitor_inject.Campaign.guarded}: a failure is retried once from
+    the same derived seed, then recorded in [errored].  [budget] is the
+    per-run wall-clock limit in seconds (default: none); [runner]
+    replaces the simulate-and-check step (tests use it to inject
+    failures). *)
 
 val rendered : t -> string
 (** The Table I text plus the summary lines. *)

@@ -4,6 +4,7 @@ module Rules = Monitor_oracle.Rules
 module Report = Monitor_oracle.Report
 module Sim = Monitor_hil.Sim
 module Scenario = Monitor_hil.Scenario
+module Campaign = Monitor_inject.Campaign
 
 type scenario_result = {
   scenario : Scenario.t;
@@ -16,6 +17,7 @@ type scenario_result = {
 type t = {
   per_scenario : scenario_result list;
   total_log_duration : float;
+  errored : Campaign.error list;
 }
 
 let relaxed_rules () =
@@ -24,10 +26,12 @@ let relaxed_rules () =
 let run ?(seed = 77L) ?pool () =
   let scenarios = Scenario.road_scenarios () in
   (* Each scenario's seed depends only on its index, so the per-scenario
-     analyses are independent and fan out over the pool; [map_list]
-     keeps them in scenario order. *)
-  let per_scenario =
-    Monitor_util.Pool.map_list ?pool
+     analyses are independent and fan out over the pool; [guarded_map]
+     keeps them in scenario order, and a scenario that raises is retried
+     once and then quarantined instead of aborting the whole analysis. *)
+  let attempts =
+    Campaign.guarded_map ?pool
+      ~label:(fun (_, (s : Scenario.t)) -> s.Scenario.name)
       (fun (i, scenario) ->
         let config =
           Sim.default_config ~environment:Sim.Road
@@ -43,11 +47,13 @@ let run ?(seed = 77L) ?pool () =
         { scenario; strict; classification; relaxed })
       (List.mapi (fun i scenario -> (i, scenario)) scenarios)
   in
+  let per_scenario = Campaign.completed attempts in
   { per_scenario;
     total_log_duration =
       List.fold_left
         (fun acc r -> acc +. r.scenario.Scenario.duration)
-        0.0 per_scenario }
+        0.0 per_scenario;
+    errored = Campaign.errors attempts }
 
 let class_letter = function
   | `Clean -> "-"
@@ -90,6 +96,10 @@ let rendered t =
             add "  [%s] %s\n" r.scenario.Scenario.name (Report.render_outcome o))
         r.strict)
     t.per_scenario;
+  if t.errored <> [] then begin
+    add "\nerrored scenarios: %d\n" (List.length t.errored);
+    List.iter (fun e -> add "  %s\n" (Fmt.str "%a" Campaign.pp_error e)) t.errored
+  end;
   Buffer.contents buf
 
 let rules_with_any_violation t =

@@ -20,12 +20,16 @@ type scenario_result = {
 type t = {
   per_scenario : scenario_result list;
   total_log_duration : float;
+  errored : Monitor_inject.Campaign.error list;
+      (** scenarios quarantined after raising twice; excluded from
+          [per_scenario] instead of aborting the analysis *)
 }
 
 val run : ?seed:int64 -> ?pool:Monitor_util.Pool.t -> unit -> t
 (** With [?pool], the per-scenario log analyses run in parallel (each
     scenario's seed is derived from its index alone, so the result is
-    identical to the sequential one). *)
+    identical to the sequential one).  Scenario failures are
+    fault-isolated via {!Monitor_inject.Campaign.guarded_map}. *)
 
 val rendered : t -> string
 

@@ -34,9 +34,12 @@ type result = {
   rejected_injections : (float * string * string) list;
   bus_retransmissions : int;
   frames_lost : int;
+  frames_dropped : int;
   collisions : (float * float) list;
   final_ego_speed : float;
 }
+
+type channel = time:float -> Can.Frame.t -> [ `Deliver | `Corrupt | `Drop ]
 
 (* Driver state driven by scenario events. *)
 type driver = {
@@ -72,7 +75,7 @@ let check_plan plan =
       | Clear_all -> ())
     plan
 
-let run ?(plan = []) config =
+let run ?(plan = []) ?channel config =
   if config.timestep <= 0.0 then invalid_arg "Sim.run: timestep must be positive";
   check_plan plan;
   let sc = config.scenario in
@@ -113,13 +116,35 @@ let run ?(plan = []) config =
   let controller = Fsracc.Controller.create () in
   (* Network. *)
   let bus = Can.Bus.create () in
-  if config.bus_error_rate > 0.0 then begin
-    let noise = Monitor_util.Prng.create (Monitor_util.Prng.next_int64 prng) in
-    Can.Bus.set_error_model bus (fun ~time:_ _frame ->
-        if Monitor_util.Prng.float noise 1.0 < config.bus_error_rate then
-          `Corrupt
-        else `Deliver)
-  end;
+  (* The noise seed is drawn exactly when it always was (only for
+     bus_error_rate > 0), so adding a channel perturbs no existing draw. *)
+  let noise_model =
+    if config.bus_error_rate > 0.0 then begin
+      let noise = Monitor_util.Prng.create (Monitor_util.Prng.next_int64 prng) in
+      Some
+        (fun ~time:_ _frame ->
+          if Monitor_util.Prng.float noise 1.0 < config.bus_error_rate then
+            `Corrupt
+          else `Deliver)
+    end
+    else None
+  in
+  (match channel, noise_model with
+   | None, None -> ()
+   | _ ->
+     Can.Bus.set_error_model bus (fun ~time frame ->
+         let first =
+           match channel with
+           | Some c -> c ~time frame
+           | None -> `Deliver
+         in
+         match first with
+         | `Deliver -> begin
+           match noise_model with
+           | Some m -> m ~time frame
+           | None -> `Deliver
+         end
+         | (`Corrupt | `Drop) as v -> v));
   let logger = Can.Logger.attach bus in
   let scheduler = Can.Scheduler.create ~seed:jitter_seed bus in
   let store : (string, Value.t) Hashtbl.t = Hashtbl.create 32 in
@@ -283,5 +308,6 @@ let run ?(plan = []) config =
     rejected_injections = List.rev !rejected;
     bus_retransmissions = Can.Bus.retransmissions bus;
     frames_lost = Can.Bus.frames_lost bus;
+    frames_dropped = Can.Bus.frames_dropped bus;
     collisions = List.rev !collisions;
     final_ego_speed = (Vehicle.World.last world).Vehicle.World.velocity }

@@ -54,13 +54,27 @@ type result = {
       (** (time, signal, reason) for commands the HIL type check refused *)
   bus_retransmissions : int;
   frames_lost : int;
+  frames_dropped : int;
+      (** frames the channel model silently withheld from the tap *)
   collisions : (float * float) list;
       (** times when the true bumper gap reached zero, with the overlap —
           the simulator "doesn't check collisions", it only reports them *)
   final_ego_speed : float;
 }
 
-val run : ?plan:plan -> config -> result
-(** Execute the scenario to completion.
+type channel = time:float -> Monitor_can.Frame.t -> [ `Deliver | `Corrupt | `Drop ]
+(** A per-frame channel-quality model (see {!Monitor_can.Bus.set_error_model}
+    for the outcome semantics).  The controller reads its inputs directly;
+    the bus is purely the monitor's observation path, so a hostile channel
+    degrades what the monitor sees without changing what the system does —
+    the bolt-on monitor's exact failure mode. *)
+
+val run : ?plan:plan -> ?channel:channel -> config -> result
+(** Execute the scenario to completion.  [channel], when given, is
+    consulted first for every completed transmission; frames it delivers
+    still pass through the [bus_error_rate] corruption model.  Passing
+    [channel] never changes the random draws of the baseline simulation —
+    a run with a channel that always delivers is bit-identical to a run
+    without one.
     @raise Invalid_argument on an unknown signal name in the plan, an
     out-of-order plan, or a non-positive timestep. *)

@@ -143,3 +143,62 @@ let table1 ~seed ?(values_per_test = 8) ?(flips_per_size = 4)
     ?(multi_values_per_test = 20) () =
   single_rows ~seed ~values_per_test ~flips_per_size ()
   @ multi_rows ~seed ~values_per_test:multi_values_per_test ()
+
+(* Fault-isolated execution ---------------------------------------------- *)
+
+type error = {
+  label : string;
+  exn_text : string;
+  backtrace : string;
+  attempts : int;
+}
+
+type 'a attempt = Completed of 'a | Errored of error
+
+let pp_error ppf e =
+  Fmt.pf ppf "%s: %s (after %d attempt%s)" e.label e.exn_text e.attempts
+    (if e.attempts = 1 then "" else "s")
+
+let completed xs =
+  List.filter_map (function Completed x -> Some x | Errored _ -> None) xs
+
+let errors xs =
+  List.filter_map (function Completed _ -> None | Errored e -> Some e) xs
+
+let run_once ?budget f x =
+  let t0 = Unix.gettimeofday () in
+  let y = f x in
+  match budget with
+  | Some limit ->
+    let elapsed = Unix.gettimeofday () -. t0 in
+    if elapsed > limit then
+      Error
+        (Printf.sprintf "wall-clock budget exceeded (%.1f s > %.1f s)" elapsed
+           limit)
+    else Ok y
+  | None -> Ok y
+
+let guarded ?budget ~label f x =
+  let attempt () =
+    match run_once ?budget f x with
+    | Ok y -> Ok y
+    | Error msg -> Error (msg, "")
+    | exception exn ->
+      Error (Printexc.to_string exn, Printexc.get_backtrace ())
+  in
+  (* Retry once from the same derived seed: a transient failure (memory
+     pressure, a budget overrun from scheduler noise) gets a second
+     chance; a deterministic one reproduces and is quarantined. *)
+  match attempt () with
+  | Ok y -> Completed y
+  | Error _ -> begin
+    match attempt () with
+    | Ok y -> Completed y
+    | Error (exn_text, backtrace) ->
+      Errored { label; exn_text; backtrace; attempts = 2 }
+  end
+
+let guarded_map ?pool ?budget ~label f xs =
+  Monitor_util.Pool.map_list ?pool
+    (fun x -> guarded ?budget ~label:(label x) f x)
+    xs

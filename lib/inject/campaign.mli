@@ -61,3 +61,48 @@ val table1 : seed:int64 -> ?values_per_test:int -> ?flips_per_size:int ->
   ?multi_values_per_test:int -> unit -> row list
 (** All 32 rows.  Reducing the per-test counts gives a faster,
     lower-coverage campaign (used by the benchmark harness). *)
+
+(** {2 Fault-isolated execution}
+
+    A 385-run campaign must survive one bad run.  [guarded_map] is the
+    campaign-side answer to {!Monitor_util.Pool.await}'s re-raise
+    semantics: each run is retried once from its same derived seed (its
+    PRNG stream is a pure function of its indices, so the retry replays
+    the identical faults), and a run that still raises — or overruns its
+    wall-clock budget — is quarantined as an {!Errored} row instead of
+    aborting the merge. *)
+
+type error = {
+  label : string;       (** which run failed, e.g. ["Random/Velocity#3"] *)
+  exn_text : string;    (** [Printexc.to_string] of the final exception, or
+                            the budget-overrun description *)
+  backtrace : string;   (** backtrace of the final attempt; [""] unless
+                            backtrace recording is on *)
+  attempts : int;       (** how many times the run was tried (2) *)
+}
+
+type 'a attempt = Completed of 'a | Errored of error
+
+val pp_error : Format.formatter -> error -> unit
+
+val completed : 'a attempt list -> 'a list
+(** The successful results, in input order. *)
+
+val errors : 'a attempt list -> error list
+(** The quarantined failures, in input order. *)
+
+val guarded :
+  ?budget:float -> label:string -> ('a -> 'b) -> 'a -> 'b attempt
+(** One fault-isolated application: retry once, then quarantine.
+    [budget] is wall-clock seconds for a single attempt; an attempt that
+    finishes but took longer counts as a failure (its result is
+    discarded — a run that blows its budget is suspect, not slow-but-ok). *)
+
+val guarded_map :
+  ?pool:Monitor_util.Pool.t -> ?budget:float -> label:('a -> string) ->
+  ('a -> 'b) -> 'a list -> 'b attempt list
+(** [guarded_map ?pool ~label f xs] is {!Monitor_util.Pool.map_list} with
+    every application wrapped in {!guarded}; output order matches input
+    order, so parallel and sequential campaigns still render identically.
+    Failures are caught inside the worker task — the pool's exception
+    re-raise path is never taken. *)

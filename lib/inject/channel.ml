@@ -1,0 +1,122 @@
+module Prng = Monitor_util.Prng
+module Frame = Monitor_can.Frame
+
+type t =
+  | Clean
+  | Bernoulli of float
+  | Burst of { hazard : float; duration : float }
+  | Silence of { ids : int list; windows : (float * float) list }
+  | Corruption of (float * float) list
+  | All of t list
+
+let check_prob what p =
+  if not (0.0 <= p && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Channel: %s must be in [0, 1]" what)
+
+let rec validate = function
+  | Clean -> ()
+  | Bernoulli p -> check_prob "Bernoulli probability" p
+  | Burst { hazard; duration } ->
+    check_prob "Burst hazard" hazard;
+    if duration < 0.0 then invalid_arg "Channel: Burst duration must be >= 0"
+  | Silence { windows; _ } ->
+    List.iter
+      (fun (a, b) ->
+        if a > b then invalid_arg "Channel: Silence window start > stop")
+      windows
+  | Corruption schedule ->
+    List.iter (fun (_, rate) -> check_prob "Corruption rate" rate) schedule
+  | All ts -> List.iter validate ts
+
+let pct p = Monitor_util.Pretty.float_exact (p *. 100.0)
+
+let rec label = function
+  | Clean -> "clean"
+  | Bernoulli p -> Printf.sprintf "loss%s%%" (pct p)
+  | Burst { hazard; duration } ->
+    Printf.sprintf "burst%s%%x%ss" (pct hazard)
+      (Monitor_util.Pretty.float_exact duration)
+  | Silence { ids; windows } ->
+    Printf.sprintf "silence%dx%d"
+      (match ids with [] -> 0 | l -> List.length l)
+      (List.length windows)
+  | Corruption schedule -> Printf.sprintf "corrupt%d" (List.length schedule)
+  | All ts -> String.concat "+" (List.map label ts)
+
+let rec pp ppf = function
+  | Clean -> Fmt.string ppf "clean"
+  | Bernoulli p -> Fmt.pf ppf "bernoulli-loss(%s%%)" (pct p)
+  | Burst { hazard; duration } ->
+    Fmt.pf ppf "burst(hazard %s%%, %ss)" (pct hazard)
+      (Monitor_util.Pretty.float_exact duration)
+  | Silence { ids; windows } ->
+    Fmt.pf ppf "silence(%a; %a)"
+      Fmt.(list ~sep:comma (fmt "0x%03X"))
+      ids
+      Fmt.(list ~sep:comma (pair ~sep:(any "-") float float))
+      windows
+  | Corruption schedule ->
+    Fmt.pf ppf "corruption(%a)"
+      Fmt.(list ~sep:comma (pair ~sep:(any "@") float float))
+      schedule
+  | All ts -> Fmt.pf ppf "all(%a)" Fmt.(list ~sep:comma pp) ts
+
+(* Rate in force at [time]: the last schedule entry at or before it. *)
+let rate_at schedule time =
+  List.fold_left
+    (fun acc (from, rate) -> if from <= time then rate else acc)
+    0.0 schedule
+
+let rec compile ~seed ~index t =
+  let fresh_prng () = Prng.create (Prng.derive seed index) in
+  match t with
+  | Clean -> fun ~time:_ _frame -> `Deliver
+  | Bernoulli p ->
+    let prng = fresh_prng () in
+    fun ~time:_ _frame ->
+      if Prng.float prng 1.0 < p then `Drop else `Deliver
+  | Burst { hazard; duration } ->
+    let prng = fresh_prng () in
+    let burst_until = ref Float.neg_infinity in
+    fun ~time _frame ->
+      if time <= !burst_until then `Drop
+      else if Prng.float prng 1.0 < hazard then begin
+        burst_until := time +. duration;
+        `Drop
+      end
+      else `Deliver
+  | Silence { ids; windows } ->
+    fun ~time (frame : Frame.t) ->
+      let id_matches =
+        match ids with [] -> true | l -> List.mem frame.Frame.id l
+      in
+      if
+        id_matches
+        && List.exists (fun (a, b) -> a <= time && time <= b) windows
+      then `Drop
+      else `Deliver
+  | Corruption schedule ->
+    let prng = fresh_prng () in
+    fun ~time _frame ->
+      let rate = rate_at schedule time in
+      if rate > 0.0 && Prng.float prng 1.0 < rate then `Corrupt else `Deliver
+  | All ts ->
+    (* Each member gets its own derived seed chain, so nesting depth and
+       composition order can never alias two members onto one stream. *)
+    let members =
+      List.mapi
+        (fun i sub ->
+          compile ~seed:(Prng.derive seed (index + 1 + i)) ~index:0 sub)
+        ts
+    in
+    fun ~time frame ->
+      List.fold_left
+        (fun acc m ->
+          match acc with
+          | `Deliver -> m ~time frame
+          | (`Corrupt | `Drop) as v -> v)
+        `Deliver members
+
+let model ?(seed = 0L) t =
+  validate t;
+  compile ~seed ~index:0 t

@@ -1,0 +1,47 @@
+(** Channel-fault models: what a degraded bus does to the monitor's tap.
+
+    The value-fault models in {!Fault} attack the {e system} (the feature
+    reads the corrupted signal).  Channel faults instead attack the
+    {e observation}: the controller keeps reading its true inputs, but the
+    passive logger loses, misses or re-receives frames — saturated
+    gateways, flaky logging connectors, ECUs gone bus-off, electrical
+    noise bursts.  A monitor that stays trustworthy here is one that can
+    be believed on a real vehicle (§V of the paper).
+
+    Each model compiles to a per-frame verdict for
+    {!Monitor_can.Bus.set_error_model} via {!model}; randomness comes from
+    a [Prng.derive]d stream of the given seed, so a condition's behaviour
+    is a pure function of [(seed, t)]. *)
+
+type t =
+  | Clean  (** deliver everything (the identity channel) *)
+  | Bernoulli of float
+      (** each frame independently dropped with this probability *)
+  | Burst of { hazard : float; duration : float }
+      (** per-frame probability of {e entering} a loss burst; while a
+          burst is active every frame is dropped for [duration] seconds *)
+  | Silence of { ids : int list; windows : (float * float) list }
+      (** ECU silence / bus-off: frames whose id is listed are dropped
+          deterministically inside each [(start, stop)] window; an empty
+          id list silences every transmitter (total tap outage) *)
+  | Corruption of (float * float) list
+      (** piecewise-constant corruption-rate schedule
+          [(from_time, rate); ...]: a frame completing at [t] is corrupted
+          (CRC failure; the transmitter retries) with the rate of the last
+          entry whose [from_time <= t]; rate 0 before the first entry *)
+  | All of t list
+      (** first non-[`Deliver] verdict wins, in list order *)
+
+val pp : Format.formatter -> t -> unit
+
+val label : t -> string
+(** Short deterministic description, e.g. ["loss5%"], for table rows. *)
+
+val model :
+  ?seed:int64 -> t ->
+  (time:float -> Monitor_can.Frame.t -> [ `Deliver | `Corrupt | `Drop ])
+(** Compile to a bus error model.  Each call returns a {e fresh} stateful
+    closure (burst state, private PRNG stream) — build one per simulation
+    run.  The PRNG stream is derived from [seed] (default 0) and the
+    model's position in an [All] composition, so two runs with equal
+    seeds see identical channel behaviour. *)

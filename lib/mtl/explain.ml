@@ -39,7 +39,7 @@ let rec explain spec snapshots ~tick (f : Formula.t) =
              (pp_result (expr_value_at snapshots ~tick b))),
         [] )
     | Formula.Const _ | Formula.Bool_signal _ | Formula.Fresh _
-    | Formula.Known _ -> (None, [])
+    | Formula.Known _ | Formula.Stale _ -> (None, [])
     | Formula.In_mode (m, _) ->
       (* Report the machine's actual state at the tick. *)
       let outcome =

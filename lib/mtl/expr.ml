@@ -148,9 +148,10 @@ let rec step dt snapshot node =
   match node with
   | N_const x -> Defined x
   | N_signal s -> begin
-    match Monitor_trace.Snapshot.value snapshot s with
-    | Some v -> Defined (Monitor_signal.Value.as_float v)
-    | None -> Undefined
+    match Monitor_trace.Snapshot.find snapshot s with
+    | Some e when not e.Monitor_trace.Snapshot.stale ->
+      Defined (Monitor_signal.Value.as_float e.Monitor_trace.Snapshot.value)
+    | Some _ (* stale: treat the held value as missing *) | None -> Undefined
   end
   | N_prev (child, hist) ->
     let current = step dt snapshot child in

@@ -8,6 +8,7 @@ type t =
   | Bool_signal of string
   | Fresh of string
   | Known of string
+  | Stale of string
   | In_mode of string * string
   | Not of t
   | And of t * t
@@ -38,7 +39,7 @@ let signals f =
     | Cmp (a, _, b) ->
       List.iter note (Expr.signals a);
       List.iter note (Expr.signals b)
-    | Bool_signal s | Fresh s | Known s -> note s
+    | Bool_signal s | Fresh s | Known s | Stale s -> note s
     | Not f -> go f
     | And (a, b) | Or (a, b) | Implies (a, b) ->
       go a;
@@ -56,7 +57,7 @@ let machines_used f =
   let seen = Hashtbl.create 4 in
   let out = ref [] in
   let rec go = function
-    | Const _ | Cmp _ | Bool_signal _ | Fresh _ | Known _ -> ()
+    | Const _ | Cmp _ | Bool_signal _ | Fresh _ | Known _ | Stale _ -> ()
     | In_mode (m, _) ->
       if not (Hashtbl.mem seen m) then begin
         Hashtbl.add seen m ();
@@ -76,7 +77,8 @@ let machines_used f =
   List.rev !out
 
 let rec horizon = function
-  | Const _ | Cmp _ | Bool_signal _ | Fresh _ | Known _ | In_mode _ -> 0.0
+  | Const _ | Cmp _ | Bool_signal _ | Fresh _ | Known _ | Stale _ | In_mode _ ->
+    0.0
   | Not f -> horizon f
   | And (a, b) | Or (a, b) | Implies (a, b) -> Float.max (horizon a) (horizon b)
   | Always (i, f) | Eventually (i, f) -> i.hi +. horizon f
@@ -84,7 +86,8 @@ let rec horizon = function
   | Warmup { trigger; body; _ } -> Float.max (horizon trigger) (horizon body)
 
 let rec history_depth = function
-  | Const _ | Cmp _ | Bool_signal _ | Fresh _ | Known _ | In_mode _ -> 0.0
+  | Const _ | Cmp _ | Bool_signal _ | Fresh _ | Known _ | Stale _ | In_mode _ ->
+    0.0
   | Not f -> history_depth f
   | And (a, b) | Or (a, b) | Implies (a, b) ->
     Float.max (history_depth a) (history_depth b)
@@ -94,7 +97,8 @@ let rec history_depth = function
     Float.max (hold +. history_depth trigger) (history_depth body)
 
 let rec size = function
-  | Const _ | Cmp _ | Bool_signal _ | Fresh _ | Known _ | In_mode _ -> 1
+  | Const _ | Cmp _ | Bool_signal _ | Fresh _ | Known _ | Stale _ | In_mode _ ->
+    1
   | Not f -> 1 + size f
   | And (a, b) | Or (a, b) | Implies (a, b) -> 1 + size a + size b
   | Always (_, f) | Eventually (_, f) | Historically (_, f) | Once (_, f) ->
@@ -108,8 +112,10 @@ let rec equal f g =
   | Const a, Const b -> Bool.equal a b
   | Cmp (a1, op1, b1), Cmp (a2, op2, b2) ->
     Expr.equal a1 a2 && op1 = op2 && Expr.equal b1 b2
-  | Bool_signal a, Bool_signal b | Fresh a, Fresh b | Known a, Known b ->
-    String.equal a b
+  | Bool_signal a, Bool_signal b
+  | Fresh a, Fresh b
+  | Known a, Known b
+  | Stale a, Stale b -> String.equal a b
   | In_mode (m1, s1), In_mode (m2, s2) -> String.equal m1 m2 && String.equal s1 s2
   | Not a, Not b -> equal a b
   | And (a1, b1), And (a2, b2)
@@ -121,9 +127,9 @@ let rec equal f g =
   | Once (i1, a), Once (i2, b) -> interval_equal i1 i2 && equal a b
   | Warmup w1, Warmup w2 ->
     equal w1.trigger w2.trigger && w1.hold = w2.hold && equal w1.body w2.body
-  | ( ( Const _ | Cmp _ | Bool_signal _ | Fresh _ | Known _ | In_mode _ | Not _
-      | And _ | Or _ | Implies _ | Always _ | Eventually _ | Historically _
-      | Once _ | Warmup _ ), _ ) ->
+  | ( ( Const _ | Cmp _ | Bool_signal _ | Fresh _ | Known _ | Stale _
+      | In_mode _ | Not _ | And _ | Or _ | Implies _ | Always _ | Eventually _
+      | Historically _ | Once _ | Warmup _ ), _ ) ->
     false
 
 let cmp_string = function
@@ -148,6 +154,7 @@ let rec pp_prec prec ppf f =
   | Bool_signal s -> Fmt.string ppf s
   | Fresh s -> Fmt.pf ppf "fresh(%s)" s
   | Known s -> Fmt.pf ppf "known(%s)" s
+  | Stale s -> Fmt.pf ppf "stale(%s)" s
   | In_mode (m, s) -> Fmt.pf ppf "mode(%s, %s)" m s
   | Not f -> paren 4 (fun ppf -> Fmt.pf ppf "not %a" (pp_prec 4) f)
   | And (a, b) ->

@@ -22,6 +22,10 @@ type t =
   | Bool_signal of string  (** truthiness of the signal's current value *)
   | Fresh of string        (** a new sample of the signal arrived this tick *)
   | Known of string        (** the signal has been observed at least once *)
+  | Stale of string
+      (** the held sample has outlived the staleness policy's window (see
+          {!Monitor_trace.Multirate.snapshots}); false for signals never
+          observed — those are unknown rather than stale *)
   | In_mode of string * string  (** [In_mode (machine, state)] *)
   | Not of t
   | And of t * t

@@ -4,6 +4,7 @@ type node =
   | I_bool_signal of string
   | I_fresh of string
   | I_known of string
+  | I_stale of string
   | I_in_mode of string * string
   | I_not of node
   | I_and of node * node
@@ -20,6 +21,7 @@ let rec build (f : Formula.t) =
   | Formula.Bool_signal s -> Ok (I_bool_signal s)
   | Formula.Fresh s -> Ok (I_fresh s)
   | Formula.Known s -> Ok (I_known s)
+  | Formula.Stale s -> Ok (I_stale s)
   | Formula.In_mode (m, s) -> Ok (I_in_mode (m, s))
   | Formula.Not f -> Result.map (fun n -> I_not n) (build f)
   | Formula.And (a, b) -> build2 (fun x y -> I_and (x, y)) a b
@@ -66,9 +68,12 @@ let rec eval_node node ~mode_lookup snapshot =
     | (Expr.Defined _ | Expr.Undefined), _ -> Verdict.Unknown
   end
   | I_bool_signal s -> begin
-    match Monitor_trace.Snapshot.value snapshot s with
-    | Some v -> Verdict.of_bool (Monitor_signal.Value.as_bool v)
-    | None -> Verdict.Unknown
+    match Monitor_trace.Snapshot.find snapshot s with
+    | Some e when not e.Monitor_trace.Snapshot.stale ->
+      Verdict.of_bool
+        (Monitor_signal.Value.as_bool e.Monitor_trace.Snapshot.value)
+    | Some _ (* stale: the held value is no longer evidence *) | None ->
+      Verdict.Unknown
   end
   | I_fresh s ->
     Verdict.of_bool (Monitor_trace.Snapshot.is_fresh snapshot s)
@@ -77,6 +82,8 @@ let rec eval_node node ~mode_lookup snapshot =
     | Some _ -> Verdict.True
     | None -> Verdict.False
   end
+  | I_stale s ->
+    Verdict.of_bool (Monitor_trace.Snapshot.is_stale snapshot s)
   | I_in_mode (m, s) -> begin
     match mode_lookup m with
     | Some current -> Verdict.of_bool (String.equal current s)
@@ -94,7 +101,8 @@ let rec eval_node node ~mode_lookup snapshot =
 let eval t ~mode_lookup snapshot = eval_node t.root ~mode_lookup snapshot
 
 let rec reset_node = function
-  | I_const _ | I_bool_signal _ | I_fresh _ | I_known _ | I_in_mode _ -> ()
+  | I_const _ | I_bool_signal _ | I_fresh _ | I_known _ | I_stale _
+  | I_in_mode _ -> ()
   | I_cmp (a, _, b) ->
     Expr.reset a;
     Expr.reset b

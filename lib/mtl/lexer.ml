@@ -32,6 +32,7 @@ type token =
   | KW_WARMUP
   | KW_FRESH
   | KW_KNOWN
+  | KW_STALE
   | KW_MODE
   | KW_PREV
   | KW_DELTA
@@ -50,7 +51,8 @@ let keywords =
     ("not", NOT); ("always", KW_ALWAYS); ("eventually", KW_EVENTUALLY);
     ("once", KW_ONCE); ("historically", KW_HISTORICALLY);
     ("warmup", KW_WARMUP); ("fresh", KW_FRESH); ("known", KW_KNOWN);
-    ("mode", KW_MODE); ("prev", KW_PREV); ("delta", KW_DELTA);
+    ("stale", KW_STALE); ("mode", KW_MODE); ("prev", KW_PREV);
+    ("delta", KW_DELTA);
     ("rate", KW_RATE); ("fresh_delta", KW_FRESH_DELTA); ("age", KW_AGE);
     ("abs", KW_ABS); ("min", KW_MIN); ("max", KW_MAX) ]
 
@@ -191,6 +193,7 @@ let describe = function
   | KW_WARMUP -> "'warmup'"
   | KW_FRESH -> "'fresh'"
   | KW_KNOWN -> "'known'"
+  | KW_STALE -> "'stale'"
   | KW_MODE -> "'mode'"
   | KW_PREV -> "'prev'"
   | KW_DELTA -> "'delta'"

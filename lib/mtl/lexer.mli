@@ -34,6 +34,7 @@ type token =
   | KW_WARMUP
   | KW_FRESH
   | KW_KNOWN
+  | KW_STALE
   | KW_MODE
   | KW_PREV
   | KW_DELTA

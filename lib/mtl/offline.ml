@@ -94,7 +94,8 @@ let eval (spec : Spec.t) snapshots =
   let rec eval_f (f : Formula.t) =
     match f with
     | Formula.Const _ | Formula.Cmp _ | Formula.Bool_signal _ | Formula.Fresh _
-    | Formula.Known _ | Formula.In_mode _ -> eval_leaf f snaps mode_lookup_at
+    | Formula.Known _ | Formula.Stale _ | Formula.In_mode _ ->
+      eval_leaf f snaps mode_lookup_at
     | Formula.Not g -> Array.map Verdict.not_ (eval_f g)
     | Formula.And (a, b) -> Array.map2 Verdict.and_ (eval_f a) (eval_f b)
     | Formula.Or (a, b) -> Array.map2 Verdict.or_ (eval_f a) (eval_f b)

@@ -75,7 +75,7 @@ let temporal ~lo_off ~hi_off ~decide child =
 let rec build (f : Formula.t) =
   match f with
   | Formula.Const _ | Formula.Cmp _ | Formula.Bool_signal _ | Formula.Fresh _
-  | Formula.Known _ | Formula.In_mode _ ->
+  | Formula.Known _ | Formula.Stale _ | Formula.In_mode _ ->
     { kind = Leaf (Immediate.compile_exn f); out = Queue.create () }
   | Formula.Not g -> { kind = Not1 (build g); out = Queue.create () }
   | Formula.And (a, b) ->

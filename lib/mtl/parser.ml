@@ -233,6 +233,12 @@ and parse_primary st =
     let s = ident st in
     expect st Lexer.RPAREN "')'";
     Formula.Known s
+  | Lexer.KW_STALE ->
+    advance st;
+    expect st Lexer.LPAREN "'(' after stale";
+    let s = ident st in
+    expect st Lexer.RPAREN "')'";
+    Formula.Stale s
   | Lexer.KW_MODE ->
     advance st;
     expect st Lexer.LPAREN "'(' after mode";

@@ -70,7 +70,7 @@ let rec simplify (f : Formula.t) =
 
 and map g = function
   | (Formula.Const _ | Formula.Bool_signal _ | Formula.Fresh _
-    | Formula.Known _ | Formula.In_mode _) as f -> f
+    | Formula.Known _ | Formula.Stale _ | Formula.In_mode _) as f -> f
   | Formula.Cmp (a, op, b) ->
     Formula.Cmp (simplify_expr a, op, simplify_expr b)
   | Formula.Not f -> Formula.Not (g f)

@@ -21,7 +21,7 @@ let mode_refs f =
     match f with
     | Formula.In_mode (m, s) -> out := (m, s) :: !out
     | Formula.Const _ | Formula.Cmp _ | Formula.Bool_signal _ | Formula.Fresh _
-    | Formula.Known _ -> ()
+    | Formula.Known _ | Formula.Stale _ -> ()
     | Formula.Not f -> go f
     | Formula.And (a, b) | Formula.Or (a, b) | Formula.Implies (a, b) ->
       go a;
@@ -63,6 +63,27 @@ let make ?(description = "") ?(machines = []) ?severity ~name formula =
         (machine_guard_formulas m))
     machines;
   { name; description; machines; formula; severity }
+
+(* Degraded-mode wrapper: any listed input going stale trips the same
+   warm-up machinery as a discontinuity, so the whole rule reads Unknown
+   while the input is stale and for [hold] seconds after it recovers. *)
+let stale_guarded ?(hold = 0.5) ?signals t =
+  let formula_signals = Formula.signals t.formula in
+  let guarded =
+    match signals with
+    | None -> formula_signals
+    | Some wanted ->
+      List.filter (fun s -> List.mem s wanted) formula_signals
+  in
+  match guarded with
+  | [] -> t
+  | first :: rest ->
+    let trigger =
+      List.fold_left
+        (fun acc s -> Formula.Or (acc, Formula.Stale s))
+        (Formula.Stale first) rest
+    in
+    { t with formula = Formula.Warmup { trigger; hold; body = t.formula } }
 
 let signals t =
   let seen = Hashtbl.create 8 in

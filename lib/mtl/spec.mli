@@ -24,6 +24,16 @@ val make :
     {e after} its transition at the current tick; machine guards see other
     machines' states {e before} any machine stepped at the current tick. *)
 
+val stale_guarded : ?hold:float -> ?signals:string list -> t -> t
+(** [stale_guarded spec] wraps the formula as
+    [warmup(stale(s1) or ... or stale(sn), hold, formula)] over the
+    formula's signals (restricted to [signals] when given; signals the
+    formula does not mention are ignored).  While any guarded input is
+    stale — and for [hold] seconds (default 0.5) after it recovers — the
+    monitor reports Unknown instead of a definite verdict, and re-entry to
+    fresh data passes through the ordinary warm-up machinery.  A spec whose
+    guarded set is empty is returned unchanged. *)
+
 val signals : t -> string list
 (** Signals used by the formula and all machine guards. *)
 

@@ -19,12 +19,13 @@ type rule_outcome = {
   ticks_true : int;
   ticks_false : int;
   ticks_unknown : int;
+  availability : float;
 }
 
 let default_period = 0.01
 
-let snapshots_of_trace ?(period = default_period) trace =
-  Trace.Multirate.snapshots trace ~period
+let snapshots_of_trace ?(period = default_period) ?staleness trace =
+  Trace.Multirate.snapshots ?staleness trace ~period
 
 (* Group consecutive False ticks into episodes.  An Unknown tick inside a
    False run does not end the episode — the verdict merely could not be
@@ -88,13 +89,18 @@ let severity_values spec snapshots =
 let outcome_of_verdicts ?severity spec ~times verdicts =
   let count v = Mtl.Offline.count verdicts v in
   let ticks_false = count Mtl.Verdict.False in
+  let ticks_true = count Mtl.Verdict.True in
+  let ticks_total = Array.length verdicts in
   { spec;
     status = (if ticks_false > 0 then Violated else Satisfied);
     episodes = episodes_of_verdicts ?severity ~times verdicts;
-    ticks_total = Array.length verdicts;
-    ticks_true = count Mtl.Verdict.True;
+    ticks_total;
+    ticks_true;
     ticks_false;
-    ticks_unknown = count Mtl.Verdict.Unknown }
+    ticks_unknown = count Mtl.Verdict.Unknown;
+    availability =
+      (if ticks_total = 0 then 0.0
+       else float_of_int (ticks_true + ticks_false) /. float_of_int ticks_total) }
 
 let check_spec ?period spec trace =
   let snapshots = snapshots_of_trace ?period trace in
@@ -108,6 +114,17 @@ let check ?period specs trace =
     (fun spec ->
       let outcome = Mtl.Offline.eval spec snapshots in
       outcome_of_verdicts ?severity:(severity_values spec snapshots) spec
+        ~times:outcome.Mtl.Offline.times outcome.Mtl.Offline.verdicts)
+    specs
+
+let check_stale_aware ?period ?(k = 3.0) ?hold ~periods specs trace =
+  let staleness s = Option.map (fun p -> k *. p) (periods s) in
+  let snapshots = snapshots_of_trace ?period ~staleness trace in
+  List.map
+    (fun spec ->
+      let guarded = Mtl.Spec.stale_guarded ?hold spec in
+      let outcome = Mtl.Offline.eval guarded snapshots in
+      outcome_of_verdicts ?severity:(severity_values guarded snapshots) guarded
         ~times:outcome.Mtl.Offline.times outcome.Mtl.Offline.verdicts)
     specs
 

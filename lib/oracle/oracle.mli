@@ -24,13 +24,22 @@ type rule_outcome = {
   ticks_true : int;
   ticks_false : int;
   ticks_unknown : int;
+  availability : float;
+      (** fraction of ticks with a {e definite} verdict,
+          [(ticks_true + ticks_false) / ticks_total] — how much of the
+          trace the rule actually covered once warm-up and staleness
+          inhibition are accounted for; 0 for an empty trace *)
 }
 
 val default_period : float
 (** 0.01 s — the fast message period, the rate the paper's monitor ran at. *)
 
 val snapshots_of_trace :
-  ?period:float -> Monitor_trace.Trace.t -> Monitor_trace.Snapshot.t list
+  ?period:float -> ?staleness:(string -> float option) ->
+  Monitor_trace.Trace.t -> Monitor_trace.Snapshot.t list
+(** [staleness] is the per-signal maximum age passed through to
+    {!Monitor_trace.Multirate.snapshots}; omitted, no signal is ever
+    marked stale (the historical behaviour). *)
 
 val check_spec :
   ?period:float -> Monitor_mtl.Spec.t -> Monitor_trace.Trace.t -> rule_outcome
@@ -39,6 +48,19 @@ val check_spec :
 val check :
   ?period:float -> Monitor_mtl.Spec.t list -> Monitor_trace.Trace.t ->
   rule_outcome list
+
+val check_stale_aware :
+  ?period:float -> ?k:float -> ?hold:float ->
+  periods:(string -> float option) -> Monitor_mtl.Spec.t list ->
+  Monitor_trace.Trace.t -> rule_outcome list
+(** Degraded-mode evaluation: a signal with no fresh sample within
+    [k * its expected period] (default [k = 3]) is marked stale, and each
+    spec is wrapped with {!Monitor_mtl.Spec.stale_guarded} so rules over
+    stale inputs report Unknown — and re-warm for [hold] seconds after
+    data returns — instead of guessing True/False.  [periods] gives each
+    signal's expected period in seconds (e.g.
+    {!Monitor_can.Dbc.signal_period}); signals it does not know keep the
+    always-fresh behaviour. *)
 
 val check_spec_online :
   ?period:float -> Monitor_mtl.Spec.t -> Monitor_trace.Trace.t -> rule_outcome

@@ -30,11 +30,12 @@ let render_table ?(title = "FAULT INJECTION RESULTS") ~rule_count rows =
 let render_outcome (o : Oracle.rule_outcome) =
   let buf = Buffer.create 256 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "%s [%s]: %s (T=%d F=%d ?=%d of %d ticks)"
+  add "%s [%s]: %s (T=%d F=%d ?=%d of %d ticks, avail %.1f%%)"
     o.Oracle.spec.Monitor_mtl.Spec.name
     (Oracle.status_letter o.Oracle.status)
     o.Oracle.spec.Monitor_mtl.Spec.description o.Oracle.ticks_true
-    o.Oracle.ticks_false o.Oracle.ticks_unknown o.Oracle.ticks_total;
+    o.Oracle.ticks_false o.Oracle.ticks_unknown o.Oracle.ticks_total
+    (100.0 *. o.Oracle.availability);
   List.iteri
     (fun i (e : Oracle.episode) ->
       if i < 5 then begin
@@ -51,6 +52,39 @@ let render_outcome (o : Oracle.rule_outcome) =
 
 let render_outcomes outcomes =
   String.concat "\n" (List.map render_outcome outcomes)
+
+type availability_row = {
+  condition_label : string;
+  cells : (string * float) list;
+}
+
+let availability_row ~condition_label outcomes =
+  { condition_label;
+    cells =
+      List.map
+        (fun o -> (Oracle.status_letter o.Oracle.status, o.Oracle.availability))
+        outcomes }
+
+let render_availability_table ?(title = "VERDICT AVAILABILITY UNDER CHANNEL FAULTS")
+    ~rule_count rows =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%s\n" title;
+  add "%-22s" "Condition";
+  for r = 0 to rule_count - 1 do
+    add " %8s" (Printf.sprintf "#%d" r)
+  done;
+  add "\n";
+  List.iter
+    (fun row ->
+      add "%-22s" row.condition_label;
+      List.iter
+        (fun (letter, avail) ->
+          add " %8s" (Printf.sprintf "%s %.0f%%" letter (100.0 *. avail)))
+        row.cells;
+      add "\n")
+    rows;
+  Buffer.contents buf
 
 let summarize rows ~rule_count =
   let violated_rows = Array.make rule_count 0 in

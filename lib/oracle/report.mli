@@ -19,6 +19,22 @@ val render_outcome : Oracle.rule_outcome -> string
 
 val render_outcomes : Oracle.rule_outcome list -> string
 
+type availability_row = {
+  condition_label : string;         (** e.g. ["loss5%"] *)
+  cells : (string * float) list;
+      (** per rule, in rule order: (status letter, availability) *)
+}
+
+val availability_row :
+  condition_label:string -> Oracle.rule_outcome list -> availability_row
+
+val render_availability_table :
+  ?title:string -> rule_count:int -> availability_row list -> string
+(** The verdict-degradation matrix: one row per channel-fault condition,
+    one column per rule, each cell the rule's letter and the fraction of
+    ticks with a definite verdict.  A trustworthy degraded-mode monitor
+    keeps the letters of the clean row and loses only availability. *)
+
 val summarize : table_row list -> rule_count:int -> string
 (** Which rules were ever violated, and by how many rows — the paper's
     "six out of the seven rules were detected as violated" headline. *)

@@ -24,9 +24,9 @@ let rec premises (f : Mtl.Formula.t) =
   | Mtl.Formula.Historically (_, g)
   | Mtl.Formula.Warmup { body = g; _ } -> premises g
   | Mtl.Formula.Const _ | Mtl.Formula.Cmp _ | Mtl.Formula.Bool_signal _
-  | Mtl.Formula.Fresh _ | Mtl.Formula.Known _ | Mtl.Formula.In_mode _
-  | Mtl.Formula.Not _ | Mtl.Formula.Or _ | Mtl.Formula.Eventually _
-  | Mtl.Formula.Once _ -> []
+  | Mtl.Formula.Fresh _ | Mtl.Formula.Known _ | Mtl.Formula.Stale _
+  | Mtl.Formula.In_mode _ | Mtl.Formula.Not _ | Mtl.Formula.Or _
+  | Mtl.Formula.Eventually _ | Mtl.Formula.Once _ -> []
 
 let analyze_snapshots (spec : Mtl.Spec.t) snapshots =
   let guards =

@@ -8,13 +8,21 @@ type state = {
   mutable refreshed : bool;
 }
 
-let cut states time =
+let no_staleness (_ : string) : float option = None
+
+let cut ?(staleness = no_staleness) states time =
   let entries =
     Hashtbl.fold
       (fun name st acc ->
+        let stale =
+          match staleness name with
+          | Some max_age -> time -. st.last_update > max_age
+          | None -> false
+        in
         ( name,
           { Snapshot.value = st.value;
             fresh = st.refreshed;
+            stale;
             last_update = st.last_update } )
         :: acc)
       states []
@@ -32,7 +40,7 @@ let absorb states (r : Record.t) =
     Hashtbl.add states r.name
       { value = r.value; last_update = r.time; refreshed = true }
 
-let snapshots trace ~period =
+let snapshots ?staleness trace ~period =
   if period <= 0.0 then invalid_arg "Multirate.snapshots: period must be positive";
   match Trace.start_time trace, Trace.end_time trace with
   | None, _ | _, None -> []
@@ -50,18 +58,18 @@ let snapshots trace ~period =
         absorb states (Trace.get trace !idx);
         incr idx
       done;
-      out := cut states t_cut :: !out;
+      out := cut ?staleness states t_cut :: !out;
       if t_cut >= t_end -. eps then continue := false else incr tick
     done;
     List.rev !out
 
-let at_updates_of trace ~clock_signal =
+let at_updates_of ?staleness trace ~clock_signal =
   let states = Hashtbl.create 16 in
   let out = ref [] in
   Trace.iter
     (fun r ->
       absorb states r;
       if String.equal r.Record.name clock_signal then
-        out := cut states r.Record.time :: !out)
+        out := cut ?staleness states r.Record.time :: !out)
     trace;
   List.rev !out

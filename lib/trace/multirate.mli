@@ -8,15 +8,27 @@
     each signal holding its most recent sample, with freshness flags so
     change-sensitive expressions can skip held repeats. *)
 
-val snapshots : Trace.t -> period:float -> Snapshot.t list
+val snapshots :
+  ?staleness:(string -> float option) -> Trace.t -> period:float ->
+  Snapshot.t list
 (** [snapshots trace ~period] samples the trace at [t0, t0+period, ...]
     where [t0] is the first record time.  Records with a timestamp [<= tick]
     are visible at that tick; a signal is [fresh] at a tick iff at least one
     record for it arrived in the half-open window [(previous tick, tick]].
     Signals not yet observed are absent from the snapshot.
+
+    [staleness] is the degraded-channel policy: for each signal it may
+    return a maximum acceptable age in seconds (typically [k] times the
+    signal's publication period).  A held sample older than that at a tick
+    is marked {!Snapshot.entry.stale}; [None] (and the default policy)
+    means the signal never goes stale, which preserves the historical
+    hold-last-value semantics.
     @raise Invalid_argument if [period <= 0]. *)
 
-val at_updates_of : Trace.t -> clock_signal:string -> Snapshot.t list
+val at_updates_of :
+  ?staleness:(string -> float option) -> Trace.t -> clock_signal:string ->
+  Snapshot.t list
 (** Event-based alternative: one snapshot per observation of
     [clock_signal], mirroring a monitor that wakes on a particular message.
-    Freshness is relative to the previous wake-up. *)
+    Freshness is relative to the previous wake-up.  [staleness] as in
+    {!snapshots}. *)

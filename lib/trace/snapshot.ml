@@ -1,6 +1,7 @@
 type entry = {
   value : Monitor_signal.Value.t;
   fresh : bool;
+  stale : bool;
   last_update : float;
 }
 
@@ -24,6 +25,11 @@ let is_fresh t name =
   | Some e -> e.fresh
   | None -> false
 
+let is_stale t name =
+  match find t name with
+  | Some e -> e.stale
+  | None -> false
+
 let age t name = Option.map (fun e -> t.time -. e.last_update) (find t name)
 
 let names t = List.map fst t.entries
@@ -32,7 +38,8 @@ let pp ppf t =
   Fmt.pf ppf "@[<h>t=%.4f" t.time;
   List.iter
     (fun (n, e) ->
-      Fmt.pf ppf " %s=%a%s" n Monitor_signal.Value.pp e.value
-        (if e.fresh then "*" else ""))
+      Fmt.pf ppf " %s=%a%s%s" n Monitor_signal.Value.pp e.value
+        (if e.fresh then "*" else "")
+        (if e.stale then "!" else ""))
     t.entries;
   Fmt.pf ppf "@]"

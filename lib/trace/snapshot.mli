@@ -9,6 +9,10 @@
 type entry = {
   value : Monitor_signal.Value.t;
   fresh : bool;            (** a new sample arrived at this tick *)
+  stale : bool;            (** the held value has outlived its expected
+                               refresh window (see {!Multirate.snapshots}'s
+                               [staleness] policy); degraded-mode monitors
+                               treat it as missing data *)
   last_update : float;     (** timestamp of the most recent real sample *)
 }
 
@@ -28,6 +32,9 @@ val value_exn : t -> string -> Monitor_signal.Value.t
 
 val is_fresh : t -> string -> bool
 (** False for unknown signals. *)
+
+val is_stale : t -> string -> bool
+(** False for unknown signals (they are [Unknown], not stale). *)
 
 val age : t -> string -> float option
 (** Seconds since the last real sample of the signal. *)

@@ -25,7 +25,17 @@ type 'a future = {
   mutable outcome : 'a outcome;
 }
 
-let default_num_domains () = Domain.recommended_domain_count () - 1
+let default_num_domains () =
+  (* CPS_MONITOR_JOBS mirrors `repro -j N`: it lets CI (and users) pin
+     the worker count of every default-sized pool without plumbing a
+     flag through each entry point.  Unset, empty, or non-numeric
+     values fall back to the machine-derived default. *)
+  match Sys.getenv_opt "CPS_MONITOR_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 0 -> n
+     | Some _ | None -> Domain.recommended_domain_count () - 1)
+  | None -> Domain.recommended_domain_count () - 1
 
 let worker_loop pool =
   let rec next () =

@@ -25,11 +25,13 @@ type 'a future
 val create : ?num_domains:int -> ?queue_capacity:int -> unit -> t
 (** [create ()] spawns the worker domains.
 
-    [num_domains] defaults to [Domain.recommended_domain_count () - 1]
-    (the calling domain keeps one core for itself).  When the resulting
-    count is [<= 1] — single-core machines, or an explicit [-j 1] — no
-    domains are spawned at all and the pool degrades to sequential
-    execution in the caller.
+    [num_domains] defaults to the [CPS_MONITOR_JOBS] environment
+    variable when it holds a non-negative integer, and otherwise to
+    [Domain.recommended_domain_count () - 1] (the calling domain keeps
+    one core for itself).  When the resulting count is [<= 1] —
+    single-core machines, or an explicit [-j 1] — no domains are
+    spawned at all and the pool degrades to sequential execution in
+    the caller.
 
     [queue_capacity] (default 64) bounds the job queue; [submit] blocks
     when the queue is full, providing back-pressure instead of unbounded

@@ -17,7 +17,8 @@ let snaps updates =
         Hashtbl.fold
           (fun name (v, last_update) acc ->
             let fresh = List.mem_assoc name fresh_list in
-            (name, { Snapshot.value = v; fresh; last_update }) :: acc)
+            (name, { Snapshot.value = v; fresh; stale = false; last_update })
+            :: acc)
           states []
       in
       Snapshot.make ~time ~entries)

@@ -118,7 +118,7 @@ let test_candump_roundtrip () =
   in
   match Candump.of_string (Candump.to_string frames) with
   | Error msg -> Alcotest.fail msg
-  | Ok parsed ->
+  | Ok (parsed, _) ->
     Alcotest.(check int) "count" 3 (List.length parsed);
     List.iter2
       (fun (t1, f1) (t2, f2) ->
@@ -141,6 +141,31 @@ let test_candump_errors () =
     [ "123#DEAD\n"; "(abc) can0 123#DEAD\n"; "(1.0) can0 123#DEA\n";
       "(1.0) can0 XYZ#DEAD\n" ]
 
+let test_candump_lenient () =
+  let text =
+    "# exported by hand\n\
+     (1.0) can0 123#DEAD\n\
+     \n\
+     garbage line\n\
+     (1.5) can0 7FF#\n\
+     (oops) can0 123#DEAD\n"
+  in
+  (match Candump.of_string text with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "strict should reject the comment line");
+  match Candump.of_string ~mode:`Lenient text with
+  | Error msg -> Alcotest.fail msg
+  | Ok (parsed, diags) ->
+    Alcotest.(check int) "frames kept" 2 (List.length parsed);
+    Alcotest.(check int) "lines skipped" 3 (List.length diags);
+    Alcotest.(check (list int)) "skipped line numbers" [ 1; 4; 6 ]
+      (List.map (fun d -> d.Candump.line) diags);
+    List.iter
+      (fun d ->
+        Alcotest.(check bool) "reason rendered" true
+          (String.length (Fmt.str "%a" Candump.pp_diagnostic d) > 0))
+      diags
+
 let test_candump_decode_via_dbc () =
   (* Full pipeline: simulate -> frames -> candump text -> trace -> oracle. *)
   let scenario = Monitor_hil.Scenario.steady_follow ~duration:1.0 () in
@@ -162,7 +187,7 @@ let test_candump_decode_via_dbc () =
   let text = Candump.to_string (List.rev !frames) in
   match Candump.of_string text with
   | Error msg -> Alcotest.fail msg
-  | Ok parsed ->
+  | Ok (parsed, _) ->
     let trace = Candump.decode Monitor_fsracc.Io.dbc parsed in
     Alcotest.(check bool) "velocity recovered" true
       (List.mem "Velocity" (Monitor_trace.Trace.signal_names trace));
@@ -185,5 +210,6 @@ let suite =
         Alcotest.test_case "candump roundtrip" `Quick test_candump_roundtrip;
         Alcotest.test_case "candump line format" `Quick test_candump_line_format;
         Alcotest.test_case "candump errors" `Quick test_candump_errors;
+        Alcotest.test_case "candump lenient" `Quick test_candump_lenient;
         Alcotest.test_case "candump decode pipeline" `Quick
           test_candump_decode_via_dbc ] ) ]

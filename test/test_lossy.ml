@@ -1,0 +1,361 @@
+(* Degraded-mode robustness: channel-fault models, staleness-aware
+   monitoring, and fault-isolated campaign execution. *)
+
+open Monitor_inject
+module E = Monitor_experiments
+module Frame = Monitor_can.Frame
+module Mtl = Monitor_mtl
+module Oracle = Monitor_oracle.Oracle
+module Rules = Monitor_oracle.Rules
+module Sim = Monitor_hil.Sim
+module Scenario = Monitor_hil.Scenario
+module Snapshot = Monitor_trace.Snapshot
+
+let frame ?(id = 0x100) () = Frame.make ~id ~data:(Bytes.make 8 '\x55') ()
+
+let verdicts_of model times =
+  List.map (fun time -> model ~time (frame ())) times
+
+let times n = List.init n (fun i -> float_of_int i *. 0.01)
+
+(* Channel models -------------------------------------------------------- *)
+
+let test_channel_identity () =
+  Alcotest.(check bool) "clean delivers" true
+    (List.for_all (( = ) `Deliver)
+       (verdicts_of (Channel.model Channel.Clean) (times 100)));
+  Alcotest.(check bool) "p=0 delivers" true
+    (List.for_all (( = ) `Deliver)
+       (verdicts_of (Channel.model (Channel.Bernoulli 0.0)) (times 100)));
+  Alcotest.(check bool) "p=1 drops" true
+    (List.for_all (( = ) `Drop)
+       (verdicts_of (Channel.model (Channel.Bernoulli 1.0)) (times 100)))
+
+let test_channel_bernoulli_deterministic () =
+  let pattern seed =
+    verdicts_of (Channel.model ~seed (Channel.Bernoulli 0.3)) (times 500)
+  in
+  Alcotest.(check bool) "same seed, same losses" true
+    (pattern 11L = pattern 11L);
+  Alcotest.(check bool) "different seed, different losses" true
+    (pattern 11L <> pattern 12L);
+  let dropped =
+    List.length (List.filter (( = ) `Drop) (pattern 11L))
+  in
+  Alcotest.(check bool) "loss rate near 30%" true
+    (dropped > 100 && dropped < 200)
+
+let test_channel_burst_shape () =
+  (* Losses must arrive in runs of at least [duration / frame spacing]
+     consecutive frames — burstiness is the model's whole point. *)
+  let model =
+    Channel.model ~seed:3L
+      (Channel.Burst { hazard = 0.005; duration = 0.2 })
+  in
+  let verdicts = verdicts_of model (times 5000) in
+  let longest, _ =
+    List.fold_left
+      (fun (best, cur) v ->
+        let cur = if v = `Drop then cur + 1 else 0 in
+        (max best cur, cur))
+      (0, 0) verdicts
+  in
+  Alcotest.(check bool) "some frames still delivered" true
+    (List.exists (( = ) `Deliver) verdicts);
+  Alcotest.(check bool) "drops come in bursts (>= 15 consecutive)" true
+    (longest >= 15)
+
+let test_channel_silence_windows () =
+  let model =
+    Channel.model
+      (Channel.Silence { ids = [ 0x130 ]; windows = [ (1.0, 2.0) ] })
+  in
+  Alcotest.(check bool) "silenced id in window" true
+    (model ~time:1.5 (frame ~id:0x130 ()) = `Drop);
+  Alcotest.(check bool) "window edges inclusive" true
+    (model ~time:1.0 (frame ~id:0x130 ()) = `Drop
+    && model ~time:2.0 (frame ~id:0x130 ()) = `Drop);
+  Alcotest.(check bool) "silenced id outside window" true
+    (model ~time:0.5 (frame ~id:0x130 ()) = `Deliver);
+  Alcotest.(check bool) "other ids unaffected" true
+    (model ~time:1.5 (frame ~id:0x100 ()) = `Deliver);
+  let total =
+    Channel.model (Channel.Silence { ids = []; windows = [ (0.0, 9.0) ] })
+  in
+  Alcotest.(check bool) "empty id list silences everything" true
+    (total ~time:4.0 (frame ~id:0x158 ()) = `Drop)
+
+let test_channel_corruption_schedule () =
+  let model =
+    Channel.model ~seed:5L (Channel.Corruption [ (1.0, 1.0); (2.0, 0.0) ])
+  in
+  Alcotest.(check bool) "rate 0 before first entry" true
+    (model ~time:0.5 (frame ()) = `Deliver);
+  Alcotest.(check bool) "rate 1 inside" true
+    (model ~time:1.5 (frame ()) = `Corrupt);
+  Alcotest.(check bool) "rate back to 0" true
+    (model ~time:2.5 (frame ()) = `Deliver)
+
+let test_channel_validate () =
+  Alcotest.check_raises "probability out of range"
+    (Invalid_argument "Channel: Bernoulli probability must be in [0, 1]")
+    (fun () ->
+      let (_ : Sim.channel) = Channel.model (Channel.Bernoulli 1.5) in
+      ());
+  Alcotest.check_raises "window reversed"
+    (Invalid_argument "Channel: Silence window start > stop") (fun () ->
+      let (_ : Sim.channel) =
+        Channel.model (Channel.Silence { ids = []; windows = [ (2.0, 1.0) ] })
+      in
+      ())
+
+let test_channel_all_composition () =
+  let model =
+    Channel.model ~seed:1L
+      (Channel.All
+         [ Channel.Silence { ids = [ 0x130 ]; windows = [ (0.0, 9.0) ] };
+           Channel.Corruption [ (0.0, 1.0) ] ])
+  in
+  Alcotest.(check bool) "first non-Deliver wins" true
+    (model ~time:1.0 (frame ~id:0x130 ()) = `Drop);
+  Alcotest.(check bool) "falls through to later members" true
+    (model ~time:1.0 (frame ~id:0x100 ()) = `Corrupt)
+
+(* Fault-isolated execution ---------------------------------------------- *)
+
+let test_guarded_success () =
+  match Campaign.guarded ~label:"ok" (fun x -> x + 1) 41 with
+  | Campaign.Completed 42 -> ()
+  | Campaign.Completed _ | Campaign.Errored _ ->
+    Alcotest.fail "expected Completed 42"
+
+let test_guarded_retry_recovers () =
+  (* A transient failure succeeds on the retry. *)
+  let calls = ref 0 in
+  let flaky x =
+    incr calls;
+    if !calls = 1 then failwith "transient" else x * 2
+  in
+  (match Campaign.guarded ~label:"flaky" flaky 21 with
+  | Campaign.Completed 42 -> ()
+  | Campaign.Completed _ | Campaign.Errored _ ->
+    Alcotest.fail "retry should recover");
+  Alcotest.(check int) "tried twice" 2 !calls
+
+let test_guarded_quarantines () =
+  let calls = ref 0 in
+  let broken _ =
+    incr calls;
+    failwith "deterministic failure"
+  in
+  (match Campaign.guarded ~label:"row#3" broken () with
+  | Campaign.Errored e ->
+    Alcotest.(check string) "label kept" "row#3" e.Campaign.label;
+    Alcotest.(check int) "two attempts" 2 e.Campaign.attempts;
+    Alcotest.(check bool) "exception text recorded" true
+      (String.length e.Campaign.exn_text > 0)
+  | Campaign.Completed _ -> Alcotest.fail "must quarantine");
+  Alcotest.(check int) "retried exactly once" 2 !calls
+
+let test_guarded_budget () =
+  match
+    Campaign.guarded ~budget:0.001 ~label:"slow"
+      (fun () -> Unix.sleepf 0.05)
+      ()
+  with
+  | Campaign.Errored e ->
+    Alcotest.(check bool) "budget overrun described" true
+      (String.length e.Campaign.exn_text > 0
+      && String.sub e.Campaign.exn_text 0 10 = "wall-clock")
+  | Campaign.Completed _ -> Alcotest.fail "budget must quarantine"
+
+let test_guarded_map_order () =
+  let attempts =
+    Campaign.guarded_map
+      ~label:(fun i -> Printf.sprintf "#%d" i)
+      (fun i -> if i mod 2 = 0 then failwith "even" else i * 10)
+      [ 0; 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (list int)) "completed keep input order" [ 10; 30 ]
+    (Campaign.completed attempts);
+  Alcotest.(check (list string)) "errors keep input order" [ "#0"; "#2"; "#4" ]
+    (List.map (fun e -> e.Campaign.label) (Campaign.errors attempts))
+
+let test_table1_errored_rows () =
+  (* A runner that dies on every multi-target plan (>= 4 commands): the
+     campaign must complete, quarantine those runs, and say so. *)
+  let stub_outcomes =
+    lazy
+      (let scenario = Scenario.steady_follow ~duration:4.0 () in
+       let result = Sim.run (Sim.default_config scenario) in
+       Oracle.check Rules.all result.Sim.trace)
+  in
+  let runner plan =
+    if List.length plan >= 4 then failwith "synthetic multi-row crash"
+    else Lazy.force stub_outcomes
+  in
+  let t = E.Table1.run ~options:E.Table1.quick_options ~runner () in
+  Alcotest.(check bool) "some runs quarantined" true
+    (List.length t.E.Table1.errored > 0);
+  List.iter
+    (fun e -> Alcotest.(check int) "each tried twice" 2 e.Campaign.attempts)
+    t.E.Table1.errored;
+  let rendered = E.Table1.rendered t in
+  let contains needle haystack =
+    let n = String.length needle and m = String.length haystack in
+    let rec scan i =
+      i + n <= m && (String.sub haystack i n = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  Alcotest.(check bool) "rendered reports the quarantine" true
+    (contains "errored runs:" rendered);
+  Alcotest.(check bool) "rendered names the exception" true
+    (contains "synthetic multi-row crash" rendered)
+
+(* Staleness-aware monitoring -------------------------------------------- *)
+
+let periods = Monitor_can.Dbc.signal_period Monitor_fsracc.Io.dbc
+
+let stale_never_definite =
+  QCheck.Test.make ~name:"stale inputs never yield a definite verdict"
+    ~count:6
+    QCheck.(pair (float_range 0.1 0.5) (int_range 0 1000))
+    (fun (loss, seed_base) ->
+      let channel =
+        Channel.model
+          ~seed:(Int64.of_int seed_base)
+          (Channel.Bernoulli loss)
+      in
+      let scenario = Scenario.steady_follow ~duration:6.0 () in
+      let result = Sim.run ~channel (Sim.default_config scenario) in
+      let staleness s = Option.map (fun p -> 3.0 *. p) (periods s) in
+      let snapshots =
+        Oracle.snapshots_of_trace ~staleness result.Sim.trace
+      in
+      let snapshot_array = Array.of_list snapshots in
+      List.for_all
+        (fun rule ->
+          let guarded = Mtl.Spec.stale_guarded rule in
+          let signals = Mtl.Spec.signals guarded in
+          let monitor = Mtl.Online.create guarded in
+          let streamed =
+            List.concat_map (fun snap -> Mtl.Online.step monitor snap) snapshots
+          in
+          let resolutions = streamed @ Mtl.Online.finalize monitor in
+          List.for_all
+            (fun (r : Mtl.Online.resolution) ->
+              let snap = snapshot_array.(r.Mtl.Online.tick) in
+              let any_stale =
+                List.exists (fun s -> Snapshot.is_stale snap s) signals
+              in
+              (not any_stale) || r.Mtl.Online.verdict = Mtl.Verdict.Unknown)
+            resolutions)
+        [ Rules.rule 1; Rules.rule 2; Rules.rule 5 ])
+
+let test_stale_aware_clean_channel_unchanged () =
+  (* Without channel faults nothing ever goes stale, so the stale-aware
+     oracle must agree with the plain one on every status. *)
+  let plan = [ (1.0, Sim.Set ("TargetRelVel", Monitor_signal.Value.Float 700.0)) ] in
+  let scenario = Scenario.steady_follow ~duration:8.0 () in
+  let result = Sim.run ~plan (Sim.default_config scenario) in
+  let plain = Oracle.check Rules.all result.Sim.trace in
+  let aware = Oracle.check_stale_aware ~periods Rules.all result.Sim.trace in
+  List.iter2
+    (fun (p : Oracle.rule_outcome) (a : Oracle.rule_outcome) ->
+      Alcotest.(check bool)
+        (p.Oracle.spec.Mtl.Spec.name ^ " same status")
+        true
+        (p.Oracle.status = a.Oracle.status))
+    plain aware
+
+let test_availability_definition () =
+  let outcome =
+    Oracle.check_spec (Rules.rule 0)
+      (Monitor_hil.Sim.run
+         (Sim.default_config (Scenario.steady_follow ~duration:4.0 ())))
+        .Sim.trace
+  in
+  Alcotest.(check (float 1e-9)) "availability = definite / total"
+    (float_of_int (outcome.Oracle.ticks_true + outcome.Oracle.ticks_false)
+    /. float_of_int outcome.Oracle.ticks_total)
+    outcome.Oracle.availability
+
+(* E7 --------------------------------------------------------------------- *)
+
+let lossy_quick =
+  lazy (E.Lossy_bus.run ~options:E.Lossy_bus.quick_options ())
+
+let test_lossy_bus_shape () =
+  let t = Lazy.force lossy_quick in
+  Alcotest.(check int) "one result per condition"
+    (List.length E.Lossy_bus.conditions)
+    (List.length t.E.Lossy_bus.per_condition);
+  let clean = E.Lossy_bus.clean_condition t in
+  Alcotest.(check int) "clean drops nothing" 0
+    clean.E.Lossy_bus.frames_dropped;
+  Alcotest.(check bool) "lossy conditions drop frames" true
+    (List.exists
+       (fun c -> c.E.Lossy_bus.frames_dropped > 0)
+       t.E.Lossy_bus.per_condition);
+  Alcotest.(check bool) "no errored runs" true (t.E.Lossy_bus.errored = [])
+
+let test_lossy_bus_degrades_not_invents () =
+  let t = Lazy.force lossy_quick in
+  Alcotest.(check bool) "letters never invented" true
+    (E.Lossy_bus.verdicts_never_invented t);
+  let clean = E.Lossy_bus.clean_condition t in
+  let heavy_loss =
+    List.find
+      (fun c -> c.E.Lossy_bus.channel = Channel.Bernoulli 0.20)
+      t.E.Lossy_bus.per_condition
+  in
+  List.iter2
+    (fun clean_avail lossy_avail ->
+      Alcotest.(check bool) "heavy loss lowers availability" true
+        (lossy_avail <= clean_avail +. 1e-9))
+    clean.E.Lossy_bus.availability heavy_loss.E.Lossy_bus.availability;
+  Alcotest.(check bool) "heavy loss loses real coverage" true
+    (List.exists2
+       (fun clean_avail lossy_avail -> lossy_avail < clean_avail -. 0.05)
+       clean.E.Lossy_bus.availability heavy_loss.E.Lossy_bus.availability)
+
+let test_lossy_bus_parallel_identical () =
+  let sequential = E.Lossy_bus.rendered (Lazy.force lossy_quick) in
+  let parallel =
+    Monitor_util.Pool.with_pool ~num_domains:2 (fun pool ->
+        E.Lossy_bus.rendered
+          (E.Lossy_bus.run ~options:E.Lossy_bus.quick_options ~pool ()))
+  in
+  Alcotest.(check string) "byte-identical at -j 2" sequential parallel
+
+let suite =
+  [ ( "lossy",
+      [ Alcotest.test_case "channel identity" `Quick test_channel_identity;
+        Alcotest.test_case "channel bernoulli deterministic" `Quick
+          test_channel_bernoulli_deterministic;
+        Alcotest.test_case "channel burst shape" `Quick test_channel_burst_shape;
+        Alcotest.test_case "channel silence windows" `Quick
+          test_channel_silence_windows;
+        Alcotest.test_case "channel corruption schedule" `Quick
+          test_channel_corruption_schedule;
+        Alcotest.test_case "channel validation" `Quick test_channel_validate;
+        Alcotest.test_case "channel composition" `Quick
+          test_channel_all_composition;
+        Alcotest.test_case "guarded success" `Quick test_guarded_success;
+        Alcotest.test_case "guarded retry recovers" `Quick
+          test_guarded_retry_recovers;
+        Alcotest.test_case "guarded quarantines" `Quick test_guarded_quarantines;
+        Alcotest.test_case "guarded budget" `Quick test_guarded_budget;
+        Alcotest.test_case "guarded_map order" `Quick test_guarded_map_order;
+        Alcotest.test_case "table1 errored rows" `Slow test_table1_errored_rows;
+        QCheck_alcotest.to_alcotest stale_never_definite;
+        Alcotest.test_case "stale-aware clean channel" `Slow
+          test_stale_aware_clean_channel_unchanged;
+        Alcotest.test_case "availability definition" `Slow
+          test_availability_definition;
+        Alcotest.test_case "lossy-bus shape" `Slow test_lossy_bus_shape;
+        Alcotest.test_case "lossy-bus degrades not invents" `Slow
+          test_lossy_bus_degrades_not_invents;
+        Alcotest.test_case "lossy-bus parallel identical" `Slow
+          test_lossy_bus_parallel_identical ] ) ]

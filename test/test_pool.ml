@@ -112,6 +112,28 @@ let test_with_pool_shuts_down_on_raise () =
      | _ -> Alcotest.fail "pool must be shut down after the body raised"
      | exception Invalid_argument _ -> ())
 
+let test_env_default_worker_count () =
+  (* CPS_MONITOR_JOBS pins the default pool size — the hook CI uses to
+     force a fixed worker count through every default-sized pool. *)
+  let saved = Sys.getenv_opt "CPS_MONITOR_JOBS" in
+  let restore () =
+    Unix.putenv "CPS_MONITOR_JOBS" (Option.value saved ~default:"")
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "CPS_MONITOR_JOBS" "3";
+      Pool.with_pool (fun pool ->
+          Alcotest.(check int) "env sets the default worker count" 3
+            (Pool.num_domains pool));
+      Unix.putenv "CPS_MONITOR_JOBS" "1";
+      Pool.with_pool (fun pool ->
+          Alcotest.(check int) "jobs=1 degrades to sequential" 0
+            (Pool.num_domains pool));
+      Unix.putenv "CPS_MONITOR_JOBS" "not-a-number";
+      Pool.with_pool (fun pool ->
+          Alcotest.(check bool) "garbage falls back to the machine default"
+            true
+            (Pool.num_domains pool >= 0)))
+
 let test_table1_parallel_equals_sequential () =
   (* The acceptance bar for the campaign engine: the same quick campaign
      through a 2-domain pool renders byte-identically to the sequential
@@ -139,5 +161,7 @@ let suite =
         Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
         Alcotest.test_case "with_pool cleans up on raise" `Quick
           test_with_pool_shuts_down_on_raise;
+        Alcotest.test_case "CPS_MONITOR_JOBS default" `Quick
+          test_env_default_worker_count;
         Alcotest.test_case "parallel table1 equals sequential" `Slow
           test_table1_parallel_equals_sequential ] ) ]
