@@ -110,6 +110,91 @@ let bench_warmup =
   Test.make ~name:"warmup/acquisition_study"
     (Staged.stage (fun () -> Monitor_experiments.Warmup.run ()))
 
+(* Long-trace kernel workloads. ------------------------------------------ *)
+
+(* Synthetic snapshot streams at the paper's 10 ms monitoring rate carrying
+   every signal Rules #0-#6 read.  Built directly (not through the HIL) so
+   the benchmark times the evaluation kernels, not the plant.  The signal
+   shapes are slow deterministic oscillations chosen so the rules see a
+   non-trivial verdict mix: antecedents arm and disarm, torque changes
+   sign, brakes pulse. *)
+let synthetic_snapshots ~duration =
+  let period = 0.01 in
+  let n = 1 + int_of_float (Float.round (duration /. period)) in
+  let fv x = Monitor_signal.Value.Float x in
+  let bv x = Monitor_signal.Value.Bool x in
+  List.init n (fun i ->
+      let t = float_of_int i *. period in
+      let velocity = 25.0 +. (3.0 *. sin (t *. 0.35)) in
+      let torque = 120.0 *. sin (t *. 0.5) in
+      let brake = sin (t *. 0.07) > 0.85 in
+      let entry v =
+        { Monitor_trace.Snapshot.value = v; fresh = true; stale = false;
+          last_update = t }
+      in
+      let entries =
+        [ ("Velocity", entry (fv velocity));
+          ("ACCSetSpeed", entry (fv 26.0));
+          ("VehicleAhead", entry (bv (sin (t *. 0.11) > -0.4)));
+          ("TargetRange", entry (fv (40.0 +. (25.0 *. sin (t *. 0.17)))));
+          ("TargetRelVel", entry (fv (2.0 *. sin (t *. 0.23))));
+          ("SelHeadway", entry (fv 1.0));
+          ("RequestedTorque", entry (fv torque));
+          ("TorqueRequested", entry (bv (torque > 0.0)));
+          ("BrakeRequested", entry (bv brake));
+          ("RequestedDecel", entry (fv (if brake then -0.8 else 0.1 *. sin t)));
+          ("ServiceACC", entry (bv (sin (t *. 0.013) > 0.95)));
+          ("ACCEnabled", entry (bv (sin (t *. 0.013) < 0.97))) ]
+      in
+      Monitor_trace.Snapshot.make ~time:t ~entries)
+
+let long_snaps_60 = lazy (Array.of_list (synthetic_snapshots ~duration:60.0))
+
+let long_snaps_600 = lazy (Array.of_list (synthetic_snapshots ~duration:600.0))
+
+(* The deployed shape (Oracle.check): transpose the stream to columns once,
+   share across every rule.  The transposition is inside the measured
+   region — it is part of the fast path's real cost. *)
+let offline_all_rules snaps =
+  let cols = Monitor_trace.Columns.of_snapshots snaps in
+  List.iter
+    (fun rule -> ignore (Mtl.Offline.eval_columns rule snaps cols))
+    Rules.all
+
+let offline_naive_all_rules snaps =
+  List.iter (fun rule -> ignore (Mtl.Offline.Naive.eval_array rule snaps)) Rules.all
+
+let online_all_rules snaps =
+  List.iter
+    (fun rule ->
+      let m = Mtl.Online.create rule in
+      Array.iter (fun snap -> ignore (Mtl.Online.step m snap)) snaps;
+      ignore (Mtl.Online.finalize m))
+    Rules.all
+
+let bench_long_trace name runner snaps =
+  Test.make ~name (Staged.stage (fun () -> runner (Lazy.force snaps)))
+
+let bench_offline_long_60 =
+  bench_long_trace "mtl/offline_long_trace_60s" offline_all_rules long_snaps_60
+
+let bench_offline_long_naive_60 =
+  bench_long_trace "mtl/offline_long_trace_naive_60s" offline_naive_all_rules
+    long_snaps_60
+
+let bench_online_long_60 =
+  bench_long_trace "mtl/online_long_trace_60s" online_all_rules long_snaps_60
+
+let bench_offline_long_600 =
+  bench_long_trace "mtl/offline_long_trace_600s" offline_all_rules long_snaps_600
+
+let bench_offline_long_naive_600 =
+  bench_long_trace "mtl/offline_long_trace_naive_600s" offline_naive_all_rules
+    long_snaps_600
+
+let bench_online_long_600 =
+  bench_long_trace "mtl/online_long_trace_600s" online_all_rules long_snaps_600
+
 (* Monitor micro-benchmarks. --------------------------------------------- *)
 
 let bench_offline_rule n =
@@ -228,41 +313,137 @@ let bench_controller_step =
 
 (* Runner. ---------------------------------------------------------------- *)
 
-let benchmark tests =
+(* --quick: CI smoke mode — smaller time quota, and the 600 s workloads
+   (whose single iteration is too heavy for a smoke budget) are skipped.
+   --json FILE: machine-readable results (the BENCH_<n>.json trajectory
+   files at the repo root are recorded this way).
+   --only PREFIX: run the benchmarks whose name starts with PREFIX. *)
+type options = {
+  quick : bool;
+  json : string option;
+  only : string option;
+}
+
+let parse_options () =
+  let rec go acc = function
+    | [] -> acc
+    | "--quick" :: rest -> go { acc with quick = true } rest
+    | "--json" :: path :: rest -> go { acc with json = Some path } rest
+    | "--only" :: prefix :: rest -> go { acc with only = Some prefix } rest
+    | arg :: _ ->
+      Printf.eprintf
+        "usage: %s [--quick] [--json FILE] [--only PREFIX]  (unknown: %s)\n"
+        Sys.executable_name arg;
+      exit 2
+  in
+  go { quick = false; json = None; only = None }
+    (List.tl (Array.to_list Sys.argv))
+
+let benchmark ~quick tests =
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:(Some 100) () in
+  let quota = Time.second (if quick then 0.4 else 1.2) in
+  let cfg = Benchmark.cfg ~limit:200 ~quota ~kde:(Some 100) () in
   let raw = Benchmark.all cfg instances tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   Analyze.all ols Instance.monotonic_clock raw
 
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' -> Buffer.add_char buf '\\'; Buffer.add_char buf c
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path ~mode rows =
+  let oc = open_out path in
+  output_string oc "{\n";
+  Printf.fprintf oc "  \"suite\": \"cps_monitor\",\n";
+  Printf.fprintf oc "  \"mode\": \"%s\",\n" mode;
+  Printf.fprintf oc "  \"unit\": \"ns/run\",\n";
+  output_string oc "  \"results\": {\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, est) ->
+      let value =
+        match est with
+        | Some v -> Printf.sprintf "%.1f" v
+        | None -> "null"
+      in
+      Printf.fprintf oc "    \"%s\": %s%s\n" (json_escape name) value
+        (if i = n - 1 then "" else ","))
+    rows;
+  output_string oc "  }\n}\n";
+  close_out oc
+
 let () =
+  let options = parse_options () in
   (* Force the shared inputs outside the timed region. *)
   ignore (Lazy.force short_snapshots);
-  let tests =
-    Test.make_grouped ~name:"cps_monitor"
-      [ bench_figure1; bench_table1_run; bench_table1_sequential_slice;
-        bench_table1_parallel; bench_vehicle_logs_scenario;
-        bench_lossy_bus_run; bench_multirate; bench_warmup; bench_offline_rule 0;
-        bench_offline_rule 1; bench_offline_rule 4; bench_online_rule 1;
-        bench_online_rule 5; bench_all_rules_offline; bench_parser;
-        bench_simplify; bench_monitor_set; bench_ablation_hold;
-        bench_snapshots; bench_can_roundtrip; bench_frame_bit_count;
-        bench_plant_step; bench_controller_step ]
+  let long_trace_tests =
+    [ bench_offline_long_60; bench_offline_long_naive_60; bench_online_long_60 ]
+    @
+    if options.quick then []
+    else
+      [ bench_offline_long_600; bench_offline_long_naive_600;
+        bench_online_long_600 ]
   in
-  let results = benchmark tests in
+  if not options.quick then begin
+    ignore (Lazy.force long_snaps_60);
+    ignore (Lazy.force long_snaps_600)
+  end;
+  let all_tests =
+    [ bench_figure1; bench_table1_run; bench_table1_sequential_slice;
+      bench_table1_parallel; bench_vehicle_logs_scenario;
+      bench_lossy_bus_run; bench_multirate; bench_warmup; bench_offline_rule 0;
+      bench_offline_rule 1; bench_offline_rule 4; bench_online_rule 1;
+      bench_online_rule 5; bench_all_rules_offline; bench_parser;
+      bench_simplify; bench_monitor_set; bench_ablation_hold;
+      bench_snapshots; bench_can_roundtrip; bench_frame_bit_count;
+      bench_plant_step; bench_controller_step ]
+    @ long_trace_tests
+  in
+  let selected =
+    match options.only with
+    | None -> all_tests
+    | Some prefix ->
+      List.filter
+        (fun t ->
+          let name = Test.Elt.name (List.hd (Test.elements t)) in
+          String.length name >= String.length prefix
+          && String.equal (String.sub name 0 (String.length prefix)) prefix)
+        all_tests
+  in
+  let tests = Test.make_grouped ~name:"cps_monitor" selected in
+  let results = benchmark ~quick:options.quick tests in
   print_endline "BENCHMARKS (monotonic clock, OLS ns/run)";
   let rows = ref [] in
   Hashtbl.iter
     (fun test_name result ->
       let estimate =
         match Analyze.OLS.estimates result with
-        | Some [ est ] -> Printf.sprintf "%14.0f ns/run" est
-        | Some _ | None -> "           n/a"
+        | Some [ est ] -> Some est
+        | Some _ | None -> None
       in
       rows := (test_name, estimate) :: !rows)
     results;
+  let rows = List.sort compare !rows in
   List.iter
-    (fun (name, est) -> Printf.printf "%-46s %s\n" name est)
-    (List.sort compare !rows)
+    (fun (name, est) ->
+      let est =
+        match est with
+        | Some e -> Printf.sprintf "%14.0f ns/run" e
+        | None -> "           n/a"
+      in
+      Printf.printf "%-46s %s\n" name est)
+    rows;
+  match options.json with
+  | None -> ()
+  | Some path ->
+    write_json path ~mode:(if options.quick then "quick" else "full") rows;
+    Printf.printf "results written to %s\n" path

@@ -218,3 +218,272 @@ let rec reset_node = function
 let reset t =
   t.prev_time <- None;
   reset_node t.root
+
+(* Columnar evaluation ---------------------------------------------------- *)
+
+(* Whole-trace form of the stateful evaluator above: each subexpression is
+   materialised as a float column plus a definedness mask.  The history
+   operators become shifts and scans over the child column — exactly the
+   recurrence the per-tick evaluator computes when fed every snapshot in
+   order, which is how the offline evaluators use it. *)
+
+type col = { cv : float array; cdef : Bytes.t }
+
+let defined_at c i = Bytes.unsafe_get c.cdef i <> '\000'
+
+module Cols = Monitor_trace.Columns
+
+(* Values are only read where the mask is set, so the float payload can be
+   allocated uninitialised. *)
+let col_make n = { cv = Array.create_float n; cdef = Bytes.make n '\000' }
+
+let col_full n x =
+  let cv = Array.create_float n in
+  Array.fill cv 0 n x;
+  { cv; cdef = Bytes.make n '\001' }
+
+let col_map1 n f a =
+  let out = col_make n in
+  let av = a.cv and ov = out.cv in
+  for i = 0 to n - 1 do
+    if defined_at a i then begin
+      ov.(i) <- f av.(i);
+      Bytes.unsafe_set out.cdef i '\001'
+    end
+  done;
+  out
+
+let col_map2 n f a b =
+  let out = col_make n in
+  let av = a.cv and bv = b.cv and ov = out.cv in
+  for i = 0 to n - 1 do
+    if defined_at a i && defined_at b i then begin
+      ov.(i) <- f av.(i) bv.(i);
+      Bytes.unsafe_set out.cdef i '\001'
+    end
+  done;
+  out
+
+(* A subexpression with no signal dependence is defined at every tick with
+   one value; keeping it symbolic until a non-constant operand appears
+   avoids materialising (and re-scanning) whole columns of a constant.
+   History operators do NOT preserve constancy — [Prev 5.0] is Undefined at
+   tick 0 — so they always materialise.
+
+   The [owned] flag tracks whether a column's buffers belong to this
+   evaluation (freshly allocated temporaries) or alias storage that must
+   survive it (a [Columns.t] payload shared zero-copy at a [Signal] leaf).
+   Operators overwrite an owned operand in place instead of allocating a
+   fresh column: every temporary has exactly one consumer, so the reuse is
+   invisible except to the allocator — which matters, because on long
+   traces the columns are hundreds of kilobytes each and the garbage
+   otherwise outpaces the major collector. *)
+type icol = Cconst of float | Carr of col * bool (* owned *)
+
+let materialize n = function Cconst x -> col_full n x | Carr (c, _) -> c
+
+(* In-place unary map over an owned column: definedness is unchanged. *)
+let col_map1_inplace n f a =
+  let av = a.cv in
+  for i = 0 to n - 1 do
+    if defined_at a i then av.(i) <- f av.(i)
+  done
+
+let imap1 n f = function
+  | Cconst x -> Cconst (f x)
+  | Carr (a, false) -> Carr (col_map1 n f a, true)
+  | Carr (a, true) ->
+    col_map1_inplace n f a;
+    Carr (a, true)
+
+(* In-place binary map, accumulating into [a] (which must be owned). *)
+let col_map2_into n f a b =
+  let av = a.cv and bv = b.cv in
+  for i = 0 to n - 1 do
+    if defined_at a i then
+      if defined_at b i then av.(i) <- f av.(i) bv.(i)
+      else Bytes.unsafe_set a.cdef i '\000'
+  done
+
+let imap2 n f a b =
+  match a, b with
+  | Cconst x, Cconst y -> Cconst (f x y)
+  | Cconst x, Carr (b, false) -> Carr (col_map1 n (fun v -> f x v) b, true)
+  | Cconst x, Carr (b, true) ->
+    col_map1_inplace n (fun v -> f x v) b;
+    Carr (b, true)
+  | Carr (a, false), Cconst y -> Carr (col_map1 n (fun v -> f v y) a, true)
+  | Carr (a, true), Cconst y ->
+    col_map1_inplace n (fun v -> f v y) a;
+    Carr (a, true)
+  | Carr (a, true), Carr (b, _) ->
+    col_map2_into n f a b;
+    Carr (a, true)
+  | Carr (a, false), Carr (b, true) ->
+    col_map2_into n (fun bv av -> f av bv) b a;
+    Carr (b, true)
+  | Carr (a, false), Carr (b, false) -> Carr (col_map2 n f a b, true)
+
+let rec eval_trace_i e (cols : Cols.t) =
+  let n = cols.Cols.n in
+  (* Materialise a child while remembering whether its buffers are this
+     evaluation's to overwrite (constants materialise to a fresh column). *)
+  let child_of e =
+    match eval_trace_i e cols with
+    | Cconst x -> (col_full n x, true)
+    | Carr (c, owned) -> (c, owned)
+  in
+  match e with
+  | Const x -> Cconst x
+  | Signal s -> begin
+    match Cols.find cols s with
+    | None -> Carr (col_make n, true)
+    | Some c ->
+      (* A column with an entry at every tick and no staleness is its own
+         result — share the float payload instead of copying it.  The
+         shared buffers are borrowed: no operator may write into them. *)
+      if c.Cols.all_present && c.Cols.never_stale then
+        Carr ({ cv = c.Cols.floats; cdef = cols.Cols.ones }, false)
+      else begin
+        let out = col_make n in
+        let src = c.Cols.floats and ov = out.cv in
+        for i = 0 to n - 1 do
+          (* Stale held values are treated as missing, as in [step]. *)
+          if Cols.usable c i then begin
+            ov.(i) <- src.(i);
+            Bytes.unsafe_set out.cdef i '\001'
+          end
+        done;
+        Carr (out, true)
+      end
+  end
+  | Prev e ->
+    let child, owned = child_of e in
+    if owned then begin
+      (* Shift in place, walking downwards so tick [i-1] is still intact
+         when tick [i] is written. *)
+      let cv = child.cv and cdef = child.cdef in
+      for i = n - 1 downto 1 do
+        if Bytes.unsafe_get cdef (i - 1) <> '\000' then begin
+          cv.(i) <- cv.(i - 1);
+          Bytes.unsafe_set cdef i '\001'
+        end
+        else Bytes.unsafe_set cdef i '\000'
+      done;
+      if n > 0 then Bytes.unsafe_set cdef 0 '\000';
+      Carr (child, true)
+    end
+    else begin
+      let out = col_make n in
+      for i = 1 to n - 1 do
+        if defined_at child (i - 1) then begin
+          out.cv.(i) <- child.cv.(i - 1);
+          Bytes.unsafe_set out.cdef i '\001'
+        end
+      done;
+      Carr (out, true)
+    end
+  | Delta e ->
+    let child, owned = child_of e in
+    if owned then begin
+      let cv = child.cv and cdef = child.cdef in
+      for i = n - 1 downto 1 do
+        if
+          Bytes.unsafe_get cdef i <> '\000'
+          && Bytes.unsafe_get cdef (i - 1) <> '\000'
+        then cv.(i) <- cv.(i) -. cv.(i - 1)
+        else Bytes.unsafe_set cdef i '\000'
+      done;
+      if n > 0 then Bytes.unsafe_set cdef 0 '\000';
+      Carr (child, true)
+    end
+    else begin
+      let out = col_make n in
+      for i = 1 to n - 1 do
+        if defined_at child i && defined_at child (i - 1) then begin
+          out.cv.(i) <- child.cv.(i) -. child.cv.(i - 1);
+          Bytes.unsafe_set out.cdef i '\001'
+        end
+      done;
+      Carr (out, true)
+    end
+  | Rate e ->
+    let child, owned = child_of e in
+    let times = cols.Cols.times in
+    if owned then begin
+      let cv = child.cv and cdef = child.cdef in
+      for i = n - 1 downto 1 do
+        let dt = times.(i) -. times.(i - 1) in
+        if
+          dt > 0.0
+          && Bytes.unsafe_get cdef i <> '\000'
+          && Bytes.unsafe_get cdef (i - 1) <> '\000'
+        then cv.(i) <- (cv.(i) -. cv.(i - 1)) /. dt
+        else Bytes.unsafe_set cdef i '\000'
+      done;
+      if n > 0 then Bytes.unsafe_set cdef 0 '\000';
+      Carr (child, true)
+    end
+    else begin
+      let out = col_make n in
+      for i = 1 to n - 1 do
+        let dt = times.(i) -. times.(i - 1) in
+        if dt > 0.0 && defined_at child i && defined_at child (i - 1) then begin
+          out.cv.(i) <- (child.cv.(i) -. child.cv.(i - 1)) /. dt;
+          Bytes.unsafe_set out.cdef i '\001'
+        end
+      done;
+      Carr (out, true)
+    end
+  | Fresh_delta s ->
+    let out = col_make n in
+    (match Cols.find cols s with
+    | None -> ()
+    | Some c ->
+      (* Scan form of the [fresh_hist] state: once two fresh samples have
+         been seen, every tick reports latest - previous. *)
+      let seen = ref 0 in
+      let prev_fresh = ref Float.nan and latest = ref Float.nan in
+      for i = 0 to n - 1 do
+        if Cols.is_fresh c i then begin
+          prev_fresh := !latest;
+          latest := c.Cols.floats.(i);
+          if !seen < 2 then incr seen
+        end;
+        if !seen >= 2 then begin
+          out.cv.(i) <- !latest -. !prev_fresh;
+          Bytes.unsafe_set out.cdef i '\001'
+        end
+      done);
+    Carr (out, true)
+  | Age s ->
+    let out = col_make n in
+    (match Cols.find cols s with
+    | None -> ()
+    | Some c ->
+      let times = cols.Cols.times in
+      let last_update = Cols.force_last_update cols s c in
+      for i = 0 to n - 1 do
+        if Cols.mem c i then begin
+          out.cv.(i) <- times.(i) -. last_update.(i);
+          Bytes.unsafe_set out.cdef i '\001'
+        end
+      done);
+    Carr (out, true)
+  | Neg e -> imap1 n Float.neg (eval_trace_i e cols)
+  | Abs e -> imap1 n Float.abs (eval_trace_i e cols)
+  | Add (a, b) -> imap2 n ( +. ) (eval_trace_i a cols) (eval_trace_i b cols)
+  | Sub (a, b) -> imap2 n ( -. ) (eval_trace_i a cols) (eval_trace_i b cols)
+  | Mul (a, b) -> imap2 n ( *. ) (eval_trace_i a cols) (eval_trace_i b cols)
+  | Div (a, b) -> imap2 n ( /. ) (eval_trace_i a cols) (eval_trace_i b cols)
+  | Min (a, b) -> imap2 n Float.min (eval_trace_i a cols) (eval_trace_i b cols)
+  | Max (a, b) -> imap2 n Float.max (eval_trace_i a cols) (eval_trace_i b cols)
+
+let eval_trace e (cols : Cols.t) = materialize cols.Cols.n (eval_trace_i e cols)
+
+type folded = Scalar of float | Column of col
+
+let eval_trace_folded e cols =
+  match eval_trace_i e cols with
+  | Cconst x -> Scalar x
+  | Carr (c, _) -> Column c

@@ -57,3 +57,29 @@ val eval : evaluator -> Monitor_trace.Snapshot.t -> result
 (** Evaluate at the next tick and advance the history. *)
 
 val reset : evaluator -> unit
+
+(** {2 Columnar (whole-trace) evaluation}
+
+    The offline fast path evaluates an expression over the entire stream at
+    once: each subexpression becomes a float column plus a definedness
+    mask, computed in O(ticks) array passes with no per-tick dispatch or
+    snapshot lookup.  [eval_trace e cols] returns exactly the sequence
+    [eval ev snaps.(0); eval ev snaps.(1); ...] would — including the
+    history semantics of [Prev]/[Delta]/[Rate]/[Fresh_delta] and the
+    NaN-is-defined convention — which the differential suite checks. *)
+
+type col = {
+  cv : float array;   (** value per tick; unspecified where undefined *)
+  cdef : Bytes.t;     (** [cdef.(i) <> '\000'] iff defined at tick [i] *)
+}
+
+val eval_trace : t -> Monitor_trace.Columns.t -> col
+
+val defined_at : col -> int -> bool
+
+type folded = Scalar of float | Column of col
+(** A subexpression with no signal dependence folds to one value, defined
+    at every tick; consumers (comparison leaves) can then compare against
+    a scalar instead of a materialised column. *)
+
+val eval_trace_folded : t -> Monitor_trace.Columns.t -> folded

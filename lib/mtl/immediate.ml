@@ -100,6 +100,118 @@ let rec eval_node node ~mode_lookup snapshot =
 
 let eval t ~mode_lookup snapshot = eval_node t.root ~mode_lookup snapshot
 
+(* Columnar evaluation ---------------------------------------------------- *)
+
+module Cols = Monitor_trace.Columns
+
+(* Whole-trace evaluation against the columnar stream.  Each leaf becomes
+   one array pass; comparisons hoist the operator match out of the loop and
+   read the expression columns produced by [Expr.eval_trace].  The verdicts
+   are exactly those of [eval] stepped tick by tick — enforced by the
+   differential suite. *)
+let rec eval_trace (f : Formula.t) ~mode_arr (cols : Cols.t) =
+  let n = cols.Cols.n in
+  match f with
+  | Formula.Const b -> Array.make n (Verdict.of_bool b)
+  | Formula.Cmp (ea, op, eb) ->
+    let a = Expr.eval_trace_folded ea cols
+    and b = Expr.eval_trace_folded eb cols in
+    let cmp : float -> float -> bool =
+      match op with
+      | Formula.Lt -> ( < )
+      | Formula.Le -> ( <= )
+      | Formula.Gt -> ( > )
+      | Formula.Ge -> ( >= )
+      | Formula.Eq -> ( = )
+      | Formula.Ne -> ( <> )
+    in
+    let out = Array.make n Verdict.Unknown in
+    (match a, b with
+    | Expr.Scalar x, Expr.Scalar y ->
+      Array.fill out 0 n (Verdict.of_bool (cmp x y))
+    | Expr.Scalar x, Expr.Column b ->
+      let bv = b.Expr.cv in
+      for i = 0 to n - 1 do
+        if Expr.defined_at b i then out.(i) <- Verdict.of_bool (cmp x bv.(i))
+      done
+    | Expr.Column a, Expr.Scalar y ->
+      let av = a.Expr.cv in
+      for i = 0 to n - 1 do
+        if Expr.defined_at a i then out.(i) <- Verdict.of_bool (cmp av.(i) y)
+      done
+    | Expr.Column a, Expr.Column b ->
+      let av = a.Expr.cv and bv = b.Expr.cv in
+      for i = 0 to n - 1 do
+        if Expr.defined_at a i && Expr.defined_at b i then
+          out.(i) <- Verdict.of_bool (cmp av.(i) bv.(i))
+      done);
+    out
+  | Formula.Bool_signal s -> begin
+    match Cols.find cols s with
+    | None -> Array.make n Verdict.Unknown
+    | Some c ->
+      let out = Array.make n Verdict.Unknown in
+      for i = 0 to n - 1 do
+        if Cols.usable c i then
+          out.(i) <-
+            Verdict.of_bool (Bytes.unsafe_get c.Cols.bools i <> '\000')
+      done;
+      out
+  end
+  | Formula.Fresh s -> begin
+    match Cols.find cols s with
+    | None -> Array.make n Verdict.False
+    | Some c ->
+      let out = Array.make n Verdict.False in
+      for i = 0 to n - 1 do
+        if Cols.is_fresh c i then out.(i) <- Verdict.True
+      done;
+      out
+  end
+  | Formula.Known s -> begin
+    match Cols.find cols s with
+    | None -> Array.make n Verdict.False
+    | Some c ->
+      let out = Array.make n Verdict.False in
+      for i = 0 to n - 1 do
+        if Cols.mem c i then out.(i) <- Verdict.True
+      done;
+      out
+  end
+  | Formula.Stale s -> begin
+    match Cols.find cols s with
+    | None -> Array.make n Verdict.False
+    | Some c ->
+      let out = Array.make n Verdict.False in
+      for i = 0 to n - 1 do
+        if Cols.is_stale c i then out.(i) <- Verdict.True
+      done;
+      out
+  end
+  | Formula.In_mode (m, s) -> begin
+    match mode_arr m with
+    | None -> Array.make n Verdict.Unknown
+    | Some states ->
+      Array.init n (fun i -> Verdict.of_bool (String.equal states.(i) s))
+  end
+  | Formula.Not g -> Array.map Verdict.not_ (eval_trace g ~mode_arr cols)
+  | Formula.And (a, b) ->
+    Array.map2 Verdict.and_ (eval_trace a ~mode_arr cols)
+      (eval_trace b ~mode_arr cols)
+  | Formula.Or (a, b) ->
+    Array.map2 Verdict.or_ (eval_trace a ~mode_arr cols)
+      (eval_trace b ~mode_arr cols)
+  | Formula.Implies (a, b) ->
+    Array.map2 Verdict.implies (eval_trace a ~mode_arr cols)
+      (eval_trace b ~mode_arr cols)
+  | Formula.Always _ | Formula.Eventually _ | Formula.Historically _
+  | Formula.Once _ | Formula.Warmup _ ->
+    invalid_arg
+      (Fmt.str "Immediate.eval_trace: not in the immediate fragment: %a"
+         Formula.pp f)
+
+let eval_trace_exn f ~mode_arr cols = eval_trace f ~mode_arr cols
+
 let rec reset_node = function
   | I_const _ | I_bool_signal _ | I_fresh _ | I_known _ | I_stale _
   | I_in_mode _ -> ()

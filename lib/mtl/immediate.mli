@@ -28,3 +28,14 @@ val eval :
 val reset : t -> unit
 
 val formula : t -> Formula.t
+
+val eval_trace_exn :
+  Formula.t -> mode_arr:(string -> string array option) ->
+  Monitor_trace.Columns.t -> Verdict.t array
+(** Whole-trace evaluation of an immediate formula against a columnar
+    stream: one verdict per tick, computed in O(ticks) array passes via
+    {!Expr.eval_trace} — no per-tick snapshot lookup.  [mode_arr] resolves
+    a machine name to its per-tick state column ([In_mode] over an unknown
+    machine is [Unknown] everywhere).  Produces exactly the verdicts
+    {!eval} yields when stepped over the same stream in tick order.
+    @raise Invalid_argument on a non-immediate formula. *)

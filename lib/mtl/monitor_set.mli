@@ -1,6 +1,12 @@
 (** A set of online monitors sharing one snapshot stream — the deployed
     shape of the bolt-on box: one bus tap, one synchronous view, all the
-    safety rules evaluated side by side. *)
+    safety rules evaluated side by side.
+
+    Each monitor rides on the amortised-O(1) sliding-window kernels of
+    {!Online}, so the cost of a {!step} is O(total formula size) per tick
+    regardless of how wide the rules' temporal windows are — the property
+    that keeps a full rule fleet inside the paper's 10 ms monitoring
+    period. *)
 
 type event = {
   spec : Spec.t;

@@ -1,10 +1,25 @@
-(** Offline (whole-log) evaluation — the reference semantics.
+(** Offline (whole-log) evaluation.
 
     The paper performed all its monitoring offline on stored log data; this
     evaluator does the same: given the full snapshot stream it computes the
-    spec's verdict at every tick.  It is also the executable definition of
-    the logic's semantics, against which the constant-memory {!Online}
-    monitor is property-tested. *)
+    spec's verdict at every tick.
+
+    Two kernels implement the bounded-window operators:
+
+    - {!eval}/{!eval_array} — the fast path: leaves evaluate columnar
+      against the array-backed stream ({!Monitor_trace.Columns}, no
+      per-tick snapshot lookup) and windows aggregate in amortised O(1)
+      per tick (three verdict counters slide with the window, completeness
+      bounds precomputed as index ranges).  O(n) per operator in trace
+      length, independent of window width.
+    - {!Naive.eval} — the executable definition of the semantics: every
+      tick re-scans every sample in its window, O(n·w).  It is preserved
+      as the semantics of record; the fast path's tick-for-tick
+      equivalence to it (and to {!Online}) is enforced by the differential
+      test suite, not assumed.
+
+    See DESIGN.md §9 for the per-operator complexity table and the
+    equivalence argument. *)
 
 type outcome = {
   times : float array;
@@ -15,7 +30,8 @@ type outcome = {
 
 val eval : Spec.t -> Monitor_trace.Snapshot.t list -> outcome
 (** Snapshots must be in strictly increasing time order.
-    @raise Invalid_argument otherwise.
+    @raise Invalid_argument naming the offending tick index and both
+    timestamps otherwise ({!Naive.eval} raises the identical exception).
 
     Semantics of bounded operators over the finite log, with [T] the set of
     sample times:
@@ -32,6 +48,30 @@ val eval : Spec.t -> Monitor_trace.Snapshot.t list -> outcome
     - [Warmup (trigger, hold, body)] is [Unknown] at [t] when [trigger] was
       [True] at some sample in [\[t-hold, t\]], else the verdict of
       [body]. *)
+
+val eval_array : Spec.t -> Monitor_trace.Snapshot.t array -> outcome
+(** {!eval} over an array-backed stream.  Builds the columnar view
+    internally; callers evaluating many specs over one log should build it
+    once and use {!eval_columns} instead. *)
+
+val eval_columns :
+  Spec.t -> Monitor_trace.Snapshot.t array -> Monitor_trace.Columns.t ->
+  outcome
+(** The fast path with the stream transposition amortised across rules:
+    [cols] must be [Monitor_trace.Columns.of_snapshots snaps].  The
+    snapshots are still needed for state-machine guards, which step tick
+    by tick. *)
+
+(** The naive reference evaluator — the semantics of record.  Same
+    signatures, same outcomes; per-tick snapshot-based leaf evaluation and
+    an O(n·w) per-tick window re-scan instead of columnar leaves and the
+    sliding kernel.  Exists to be differentially tested against and to
+    anchor the benchmark speedup numbers (BENCH_3.json). *)
+module Naive : sig
+  val eval : Spec.t -> Monitor_trace.Snapshot.t list -> outcome
+
+  val eval_array : Spec.t -> Monitor_trace.Snapshot.t array -> outcome
+end
 
 val count : Verdict.t array -> Verdict.t -> int
 

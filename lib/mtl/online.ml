@@ -1,15 +1,11 @@
 type resolution = { tick : int; time : float; verdict : Verdict.t }
 
-let time_eps = 1e-9
+let time_eps = Window.time_eps
 
 (* Node tree.  Every node owns an output queue of resolutions in tick
    order; a parent consumes its children's queues destructively.  Children
    always resolve a prefix of the tick stream, which is what makes pairwise
    alignment in binary nodes sound. *)
-
-type decide =
-  any_true:bool -> any_false:bool -> any_unknown:bool -> complete:bool ->
-  Verdict.t
 
 type node = {
   kind : kind;
@@ -24,47 +20,47 @@ and kind =
       left : node;
       right : node;
     }
-  | Temporal of {
-      lo_off : float;  (* window of tick t is [t + lo_off, t + hi_off] *)
-      hi_off : float;
-      decide : decide;
-      child : node;
-      pending : (int * float) Queue.t;
-      buf : resolution Queue.t;  (* resolved child verdicts, pruned *)
-      mutable child_max_time : float;  (* latest resolved child tick time *)
-      mutable any_child_resolved : bool;
-      mutable first_input : float;
-      mutable last_input : float;
-      mutable saw_input : bool;
-    }
+  | Temporal of temporal
 
-let decide_always ~any_true:_ ~any_false ~any_unknown ~complete =
-  if any_false then Verdict.False
-  else if not complete then Verdict.Unknown
-  else if any_unknown then Verdict.Unknown
-  else Verdict.True
-
-let decide_eventually ~any_true ~any_false:_ ~any_unknown ~complete =
-  if any_true then Verdict.True
-  else if not complete then Verdict.Unknown
-  else if any_unknown then Verdict.Unknown
-  else Verdict.False
-
-(* Warmup mask: "trigger was True in the window", completeness-insensitive. *)
-let decide_mask ~any_true ~any_false:_ ~any_unknown:_ ~complete:_ =
-  Verdict.of_bool any_true
+(* Sliding-window state.  Resolved child verdicts flow [future] ->
+   [counted] -> dropped as the front pending tick's window [t + lo_off,
+   t + hi_off] advances over them; [nt]/[nf]/[nu] always count exactly the
+   samples of [counted], i.e. the samples inside the front window.  Both
+   window endpoints are monotone across pending ticks, so every child
+   resolution is admitted once and dropped once: amortised O(1) per tick,
+   where the previous kernel re-scanned the whole buffer (O(w)) for every
+   pending tick it examined. *)
+and temporal = {
+  sem : Window.sem;
+  lo_off : float;  (* window of tick t is [t + lo_off, t + hi_off] *)
+  hi_off : float;
+  child : node;
+  pending : (int * float) Queue.t;
+  future : resolution Queue.t;   (* resolved, not yet reached by the window *)
+  counted : resolution Queue.t;  (* inside the front pending tick's window *)
+  mutable nt : int;
+  mutable nf : int;
+  mutable nu : int;
+  mutable child_max_time : float;  (* latest resolved child tick time *)
+  mutable any_child_resolved : bool;
+  mutable first_input : float;
+  mutable last_input : float;
+  mutable saw_input : bool;
+}
 
 let mask_combine m b =
   match m with
   | Verdict.True -> Verdict.Unknown
   | Verdict.False | Verdict.Unknown -> b
 
-let temporal ~lo_off ~hi_off ~decide child =
+let temporal ~lo_off ~hi_off ~sem child =
   { kind =
       Temporal
-        { lo_off; hi_off; decide; child;
+        { sem; lo_off; hi_off; child;
           pending = Queue.create ();
-          buf = Queue.create ();
+          future = Queue.create ();
+          counted = Queue.create ();
+          nt = 0; nf = 0; nu = 0;
           child_max_time = Float.neg_infinity;
           any_child_resolved = false;
           first_input = 0.0;
@@ -88,19 +84,19 @@ let rec build (f : Formula.t) =
     { kind = Bin { op = Verdict.implies; left = build a; right = build b };
       out = Queue.create () }
   | Formula.Always (i, g) ->
-    temporal ~lo_off:i.Formula.lo ~hi_off:i.Formula.hi ~decide:decide_always
+    temporal ~lo_off:i.Formula.lo ~hi_off:i.Formula.hi ~sem:Window.Universal
       (build g)
   | Formula.Eventually (i, g) ->
-    temporal ~lo_off:i.Formula.lo ~hi_off:i.Formula.hi
-      ~decide:decide_eventually (build g)
+    temporal ~lo_off:i.Formula.lo ~hi_off:i.Formula.hi ~sem:Window.Existential
+      (build g)
   | Formula.Historically (i, g) ->
     temporal ~lo_off:(-.i.Formula.hi) ~hi_off:(-.i.Formula.lo)
-      ~decide:decide_always (build g)
+      ~sem:Window.Universal (build g)
   | Formula.Once (i, g) ->
     temporal ~lo_off:(-.i.Formula.hi) ~hi_off:(-.i.Formula.lo)
-      ~decide:decide_eventually (build g)
+      ~sem:Window.Existential (build g)
   | Formula.Warmup { trigger; hold; body } ->
-    let mask = temporal ~lo_off:(-.hold) ~hi_off:0.0 ~decide:decide_mask (build trigger) in
+    let mask = temporal ~lo_off:(-.hold) ~hi_off:0.0 ~sem:Window.Mask (build trigger) in
     { kind = Bin { op = mask_combine; left = mask; right = build body };
       out = Queue.create () }
 
@@ -113,30 +109,46 @@ let drain_bin op left right out =
     Queue.push { tick = l.tick; time = l.time; verdict = op l.verdict r.verdict } out
   done
 
-let try_resolve_temporal ~finalizing t out =
-  match t with
-  | Leaf _ | Not1 _ | Bin _ -> assert false
-  | Temporal tp ->
-    let deciding = ref true in
-    while !deciding && not (Queue.is_empty tp.pending) do
-      let p_tick, p_time = Queue.peek tp.pending in
-      let wlo = p_time +. tp.lo_off -. time_eps in
-      let whi = p_time +. tp.hi_off +. time_eps in
-      (* Drop buffered child verdicts entirely before the front window. *)
-      while
-        (not (Queue.is_empty tp.buf)) && (Queue.peek tp.buf).time < wlo
-      do
-        ignore (Queue.pop tp.buf)
-      done;
-      let any_true = ref false and any_false = ref false and any_unknown = ref false in
-      Queue.iter
-        (fun r ->
-          if r.time >= wlo && r.time <= whi then
-            match r.verdict with
-            | Verdict.True -> any_true := true
-            | Verdict.False -> any_false := true
-            | Verdict.Unknown -> any_unknown := true)
-        tp.buf;
+let count tp delta (v : Verdict.t) =
+  match v with
+  | Verdict.True -> tp.nt <- tp.nt + delta
+  | Verdict.False -> tp.nf <- tp.nf + delta
+  | Verdict.Unknown -> tp.nu <- tp.nu + delta
+
+let try_resolve_temporal ~finalizing tp out =
+  let deciding = ref true in
+  while !deciding && not (Queue.is_empty tp.pending) do
+    let p_tick, p_time = Queue.peek tp.pending in
+    let wlo = p_time +. tp.lo_off -. time_eps in
+    let whi = p_time +. tp.hi_off +. time_eps in
+    (* Slide: drop counted samples the window start has passed ... *)
+    while (not (Queue.is_empty tp.counted)) && (Queue.peek tp.counted).time < wlo do
+      count tp (-1) (Queue.pop tp.counted).verdict
+    done;
+    (* ... and admit resolved samples the window end has reached.  A
+       sample already behind the window start (possible when the start
+       jumped past it between pending ticks) is discarded: no later
+       window, all further right, can contain it. *)
+    let admitting = ref true in
+    while !admitting && not (Queue.is_empty tp.future) do
+      let r = Queue.peek tp.future in
+      if r.time <= whi then begin
+        ignore (Queue.pop tp.future);
+        if r.time >= wlo then begin
+          Queue.push r tp.counted;
+          count tp 1 r.verdict
+        end
+      end
+      else admitting := false
+    done;
+    (* Resolve before the window closes only with the operator's
+       dominating verdict: future samples can only add to the counts, so
+       it alone is stable under every extension of the window. *)
+    match Window.early tp.sem ~nt:tp.nt ~nf:tp.nf ~nu:tp.nu with
+    | Some verdict ->
+      ignore (Queue.pop tp.pending);
+      Queue.push { tick = p_tick; time = p_time; verdict } out
+    | None ->
       (* The window cannot gain samples once the child has resolved a tick
          at (or within the epsilon of) the window's end: all future ticks
          have strictly greater times.  This makes past-time operators
@@ -146,55 +158,26 @@ let try_resolve_temporal ~finalizing t out =
         || (tp.any_child_resolved
            && tp.child_max_time >= p_time +. tp.hi_off -. time_eps)
       in
-      (* Resolve before the window closes only if no possible future window
-         contents could change the verdict: the decision must be stable
-         under every extension of the flags (more verdicts can only turn
-         flags on, and completeness can go either way). *)
-      let early =
-        let base =
-          tp.decide ~any_true:!any_true ~any_false:!any_false
-            ~any_unknown:!any_unknown ~complete:false
+      if window_closed then begin
+        let complete =
+          tp.saw_input
+          && tp.last_input >= p_time +. tp.hi_off -. time_eps
+          && tp.first_input <= p_time +. tp.lo_off +. time_eps
         in
-        let choices flag = if flag then [ true ] else [ false; true ] in
-        let stable =
-          List.for_all
-            (fun t' ->
-              List.for_all
-                (fun f' ->
-                  List.for_all
-                    (fun u' ->
-                      List.for_all
-                        (fun c' ->
-                          Verdict.equal base
-                            (tp.decide ~any_true:t' ~any_false:f'
-                               ~any_unknown:u' ~complete:c'))
-                        [ false; true ])
-                    (choices !any_unknown))
-                (choices !any_false))
-            (choices !any_true)
-        in
-        if stable then Some base else None
-      in
-      match early with
-      | Some verdict ->
+        let verdict = Window.decide tp.sem ~nt:tp.nt ~nf:tp.nf ~nu:tp.nu ~complete in
         ignore (Queue.pop tp.pending);
         Queue.push { tick = p_tick; time = p_time; verdict } out
-      | None ->
-        if window_closed then begin
-          let complete =
-            tp.saw_input
-            && tp.last_input >= p_time +. tp.hi_off -. time_eps
-            && tp.first_input <= p_time +. tp.lo_off +. time_eps
-          in
-          let verdict =
-            tp.decide ~any_true:!any_true ~any_false:!any_false
-              ~any_unknown:!any_unknown ~complete
-          in
-          ignore (Queue.pop tp.pending);
-          Queue.push { tick = p_tick; time = p_time; verdict } out
-        end
-        else deciding := false
-    done
+      end
+      else deciding := false
+  done
+
+let absorb_child tp =
+  while not (Queue.is_empty tp.child.out) do
+    let r = Queue.pop tp.child.out in
+    tp.child_max_time <- r.time;
+    tp.any_child_resolved <- true;
+    Queue.push r tp.future
+  done
 
 let rec advance node ~tick ~time ~mode_lookup snapshot =
   match node.kind with
@@ -219,13 +202,8 @@ let rec advance node ~tick ~time ~mode_lookup snapshot =
     end;
     tp.last_input <- time;
     Queue.push (tick, time) tp.pending;
-    while not (Queue.is_empty tp.child.out) do
-      let r = Queue.pop tp.child.out in
-      tp.child_max_time <- r.time;
-      tp.any_child_resolved <- true;
-      Queue.push r tp.buf
-    done;
-    try_resolve_temporal ~finalizing:false node.kind node.out
+    absorb_child tp;
+    try_resolve_temporal ~finalizing:false tp node.out
 
 let rec finalize_node node =
   match node.kind with
@@ -242,13 +220,8 @@ let rec finalize_node node =
     drain_bin op left right node.out
   | Temporal tp ->
     finalize_node tp.child;
-    while not (Queue.is_empty tp.child.out) do
-      let r = Queue.pop tp.child.out in
-      tp.child_max_time <- r.time;
-      tp.any_child_resolved <- true;
-      Queue.push r tp.buf
-    done;
-    try_resolve_temporal ~finalizing:true node.kind node.out
+    absorb_child tp;
+    try_resolve_temporal ~finalizing:true tp node.out
 
 let rec count_pending node =
   match node.kind with
@@ -291,7 +264,11 @@ let step t snapshot =
   if t.finalized then invalid_arg "Online.step: monitor already finalized";
   let time = snapshot.Monitor_trace.Snapshot.time in
   if time <= t.last_time then
-    invalid_arg "Online.step: snapshot times must be strictly increasing";
+    invalid_arg
+      (Printf.sprintf
+         "Online.step: snapshot times must be strictly increasing (tick %d \
+          has time %.9g, tick %d has time %.9g)"
+         (t.next_tick - 1) t.last_time t.next_tick time);
   t.last_time <- time;
   let tick = t.next_tick in
   t.next_tick <- tick + 1;

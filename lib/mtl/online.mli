@@ -9,8 +9,16 @@
     trace length (the property that lets a bolt-on box keep up with a live
     bus).
 
+    Each temporal operator maintains its window incrementally: resolved
+    child verdicts are admitted into (and dropped out of) three sliding
+    counters as the window advances, so the per-tick cost is amortised
+    O(1) per operator — never a re-scan of the buffered window (see
+    DESIGN.md §9).
+
     [step]/[finalize] produce exactly the verdicts {!Offline.eval} assigns,
-    in tick order — this equivalence is enforced by property-based tests. *)
+    in tick order — this equivalence (and the equivalence of both to the
+    naive reference {!Offline.Naive}) is enforced by the differential
+    property suite in [test/test_differential.ml]. *)
 
 type t
 

@@ -1,0 +1,34 @@
+type sem = Universal | Existential | Mask
+
+let time_eps = 1e-9
+
+let decide sem ~nt ~nf ~nu ~complete =
+  match sem with
+  | Universal ->
+    if nf > 0 then Verdict.False
+    else if not complete then Verdict.Unknown
+    else if nu > 0 then Verdict.Unknown
+    else Verdict.True
+  | Existential ->
+    if nt > 0 then Verdict.True
+    else if not complete then Verdict.Unknown
+    else if nu > 0 then Verdict.Unknown
+    else Verdict.False
+  | Mask -> Verdict.of_bool (nt > 0)
+
+let early sem ~nt ~nf ~nu:_ =
+  match sem with
+  | Universal -> if nf > 0 then Some Verdict.False else None
+  | Existential | Mask -> if nt > 0 then Some Verdict.True else None
+
+let check_times who times =
+  for i = 1 to Array.length times - 1 do
+    if times.(i) <= times.(i - 1) then
+      invalid_arg
+        (Printf.sprintf
+           "%s: snapshot times must be strictly increasing (tick %d has \
+            time %.9g, tick %d has time %.9g)"
+           who (i - 1)
+           times.(i - 1)
+           i times.(i))
+  done

@@ -1,0 +1,43 @@
+(** Shared semantics of bounded sliding-window aggregation.
+
+    Every temporal operator in the logic reduces to one question about the
+    child verdicts sampled inside a time window: a {e universal} operator
+    ([always]/[historically]) fails on any [False], an {e existential} one
+    ([eventually]/[once]) succeeds on any [True], and the warm-up {e mask}
+    asks only "was the trigger ever [True]" with no completeness
+    obligation.  Both evaluation kernels — the fast amortised-O(1) scans in
+    {!Offline} and {!Online} and the naive per-tick rescan in
+    {!Offline.Naive} — express their verdicts through this one decision
+    table, so the kernels can only disagree about {e which samples are in
+    the window}, never about what a window's contents mean.  That split is
+    what the differential test suite leans on. *)
+
+type sem =
+  | Universal    (** [always]/[historically]: False dominates *)
+  | Existential  (** [eventually]/[once]: True dominates *)
+  | Mask         (** warm-up trigger window: [True] iff any [True];
+                     indifferent to completeness *)
+
+val time_eps : float
+(** Slack applied to window endpoints so that a sample nominally on the
+    boundary is never excluded by float rounding. *)
+
+val decide : sem -> nt:int -> nf:int -> nu:int -> complete:bool -> Verdict.t
+(** Verdict of a window containing [nt] [True], [nf] [False] and [nu]
+    [Unknown] child samples.  [complete] says the log extends to both
+    window endpoints; an incomplete window can only yield the operator's
+    dominating verdict or [Unknown]. *)
+
+val early : sem -> nt:int -> nf:int -> nu:int -> Verdict.t option
+(** The verdict, if it is already stable under {e every} extension of the
+    window: more samples can only increase the counts, and completeness
+    may land either way.  Only the dominating verdict ([False] for
+    {!Universal}, [True] for {!Existential} and {!Mask}) is ever stable
+    before the window closes.  This is the closed form of enumerating
+    [decide] over all flag extensions. *)
+
+val check_times : string -> float array -> unit
+(** [check_times who times] validates strict time monotonicity.
+    @raise Invalid_argument naming [who], the offending tick index and the
+    two timestamps.  Both offline evaluators call this with the same [who],
+    so they raise byte-identical exceptions — a tested invariant. *)

@@ -69,22 +69,23 @@ let episodes_of_verdicts ?severity ~times verdicts =
 
 (* |severity| per tick, when the spec declares a severity expression.
    NaN severities are treated as maximally severe (an exceptional value on
-   the wire is never a negligible violation). *)
-let severity_values spec snapshots =
+   the wire is never a negligible violation).  Evaluated columnar against
+   the trace's shared column view. *)
+let severity_values spec cols =
   match spec.Mtl.Spec.severity with
   | None -> None
   | Some expr ->
-    let ev = Mtl.Expr.evaluator expr in
-    Some
-      (Array.of_list
-         (List.map
-            (fun snap ->
-              match Mtl.Expr.eval ev snap with
-              | Mtl.Expr.Defined x ->
-                if Float.is_nan x then Some Float.infinity
-                else Some (Float.abs x)
-              | Mtl.Expr.Undefined -> None)
-            snapshots))
+    let col = Mtl.Expr.eval_trace expr cols in
+    let n = cols.Trace.Columns.n in
+    let out = Array.make n None in
+    for i = 0 to n - 1 do
+      if Mtl.Expr.defined_at col i then begin
+        let x = col.Mtl.Expr.cv.(i) in
+        out.(i) <-
+          (if Float.is_nan x then Some Float.infinity else Some (Float.abs x))
+      end
+    done;
+    Some out
 
 let outcome_of_verdicts ?severity spec ~times verdicts =
   let count v = Mtl.Offline.count verdicts v in
@@ -102,30 +103,31 @@ let outcome_of_verdicts ?severity spec ~times verdicts =
       (if ticks_total = 0 then 0.0
        else float_of_int (ticks_true + ticks_false) /. float_of_int ticks_total) }
 
-let check_spec ?period spec trace =
-  let snapshots = snapshots_of_trace ?period trace in
-  let outcome = Mtl.Offline.eval spec snapshots in
-  outcome_of_verdicts ?severity:(severity_values spec snapshots) spec
+(* One spec over an array-backed stream.  Callers below convert the
+   snapshot list and transpose it to columns exactly once per trace and
+   share both across every rule, so the per-rule cost is the evaluator
+   itself — O(n) per operator regardless of window width. *)
+let outcome_on_snaps spec snaps cols =
+  let outcome = Mtl.Offline.eval_columns spec snaps cols in
+  outcome_of_verdicts ?severity:(severity_values spec cols) spec
     ~times:outcome.Mtl.Offline.times outcome.Mtl.Offline.verdicts
 
+let check_spec ?period spec trace =
+  let snaps = Array.of_list (snapshots_of_trace ?period trace) in
+  outcome_on_snaps spec snaps (Trace.Columns.of_snapshots snaps)
+
 let check ?period specs trace =
-  let snapshots = snapshots_of_trace ?period trace in
-  List.map
-    (fun spec ->
-      let outcome = Mtl.Offline.eval spec snapshots in
-      outcome_of_verdicts ?severity:(severity_values spec snapshots) spec
-        ~times:outcome.Mtl.Offline.times outcome.Mtl.Offline.verdicts)
-    specs
+  let snaps = Array.of_list (snapshots_of_trace ?period trace) in
+  let cols = Trace.Columns.of_snapshots snaps in
+  List.map (fun spec -> outcome_on_snaps spec snaps cols) specs
 
 let check_stale_aware ?period ?(k = 3.0) ?hold ~periods specs trace =
   let staleness s = Option.map (fun p -> k *. p) (periods s) in
-  let snapshots = snapshots_of_trace ?period ~staleness trace in
+  let snaps = Array.of_list (snapshots_of_trace ?period ~staleness trace) in
+  let cols = Trace.Columns.of_snapshots snaps in
   List.map
     (fun spec ->
-      let guarded = Mtl.Spec.stale_guarded ?hold spec in
-      let outcome = Mtl.Offline.eval guarded snapshots in
-      outcome_of_verdicts ?severity:(severity_values guarded snapshots) guarded
-        ~times:outcome.Mtl.Offline.times outcome.Mtl.Offline.verdicts)
+      outcome_on_snaps (Mtl.Spec.stale_guarded ?hold spec) snaps cols)
     specs
 
 let check_spec_online ?period spec trace =
@@ -143,7 +145,10 @@ let check_spec_online ?period spec trace =
   let verdicts =
     Array.of_list (List.map (fun r -> r.Mtl.Online.verdict) ordered)
   in
-  outcome_of_verdicts ?severity:(severity_values spec snapshots) spec ~times
-    verdicts
+  outcome_of_verdicts
+    ?severity:
+      (severity_values spec
+         (Trace.Columns.of_snapshots (Array.of_list snapshots)))
+    spec ~times verdicts
 
 let status_letter = function Satisfied -> "S" | Violated -> "V"

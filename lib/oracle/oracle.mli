@@ -48,6 +48,9 @@ val check_spec :
 val check :
   ?period:float -> Monitor_mtl.Spec.t list -> Monitor_trace.Trace.t ->
   rule_outcome list
+(** The snapshot stream is cut once and shared, array-backed, across every
+    rule ({!Monitor_mtl.Offline.eval_array}); each rule then costs O(n)
+    per operator in trace length, independent of its window widths. *)
 
 val check_stale_aware :
   ?period:float -> ?k:float -> ?hold:float ->

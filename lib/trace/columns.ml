@@ -1,0 +1,123 @@
+(* Per-tick flag bits, packed so the transposition writes one byte per
+   entry and the evaluators read one. *)
+let bit_present = 1
+
+let bit_fresh = 2
+
+let bit_stale = 4
+
+type column = {
+  flags : Bytes.t;
+  floats : float array;
+  bools : Bytes.t;
+  mutable last_update : float array;
+  mutable all_present : bool;
+  mutable never_stale : bool;
+}
+
+type t = {
+  times : float array;
+  n : int;
+  by_name : (string, column) Hashtbl.t;
+  ones : Bytes.t;
+  snaps : Snapshot.t array;
+}
+
+(* Float payloads are only read where the present bit is set, so they can
+   be allocated uninitialised.  [last_update] is only consulted by [age()]
+   expressions, so it is not built until {!force_last_update} asks. *)
+let fresh_column n =
+  { flags = Bytes.make n '\000';
+    floats = Array.create_float n;
+    bools = Bytes.make n '\000';
+    last_update = [||];
+    all_present = false;
+    never_stale = false }
+
+let of_snapshots snaps =
+  let alloc0 = Gc.allocated_bytes () in
+  let n = Array.length snaps in
+  let times = Array.map (fun s -> s.Snapshot.time) snaps in
+  let by_name = Hashtbl.create 32 in
+  (* Snapshots of one stream almost always carry the same signal set tick
+     after tick, so remember each name's column at its last position in the
+     entry list and only fall back to the table on a mismatch. *)
+  let cache = ref [||] in
+  for i = 0 to n - 1 do
+    let entries = snaps.(i).Snapshot.entries in
+    let k = List.length entries in
+    if Array.length !cache <> k then cache := Array.make k ("", fresh_column 0);
+    List.iteri
+      (fun j (name, (e : Snapshot.entry)) ->
+        let col =
+          let cached_name, cached_col = !cache.(j) in
+          if cached_name == name || String.equal cached_name name then
+            cached_col
+          else begin
+            let col =
+              match Hashtbl.find_opt by_name name with
+              | Some col -> col
+              | None ->
+                let col = fresh_column n in
+                Hashtbl.add by_name name col;
+                col
+            in
+            !cache.(j) <- (name, col);
+            col
+          end
+        in
+        let f =
+          bit_present
+          lor (if e.Snapshot.fresh then bit_fresh else 0)
+          lor if e.Snapshot.stale then bit_stale else 0
+        in
+        Bytes.unsafe_set col.flags i (Char.unsafe_chr f);
+        col.floats.(i) <- Monitor_signal.Value.as_float e.Snapshot.value;
+        if Monitor_signal.Value.as_bool e.Snapshot.value then
+          Bytes.unsafe_set col.bools i '\001')
+      entries
+  done;
+  Hashtbl.iter
+    (fun _ col ->
+      (* A flag byte is non-zero exactly where the present bit is set. *)
+      col.all_present <- not (Bytes.contains col.flags '\000');
+      let never_stale = ref true in
+      for i = 0 to n - 1 do
+        if Char.code (Bytes.unsafe_get col.flags i) land bit_stale <> 0 then
+          never_stale := false
+      done;
+      col.never_stale <- !never_stale)
+    by_name;
+  (* The per-signal arrays are large enough to be allocated straight into
+     the major heap, which the OCaml 5.1 pacer does not account for when
+     sizing its slices (fixed upstream in 5.2) — so a loop that keeps
+     transposing logs (a fault-injection campaign, the benchmark harness)
+     outruns the collector and the heap balloons.  Request a slice sized
+     to what this transposition actually allocated. *)
+  let words = int_of_float ((Gc.allocated_bytes () -. alloc0) /. 8.0) in
+  if words > 0 then ignore (Gc.major_slice words);
+  { times; n; by_name; ones = Bytes.make n '\001'; snaps }
+
+let find t name = Hashtbl.find_opt t.by_name name
+
+let mem c i = Char.code (Bytes.unsafe_get c.flags i) land bit_present <> 0
+
+let is_fresh c i = Char.code (Bytes.unsafe_get c.flags i) land bit_fresh <> 0
+
+let is_stale c i = Char.code (Bytes.unsafe_get c.flags i) land bit_stale <> 0
+
+let usable c i =
+  Char.code (Bytes.unsafe_get c.flags i) land (bit_present lor bit_stale)
+  = bit_present
+
+let force_last_update t name c =
+  if Array.length c.last_update <> t.n && t.n > 0 then begin
+    let arr = Array.create_float t.n in
+    for i = 0 to t.n - 1 do
+      match Snapshot.find t.snaps.(i) name with
+      | Some e -> arr.(i) <- e.Snapshot.last_update
+      | None -> arr.(i) <- Float.nan
+    done;
+    c.last_update <- arr
+  end;
+  c.last_update

@@ -1,0 +1,62 @@
+(** Column-oriented view of a snapshot stream.
+
+    {!Snapshot.t} is the right shape for building a tick — one record, all
+    signals — but the wrong shape for evaluating a rule over a whole log:
+    every per-tick signal read walks the snapshot's assoc list, so a
+    trace-long evaluation pays O(ticks * signals) list traversals per leaf.
+    This module transposes the stream once: per signal, contiguous arrays
+    of value/freshness/staleness indexed by tick, so an evaluator reads a
+    signal at tick [i] with two array loads and no allocation.
+
+    The transposition is exact: per-tick presence, the float and boolean
+    coercions of {!Monitor_signal.Value}, freshness, staleness and
+    last-update times all reproduce what {!Snapshot.find} and friends
+    return at that tick — the differential suite holds the columnar
+    evaluators to that. *)
+
+type column = {
+  flags : Bytes.t;         (** per-tick presence/freshness/staleness bits,
+                               packed one byte per tick; read through {!mem},
+                               {!is_fresh}, {!is_stale} and {!usable} *)
+  floats : float array;    (** {!Monitor_signal.Value.as_float} of the entry;
+                               unspecified where not present *)
+  bools : Bytes.t;         (** {!Monitor_signal.Value.as_bool} likewise *)
+  mutable last_update : float array;
+                           (** built on demand — use {!force_last_update} *)
+  mutable all_present : bool;  (** an entry at every tick — evaluators may
+                                   then read [floats] without consulting
+                                   [flags] *)
+  mutable never_stale : bool;
+}
+
+type t = {
+  times : float array;
+  n : int;                 (** tick count, [Array.length times] *)
+  by_name : (string, column) Hashtbl.t;
+  ones : Bytes.t;          (** [n] bytes, all set — shared all-ticks mask for
+                               zero-copy column views; treat as read-only *)
+  snaps : Snapshot.t array;
+                           (** the stream this is a view of (not a copy) *)
+}
+
+val of_snapshots : Snapshot.t array -> t
+(** One pass over the stream; O(total entries). *)
+
+val find : t -> string -> column option
+(** The whole-trace column for a signal, or [None] if no snapshot ever
+    carried it. *)
+
+val mem : column -> int -> bool
+(** [mem c i] — does the signal have an entry at tick [i]? *)
+
+val is_fresh : column -> int -> bool
+val is_stale : column -> int -> bool
+
+val usable : column -> int -> bool
+(** [usable c i] — present and not stale: the entry's value may be read as
+    the signal's current value.  One flag load instead of two. *)
+
+val force_last_update : t -> string -> column -> float array
+(** [force_last_update t name c] — the per-tick last-update times of
+    [name]'s column [c], built from the snapshots on first use and cached
+    on the column.  Entries where the signal is absent are unspecified. *)

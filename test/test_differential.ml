@@ -1,0 +1,411 @@
+(* Differential testing of the three evaluation kernels.
+
+   Offline.eval (columnar leaves + sliding windows), Offline.Naive.eval
+   (per-tick snapshot leaves + window re-scan — the semantics of record)
+   and Online (streaming two-queue windows) must assign the same verdict to
+   every tick of every trace.  This suite hammers that equivalence with
+   random specs over random multirate traces under random channel-fault
+   conditions, and shrinks any disagreement to a minimal counterexample.
+
+   The default count is sized for CI's quick lane; the nightly job raises
+   it via QCHECK_COUNT (see .github/workflows/ci.yml). *)
+
+open Monitor_mtl
+module Value = Monitor_signal.Value
+module Snapshot = Monitor_trace.Snapshot
+
+let count =
+  match Sys.getenv_opt "QCHECK_COUNT" with
+  | Some s -> (try int_of_string s with Failure _ -> 150)
+  | None -> 150
+
+(* Cases ------------------------------------------------------------------ *)
+
+(* One differential case: a formula, the surviving fresh updates per tick
+   (the trace after channel faults), and an optional staleness bound
+   applied uniformly when cutting snapshots. *)
+type case = {
+  formula : Formula.t;
+  rows : (float * (string * Value.t) list) list;
+  staleness : float option;
+}
+
+(* Snapshot stream with hold semantics and an explicit staleness policy:
+   a held sample whose age exceeds [staleness] is flagged stale.  (Same
+   convention as Multirate.snapshots; re-implemented here so the
+   differential suite depends only on the snapshot type itself.) *)
+let snapshots_of_rows ?staleness rows =
+  let states : (string, Value.t * float) Hashtbl.t = Hashtbl.create 8 in
+  List.map
+    (fun (time, fresh_list) ->
+      List.iter
+        (fun (name, v) -> Hashtbl.replace states name (v, time))
+        fresh_list;
+      let entries =
+        Hashtbl.fold
+          (fun name (v, last_update) acc ->
+            let fresh = List.mem_assoc name fresh_list in
+            let stale =
+              match staleness with
+              | Some max_age -> time -. last_update > max_age
+              | None -> false
+            in
+            (name, { Snapshot.value = v; fresh; stale; last_update }) :: acc)
+          states []
+      in
+      Snapshot.make ~time ~entries)
+    rows
+
+let snapshots_of_case case = snapshots_of_rows ?staleness:case.staleness case.rows
+
+(* Formula generator ------------------------------------------------------ *)
+
+(* Atoms cover every leaf the offline fast path evaluates columnar:
+   boolean signals, freshness/knownness/staleness tests, and comparisons
+   over expressions exercising held values, history operators and
+   arithmetic (including division, whose NaN/inf results must stay
+   bit-compatible across kernels). *)
+let gen_expr : Expr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let float_sig = oneofl [ "x"; "y" ] in
+  let leaf =
+    frequency
+      [ (3, map (fun s -> Expr.Signal s) float_sig);
+        (2, map (fun c -> Expr.Const c) (float_range (-2.0) 2.0));
+        (1, map (fun s -> Expr.Fresh_delta s) float_sig);
+        (1, map (fun s -> Expr.Age s) float_sig) ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [ (3, leaf);
+            (1, map (fun e -> Expr.Prev e) (self (depth - 1)));
+            (1, map (fun e -> Expr.Delta e) (self (depth - 1)));
+            (1, map (fun e -> Expr.Rate e) (self (depth - 1)));
+            (1, map (fun e -> Expr.Neg e) (self (depth - 1)));
+            (1, map (fun e -> Expr.Abs e) (self (depth - 1)));
+            (1, map2 (fun a b -> Expr.Add (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun a b -> Expr.Sub (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun a b -> Expr.Mul (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun a b -> Expr.Div (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun a b -> Expr.Min (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun a b -> Expr.Max (a, b)) (self (depth - 1)) (self (depth - 1))) ])
+    2
+
+let gen_formula : Formula.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let any_sig = oneofl [ "p"; "q"; "x"; "y" ] in
+  let cmp_op = oneofl Formula.[ Lt; Le; Gt; Ge; Eq; Ne ] in
+  let atom =
+    frequency
+      [ (2, map (fun s -> Formula.Bool_signal s) (oneofl [ "p"; "q" ]));
+        (1, map (fun s -> Formula.Fresh s) any_sig);
+        (1, map (fun s -> Formula.Known s) any_sig);
+        (1, map (fun s -> Formula.Stale s) any_sig);
+        (1, return (Formula.Const true));
+        ( 3,
+          map3 (fun a op b -> Formula.Cmp (a, op, b)) gen_expr cmp_op gen_expr
+        ) ]
+  in
+  let interval =
+    map2
+      (fun lo len -> Formula.interval lo (lo +. len))
+      (float_range 0.0 0.03) (float_range 0.0 0.05)
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then atom
+      else
+        frequency
+          [ (3, atom);
+            (1, map (fun f -> Formula.Not f) (self (depth - 1)));
+            (1, map2 (fun a b -> Formula.And (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun a b -> Formula.Or (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun a b -> Formula.Implies (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun i f -> Formula.Always (i, f)) interval (self (depth - 1)));
+            (1, map2 (fun i f -> Formula.Eventually (i, f)) interval (self (depth - 1)));
+            (1, map2 (fun i f -> Formula.Once (i, f)) interval (self (depth - 1)));
+            (1, map2 (fun i f -> Formula.Historically (i, f)) interval (self (depth - 1)));
+            ( 1,
+              map3
+                (fun t h body -> Formula.Warmup { trigger = t; hold = h; body })
+                (self 0) (float_range 0.0 0.04) (self (depth - 1)) ) ])
+    3
+
+(* Trace generator -------------------------------------------------------- *)
+
+(* Multirate publication (per-signal periods in ticks), then a channel
+   fault: either a Bernoulli per-update loss or a burst outage dropping
+   every update in a contiguous tick range.  Occasional NaN floats check
+   that exceptional values flow identically through all kernels, and
+   random tick skipping makes the spacing irregular. *)
+let gen_rows : (float * (string * Value.t) list) list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n = int_range 1 30 in
+  let* pp, pq = pair (oneofl [ 1; 2; 3; 5 ]) (oneofl [ 1; 2; 3; 5 ]) in
+  let* px, py = pair (oneofl [ 1; 2; 3; 5 ]) (oneofl [ 1; 2; 3; 5 ]) in
+  let* bools = list_repeat n (pair bool bool) in
+  let* floats =
+    list_repeat n (pair (float_range (-2.0) 2.0) (float_range (-2.0) 2.0))
+  in
+  let* nan_mask = list_repeat n (map (fun k -> k = 0) (int_range 0 19)) in
+  let* keep_tick = list_repeat n (map (fun k -> k > 0) (int_range 0 9)) in
+  let* fault = oneofl [ `None; `Bernoulli; `Burst ] in
+  let* drop_mask = list_repeat (n * 4) (map (fun k -> k = 0) (int_range 0 2)) in
+  let* burst_start = int_range 0 (max 0 (n - 1)) in
+  let* burst_len = int_range 1 (max 1 (n / 2)) in
+  let drop_arr = Array.of_list drop_mask in
+  let dropped tick slot =
+    match fault with
+    | `None -> false
+    | `Bernoulli -> drop_arr.((tick * 4) + slot)
+    | `Burst -> tick >= burst_start && tick < burst_start + burst_len
+  in
+  let rows =
+    List.mapi
+      (fun i (((pb, qb), (xv, yv)), is_nan) ->
+        let time = float_of_int i *. 0.01 in
+        let due p = i mod p = 0 in
+        let updates =
+          (if due pp && not (dropped i 0) then [ ("p", Value.Bool pb) ] else [])
+          @ (if due pq && not (dropped i 1) then [ ("q", Value.Bool qb) ] else [])
+          @ (if due px && not (dropped i 2) then
+               [ ("x", Value.Float (if is_nan then Float.nan else xv)) ]
+             else [])
+          @
+          if due py && not (dropped i 3) then [ ("y", Value.Float yv) ] else []
+        in
+        (time, updates))
+      (List.combine (List.combine bools floats) nan_mask)
+  in
+  let kept =
+    List.filteri
+      (fun i _ -> List.nth keep_tick i || i = 0)
+      rows
+  in
+  return kept
+
+let gen_case : case QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* formula = gen_formula in
+  let* rows = gen_rows in
+  let* staleness = oneofl [ None; None; Some 0.015; Some 0.04 ] in
+  return { formula; rows; staleness }
+
+(* Shrinking -------------------------------------------------------------- *)
+
+let rec shrink_formula (f : Formula.t) yield =
+  let sub g rebuild =
+    yield g;
+    shrink_formula g (fun g' -> yield (rebuild g'))
+  in
+  match f with
+  | Formula.Const _ -> ()
+  | Formula.Bool_signal _ | Formula.Fresh _ | Formula.Known _
+  | Formula.Stale _ | Formula.Cmp _ | Formula.In_mode _ ->
+    yield (Formula.Const true)
+  | Formula.Not g -> sub g (fun g' -> Formula.Not g')
+  | Formula.And (a, b) ->
+    yield a;
+    yield b;
+    shrink_formula a (fun a' -> yield (Formula.And (a', b)));
+    shrink_formula b (fun b' -> yield (Formula.And (a, b')))
+  | Formula.Or (a, b) ->
+    yield a;
+    yield b;
+    shrink_formula a (fun a' -> yield (Formula.Or (a', b)));
+    shrink_formula b (fun b' -> yield (Formula.Or (a, b')))
+  | Formula.Implies (a, b) ->
+    yield a;
+    yield b;
+    shrink_formula a (fun a' -> yield (Formula.Implies (a', b)));
+    shrink_formula b (fun b' -> yield (Formula.Implies (a, b')))
+  | Formula.Always (i, g) -> sub g (fun g' -> Formula.Always (i, g'))
+  | Formula.Eventually (i, g) -> sub g (fun g' -> Formula.Eventually (i, g'))
+  | Formula.Historically (i, g) -> sub g (fun g' -> Formula.Historically (i, g'))
+  | Formula.Once (i, g) -> sub g (fun g' -> Formula.Once (i, g'))
+  | Formula.Warmup { trigger; hold; body } ->
+    yield body;
+    yield trigger;
+    shrink_formula body (fun body' ->
+        yield (Formula.Warmup { trigger; hold; body = body' }));
+    shrink_formula trigger (fun trigger' ->
+        yield (Formula.Warmup { trigger = trigger'; hold; body }))
+
+let shrink_case case yield =
+  (* Fewer ticks first (smaller traces make counterexamples readable),
+     then simpler formulas, then drop the staleness policy. *)
+  QCheck.Shrink.list ~shrink:QCheck.Shrink.nil case.rows (fun rows' ->
+      if rows' <> [] then yield { case with rows = rows' });
+  shrink_formula case.formula (fun f -> yield { case with formula = f });
+  match case.staleness with
+  | Some _ -> yield { case with staleness = None }
+  | None -> ()
+
+let print_case case =
+  let row_str (t, updates) =
+    Printf.sprintf "%.3f: {%s}" t
+      (String.concat ", "
+         (List.map
+            (fun (n, v) -> Printf.sprintf "%s=%s" n (Value.to_string v))
+            updates))
+  in
+  Printf.sprintf "formula: %s\nstaleness: %s\nrows:\n  %s"
+    (Formula.to_string case.formula)
+    (match case.staleness with
+    | None -> "none"
+    | Some s -> Printf.sprintf "%.3f" s)
+    (String.concat "\n  " (List.map row_str case.rows))
+
+(* The property ----------------------------------------------------------- *)
+
+let run_online spec snapshots =
+  let m = Online.create spec in
+  let streamed = List.concat_map (fun snap -> Online.step m snap) snapshots in
+  let resolved = streamed @ Online.finalize m in
+  let sorted =
+    List.sort (fun a b -> Int.compare a.Online.tick b.Online.tick) resolved
+  in
+  ( Array.of_list (List.map (fun r -> r.Online.time) sorted),
+    Array.of_list (List.map (fun r -> r.Online.verdict) sorted) )
+
+let agree (times_a, verdicts_a) (times_b, verdicts_b) =
+  Array.length times_a = Array.length times_b
+  && Array.for_all2 (fun (a : float) b -> a = b) times_a times_b
+  && Array.for_all2 Verdict.equal verdicts_a verdicts_b
+
+let kernels_agree case =
+  let spec = Spec.make ~name:"diff" case.formula in
+  let snapshots = snapshots_of_case case in
+  let fast = Offline.eval spec snapshots in
+  let naive = Offline.Naive.eval spec snapshots in
+  let online = run_online spec snapshots in
+  agree (fast.Offline.times, fast.Offline.verdicts)
+    (naive.Offline.times, naive.Offline.verdicts)
+  && agree (fast.Offline.times, fast.Offline.verdicts) online
+
+let differential_prop =
+  QCheck.Test.make ~name:"fast = naive = online on random faulted traces"
+    ~count
+    (QCheck.make ~print:print_case ~shrink:shrink_case gen_case)
+    kernels_agree
+
+(* Stale-guarded specs route staleness through Warmup + Stale leaves —
+   the degraded-mode path the oracle actually runs. *)
+let stale_guarded_prop =
+  QCheck.Test.make
+    ~name:"stale-guarded fast = naive = online" ~count:(max 50 (count / 3))
+    (QCheck.make ~print:print_case ~shrink:shrink_case gen_case)
+    (fun case ->
+      let base = Spec.make ~name:"diff" case.formula in
+      let spec = Spec.stale_guarded base in
+      let snapshots = snapshots_of_case { case with staleness = Some 0.015 } in
+      let fast = Offline.eval spec snapshots in
+      let naive = Offline.Naive.eval spec snapshots in
+      let online = run_online spec snapshots in
+      agree (fast.Offline.times, fast.Offline.verdicts)
+        (naive.Offline.times, naive.Offline.verdicts)
+      && agree (fast.Offline.times, fast.Offline.verdicts) online)
+
+(* Malformed streams ------------------------------------------------------ *)
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else at (i + 1)
+  in
+  at 0
+
+(* Both offline kernels must reject a non-increasing stream with the same
+   exception, and the message must name the offending tick and both
+   timestamps — that is what a test engineer gets to debug a broken log. *)
+let decreasing_snapshots () =
+  snapshots_of_rows
+    [ (0.0, [ ("p", Value.Bool true) ]);
+      (0.02, [ ("p", Value.Bool false) ]);
+      (0.01, [ ("p", Value.Bool true) ]) ]
+
+let test_bad_stream_messages_match () =
+  let spec = Spec.make ~name:"bad" (Formula.Bool_signal "p") in
+  let snaps = decreasing_snapshots () in
+  let message f = try ignore (f ()); None with Invalid_argument m -> Some m in
+  let fast = message (fun () -> Offline.eval spec snaps) in
+  let naive = message (fun () -> Offline.Naive.eval spec snaps) in
+  (match fast with
+  | None -> Alcotest.fail "fast evaluator accepted a decreasing stream"
+  | Some m ->
+    let contains = contains_substring m in
+    Alcotest.(check bool) "names the tick index" true (contains "tick 2");
+    Alcotest.(check bool) "names the earlier timestamp" true (contains "0.02");
+    Alcotest.(check bool) "names the later timestamp" true (contains "0.01"));
+  Alcotest.(check (option string)) "identical exception from both kernels"
+    fast naive
+
+let test_online_bad_stream_message () =
+  let spec = Spec.make ~name:"bad" (Formula.Bool_signal "p") in
+  let m = Online.create spec in
+  let snaps = decreasing_snapshots () in
+  List.iteri
+    (fun i snap ->
+      if i < 2 then ignore (Online.step m snap)
+      else
+        match Online.step m snap with
+        | _ -> Alcotest.fail "online accepted a decreasing stream"
+        | exception Invalid_argument msg ->
+          let contains = contains_substring msg in
+          Alcotest.(check bool) "names the tick index" true (contains "tick 2");
+          Alcotest.(check bool) "names both timestamps" true
+            (contains "0.02" && contains "0.01"))
+    snaps
+
+(* Canonical HIL traces --------------------------------------------------- *)
+
+(* The repo has no committed raw logs (traces are simulator-generated and
+   deterministic), so the canonical equivalence check runs the paper rules
+   and their relaxed variants over two reference scenarios. *)
+let test_canonical_traces () =
+  let specs =
+    Monitor_oracle.Rules.all
+    @ [ Monitor_oracle.Rules.relaxed_rule2 ();
+        Monitor_oracle.Rules.relaxed_rule3 ();
+        Monitor_oracle.Rules.relaxed_rule4 () ]
+  in
+  let scenarios =
+    [ Monitor_hil.Scenario.steady_follow ~duration:6.0 ();
+      Monitor_hil.Scenario.cut_in ~duration:25.0 () ]
+  in
+  List.iter
+    (fun scenario ->
+      let result =
+        Monitor_hil.Sim.run (Monitor_hil.Sim.default_config scenario)
+      in
+      let snapshots =
+        Monitor_oracle.Oracle.snapshots_of_trace result.Monitor_hil.Sim.trace
+      in
+      List.iter
+        (fun spec ->
+          let fast = Offline.eval spec snapshots in
+          let naive = Offline.Naive.eval spec snapshots in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s agrees on canonical trace" spec.Spec.name)
+            true
+            (agree
+               (fast.Offline.times, fast.Offline.verdicts)
+               (naive.Offline.times, naive.Offline.verdicts)))
+        specs)
+    scenarios
+
+let suite =
+  [ ( "differential",
+      [ QCheck_alcotest.to_alcotest differential_prop;
+        QCheck_alcotest.to_alcotest stale_guarded_prop;
+        Alcotest.test_case "malformed stream: identical offline errors" `Quick
+          test_bad_stream_messages_match;
+        Alcotest.test_case "malformed stream: online error" `Quick
+          test_online_bad_stream_message;
+        Alcotest.test_case "canonical traces: fast = naive" `Quick
+          test_canonical_traces ] ) ]

@@ -1,0 +1,92 @@
+(* Golden (expect) tests: the rendered experiment tables are compared
+   byte-for-byte against fixtures committed under test/golden/.
+
+   The experiments are deterministic by construction (seeded PRNG streams
+   derived from run indices, fixed scenario lists), so any byte of drift in
+   these tables is a behaviour change — either an intended one, in which
+   case regenerate the fixtures with
+
+     GOLDEN_UPDATE=1 dune runtest
+     cp _build/default/test/golden/*.txt test/golden/
+
+   and review the diff like any other code change, or an unintended one,
+   which this suite exists to catch. *)
+
+module E = Monitor_experiments
+module Report = Monitor_oracle.Report
+module Rules = Monitor_oracle.Rules
+
+(* Under `dune runtest` the cwd is _build/default/test, where the fixtures
+   appear as deps; ad-hoc `dune exec` runs from the repo root instead. *)
+let fixture_path name =
+  let sandboxed = Filename.concat "golden" name in
+  if Sys.file_exists sandboxed then sandboxed
+  else begin
+    let from_root = Filename.concat (Filename.concat "test" "golden") name in
+    if Sys.file_exists from_root then from_root else sandboxed
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let updating = Sys.getenv_opt "GOLDEN_UPDATE" = Some "1"
+
+let check_golden name actual =
+  let path = fixture_path name in
+  if updating then begin
+    (if not (Sys.file_exists "golden") then Sys.mkdir "golden" 0o755);
+    write_file path actual
+  end
+  else begin
+    if not (Sys.file_exists path) then
+      Alcotest.failf
+        "fixture %s missing - generate it with GOLDEN_UPDATE=1 dune runtest \
+         and copy it from _build/default/test/golden/"
+        path;
+    let expected = read_file path in
+    Alcotest.(check string) (name ^ " is byte-identical to its fixture")
+      expected actual
+  end
+
+(* Quick-scale Table I: nominal + per-target injection letters. *)
+let test_table1_golden () =
+  let t = Lazy.force Test_experiments.quick_table in
+  check_golden "table1_quick.txt" (E.Table1.rendered t)
+
+(* The availability matrix on its own: letters + definite-verdict fraction
+   per (channel condition, rule). *)
+let test_availability_golden () =
+  let t = Lazy.force Test_lossy.lossy_quick in
+  let rows =
+    List.map
+      (fun c ->
+        { Report.condition_label =
+            Monitor_inject.Channel.label c.E.Lossy_bus.channel;
+          cells =
+            List.combine c.E.Lossy_bus.letters c.E.Lossy_bus.availability })
+      t.E.Lossy_bus.per_condition
+  in
+  check_golden "availability_quick.txt"
+    (Report.render_availability_table ~rule_count:(List.length Rules.all) rows)
+
+(* Full E7 report: the degradation table plus channel-effect counters. *)
+let test_e7_golden () =
+  let t = Lazy.force Test_lossy.lossy_quick in
+  check_golden "e7_quick.txt" (E.Lossy_bus.rendered t)
+
+let suite =
+  [ ( "golden",
+      [ Alcotest.test_case "table1 quick render" `Quick test_table1_golden;
+        Alcotest.test_case "availability table render" `Quick
+          test_availability_golden;
+        Alcotest.test_case "e7 degradation render" `Quick test_e7_golden ] )
+  ]
