@@ -231,6 +231,90 @@ let rules_cmd =
   Cmd.v (Cmd.info "rules" ~doc:"Print the seven safety rules")
     Term.(const run $ const ())
 
+(* The full lint environment for the built-in system: message existence
+   and periods from the FSRACC DBC, physical ranges from the signal
+   definitions. *)
+let fsracc_lint_env () =
+  Monitor_analysis.Speclint.env ~dbc:Monitor_fsracc.Io.dbc
+    ~defs:(List.map snd Monitor_fsracc.Io.signals)
+    ()
+
+let builtin_specs () =
+  Monitor_oracle.Rules.all
+  @ [ Monitor_oracle.Rules.relaxed_rule2 ();
+      Monitor_oracle.Rules.relaxed_rule3 ();
+      Monitor_oracle.Rules.relaxed_rule4 ();
+      Monitor_oracle.Rules.range_consistency_naive;
+      Monitor_oracle.Rules.range_consistency_warmup ]
+
+let lint_cmd =
+  let module L = Monitor_analysis.Speclint in
+  let target_arg =
+    let doc =
+      "What to lint: a .spec file path, or 'builtin' for the compiled-in \
+       rule set (the seven paper rules, their relaxed variants and the \
+       warm-up demonstration pair)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc)
+  in
+  let dbc_arg =
+    let doc =
+      "Resolve signals against the built-in FSRACC message database and \
+       physical signal ranges; enables the unknown-signal, kind, range and \
+       period checks."
+    in
+    Arg.(value & flag & info [ "dbc" ] ~doc)
+  in
+  let strict_arg =
+    let doc = "Exit non-zero if any error-severity diagnostic is reported." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let allow_arg =
+    let doc =
+      "Suppress a diagnostic code (kebab-case, e.g. 'window-subsamples'); \
+       repeatable."
+    in
+    Arg.(value & opt_all string [] & info [ "allow" ] ~docv:"CODE" ~doc)
+  in
+  let run target use_dbc strict allow_names =
+    let allow =
+      List.map
+        (fun name ->
+          match L.code_of_name name with
+          | Some c -> c
+          | None ->
+            prerr_endline
+              ("unknown diagnostic code: " ^ name ^ " (known: "
+              ^ String.concat ", " (List.map L.code_name L.all_codes)
+              ^ ")");
+            exit 1)
+        allow_names
+    in
+    let env = if use_dbc then fsracc_lint_env () else L.env () in
+    let items =
+      if String.equal target "builtin" then
+        Ok
+          (List.map
+             (fun spec -> (spec, L.check_env ~allow env spec))
+             (builtin_specs ()))
+      else L.lint_file ~env ~allow target
+    in
+    match items with
+    | Error msg ->
+      prerr_endline ("spec file error: " ^ msg);
+      exit 1
+    | Ok items ->
+      print_string (Monitor_oracle.Report.render_diagnostics items);
+      let has_errors =
+        List.exists (fun (_, ds) -> L.errors ds <> []) items
+      in
+      exit (if strict && has_errors then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyse rule specifications (resolution, ranges,              multi-rate windows, staleness/warm-up consistency)")
+    Term.(const run $ target_arg $ dbc_arg $ strict_arg $ allow_arg)
+
 let check_cmd =
   let trace_arg =
     let doc = "CSV trace file (time,signal,value) to check." in
@@ -251,7 +335,14 @@ let check_cmd =
     let doc = "Explain each violated rule at its first violating tick." in
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
-  let run trace_file rule_sources spec_file explain =
+  let lint_arg =
+    let doc =
+      "Pre-flight: lint the rules against the built-in DBC first and \
+       refuse to run if any error-severity diagnostic is reported."
+    in
+    Arg.(value & flag & info [ "lint" ] ~doc)
+  in
+  let run trace_file rule_sources spec_file explain lint =
     match Monitor_trace.Csv.load trace_file with
     | Error msg ->
       prerr_endline ("error: " ^ msg);
@@ -285,6 +376,16 @@ let check_cmd =
                 exit 1)
             sources
       in
+      if lint then begin
+        let module L = Monitor_analysis.Speclint in
+        let env = fsracc_lint_env () in
+        let items = List.map (fun s -> (s, L.check_env env s)) specs in
+        if List.exists (fun (_, ds) -> L.errors ds <> []) items then begin
+          print_string (Monitor_oracle.Report.render_diagnostics items);
+          prerr_endline "lint errors: refusing to run the oracle";
+          exit 1
+        end
+      end;
       let outcomes = Monitor_oracle.Oracle.check specs trace in
       print_endline (Monitor_oracle.Report.render_outcomes outcomes);
       (* A satisfied guarded rule that was never armed proved nothing:
@@ -315,7 +416,8 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Run the monitor-based oracle over a stored CSV trace")
-    Term.(const run $ trace_arg $ rule_arg $ spec_file_arg $ explain_arg)
+    Term.(const run $ trace_arg $ rule_arg $ spec_file_arg $ explain_arg
+          $ lint_arg)
 
 let all_cmd =
   let run quick seed jobs =
@@ -362,4 +464,4 @@ let () =
   exit (Cmd.eval (Cmd.group info
     [ figure1_cmd; table1_cmd; vehicle_logs_cmd; multirate_cmd; warmup_cmd;
       ablation_cmd; lossy_bus_cmd; simulate_cmd; trace_stats_cmd; rules_cmd;
-      check_cmd; all_cmd ]))
+      lint_cmd; check_cmd; all_cmd ]))

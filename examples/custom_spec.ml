@@ -58,9 +58,37 @@ let log =
   done;
   Trace.of_list (List.rev !records)
 
+(* Before running anything, lint the spec against the FSRACC interface
+   description: signal names and kinds resolve, comparisons are
+   satisfiable within declared ranges, windows are compatible with the
+   bus periods.  The same environment can be passed to the oracle as
+   [?preflight] to make it refuse statically broken rules. *)
+let lint_env =
+  Monitor_analysis.Speclint.env ~dbc:Monitor_fsracc.Io.dbc
+    ~defs:(List.map snd Monitor_fsracc.Io.signals)
+    ()
+
+let () =
+  (match Monitor_analysis.Speclint.check_env lint_env spec with
+   | [] -> print_endline "speclint: clean\n"
+   | ds ->
+     Format.printf "speclint:@.%a@.@."
+       (Format.pp_print_list Monitor_analysis.Speclint.pp_diagnostic)
+       ds);
+  (* A deliberately broken variant: the guard can never arm (TargetRange
+     is declared [0, 200]), so every satisfied verdict would be vacuous.
+     The linter rejects it before a single tick is evaluated. *)
+  let broken =
+    Mtl.Spec.make ~name:"dead_guard"
+      (parse "TargetRange > 500.0 -> eventually[0.0, 0.3] BrakeRequested")
+  in
+  Format.printf "speclint on a dead-guard variant:@.%a@.@."
+    (Format.pp_print_list Monitor_analysis.Speclint.pp_diagnostic)
+    (Monitor_analysis.Speclint.check_env lint_env broken)
+
 let () =
   Format.printf "spec:@.%a@.@." Mtl.Spec.pp spec;
-  let outcome = Monitor_oracle.Oracle.check_spec spec log in
+  let outcome = Monitor_oracle.Oracle.check_spec ~preflight:lint_env spec log in
   print_endline (Monitor_oracle.Report.render_outcome outcome);
   (* The first violation is at t=1.0: the close target was not answered by
      braking within 300 ms (braking only came at 1.5 s). *)

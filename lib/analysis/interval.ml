@@ -1,0 +1,168 @@
+module Def = Monitor_signal.Def
+module Formula = Monitor_mtl.Formula
+
+type t = {
+  range : (float * float) option;
+  nan : bool;
+  undef : bool;
+}
+
+(* Build from raw bounds that may themselves be NaN (an interval-arithmetic
+   corner like [inf - inf]): a NaN bound means the operation can leave the
+   number line entirely, so widen to everything and record the NaN. *)
+let of_bounds lo hi =
+  if Float.is_nan lo || Float.is_nan hi then
+    { range = Some (Float.neg_infinity, Float.infinity); nan = true;
+      undef = false }
+  else { range = Some (Float.min lo hi, Float.max lo hi); nan = false;
+         undef = false }
+
+let const x =
+  if Float.is_nan x then { range = None; nan = true; undef = false }
+  else { range = Some (x, x); nan = false; undef = false }
+
+let of_range lo hi = { range = Some (lo, hi); nan = false; undef = false }
+
+let of_kind = function
+  | Def.Float_kind { min; max } ->
+    { range = Some (min, max); nan = false; undef = true }
+  | Def.Bool_kind -> { range = Some (0.0, 1.0); nan = false; undef = true }
+  | Def.Enum_kind { n_values } ->
+    { range = Some (0.0, float_of_int (Stdlib.max 0 (n_values - 1)));
+      nan = false; undef = true }
+
+let top =
+  { range = Some (Float.neg_infinity, Float.infinity); nan = true;
+    undef = true }
+
+let join a b =
+  { range =
+      (match a.range, b.range with
+       | None, r | r, None -> r
+       | Some (alo, ahi), Some (blo, bhi) ->
+         Some (Float.min alo blo, Float.max ahi bhi));
+    nan = a.nan || b.nan;
+    undef = a.undef || b.undef }
+
+(* Numeric combination: the result is numeric only when both operands can
+   be; NaN operands propagate ([nan op x] is NaN); undefinedness
+   propagates (an undefined subexpression poisons the whole atom). *)
+let lift2 f a b =
+  let combined =
+    match a.range, b.range with
+    | None, _ | _, None -> { range = None; nan = false; undef = false }
+    | Some ra, Some rb -> f ra rb
+  in
+  { combined with
+    nan = combined.nan || a.nan || b.nan;
+    undef = a.undef || b.undef }
+
+let lift1 f a =
+  let combined =
+    match a.range with
+    | None -> { range = None; nan = false; undef = false }
+    | Some r -> f r
+  in
+  { combined with nan = combined.nan || a.nan; undef = a.undef }
+
+let neg = lift1 (fun (lo, hi) -> of_bounds (-.hi) (-.lo))
+
+let abs =
+  lift1 (fun (lo, hi) ->
+      if lo >= 0.0 then of_bounds lo hi
+      else if hi <= 0.0 then of_bounds (-.hi) (-.lo)
+      else of_bounds 0.0 (Float.max (-.lo) hi))
+
+let add = lift2 (fun (alo, ahi) (blo, bhi) -> of_bounds (alo +. blo) (ahi +. bhi))
+
+let sub = lift2 (fun (alo, ahi) (blo, bhi) -> of_bounds (alo -. bhi) (ahi -. blo))
+
+let corners f (alo, ahi) (blo, bhi) =
+  let c1 = f alo blo and c2 = f alo bhi and c3 = f ahi blo and c4 = f ahi bhi in
+  let any_nan =
+    Float.is_nan c1 || Float.is_nan c2 || Float.is_nan c3 || Float.is_nan c4
+  in
+  if any_nan then
+    { range = Some (Float.neg_infinity, Float.infinity); nan = true;
+      undef = false }
+  else
+    of_bounds
+      (Float.min (Float.min c1 c2) (Float.min c3 c4))
+      (Float.max (Float.max c1 c2) (Float.max c3 c4))
+
+let mul = lift2 (corners ( *. ))
+
+let div =
+  lift2 (fun (alo, ahi) (blo, bhi) ->
+      if blo <= 0.0 && 0.0 <= bhi then
+        (* Denominator can vanish: any magnitude and sign is reachable, and
+           0/0 is NaN whenever the numerator can also vanish. *)
+        { range = Some (Float.neg_infinity, Float.infinity);
+          nan = alo <= 0.0 && 0.0 <= ahi;
+          undef = false }
+      else corners ( /. ) (alo, ahi) (blo, bhi))
+
+let min_ = lift2 (fun (alo, ahi) (blo, bhi) ->
+    of_bounds (Float.min alo blo) (Float.min ahi bhi))
+
+let max_ = lift2 (fun (alo, ahi) (blo, bhi) ->
+    of_bounds (Float.max alo blo) (Float.max ahi bhi))
+
+let delta a =
+  let d = sub a a in
+  { d with undef = true }
+
+let rate a =
+  let d = delta a in
+  let r =
+    match d.range with
+    | None -> None
+    | Some (lo, hi) ->
+      (* Tick spacing is positive but otherwise unknown: dividing by it
+         preserves sign and reaches both 0 and arbitrarily large
+         magnitudes. *)
+      Some
+        ( (if lo < 0.0 then Float.neg_infinity else 0.0),
+          if hi > 0.0 then Float.infinity else 0.0 )
+  in
+  { range = r; nan = d.nan; undef = true }
+
+let age = { range = Some (0.0, Float.infinity); nan = false; undef = true }
+
+let with_undef a = { a with undef = true }
+
+type cmp_outcomes = { can_true : bool; can_false : bool; can_unknown : bool }
+
+let cmp op a b =
+  (* Numeric satisfiability: does some in-range pair make the comparison
+     hold / fail?  Existence over the two boxes reduces to endpoint
+     tests. *)
+  let num_true, num_false =
+    match a.range, b.range with
+    | None, _ | _, None -> (false, false)
+    | Some (alo, ahi), Some (blo, bhi) ->
+      let overlap = alo <= bhi && blo <= ahi in
+      let both_singleton_equal = alo = ahi && blo = bhi && alo = blo in
+      (match (op : Formula.comparison) with
+       | Formula.Lt -> (alo < bhi, ahi >= blo)
+       | Formula.Le -> (alo <= bhi, ahi > blo)
+       | Formula.Gt -> (ahi > blo, alo <= bhi)
+       | Formula.Ge -> (ahi >= blo, alo < bhi)
+       | Formula.Eq -> (overlap, not both_singleton_equal)
+       | Formula.Ne -> (not both_singleton_equal, overlap))
+  in
+  (* A NaN operand decides the atom: False for the ordered comparisons and
+     ==, True for != (OCaml's [<>] on floats, as the evaluators use). *)
+  let nan_possible = a.nan || b.nan in
+  let nan_true = nan_possible && op = Formula.Ne in
+  let nan_false = nan_possible && op <> Formula.Ne in
+  { can_true = num_true || nan_true;
+    can_false = num_false || nan_false;
+    can_unknown = a.undef || b.undef }
+
+let pp ppf t =
+  (match t.range with
+   | None -> Fmt.string ppf "{}"
+   | Some (lo, hi) -> Fmt.pf ppf "[%g, %g]" lo hi);
+  if t.nan then Fmt.string ppf "+nan";
+  if t.undef then Fmt.string ppf "?"

@@ -1,0 +1,76 @@
+(** The linter's abstract value domain: IEEE-aware intervals.
+
+    An abstract value encloses every result an {!Monitor_mtl.Expr} node can
+    produce when the monitored signals stay inside their declared
+    {!Monitor_signal.Def} ranges:
+
+    - [range] is a sound enclosure of the possible {e non-NaN} float
+      values ([None] when no numeric value is possible at all, e.g. an
+      expression that always evaluates to NaN);
+    - [nan] records whether NaN is a possible value.  Declared ranges are
+      NaN-free ({!Monitor_signal.Def.in_range} rejects exceptional
+      floats), but arithmetic can still manufacture NaN in range — [0/0],
+      [inf - inf], [0 * inf] — and a comparison with NaN evaluates to a
+      definite [False] (or [True] for [!=]), never [Unknown];
+    - [undef] records whether evaluation may be [Undefined] (a signal not
+      yet observed, a change operator without enough history), which makes
+      the enclosing atom [Unknown].
+
+    Soundness direction: every operation over-approximates.  A concrete
+    behaviour outside the abstract description would be unsound (the
+    linter would reject a healthy rule); extra abstract behaviours merely
+    cost precision (a defect goes unreported). *)
+
+type t = {
+  range : (float * float) option;
+  nan : bool;
+  undef : bool;
+}
+
+val const : float -> t
+(** Exact singleton; [const nan] is the pure-NaN value. *)
+
+val of_range : float -> float -> t
+(** In-range signal value: no NaN, no undefinedness. *)
+
+val of_kind : Monitor_signal.Def.kind -> t
+(** Float ranges as declared; booleans coerce to \[0,1\]; an enum with [n]
+    values to \[0,n-1\].  All signal reads are marked possibly-undefined
+    (the signal may not have been observed yet). *)
+
+val top : t
+(** Any float including NaN, possibly undefined — an unresolved signal. *)
+
+val join : t -> t -> t
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+
+val delta : t -> t
+(** [x - prev x] for [x] in the given interval. *)
+
+val rate : t -> t
+(** [delta / dt] for an unknown positive tick spacing [dt]: sign-preserving
+    but unbounded in magnitude. *)
+
+val age : t
+(** Seconds since a signal's last sample: \[0, ∞). *)
+
+val with_undef : t -> t
+(** Mark possibly-undefined (history operators at the stream's start). *)
+
+(** Possible outcomes of a comparison between two abstract values, under
+    the IEEE semantics of {!Monitor_mtl.Formula.Cmp}: NaN operands make
+    [<], [<=], [>], [>=] and [==] false and [!=] true; an [Undefined]
+    operand makes the atom's verdict [Unknown]. *)
+type cmp_outcomes = { can_true : bool; can_false : bool; can_unknown : bool }
+
+val cmp : Monitor_mtl.Formula.comparison -> t -> t -> cmp_outcomes
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,523 @@
+module Def = Monitor_signal.Def
+module Dbc = Monitor_can.Dbc
+module Message = Monitor_can.Message
+module Coding = Monitor_can.Coding
+module Expr = Monitor_mtl.Expr
+module Formula = Monitor_mtl.Formula
+module Spec = Monitor_mtl.Spec
+module State_machine = Monitor_mtl.State_machine
+module Parser = Monitor_mtl.Parser
+module Spec_file = Monitor_mtl.Spec_file
+
+type code =
+  | Unknown_signal
+  | Bool_in_arithmetic
+  | Float_as_bool
+  | Enum_as_bool
+  | Bool_compared
+  | Always_true_cmp
+  | Always_false_cmp
+  | Vacuous_guard
+  | Unsatisfiable_rule
+  | Tautological_rule
+  | Window_subsamples
+  | Point_window_off_grid
+  | Unbounded_window
+  | Decision_latency
+  | Stale_without_period
+  | Warmup_hold_short
+  | Stale_deadline_tight
+
+type severity = Error | Warning | Info
+
+type span = { file : string; line : int; col : int }
+
+type diagnostic = {
+  code : code;
+  severity : severity;
+  message : string;
+  path : string;
+  span : span option;
+}
+
+let severity_of = function
+  | Unknown_signal | Bool_in_arithmetic | Float_as_bool | Vacuous_guard
+  | Unsatisfiable_rule | Tautological_rule -> Error
+  | Enum_as_bool | Bool_compared | Always_true_cmp | Always_false_cmp
+  | Window_subsamples | Point_window_off_grid | Unbounded_window
+  | Stale_without_period | Warmup_hold_short | Stale_deadline_tight -> Warning
+  | Decision_latency -> Info
+
+let code_name = function
+  | Unknown_signal -> "unknown-signal"
+  | Bool_in_arithmetic -> "bool-in-arithmetic"
+  | Float_as_bool -> "float-as-bool"
+  | Enum_as_bool -> "enum-as-bool"
+  | Bool_compared -> "bool-compared"
+  | Always_true_cmp -> "always-true-cmp"
+  | Always_false_cmp -> "always-false-cmp"
+  | Vacuous_guard -> "vacuous-guard"
+  | Unsatisfiable_rule -> "unsatisfiable-rule"
+  | Tautological_rule -> "tautological-rule"
+  | Window_subsamples -> "window-subsamples"
+  | Point_window_off_grid -> "point-window-off-grid"
+  | Unbounded_window -> "unbounded-window"
+  | Decision_latency -> "decision-latency"
+  | Stale_without_period -> "stale-without-period"
+  | Warmup_hold_short -> "warmup-hold-short"
+  | Stale_deadline_tight -> "stale-deadline-tight"
+
+let all_codes =
+  [ Unknown_signal; Bool_in_arithmetic; Float_as_bool; Enum_as_bool;
+    Bool_compared; Always_true_cmp; Always_false_cmp; Vacuous_guard;
+    Unsatisfiable_rule; Tautological_rule; Window_subsamples;
+    Point_window_off_grid; Unbounded_window; Decision_latency;
+    Stale_without_period; Warmup_hold_short; Stale_deadline_tight ]
+
+let code_of_name name = List.find_opt (fun c -> code_name c = name) all_codes
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let pp_diagnostic ppf d =
+  (match d.span with
+   | Some s -> Fmt.pf ppf "%s:%d:%d: " s.file s.line s.col
+   | None -> ());
+  Fmt.pf ppf "%s[%s] %s (%s)" (severity_string d.severity) (code_name d.code)
+    d.message d.path
+
+(* Environments ------------------------------------------------------------- *)
+
+type sig_info = { kind : Def.kind; speriod : float option }
+
+type env = {
+  table : (string, sig_info) Hashtbl.t option;
+      (* None: no DBC/defs given, resolution and range checks disabled *)
+  period : float;
+  staleness : string -> float option;
+}
+
+let default_period = 0.01
+
+(* A coding pins down less than a Def does: raw floats could carry anything,
+   and a scaled integer's representable range is usually far wider than the
+   physical one.  Still enough for kind checks and crude range folding. *)
+let kind_of_coding (c : Coding.t) =
+  match c.repr with
+  | Coding.Raw_bool -> Def.Bool_kind
+  | Coding.Raw_enum ->
+    Def.Enum_kind { n_values = 1 lsl Stdlib.min c.length 30 }
+  | Coding.Raw_float32 | Coding.Raw_float64 ->
+    Def.Float_kind { min = Float.neg_infinity; max = Float.infinity }
+  | Coding.Scaled_int { scale; offset; _ } ->
+    (match Coding.raw_range c with
+     | None -> Def.Float_kind { min = Float.neg_infinity; max = Float.infinity }
+     | Some (rlo, rhi) ->
+       let a = (Int64.to_float rlo *. scale) +. offset
+       and b = (Int64.to_float rhi *. scale) +. offset in
+       Def.Float_kind { min = Float.min a b; max = Float.max a b })
+
+let period_of_ms ms = if ms > 0 then Some (float_of_int ms /. 1000.0) else None
+
+let env ?dbc ?defs ?(period = default_period) ?(staleness = fun _ -> None) () =
+  let table =
+    match dbc, defs with
+    | None, None -> None
+    | _ ->
+      let t = Hashtbl.create 32 in
+      Option.iter
+        (fun db ->
+          List.iter
+            (fun (m : Message.t) ->
+              let speriod = period_of_ms m.period_ms in
+              List.iter
+                (fun (c : Coding.t) ->
+                  Hashtbl.replace t c.signal_name
+                    { kind = kind_of_coding c; speriod })
+                m.codings)
+            (Dbc.messages db))
+        dbc;
+      (* Defs carry the physically meaningful ranges; they win over the
+         coding-derived approximations. *)
+      Option.iter
+        (List.iter (fun (d : Def.t) ->
+             Hashtbl.replace t d.name
+               { kind = d.kind; speriod = period_of_ms d.period_ms }))
+        defs;
+      Some t
+  in
+  { table; period; staleness }
+
+let find_info env s =
+  match env.table with None -> None | Some t -> Hashtbl.find_opt t s
+
+let slowest_period env names =
+  List.fold_left
+    (fun acc s ->
+      match find_info env s with
+      | Some { speriod = Some p; _ } ->
+        (match acc with
+         | Some (_, p0) when p0 >= p -> acc
+         | _ -> Some (s, p))
+      | _ -> acc)
+    None names
+
+(* The expression walk ------------------------------------------------------ *)
+
+(* What a subexpression is, beyond its numeric range: bool and enum signals
+   keep their identity through [prev] so that comparing or adding them can
+   name the culprit.  Change operators produce genuine numbers. *)
+type kindness = Boolish of string | Enumish of string | Numeric
+
+type emitter = string -> code -> string -> unit
+
+let signal_read env (emit : emitter) path s =
+  match env.table with
+  | None -> (Interval.top, Numeric)
+  | Some t ->
+    (match Hashtbl.find_opt t s with
+     | None ->
+       emit path Unknown_signal
+         (Printf.sprintf "unknown signal %s: not in the message database" s);
+       (Interval.top, Numeric)
+     | Some info ->
+       let k =
+         match info.kind with
+         | Def.Bool_kind -> Boolish s
+         | Def.Enum_kind _ -> Enumish s
+         | Def.Float_kind _ -> Numeric
+       in
+       (Interval.of_kind info.kind, k))
+
+let rec eval_expr env (emit : emitter) path (e : Expr.t) =
+  let arithmetic_operand e =
+    let v, k = eval_expr env emit path e in
+    (match k with
+     | Boolish s ->
+       emit path Bool_in_arithmetic
+         (Printf.sprintf
+            "boolean signal %s used in arithmetic (%s); test it directly or \
+             encode the state in a machine"
+            s
+            (Fmt.str "%a" Expr.pp e))
+     | Enumish _ | Numeric -> ());
+    v
+  in
+  match e with
+  | Expr.Const x -> (Interval.const x, Numeric)
+  | Expr.Signal s -> signal_read env emit path s
+  | Expr.Prev e ->
+    let v, k = eval_expr env emit path e in
+    (Interval.with_undef v, k)
+  | Expr.Delta e ->
+    let v, _ = eval_expr env emit path e in
+    (Interval.delta v, Numeric)
+  | Expr.Rate e ->
+    let v, _ = eval_expr env emit path e in
+    (Interval.rate v, Numeric)
+  | Expr.Fresh_delta s ->
+    let v, _ = signal_read env emit path s in
+    (Interval.delta v, Numeric)
+  | Expr.Age s ->
+    ignore (signal_read env emit path s);
+    (Interval.age, Numeric)
+  | Expr.Neg e -> (Interval.neg (arithmetic_operand e), Numeric)
+  | Expr.Abs e -> (Interval.abs (arithmetic_operand e), Numeric)
+  | Expr.Add (a, b) ->
+    (Interval.add (arithmetic_operand a) (arithmetic_operand b), Numeric)
+  | Expr.Sub (a, b) ->
+    (Interval.sub (arithmetic_operand a) (arithmetic_operand b), Numeric)
+  | Expr.Mul (a, b) ->
+    (Interval.mul (arithmetic_operand a) (arithmetic_operand b), Numeric)
+  | Expr.Div (a, b) ->
+    (Interval.div (arithmetic_operand a) (arithmetic_operand b), Numeric)
+  | Expr.Min (a, b) ->
+    (Interval.min_ (arithmetic_operand a) (arithmetic_operand b), Numeric)
+  | Expr.Max (a, b) ->
+    (Interval.max_ (arithmetic_operand a) (arithmetic_operand b), Numeric)
+
+(* The formula walk --------------------------------------------------------- *)
+
+(* Which verdicts a formula can take on some in-range trace, ignoring tick
+   correlations: each field over-approximates independently.  A temporal
+   window is guaranteed non-empty only when it starts at 0 (the current
+   sample is always inside); any positive offset may fall beyond the trace,
+   where the window is empty and [always] holds vacuously / [eventually]
+   fails vacuously. *)
+type vset = { vt : bool; vf : bool; vu : bool }
+
+let check_window env (emit : emitter) path what (i : Formula.interval) body =
+  if i.hi >= Parser.unbounded then
+    emit path Unbounded_window
+      (Printf.sprintf
+         "%s written without an interval runs to the end of the trace; state \
+         the intended window"
+         what)
+  else begin
+    (match slowest_period env (Formula.signals body) with
+     | Some (s, p) when i.hi > 0.0 && i.hi -. i.lo < p ->
+       emit path Window_subsamples
+         (Printf.sprintf
+            "window [%s, %s] is narrower than the %gms period of %s; it may \
+             never contain a fresh sample (multi-rate hazard, paper SSV-C1)"
+            (Monitor_util.Pretty.float_exact i.lo)
+            (Monitor_util.Pretty.float_exact i.hi)
+            (p *. 1000.0) s)
+     | _ -> ());
+    if i.lo = i.hi && i.lo > 0.0 then begin
+      let r = i.lo /. env.period in
+      if Float.abs (r -. Float.round r) > 1e-6 *. Float.max 1.0 r then
+        emit path Point_window_off_grid
+          (Printf.sprintf
+             "point window at %ss falls between monitor ticks (period %gms); \
+              the evaluated sample is %ss late"
+             (Monitor_util.Pretty.float_exact i.lo)
+             (env.period *. 1000.0)
+             (Monitor_util.Pretty.float_exact
+                ((Float.ceil r -. r) *. env.period)))
+    end
+  end
+
+let check_stale env (emit : emitter) path s =
+  match find_info env s with
+  | None -> ()
+  | Some info ->
+    (match info.speriod with
+     | None ->
+       emit path Stale_without_period
+         (Printf.sprintf
+            "stale(%s): the signal has no declared broadcast period, so \
+             there is no baseline for staleness"
+            s)
+     | Some p ->
+       (match env.staleness s with
+        | Some d when d < p ->
+          emit path Stale_deadline_tight
+            (Printf.sprintf
+               "staleness deadline %gms for %s is tighter than its %gms \
+                broadcast period; it will read stale between normal updates"
+               (d *. 1000.0) s (p *. 1000.0))
+        | _ -> ()))
+
+let rec eval_formula env (emit : emitter) path (f : Formula.t) : vset =
+  match f with
+  | Formula.Const b -> { vt = b; vf = not b; vu = false }
+  | Formula.Cmp (a, op, b) ->
+    let ia, ka = eval_expr env emit path a in
+    let ib, kb = eval_expr env emit path b in
+    (match ka, kb with
+     | Boolish s, _ | _, Boolish s ->
+       emit path Bool_compared
+         (Printf.sprintf
+            "boolean signal %s compared numerically in %s; the signal (or \
+             its negation) can be written directly"
+            s (Formula.to_string f))
+     | (Enumish _ | Numeric), (Enumish _ | Numeric) -> ());
+    let o = Interval.cmp op ia ib in
+    if not o.can_false then
+      emit path Always_true_cmp
+        (Printf.sprintf "%s is true for every in-range value"
+           (Formula.to_string f));
+    if not o.can_true then
+      emit path Always_false_cmp
+        (Printf.sprintf "%s is false for every in-range value"
+           (Formula.to_string f));
+    { vt = o.can_true; vf = o.can_false; vu = o.can_unknown }
+  | Formula.Bool_signal s ->
+    (match find_info env s with
+     | None ->
+       if env.table <> None then
+         emit path Unknown_signal
+           (Printf.sprintf "unknown signal %s: not in the message database" s)
+     | Some { kind = Def.Float_kind _; _ } ->
+       emit path Float_as_bool
+         (Printf.sprintf
+            "float signal %s used as a truth value; write an explicit \
+             comparison"
+            s)
+     | Some { kind = Def.Enum_kind _; _ } ->
+       emit path Enum_as_bool
+         (Printf.sprintf
+            "enum signal %s used as a truth value; compare against a \
+             specific state"
+            s)
+     | Some { kind = Def.Bool_kind; _ } -> ());
+    { vt = true; vf = true; vu = true }
+  | Formula.Fresh s | Formula.Known s ->
+    (match env.table, find_info env s with
+     | Some _, None ->
+       emit path Unknown_signal
+         (Printf.sprintf "unknown signal %s: not in the message database" s)
+     | _ -> ());
+    { vt = true; vf = true; vu = false }
+  | Formula.Stale s ->
+    (match env.table, find_info env s with
+     | Some _, None ->
+       emit path Unknown_signal
+         (Printf.sprintf "unknown signal %s: not in the message database" s)
+     | _ -> ());
+    check_stale env emit path s;
+    { vt = true; vf = true; vu = false }
+  | Formula.In_mode _ -> { vt = true; vf = true; vu = false }
+  | Formula.Not f ->
+    let v = eval_formula env emit (path ^ ".not") f in
+    { vt = v.vf; vf = v.vt; vu = v.vu }
+  | Formula.And (a, b) ->
+    let va = eval_formula env emit (path ^ ".and.lhs") a in
+    let vb = eval_formula env emit (path ^ ".and.rhs") b in
+    { vt = va.vt && vb.vt; vf = va.vf || vb.vf; vu = va.vu || vb.vu }
+  | Formula.Or (a, b) ->
+    let va = eval_formula env emit (path ^ ".or.lhs") a in
+    let vb = eval_formula env emit (path ^ ".or.rhs") b in
+    { vt = va.vt || vb.vt; vf = va.vf && vb.vf; vu = va.vu || vb.vu }
+  | Formula.Implies (a, b) ->
+    let va = eval_formula env emit (path ^ ".implies.premise") a in
+    let vb = eval_formula env emit (path ^ ".implies.conclusion") b in
+    { vt = va.vf || vb.vt; vf = va.vt && vb.vf; vu = va.vu || vb.vu }
+  | Formula.Always (i, g) ->
+    check_window env emit path "always" i g;
+    let s = eval_formula env emit (path ^ ".always") g in
+    { vt = s.vt || i.lo > 0.0; vf = s.vf; vu = true }
+  | Formula.Eventually (i, g) ->
+    check_window env emit path "eventually" i g;
+    let s = eval_formula env emit (path ^ ".eventually") g in
+    { vt = s.vt; vf = s.vf || i.lo > 0.0; vu = true }
+  | Formula.Historically (i, g) ->
+    check_window env emit path "historically" i g;
+    let s = eval_formula env emit (path ^ ".historically") g in
+    { vt = s.vt || i.lo > 0.0; vf = s.vf; vu = true }
+  | Formula.Once (i, g) ->
+    check_window env emit path "once" i g;
+    let s = eval_formula env emit (path ^ ".once") g in
+    { vt = s.vt; vf = s.vf || i.lo > 0.0; vu = true }
+  | Formula.Warmup { trigger; hold; body } ->
+    let _ = eval_formula env emit (path ^ ".warmup.trigger") trigger in
+    (match slowest_period env (Formula.signals trigger) with
+     | Some (s, p) when hold < p ->
+       emit path Warmup_hold_short
+         (Printf.sprintf
+            "warm-up hold %gms is shorter than the %gms period of trigger \
+             signal %s; the hold can expire before a fresh sample shows the \
+             discontinuity is over"
+            (hold *. 1000.0) (p *. 1000.0) s)
+     | _ -> ());
+    let s = eval_formula env emit (path ^ ".warmup.body") body in
+    { vt = s.vt; vf = s.vf; vu = true }
+
+(* Spec-level checks -------------------------------------------------------- *)
+
+let no_emit : emitter = fun _ _ _ -> ()
+
+let dedup ds =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun d ->
+      let k = (d.code, d.path, d.message) in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    ds
+
+let check_env ?(allow = []) env (spec : Spec.t) =
+  let acc = ref [] in
+  let emit path code message =
+    acc :=
+      { code; severity = severity_of code; message; path; span = None }
+      :: !acc
+  in
+  List.iter
+    (fun (m : State_machine.t) ->
+      List.iter
+        (fun (tr : State_machine.transition) ->
+          let path =
+            Printf.sprintf "machine.%s.%s->%s" m.name tr.source tr.target
+          in
+          match tr.guard with
+          | State_machine.When g | State_machine.When_after (g, _) ->
+            ignore (eval_formula env emit path g)
+          | State_machine.After _ -> ())
+        m.transitions)
+    spec.Spec.machines;
+  Option.iter
+    (fun e -> ignore (eval_expr env emit "severity" e))
+    spec.Spec.severity;
+  let vs = eval_formula env emit "formula" spec.Spec.formula in
+  let vacuous = ref false in
+  List.iter
+    (fun p ->
+      (* The premise's own atoms were already reported by the main walk;
+         re-evaluate silently just for its verdict set. *)
+      let pv = eval_formula env no_emit "formula.guard" p in
+      if not pv.vt then begin
+        vacuous := true;
+        emit "formula.guard" Vacuous_guard
+          (Printf.sprintf
+             "guard %s can never be armed by in-range signals; the rule is \
+              statically vacuous"
+             (Formula.to_string p))
+      end)
+    (Formula.guard_premises spec.Spec.formula);
+  if not vs.vt then
+    emit "formula" Unsatisfiable_rule
+      (Printf.sprintf "the formula of %s can never evaluate to True"
+         spec.Spec.name);
+  (* A vacuous guard already explains why the rule cannot fail; reporting
+     the tautology too would just repeat the same defect. *)
+  if (not vs.vf) && not !vacuous then
+    emit "formula" Tautological_rule
+      (Printf.sprintf
+         "the formula of %s can never evaluate to False; it cannot detect \
+          any violation"
+         spec.Spec.name);
+  let h = Spec.horizon spec in
+  if h > 0.0 && h < Parser.unbounded then begin
+    let depth = h +. Formula.history_depth spec.Spec.formula in
+    let ticks = 1 + int_of_float (Float.ceil (depth /. env.period)) in
+    emit "formula" Decision_latency
+      (Printf.sprintf
+         "verdicts may trail the current tick by up to %gs; online \
+          evaluation buffers about %d ticks at a %gms period"
+         h ticks (env.period *. 1000.0))
+  end;
+  let rank = function Error -> 0 | Warning -> 1 | Info -> 2 in
+  List.rev !acc |> dedup
+  |> List.filter (fun d -> not (List.mem d.code allow))
+  |> List.stable_sort (fun a b ->
+         Stdlib.compare (rank a.severity) (rank b.severity))
+
+let check ?dbc ?defs ?period ?staleness ?allow spec =
+  check_env ?allow (env ?dbc ?defs ?period ?staleness ()) spec
+
+(* Spec files --------------------------------------------------------------- *)
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let attach_span file (spans : Spec_file.item_spans) d =
+  let loc =
+    if has_prefix "severity" d.path then
+      Option.value spans.severity_loc ~default:spans.spec_loc
+    else if has_prefix "formula" d.path then
+      Option.value spans.formula_loc ~default:spans.spec_loc
+    else spans.spec_loc
+  in
+  { d with span = Some { file; line = loc.Spec_file.line; col = loc.Spec_file.col } }
+
+let lint_items ?env:env_opt ?allow file items =
+  let e = match env_opt with Some e -> e | None -> env () in
+  List.map
+    (fun (spec, spans) ->
+      (spec, List.map (attach_span file spans) (check_env ?allow e spec)))
+    items
+
+let lint_file ?env ?allow path =
+  Result.map (lint_items ?env ?allow path) (Spec_file.load_located path)
+
+let lint_string ?env ?allow ?(file = "<string>") source =
+  Result.map (lint_items ?env ?allow file) (Spec_file.of_string_located source)

@@ -1,0 +1,137 @@
+(** Static analysis ("speclint") over monitor specifications.
+
+    The paper's field experience is that most oracle debugging time went
+    into the {e specifications}, not the monitor: rules that could never
+    arm, windows narrower than a signal's broadcast period (§V-C1),
+    warm-up holds that released before the next sample could arrive
+    (§V-C2).  All of those are visible statically, before any trace is
+    replayed: the DBC says which signals exist and how often they refresh,
+    the signal definitions say what ranges are physically possible, and
+    the rule text says what the monitor will do with them.
+
+    [check] walks a {!Monitor_mtl.Spec.t} and reports defects as
+    structured diagnostics.  Four check families:
+
+    - {b resolution & kinds} — every signal leaf must name a known signal;
+      booleans don't belong in arithmetic, floats aren't truth values;
+    - {b ranges} — an interval abstract interpretation (see {!Interval})
+      over the declared ranges folds each comparison to its possible
+      outcomes and flags atoms that are decided statically, guards that
+      can never arm, and whole rules that can never fire or never pass;
+    - {b multi-rate windows} — temporal windows narrower than the slowest
+      referenced signal's period, point windows off the monitor's tick
+      grid, unbounded defaults, and each rule's decision latency;
+    - {b staleness & warm-up} — [stale] on signals with no declared
+      period, warm-up holds shorter than the trigger's refresh period,
+      staleness deadlines tighter than the broadcast period.
+
+    The analysis only ever {e over}-approximates the concrete semantics,
+    so every [Error] it reports is a defect the monitor would really
+    exhibit on some in-range trace; [Warning]s point at rules that are
+    suspicious but may be intended (the paper's own rule 3 draws one). *)
+
+(** {1 Diagnostics} *)
+
+type code =
+  | Unknown_signal        (** a leaf names a signal absent from the DBC *)
+  | Bool_in_arithmetic    (** boolean signal used as a number *)
+  | Float_as_bool         (** float signal used as a truth value *)
+  | Enum_as_bool          (** enum signal used as a truth value *)
+  | Bool_compared         (** boolean signal compared numerically *)
+  | Always_true_cmp       (** comparison true for every in-range value *)
+  | Always_false_cmp      (** comparison false for every in-range value *)
+  | Vacuous_guard         (** a guard premise that can never arm *)
+  | Unsatisfiable_rule    (** the formula can never evaluate to True *)
+  | Tautological_rule     (** the formula can never evaluate to False *)
+  | Window_subsamples     (** window narrower than a referenced period *)
+  | Point_window_off_grid (** point window between monitor ticks *)
+  | Unbounded_window      (** temporal operator with the default bound *)
+  | Decision_latency      (** informational: verdict lag + buffer bound *)
+  | Stale_without_period  (** [stale] on a signal with no period *)
+  | Warmup_hold_short     (** hold shorter than the trigger's period *)
+  | Stale_deadline_tight  (** staleness deadline under the period *)
+
+type severity = Error | Warning | Info
+
+type span = { file : string; line : int; col : int }
+(** 1-based position of the spec-file item the diagnostic belongs to. *)
+
+type diagnostic = {
+  code : code;
+  severity : severity;
+  message : string;
+  path : string;
+      (** where in the spec: ["formula"], ["severity"],
+          ["machine.<name>.<src>-><tgt>"], with formula-structure suffixes
+          like ["formula.implies.premise"]. *)
+  span : span option;  (** set by {!lint_file} / {!lint_string} *)
+}
+
+val severity_of : code -> severity
+(** The fixed severity each code reports at. *)
+
+val code_name : code -> string
+(** Stable kebab-case name, e.g. ["window-subsamples"]. *)
+
+val code_of_name : string -> code option
+
+val all_codes : code list
+
+val errors : diagnostic list -> diagnostic list
+(** Just the [Error]s — the subset that fails [--strict]. *)
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+(** [file:line:col: severity[code] message (path)]. *)
+
+(** {1 Environments}
+
+    What the linter knows about the world outside the rule text.  Signal
+    existence, kinds and periods come from the DBC ([?dbc]); physically
+    meaningful ranges come from signal definitions ([?defs]), which take
+    precedence over the coarse coding-derived ranges when both are given.
+    With neither, resolution and range checks are skipped and only the
+    structural checks run. *)
+
+type env
+
+val default_period : float
+(** 0.01 s — mirrors [Monitor_oracle.Oracle.default_period] (the oracle
+    library depends on this one, so the constant is duplicated here). *)
+
+val env :
+  ?dbc:Monitor_can.Dbc.t ->
+  ?defs:Monitor_signal.Def.t list ->
+  ?period:float ->
+  ?staleness:(string -> float option) ->
+  unit -> env
+(** [period] is the monitor tick period (default {!default_period});
+    [staleness] reports the per-signal staleness deadline the monitor
+    will run with, enabling the deadline-versus-period check. *)
+
+(** {1 Checking} *)
+
+val check_env : ?allow:code list -> env -> Monitor_mtl.Spec.t -> diagnostic list
+(** All diagnostics for one spec, deduplicated, [Error]s first.
+    [allow] suppresses the listed codes. *)
+
+val check :
+  ?dbc:Monitor_can.Dbc.t ->
+  ?defs:Monitor_signal.Def.t list ->
+  ?period:float ->
+  ?staleness:(string -> float option) ->
+  ?allow:code list ->
+  Monitor_mtl.Spec.t -> diagnostic list
+(** [check spec = check_env (env ()) spec]; builds a one-shot {!env}. *)
+
+val lint_file :
+  ?env:env -> ?allow:code list ->
+  string -> ((Monitor_mtl.Spec.t * diagnostic list) list, string) result
+(** Parse a [.spec] file with source spans ({!Monitor_mtl.Spec_file}) and
+    lint each spec, attaching [file:line:col] spans at item granularity
+    (the [spec] keyword, the formula body, the severity expression). *)
+
+val lint_string :
+  ?env:env -> ?allow:code list -> ?file:string ->
+  string -> ((Monitor_mtl.Spec.t * diagnostic list) list, string) result
+(** [lint_file] for in-memory sources; [file] names the span (default
+    ["<string>"]). *)

@@ -2,6 +2,7 @@ module Campaign = Monitor_inject.Campaign
 module Oracle = Monitor_oracle.Oracle
 module Report = Monitor_oracle.Report
 module Rules = Monitor_oracle.Rules
+module Vacuity = Monitor_oracle.Vacuity
 module Sim = Monitor_hil.Sim
 module Scenario = Monitor_hil.Scenario
 
@@ -31,6 +32,7 @@ type t = {
   runs_executed : int;
   nominal_letters : string list;
   latencies : (int * float list) list;
+  coverage : Report.coverage_row list;
   errored : Campaign.error list;
 }
 
@@ -42,10 +44,14 @@ let scenario () =
   Scenario.steady_follow
     ~duration:(Campaign.default_start +. Campaign.hold_duration +. 12.0) ()
 
+(* Each run yields the rule verdicts and the per-rule vacuity accounting;
+   the latter feeds the campaign-wide coverage footnote (which rules were
+   ever armed, and how often). *)
 let run_one plan =
   let config = Sim.default_config (scenario ()) in
   let result = Sim.run ~plan config in
-  Oracle.check Rules.all result.Sim.trace
+  ( Oracle.check Rules.all result.Sim.trace,
+    Vacuity.analyze_many Rules.all result.Sim.trace )
 
 let letters_of_outcomes outcomes_per_run =
   let rule_count = List.length Rules.all in
@@ -109,9 +115,11 @@ let run ?(options = paper_options) ?pool ?budget ?(runner = run_one) () =
     | [] -> assert false
   in
   let errored_acc = ref [] in
+  let vacuity_acc = ref [] in
   let nominal_letters =
     match nominal_attempt with
-    | Campaign.Completed outcomes ->
+    | Campaign.Completed (outcomes, vacuity) ->
+      vacuity_acc := [ vacuity ];
       List.map (fun o -> Oracle.status_letter o.Oracle.status) outcomes
     | Campaign.Errored e ->
       errored_acc := [ e ];
@@ -136,7 +144,8 @@ let run ?(options = paper_options) ?pool ?budget ?(runner = run_one) () =
               | Campaign.Errored e ->
                 errored_acc := e :: !errored_acc;
                 None
-              | Campaign.Completed outcomes ->
+              | Campaign.Completed (outcomes, vacuity) ->
+                vacuity_acc := vacuity :: !vacuity_acc;
                 List.iter
                   (fun (rule, latency) ->
                     latency_acc.(rule) <- latency :: latency_acc.(rule))
@@ -153,6 +162,10 @@ let run ?(options = paper_options) ?pool ?budget ?(runner = run_one) () =
     latencies =
       List.filteri (fun _ (_, ls) -> ls <> [])
         (Array.to_list (Array.mapi (fun i ls -> (i, List.rev ls)) latency_acc));
+    coverage =
+      Report.coverage_rows
+        ~rule_labels:(List.map (fun s -> s.Monitor_mtl.Spec.name) Rules.all)
+        (List.rev !vacuity_acc);
     errored = List.rev !errored_acc }
 
 let table_rows t =
@@ -192,6 +205,7 @@ let rendered t =
              (Monitor_util.Stats.min_value s)
              (Monitor_util.Stats.max_value s))
          t.latencies)
+  ^ Report.render_coverage t.coverage
 
 let rules_ever_violated t =
   let rule_count = List.length Rules.all in

@@ -33,6 +33,11 @@ type t = {
       (** per rule number, the detection latencies: seconds from injection
           start to the rule's first violating tick, one entry per violated
           run.  How quickly the oracle turns a fault into a verdict. *)
+  coverage : Monitor_oracle.Report.coverage_row list;
+      (** per rule, across every completed run (nominal included): in how
+          many runs its guard armed and on what fraction of ticks — the
+          §III-C monitoring-coverage footnote for Table I.  An "S" column
+          whose rule was never armed tested nothing. *)
   errored : Monitor_inject.Campaign.error list;
       (** quarantined runs: raised twice (or overran the budget twice) and
           were excluded from letters and latencies instead of aborting the
@@ -41,7 +46,9 @@ type t = {
 
 val run :
   ?options:options -> ?pool:Monitor_util.Pool.t -> ?budget:float ->
-  ?runner:(Monitor_hil.Sim.plan -> Monitor_oracle.Oracle.rule_outcome list) ->
+  ?runner:
+    (Monitor_hil.Sim.plan ->
+     Monitor_oracle.Oracle.rule_outcome list * Monitor_oracle.Vacuity.t list) ->
   unit -> t
 (** Runs the campaign.  With [?pool], the independent (injection x
     target) simulations fan out over the pool's domains; results are

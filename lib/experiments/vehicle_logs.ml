@@ -2,6 +2,7 @@ module Oracle = Monitor_oracle.Oracle
 module Intent = Monitor_oracle.Intent
 module Rules = Monitor_oracle.Rules
 module Report = Monitor_oracle.Report
+module Vacuity = Monitor_oracle.Vacuity
 module Sim = Monitor_hil.Sim
 module Scenario = Monitor_hil.Scenario
 module Campaign = Monitor_inject.Campaign
@@ -12,6 +13,7 @@ type scenario_result = {
   classification :
     [ `Clean | `Reasonable_violations | `Safety_violations ] list;
   relaxed : Oracle.rule_outcome list;
+  vacuity : Vacuity.t list;
 }
 
 type t = {
@@ -44,7 +46,8 @@ let run ?(seed = 77L) ?pool () =
           List.map (Intent.classify Intent.transient_tolerant) strict
         in
         let relaxed = Oracle.check (relaxed_rules ()) result.Sim.trace in
-        { scenario; strict; classification; relaxed })
+        let vacuity = Vacuity.analyze_many Rules.all result.Sim.trace in
+        { scenario; strict; classification; relaxed; vacuity })
       (List.mapi (fun i scenario -> (i, scenario)) scenarios)
   in
   let per_scenario = Campaign.completed attempts in
@@ -96,6 +99,11 @@ let rendered t =
             add "  [%s] %s\n" r.scenario.Scenario.name (Report.render_outcome o))
         r.strict)
     t.per_scenario;
+  add "\n%s"
+    (Report.render_coverage
+       (Report.coverage_rows
+          ~rule_labels:(List.map (fun s -> s.Monitor_mtl.Spec.name) Rules.all)
+          (List.map (fun r -> r.vacuity) t.per_scenario)));
   if t.errored <> [] then begin
     add "\nerrored scenarios: %d\n" (List.length t.errored);
     List.iter (fun e -> add "  %s\n" (Fmt.str "%a" Campaign.pp_error e)) t.errored

@@ -15,6 +15,10 @@ type scenario_result = {
     [ `Clean | `Reasonable_violations | `Safety_violations ] list;
   relaxed : Monitor_oracle.Oracle.rule_outcome list;
       (** relaxed #2, #3, #4 (in that order) *)
+  vacuity : Monitor_oracle.Vacuity.t list;
+      (** per strict rule: how often each guard armed over this log —
+          rendered as the coverage footnote, so a clean column can be told
+          apart from a never-armed one *)
 }
 
 type t = {

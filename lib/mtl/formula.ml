@@ -53,6 +53,19 @@ let signals f =
   go f;
   List.rev !out
 
+(* The premises that guard a formula's obligations: descend through
+   conjunctions and through temporal wrappers (whose obligation is the
+   body's), collecting antecedents of implications.  Shared by the dynamic
+   vacuity accounting (Monitor_oracle.Vacuity) and the static linter
+   (Monitor_analysis.Speclint) so "guard" means the same thing to both. *)
+let rec guard_premises = function
+  | Implies (a, _) -> [ a ]
+  | And (a, b) -> guard_premises a @ guard_premises b
+  | Always (_, g) | Historically (_, g) | Warmup { body = g; _ } ->
+    guard_premises g
+  | Const _ | Cmp _ | Bool_signal _ | Fresh _ | Known _ | Stale _ | In_mode _
+  | Not _ | Or _ | Eventually _ | Once _ -> []
+
 let machines_used f =
   let seen = Hashtbl.create 4 in
   let out = ref [] in

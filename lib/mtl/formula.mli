@@ -49,6 +49,13 @@ val signals : t -> string list
 val machines_used : t -> string list
 (** State-machine names referenced by [In_mode]. *)
 
+val guard_premises : t -> t list
+(** The premises guarding the formula's obligations: antecedents of
+    implications, descending through conjunctions and through the wrappers
+    whose obligation is their body's ([always], [historically], [warmup]).
+    This is the shared definition of "guard" used by both the dynamic
+    vacuity accounting and the static linter's vacuous-guard check. *)
+
 val horizon : t -> float
 (** Maximum look-ahead in seconds: how long after tick [t] the verdict at
     [t] may remain pending.  0 for past-only formulas. *)

@@ -44,7 +44,7 @@ type token =
   | KW_MAX
   | EOF
 
-type located = { token : token; pos : int }
+type located = { token : token; pos : int; line : int; col : int }
 
 let keywords =
   [ ("true", KW_TRUE); ("false", KW_FALSE); ("and", AND); ("or", OR);
@@ -66,12 +66,29 @@ let tokenize src =
   let n = String.length src in
   let out = ref [] in
   let error = ref None in
-  let emit token pos = out := { token; pos } :: !out in
+  (* Line starts seen so far; tokens are emitted left to right, so the
+     latest start is always the right one for the current token. *)
+  let line = ref 1 in
+  let line_start = ref 0 in
+  (* Snapshot the token's own start line/column: a string literal may span
+     a raw newline, advancing [line] before its token is emitted. *)
+  let tok_line = ref 1 in
+  let tok_col = ref 1 in
+  let emit token pos =
+    out := { token; pos; line = !tok_line; col = !tok_col } :: !out
+  in
   let i = ref 0 in
   while !i < n && !error = None do
     let c = src.[!i] in
     let start = !i in
-    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    tok_line := !line;
+    tok_col := start - !line_start + 1;
+    if c = '\n' then begin
+      incr i;
+      incr line;
+      line_start := !i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '#' then begin
       while !i < n && src.[!i] <> '\n' do
         incr i
@@ -129,6 +146,10 @@ let tokenize src =
                  incr i
                end
                else error := Some "unterminated escape in string"
+             | '\n' ->
+               Buffer.add_char buf '\n';
+               incr line;
+               line_start := !i + 1
              | c -> Buffer.add_char buf c);
             incr i
           done;
@@ -156,6 +177,8 @@ let tokenize src =
   match !error with
   | Some msg -> Error msg
   | None ->
+    tok_line := !line;
+    tok_col := n - !line_start + 1;
     emit EOF n;
     Ok (Array.of_list (List.rev !out))
 

@@ -46,8 +46,11 @@ type token =
   | KW_MAX
   | EOF
 
-type located = { token : token; pos : int }
-(** [pos] is the 0-based character offset of the token's first character. *)
+type located = { token : token; pos : int; line : int; col : int }
+(** [pos] is the 0-based character offset of the token's first character;
+    [line]/[col] are the matching 1-based source coordinates, so tooling
+    (the spec linter in particular) can report [file:line:col] instead of a
+    raw offset. *)
 
 val tokenize : string -> (located array, string) result
 (** Comments run from [#] to end of line.  Errors name the offending

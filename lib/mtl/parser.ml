@@ -8,6 +8,10 @@ let peek st = st.tokens.(st.pos).Lexer.token
 
 let peek_pos st = st.tokens.(st.pos).Lexer.pos
 
+let peek_loc st =
+  let t = st.tokens.(st.pos) in
+  (t.Lexer.line, t.Lexer.col)
+
 let advance st = st.pos <- st.pos + 1
 
 let fail st expected =
@@ -319,6 +323,8 @@ let stream_of_string source =
   Result.map (fun tokens -> { tokens; pos = 0 }) (Lexer.tokenize source)
 
 let peek_position = peek_pos
+
+let peek_location = peek_loc
 
 let parse_formula_prefix st = parse_formula st
 

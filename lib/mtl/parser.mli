@@ -54,6 +54,10 @@ val peek : stream -> Lexer.token
 
 val peek_position : stream -> int
 
+val peek_location : stream -> int * int
+(** 1-based (line, column) of the next token — the coordinates lint
+    diagnostics attach to spec-file items. *)
+
 val advance : stream -> unit
 
 val parse_formula_prefix : stream -> Formula.t

@@ -93,7 +93,20 @@ let parse_machine st =
   State_machine.make ~name ~initial ~states:(List.rev !states)
     ~transitions:(List.rev !transitions)
 
+type location = { line : int; col : int }
+
+type item_spans = {
+  spec_loc : location;
+  formula_loc : location option;
+  severity_loc : location option;
+}
+
 let parse_spec st =
+  let loc_here () =
+    let line, col = Parser.peek_location st in
+    { line; col }
+  in
+  let spec_loc = loc_here () in
   eat_kw st "spec";
   let name = ident st in
   let description =
@@ -105,18 +118,22 @@ let parse_spec st =
   in
   let machines = ref [] in
   let severity = ref None in
+  let severity_loc = ref None in
   let formula = ref None in
+  let formula_loc = ref None in
   let more = ref true in
   while !more do
     if is_kw st "machine" then machines := parse_machine st :: !machines
     else if is_kw st "severity" then begin
       Parser.advance st;
+      severity_loc := Some (loc_here ());
       severity := Some (Parser.parse_expr_prefix st)
     end
     else if is_kw st "formula" then begin
       Parser.advance st;
       if !formula <> None then
         raise (Parser.Parse_error ("spec " ^ name ^ " has two formulas"));
+      formula_loc := Some (loc_here ());
       formula := Some (Parser.parse_formula_prefix st)
     end
     else more := false
@@ -124,8 +141,9 @@ let parse_spec st =
   match !formula with
   | None -> raise (Parser.Parse_error ("spec " ^ name ^ " has no formula"))
   | Some f ->
-    Spec.make ~description ?severity:!severity ~machines:(List.rev !machines)
-      ~name f
+    ( Spec.make ~description ?severity:!severity ~machines:(List.rev !machines)
+        ~name f,
+      { spec_loc; formula_loc = !formula_loc; severity_loc = !severity_loc } )
 
 let parse_file st =
   let specs = ref [] in
@@ -137,7 +155,7 @@ let parse_file st =
    | _ -> fail st "'spec' or end of file");
   List.rev !specs
 
-let of_string source =
+let of_string_located source =
   match Parser.stream_of_string source with
   | Error msg -> Error msg
   | Ok st -> begin
@@ -147,6 +165,8 @@ let of_string source =
     | exception Invalid_argument msg -> Error msg
   end
 
+let of_string source = Result.map (List.map fst) (of_string_located source)
+
 let of_string_exn source =
   match of_string source with
   | Ok specs -> specs
@@ -155,6 +175,11 @@ let of_string_exn source =
 let load path =
   match In_channel.with_open_text path In_channel.input_all with
   | source -> of_string source
+  | exception Sys_error msg -> Error msg
+
+let load_located path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | source -> of_string_located source
   | exception Sys_error msg -> Error msg
 
 (* Printing ----------------------------------------------------------------- *)

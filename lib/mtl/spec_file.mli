@@ -37,6 +37,27 @@ val of_string_exn : string -> Spec.t list
 val load : string -> (Spec.t list, string) result
 (** From a file path. *)
 
+(** {2 Source locations}
+
+    Static analysis over spec files wants to point back into the file.
+    The located variants return, per spec, the 1-based line/column of the
+    [spec] keyword and of the first token of its [formula] and [severity]
+    items — enough for a linter to print [file:line:col] next to each
+    diagnostic (finer, per-node positions would need a located AST, which
+    the formula language deliberately does not carry). *)
+
+type location = { line : int; col : int }
+
+type item_spans = {
+  spec_loc : location;           (** the [spec] keyword *)
+  formula_loc : location option; (** first token of the formula body *)
+  severity_loc : location option;
+}
+
+val of_string_located : string -> ((Spec.t * item_spans) list, string) result
+
+val load_located : string -> ((Spec.t * item_spans) list, string) result
+
 val to_string : Spec.t list -> string
 (** Render back to the file syntax; [of_string (to_string specs)] yields
     structurally equal specs (property-tested). *)

@@ -27,6 +27,25 @@ let default_period = 0.01
 let snapshots_of_trace ?(period = default_period) ?staleness trace =
   Trace.Multirate.snapshots ?staleness trace ~period
 
+(* Optional pre-flight lint: refuse to evaluate a spec the static analysis
+   can prove defective (unknown signals, vacuous guards, tautologies) —
+   failing loudly before a campaign burns hours returning meaningless
+   all-Satisfied columns. *)
+module Speclint = Monitor_analysis.Speclint
+
+let assert_preflight env specs =
+  List.iter
+    (fun (spec : Mtl.Spec.t) ->
+      match Speclint.errors (Speclint.check_env env spec) with
+      | [] -> ()
+      | errs ->
+        invalid_arg
+          (Fmt.str "@[<v>Oracle: spec %s failed pre-flight lint:@,%a@]"
+             spec.Mtl.Spec.name
+             (Fmt.list ~sep:Fmt.cut Speclint.pp_diagnostic)
+             errs))
+    specs
+
 (* Group consecutive False ticks into episodes.  An Unknown tick inside a
    False run does not end the episode — the verdict merely could not be
    computed for a moment — but a True tick does. *)
@@ -112,16 +131,19 @@ let outcome_on_snaps spec snaps cols =
   outcome_of_verdicts ?severity:(severity_values spec cols) spec
     ~times:outcome.Mtl.Offline.times outcome.Mtl.Offline.verdicts
 
-let check_spec ?period spec trace =
+let check_spec ?preflight ?period spec trace =
+  Option.iter (fun env -> assert_preflight env [ spec ]) preflight;
   let snaps = Array.of_list (snapshots_of_trace ?period trace) in
   outcome_on_snaps spec snaps (Trace.Columns.of_snapshots snaps)
 
-let check ?period specs trace =
+let check ?preflight ?period specs trace =
+  Option.iter (fun env -> assert_preflight env specs) preflight;
   let snaps = Array.of_list (snapshots_of_trace ?period trace) in
   let cols = Trace.Columns.of_snapshots snaps in
   List.map (fun spec -> outcome_on_snaps spec snaps cols) specs
 
-let check_stale_aware ?period ?(k = 3.0) ?hold ~periods specs trace =
+let check_stale_aware ?preflight ?period ?(k = 3.0) ?hold ~periods specs trace =
+  Option.iter (fun env -> assert_preflight env specs) preflight;
   let staleness s = Option.map (fun p -> k *. p) (periods s) in
   let snaps = Array.of_list (snapshots_of_trace ?period ~staleness trace) in
   let cols = Trace.Columns.of_snapshots snaps in
@@ -130,7 +152,8 @@ let check_stale_aware ?period ?(k = 3.0) ?hold ~periods specs trace =
       outcome_on_snaps (Mtl.Spec.stale_guarded ?hold spec) snaps cols)
     specs
 
-let check_spec_online ?period spec trace =
+let check_spec_online ?preflight ?period spec trace =
+  Option.iter (fun env -> assert_preflight env [ spec ]) preflight;
   let snapshots = snapshots_of_trace ?period trace in
   let monitor = Mtl.Online.create spec in
   let streamed =

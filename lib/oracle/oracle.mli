@@ -42,17 +42,26 @@ val snapshots_of_trace :
     marked stale (the historical behaviour). *)
 
 val check_spec :
+  ?preflight:Monitor_analysis.Speclint.env ->
   ?period:float -> Monitor_mtl.Spec.t -> Monitor_trace.Trace.t -> rule_outcome
-(** Offline evaluation over the whole log — the paper's workflow. *)
+(** Offline evaluation over the whole log — the paper's workflow.
+
+    [preflight] runs {!Monitor_analysis.Speclint} over the spec(s) first
+    and raises [Invalid_argument] listing the diagnostics if any are
+    [Error]-severity — a defective rule fails loudly before the campaign
+    runs, instead of silently returning evidence-free verdicts. *)
 
 val check :
+  ?preflight:Monitor_analysis.Speclint.env ->
   ?period:float -> Monitor_mtl.Spec.t list -> Monitor_trace.Trace.t ->
   rule_outcome list
 (** The snapshot stream is cut once and shared, array-backed, across every
     rule ({!Monitor_mtl.Offline.eval_array}); each rule then costs O(n)
-    per operator in trace length, independent of its window widths. *)
+    per operator in trace length, independent of its window widths.
+    [preflight] as in {!check_spec}. *)
 
 val check_stale_aware :
+  ?preflight:Monitor_analysis.Speclint.env ->
   ?period:float -> ?k:float -> ?hold:float ->
   periods:(string -> float option) -> Monitor_mtl.Spec.t list ->
   Monitor_trace.Trace.t -> rule_outcome list
@@ -66,6 +75,7 @@ val check_stale_aware :
     always-fresh behaviour. *)
 
 val check_spec_online :
+  ?preflight:Monitor_analysis.Speclint.env ->
   ?period:float -> Monitor_mtl.Spec.t -> Monitor_trace.Trace.t -> rule_outcome
 (** Same verdicts through the constant-memory online monitor. *)
 

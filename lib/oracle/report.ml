@@ -86,6 +86,86 @@ let render_availability_table ?(title = "VERDICT AVAILABILITY UNDER CHANNEL FAUL
     rows;
   Buffer.contents buf
 
+type coverage_row = {
+  rule_label : string;
+  unguarded : bool;
+  armed_runs : int;
+  runs : int;
+  armed_ticks : int;
+  total_ticks : int;
+}
+
+let coverage_rows ~rule_labels per_run =
+  List.mapi
+    (fun i rule_label ->
+      let per_rule = List.filter_map (fun vs -> List.nth_opt vs i) per_run in
+      { rule_label;
+        unguarded =
+          (match per_rule with
+           | v :: _ -> v.Vacuity.guards = []
+           | [] -> true);
+        armed_runs =
+          List.length (List.filter (fun v -> not v.Vacuity.vacuous) per_rule);
+        runs = List.length per_rule;
+        armed_ticks =
+          List.fold_left (fun acc v -> acc + Vacuity.armed_ticks v) 0 per_rule;
+        total_ticks =
+          List.fold_left (fun acc v -> acc + Vacuity.total_ticks v) 0 per_rule })
+    rule_labels
+
+let render_coverage ?(title = "ORACLE COVERAGE (guard vacuity)") rows =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%s\n" title;
+  List.iter
+    (fun r ->
+      if r.unguarded then
+        add "  %s: unguarded (evidence on every tick)\n" r.rule_label
+      else begin
+        let pct =
+          if r.total_ticks = 0 then 0.0
+          else 100.0 *. float_of_int r.armed_ticks /. float_of_int r.total_ticks
+        in
+        add "  %s: armed in %d/%d runs, %d/%d ticks (%.1f%%)%s\n" r.rule_label
+          r.armed_runs r.runs r.armed_ticks r.total_ticks pct
+          (if r.armed_runs = 0 && r.runs > 0 then
+             " -- NEVER ARMED: satisfied verdicts carry no evidence"
+           else "")
+      end)
+    rows;
+  Buffer.contents buf
+
+module Speclint = Monitor_analysis.Speclint
+
+let render_diagnostics items =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "SPEC LINT\n";
+  let count sev ds =
+    List.length
+      (List.filter (fun d -> d.Speclint.severity = sev) ds)
+  in
+  let total_errors = ref 0 and total_warnings = ref 0 in
+  List.iter
+    (fun ((spec : Monitor_mtl.Spec.t), ds) ->
+      match ds with
+      | [] -> add "  %s: clean\n" spec.Monitor_mtl.Spec.name
+      | ds ->
+        let e = count Speclint.Error ds
+        and w = count Speclint.Warning ds
+        and i = count Speclint.Info ds in
+        total_errors := !total_errors + e;
+        total_warnings := !total_warnings + w;
+        add "  %s: %d error(s), %d warning(s), %d note(s)\n"
+          spec.Monitor_mtl.Spec.name e w i;
+        List.iter
+          (fun d -> add "    %s\n" (Fmt.str "%a" Speclint.pp_diagnostic d))
+          ds)
+    items;
+  add "%d error(s), %d warning(s) across %d spec(s)\n" !total_errors
+    !total_warnings (List.length items);
+  Buffer.contents buf
+
 let summarize rows ~rule_count =
   let violated_rows = Array.make rule_count 0 in
   List.iter

@@ -38,3 +38,35 @@ val render_availability_table :
 val summarize : table_row list -> rule_count:int -> string
 (** Which rules were ever violated, and by how many rows — the paper's
     "six out of the seven rules were detected as violated" headline. *)
+
+(** {2 Coverage}
+
+    The vacuity footnote for campaign tables: per rule, in how many runs
+    its guard ever armed, and what fraction of ticks carried evidence.  A
+    rule that is "S" across a whole campaign while never armed tested
+    nothing (§III-C's monitoring-coverage caveat). *)
+
+type coverage_row = {
+  rule_label : string;
+  unguarded : bool;      (** no premise: evidence on every tick *)
+  armed_runs : int;      (** runs where some guard armed at least once *)
+  runs : int;
+  armed_ticks : int;     (** summed {!Vacuity.armed_ticks} over runs *)
+  total_ticks : int;     (** summed {!Vacuity.total_ticks} over runs *)
+}
+
+val coverage_rows :
+  rule_labels:string list -> Vacuity.t list list -> coverage_row list
+(** [coverage_rows ~rule_labels per_run] aggregates one {!Vacuity.t} per
+    rule per run ([per_run] outer = runs, inner aligned with
+    [rule_labels]). *)
+
+val render_coverage : ?title:string -> coverage_row list -> string
+
+(** {2 Lint diagnostics} *)
+
+val render_diagnostics :
+  (Monitor_mtl.Spec.t * Monitor_analysis.Speclint.diagnostic list) list ->
+  string
+(** The lint report: one block per spec with its diagnostics (clean specs
+    get a one-liner), then an error/warning total. *)

@@ -13,20 +13,7 @@ type t = {
   vacuous : bool;
 }
 
-(* The premises that guard a formula's obligations: descend through
-   conjunctions and through temporal wrappers (whose obligation is the
-   body's), collecting antecedents of implications. *)
-let rec premises (f : Mtl.Formula.t) =
-  match f with
-  | Mtl.Formula.Implies (a, _) -> [ a ]
-  | Mtl.Formula.And (a, b) -> premises a @ premises b
-  | Mtl.Formula.Always (_, g)
-  | Mtl.Formula.Historically (_, g)
-  | Mtl.Formula.Warmup { body = g; _ } -> premises g
-  | Mtl.Formula.Const _ | Mtl.Formula.Cmp _ | Mtl.Formula.Bool_signal _
-  | Mtl.Formula.Fresh _ | Mtl.Formula.Known _ | Mtl.Formula.Stale _
-  | Mtl.Formula.In_mode _ | Mtl.Formula.Not _ | Mtl.Formula.Or _
-  | Mtl.Formula.Eventually _ | Mtl.Formula.Once _ -> []
+let premises = Mtl.Formula.guard_premises
 
 let analyze_snapshots (spec : Mtl.Spec.t) snapshots =
   let guards =
@@ -52,6 +39,21 @@ let analyze_snapshots (spec : Mtl.Spec.t) snapshots =
 
 let analyze ?period spec trace =
   analyze_snapshots spec (Oracle.snapshots_of_trace ?period trace)
+
+let analyze_many ?period specs trace =
+  let snapshots = Oracle.snapshots_of_trace ?period trace in
+  List.map (fun spec -> analyze_snapshots spec snapshots) specs
+
+let total_ticks t =
+  match t.guards with [] -> 0 | g :: _ -> g.total_ticks
+
+(* Guards are alternative ways for the rule to arm (any premise True is
+   evidence), so the per-tick union is at least the largest single count —
+   a cheap, monotone lower bound that needs no per-tick storage. *)
+let armed_ticks t =
+  match t.guards with
+  | [] -> total_ticks t
+  | gs -> List.fold_left (fun acc g -> Stdlib.max acc g.armed_ticks) 0 gs
 
 let render t =
   let buf = Buffer.create 256 in

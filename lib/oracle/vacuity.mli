@@ -29,4 +29,19 @@ val analyze :
 val analyze_snapshots :
   Monitor_mtl.Spec.t -> Monitor_trace.Snapshot.t list -> t
 
+val analyze_many :
+  ?period:float -> Monitor_mtl.Spec.t list -> Monitor_trace.Trace.t -> t list
+(** One report per spec; the snapshot stream is cut once and shared, so
+    adding coverage accounting to a campaign costs one premise evaluation
+    per guard rather than one trace conversion per rule. *)
+
+val armed_ticks : t -> int
+(** Ticks where at least one guard was armed, approximated from the
+    per-guard counts as their maximum; [total_ticks] for unguarded specs
+    (an unguarded rule gathers evidence on every tick). *)
+
+val total_ticks : t -> int
+(** Trace length in ticks seen by the analysis; 0 when the spec is
+    unguarded (no premise was evaluated). *)
+
 val render : t -> string

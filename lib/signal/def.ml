@@ -12,7 +12,7 @@ type t = {
 }
 
 let make ?(unit_name = "") ?(description = "") ~name ~kind ~period_ms () =
-  if period_ms <= 0 then invalid_arg "Def.make: period_ms must be positive";
+  if period_ms < 0 then invalid_arg "Def.make: period_ms must be non-negative";
   (match kind with
    | Float_kind { min; max } ->
      if not (min <= max) then invalid_arg "Def.make: float range empty"
@@ -56,7 +56,10 @@ let pp ppf t =
     | Bool_kind -> "boolean"
     | Enum_kind { n_values } -> Fmt.str "enum(%d)" n_values
   in
-  Fmt.pf ppf "%s : %s @%dms%s" t.name kind_s t.period_ms
+  let period_s =
+    if t.period_ms = 0 then "aperiodic" else Fmt.str "@%dms" t.period_ms
+  in
+  Fmt.pf ppf "%s : %s %s%s" t.name kind_s period_s
     (if t.unit_name = "" then "" else " (" ^ t.unit_name ^ ")")
 
 let type_string t =

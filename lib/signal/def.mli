@@ -17,7 +17,9 @@ type t = {
   name : string;
   kind : kind;
   unit_name : string;  (** e.g. "m/s", "%", "" for dimensionless *)
-  period_ms : int;     (** broadcast period on the bus *)
+  period_ms : int;
+      (** broadcast period on the bus; [0] marks an event-driven
+          (aperiodic) signal with no refresh guarantee *)
   description : string;
 }
 

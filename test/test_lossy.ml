@@ -188,7 +188,8 @@ let test_table1_errored_rows () =
     lazy
       (let scenario = Scenario.steady_follow ~duration:4.0 () in
        let result = Sim.run (Sim.default_config scenario) in
-       Oracle.check Rules.all result.Sim.trace)
+       ( Oracle.check Rules.all result.Sim.trace,
+         Monitor_oracle.Vacuity.analyze_many Rules.all result.Sim.trace ))
   in
   let runner plan =
     if List.length plan >= 4 then failwith "synthetic multi-row crash"

@@ -87,8 +87,11 @@ let test_make_validation () =
         (Def.make ~name:"bad" ~kind:(Def.Float_kind { min = 2.0; max = 1.0 })
            ~period_ms:10 ()));
   Alcotest.check_raises "bad period"
-    (Invalid_argument "Def.make: period_ms must be positive") (fun () ->
-      ignore (Def.make ~name:"bad" ~kind:Def.Bool_kind ~period_ms:0 ()))
+    (Invalid_argument "Def.make: period_ms must be non-negative") (fun () ->
+      ignore (Def.make ~name:"bad" ~kind:Def.Bool_kind ~period_ms:(-1) ()));
+  (* Zero is legal: an event-driven signal with no refresh guarantee. *)
+  let aperiodic = Def.make ~name:"evt" ~kind:Def.Bool_kind ~period_ms:0 () in
+  Alcotest.(check int) "aperiodic period" 0 aperiodic.Def.period_ms
 
 let test_type_string () =
   Alcotest.(check string) "float" "float" (Def.type_string speed);

@@ -1,0 +1,322 @@
+(* The static analyzer: every diagnostic code has a seeded-defect test
+   asserting its exact code and severity, the shipped rules lint clean,
+   spec-file diagnostics carry source spans, and the static vacuity verdict
+   is cross-validated against the dynamic one on random in-range traces. *)
+
+open Helpers
+module Mtl = Monitor_mtl
+module L = Monitor_analysis.Speclint
+module Interval = Monitor_analysis.Interval
+module Def = Monitor_signal.Def
+module Vacuity = Monitor_oracle.Vacuity
+
+let fsracc_env =
+  L.env ~dbc:Monitor_fsracc.Io.dbc
+    ~defs:(List.map snd Monitor_fsracc.Io.signals)
+    ()
+
+let spec ?severity src =
+  let severity = Option.map Mtl.Parser.expr_of_string severity in
+  let severity = Option.map Result.get_ok severity in
+  Mtl.Spec.make ?severity ~name:"t" (Mtl.Parser.formula_of_string_exn src)
+
+let has code ds =
+  List.exists
+    (fun d -> d.L.code = code && d.L.severity = L.severity_of code)
+    ds
+
+let check_fires ?(env = fsracc_env) ?severity src code =
+  let ds = L.check_env env (spec ?severity src) in
+  if not (has code ds) then
+    Alcotest.failf "expected %s in:\n%s" (L.code_name code)
+      (String.concat "\n"
+         (List.map (fun d -> Fmt.str "  %a" L.pp_diagnostic d) ds))
+
+(* Resolution & kinds ------------------------------------------------------ *)
+
+let test_unknown_signal () =
+  check_fires "NoSuchSignal > 0.0" L.Unknown_signal;
+  Alcotest.(check bool) "error severity" true
+    (L.severity_of L.Unknown_signal = L.Error);
+  (* Without a DBC the universe is unknown and nothing can be reported. *)
+  Alcotest.(check int) "no env, no resolution" 0
+    (List.length (L.check (spec "NoSuchSignal > 0.0")))
+
+let test_bool_in_arithmetic () =
+  check_fires "VehicleAhead + 1.0 > 0.5" L.Bool_in_arithmetic;
+  (* Severity expressions are walked too. *)
+  check_fires ~severity:"VehicleAhead * 2.0" "BrakeRequested" L.Bool_in_arithmetic
+
+let test_float_as_bool () = check_fires "Velocity" L.Float_as_bool
+
+let test_enum_as_bool () =
+  check_fires "SelHeadway" L.Enum_as_bool;
+  (* ...but enum arithmetic is a legitimate idiom (paper rule 2). *)
+  let ds = L.check_env fsracc_env (spec "0.5 * SelHeadway < 1.0") in
+  Alcotest.(check bool) "enum arithmetic allowed" false
+    (List.exists (fun d -> d.L.severity = L.Error) ds)
+
+let test_bool_compared () =
+  check_fires "prev(VehicleAhead) < 0.5" L.Bool_compared;
+  Alcotest.(check bool) "warning only" true
+    (L.severity_of L.Bool_compared = L.Warning)
+
+(* Range analysis ---------------------------------------------------------- *)
+
+let test_always_true_cmp () = check_fires "Velocity >= 0.0" L.Always_true_cmp
+
+let test_always_false_cmp () = check_fires "Velocity > 100.0" L.Always_false_cmp
+
+let test_vacuous_guard () =
+  let ds = L.check_env fsracc_env (spec "Velocity > 100.0 -> BrakeRequested") in
+  Alcotest.(check bool) "vacuous guard" true (has L.Vacuous_guard ds);
+  (* The tautology is a consequence of the dead guard, not reported twice. *)
+  Alcotest.(check bool) "tautology suppressed" false (has L.Tautological_rule ds)
+
+let test_unsatisfiable_rule () =
+  check_fires "Velocity > 100.0 and VehicleAhead" L.Unsatisfiable_rule
+
+let test_tautological_rule () =
+  check_fires "Velocity >= 0.0" L.Tautological_rule
+
+(* Multi-rate windows ------------------------------------------------------ *)
+
+let test_window_subsamples () =
+  check_fires "always[0.0, 0.02] RequestedTorque < 100.0" L.Window_subsamples;
+  (* A window wider than the slowest period is fine. *)
+  let ds =
+    L.check_env fsracc_env (spec "always[0.0, 0.2] RequestedTorque < 100.0")
+  in
+  Alcotest.(check bool) "wide window clean" false (has L.Window_subsamples ds)
+
+let test_point_window_off_grid () =
+  check_fires "always[0.015, 0.015] Velocity < 50.0" L.Point_window_off_grid;
+  let ds =
+    L.check_env fsracc_env (spec "always[0.01, 0.01] Velocity < 50.0")
+  in
+  Alcotest.(check bool) "on-grid point window clean" false
+    (has L.Point_window_off_grid ds)
+
+let test_unbounded_window () = check_fires "always Velocity < 50.0" L.Unbounded_window
+
+let test_decision_latency () =
+  check_fires "eventually[0.0, 0.4] Velocity < 50.0" L.Decision_latency;
+  Alcotest.(check bool) "info severity" true
+    (L.severity_of L.Decision_latency = L.Info)
+
+(* Staleness & warm-up ----------------------------------------------------- *)
+
+let aperiodic_env =
+  L.env
+    ~defs:
+      [ Def.make ~name:"Aperiodic"
+          ~kind:(Def.Float_kind { min = 0.0; max = 1.0 })
+          ~period_ms:0 () ]
+    ()
+
+let test_stale_without_period () =
+  check_fires ~env:aperiodic_env "stale(Aperiodic)" L.Stale_without_period
+
+let test_warmup_hold_short () =
+  check_fires "warmup(fresh(RequestedTorque), 0.02, Velocity < 50.0)"
+    L.Warmup_hold_short
+
+let test_stale_deadline_tight () =
+  let env =
+    L.env ~dbc:Monitor_fsracc.Io.dbc
+      ~defs:(List.map snd Monitor_fsracc.Io.signals)
+      ~staleness:(fun _ -> Some 0.02)
+      ()
+  in
+  check_fires ~env "stale(RequestedTorque)" L.Stale_deadline_tight
+
+(* The shipped rules lint clean -------------------------------------------- *)
+
+let builtin_rules =
+  Monitor_oracle.Rules.all
+  @ [ Monitor_oracle.Rules.relaxed_rule2 ();
+      Monitor_oracle.Rules.relaxed_rule3 ();
+      Monitor_oracle.Rules.relaxed_rule4 ();
+      Monitor_oracle.Rules.range_consistency_naive;
+      Monitor_oracle.Rules.range_consistency_warmup ]
+
+let test_builtins_lint_clean () =
+  List.iter
+    (fun s ->
+      match L.errors (L.check_env fsracc_env s) with
+      | [] -> ()
+      | errs ->
+        Alcotest.failf "%s has lint errors:\n%s" s.Mtl.Spec.name
+          (String.concat "\n"
+             (List.map (fun d -> Fmt.str "  %a" L.pp_diagnostic d) errs)))
+    builtin_rules
+
+let test_rule3_draws_multirate_warning () =
+  (* The paper's own rule 3 is the canonical SSV-C1 hazard: a 10 ms window
+     over a 40 ms signal.  The linter must say so (but only as a warning —
+     the rule still ships). *)
+  let ds = L.check_env fsracc_env (Monitor_oracle.Rules.rule 3) in
+  Alcotest.(check bool) "subsampling warning" true (has L.Window_subsamples ds);
+  Alcotest.(check int) "no errors" 0 (List.length (L.errors ds))
+
+let test_paper_spec_file_lint_clean () =
+  let path =
+    (* cwd is test/ under [dune runtest], the repo root under [dune exec]. *)
+    if Sys.file_exists "../specs/paper_rules.spec" then
+      "../specs/paper_rules.spec"
+    else "specs/paper_rules.spec"
+  in
+  match L.lint_file ~env:fsracc_env path with
+  | Error msg -> Alcotest.fail msg
+  | Ok items ->
+    Alcotest.(check int) "seven rules" 7 (List.length items);
+    List.iter
+      (fun ((s : Mtl.Spec.t), ds) ->
+        Alcotest.(check int) (s.Mtl.Spec.name ^ " error-free") 0
+          (List.length (L.errors ds)))
+      items
+
+(* Source spans ------------------------------------------------------------ *)
+
+let test_spans () =
+  let source =
+    "# comment\n\
+     spec bad \"uses an unknown signal\"\n\
+     formula\n\
+    \  Nonexistent > 0.0\n"
+  in
+  match L.lint_string ~env:fsracc_env ~file:"bad.spec" source with
+  | Error msg -> Alcotest.fail msg
+  | Ok [ (_, ds) ] ->
+    let d =
+      match List.find_opt (fun d -> d.L.code = L.Unknown_signal) ds with
+      | Some d -> d
+      | None -> Alcotest.fail "unknown-signal expected"
+    in
+    (match d.L.span with
+     | None -> Alcotest.fail "span expected"
+     | Some s ->
+       Alcotest.(check string) "file" "bad.spec" s.L.file;
+       (* The formula item's first token sits on line 4, column 3. *)
+       Alcotest.(check int) "line" 4 s.L.line;
+       Alcotest.(check int) "col" 3 s.L.col)
+  | Ok items -> Alcotest.failf "one spec expected, got %d" (List.length items)
+
+let test_code_names_roundtrip () =
+  List.iter
+    (fun c ->
+      match L.code_of_name (L.code_name c) with
+      | Some c' when c' = c -> ()
+      | _ -> Alcotest.failf "code name %s does not round-trip" (L.code_name c))
+    L.all_codes
+
+(* Interval corners --------------------------------------------------------- *)
+
+let test_interval_nan_ne () =
+  (* NaN decides comparisons: != is the one comparison NaN satisfies. *)
+  let nan_v = Interval.const Float.nan in
+  let unit = Interval.of_range 0.0 1.0 in
+  let ne = Interval.cmp Mtl.Formula.Ne nan_v unit in
+  Alcotest.(check bool) "nan != x can be true" true ne.Interval.can_true;
+  Alcotest.(check bool) "nan != x cannot be false" false ne.Interval.can_false;
+  let le = Interval.cmp Mtl.Formula.Le nan_v unit in
+  Alcotest.(check bool) "nan <= x cannot be true" false le.Interval.can_true;
+  Alcotest.(check bool) "nan <= x can be false" true le.Interval.can_false
+
+let test_interval_div_nan () =
+  let one = Interval.of_range 1.0 1.0 in
+  let spans_zero = Interval.of_range (-1.0) 1.0 in
+  Alcotest.(check bool) "1/[-1,1] cannot be NaN" false
+    (Interval.div one spans_zero).Interval.nan;
+  Alcotest.(check bool) "[-1,1]/[-1,1] can be NaN (0/0)" true
+    (Interval.div spans_zero spans_zero).Interval.nan
+
+(* Static vacuity cross-validated against the dynamic analysis -------------- *)
+
+(* A multi-rate in-range trace: Velocity and VehicleAhead refresh every
+   10 ms tick, the 40 ms signals every fourth tick — the real bus shape. *)
+let gen_multirate_snaps : Monitor_trace.Snapshot.t list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n = int_range 20 80 in
+  let* velocities = list_size (return n) (float_range 0.0 80.0) in
+  let* torques = list_size (return n) (float_range (-500.0) 3000.0) in
+  let* aheads = list_size (return n) bool in
+  let+ brakes = list_size (return n) bool in
+  List.init n (fun i ->
+      let fast =
+        [ ("Velocity", f (List.nth velocities i));
+          ("VehicleAhead", b (List.nth aheads i)) ]
+      in
+      let slow =
+        if i mod 4 = 0 then
+          [ ("RequestedTorque", f (List.nth torques i));
+            ("BrakeRequested", b (List.nth brakes i)) ]
+        else []
+      in
+      (float_of_int i *. 0.01, fast @ slow))
+  |> snaps
+
+let static_vacuous_is_dynamic_vacuous =
+  QCheck.Test.make ~name:"statically vacuous rules are dynamically vacuous"
+    ~count:100
+    (QCheck.make
+       ~print:(fun (c, _) -> Printf.sprintf "threshold %g" c)
+       QCheck.Gen.(pair (float_range 80.5 200.0) gen_multirate_snaps))
+    (fun (threshold, snapshots) ->
+      (* Velocity is declared [0, 80]: a guard demanding more can never
+         arm.  The linter must prove it, and every in-range trace must
+         agree. *)
+      let s =
+        spec (Printf.sprintf "Velocity > %f -> BrakeRequested" threshold)
+      in
+      let static = L.check_env fsracc_env s in
+      let dynamic = Vacuity.analyze_snapshots s snapshots in
+      has L.Vacuous_guard static && dynamic.Vacuity.vacuous)
+
+let armed_guard_not_flagged =
+  QCheck.Test.make
+    ~name:"satisfiable guards are not statically vacuous" ~count:100
+    (QCheck.make
+       ~print:(fun c -> Printf.sprintf "threshold %g" c)
+       QCheck.Gen.(float_range 0.0 79.0))
+    (fun threshold ->
+      let s =
+        spec (Printf.sprintf "Velocity > %f -> BrakeRequested" threshold)
+      in
+      not (has L.Vacuous_guard (L.check_env fsracc_env s)))
+
+let suite =
+  [ ( "speclint",
+      [ Alcotest.test_case "unknown signal" `Quick test_unknown_signal;
+        Alcotest.test_case "bool in arithmetic" `Quick test_bool_in_arithmetic;
+        Alcotest.test_case "float as bool" `Quick test_float_as_bool;
+        Alcotest.test_case "enum as bool" `Quick test_enum_as_bool;
+        Alcotest.test_case "bool compared" `Quick test_bool_compared;
+        Alcotest.test_case "always-true cmp" `Quick test_always_true_cmp;
+        Alcotest.test_case "always-false cmp" `Quick test_always_false_cmp;
+        Alcotest.test_case "vacuous guard" `Quick test_vacuous_guard;
+        Alcotest.test_case "unsatisfiable rule" `Quick test_unsatisfiable_rule;
+        Alcotest.test_case "tautological rule" `Quick test_tautological_rule;
+        Alcotest.test_case "window subsamples" `Quick test_window_subsamples;
+        Alcotest.test_case "point window off grid" `Quick
+          test_point_window_off_grid;
+        Alcotest.test_case "unbounded window" `Quick test_unbounded_window;
+        Alcotest.test_case "decision latency" `Quick test_decision_latency;
+        Alcotest.test_case "stale without period" `Quick
+          test_stale_without_period;
+        Alcotest.test_case "warmup hold short" `Quick test_warmup_hold_short;
+        Alcotest.test_case "stale deadline tight" `Quick
+          test_stale_deadline_tight;
+        Alcotest.test_case "builtin rules lint clean" `Quick
+          test_builtins_lint_clean;
+        Alcotest.test_case "rule3 multirate warning" `Quick
+          test_rule3_draws_multirate_warning;
+        Alcotest.test_case "paper spec file lint clean" `Quick
+          test_paper_spec_file_lint_clean;
+        Alcotest.test_case "spans" `Quick test_spans;
+        Alcotest.test_case "code names round-trip" `Quick
+          test_code_names_roundtrip;
+        Alcotest.test_case "interval nan vs !=" `Quick test_interval_nan_ne;
+        Alcotest.test_case "interval division nan" `Quick test_interval_div_nan;
+        QCheck_alcotest.to_alcotest static_vacuous_is_dynamic_vacuous;
+        QCheck_alcotest.to_alcotest armed_guard_not_flagged ] ) ]
