@@ -195,6 +195,24 @@ let bench_offline_long_naive_600 =
 let bench_online_long_600 =
   bench_long_trace "mtl/online_long_trace_600s" online_all_rules long_snaps_600
 
+(* Telemetry overhead pair.  The same columnar seven-rule workload, once
+   with the process-global telemetry gate off (the shipped default) and
+   once with metric recording on.  The pair is what backs the "free when
+   off, cheap when on" claim: overhead_off must match
+   mtl/offline_long_trace_60s (the gate is one load-and-branch), and the
+   CI overhead guard holds overhead_on within 10 % of it. *)
+
+let bench_obs_overhead_off =
+  Test.make ~name:"obs/overhead_off"
+    (Staged.stage (fun () -> offline_all_rules (Lazy.force long_snaps_60)))
+
+let bench_obs_overhead_on =
+  Test.make ~name:"obs/overhead_on"
+    (Staged.stage (fun () ->
+         Monitor_obs.Obs.enable_metrics ();
+         Fun.protect ~finally:Monitor_obs.Obs.disable_metrics (fun () ->
+             offline_all_rules (Lazy.force long_snaps_60))))
+
 (* Monitor micro-benchmarks. --------------------------------------------- *)
 
 let bench_offline_rule n =
@@ -360,12 +378,42 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Run metadata: enough to tell two BENCH_<n>.json files apart without
+   the shell history that produced them. *)
+
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> Some line
+    | Unix.WEXITED _ | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> None
+  with Unix.Unix_error _ | Sys_error _ -> None
+
+let timestamp_utc () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
 let write_json path ~mode rows =
   let oc = open_out path in
+  let json_opt = function
+    | Some s -> Printf.sprintf "\"%s\"" (json_escape s)
+    | None -> "null"
+  in
   output_string oc "{\n";
   Printf.fprintf oc "  \"suite\": \"cps_monitor\",\n";
   Printf.fprintf oc "  \"mode\": \"%s\",\n" mode;
   Printf.fprintf oc "  \"unit\": \"ns/run\",\n";
+  output_string oc "  \"meta\": {\n";
+  Printf.fprintf oc "    \"git_commit\": %s,\n" (json_opt (git_commit ()));
+  Printf.fprintf oc "    \"ocaml_version\": \"%s\",\n"
+    (json_escape Sys.ocaml_version);
+  Printf.fprintf oc "    \"cps_monitor_jobs\": %s,\n"
+    (json_opt (Sys.getenv_opt "CPS_MONITOR_JOBS"));
+  Printf.fprintf oc "    \"timestamp\": \"%s\"\n" (timestamp_utc ());
+  output_string oc "  },\n";
   output_string oc "  \"results\": {\n";
   let n = List.length rows in
   List.iteri
@@ -393,10 +441,8 @@ let () =
       [ bench_offline_long_600; bench_offline_long_naive_600;
         bench_online_long_600 ]
   in
-  if not options.quick then begin
-    ignore (Lazy.force long_snaps_60);
-    ignore (Lazy.force long_snaps_600)
-  end;
+  ignore (Lazy.force long_snaps_60);
+  if not options.quick then ignore (Lazy.force long_snaps_600);
   let all_tests =
     [ bench_figure1; bench_table1_run; bench_table1_sequential_slice;
       bench_table1_parallel; bench_vehicle_logs_scenario;
@@ -405,7 +451,8 @@ let () =
       bench_online_rule 5; bench_all_rules_offline; bench_parser;
       bench_simplify; bench_monitor_set; bench_ablation_hold;
       bench_snapshots; bench_can_roundtrip; bench_frame_bit_count;
-      bench_plant_step; bench_controller_step ]
+      bench_plant_step; bench_controller_step; bench_obs_overhead_off;
+      bench_obs_overhead_on ]
     @ long_trace_tests
   in
   let selected =

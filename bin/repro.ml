@@ -24,41 +24,120 @@ let with_pool jobs f =
   let num_domains = if jobs = 0 then None else Some jobs in
   Monitor_util.Pool.with_pool ?num_domains f
 
+(* Telemetry ------------------------------------------------------------- *)
+
+module Obs = Monitor_obs.Obs
+module Metrics = Monitor_obs.Metrics
+module Tracer = Monitor_obs.Tracer
+module Progress = Monitor_obs.Progress
+
+type telemetry = {
+  metrics_file : string option;
+  trace_file : string option;
+  progress_flag : bool;
+}
+
+let telemetry_term =
+  let metrics_arg =
+    let doc =
+      "Enable metrics recording and write a dump to $(docv) at exit \
+       (Prometheus text exposition; a .json extension selects the JSON \
+       rendering).  The experiment report on stdout is unaffected."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let trace_arg =
+    let doc =
+      "Record spans and write Chrome trace_event JSON to $(docv) at exit; \
+       load it in chrome://tracing or Perfetto."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let progress_arg =
+    let doc =
+      "Print a throttled progress heartbeat (runs completed/total, ETA) to \
+       stderr while a campaign runs."
+    in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
+  let make metrics_file trace_file progress_flag =
+    { metrics_file; trace_file; progress_flag }
+  in
+  Term.(const make $ metrics_arg $ trace_arg $ progress_arg)
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+(* Bracket one command invocation: flip the process-global gates on, run,
+   and dump to the requested files even if the run raises — a crashed
+   campaign's partial counters are exactly when the dump is wanted.  [f]
+   receives a per-experiment progress-reporter factory ([None]s when
+   --progress wasn't given). *)
+let with_telemetry tel f =
+  if tel.metrics_file <> None then Obs.enable_metrics ();
+  let tracer = Option.map (fun _ -> Tracer.create ()) tel.trace_file in
+  Obs.set_tracer tracer;
+  let progress label =
+    if tel.progress_flag then Some (Progress.create ~label ()) else None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_tracer None;
+      Obs.disable_metrics ();
+      Option.iter
+        (fun path ->
+          write_file path
+            (if Filename.check_suffix path ".json" then
+               Metrics.render_json Obs.registry
+             else Metrics.render_prometheus Obs.registry))
+        tel.metrics_file;
+      match tel.trace_file, tracer with
+      | Some path, Some t -> write_file path (Tracer.to_json t)
+      | (Some _ | None), _ -> ())
+    (fun () -> f ~progress)
+
 let figure1_cmd =
   let run () = print_string (Monitor_experiments.Figure1.rendered ()) in
   Cmd.v (Cmd.info "figure1" ~doc:"Print Figure 1: the FSRACC I/O signals")
     Term.(const run $ const ())
 
 let table1_cmd =
-  let run quick seed jobs =
+  let run quick seed jobs tel =
     let base =
       if quick then Monitor_experiments.Table1.quick_options
       else Monitor_experiments.Table1.paper_options
     in
     let options = { base with Monitor_experiments.Table1.seed } in
     let t =
-      with_pool jobs (fun pool ->
-          Monitor_experiments.Table1.run ~options ~pool ())
+      with_telemetry tel (fun ~progress ->
+          with_pool jobs (fun pool ->
+              Monitor_experiments.Table1.run ~options ~pool
+                ?progress:(progress "table1") ()))
     in
     print_string (Monitor_experiments.Table1.rendered t)
   in
   Cmd.v
     (Cmd.info "table1"
        ~doc:"Regenerate Table I: the fault-injection result matrix")
-    Term.(const run $ quick_arg $ seed_arg 2014L $ jobs_arg)
+    Term.(const run $ quick_arg $ seed_arg 2014L $ jobs_arg $ telemetry_term)
 
 let vehicle_logs_cmd =
-  let run seed jobs =
+  let run seed jobs tel =
     let t =
-      with_pool jobs (fun pool ->
-          Monitor_experiments.Vehicle_logs.run ~seed ~pool ())
+      with_telemetry tel (fun ~progress ->
+          with_pool jobs (fun pool ->
+              Monitor_experiments.Vehicle_logs.run ~seed ~pool
+                ?progress:(progress "vehicle-logs") ()))
     in
     print_string (Monitor_experiments.Vehicle_logs.rendered t)
   in
   Cmd.v
     (Cmd.info "vehicle-logs"
        ~doc:"Analyse real-vehicle (road-mode) logs with the same rules (SS IV-A)")
-    Term.(const run $ seed_arg 77L $ jobs_arg)
+    Term.(const run $ seed_arg 77L $ jobs_arg $ telemetry_term)
 
 let multirate_cmd =
   let run seed =
@@ -81,35 +160,39 @@ let warmup_cmd =
     Term.(const run $ seed_arg 9L)
 
 let ablation_cmd =
-  let run seed jobs =
+  let run seed jobs tel =
     let t =
-      with_pool jobs (fun pool ->
-          Monitor_experiments.Ablation.run ~seed ~pool ())
+      with_telemetry tel (fun ~progress ->
+          with_pool jobs (fun pool ->
+              Monitor_experiments.Ablation.run ~seed ~pool
+                ?progress:(progress "ablation") ()))
     in
     print_string (Monitor_experiments.Ablation.rendered t)
   in
   Cmd.v
     (Cmd.info "ablation"
        ~doc:"Ablate the monitor's design choices (period, jitter,              change operator, warm-up hold)")
-    Term.(const run $ seed_arg 21L $ jobs_arg)
+    Term.(const run $ seed_arg 21L $ jobs_arg $ telemetry_term)
 
 let lossy_bus_cmd =
-  let run quick seed jobs =
+  let run quick seed jobs tel =
     let base =
       if quick then Monitor_experiments.Lossy_bus.quick_options
       else Monitor_experiments.Lossy_bus.paper_options
     in
     let options = { base with Monitor_experiments.Lossy_bus.seed } in
     let t =
-      with_pool jobs (fun pool ->
-          Monitor_experiments.Lossy_bus.run ~options ~pool ())
+      with_telemetry tel (fun ~progress ->
+          with_pool jobs (fun pool ->
+              Monitor_experiments.Lossy_bus.run ~options ~pool
+                ?progress:(progress "lossy-bus") ()))
     in
     print_string (Monitor_experiments.Lossy_bus.rendered t)
   in
   Cmd.v
     (Cmd.info "lossy-bus"
        ~doc:"E7: verdict degradation when the monitor's bus tap loses,              delays or corrupts frames")
-    Term.(const run $ quick_arg $ seed_arg 2014L $ jobs_arg)
+    Term.(const run $ quick_arg $ seed_arg 2014L $ jobs_arg $ telemetry_term)
 
 let simulate_cmd =
   let scenario_arg =
@@ -420,43 +503,48 @@ let check_cmd =
           $ lint_arg)
 
 let all_cmd =
-  let run quick seed jobs =
-    with_pool jobs (fun pool ->
-        print_string (Monitor_experiments.Figure1.rendered ());
-        print_newline ();
-        let base =
-          if quick then Monitor_experiments.Table1.quick_options
-          else Monitor_experiments.Table1.paper_options
-        in
-        let options = { base with Monitor_experiments.Table1.seed } in
-        print_string
-          (Monitor_experiments.Table1.rendered
-             (Monitor_experiments.Table1.run ~options ~pool ()));
-        print_newline ();
-        print_string
-          (Monitor_experiments.Vehicle_logs.rendered
-             (Monitor_experiments.Vehicle_logs.run ~pool ()));
-        print_newline ();
-        print_string
-          (Monitor_experiments.Multirate.rendered
-             (Monitor_experiments.Multirate.run ()));
-        print_newline ();
-        print_string
-          (Monitor_experiments.Warmup.rendered (Monitor_experiments.Warmup.run ()));
-        print_newline ();
-        let lossy_base =
-          if quick then Monitor_experiments.Lossy_bus.quick_options
-          else Monitor_experiments.Lossy_bus.paper_options
-        in
-        let lossy_options =
-          { lossy_base with Monitor_experiments.Lossy_bus.seed }
-        in
-        print_string
-          (Monitor_experiments.Lossy_bus.rendered
-             (Monitor_experiments.Lossy_bus.run ~options:lossy_options ~pool ())))
+  let run quick seed jobs tel =
+    with_telemetry tel (fun ~progress ->
+        with_pool jobs (fun pool ->
+            print_string (Monitor_experiments.Figure1.rendered ());
+            print_newline ();
+            let base =
+              if quick then Monitor_experiments.Table1.quick_options
+              else Monitor_experiments.Table1.paper_options
+            in
+            let options = { base with Monitor_experiments.Table1.seed } in
+            print_string
+              (Monitor_experiments.Table1.rendered
+                 (Monitor_experiments.Table1.run ~options ~pool
+                    ?progress:(progress "table1") ()));
+            print_newline ();
+            print_string
+              (Monitor_experiments.Vehicle_logs.rendered
+                 (Monitor_experiments.Vehicle_logs.run ~pool
+                    ?progress:(progress "vehicle-logs") ()));
+            print_newline ();
+            print_string
+              (Monitor_experiments.Multirate.rendered
+                 (Monitor_experiments.Multirate.run ()));
+            print_newline ();
+            print_string
+              (Monitor_experiments.Warmup.rendered
+                 (Monitor_experiments.Warmup.run ()));
+            print_newline ();
+            let lossy_base =
+              if quick then Monitor_experiments.Lossy_bus.quick_options
+              else Monitor_experiments.Lossy_bus.paper_options
+            in
+            let lossy_options =
+              { lossy_base with Monitor_experiments.Lossy_bus.seed }
+            in
+            print_string
+              (Monitor_experiments.Lossy_bus.rendered
+                 (Monitor_experiments.Lossy_bus.run ~options:lossy_options
+                    ~pool ?progress:(progress "lossy-bus") ()))))
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment in sequence")
-    Term.(const run $ quick_arg $ seed_arg 2014L $ jobs_arg)
+    Term.(const run $ quick_arg $ seed_arg 2014L $ jobs_arg $ telemetry_term)
 
 let () =
   let doc = "Monitor-based oracles for CPS testing (DSN 2014) reproduction" in

@@ -60,6 +60,32 @@ let frame_bit_count f =
 
 (* Discrete-event bus ---------------------------------------------------- *)
 
+module Obs = Monitor_obs.Obs
+
+(* Frame-level telemetry, from the monitor tap's point of view: delivered
+   frames reached the listeners; corrupted ones failed CRC on the wire
+   (and retransmit unless the controller gives up — "lost"); dropped ones
+   crossed the wire but this tap never saw them. *)
+let m_frames_delivered =
+  Obs.counter ~help:"Frames delivered to the tap's listeners"
+    "cps_bus_frames_delivered_total"
+
+let m_frames_corrupted =
+  Obs.counter ~help:"Transmissions that failed CRC on the wire"
+    "cps_bus_frames_corrupted_total"
+
+let m_frames_dropped =
+  Obs.counter ~help:"Frames the passive tap missed (no retransmission)"
+    "cps_bus_frames_dropped_total"
+
+let m_frames_lost =
+  Obs.counter ~help:"Frames abandoned after max_attempts corruptions"
+    "cps_bus_frames_lost_total"
+
+let m_retransmissions =
+  Obs.counter ~help:"Corrupted frames re-queued for transmission"
+    "cps_bus_retransmissions_total"
+
 type pending = {
   frame : Frame.t;
   requested : float;
@@ -165,19 +191,27 @@ let run_until t ~time =
             (match outcome with
              | `Deliver ->
                t.frames <- t.frames + 1;
+               Obs.incr m_frames_delivered;
                List.iter (fun l -> l ~time:finish winner.frame) t.listeners
              | `Corrupt ->
                t.retransmissions <- t.retransmissions + 1;
-               if winner.attempts + 1 >= max_attempts then t.lost <- t.lost + 1
-               else
+               Obs.incr m_frames_corrupted;
+               if winner.attempts + 1 >= max_attempts then begin
+                 t.lost <- t.lost + 1;
+                 Obs.incr m_frames_lost
+               end
+               else begin
+                 Obs.incr m_retransmissions;
                  t.pending <-
                    { winner with requested = finish;
                      attempts = winner.attempts + 1 }
                    :: t.pending
+               end
              | `Drop ->
                (* The frame occupied the wire but this tap never saw it:
                   no delivery, no error frame, no retransmission. *)
-               t.dropped <- t.dropped + 1);
+               t.dropped <- t.dropped + 1;
+               Obs.incr m_frames_dropped);
             progress := true
           end
       end

@@ -5,6 +5,8 @@ module Rules = Monitor_oracle.Rules
 module Mtl = Monitor_mtl
 module Value = Monitor_signal.Value
 module Campaign = Monitor_inject.Campaign
+module Obs = Monitor_obs.Obs
+module Progress = Monitor_obs.Progress
 
 type period_ablation = {
   fast_false : int;
@@ -107,7 +109,7 @@ let naive_rule4 =
        "Velocity > ACCSetSpeed -> eventually[0.0, 0.4] \
         delta(RequestedTorque) <= 0.0")
 
-let delta_study ~seed ?pool () =
+let delta_study ~seed ?pool ?on_done () =
   let prng = Monitor_util.Prng.create seed in
   (* A small sweep of set-speed faults (the rule-4 trigger).  All random
      draws happen here, in a fixed order, before the simulations fan
@@ -119,7 +121,7 @@ let delta_study ~seed ?pool () =
         (value, sim_seed))
   in
   let attempts =
-    Campaign.guarded_map ?pool
+    Campaign.guarded_map ?pool ?on_done
       ~label:(fun (value, _) -> Printf.sprintf "delta/ACCSetSpeed=%.1f" value)
       (fun (value, sim_seed) ->
         let plan =
@@ -167,9 +169,9 @@ let warmup_study ~seed =
 
 (* The paper held injections for 20 s; this fault (a positive relative
    velocity) needs most of that to push the vehicle into its target. *)
-let hold_study ~seed ?pool () =
+let hold_study ~seed ?pool ?on_done () =
   let attempts =
-    Campaign.guarded_map ?pool
+    Campaign.guarded_map ?pool ?on_done
       ~label:(fun hold -> Printf.sprintf "hold/%.1fs" hold)
       (fun hold ->
         let plan =
@@ -183,10 +185,17 @@ let hold_study ~seed ?pool () =
   in
   (Campaign.completed attempts, Campaign.errors attempts)
 
-let run ?(seed = 21L) ?pool () =
+let run ?(seed = 21L) ?pool ?progress () =
+  Obs.with_span ~cat:"experiment" "ablation.run" @@ fun () ->
+  (* The progress denominator counts only the pooled sweeps: 8 delta
+     cases + 4 injection holds.  The single-trace studies run inline and
+     finish in seconds. *)
+  Option.iter (fun p -> Progress.start p ~total:12) progress;
+  let on_done = Option.map (fun p () -> Progress.step p) progress in
   let trace = faulted_trace ~seed () in
-  let delta, delta_errors = delta_study ~seed ?pool () in
-  let hold, hold_errors = hold_study ~seed ?pool () in
+  let delta, delta_errors = delta_study ~seed ?pool ?on_done () in
+  let hold, hold_errors = hold_study ~seed ?pool ?on_done () in
+  Option.iter Progress.finish progress;
   { period = period_study trace;
     jitter = jitter_study ~seed;
     delta;

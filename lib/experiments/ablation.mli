@@ -53,10 +53,13 @@ type t = {
           study instead of aborting the experiment *)
 }
 
-val run : ?seed:int64 -> ?pool:Monitor_util.Pool.t -> unit -> t
+val run :
+  ?seed:int64 -> ?pool:Monitor_util.Pool.t ->
+  ?progress:Monitor_obs.Progress.t -> unit -> t
 (** With [?pool], the independent sweep simulations (the delta study's
     faulted runs and the injection-hold sweep) fan out over the pool;
     random draws are made before fan-out, so results match the
-    sequential run exactly. *)
+    sequential run exactly.  [progress] steps once per pooled sweep run
+    (the inline single-trace studies are not counted). *)
 
 val rendered : t -> string

@@ -8,6 +8,8 @@ module Sim = Monitor_hil.Sim
 module Scenario = Monitor_hil.Scenario
 module Prng = Monitor_util.Prng
 module Can = Monitor_can
+module Obs = Monitor_obs.Obs
+module Progress = Monitor_obs.Progress
 
 type options = {
   seed : int64;
@@ -81,6 +83,26 @@ let run_one ~channel_spec ~channel_seed plan =
   let outcomes = Oracle.check_stale_aware ~periods Rules.all result.Sim.trace in
   (outcomes, result.Sim.frames_dropped, result.Sim.bus_retransmissions)
 
+(* Per-condition channel-effect counters, recorded once from the main
+   domain during aggregation (the per-frame bus counters in
+   [Monitor_can.Bus] are unlabelled process totals; these break the same
+   numbers down by swept condition, which is what EXPERIMENTS.md reads
+   off a [--metrics] dump). *)
+let record_condition_metrics channel ~frames_dropped ~retransmissions =
+  if Obs.on () then begin
+    let labels = [ ("condition", Channel.label channel) ] in
+    Obs.add
+      (Obs.counter ~labels
+         ~help:"Frames withheld from the tap, per swept channel condition"
+         "cps_lossy_bus_frames_dropped_total")
+      frames_dropped;
+    Obs.add
+      (Obs.counter ~labels
+         ~help:"CRC retransmissions, per swept channel condition"
+         "cps_lossy_bus_retransmissions_total")
+      retransmissions
+  end
+
 let aggregate channel per_run =
   let rule_count = List.length Rules.all in
   let letters =
@@ -104,15 +126,17 @@ let aggregate channel per_run =
             0.0 per_run
           /. float_of_int (List.length per_run))
   in
-  { channel;
-    letters;
-    availability;
-    frames_dropped =
-      List.fold_left (fun acc (_, d, _) -> acc + d) 0 per_run;
-    retransmissions =
-      List.fold_left (fun acc (_, _, r) -> acc + r) 0 per_run }
+  let frames_dropped =
+    List.fold_left (fun acc (_, d, _) -> acc + d) 0 per_run
+  in
+  let retransmissions =
+    List.fold_left (fun acc (_, _, r) -> acc + r) 0 per_run
+  in
+  record_condition_metrics channel ~frames_dropped ~retransmissions;
+  { channel; letters; availability; frames_dropped; retransmissions }
 
-let run ?(options = paper_options) ?pool () =
+let run ?(options = paper_options) ?pool ?progress () =
+  Obs.with_span ~cat:"experiment" "lossy_bus.run" @@ fun () ->
   let plans = plans ~options in
   let runs_per_condition = List.length plans in
   (* One work item per (condition, plan), flattened in condition-major
@@ -132,13 +156,16 @@ let run ?(options = paper_options) ?pool () =
              plans)
          conditions)
   in
+  Option.iter (fun p -> Progress.start p ~total:(List.length work)) progress;
   let attempts =
     Campaign.guarded_map ?pool
+      ?on_done:(Option.map (fun p () -> Progress.step p) progress)
       ~label:(fun (label, _, _, _) -> label)
       (fun (_, channel_spec, channel_seed, plan) ->
         run_one ~channel_spec ~channel_seed plan)
       work
   in
+  Option.iter Progress.finish progress;
   let errored = Campaign.errors attempts in
   let remaining = ref attempts in
   let per_condition =

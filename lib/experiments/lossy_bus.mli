@@ -45,11 +45,14 @@ type t = {
   errored : Monitor_inject.Campaign.error list;
 }
 
-val run : ?options:options -> ?pool:Monitor_util.Pool.t -> unit -> t
+val run :
+  ?options:options -> ?pool:Monitor_util.Pool.t ->
+  ?progress:Monitor_obs.Progress.t -> unit -> t
 (** Each (condition, run) pair simulates independently and fans out over
     [?pool]; the channel's PRNG stream is derived from
     [(seed, condition index, run index)] alone, so the result — including
-    [rendered] — is byte-identical at any job count. *)
+    [rendered] — is byte-identical at any job count.  [progress] steps
+    once per (condition, run) pair. *)
 
 val rendered : t -> string
 (** The degradation table plus per-condition channel-effect counters. *)

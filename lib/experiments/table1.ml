@@ -5,6 +5,8 @@ module Rules = Monitor_oracle.Rules
 module Vacuity = Monitor_oracle.Vacuity
 module Sim = Monitor_hil.Sim
 module Scenario = Monitor_hil.Scenario
+module Obs = Monitor_obs.Obs
+module Progress = Monitor_obs.Progress
 
 type options = {
   seed : int64;
@@ -81,7 +83,17 @@ let run_latencies plan outcomes =
     outcomes
   |> List.filter_map Fun.id
 
-let run ?(options = paper_options) ?pool ?budget ?(runner = run_one) () =
+(* Latencies span settle-to-tail, so the default sub-10 s buckets would
+   lump the slow detections together. *)
+let m_detection_latency =
+  Obs.histogram
+    ~buckets:[| 0.05; 0.1; 0.25; 0.5; 1.0; 2.0; 5.0; 10.0; 20.0; 30.0 |]
+    ~help:"Injection start to first violating tick, seconds, all rules"
+    "cps_table1_detection_latency_seconds"
+
+let run ?(options = paper_options) ?pool ?budget ?progress ?(runner = run_one)
+    () =
+  Obs.with_span ~cat:"experiment" "table1.run" @@ fun () ->
   let rows =
     Campaign.table1 ~seed:options.seed
       ~values_per_test:options.values_per_test
@@ -104,11 +116,17 @@ let run ?(options = paper_options) ?pool ?budget ?(runner = run_one) () =
              row.Campaign.runs)
          rows
   in
+  Option.iter
+    (fun p -> Progress.start p ~total:(List.length all_plans))
+    progress;
   let all_attempts =
-    Campaign.guarded_map ?pool ?budget ~label:fst
+    Campaign.guarded_map ?pool ?budget
+      ?on_done:(Option.map (fun p () -> Progress.step p) progress)
+      ~label:fst
       (fun (_, plan) -> runner plan)
       all_plans
   in
+  Option.iter Progress.finish progress;
   let nominal_attempt, campaign_attempts =
     match all_attempts with
     | nominal :: rest -> (nominal, rest)
@@ -148,6 +166,7 @@ let run ?(options = paper_options) ?pool ?budget ?(runner = run_one) () =
                 vacuity_acc := vacuity :: !vacuity_acc;
                 List.iter
                   (fun (rule, latency) ->
+                    Obs.observe m_detection_latency latency;
                     latency_acc.(rule) <- latency :: latency_acc.(rule))
                   (run_latencies r.Campaign.plan outcomes);
                 Some outcomes)

@@ -46,6 +46,7 @@ type t = {
 
 val run :
   ?options:options -> ?pool:Monitor_util.Pool.t -> ?budget:float ->
+  ?progress:Monitor_obs.Progress.t ->
   ?runner:
     (Monitor_hil.Sim.plan ->
      Monitor_oracle.Oracle.rule_outcome list * Monitor_oracle.Vacuity.t list) ->
@@ -57,9 +58,11 @@ val run :
     is byte-identical to a sequential run.  Every run goes through
     {!Monitor_inject.Campaign.guarded}: a failure is retried once from
     the same derived seed, then recorded in [errored].  [budget] is the
-    per-run wall-clock limit in seconds (default: none); [runner]
-    replaces the simulate-and-check step (tests use it to inject
-    failures). *)
+    per-run wall-clock limit in seconds (default: none); [progress]
+    receives a [start] with the campaign's run count and one [step] per
+    finished run (heartbeats go to its own channel, never stdout);
+    [runner] replaces the simulate-and-check step (tests use it to
+    inject failures). *)
 
 val rendered : t -> string
 (** The Table I text plus the summary lines. *)

@@ -6,6 +6,8 @@ module Vacuity = Monitor_oracle.Vacuity
 module Sim = Monitor_hil.Sim
 module Scenario = Monitor_hil.Scenario
 module Campaign = Monitor_inject.Campaign
+module Obs = Monitor_obs.Obs
+module Progress = Monitor_obs.Progress
 
 type scenario_result = {
   scenario : Scenario.t;
@@ -25,14 +27,19 @@ type t = {
 let relaxed_rules () =
   [ Rules.relaxed_rule2 (); Rules.relaxed_rule3 (); Rules.relaxed_rule4 () ]
 
-let run ?(seed = 77L) ?pool () =
+let run ?(seed = 77L) ?pool ?progress () =
+  Obs.with_span ~cat:"experiment" "vehicle_logs.run" @@ fun () ->
   let scenarios = Scenario.road_scenarios () in
+  Option.iter
+    (fun p -> Progress.start p ~total:(List.length scenarios))
+    progress;
   (* Each scenario's seed depends only on its index, so the per-scenario
      analyses are independent and fan out over the pool; [guarded_map]
      keeps them in scenario order, and a scenario that raises is retried
      once and then quarantined instead of aborting the whole analysis. *)
   let attempts =
     Campaign.guarded_map ?pool
+      ?on_done:(Option.map (fun p () -> Progress.step p) progress)
       ~label:(fun (_, (s : Scenario.t)) -> s.Scenario.name)
       (fun (i, scenario) ->
         let config =
@@ -50,6 +57,7 @@ let run ?(seed = 77L) ?pool () =
         { scenario; strict; classification; relaxed; vacuity })
       (List.mapi (fun i scenario -> (i, scenario)) scenarios)
   in
+  Option.iter Progress.finish progress;
   let per_scenario = Campaign.completed attempts in
   { per_scenario;
     total_log_duration =

@@ -29,11 +29,14 @@ type t = {
           [per_scenario] instead of aborting the analysis *)
 }
 
-val run : ?seed:int64 -> ?pool:Monitor_util.Pool.t -> unit -> t
+val run :
+  ?seed:int64 -> ?pool:Monitor_util.Pool.t ->
+  ?progress:Monitor_obs.Progress.t -> unit -> t
 (** With [?pool], the per-scenario log analyses run in parallel (each
     scenario's seed is derived from its index alone, so the result is
     identical to the sequential one).  Scenario failures are
-    fault-isolated via {!Monitor_inject.Campaign.guarded_map}. *)
+    fault-isolated via {!Monitor_inject.Campaign.guarded_map};
+    [progress] gets one step per analysed scenario. *)
 
 val rendered : t -> string
 

@@ -178,7 +178,25 @@ let run_once ?budget f x =
     else Ok y
   | None -> Ok y
 
+module Obs = Monitor_obs.Obs
+
+let m_runs_completed =
+  Obs.counter ~labels:[ ("result", "completed") ]
+    ~help:"Fault-isolated campaign runs, by final disposition"
+    "cps_campaign_runs_total"
+
+let m_runs_quarantined =
+  Obs.counter ~labels:[ ("result", "quarantined") ]
+    ~help:"Fault-isolated campaign runs, by final disposition"
+    "cps_campaign_runs_total"
+
+let m_retries =
+  Obs.counter ~help:"Campaign runs retried after a failed first attempt"
+    "cps_campaign_retries_total"
+
 let guarded ?budget ~label f x =
+  Obs.with_span ~cat:"campaign" ~args:[ ("run", label) ] "campaign.run"
+  @@ fun () ->
   let attempt () =
     match run_once ?budget f x with
     | Ok y -> Ok y
@@ -190,15 +208,25 @@ let guarded ?budget ~label f x =
      pressure, a budget overrun from scheduler noise) gets a second
      chance; a deterministic one reproduces and is quarantined. *)
   match attempt () with
-  | Ok y -> Completed y
+  | Ok y ->
+    Obs.incr m_runs_completed;
+    Completed y
   | Error _ -> begin
+    Obs.incr m_retries;
     match attempt () with
-    | Ok y -> Completed y
+    | Ok y ->
+      Obs.incr m_runs_completed;
+      Completed y
     | Error (exn_text, backtrace) ->
+      Obs.incr m_runs_quarantined;
       Errored { label; exn_text; backtrace; attempts = 2 }
   end
 
-let guarded_map ?pool ?budget ~label f xs =
+let guarded_map ?pool ?budget ?on_done ~label f xs =
+  let step = match on_done with None -> ignore | Some g -> g in
   Monitor_util.Pool.map_list ?pool
-    (fun x -> guarded ?budget ~label:(label x) f x)
+    (fun x ->
+      let r = guarded ?budget ~label:(label x) f x in
+      step ();
+      r)
     xs

@@ -99,10 +99,15 @@ val guarded :
     discarded — a run that blows its budget is suspect, not slow-but-ok). *)
 
 val guarded_map :
-  ?pool:Monitor_util.Pool.t -> ?budget:float -> label:('a -> string) ->
-  ('a -> 'b) -> 'a list -> 'b attempt list
+  ?pool:Monitor_util.Pool.t -> ?budget:float -> ?on_done:(unit -> unit) ->
+  label:('a -> string) -> ('a -> 'b) -> 'a list -> 'b attempt list
 (** [guarded_map ?pool ~label f xs] is {!Monitor_util.Pool.map_list} with
     every application wrapped in {!guarded}; output order matches input
     order, so parallel and sequential campaigns still render identically.
     Failures are caught inside the worker task — the pool's exception
-    re-raise path is never taken. *)
+    re-raise path is never taken.
+
+    [on_done] is called once after each run finishes (completed or
+    quarantined alike), {e in the worker domain that ran it} — it must
+    be domain-safe and cheap.  It exists to drive progress reporting
+    ({!Monitor_obs.Progress.step}); results must not depend on it. *)

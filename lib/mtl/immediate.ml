@@ -210,7 +210,15 @@ let rec eval_trace (f : Formula.t) ~mode_arr (cols : Cols.t) =
       (Fmt.str "Immediate.eval_trace: not in the immediate fragment: %a"
          Formula.pp f)
 
-let eval_trace_exn f ~mode_arr cols = eval_trace f ~mode_arr cols
+module Obs = Monitor_obs.Obs
+
+let m_ticks_immediate =
+  Obs.counter ~labels:[ ("kernel", "immediate") ]
+    ~help:"Ticks evaluated, per kernel" "cps_kernel_ticks_total"
+
+let eval_trace_exn f ~mode_arr cols =
+  Obs.add m_ticks_immediate cols.Monitor_trace.Columns.n;
+  eval_trace f ~mode_arr cols
 
 let rec reset_node = function
   | I_const _ | I_bool_signal _ | I_fresh _ | I_known _ | I_stale _

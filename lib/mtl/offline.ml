@@ -198,7 +198,25 @@ let window_scan times child ~lo_off ~hi_off ~sem =
    trace build it once and share it.  Machines still step tick by tick over
    the snapshots — their guards are stateful — but everything else reads
    the columns. *)
+module Obs = Monitor_obs.Obs
+
+let m_ticks_offline =
+  Obs.counter ~labels:[ ("kernel", "offline") ]
+    ~help:"Ticks evaluated, per kernel" "cps_kernel_ticks_total"
+
+let m_ticks_naive =
+  Obs.counter ~labels:[ ("kernel", "naive") ]
+    ~help:"Ticks evaluated, per kernel" "cps_kernel_ticks_total"
+
+let m_eval_seconds_offline =
+  Obs.histogram ~labels:[ ("kernel", "offline") ]
+    ~help:"Whole-trace evaluation time of one rule, per kernel"
+    "cps_kernel_eval_seconds"
+
 let eval_columns (spec : Spec.t) snaps cols =
+  Obs.with_span ~cat:"kernel" ~args:[ ("rule", spec.Spec.name) ] "offline.eval"
+  @@ fun () ->
+  let t_eval = Obs.time_start () in
   let alloc0 = Gc.allocated_bytes () in
   let n = cols.Monitor_trace.Columns.n in
   let times = cols.Monitor_trace.Columns.times in
@@ -224,6 +242,8 @@ let eval_columns (spec : Spec.t) snaps cols =
      campaigns that evaluate rule after rule keep a flat heap. *)
   let words = int_of_float ((Gc.allocated_bytes () -. alloc0) /. 8.0) in
   if words > 0 then ignore (Gc.major_slice words);
+  Obs.add m_ticks_offline n;
+  Obs.observe_since m_eval_seconds_offline t_eval;
   { times; verdicts; modes = mode_outcome names modes }
 
 let eval_array spec snaps =
@@ -269,7 +289,9 @@ module Naive = struct
     done;
     out
 
-  let eval_array spec snaps = eval_with ~scan:window_rescan spec snaps
+  let eval_array spec snaps =
+    Obs.add m_ticks_naive (Array.length snaps);
+    eval_with ~scan:window_rescan spec snaps
 
   let eval spec snapshots = eval_array spec (Array.of_list snapshots)
 end

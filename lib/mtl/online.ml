@@ -260,6 +260,18 @@ let drain t =
   done;
   List.rev !out
 
+module Obs = Monitor_obs.Obs
+
+let m_ticks_online =
+  Obs.counter ~labels:[ ("kernel", "online") ]
+    ~help:"Ticks evaluated, per kernel" "cps_kernel_ticks_total"
+
+let m_pending_high_water =
+  Obs.gauge
+    ~help:"High-water mark of unresolved ticks buffered by online monitors \
+           (window occupancy)"
+    "cps_online_pending_high_water"
+
 let step t snapshot =
   if t.finalized then invalid_arg "Online.step: monitor already finalized";
   let time = snapshot.Monitor_trace.Snapshot.time in
@@ -282,7 +294,11 @@ let step t snapshot =
   let post = List.map (fun (n, rt) -> (n, State_machine.current rt)) t.machines in
   let mode_lookup m = List.assoc_opt m post in
   advance t.root ~tick ~time ~mode_lookup snapshot;
-  drain t
+  Obs.incr m_ticks_online;
+  let resolved = drain t in
+  if Obs.on () then
+    Obs.gauge_max m_pending_high_water (float_of_int (count_pending t.root));
+  resolved
 
 let finalize t =
   if t.finalized then invalid_arg "Online.finalize: already finalized";

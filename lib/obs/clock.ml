@@ -1,0 +1,7 @@
+type t = unit -> int
+
+external now_ns : unit -> int = "monitor_obs_clock_ns" [@@noalloc]
+
+let fixed ?(start = 0) ?(step = 1000) () =
+  let ticks = Atomic.make 0 in
+  fun () -> start + (step * Atomic.fetch_and_add ticks 1)

@@ -1,0 +1,25 @@
+(** Monotonic time for the telemetry layer.
+
+    Every timed quantity in the telemetry subsystem — span durations,
+    kernel eval latencies, worker busy time — is measured against this
+    clock, never against wall time: campaign machines step their wall
+    clocks (NTP) mid-run, and a monitor that reports a negative eval
+    latency is worse than one that reports none.
+
+    The clock is also the determinism seam: everything that consumes time
+    ({!Tracer}, {!Progress}) takes an injectable [unit -> int] clock, so
+    tests substitute a counter and get byte-stable output.  Production
+    code uses {!now_ns}. *)
+
+type t = unit -> int
+(** A clock: nanoseconds from an unspecified, fixed epoch. *)
+
+external now_ns : unit -> int = "monitor_obs_clock_ns" [@@noalloc]
+(** [CLOCK_MONOTONIC] nanoseconds as an unboxed int — reading it
+    allocates nothing.  63 bits of nanoseconds overflow after ~292
+    years of uptime. *)
+
+val fixed : ?start:int -> ?step:int -> unit -> t
+(** [fixed ()] is a deterministic test clock: successive reads return
+    [start], [start + step], [start + 2*step], … (defaults 0 and
+    1000 ns).  Thread-safe. *)

@@ -1,0 +1,325 @@
+(* Shard geometry: a domain records into the cell indexed by its id.
+   16 cells covers typical pool sizes (recommended_domain_count on the
+   campaign machines) while keeping per-metric footprint trivial. *)
+let shard_count = 16
+
+let shard () = (Domain.self () :> int) land (shard_count - 1)
+
+type counter = { c_cells : int Atomic.t array }
+
+type gauge = { g_cell : float Atomic.t }
+
+type histogram = {
+  bounds : float array;                    (* finite upper bounds, increasing *)
+  h_cells : int Atomic.t array array;      (* shard -> bucket (bounds + inf) *)
+  h_sum : float Atomic.t;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type instance = { labels : (string * string) list; instrument : instrument }
+
+type family = {
+  help : string;
+  kind : string;  (* "counter" | "gauge" | "histogram" *)
+  mutable instances : instance list;  (* newest first; sorted at render *)
+}
+
+type t = {
+  mutex : Mutex.t;  (* guards registration only, never recording *)
+  families : (string, family) Hashtbl.t;
+}
+
+let create () = { mutex = Mutex.create (); families = Hashtbl.create 32 }
+
+let default_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 5e-3; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0; 10.0 |]
+
+(* Canonical label order makes (name, labels) identity and rendering
+   independent of the order the call site happened to list them in. *)
+let canonical labels =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
+
+let atomic_cells n = Array.init n (fun _ -> Atomic.make 0)
+
+let find_or_register t ~name ~labels ~help ~kind make match_existing =
+  let labels = canonical labels in
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  let family =
+    match Hashtbl.find_opt t.families name with
+    | Some f ->
+      if not (String.equal f.kind kind) then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s already registered as a %s, not a %s"
+             name f.kind kind);
+      f
+    | None ->
+      let f = { help; kind; instances = [] } in
+      Hashtbl.add t.families name f;
+      f
+  in
+  match
+    List.find_opt (fun i -> i.labels = labels) family.instances
+  with
+  | Some i -> match_existing name i.instrument
+  | None ->
+    let instrument = make () in
+    family.instances <- { labels; instrument } :: family.instances;
+    match_existing name instrument
+
+let counter t ?(labels = []) ?(help = "") name =
+  find_or_register t ~name ~labels ~help ~kind:"counter"
+    (fun () -> Counter { c_cells = atomic_cells shard_count })
+    (fun name -> function
+      | Counter c -> c
+      | _ -> invalid_arg ("Metrics: kind mismatch for " ^ name))
+
+let gauge t ?(labels = []) ?(help = "") name =
+  find_or_register t ~name ~labels ~help ~kind:"gauge"
+    (fun () -> Gauge { g_cell = Atomic.make 0.0 })
+    (fun name -> function
+      | Gauge g -> g
+      | _ -> invalid_arg ("Metrics: kind mismatch for " ^ name))
+
+let validate_buckets name bounds =
+  if Array.length bounds = 0 then
+    invalid_arg ("Metrics: empty bucket list for " ^ name);
+  Array.iteri
+    (fun i b ->
+      if not (Float.is_finite b) then
+        invalid_arg ("Metrics: non-finite bucket bound for " ^ name);
+      if i > 0 && b <= bounds.(i - 1) then
+        invalid_arg ("Metrics: bucket bounds not increasing for " ^ name))
+    bounds
+
+let histogram t ?(labels = []) ?(buckets = default_buckets) ?(help = "") name =
+  validate_buckets name buckets;
+  let bounds = Array.copy buckets in
+  find_or_register t ~name ~labels ~help ~kind:"histogram"
+    (fun () ->
+      Histogram
+        { bounds;
+          h_cells =
+            Array.init shard_count (fun _ ->
+                atomic_cells (Array.length bounds + 1));
+          h_sum = Atomic.make 0.0 })
+    (fun name -> function
+      | Histogram h ->
+        if h.bounds <> bounds then
+          invalid_arg ("Metrics: bucket layout mismatch for " ^ name);
+        h
+      | _ -> invalid_arg ("Metrics: kind mismatch for " ^ name))
+
+(* Recording --------------------------------------------------------------- *)
+
+let incr c = ignore (Atomic.fetch_and_add c.c_cells.(shard ()) 1)
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: negative increment";
+  ignore (Atomic.fetch_and_add c.c_cells.(shard ()) n)
+
+let set g v = Atomic.set g.g_cell v
+
+(* CAS loops on boxed floats: compare_and_set compares the box we read
+   physically, so the update commits iff no other domain wrote between
+   our read and our write. *)
+let rec set_max g v =
+  let old = Atomic.get g.g_cell in
+  if v > old && not (Atomic.compare_and_set g.g_cell old v) then set_max g v
+
+let rec atomic_add_float cell v =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (old +. v)) then
+    atomic_add_float cell v
+
+let bucket_index bounds v =
+  (* Linear scan: bucket lists are ~a dozen entries and almost every
+     observation lands early (latencies cluster at the small end). *)
+  let n = Array.length bounds in
+  let rec go i = if i >= n || v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  let cells = h.h_cells.(shard ()) in
+  ignore (Atomic.fetch_and_add cells.(bucket_index h.bounds v) 1);
+  atomic_add_float h.h_sum v
+
+(* Reading ----------------------------------------------------------------- *)
+
+let counter_value c =
+  Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.c_cells
+
+let gauge_value g = Atomic.get g.g_cell
+
+let bucket_totals h =
+  let totals = Array.make (Array.length h.bounds + 1) 0 in
+  Array.iter
+    (Array.iteri (fun i cell -> totals.(i) <- totals.(i) + Atomic.get cell))
+    h.h_cells;
+  totals
+
+let histogram_count h = Array.fold_left ( + ) 0 (bucket_totals h)
+
+let histogram_sum h = Atomic.get h.h_sum
+
+let histogram_buckets h =
+  let totals = bucket_totals h in
+  let cumulative = ref 0 in
+  List.init (Array.length totals) (fun i ->
+      cumulative := !cumulative + totals.(i);
+      ( (if i < Array.length h.bounds then h.bounds.(i) else Float.infinity),
+        !cumulative ))
+
+let reset t =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  Hashtbl.iter
+    (fun _ family ->
+      List.iter
+        (fun i ->
+          match i.instrument with
+          | Counter c -> Array.iter (fun cell -> Atomic.set cell 0) c.c_cells
+          | Gauge g -> Atomic.set g.g_cell 0.0
+          | Histogram h ->
+            Array.iter (Array.iter (fun cell -> Atomic.set cell 0)) h.h_cells;
+            Atomic.set h.h_sum 0.0)
+        family.instances)
+    t.families
+
+(* Rendering --------------------------------------------------------------- *)
+
+let float_str v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else
+    let s = Printf.sprintf "%.12g" v in
+    s
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let label_text labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+           labels)
+    ^ "}"
+
+let sorted_families t =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  Hashtbl.fold
+    (fun name family acc ->
+      let instances =
+        List.sort (fun a b -> compare a.labels b.labels) family.instances
+      in
+      (name, family.help, family.kind, instances) :: acc)
+    t.families []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b)
+
+let render_prometheus t =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (name, help, kind, instances) ->
+      if not (String.equal help "") then add "# HELP %s %s\n" name help;
+      add "# TYPE %s %s\n" name kind;
+      List.iter
+        (fun i ->
+          match i.instrument with
+          | Counter c -> add "%s%s %d\n" name (label_text i.labels)
+                           (counter_value c)
+          | Gauge g ->
+            add "%s%s %s\n" name (label_text i.labels)
+              (float_str (gauge_value g))
+          | Histogram h ->
+            List.iter
+              (fun (le, count) ->
+                add "%s_bucket%s %d\n" name
+                  (label_text (i.labels @ [ ("le", float_str le) ]))
+                  count)
+              (histogram_buckets h);
+            add "%s_sum%s %s\n" name (label_text i.labels)
+              (float_str (histogram_sum h));
+            add "%s_count%s %d\n" name (label_text i.labels)
+              (histogram_count h))
+        instances)
+    (sorted_families t);
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.12g" v else "null"
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+         labels)
+  ^ "}"
+
+let render_json t =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\"metrics\":[";
+  List.iteri
+    (fun fi (name, help, kind, instances) ->
+      if fi > 0 then add ",";
+      add "{\"name\":\"%s\",\"type\":\"%s\",\"help\":\"%s\",\"samples\":["
+        (json_escape name) kind (json_escape help);
+      List.iteri
+        (fun ii i ->
+          if ii > 0 then add ",";
+          add "{\"labels\":%s," (json_labels i.labels);
+          match i.instrument with
+          | Counter c -> add "\"value\":%d}" (counter_value c)
+          | Gauge g -> add "\"value\":%s}" (json_float (gauge_value g))
+          | Histogram h ->
+            add "\"count\":%d,\"sum\":%s,\"buckets\":[" (histogram_count h)
+              (json_float (histogram_sum h));
+            List.iteri
+              (fun bi (le, count) ->
+                if bi > 0 then add ",";
+                add "{\"le\":%s,\"count\":%d}" (json_float le) count)
+              (histogram_buckets h);
+            add "]}")
+        instances;
+      add "]}")
+    (sorted_families t);
+  add "]}";
+  Buffer.contents buf

@@ -1,0 +1,124 @@
+(** Metrics registry: counters, gauges and fixed-bucket histograms.
+
+    The registry answers one question for the rest of the system: what did
+    the monitor do, countably, while it ran — frames delivered, snapshots
+    cut, kernel ticks evaluated, runs quarantined — without perturbing the
+    thing it measures.  Three properties drive the design:
+
+    {b Sharded recording.}  Campaigns fan out over an OCaml 5 domain pool,
+    so a single shared cell per counter would serialise every worker on one
+    cache line.  Each counter and histogram instead keeps a small fixed
+    array of atomic cells; a recording domain picks the cell indexed by its
+    domain id, so workers on distinct shards never contend.  Reads merge
+    the shards.
+
+    {b Deterministic totals.}  Counter and histogram-bucket cells hold
+    integers, and integer addition commutes exactly — the merged totals are
+    a pure function of {e what} was recorded, never of which domain
+    recorded it or how work was scheduled.  (Histogram [sum]s are floats
+    and therefore only deterministic up to addition order; bucket counts
+    are the load-bearing quantity.)  This is what lets a [-j 8] campaign
+    dump the same frame and tick totals as a [-j 1] run — the property the
+    test suite checks by qcheck.
+
+    {b Passive handles.}  Registration returns a handle; recording through
+    a handle is a few loads and one atomic add, with no name lookup.  The
+    global on/off gate lives one layer up, in {!Obs} — this module is
+    always "on" and knows nothing about enablement.
+
+    Rendering is offered in two forms: a Prometheus text exposition
+    ({!render_prometheus}) and a JSON document ({!render_json}).  Both
+    sort families and label sets, so equal registry contents render to
+    equal bytes. *)
+
+type t
+(** A registry: a mutable set of metric families keyed by name. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val shard_count : int
+(** Number of atomic cells per counter/histogram (a small power of two).
+    Domains whose ids differ modulo [shard_count] never contend. *)
+
+(** {2 Registration}
+
+    Registration is idempotent: asking for an existing (name, labels) pair
+    returns the same handle, so instrumented modules may register at first
+    use from any domain.  Registering a name under two different metric
+    kinds, or a histogram under two different bucket layouts, is a
+    programming error.
+    @raise Invalid_argument on such a kind or bucket mismatch. *)
+
+val counter :
+  t -> ?labels:(string * string) list -> ?help:string -> string -> counter
+
+val gauge :
+  t -> ?labels:(string * string) list -> ?help:string -> string -> gauge
+
+val histogram :
+  t -> ?labels:(string * string) list -> ?buckets:float array ->
+  ?help:string -> string -> histogram
+(** [buckets] are the finite upper bounds, strictly increasing; an
+    implicit [+Inf] bucket always tops them.  Defaults to
+    {!default_buckets}.
+    @raise Invalid_argument if [buckets] is empty, non-increasing, or
+    contains a non-finite bound. *)
+
+val default_buckets : float array
+(** Latency buckets in seconds, 1 µs to 10 s, roughly logarithmic —
+    sized for per-rule eval and per-run campaign times. *)
+
+(** {2 Recording} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** Negative increments are a programming error.
+    @raise Invalid_argument on [add c n] with [n < 0]. *)
+
+val set : gauge -> float -> unit
+
+val set_max : gauge -> float -> unit
+(** Lossless high-water mark: the gauge becomes [max old v].  Unlike
+    {!set}, concurrent [set_max]es from different domains commute. *)
+
+val observe : histogram -> float -> unit
+(** NaN observations land in the [+Inf] bucket and poison [sum]; don't. *)
+
+(** {2 Reading} *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> float
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val histogram_buckets : histogram -> (float * int) list
+(** Cumulative counts per upper bound, Prometheus-style; the last entry's
+    bound is [Float.infinity] and its count equals {!histogram_count}. *)
+
+val reset : t -> unit
+(** Zero every cell of every registered metric.  Handles stay valid. *)
+
+(** {2 Rendering} *)
+
+val render_prometheus : t -> string
+(** Prometheus text exposition format (version 0.0.4): [# HELP] and
+    [# TYPE] comments followed by samples; histograms expand to
+    [_bucket]/[_sum]/[_count] series with [le] labels.  Families are
+    sorted by name and instances by label set, so rendering is a pure
+    function of registry contents. *)
+
+val render_json : t -> string
+(** The same data as a single JSON object:
+    [{"metrics": [{"name", "type", "help", "samples": [...]}]}].
+    Non-finite numbers render as [null] (JSON has no spelling for them). *)
+
+(**/**)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal; shared with
+    {!Tracer}'s renderer. *)
+

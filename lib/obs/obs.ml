@@ -1,0 +1,43 @@
+let registry = Metrics.create ()
+
+let metrics_on = Atomic.make false
+
+let current_tracer : Tracer.t option Atomic.t = Atomic.make None
+
+let enable_metrics () = Atomic.set metrics_on true
+
+let disable_metrics () = Atomic.set metrics_on false
+
+let on () = Atomic.get metrics_on
+
+let set_tracer t = Atomic.set current_tracer t
+
+let tracer () = Atomic.get current_tracer
+
+let counter ?labels ?help name = Metrics.counter registry ?labels ?help name
+
+let gauge ?labels ?help name = Metrics.gauge registry ?labels ?help name
+
+let histogram ?labels ?buckets ?help name =
+  Metrics.histogram registry ?labels ?buckets ?help name
+
+let incr c = if on () then Metrics.incr c
+
+let add c n = if on () then Metrics.add c n
+
+let gauge_set g v = if on () then Metrics.set g v
+
+let gauge_max g v = if on () then Metrics.set_max g v
+
+let observe h v = if on () then Metrics.observe h v
+
+let time_start () = if on () then Clock.now_ns () else 0
+
+let observe_since h t0 =
+  if t0 <> 0 && on () then
+    Metrics.observe h (float_of_int (Clock.now_ns () - t0) /. 1e9)
+
+let with_span ?cat ?args name f =
+  match Atomic.get current_tracer with
+  | None -> f ()
+  | Some t -> Tracer.with_span t ?cat ?args name f

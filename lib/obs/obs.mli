@@ -1,0 +1,72 @@
+(** The process-wide telemetry gate.
+
+    Instrumented modules (bus, kernels, oracle, pool, campaigns) never
+    talk to {!Metrics} or {!Tracer} directly at record time — they go
+    through this module, which is OFF by default.  Off means off: every
+    gated operation is a single load-and-branch on an atomic (the
+    metrics flag, or the [None] tracer), no clock read, no allocation,
+    no atomic increment.  That is the whole overhead argument for
+    shipping the instrumentation enabled-in-code everywhere: the
+    [obs/overhead_off] benchmark and the CI overhead guard hold it to
+    "free when off, cheap when on".
+
+    Enablement is process-global and meant to bracket a whole campaign
+    ([repro --metrics/--trace] flips it on at startup and dumps at
+    exit); it is not a per-subsystem switch.  Handles are registered in
+    {!registry} whether or not telemetry is on, so a dump after a
+    disabled run renders the full metric schema with zero values. *)
+
+val registry : Metrics.t
+(** The default registry every instrumented module records into. *)
+
+val enable_metrics : unit -> unit
+val disable_metrics : unit -> unit
+
+val on : unit -> bool
+(** Is metric recording enabled? *)
+
+val set_tracer : Tracer.t option -> unit
+val tracer : unit -> Tracer.t option
+
+(** {2 Handle registration against {!registry}} *)
+
+val counter :
+  ?labels:(string * string) list -> ?help:string -> string ->
+  Metrics.counter
+
+val gauge :
+  ?labels:(string * string) list -> ?help:string -> string -> Metrics.gauge
+
+val histogram :
+  ?labels:(string * string) list -> ?buckets:float array -> ?help:string ->
+  string -> Metrics.histogram
+
+(** {2 Gated recording}
+
+    Each is exactly its {!Metrics} namesake when {!on}[ () = true] and a
+    no-op branch otherwise. *)
+
+val incr : Metrics.counter -> unit
+val add : Metrics.counter -> int -> unit
+val gauge_set : Metrics.gauge -> float -> unit
+val gauge_max : Metrics.gauge -> float -> unit
+val observe : Metrics.histogram -> float -> unit
+
+(** {2 Gated timing} *)
+
+val time_start : unit -> int
+(** The monotonic clock when metrics are on, else 0 — pair with
+    {!observe_since} around a timed section so the disabled path never
+    reads the clock. *)
+
+val observe_since : Metrics.histogram -> int -> unit
+(** [observe_since h t0] records [now - t0] {e in seconds} when metrics
+    are on and [t0 <> 0] (a [t0] of 0 marks a section entered while
+    disabled — flipping telemetry on mid-section records nothing rather
+    than a bogus epoch-relative latency). *)
+
+val with_span :
+  ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) ->
+  'a
+(** {!Tracer.with_span} on the installed tracer; with none installed,
+    [with_span name f] {e is} [f ()] after one branch on the [None]. *)

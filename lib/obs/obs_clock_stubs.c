@@ -1,0 +1,17 @@
+/* Monotonic clock for the telemetry layer.
+
+   Returns CLOCK_MONOTONIC nanoseconds as an unboxed OCaml int (63 bits
+   holds ~292 years of nanoseconds), so reading the clock allocates
+   nothing — the instrumentation's timed sections can be entered from
+   every worker domain without GC pressure.  The epoch is unspecified
+   (boot time on Linux); only differences are meaningful. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value monitor_obs_clock_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

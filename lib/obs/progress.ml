@@ -1,0 +1,61 @@
+type t = {
+  clock : Clock.t;
+  interval_ns : int;
+  out : out_channel;
+  label : string;
+  mutable total : int;        (* 0 = not started *)
+  mutable start_ns : int;
+  done_count : int Atomic.t;
+  last_emit_ns : int Atomic.t;
+}
+
+let create ?(clock = Clock.now_ns) ?(interval_ns = 1_000_000_000)
+    ?(out = stderr) ~label () =
+  { clock; interval_ns; out; label; total = 0; start_ns = 0;
+    done_count = Atomic.make 0; last_emit_ns = Atomic.make 0 }
+
+let start t ~total =
+  t.total <- total;
+  t.start_ns <- t.clock ();
+  Atomic.set t.last_emit_ns (t.start_ns - t.interval_ns);
+  Atomic.set t.done_count 0
+
+let seconds ns = float_of_int ns /. 1e9
+
+let line t ~done_ ~now =
+  let elapsed = seconds (now - t.start_ns) in
+  if done_ >= t.total then
+    Printf.sprintf "%s: %d/%d runs, total %.1fs" t.label done_ t.total elapsed
+  else if done_ = 0 then
+    Printf.sprintf "%s: 0/%d runs (0.0%%), elapsed %.1fs" t.label t.total
+      elapsed
+  else
+    let eta = elapsed *. float_of_int (t.total - done_) /. float_of_int done_ in
+    Printf.sprintf "%s: %d/%d runs (%.1f%%), elapsed %.1fs, ETA %.1fs" t.label
+      done_ t.total
+      (100.0 *. float_of_int done_ /. float_of_int t.total)
+      elapsed eta
+
+let emit t s =
+  (* Channels are locked internally in OCaml 5; one output call per line
+     keeps concurrent heartbeats from interleaving mid-line. *)
+  output_string t.out (s ^ "\n");
+  flush t.out
+
+let step t =
+  if t.total > 0 then begin
+    let done_ = 1 + Atomic.fetch_and_add t.done_count 1 in
+    let now = t.clock () in
+    let last = Atomic.get t.last_emit_ns in
+    (* The CAS elects one printer per interval: losers drop their line
+       rather than queue on a lock. *)
+    if now - last >= t.interval_ns
+       && Atomic.compare_and_set t.last_emit_ns last now
+    then emit t (line t ~done_ ~now)
+  end
+
+let finish t =
+  if t.total > 0 then
+    emit t (line t ~done_:(Atomic.get t.done_count) ~now:(t.clock ()))
+
+let completed t = Atomic.get t.done_count

@@ -1,0 +1,34 @@
+(** Campaign progress heartbeat.
+
+    A campaign at paper scale is hundreds of multi-second runs; with the
+    report rendered only at the end, the operator stares at a silent
+    terminal for minutes.  This reporter prints a throttled one-line
+    heartbeat — runs completed / total, percentage, elapsed, ETA — to a
+    side channel (stderr by default), leaving stdout byte-identical to a
+    heartbeat-free run; the golden tests depend on that separation.
+
+    {!step} is safe to call from any pool worker: the completion count is
+    an atomic, and at most one caller per interval wins the right to
+    print.  ETA comes from the injectable clock, so tests can drive the
+    reporter deterministically. *)
+
+type t
+
+val create :
+  ?clock:Clock.t -> ?interval_ns:int -> ?out:out_channel -> label:string ->
+  unit -> t
+(** [interval_ns] (default 1 s) is the minimum spacing between heartbeat
+    lines; [out] defaults to [stderr]. *)
+
+val start : t -> total:int -> unit
+(** Arm the reporter: record the start instant and the denominator.
+    Called by the experiment once it knows its run count. *)
+
+val step : t -> unit
+(** One unit of work completed.  Prints a heartbeat line if at least
+    [interval_ns] elapsed since the last one.  No-op before {!start}. *)
+
+val finish : t -> unit
+(** Print the final "n/n, total Xs" line unconditionally. *)
+
+val completed : t -> int

@@ -1,0 +1,144 @@
+type event = {
+  name : string;
+  cat : string;
+  ts_ns : int;  (* relative to the tracer's epoch *)
+  dur_ns : int;
+  pid : int;
+  tid : int;
+  args : (string * string) list;
+}
+
+(* Same shard geometry as the metrics registry: a domain only ever CASes
+   the head of its own shard's stack, so concurrent recorders on
+   distinct shards never touch the same word. *)
+let shard_count = Metrics.shard_count
+
+type t = {
+  clock : Clock.t;
+  epoch_ns : int;
+  shards : event list Atomic.t array;
+}
+
+let create ?(clock = Clock.now_ns) () =
+  { clock;
+    epoch_ns = clock ();
+    shards = Array.init shard_count (fun _ -> Atomic.make []) }
+
+let worker_key = Domain.DLS.new_key (fun () -> 0)
+
+let set_worker_id id = Domain.DLS.set worker_key id
+
+let worker_id () = Domain.DLS.get worker_key
+
+let rec push shard event =
+  let old = Atomic.get shard in
+  if not (Atomic.compare_and_set shard old (event :: old)) then
+    push shard event
+
+let record t ~name ~cat ~args ~t0 ~t1 =
+  let did = (Domain.self () :> int) in
+  push
+    t.shards.(did land (shard_count - 1))
+    { name; cat; ts_ns = t0 - t.epoch_ns; dur_ns = t1 - t0; pid = did;
+      tid = worker_id (); args }
+
+let with_span t ?(cat = "") ?(args = []) name f =
+  let t0 = t.clock () in
+  match f () with
+  | v ->
+    record t ~name ~cat ~args ~t0 ~t1:(t.clock ());
+    v
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    record t ~name ~cat ~args ~t0 ~t1:(t.clock ());
+    Printexc.raise_with_backtrace e bt
+
+let events t =
+  Array.fold_left (fun acc shard -> List.rev_append (Atomic.get shard) acc)
+    [] t.shards
+
+let event_count t = List.length (events t)
+
+let clear t = Array.iter (fun shard -> Atomic.set shard []) t.shards
+
+(* Rendering --------------------------------------------------------------- *)
+
+let micros ns = Printf.sprintf "%.3f" (float_of_int ns /. 1000.0)
+
+let add_args buf args =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":\"%s\"" (Metrics.json_escape k)
+           (Metrics.json_escape v)))
+    args;
+  Buffer.add_char buf '}'
+
+let add_metadata buf ~first events =
+  (* One process_name per pid and one thread_name per (pid, tid), so the
+     trace viewer labels the tracks; derived from the sorted events, so
+     the metadata block is as deterministic as the events are. *)
+  let seen_pid = Hashtbl.create 8 in
+  let seen_tid = Hashtbl.create 8 in
+  let first = ref first in
+  let emit fmt =
+    Printf.ksprintf
+      (fun s ->
+        if not !first then Buffer.add_char buf ',';
+        first := false;
+        Buffer.add_string buf s)
+      fmt
+  in
+  List.iter
+    (fun e ->
+      if not (Hashtbl.mem seen_pid e.pid) then begin
+        Hashtbl.add seen_pid e.pid ();
+        emit
+          "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\
+           \"args\":{\"name\":\"domain %d\"}}"
+          e.pid e.pid
+      end;
+      if not (Hashtbl.mem seen_tid (e.pid, e.tid)) then begin
+        Hashtbl.add seen_tid (e.pid, e.tid) ();
+        emit
+          "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\
+           \"args\":{\"name\":\"worker %d\"}}"
+          e.pid e.tid e.tid
+      end)
+    events;
+  not !first
+
+let to_json t =
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = Int.compare a.ts_ns b.ts_ns in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.pid b.pid in
+          if c <> 0 then c
+          else
+            let c = Int.compare a.tid b.tid in
+            if c <> 0 then c else String.compare a.name b.name)
+      (events t)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let any_metadata = add_metadata buf ~first:true sorted in
+  List.iteri
+    (fun i e ->
+      if i > 0 || any_metadata then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%s,\
+            \"dur\":%s,\"pid\":%d,\"tid\":%d,\"args\":"
+           (Metrics.json_escape e.name)
+           (Metrics.json_escape (if String.equal e.cat "" then "span" else e.cat))
+           (micros e.ts_ns) (micros e.dur_ns) e.pid e.tid);
+      add_args buf e.args;
+      Buffer.add_char buf '}')
+    sorted;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,0 +1,51 @@
+(** Span tracer emitting Chrome [trace_event] JSON.
+
+    Instrumented sections ({!with_span}) record complete events ("ph":"X")
+    with a start timestamp and a duration; {!to_json} renders the whole
+    recording as a JSON document loadable by [chrome://tracing] and
+    Perfetto.  Events carry [pid] = the recording domain's id and [tid] =
+    the pool worker index ({!set_worker_id}, 0 outside a pool), so a
+    campaign trace opens as one track per worker under one process per
+    domain — the visual answer to "did the pool actually keep its workers
+    busy?".
+
+    Recording is lock-free: each domain pushes onto a sharded atomic
+    stack, so tracing never serialises the workers it observes.  The
+    clock is injectable ({!create}); with {!Clock.fixed} the rendered
+    JSON is byte-deterministic, which is how the format is tested.
+
+    The tracer has no global on/off switch of its own — {!Obs.with_span}
+    is the gated entry point, and its no-op path (no tracer installed) is
+    a single branch on a [None]. *)
+
+type t
+
+val create : ?clock:Clock.t -> unit -> t
+(** [clock] defaults to {!Clock.now_ns}.  Timestamps in the rendered
+    JSON are relative to the creation instant. *)
+
+val with_span :
+  t -> ?cat:string -> ?args:(string * string) list -> string ->
+  (unit -> 'a) -> 'a
+(** [with_span t name f] times [f ()] and records one complete event.
+    The event is recorded whether [f] returns or raises (the exception
+    is re-raised). *)
+
+val set_worker_id : int -> unit
+(** Set the calling domain's [tid] for subsequent spans.  Called by
+    {!Monitor_util.Pool} workers with their worker index; domains that
+    never call it record [tid] 0. *)
+
+val worker_id : unit -> int
+
+val event_count : t -> int
+
+val clear : t -> unit
+(** Drop all recorded events (the benchmark harness reuses one tracer
+    across iterations). *)
+
+val to_json : t -> string
+(** The Chrome trace: [{"displayTimeUnit": "ms", "traceEvents": [...]}].
+    Events are sorted by (timestamp, pid, tid, name) and preceded by
+    [process_name]/[thread_name] metadata records, so equal recordings
+    render to equal bytes. *)

@@ -122,14 +122,52 @@ let outcome_of_verdicts ?severity spec ~times verdicts =
       (if ticks_total = 0 then 0.0
        else float_of_int (ticks_true + ticks_false) /. float_of_int ticks_total) }
 
+module Obs = Monitor_obs.Obs
+
+let m_ticks_true =
+  Obs.counter ~labels:[ ("verdict", "true") ]
+    ~help:"Oracle verdict ticks, per final verdict" "cps_oracle_ticks_total"
+
+let m_ticks_false =
+  Obs.counter ~labels:[ ("verdict", "false") ]
+    ~help:"Oracle verdict ticks, per final verdict" "cps_oracle_ticks_total"
+
+let m_ticks_unknown =
+  Obs.counter ~labels:[ ("verdict", "unknown") ]
+    ~help:"Oracle verdict ticks, per final verdict" "cps_oracle_ticks_total"
+
+let record_outcome_metrics (o : rule_outcome) =
+  if Obs.on () then begin
+    let rule = o.spec.Mtl.Spec.name in
+    Obs.add m_ticks_true o.ticks_true;
+    Obs.add m_ticks_false o.ticks_false;
+    Obs.add m_ticks_unknown o.ticks_unknown;
+    Obs.gauge_set
+      (Obs.gauge ~labels:[ ("rule", rule) ]
+         ~help:"Fraction of ticks with a definite verdict, per rule"
+         "cps_oracle_rule_availability")
+      o.availability
+  end
+
 (* One spec over an array-backed stream.  Callers below convert the
    snapshot list and transpose it to columns exactly once per trace and
    share both across every rule, so the per-rule cost is the evaluator
    itself — O(n) per operator regardless of window width. *)
 let outcome_on_snaps spec snaps cols =
+  let t_eval = Obs.time_start () in
   let outcome = Mtl.Offline.eval_columns spec snaps cols in
-  outcome_of_verdicts ?severity:(severity_values spec cols) spec
-    ~times:outcome.Mtl.Offline.times outcome.Mtl.Offline.verdicts
+  let result =
+    outcome_of_verdicts ?severity:(severity_values spec cols) spec
+      ~times:outcome.Mtl.Offline.times outcome.Mtl.Offline.verdicts
+  in
+  if Obs.on () then
+    Obs.observe_since
+      (Obs.histogram ~labels:[ ("rule", spec.Mtl.Spec.name) ]
+         ~help:"Wall time of one rule evaluation over one trace"
+         "cps_oracle_rule_eval_seconds")
+      t_eval;
+  record_outcome_metrics result;
+  result
 
 let check_spec ?preflight ?period spec trace =
   Option.iter (fun env -> assert_preflight env [ spec ]) preflight;
@@ -168,10 +206,14 @@ let check_spec_online ?preflight ?period spec trace =
   let verdicts =
     Array.of_list (List.map (fun r -> r.Mtl.Online.verdict) ordered)
   in
-  outcome_of_verdicts
-    ?severity:
-      (severity_values spec
-         (Trace.Columns.of_snapshots (Array.of_list snapshots)))
-    spec ~times verdicts
+  let result =
+    outcome_of_verdicts
+      ?severity:
+        (severity_values spec
+           (Trace.Columns.of_snapshots (Array.of_list snapshots)))
+      spec ~times verdicts
+  in
+  record_outcome_metrics result;
+  result
 
 let status_letter = function Satisfied -> "S" | Violated -> "V"

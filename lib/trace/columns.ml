@@ -1,3 +1,13 @@
+module Obs = Monitor_obs.Obs
+
+let m_builds =
+  Obs.counter ~help:"Snapshot streams transposed to columns"
+    "cps_columns_builds_total"
+
+let m_build_seconds =
+  Obs.histogram ~help:"Wall time of one stream-to-columns transposition"
+    "cps_columns_build_seconds"
+
 (* Per-tick flag bits, packed so the transposition writes one byte per
    entry and the evaluators read one. *)
 let bit_present = 1
@@ -35,6 +45,7 @@ let fresh_column n =
     never_stale = false }
 
 let of_snapshots snaps =
+  let t_build = Obs.time_start () in
   let alloc0 = Gc.allocated_bytes () in
   let n = Array.length snaps in
   let times = Array.map (fun s -> s.Snapshot.time) snaps in
@@ -96,6 +107,8 @@ let of_snapshots snaps =
      to what this transposition actually allocated. *)
   let words = int_of_float ((Gc.allocated_bytes () -. alloc0) /. 8.0) in
   if words > 0 then ignore (Gc.major_slice words);
+  Obs.incr m_builds;
+  Obs.observe_since m_build_seconds t_build;
   { times; n; by_name; ones = Bytes.make n '\001'; snaps }
 
 let find t name = Hashtbl.find_opt t.by_name name

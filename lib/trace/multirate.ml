@@ -8,6 +8,16 @@ type state = {
   mutable refreshed : bool;
 }
 
+module Obs = Monitor_obs.Obs
+
+let m_snapshots =
+  Obs.counter ~help:"Snapshots cut from record streams"
+    "cps_multirate_snapshots_total"
+
+let m_stale_marks =
+  Obs.counter ~help:"Per-signal stale marks stamped into snapshots"
+    "cps_multirate_stale_marks_total"
+
 let no_staleness (_ : string) : float option = None
 
 let cut ?(staleness = no_staleness) states time =
@@ -19,6 +29,7 @@ let cut ?(staleness = no_staleness) states time =
           | Some max_age -> time -. st.last_update > max_age
           | None -> false
         in
+        if stale then Obs.incr m_stale_marks;
         ( name,
           { Snapshot.value = st.value;
             fresh = st.refreshed;
@@ -28,6 +39,7 @@ let cut ?(staleness = no_staleness) states time =
       states []
   in
   Hashtbl.iter (fun _ st -> st.refreshed <- false) states;
+  Obs.incr m_snapshots;
   Snapshot.make ~time ~entries
 
 let absorb states (r : Record.t) =

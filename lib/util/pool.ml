@@ -1,7 +1,36 @@
+module Obs = Monitor_obs.Obs
+
+let m_tasks =
+  Obs.counter ~help:"Tasks completed by pool workers" "cps_pool_tasks_total"
+
+let m_task_seconds =
+  Obs.histogram ~help:"Wall time of one pool task" "cps_pool_task_seconds"
+
+let m_queue_high_water =
+  Obs.gauge ~help:"High-water mark of the pool's bounded job queue"
+    "cps_pool_queue_high_water"
+
 type phase =
   | Running
   | Stopping  (* no new submissions; workers drain the queue, then exit *)
   | Stopped
+
+(* One accounting slot per worker (slot 0 doubles as the caller's slot on
+   a zero-worker pool).  Counters are atomics bumped once per completed
+   task, so [stats] can be read live from any domain without stopping the
+   pool, and the totals are exact after [shutdown]'s joins. *)
+type slot = {
+  s_tasks : int Atomic.t;
+  s_busy_ns : int Atomic.t;
+}
+
+type worker_stats = { tasks : int; busy_ns : int }
+
+type pool_stats = {
+  queue_high_water : int;
+  tasks_completed : int;
+  workers : worker_stats array;
+}
 
 type t = {
   mutex : Mutex.t;
@@ -12,6 +41,8 @@ type t = {
   mutable phase : phase;
   mutable workers : unit Domain.t list;
   worker_count : int;
+  mutable queue_hw : int;   (* deepest the queue has been; under [mutex] *)
+  slots : slot array;       (* length [max 1 worker_count] *)
 }
 
 type 'a outcome =
@@ -37,7 +68,26 @@ let default_num_domains () =
      | Some _ | None -> Domain.recommended_domain_count () - 1)
   | None -> Domain.recommended_domain_count () - 1
 
-let worker_loop pool =
+(* Run one job in [slot]'s account.  Timing uses the raw monotonic clock
+   rather than the gated [Obs.time_start]: [stats] is a plain API that
+   must report busy time whether or not process telemetry is on, and two
+   clock reads per task are noise against campaign-sized tasks. *)
+let run_job slot job =
+  let t0 = Monitor_obs.Clock.now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Monitor_obs.Clock.now_ns () - t0 in
+      Atomic.incr slot.s_tasks;
+      ignore (Atomic.fetch_and_add slot.s_busy_ns dt);
+      Obs.incr m_tasks;
+      Obs.observe m_task_seconds (float_of_int dt /. 1e9))
+    job
+
+let worker_loop pool index =
+  (* Label trace events from this worker with a stable 1-based id (tid 0
+     is the submitting domain). *)
+  Monitor_obs.Tracer.set_worker_id (index + 1);
+  let slot = pool.slots.(index) in
   let rec next () =
     Mutex.lock pool.mutex;
     let rec take () =
@@ -58,7 +108,7 @@ let worker_loop pool =
     match job with
     | None -> ()
     | Some job ->
-      job ();
+      run_job slot job;
       next ()
   in
   next ()
@@ -78,10 +128,14 @@ let create ?num_domains ?(queue_capacity = 64) () =
       capacity = max 1 queue_capacity;
       phase = Running;
       workers = [];
-      worker_count }
+      worker_count;
+      queue_hw = 0;
+      slots =
+        Array.init (max 1 worker_count) (fun _ ->
+            { s_tasks = Atomic.make 0; s_busy_ns = Atomic.make 0 }) }
   in
   pool.workers <-
-    List.init worker_count (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+    List.init worker_count (fun i -> Domain.spawn (fun () -> worker_loop pool i));
   pool
 
 let num_domains pool = pool.worker_count
@@ -108,7 +162,7 @@ let submit pool task =
   let future = make_future () in
   if pool.worker_count = 0 then begin
     (match pool.phase with Running -> () | Stopping | Stopped -> refuse ());
-    fill future task
+    run_job pool.slots.(0) (fun () -> fill future task)
   end
   else begin
     Mutex.lock pool.mutex;
@@ -125,6 +179,8 @@ let submit pool task =
     in
     wait_for_room ();
     Queue.push (fun () -> fill future task) pool.queue;
+    let depth = Queue.length pool.queue in
+    if depth > pool.queue_hw then pool.queue_hw <- depth;
     Condition.signal pool.not_empty;
     Mutex.unlock pool.mutex
   end;
@@ -157,6 +213,19 @@ let map_list ?pool f xs =
     let futures = List.map (fun x -> submit pool (fun () -> f x)) xs in
     List.map await futures
 
+let stats pool =
+  Mutex.lock pool.mutex;
+  let queue_high_water = pool.queue_hw in
+  Mutex.unlock pool.mutex;
+  let workers =
+    Array.map
+      (fun s ->
+        { tasks = Atomic.get s.s_tasks; busy_ns = Atomic.get s.s_busy_ns })
+      pool.slots
+  in
+  let tasks_completed = Array.fold_left (fun acc w -> acc + w.tasks) 0 workers in
+  { queue_high_water; tasks_completed; workers }
+
 let shutdown pool =
   Mutex.lock pool.mutex;
   match pool.phase with
@@ -168,6 +237,11 @@ let shutdown pool =
     Mutex.unlock pool.mutex;
     List.iter Domain.join pool.workers;
     pool.workers <- [];
+    (* The joins above are the flush: every worker's final slot updates
+       happened-before this point, so the published high-water mark and
+       the counters read by a post-shutdown [stats] are the run's exact
+       totals. *)
+    Obs.gauge_max m_queue_high_water (float_of_int pool.queue_hw);
     Mutex.lock pool.mutex;
     pool.phase <- Stopped;
     Mutex.unlock pool.mutex

@@ -56,9 +56,35 @@ val map_list : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
     order whatever order the workers finish in.  Without [?pool] (or
     with a zero-worker pool) it is exactly [List.map f xs]. *)
 
+(** {2 Introspection} *)
+
+type worker_stats = {
+  tasks : int;    (** tasks this worker completed *)
+  busy_ns : int;  (** wall time spent inside those tasks, in nanoseconds *)
+}
+
+type pool_stats = {
+  queue_high_water : int;
+      (** deepest the bounded job queue has been since [create] *)
+  tasks_completed : int;  (** sum of [tasks] over all workers *)
+  workers : worker_stats array;
+      (** one entry per worker domain, in spawn order.  A zero-worker
+          pool reports a single entry accounting the tasks [submit] ran
+          inline in the calling domain. *)
+}
+
+val stats : t -> pool_stats
+(** A snapshot of the pool's accounting.  Safe to call from any domain
+    at any time — counters are read atomically, so a mid-campaign
+    snapshot is merely slightly stale, never torn.  Called after
+    {!shutdown} it returns the run's exact totals: the joins flush every
+    worker's final updates before [shutdown] returns. *)
+
 val shutdown : t -> unit
 (** Graceful shutdown: already-queued tasks are drained and completed,
     further [submit]s are refused, and the worker domains are joined.
+    Joining also flushes the workers' final {!stats} updates and
+    publishes the queue high-water mark to the telemetry registry.
     Idempotent — repeated calls return immediately. *)
 
 val with_pool : ?num_domains:int -> ?queue_capacity:int -> (t -> 'a) -> 'a

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "cps_monitor"
-    (Test_util.suite @ Test_pool.suite @ Test_signal.suite @ Test_trace.suite
+    (Test_util.suite @ Test_obs.suite @ Test_pool.suite @ Test_signal.suite
+   @ Test_trace.suite
    @ Test_can.suite
    @ Test_lexer.suite @ Test_scheduler.suite @ Test_semantics_edge.suite
    @ Test_refinement.suite @ Test_explain.suite

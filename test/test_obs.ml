@@ -1,0 +1,558 @@
+(* Telemetry layer: metrics registry, tracer, progress reporter, pool
+   introspection, and the Obs gate.
+
+   Determinism is the recurring theme: counter totals must not depend on
+   which domains did the recording, renderings must be byte-stable, and
+   enabling telemetry must leave experiment reports byte-identical. *)
+
+module Metrics = Monitor_obs.Metrics
+module Tracer = Monitor_obs.Tracer
+module Clock = Monitor_obs.Clock
+module Progress = Monitor_obs.Progress
+module Obs = Monitor_obs.Obs
+module Pool = Monitor_util.Pool
+module E = Monitor_experiments
+
+let check = Alcotest.check
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let check_contains what needle haystack =
+  if not (contains ~needle haystack) then
+    Alcotest.failf "%s: %S not found in %S" what needle haystack
+
+(* A deliberately small JSON reader: accepts the grammar of RFC 8259 and
+   raises [Failure] on anything else.  Enough to assert that the
+   renderers emit well-formed JSON without pulling in a dependency. *)
+let check_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = Alcotest.failf "json: %s at offset %d" msg !pos in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let next () =
+    match peek () with
+    | Some c ->
+      incr pos;
+      c
+    | None -> fail "unexpected end of input"
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      incr pos;
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    let got = next () in
+    if got <> c then fail (Printf.sprintf "expected %c, got %c" c got)
+  in
+  let literal w = String.iter expect w in
+  let string_ () =
+    expect '"';
+    let rec go () =
+      match next () with
+      | '"' -> ()
+      | '\\' ->
+        (match next () with
+         | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> go ()
+         | 'u' ->
+           for _ = 1 to 4 do
+             match next () with
+             | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+             | _ -> fail "bad \\u escape"
+           done;
+           go ()
+         | _ -> fail "bad escape")
+      | c when Char.code c < 0x20 -> fail "raw control character in string"
+      | _ -> go ()
+    in
+    go ()
+  in
+  let digits () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some ('0' .. '9') ->
+        incr pos;
+        go ()
+      | _ -> ()
+    in
+    go ();
+    if !pos = start then fail "digit expected"
+  in
+  let number () =
+    (match peek () with Some '-' -> incr pos | _ -> ());
+    digits ();
+    (match peek () with
+     | Some '.' ->
+       incr pos;
+       digits ()
+     | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+      incr pos;
+      (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then incr pos
+      else
+        let rec members () =
+          skip_ws ();
+          string_ ();
+          skip_ws ();
+          expect ':';
+          value ();
+          skip_ws ();
+          match next () with
+          | ',' -> members ()
+          | '}' -> ()
+          | _ -> fail "expected , or } in object"
+        in
+        members ()
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then incr pos
+      else
+        let rec elements () =
+          value ();
+          skip_ws ();
+          match next () with
+          | ',' -> elements ()
+          | ']' -> ()
+          | _ -> fail "expected , or ] in array"
+        in
+        elements ()
+    | Some '"' -> string_ ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail "value expected"
+  in
+  value ();
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage"
+
+(* Registry ---------------------------------------------------------------- *)
+
+let test_registry_idempotent () =
+  let r = Metrics.create () in
+  let c1 = Metrics.counter r ~labels:[ ("a", "1"); ("b", "2") ] "reg_total" in
+  (* Same identity regardless of the order the labels were listed in. *)
+  let c2 = Metrics.counter r ~labels:[ ("b", "2"); ("a", "1") ] "reg_total" in
+  Metrics.incr c1;
+  Metrics.incr c2;
+  check Alcotest.int "one instance behind both handles" 2
+    (Metrics.counter_value c1);
+  (* Distinct labels are a distinct instance. *)
+  let c3 = Metrics.counter r ~labels:[ ("a", "other") ] "reg_total" in
+  check Alcotest.int "fresh instance starts at zero" 0
+    (Metrics.counter_value c3);
+  (* Re-registering under a different kind is a programming error. *)
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument
+       "Metrics: reg_total already registered as a counter, not a gauge")
+    (fun () -> ignore (Metrics.gauge r "reg_total"));
+  (* As is re-registering a histogram with a different bucket layout. *)
+  let _h = Metrics.histogram r ~buckets:[| 1.0; 2.0 |] "reg_seconds" in
+  Alcotest.check_raises "bucket layout mismatch"
+    (Invalid_argument "Metrics: bucket layout mismatch for reg_seconds")
+    (fun () ->
+      ignore (Metrics.histogram r ~buckets:[| 1.0; 3.0 |] "reg_seconds"));
+  (* Bucket validation. *)
+  Alcotest.check_raises "empty buckets"
+    (Invalid_argument "Metrics: empty bucket list for reg_empty") (fun () ->
+      ignore (Metrics.histogram r ~buckets:[||] "reg_empty"));
+  Alcotest.check_raises "non-increasing buckets"
+    (Invalid_argument "Metrics: bucket bounds not increasing for reg_bad")
+    (fun () ->
+      ignore (Metrics.histogram r ~buckets:[| 2.0; 1.0 |] "reg_bad"));
+  (* Counters only go up. *)
+  Alcotest.check_raises "negative add"
+    (Invalid_argument "Metrics.add: negative increment") (fun () ->
+      Metrics.add c1 (-1))
+
+let test_counter_merge_across_domains () =
+  (* Whatever shards the spawned domains happen to land on, the summed
+     total is exact: integer increments commute. *)
+  let r = Metrics.create () in
+  let c = Metrics.counter r "merge_total" in
+  let per_domain = 10_000 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Metrics.incr c
+            done))
+  in
+  Metrics.add c 5;
+  List.iter Domain.join domains;
+  check Alcotest.int "exact total" ((4 * per_domain) + 5)
+    (Metrics.counter_value c);
+  Metrics.reset r;
+  check Alcotest.int "reset clears" 0 (Metrics.counter_value c)
+
+let test_histogram_buckets () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r ~buckets:[| 1.0; 2.0; 5.0 |] "hist_seconds" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 3.0; 7.0 ];
+  (* Upper bounds are inclusive, the last bucket is +Inf, counts are
+     cumulative — the Prometheus histogram contract. *)
+  let buckets = Metrics.histogram_buckets h in
+  check Alcotest.(list int) "cumulative counts" [ 2; 4; 5; 6 ]
+    (List.map snd buckets);
+  check Alcotest.bool "le bounds end at +Inf" true
+    (List.map fst buckets = [ 1.0; 2.0; 5.0; Float.infinity ]);
+  check Alcotest.int "count" 6 (Metrics.histogram_count h);
+  check (Alcotest.float 1e-9) "sum" 15.0 (Metrics.histogram_sum h)
+
+let test_gauge_ops () =
+  let r = Metrics.create () in
+  let g = Metrics.gauge r "gauge_depth" in
+  Metrics.set g 3.0;
+  check (Alcotest.float 0.0) "set" 3.0 (Metrics.gauge_value g);
+  Metrics.set_max g 2.0;
+  check (Alcotest.float 0.0) "set_max keeps larger" 3.0 (Metrics.gauge_value g);
+  Metrics.set_max g 7.5;
+  check (Alcotest.float 0.0) "set_max takes larger" 7.5 (Metrics.gauge_value g)
+
+(* Rendering --------------------------------------------------------------- *)
+
+let small_registry () =
+  let r = Metrics.create () in
+  let c =
+    Metrics.counter r
+      ~labels:[ ("b", "2"); ("a", "1") ]
+      ~help:"A counter" "t_requests_total"
+  in
+  Metrics.add c 3;
+  let g = Metrics.gauge r ~help:"A gauge" "t_depth" in
+  Metrics.set g 2.5;
+  let h =
+    Metrics.histogram r ~buckets:[| 0.1; 1.0 |] ~help:"A histogram"
+      "t_latency_seconds"
+  in
+  Metrics.observe h 0.05;
+  Metrics.observe h 0.5;
+  r
+
+let test_render_prometheus () =
+  let expected =
+    "# HELP t_depth A gauge\n\
+     # TYPE t_depth gauge\n\
+     t_depth 2.5\n\
+     # HELP t_latency_seconds A histogram\n\
+     # TYPE t_latency_seconds histogram\n\
+     t_latency_seconds_bucket{le=\"0.1\"} 1\n\
+     t_latency_seconds_bucket{le=\"1\"} 2\n\
+     t_latency_seconds_bucket{le=\"+Inf\"} 2\n\
+     t_latency_seconds_sum 0.55\n\
+     t_latency_seconds_count 2\n\
+     # HELP t_requests_total A counter\n\
+     # TYPE t_requests_total counter\n\
+     t_requests_total{a=\"1\",b=\"2\"} 3\n"
+  in
+  check Alcotest.string "exposition text" expected
+    (Metrics.render_prometheus (small_registry ()))
+
+let test_render_json_wellformed () =
+  let j = Metrics.render_json (small_registry ()) in
+  check_json j;
+  check_contains "counter family" "\"name\":\"t_requests_total\"" j;
+  check_contains "labels canonical" "{\"a\":\"1\",\"b\":\"2\"}" j;
+  check_contains "histogram buckets" "\"buckets\":[{\"le\":0.1,\"count\":1}" j;
+  (* +Inf is not representable in JSON; the renderer degrades to null. *)
+  check_contains "inf bucket as null" "{\"le\":null,\"count\":2}" j;
+  (* Renderings are deterministic byte-for-byte. *)
+  check Alcotest.string "byte-stable" j
+    (Metrics.render_json (small_registry ()));
+  (* The process-global registry renders valid JSON too, whatever the
+     other suites have recorded into it. *)
+  check_json (Metrics.render_json Obs.registry)
+
+let test_json_escape () =
+  let escaped = Metrics.json_escape "a\"b\\c\nd\te\r \x01" in
+  check Alcotest.string "escapes" "a\\\"b\\\\c\\nd\\te\\r \\u0001" escaped;
+  check_json ("\"" ^ escaped ^ "\"")
+
+(* The Obs gate ------------------------------------------------------------ *)
+
+let test_obs_gating () =
+  let c = Metrics.counter Obs.registry "obs_gate_test_total" in
+  let h = Metrics.histogram Obs.registry "obs_gate_test_seconds" in
+  let before = Metrics.counter_value c in
+  Fun.protect ~finally:Obs.disable_metrics @@ fun () ->
+  (* Off: recording is a no-op and timing never reads the clock. *)
+  Obs.incr c;
+  Obs.add c 10;
+  check Alcotest.int "disabled incr is a no-op" before
+    (Metrics.counter_value c);
+  check Alcotest.int "disabled time_start is 0" 0 (Obs.time_start ());
+  (* On: the gated operations are the Metrics ones. *)
+  Obs.enable_metrics ();
+  check Alcotest.bool "on" true (Obs.on ());
+  Obs.incr c;
+  Obs.add c 10;
+  check Alcotest.int "enabled records" (before + 11) (Metrics.counter_value c);
+  let t0 = Obs.time_start () in
+  check Alcotest.bool "enabled time_start reads the clock" true (t0 <> 0);
+  let n = Metrics.histogram_count h in
+  Obs.observe_since h t0;
+  check Alcotest.int "observe_since records" (n + 1)
+    (Metrics.histogram_count h);
+  (* A t0 of 0 marks a section entered while disabled: nothing recorded. *)
+  Obs.observe_since h 0;
+  check Alcotest.int "observe_since ignores t0 = 0" (n + 1)
+    (Metrics.histogram_count h);
+  (* with_span with no tracer installed is just the thunk. *)
+  check Alcotest.int "with_span without tracer" 41
+    (Obs.with_span "nothing" (fun () -> 41))
+
+(* Tracer ------------------------------------------------------------------ *)
+
+let trace_fixture () =
+  let tr = Tracer.create ~clock:(Clock.fixed ~start:1_000_000 ~step:250_000 ()) () in
+  check Alcotest.int "span returns the thunk's value" 42
+    (Tracer.with_span tr ~cat:"test" ~args:[ ("k", "v") ] "alpha" (fun () -> 42));
+  Tracer.with_span tr "beta" (fun () -> ());
+  tr
+
+let test_tracer_chrome_json () =
+  let tr = trace_fixture () in
+  check Alcotest.int "two spans recorded" 2 (Tracer.event_count tr);
+  let j = Tracer.to_json tr in
+  check_json j;
+  (* Byte-stable under the fixed clock: a fresh identical run renders
+     the identical document. *)
+  check Alcotest.string "byte-stable" j (Tracer.to_json (trace_fixture ()));
+  check_contains "trace container" "\"traceEvents\":[" j;
+  check_contains "complete events" "\"ph\":\"X\"" j;
+  check_contains "span name" "\"name\":\"alpha\"" j;
+  check_contains "span args" "\"args\":{\"k\":\"v\"}" j;
+  check_contains "default category" "\"cat\":\"span\"" j;
+  check_contains "process metadata" "\"name\":\"process_name\",\"ph\":\"M\"" j;
+  check_contains "thread metadata" "\"name\":\"thread_name\",\"ph\":\"M\"" j;
+  Tracer.clear tr;
+  check Alcotest.int "clear empties" 0 (Tracer.event_count tr);
+  check_json (Tracer.to_json tr)
+
+let test_tracer_records_on_raise () =
+  let tr = Tracer.create ~clock:(Clock.fixed ()) () in
+  (match Tracer.with_span tr "boom" (fun () -> raise Exit) with
+   | () -> Alcotest.fail "expected Exit to propagate"
+   | exception Exit -> ());
+  check Alcotest.int "raising span still recorded" 1 (Tracer.event_count tr)
+
+let test_tracer_worker_id () =
+  check Alcotest.int "main domain defaults to worker 0" 0 (Tracer.worker_id ());
+  Tracer.set_worker_id 3;
+  Fun.protect ~finally:(fun () -> Tracer.set_worker_id 0) @@ fun () ->
+  check Alcotest.int "set_worker_id sticks" 3 (Tracer.worker_id ());
+  let from_other_domain = Domain.join (Domain.spawn Tracer.worker_id) in
+  check Alcotest.int "worker id is domain-local" 0 from_other_domain
+
+(* Progress ---------------------------------------------------------------- *)
+
+let with_temp_lines f =
+  let path = Filename.temp_file "cps_obs_progress" ".txt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  (try f oc with e -> close_out_noerr oc; raise e);
+  close_out oc;
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+let test_progress_fixed_clock () =
+  let content =
+    with_temp_lines @@ fun oc ->
+    let p =
+      Progress.create
+        ~clock:(Clock.fixed ~start:0 ~step:1_000_000_000 ())
+        ~out:oc ~label:"p" ()
+    in
+    Progress.start p ~total:3;
+    Progress.step p;
+    Progress.step p;
+    Progress.step p;
+    Progress.finish p;
+    check Alcotest.int "completed" 3 (Progress.completed p)
+  in
+  check Alcotest.string "heartbeat lines"
+    "p: 1/3 runs (33.3%), elapsed 1.0s, ETA 2.0s\n\
+     p: 2/3 runs (66.7%), elapsed 2.0s, ETA 1.0s\n\
+     p: 3/3 runs, total 3.0s\n\
+     p: 3/3 runs, total 4.0s\n"
+    content
+
+let test_progress_throttles () =
+  (* With a clock that never advances, only the first step wins the
+     interval race; finish always prints. *)
+  let content =
+    with_temp_lines @@ fun oc ->
+    let p =
+      Progress.create ~clock:(Clock.fixed ~start:0 ~step:0 ()) ~out:oc
+        ~label:"q" ()
+    in
+    Progress.start p ~total:100;
+    for _ = 1 to 100 do
+      Progress.step p
+    done;
+    Progress.finish p
+  in
+  check Alcotest.string "throttled to one heartbeat plus the final line"
+    "q: 1/100 runs (1.0%), elapsed 0.0s, ETA 0.0s\n\
+     q: 100/100 runs, total 0.0s\n"
+    content
+
+let test_progress_step_before_start () =
+  let content =
+    with_temp_lines @@ fun oc ->
+    let p = Progress.create ~out:oc ~label:"r" () in
+    Progress.step p;
+    Progress.finish p;
+    check Alcotest.int "not armed" 0 (Progress.completed p)
+  in
+  check Alcotest.string "silent before start" "" content
+
+(* Pool introspection ------------------------------------------------------ *)
+
+let test_pool_stats () =
+  let st =
+    Pool.with_pool ~num_domains:2 (fun pool ->
+        let squares = Pool.map_list ~pool (fun i -> i * i) (List.init 20 Fun.id) in
+        check
+          Alcotest.(list int)
+          "map_list result" (List.init 20 (fun i -> i * i)) squares;
+        ignore
+          (Pool.await
+             (Pool.submit pool (fun () ->
+                  ignore (Sys.opaque_identity (Array.make 1024 0)))));
+        Pool.stats pool)
+  in
+  check Alcotest.int "tasks completed" 21 st.Pool.tasks_completed;
+  check Alcotest.int "one entry per worker" 2 (Array.length st.Pool.workers);
+  check Alcotest.int "per-worker tasks sum to the total" 21
+    (Array.fold_left (fun acc w -> acc + w.Pool.tasks) 0 st.Pool.workers);
+  Array.iter
+    (fun w ->
+      if w.Pool.busy_ns < 0 then Alcotest.fail "negative busy time";
+      if w.Pool.tasks < 0 then Alcotest.fail "negative task count")
+    st.Pool.workers;
+  if st.Pool.queue_high_water < 1 then
+    Alcotest.failf "queue high-water %d, expected >= 1" st.Pool.queue_high_water
+
+let test_pool_stats_sequential () =
+  (* A zero-worker pool accounts inline execution in a single slot. *)
+  let st =
+    Pool.with_pool ~num_domains:0 (fun pool ->
+        for _ = 1 to 5 do
+          ignore (Pool.await (Pool.submit pool (fun () -> ())))
+        done;
+        Pool.stats pool)
+  in
+  check Alcotest.int "inline tasks counted" 5 st.Pool.tasks_completed;
+  check Alcotest.int "single accounting slot" 1 (Array.length st.Pool.workers);
+  check Alcotest.int "slot holds every task" 5 st.Pool.workers.(0).Pool.tasks;
+  check Alcotest.int "nothing ever queued" 0 st.Pool.queue_high_water
+
+let test_pool_stats_after_shutdown () =
+  let pool = Pool.create ~num_domains:2 () in
+  ignore (Pool.map_list ~pool succ (List.init 10 Fun.id));
+  Pool.shutdown pool;
+  let st = Pool.stats pool in
+  check Alcotest.int "totals exact after joins" 10 st.Pool.tasks_completed
+
+(* Counter totals must not depend on how the work was scheduled. *)
+let prop_counter_total_worker_independent =
+  QCheck.Test.make ~count:15
+    ~name:"counter total independent of worker count"
+    QCheck.(triple (int_range 1 40) (int_range 1 9) (int_range 0 3))
+    (fun (n_tasks, k, workers) ->
+      let r = Metrics.create () in
+      let c = Metrics.counter r "qc_total" in
+      Pool.with_pool ~num_domains:workers (fun pool ->
+          ignore
+            (Pool.map_list ~pool
+               (fun _ -> Metrics.add c k)
+               (List.init n_tasks Fun.id)));
+      Metrics.counter_value c = n_tasks * k)
+
+(* End to end -------------------------------------------------------------- *)
+
+let test_table1_report_unchanged_by_telemetry () =
+  (* The acceptance property: flipping telemetry on — metrics gate AND an
+     installed tracer — leaves the rendered report byte-identical at any
+     job count.  The baseline is the shared telemetry-off sequential run. *)
+  let baseline = E.Table1.rendered (Lazy.force Test_experiments.quick_table) in
+  let run_with_telemetry jobs =
+    Obs.enable_metrics ();
+    Obs.set_tracer (Some (Tracer.create ()));
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.set_tracer None;
+        Obs.disable_metrics ())
+      (fun () ->
+        Pool.with_pool ~num_domains:jobs (fun pool ->
+            E.Table1.rendered
+              (E.Table1.run ~options:E.Table1.quick_options ~pool ())))
+  in
+  check Alcotest.string "-j1 with telemetry" baseline (run_with_telemetry 1);
+  check Alcotest.string "-j2 with telemetry" baseline (run_with_telemetry 2);
+  (* And the campaign really did record: the instrumentation's own
+     counters moved while the gate was open. *)
+  let completed =
+    Obs.counter ~labels:[ ("result", "completed") ] "cps_campaign_runs_total"
+  in
+  if Metrics.counter_value completed <= 0 then
+    Alcotest.fail "campaign counters never recorded"
+
+let suite =
+  [ ( "obs",
+      [ Alcotest.test_case "registry registration is idempotent" `Quick
+          test_registry_idempotent;
+        Alcotest.test_case "counter totals merge exactly across domains"
+          `Quick test_counter_merge_across_domains;
+        Alcotest.test_case "histogram bucket boundaries" `Quick
+          test_histogram_buckets;
+        Alcotest.test_case "gauge set and set_max" `Quick test_gauge_ops;
+        Alcotest.test_case "prometheus rendering is canonical" `Quick
+          test_render_prometheus;
+        Alcotest.test_case "json rendering is well-formed" `Quick
+          test_render_json_wellformed;
+        Alcotest.test_case "json escaping" `Quick test_json_escape;
+        Alcotest.test_case "obs gate: off is a no-op, on records" `Quick
+          test_obs_gating;
+        Alcotest.test_case "tracer emits stable chrome trace json" `Quick
+          test_tracer_chrome_json;
+        Alcotest.test_case "tracer records a span that raises" `Quick
+          test_tracer_records_on_raise;
+        Alcotest.test_case "tracer worker ids are domain-local" `Quick
+          test_tracer_worker_id;
+        Alcotest.test_case "progress heartbeat under a fixed clock" `Quick
+          test_progress_fixed_clock;
+        Alcotest.test_case "progress throttles to the interval" `Quick
+          test_progress_throttles;
+        Alcotest.test_case "progress is inert before start" `Quick
+          test_progress_step_before_start;
+        Alcotest.test_case "pool stats account every task" `Quick
+          test_pool_stats;
+        Alcotest.test_case "pool stats on a zero-worker pool" `Quick
+          test_pool_stats_sequential;
+        Alcotest.test_case "pool stats exact after shutdown" `Quick
+          test_pool_stats_after_shutdown;
+        QCheck_alcotest.to_alcotest prop_counter_total_worker_independent;
+        Alcotest.test_case "table1 report unchanged by telemetry" `Slow
+          test_table1_report_unchanged_by_telemetry ] ) ]
