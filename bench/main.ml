@@ -164,13 +164,26 @@ let offline_all_rules snaps =
 let offline_naive_all_rules snaps =
   List.iter (fun rule -> ignore (Mtl.Offline.Naive.eval_array rule snaps)) Rules.all
 
+(* The streaming path: [step_resolved] hands back a batch count, not an
+   allocated list, so this times the zero-allocation deployed shape.
+   Snapshot-major order with a shared signal environment, exactly as
+   [Monitor_set] runs a rule set over a live stream: the per-tick signal
+   refresh is paid once, not once per rule. *)
 let online_all_rules snaps =
-  List.iter
-    (fun rule ->
-      let m = Mtl.Online.create rule in
-      Array.iter (fun snap -> ignore (Mtl.Online.step m snap)) snaps;
-      ignore (Mtl.Online.finalize m))
-    Rules.all
+  let shared = Mtl.Online.shared_for Rules.all in
+  let monitors =
+    Array.of_list
+      (List.map (fun rule -> Mtl.Online.create ~shared rule) Rules.all)
+  in
+  let nm = Array.length monitors in
+  for i = 0 to Array.length snaps - 1 do
+    for j = 0 to nm - 1 do
+      ignore (Mtl.Online.step_resolved monitors.(j) snaps.(i))
+    done
+  done;
+  for j = 0 to nm - 1 do
+    ignore (Mtl.Online.finalize_resolved monitors.(j))
+  done
 
 let bench_long_trace name runner snaps =
   Test.make ~name (Staged.stage (fun () -> runner (Lazy.force snaps)))
@@ -227,9 +240,9 @@ let bench_online_rule n =
     (Staged.stage (fun () ->
          let m = Mtl.Online.create rule in
          List.iter
-           (fun snap -> ignore (Mtl.Online.step m snap))
+           (fun snap -> ignore (Mtl.Online.step_resolved m snap))
            (Lazy.force short_snapshots);
-         Mtl.Online.finalize m))
+         Mtl.Online.finalize_resolved m))
 
 let bench_all_rules_offline =
   Test.make ~name:"monitor/offline_all_7_rules"
@@ -335,7 +348,9 @@ let bench_controller_step =
    (whose single iteration is too heavy for a smoke budget) are skipped.
    --json FILE: machine-readable results (the BENCH_<n>.json trajectory
    files at the repo root are recorded this way).
-   --only PREFIX: run the benchmarks whose name starts with PREFIX. *)
+   --only PATTERN: run the benchmarks whose name contains PATTERN as a
+   substring, or matches it as a glob when it contains '*'.  Zero matches
+   is an error (a silent empty run looks exactly like success). *)
 type options = {
   quick : bool;
   json : string option;
@@ -347,15 +362,49 @@ let parse_options () =
     | [] -> acc
     | "--quick" :: rest -> go { acc with quick = true } rest
     | "--json" :: path :: rest -> go { acc with json = Some path } rest
-    | "--only" :: prefix :: rest -> go { acc with only = Some prefix } rest
+    | "--only" :: pattern :: rest -> go { acc with only = Some pattern } rest
     | arg :: _ ->
       Printf.eprintf
-        "usage: %s [--quick] [--json FILE] [--only PREFIX]  (unknown: %s)\n"
+        "usage: %s [--quick] [--json FILE] [--only PATTERN]  (unknown: %s)\n"
         Sys.executable_name arg;
       exit 2
   in
   go { quick = false; json = None; only = None }
     (List.tl (Array.to_list Sys.argv))
+
+(* Workload selection: substring match, or glob when the pattern contains
+   '*'.  Globs are anchored at both ends ('*' matches any run of
+   characters), so "*online*60s" matches "mtl/online_long_trace_60s" but
+   "mtl/online" as a glob-free pattern matches by substring instead. *)
+let glob_matches pattern name =
+  let np = String.length pattern and nn = String.length name in
+  (* memoised recursion over (pattern index, name index) *)
+  let seen = Hashtbl.create 16 in
+  let rec go pi ni =
+    match Hashtbl.find_opt seen (pi, ni) with
+    | Some r -> r
+    | None ->
+      let r =
+        if pi = np then ni = nn
+        else if pattern.[pi] = '*' then
+          go (pi + 1) ni || (ni < nn && go pi (ni + 1))
+        else ni < nn && pattern.[pi] = name.[ni] && go (pi + 1) (ni + 1)
+      in
+      Hashtbl.add seen (pi, ni) r;
+      r
+  in
+  go 0 0
+
+let substring_matches pattern name =
+  let np = String.length pattern and nn = String.length name in
+  np = 0
+  ||
+  let rec at i = np <= nn - i && (String.sub name i np = pattern || at (i + 1)) in
+  at 0
+
+let workload_matches pattern name =
+  if String.contains pattern '*' then glob_matches pattern name
+  else substring_matches pattern name
 
 let benchmark ~quick tests =
   let instances = Instance.[ monotonic_clock ] in
@@ -458,13 +507,25 @@ let () =
   let selected =
     match options.only with
     | None -> all_tests
-    | Some prefix ->
-      List.filter
-        (fun t ->
-          let name = Test.Elt.name (List.hd (Test.elements t)) in
-          String.length name >= String.length prefix
-          && String.equal (String.sub name 0 (String.length prefix)) prefix)
-        all_tests
+    | Some pattern ->
+      let matched =
+        List.filter
+          (fun t ->
+            workload_matches pattern
+              (Test.Elt.name (List.hd (Test.elements t))))
+          all_tests
+      in
+      if matched = [] then begin
+        Printf.eprintf
+          "error: --only %s matches no benchmark.  Available workloads:\n"
+          pattern;
+        List.iter
+          (fun t ->
+            Printf.eprintf "  %s\n" (Test.Elt.name (List.hd (Test.elements t))))
+          all_tests;
+        exit 2
+      end;
+      matched
   in
   let tests = Test.make_grouped ~name:"cps_monitor" selected in
   let results = benchmark ~quick:options.quick tests in

@@ -31,29 +31,34 @@ let () =
   let snapshots = Oracle.snapshots_of_trace result.Sim.trace in
   let violations = ref 0 in
   let max_lag = ref 0.0 in
+  (* [step_iter] is the allocation-free streaming interface: verdicts are
+     delivered through a callback the moment they become decidable,
+     without materialising per-tick lists — the shape a real bus tap
+     would run. *)
   List.iter
     (fun snap ->
       let now = snap.Monitor_trace.Snapshot.time in
-      List.iter
-        (fun r ->
-          max_lag := Float.max !max_lag (now -. r.Mtl.Online.time);
-          if Mtl.Verdict.equal r.Mtl.Online.verdict Mtl.Verdict.False then begin
+      Mtl.Online.step_iter monitor snap (fun _tick time verdict ->
+          max_lag := Float.max !max_lag (now -. time);
+          if Mtl.Verdict.equal verdict Mtl.Verdict.False then begin
             incr violations;
             if !violations <= 5 then
               Printf.printf
                 "t=%6.2f  VIOLATION about t=%6.2f (decided %.0f ms later)\n" now
-                r.Mtl.Online.time
-                ((now -. r.Mtl.Online.time) *. 1000.0)
-          end)
-        (Mtl.Online.step monitor snap))
+                time
+                ((now -. time) *. 1000.0)
+          end))
     snapshots;
-  let leftovers = Mtl.Online.finalize monitor in
+  let final = Mtl.Online.finalize_resolved monitor in
+  let late_violations = ref 0 in
+  for i = 0 to final - 1 do
+    if
+      Mtl.Verdict.equal (Mtl.Online.resolved_verdict monitor i)
+        Mtl.Verdict.False
+    then incr late_violations
+  done;
   Printf.printf
     "\n%d violating ticks (%d resolved only at end of log)\n\
      worst resolution lag while live: %.0f ms\n"
-    !violations
-    (List.length
-       (List.filter
-          (fun r -> Mtl.Verdict.equal r.Mtl.Online.verdict Mtl.Verdict.False)
-          leftovers))
+    !violations !late_violations
     (!max_lag *. 1000.0)

@@ -10,7 +10,11 @@ type t = {
 }
 
 let create ?(on_violation = fun _ -> ()) specs =
-  { monitors = List.map (fun s -> (s, Online.create s)) specs;
+  (* All monitors in a set see the same snapshots, so let them share one
+     signal environment: the first one stepped per tick refreshes it, the
+     rest skip the walk (see {!Online.shared_for}). *)
+  let shared = Online.shared_for specs in
+  { monitors = List.map (fun s -> (s, Online.create ~shared s)) specs;
     counts = Hashtbl.create (List.length specs);
     on_violation }
 

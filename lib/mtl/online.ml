@@ -2,18 +2,561 @@ type resolution = { tick : int; time : float; verdict : Verdict.t }
 
 let time_eps = Window.time_eps
 
-(* Node tree.  Every node owns an output queue of resolutions in tick
-   order; a parent consumes its children's queues destructively.  Children
-   always resolve a prefix of the tick stream, which is what makes pairwise
-   alignment in binary nodes sound. *)
+(* Incremental per-tick evaluation with amortised-O(1) window state and
+   zero steady-state allocation (DESIGN.md §12).
+
+   The previous kernel pushed a heap-allocated [resolution] record through
+   a [Queue.t] per node per tick and kept per-operator [future]/[counted]
+   queue pairs, so the steady state churned the minor heap in proportion
+   to formula size.  This kernel keeps the same dataflow — every node
+   resolves a prefix of the tick stream, parents consume their children's
+   output destructively — but stores it all in flat reusable state:
+
+   - node outputs are ring buffers of verdict bytes + times (grown by
+     doubling, then reused forever);
+   - each temporal operator holds one window ring whose front [counted]
+     entries are inside the current pending tick's window, summarised by
+     the three counters [nt]/[nf]/[nu] (the same three-counter shape as
+     [Offline.window_scan]);
+   - pending ticks are a times-only ring — the tick numbers are implicit
+     in the ring base, advanced monotonically as verdicts resolve;
+   - leaf evaluation reads flat per-signal slots (the online analogue of
+     [Trace.Columns]) refreshed once per tick by a merge walk over the
+     sorted snapshot entries, and expression history lives in one flat
+     float array per monitor instead of per-node [result ref]s.
+
+   Allocation discipline: after the rings reach the formula's horizon, a
+   [step] of a machine-free spec performs no minor-heap allocation at all
+   (asserted by [test/test_online_alloc.ml]).  The rules that make this
+   hold are (a) no float may cross a function boundary unless it is
+   already boxed (the snapshot's own [time] field qualifies), so ring
+   pushes reserve an index and let the caller store into the float array
+   directly; (b) all mutable per-tick floats live in float arrays or
+   all-float records (mixed records box their float fields on every
+   write); (c) no options, no queues, no closures on the per-tick path. *)
+
+(* Verdict <-> byte codes for ring storage. *)
+let code_true = '\000'
+let code_false = '\001'
+let code_unknown = '\002'
+
+let code_of_verdict = function
+  | Verdict.True -> code_true
+  | Verdict.False -> code_false
+  | Verdict.Unknown -> code_unknown
+
+let verdict_of_code c =
+  if c = code_true then Verdict.True
+  else if c = code_false then Verdict.False
+  else Verdict.Unknown
+
+let code_not c =
+  if c = code_true then code_false
+  else if c = code_false then code_true
+  else code_unknown
+
+(* Flat per-signal state ------------------------------------------------- *)
+
+let fl_present = 1
+let fl_fresh = 2
+let fl_stale = 4
+
+type signals = {
+  sig_names : string array;  (* sorted ascending, unique *)
+  sig_flags : Bytes.t;       (* presence/freshness/staleness bits *)
+  sig_floats : float array;  (* value coerced to float *)
+  sig_bools : Bytes.t;       (* value coerced to bool *)
+  sig_lasts : float array;   (* last_update *)
+  (* Shape cache: the entry names of the last snapshot (in order) and the
+     slot each one resolved to (-1 = not a monitored signal).  Successive
+     snapshots of one stream almost always carry the same name strings —
+     physically the same, since producers reuse them — so the steady-state
+     walk is a pointer comparison per entry instead of a string
+     comparison.  Any mismatch falls back to the merge walk, which
+     re-records the shape. *)
+  mutable shape_names : string array;
+  mutable shape_slots : int array;
+  mutable shape_valid : bool;
+  (* The snapshot the slots currently reflect, compared by pointer.  When
+     several monitors share one [signals] (see {!shared_for}), the first
+     one stepped with a given snapshot pays for the walk and the rest see
+     the pointer match and skip it. *)
+  mutable last_snap : Monitor_trace.Snapshot.t;
+}
+
+let never_snap : Monitor_trace.Snapshot.t =
+  { Monitor_trace.Snapshot.time = Float.nan; entries = [] }
+
+let signals_make names =
+  let arr = Array.of_list (List.sort_uniq String.compare names) in
+  let n = Array.length arr in
+  { sig_names = arr;
+    sig_flags = Bytes.make n '\000';
+    sig_floats = Array.make n 0.0;
+    sig_bools = Bytes.make n '\000';
+    sig_lasts = Array.make n 0.0;
+    shape_names = [||];
+    shape_slots = [||];
+    shape_valid = false;
+    last_snap = never_snap }
+
+let slot_of_name sg name =
+  let lo = ref 0 and hi = ref (Array.length sg.sig_names - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = String.compare name sg.sig_names.(mid) in
+    if c = 0 then found := mid
+    else if c < 0 then hi := mid - 1
+    else lo := mid + 1
+  done;
+  if !found < 0 then invalid_arg ("Online: unknown signal slot " ^ name);
+  !found
+
+(* Byte-lexicographic string comparison, open-coded: [String.compare] goes
+   through the generic [caml_compare] C call, which at ~100 comparisons
+   per tick dominates the whole kernel.  Same order as [String.compare]
+   (unsigned bytes, shorter prefix first), which both sides of the merge
+   walk are sorted by. *)
+(* Top-level recursion, not a nested [let rec]: a local function with free
+   variables is a closure allocation per call in Closure-mode native code,
+   which is exactly what the steady state must not do. *)
+let rec str_cmp_from (a : string) (b : string) lmin i =
+  if i = lmin then String.length a - String.length b
+  else begin
+    let ca = Char.code (String.unsafe_get a i)
+    and cb = Char.code (String.unsafe_get b i) in
+    if ca <> cb then ca - cb else str_cmp_from a b lmin (i + 1)
+  end
+
+let str_cmp (a : string) (b : string) =
+  if a == b then 0
+  else begin
+    let la = String.length a and lb = String.length b in
+    str_cmp_from a b (if la < lb then la else lb) 0
+  end
+
+(* Store one snapshot entry into slot [i].  Only pointers and an int cross
+   the call boundary, so nothing boxes. *)
+let store_entry sg i (e : Monitor_trace.Snapshot.entry) =
+  let fl =
+    fl_present
+    lor (if e.fresh then fl_fresh else 0)
+    lor (if e.stale then fl_stale else 0)
+  in
+  Bytes.unsafe_set sg.sig_flags i (Char.unsafe_chr fl);
+  (match e.value with
+  | Monitor_signal.Value.Float x ->
+    sg.sig_floats.(i) <- x;
+    Bytes.unsafe_set sg.sig_bools i
+      (if (not (Float.is_nan x)) && x <> 0.0 then '\001' else '\000')
+  | Monitor_signal.Value.Bool b ->
+    sg.sig_floats.(i) <- (if b then 1.0 else 0.0);
+    Bytes.unsafe_set sg.sig_bools i (if b then '\001' else '\000')
+  | Monitor_signal.Value.Enum k ->
+    sg.sig_floats.(i) <- float_of_int k;
+    Bytes.unsafe_set sg.sig_bools i (if k <> 0 then '\001' else '\000'));
+  sg.sig_lasts.(i) <- e.last_update
+
+(* Steady-state walk: replay the recorded shape as long as the entry names
+   are physically the ones seen last tick.  Returns false on the first
+   mismatch (different pointer, extra or missing entries), leaving the
+   caller to re-zero the flags and fall back to the merge walk. *)
+let rec fast_walk sg len k entries =
+  if k = len then (match entries with [] -> true | _ :: _ -> false)
+  else
+    match entries with
+    | [] -> false
+    | (name, e) :: rest ->
+      if name == Array.unsafe_get sg.shape_names k then begin
+        let i = Array.unsafe_get sg.shape_slots k in
+        if i >= 0 then store_entry sg i e;
+        fast_walk sg len (k + 1) rest
+      end
+      else false
+
+(* Full refresh from a snapshot: both sides are sorted by name, so one
+   merge walk suffices — no hashing, no allocation beyond (re)sizing the
+   shape arrays when the entry count changes.  Entries without a slot
+   (signals the formula never mentions) are skipped; slots without an
+   entry keep their flags cleared.  Duplicate names in a snapshot resolve
+   to the first entry, like [List.assoc_opt] over the stably-sorted
+   entries did — later duplicates record slot -1, so a shape replay makes
+   the same choice. *)
+let rec skip_slots sg n i name =
+  if i < n && str_cmp sg.sig_names.(i) name < 0 then
+    skip_slots sg n (i + 1) name
+  else i
+
+let rec rebuild_walk sg n k i entries =
+  match entries with
+  | [] -> ()
+  | (name, (e : Monitor_trace.Snapshot.entry)) :: rest ->
+    sg.shape_names.(k) <- name;
+    let i = skip_slots sg n i name in
+    if i < n && str_cmp sg.sig_names.(i) name = 0 then begin
+      sg.shape_slots.(k) <- i;
+      store_entry sg i e;
+      rebuild_walk sg n (k + 1) (i + 1) rest
+    end
+    else begin
+      sg.shape_slots.(k) <- (-1);
+      rebuild_walk sg n (k + 1) i rest
+    end
+
+let update_signals sg (snap : Monitor_trace.Snapshot.t) =
+  let n = Array.length sg.sig_names in
+  if n = 0 || snap == sg.last_snap then ()
+  else begin
+    Bytes.fill sg.sig_flags 0 n '\000';
+    let entries = snap.Monitor_trace.Snapshot.entries in
+    if
+      not
+        (sg.shape_valid
+        && fast_walk sg (Array.length sg.shape_names) 0 entries)
+    then begin
+      (* The fast walk may have stored a prefix before mismatching; start
+         the merge walk from clean flags. *)
+      Bytes.fill sg.sig_flags 0 n '\000';
+      let len = List.length entries in
+      if Array.length sg.shape_names <> len then begin
+        sg.shape_names <- Array.make len "";
+        sg.shape_slots <- Array.make len (-1)
+      end;
+      rebuild_walk sg n 0 0 entries;
+      sg.shape_valid <- true
+    end;
+    sg.last_snap <- snap
+  end
+
+(* Slot-compiled expressions --------------------------------------------- *)
+
+(* The compiled form of [Expr.t]: signal names become slot indices and the
+   [result ref]/[fresh_hist ref] history cells become indices into one
+   flat [hval]/[hdef] pair per monitor.  Semantics are transcribed from
+   [Expr.step] — in particular both operands of every binary node are
+   always evaluated, so [prev]/[delta]/[rate]/[fresh_delta] histories
+   advance on every tick exactly as the reference evaluator's do. *)
+type enode =
+  | E_const of float
+  | E_signal of int
+  | E_prev of enode * int
+  | E_delta of enode * int
+  | E_rate of enode * int
+  | E_fresh_delta of int * int  (* slot, base of a 2-cell history *)
+  | E_age of int
+  | E_neg of enode
+  | E_abs of enode
+  | E_add of enode * enode
+  | E_sub of enode * enode
+  | E_mul of enode * enode
+  | E_div of enode * enode
+  | E_min of enode * enode
+  | E_max of enode * enode
+
+(* All-float scratch record (flat, so the per-tick writes do not box). *)
+type estate = {
+  mutable acc : float;    (* value of the node just evaluated *)
+  mutable def : float;    (* 1.0 defined / 0.0 undefined *)
+  mutable dt : float;     (* time since the previous tick *)
+  mutable dt_def : float; (* 0.0 on the first tick *)
+  mutable now : float;    (* current tick time *)
+}
+
+type env = {
+  sg : signals;
+  est : estate;
+  hval : float array;        (* expression history values *)
+  hdef : Bytes.t;            (* definedness / fresh-sample count *)
+  post_modes : string array; (* post-step machine modes, refreshed per tick *)
+}
+
+(* Stdlib [Float.min]/[Float.max] semantics (NaN-propagating, -0.0 < +0.0),
+   inlined locally so no float crosses a non-inlinable call boundary. *)
+let fmin (x : float) (y : float) =
+  if y > x || ((not (Float.sign_bit y)) && Float.sign_bit x) then
+    if Float.is_nan y then y else x
+  else if Float.is_nan x then x
+  else y
+
+let fmax (x : float) (y : float) =
+  if y > x || ((not (Float.sign_bit y)) && Float.sign_bit x) then
+    if Float.is_nan x then x else y
+  else if Float.is_nan y then y
+  else x
+
+let rec eval_expr env node =
+  let est = env.est in
+  match node with
+  | E_const x ->
+    est.acc <- x;
+    est.def <- 1.0
+  | E_signal i ->
+    let fl = Char.code (Bytes.unsafe_get env.sg.sig_flags i) in
+    if fl land fl_present <> 0 && fl land fl_stale = 0 then begin
+      est.acc <- env.sg.sig_floats.(i);
+      est.def <- 1.0
+    end
+    else begin
+      est.acc <- 0.0;
+      est.def <- 0.0
+    end
+  | E_prev (c, h) ->
+    eval_expr env c;
+    let cur = est.acc and cur_def = est.def in
+    est.acc <- env.hval.(h);
+    est.def <- (if Bytes.unsafe_get env.hdef h <> '\000' then 1.0 else 0.0);
+    env.hval.(h) <- cur;
+    Bytes.unsafe_set env.hdef h (if cur_def <> 0.0 then '\001' else '\000')
+  | E_delta (c, h) ->
+    eval_expr env c;
+    let cur = est.acc and cur_def = est.def in
+    let prev = env.hval.(h) in
+    let prev_def = Bytes.unsafe_get env.hdef h <> '\000' in
+    env.hval.(h) <- cur;
+    Bytes.unsafe_set env.hdef h (if cur_def <> 0.0 then '\001' else '\000');
+    if cur_def <> 0.0 && prev_def then est.acc <- cur -. prev
+    else est.def <- 0.0
+  | E_rate (c, h) ->
+    eval_expr env c;
+    let cur = est.acc and cur_def = est.def in
+    let prev = env.hval.(h) in
+    let prev_def = Bytes.unsafe_get env.hdef h <> '\000' in
+    env.hval.(h) <- cur;
+    Bytes.unsafe_set env.hdef h (if cur_def <> 0.0 then '\001' else '\000');
+    if cur_def <> 0.0 && prev_def && est.dt_def <> 0.0 && est.dt > 0.0 then
+      est.acc <- (cur -. prev) /. est.dt
+    else est.def <- 0.0
+  | E_fresh_delta (slot, h) ->
+    (* hdef.(h) counts fresh samples seen (saturating at 2); hval.(h) and
+       hval.(h+1) are the previous and latest fresh values. *)
+    let fl = Char.code (Bytes.unsafe_get env.sg.sig_flags slot) in
+    if fl land fl_fresh <> 0 then begin
+      let x = env.sg.sig_floats.(slot) in
+      if Bytes.unsafe_get env.hdef h = '\000' then begin
+        env.hval.(h + 1) <- x;
+        Bytes.unsafe_set env.hdef h '\001'
+      end
+      else begin
+        env.hval.(h) <- env.hval.(h + 1);
+        env.hval.(h + 1) <- x;
+        Bytes.unsafe_set env.hdef h '\002'
+      end
+    end;
+    if Bytes.unsafe_get env.hdef h = '\002' then begin
+      est.acc <- env.hval.(h + 1) -. env.hval.(h);
+      est.def <- 1.0
+    end
+    else est.def <- 0.0
+  | E_age slot ->
+    let fl = Char.code (Bytes.unsafe_get env.sg.sig_flags slot) in
+    if fl land fl_present <> 0 then begin
+      est.acc <- est.now -. env.sg.sig_lasts.(slot);
+      est.def <- 1.0
+    end
+    else est.def <- 0.0
+  | E_neg c ->
+    eval_expr env c;
+    est.acc <- -.est.acc
+  | E_abs c ->
+    eval_expr env c;
+    est.acc <- Float.abs est.acc
+  | E_add (a, b) ->
+    eval_expr env a;
+    let va = est.acc and da = est.def in
+    eval_expr env b;
+    est.acc <- va +. est.acc;
+    est.def <- da *. est.def
+  | E_sub (a, b) ->
+    eval_expr env a;
+    let va = est.acc and da = est.def in
+    eval_expr env b;
+    est.acc <- va -. est.acc;
+    est.def <- da *. est.def
+  | E_mul (a, b) ->
+    eval_expr env a;
+    let va = est.acc and da = est.def in
+    eval_expr env b;
+    est.acc <- va *. est.acc;
+    est.def <- da *. est.def
+  | E_div (a, b) ->
+    eval_expr env a;
+    let va = est.acc and da = est.def in
+    eval_expr env b;
+    est.acc <- va /. est.acc;
+    est.def <- da *. est.def
+  | E_min (a, b) ->
+    eval_expr env a;
+    let va = est.acc and da = est.def in
+    eval_expr env b;
+    est.acc <- fmin va est.acc;
+    est.def <- da *. est.def
+  | E_max (a, b) ->
+    eval_expr env a;
+    let va = est.acc and da = est.def in
+    eval_expr env b;
+    est.acc <- fmax va est.acc;
+    est.def <- da *. est.def
+
+(* Slot-compiled immediate formulas -------------------------------------- *)
+
+type vnode =
+  | V_const of Verdict.t
+  | V_cmp of Formula.comparison * enode * enode
+  | V_bool of int
+  | V_fresh of int
+  | V_known of int
+  | V_stale of int
+  | V_in_mode of int * string  (* machine index, -1 if unknown machine *)
+  | V_not of vnode
+  | V_and of vnode * vnode
+  | V_or of vnode * vnode
+  | V_implies of vnode * vnode
+
+let rec eval_vnode env v =
+  match v with
+  | V_const verdict -> verdict
+  | V_cmp (op, a, b) ->
+    let est = env.est in
+    (* Both sides evaluated unconditionally, as in [Immediate.eval]. *)
+    eval_expr env a;
+    let va = est.acc and da = est.def in
+    eval_expr env b;
+    if da <> 0.0 && est.def <> 0.0 then begin
+      let vb = est.acc in
+      (* IEEE semantics: any comparison involving NaN is false. *)
+      let r =
+        match op with
+        | Formula.Lt -> va < vb
+        | Formula.Le -> va <= vb
+        | Formula.Gt -> va > vb
+        | Formula.Ge -> va >= vb
+        | Formula.Eq -> va = vb
+        | Formula.Ne -> va <> vb
+      in
+      Verdict.of_bool r
+    end
+    else Verdict.Unknown
+  | V_bool i ->
+    let fl = Char.code (Bytes.unsafe_get env.sg.sig_flags i) in
+    if fl land fl_present <> 0 && fl land fl_stale = 0 then
+      Verdict.of_bool (Bytes.unsafe_get env.sg.sig_bools i <> '\000')
+    else Verdict.Unknown
+  | V_fresh i ->
+    Verdict.of_bool
+      (Char.code (Bytes.unsafe_get env.sg.sig_flags i) land fl_fresh <> 0)
+  | V_known i ->
+    if Char.code (Bytes.unsafe_get env.sg.sig_flags i) land fl_present <> 0
+    then Verdict.True
+    else Verdict.False
+  | V_stale i ->
+    Verdict.of_bool
+      (Char.code (Bytes.unsafe_get env.sg.sig_flags i) land fl_stale <> 0)
+  | V_in_mode (j, s) ->
+    if j < 0 then Verdict.Unknown
+    else Verdict.of_bool (String.equal env.post_modes.(j) s)
+  | V_not a -> Verdict.not_ (eval_vnode env a)
+  | V_and (a, b) -> Verdict.and_ (eval_vnode env a) (eval_vnode env b)
+  | V_or (a, b) -> Verdict.or_ (eval_vnode env a) (eval_vnode env b)
+  | V_implies (a, b) -> Verdict.implies (eval_vnode env a) (eval_vnode env b)
+
+(* Output rings ----------------------------------------------------------- *)
+
+(* A ring of (verdict byte, time) pairs for a contiguous run of ticks;
+   [obase] is the tick of the front entry.  Capacity doubles on demand and
+   is then reused — the steady state never allocates.  [reserve] hands the
+   caller a physical index instead of taking the float, so the time is
+   stored by the caller with a plain array write and never boxed across
+   the call. *)
+type outbuf = {
+  mutable ov : Bytes.t;
+  mutable ot : float array;
+  mutable ohead : int;
+  mutable olen : int;
+  mutable obase : int;
+}
+
+let outbuf_create () =
+  { ov = Bytes.create 16; ot = Array.make 16 0.0; ohead = 0; olen = 0;
+    obase = 0 }
+
+let outbuf_grow o =
+  let cap = Bytes.length o.ov in
+  let nv = Bytes.create (cap * 2) in
+  let nt = Array.make (cap * 2) 0.0 in
+  for i = 0 to o.olen - 1 do
+    let j = o.ohead + i in
+    let j = if j >= cap then j - cap else j in
+    Bytes.unsafe_set nv i (Bytes.unsafe_get o.ov j);
+    nt.(i) <- o.ot.(j)
+  done;
+  o.ov <- nv;
+  o.ot <- nt;
+  o.ohead <- 0
+
+let outbuf_reserve o =
+  if o.olen = Bytes.length o.ov then outbuf_grow o;
+  let j = o.ohead + o.olen in
+  let cap = Bytes.length o.ov in
+  let j = if j >= cap then j - cap else j in
+  o.olen <- o.olen + 1;
+  j
+
+let outbuf_phys o i =
+  let j = o.ohead + i in
+  let cap = Bytes.length o.ov in
+  if j >= cap then j - cap else j
+
+let outbuf_consume o k =
+  let h = o.ohead + k in
+  let cap = Bytes.length o.ov in
+  o.ohead <- (if h >= cap then h - cap else h);
+  o.olen <- o.olen - k;
+  o.obase <- o.obase + k
+
+(* A times-only ring for the pending ticks of a temporal operator. *)
+type fring = {
+  mutable fv : float array;
+  mutable fhead : int;
+  mutable flen : int;
+}
+
+let fring_create () = { fv = Array.make 16 0.0; fhead = 0; flen = 0 }
+
+let fring_grow p =
+  let cap = Array.length p.fv in
+  let nv = Array.make (cap * 2) 0.0 in
+  for i = 0 to p.flen - 1 do
+    let j = p.fhead + i in
+    let j = if j >= cap then j - cap else j in
+    nv.(i) <- p.fv.(j)
+  done;
+  p.fv <- nv;
+  p.fhead <- 0
+
+let fring_reserve p =
+  if p.flen = Array.length p.fv then fring_grow p;
+  let j = p.fhead + p.flen in
+  let cap = Array.length p.fv in
+  let j = if j >= cap then j - cap else j in
+  p.flen <- p.flen + 1;
+  j
+
+let fring_pop p =
+  let h = p.fhead + 1 in
+  let cap = Array.length p.fv in
+  p.fhead <- (if h >= cap then h - cap else h);
+  p.flen <- p.flen - 1
+
+(* Node tree -------------------------------------------------------------- *)
 
 type node = {
   kind : kind;
-  out : resolution Queue.t;
+  out : outbuf;
 }
 
 and kind =
-  | Leaf of Immediate.t
+  | Leaf of vnode
   | Not1 of node
   | Bin of {
       op : Verdict.t -> Verdict.t -> Verdict.t;
@@ -22,30 +565,40 @@ and kind =
     }
   | Temporal of temporal
 
-(* Sliding-window state.  Resolved child verdicts flow [future] ->
-   [counted] -> dropped as the front pending tick's window [t + lo_off,
-   t + hi_off] advances over them; [nt]/[nf]/[nu] always count exactly the
-   samples of [counted], i.e. the samples inside the front window.  Both
-   window endpoints are monotone across pending ticks, so every child
-   resolution is admitted once and dropped once: amortised O(1) per tick,
-   where the previous kernel re-scanned the whole buffer (O(w)) for every
-   pending tick it examined. *)
+(* Sliding-window state.  The window ring holds resolved child verdicts in
+   tick order; its front [counted] entries are the samples inside the
+   front pending tick's window [t + lo_off, t + hi_off], always summarised
+   exactly by [nt]/[nf]/[nu].  Both window endpoints are monotone across
+   pending ticks, so every child resolution is admitted once ([counted]
+   grows) and dropped once (ring front retires): amortised O(1) per tick.
+   The mutable floats live in the all-float [tfloats] record so the
+   per-tick writes stay unboxed. *)
 and temporal = {
   sem : Window.sem;
   lo_off : float;  (* window of tick t is [t + lo_off, t + hi_off] *)
   hi_off : float;
   child : node;
-  pending : (int * float) Queue.t;
-  future : resolution Queue.t;   (* resolved, not yet reached by the window *)
-  counted : resolution Queue.t;  (* inside the front pending tick's window *)
+  window : outbuf;
+  mutable counted : int;
   mutable nt : int;
   mutable nf : int;
   mutable nu : int;
-  mutable child_max_time : float;  (* latest resolved child tick time *)
+  pend : fring;  (* times of input ticks not yet resolved *)
+  tf : tfloats;
   mutable any_child_resolved : bool;
+  mutable saw_input : bool;
+}
+
+and tfloats = {
+  mutable child_max_time : float;  (* latest resolved child tick time *)
   mutable first_input : float;
   mutable last_input : float;
-  mutable saw_input : bool;
+  (* Scratch endpoints of the front pending tick's window, refreshed at
+     the top of each resolution round.  Kept here (all-float record, so
+     the writes are flat) instead of being passed as arguments so no
+     float crosses a call boundary on the per-tick path. *)
+  mutable wlo : float;
+  mutable whi : float;
 }
 
 let mask_combine m b =
@@ -57,98 +610,247 @@ let temporal ~lo_off ~hi_off ~sem child =
   { kind =
       Temporal
         { sem; lo_off; hi_off; child;
-          pending = Queue.create ();
-          future = Queue.create ();
-          counted = Queue.create ();
-          nt = 0; nf = 0; nu = 0;
-          child_max_time = Float.neg_infinity;
+          window = outbuf_create ();
+          counted = 0; nt = 0; nf = 0; nu = 0;
+          pend = fring_create ();
+          tf =
+            { child_max_time = Float.neg_infinity;
+              first_input = 0.0;
+              last_input = 0.0;
+              wlo = 0.0;
+              whi = 0.0 };
           any_child_resolved = false;
-          first_input = 0.0;
-          last_input = 0.0;
           saw_input = false };
-    out = Queue.create () }
+    out = outbuf_create () }
 
-let rec build (f : Formula.t) =
+(* Compilation ------------------------------------------------------------ *)
+
+let rec compile_expr sg nhist (e : Expr.t) =
+  let alloc k =
+    let h = !nhist in
+    nhist := h + k;
+    h
+  in
+  match e with
+  | Expr.Const x -> E_const x
+  | Expr.Signal s -> E_signal (slot_of_name sg s)
+  | Expr.Prev c ->
+    let c = compile_expr sg nhist c in
+    E_prev (c, alloc 1)
+  | Expr.Delta c ->
+    let c = compile_expr sg nhist c in
+    E_delta (c, alloc 1)
+  | Expr.Rate c ->
+    let c = compile_expr sg nhist c in
+    E_rate (c, alloc 1)
+  | Expr.Fresh_delta s -> E_fresh_delta (slot_of_name sg s, alloc 2)
+  | Expr.Age s -> E_age (slot_of_name sg s)
+  | Expr.Neg c -> E_neg (compile_expr sg nhist c)
+  | Expr.Abs c -> E_abs (compile_expr sg nhist c)
+  | Expr.Add (a, b) ->
+    let a = compile_expr sg nhist a in
+    E_add (a, compile_expr sg nhist b)
+  | Expr.Sub (a, b) ->
+    let a = compile_expr sg nhist a in
+    E_sub (a, compile_expr sg nhist b)
+  | Expr.Mul (a, b) ->
+    let a = compile_expr sg nhist a in
+    E_mul (a, compile_expr sg nhist b)
+  | Expr.Div (a, b) ->
+    let a = compile_expr sg nhist a in
+    E_div (a, compile_expr sg nhist b)
+  | Expr.Min (a, b) ->
+    let a = compile_expr sg nhist a in
+    E_min (a, compile_expr sg nhist b)
+  | Expr.Max (a, b) ->
+    let a = compile_expr sg nhist a in
+    E_max (a, compile_expr sg nhist b)
+
+let machine_index machine_names name =
+  let rec go j =
+    if j >= Array.length machine_names then -1
+    else if String.equal machine_names.(j) name then j
+    else go (j + 1)
+  in
+  go 0
+
+let rec compile_vnode sg machine_names nhist (f : Formula.t) =
+  match f with
+  | Formula.Const b -> V_const (Verdict.of_bool b)
+  | Formula.Cmp (a, op, b) ->
+    let a = compile_expr sg nhist a in
+    V_cmp (op, a, compile_expr sg nhist b)
+  | Formula.Bool_signal s -> V_bool (slot_of_name sg s)
+  | Formula.Fresh s -> V_fresh (slot_of_name sg s)
+  | Formula.Known s -> V_known (slot_of_name sg s)
+  | Formula.Stale s -> V_stale (slot_of_name sg s)
+  | Formula.In_mode (m, s) -> V_in_mode (machine_index machine_names m, s)
+  | Formula.Not g -> V_not (compile_vnode sg machine_names nhist g)
+  | Formula.And (a, b) ->
+    let a = compile_vnode sg machine_names nhist a in
+    V_and (a, compile_vnode sg machine_names nhist b)
+  | Formula.Or (a, b) ->
+    let a = compile_vnode sg machine_names nhist a in
+    V_or (a, compile_vnode sg machine_names nhist b)
+  | Formula.Implies (a, b) ->
+    let a = compile_vnode sg machine_names nhist a in
+    V_implies (a, compile_vnode sg machine_names nhist b)
+  | Formula.Always _ | Formula.Eventually _ | Formula.Historically _
+  | Formula.Once _ | Formula.Warmup _ ->
+    invalid_arg "Online: temporal formula in immediate position"
+
+let rec build sg machine_names nhist (f : Formula.t) =
   match f with
   | Formula.Const _ | Formula.Cmp _ | Formula.Bool_signal _ | Formula.Fresh _
   | Formula.Known _ | Formula.Stale _ | Formula.In_mode _ ->
-    { kind = Leaf (Immediate.compile_exn f); out = Queue.create () }
-  | Formula.Not g -> { kind = Not1 (build g); out = Queue.create () }
+    { kind = Leaf (compile_vnode sg machine_names nhist f);
+      out = outbuf_create () }
+  | Formula.Not g ->
+    { kind = Not1 (build sg machine_names nhist g); out = outbuf_create () }
   | Formula.And (a, b) ->
-    { kind = Bin { op = Verdict.and_; left = build a; right = build b };
-      out = Queue.create () }
+    let left = build sg machine_names nhist a in
+    { kind = Bin { op = Verdict.and_; left; right = build sg machine_names nhist b };
+      out = outbuf_create () }
   | Formula.Or (a, b) ->
-    { kind = Bin { op = Verdict.or_; left = build a; right = build b };
-      out = Queue.create () }
+    let left = build sg machine_names nhist a in
+    { kind = Bin { op = Verdict.or_; left; right = build sg machine_names nhist b };
+      out = outbuf_create () }
   | Formula.Implies (a, b) ->
-    { kind = Bin { op = Verdict.implies; left = build a; right = build b };
-      out = Queue.create () }
+    let left = build sg machine_names nhist a in
+    { kind = Bin { op = Verdict.implies; left; right = build sg machine_names nhist b };
+      out = outbuf_create () }
   | Formula.Always (i, g) ->
     temporal ~lo_off:i.Formula.lo ~hi_off:i.Formula.hi ~sem:Window.Universal
-      (build g)
+      (build sg machine_names nhist g)
   | Formula.Eventually (i, g) ->
-    temporal ~lo_off:i.Formula.lo ~hi_off:i.Formula.hi ~sem:Window.Existential
-      (build g)
+    temporal ~lo_off:i.Formula.lo ~hi_off:i.Formula.hi
+      ~sem:Window.Existential (build sg machine_names nhist g)
   | Formula.Historically (i, g) ->
     temporal ~lo_off:(-.i.Formula.hi) ~hi_off:(-.i.Formula.lo)
-      ~sem:Window.Universal (build g)
+      ~sem:Window.Universal (build sg machine_names nhist g)
   | Formula.Once (i, g) ->
     temporal ~lo_off:(-.i.Formula.hi) ~hi_off:(-.i.Formula.lo)
-      ~sem:Window.Existential (build g)
+      ~sem:Window.Existential (build sg machine_names nhist g)
   | Formula.Warmup { trigger; hold; body } ->
-    let mask = temporal ~lo_off:(-.hold) ~hi_off:0.0 ~sem:Window.Mask (build trigger) in
-    { kind = Bin { op = mask_combine; left = mask; right = build body };
-      out = Queue.create () }
+    let mask =
+      temporal ~lo_off:(-.hold) ~hi_off:0.0 ~sem:Window.Mask
+        (build sg machine_names nhist trigger)
+    in
+    { kind =
+        Bin { op = mask_combine; left = mask;
+              right = build sg machine_names nhist body };
+      out = outbuf_create () }
 
 (* Resolution machinery --------------------------------------------------- *)
 
+let count tp delta c =
+  if c = code_true then tp.nt <- tp.nt + delta
+  else if c = code_false then tp.nf <- tp.nf + delta
+  else tp.nu <- tp.nu + delta
+
+let drain_not child out =
+  let c = child.out in
+  let k = c.olen in
+  if k > 0 then begin
+    for i = 0 to k - 1 do
+      let src = outbuf_phys c i in
+      let j = outbuf_reserve out in
+      Bytes.unsafe_set out.ov j (code_not (Bytes.unsafe_get c.ov src));
+      out.ot.(j) <- c.ot.(src)
+    done;
+    outbuf_consume c k
+  end
+
 let drain_bin op left right out =
-  while (not (Queue.is_empty left.out)) && not (Queue.is_empty right.out) do
-    let l = Queue.pop left.out and r = Queue.pop right.out in
-    assert (l.tick = r.tick);
-    Queue.push { tick = l.tick; time = l.time; verdict = op l.verdict r.verdict } out
-  done
-
-let count tp delta (v : Verdict.t) =
-  match v with
-  | Verdict.True -> tp.nt <- tp.nt + delta
-  | Verdict.False -> tp.nf <- tp.nf + delta
-  | Verdict.Unknown -> tp.nu <- tp.nu + delta
-
-let try_resolve_temporal ~finalizing tp out =
-  let deciding = ref true in
-  while !deciding && not (Queue.is_empty tp.pending) do
-    let p_tick, p_time = Queue.peek tp.pending in
-    let wlo = p_time +. tp.lo_off -. time_eps in
-    let whi = p_time +. tp.hi_off +. time_eps in
-    (* Slide: drop counted samples the window start has passed ... *)
-    while (not (Queue.is_empty tp.counted)) && (Queue.peek tp.counted).time < wlo do
-      count tp (-1) (Queue.pop tp.counted).verdict
+  let l = left.out and r = right.out in
+  let k = if l.olen < r.olen then l.olen else r.olen in
+  if k > 0 then begin
+    assert (l.obase = r.obase);
+    for i = 0 to k - 1 do
+      let li = outbuf_phys l i and ri = outbuf_phys r i in
+      let v =
+        op
+          (verdict_of_code (Bytes.unsafe_get l.ov li))
+          (verdict_of_code (Bytes.unsafe_get r.ov ri))
+      in
+      let j = outbuf_reserve out in
+      Bytes.unsafe_set out.ov j (code_of_verdict v);
+      out.ot.(j) <- l.ot.(li)
     done;
-    (* ... and admit resolved samples the window end has reached.  A
-       sample already behind the window start (possible when the start
-       jumped past it between pending ticks) is discarded: no later
-       window, all further right, can contain it. *)
-    let admitting = ref true in
-    while !admitting && not (Queue.is_empty tp.future) do
-      let r = Queue.peek tp.future in
-      if r.time <= whi then begin
-        ignore (Queue.pop tp.future);
-        if r.time >= wlo then begin
-          Queue.push r tp.counted;
-          count tp 1 r.verdict
-        end
+    outbuf_consume l k;
+    outbuf_consume r k
+  end
+
+let absorb_child tp =
+  let c = tp.child.out in
+  let k = c.olen in
+  if k > 0 then begin
+    for i = 0 to k - 1 do
+      let src = outbuf_phys c i in
+      let j = outbuf_reserve tp.window in
+      Bytes.unsafe_set tp.window.ov j (Bytes.unsafe_get c.ov src);
+      tp.window.ot.(j) <- c.ot.(src)
+    done;
+    tp.tf.child_max_time <- c.ot.(outbuf_phys c (k - 1));
+    tp.any_child_resolved <- true;
+    outbuf_consume c k
+  end
+
+(* Slide: drop counted samples the window start has passed. *)
+let rec drop_passed tp =
+  if tp.counted > 0 then begin
+    let w = tp.window in
+    if w.ot.(w.ohead) < tp.tf.wlo then begin
+      count tp (-1) (Bytes.unsafe_get w.ov w.ohead);
+      outbuf_consume w 1;
+      tp.counted <- tp.counted - 1;
+      drop_passed tp
+    end
+  end
+
+(* Admit resolved samples the window end has reached.  A sample already
+   behind the window start (possible when the start jumped past it
+   between pending ticks) is discarded: no later window, all further
+   right, can contain it.  Times are monotone, so that can only happen
+   with no counted samples at all — the discard target is the ring
+   front. *)
+let rec admit_reached tp =
+  let w = tp.window in
+  if tp.counted < w.olen then begin
+    let j = outbuf_phys w tp.counted in
+    let t = w.ot.(j) in
+    if t <= tp.tf.whi then begin
+      if t >= tp.tf.wlo then begin
+        count tp 1 (Bytes.unsafe_get w.ov j);
+        tp.counted <- tp.counted + 1
       end
-      else admitting := false
-    done;
+      else begin
+        assert (tp.counted = 0);
+        outbuf_consume w 1
+      end;
+      admit_reached tp
+    end
+  end
+
+let rec try_resolve_temporal ~finalizing tp out =
+  if tp.pend.flen > 0 then begin
+    let p_time = tp.pend.fv.(tp.pend.fhead) in
+    tp.tf.wlo <- p_time +. tp.lo_off -. time_eps;
+    tp.tf.whi <- p_time +. tp.hi_off +. time_eps;
+    drop_passed tp;
+    admit_reached tp;
     (* Resolve before the window closes only with the operator's
        dominating verdict: future samples can only add to the counts, so
        it alone is stable under every extension of the window. *)
-    match Window.early tp.sem ~nt:tp.nt ~nf:tp.nf ~nu:tp.nu with
-    | Some verdict ->
-      ignore (Queue.pop tp.pending);
-      Queue.push { tick = p_tick; time = p_time; verdict } out
-    | None ->
+    let early = Window.early_dominant tp.sem ~nt:tp.nt ~nf:tp.nf in
+    if not (Verdict.equal early Verdict.Unknown) then begin
+      fring_pop tp.pend;
+      let j = outbuf_reserve out in
+      Bytes.unsafe_set out.ov j (code_of_verdict early);
+      out.ot.(j) <- p_time;
+      try_resolve_temporal ~finalizing tp out
+    end
+    else begin
       (* The window cannot gain samples once the child has resolved a tick
          at (or within the epsilon of) the window's end: all future ticks
          have strictly greater times.  This makes past-time operators
@@ -156,52 +858,50 @@ let try_resolve_temporal ~finalizing tp out =
       let window_closed =
         finalizing
         || (tp.any_child_resolved
-           && tp.child_max_time >= p_time +. tp.hi_off -. time_eps)
+           && tp.tf.child_max_time >= p_time +. tp.hi_off -. time_eps)
       in
       if window_closed then begin
         let complete =
           tp.saw_input
-          && tp.last_input >= p_time +. tp.hi_off -. time_eps
-          && tp.first_input <= p_time +. tp.lo_off +. time_eps
+          && tp.tf.last_input >= p_time +. tp.hi_off -. time_eps
+          && tp.tf.first_input <= p_time +. tp.lo_off +. time_eps
         in
-        let verdict = Window.decide tp.sem ~nt:tp.nt ~nf:tp.nf ~nu:tp.nu ~complete in
-        ignore (Queue.pop tp.pending);
-        Queue.push { tick = p_tick; time = p_time; verdict } out
+        let verdict =
+          Window.decide tp.sem ~nt:tp.nt ~nf:tp.nf ~nu:tp.nu ~complete
+        in
+        fring_pop tp.pend;
+        let j = outbuf_reserve out in
+        Bytes.unsafe_set out.ov j (code_of_verdict verdict);
+        out.ot.(j) <- p_time;
+        try_resolve_temporal ~finalizing tp out
       end
-      else deciding := false
-  done
+    end
+  end
 
-let absorb_child tp =
-  while not (Queue.is_empty tp.child.out) do
-    let r = Queue.pop tp.child.out in
-    tp.child_max_time <- r.time;
-    tp.any_child_resolved <- true;
-    Queue.push r tp.future
-  done
-
-let rec advance node ~tick ~time ~mode_lookup snapshot =
+let rec advance env node time =
   match node.kind with
-  | Leaf imm ->
-    let verdict = Immediate.eval imm ~mode_lookup snapshot in
-    Queue.push { tick; time; verdict } node.out
+  | Leaf v ->
+    let verdict = eval_vnode env v in
+    let o = node.out in
+    let j = outbuf_reserve o in
+    Bytes.unsafe_set o.ov j (code_of_verdict verdict);
+    o.ot.(j) <- time
   | Not1 child ->
-    advance child ~tick ~time ~mode_lookup snapshot;
-    while not (Queue.is_empty child.out) do
-      let r = Queue.pop child.out in
-      Queue.push { r with verdict = Verdict.not_ r.verdict } node.out
-    done
+    advance env child time;
+    drain_not child node.out
   | Bin { op; left; right } ->
-    advance left ~tick ~time ~mode_lookup snapshot;
-    advance right ~tick ~time ~mode_lookup snapshot;
+    advance env left time;
+    advance env right time;
     drain_bin op left right node.out
   | Temporal tp ->
-    advance tp.child ~tick ~time ~mode_lookup snapshot;
+    advance env tp.child time;
     if not tp.saw_input then begin
-      tp.first_input <- time;
+      tp.tf.first_input <- time;
       tp.saw_input <- true
     end;
-    tp.last_input <- time;
-    Queue.push (tick, time) tp.pending;
+    tp.tf.last_input <- time;
+    let j = fring_reserve tp.pend in
+    tp.pend.fv.(j) <- time;
     absorb_child tp;
     try_resolve_temporal ~finalizing:false tp node.out
 
@@ -210,10 +910,7 @@ let rec finalize_node node =
   | Leaf _ -> ()
   | Not1 child ->
     finalize_node child;
-    while not (Queue.is_empty child.out) do
-      let r = Queue.pop child.out in
-      Queue.push { r with verdict = Verdict.not_ r.verdict } node.out
-    done
+    drain_not child node.out
   | Bin { op; left; right } ->
     finalize_node left;
     finalize_node right;
@@ -228,37 +925,71 @@ let rec count_pending node =
   | Leaf _ -> 0
   | Not1 child -> count_pending child
   | Bin { left; right; _ } -> count_pending left + count_pending right
-  | Temporal tp -> Queue.length tp.pending + count_pending tp.child
+  | Temporal tp -> tp.pend.flen + count_pending tp.child
 
 (* Monitor ---------------------------------------------------------------- *)
+
+type mfloats = { mutable last_time : float }
 
 type t = {
   spec : Spec.t;
   root : node;
-  machines : (string * State_machine.runtime) list;
+  env : env;
+  machines : State_machine.runtime array;
+  machine_names : string array;
+  pre_modes : string array;
+  pre_lookup : string -> string option;
+  mf : mfloats;
   mutable next_tick : int;
-  mutable last_time : float;
   mutable finalized : bool;
+  mutable reported : int;  (* front entries of [root.out] already handed out *)
 }
 
-let create spec =
-  { spec;
-    root = build spec.Spec.formula;
-    machines =
-      List.map
-        (fun (m : State_machine.t) ->
-          (m.State_machine.name, State_machine.start m))
-        spec.Spec.machines;
-    next_tick = 0;
-    last_time = Float.neg_infinity;
-    finalized = false }
+type shared = signals
 
-let drain t =
-  let out = ref [] in
-  while not (Queue.is_empty t.root.out) do
-    out := Queue.pop t.root.out :: !out
-  done;
-  List.rev !out
+let shared_for specs =
+  signals_make
+    (List.concat_map (fun s -> Formula.signals s.Spec.formula) specs)
+
+let create ?shared (spec : Spec.t) =
+  let formula = spec.Spec.formula in
+  let sg =
+    match shared with
+    | Some sg -> sg
+    | None -> signals_make (Formula.signals formula)
+  in
+  let machines =
+    Array.of_list (List.map State_machine.start spec.Spec.machines)
+  in
+  let machine_names =
+    Array.of_list
+      (List.map (fun (m : State_machine.t) -> m.State_machine.name)
+         spec.Spec.machines)
+  in
+  let nmach = Array.length machines in
+  let pre_modes = Array.make nmach "" in
+  let post_modes = Array.make nmach "" in
+  Array.iteri
+    (fun j rt ->
+      pre_modes.(j) <- State_machine.current rt;
+      post_modes.(j) <- State_machine.current rt)
+    machines;
+  let pre_lookup name =
+    let j = machine_index machine_names name in
+    if j < 0 then None else Some pre_modes.(j)
+  in
+  let nhist = ref 0 in
+  let root = build sg machine_names nhist formula in
+  let env =
+    { sg;
+      est = { acc = 0.0; def = 0.0; dt = 0.0; dt_def = 0.0; now = 0.0 };
+      hval = Array.make (max 1 !nhist) 0.0;
+      hdef = Bytes.make (max 1 !nhist) '\000';
+      post_modes }
+  in
+  { spec; root; env; machines; machine_names; pre_modes; pre_lookup;
+    mf = { last_time = Float.neg_infinity };
+    next_tick = 0; finalized = false; reported = 0 }
 
 module Obs = Monitor_obs.Obs
 
@@ -272,40 +1003,115 @@ let m_pending_high_water =
            (window occupancy)"
     "cps_online_pending_high_water"
 
-let step t snapshot =
+let m_step_seconds =
+  Obs.histogram ~labels:[ ("kernel", "online") ]
+    ~help:"Per-tick latency of the incremental online kernel"
+    "cps_online_step_seconds"
+
+let step_resolved t snapshot =
   if t.finalized then invalid_arg "Online.step: monitor already finalized";
   let time = snapshot.Monitor_trace.Snapshot.time in
-  if time <= t.last_time then
+  if time <= t.mf.last_time then
     invalid_arg
       (Printf.sprintf
          "Online.step: snapshot times must be strictly increasing (tick %d \
           has time %.9g, tick %d has time %.9g)"
-         (t.next_tick - 1) t.last_time t.next_tick time);
-  t.last_time <- time;
-  let tick = t.next_tick in
-  t.next_tick <- tick + 1;
+         (t.next_tick - 1) t.mf.last_time t.next_tick time);
+  (* Retire the batch handed out by the previous call. *)
+  outbuf_consume t.root.out t.reported;
+  t.reported <- 0;
+  let est = t.env.est in
+  est.now <- time;
+  if t.next_tick = 0 then est.dt_def <- 0.0
+  else begin
+    est.dt <- time -. t.mf.last_time;
+    est.dt_def <- 1.0
+  end;
+  t.mf.last_time <- time;
+  t.next_tick <- t.next_tick + 1;
+  update_signals t.env.sg snapshot;
   (* Machines first: guards see pre-step modes, the formula sees post-step
      modes — the same convention as Offline.eval. *)
-  let pre = List.map (fun (n, rt) -> (n, State_machine.current rt)) t.machines in
-  let pre_lookup m = List.assoc_opt m pre in
-  List.iter
-    (fun (_, rt) -> ignore (State_machine.step rt ~mode_lookup:pre_lookup snapshot))
-    t.machines;
-  let post = List.map (fun (n, rt) -> (n, State_machine.current rt)) t.machines in
-  let mode_lookup m = List.assoc_opt m post in
-  advance t.root ~tick ~time ~mode_lookup snapshot;
-  Obs.incr m_ticks_online;
-  let resolved = drain t in
-  if Obs.on () then
-    Obs.gauge_max m_pending_high_water (float_of_int (count_pending t.root));
-  resolved
+  let nmach = Array.length t.machines in
+  if nmach > 0 then begin
+    for j = 0 to nmach - 1 do
+      t.pre_modes.(j) <- State_machine.current t.machines.(j)
+    done;
+    for j = 0 to nmach - 1 do
+      ignore
+        (State_machine.step t.machines.(j) ~mode_lookup:t.pre_lookup snapshot)
+    done;
+    for j = 0 to nmach - 1 do
+      t.env.post_modes.(j) <- State_machine.current t.machines.(j)
+    done
+  end;
+  if Obs.on () then begin
+    let t0 = Obs.time_start () in
+    advance t.env t.root time;
+    Obs.observe_since m_step_seconds t0;
+    Obs.incr m_ticks_online;
+    Obs.gauge_max m_pending_high_water (float_of_int (count_pending t.root))
+  end
+  else begin
+    advance t.env t.root time;
+    Obs.incr m_ticks_online
+  end;
+  t.reported <- t.root.out.olen;
+  t.reported
 
-let finalize t =
+let finalize_resolved t =
   if t.finalized then invalid_arg "Online.finalize: already finalized";
   t.finalized <- true;
+  outbuf_consume t.root.out t.reported;
+  t.reported <- 0;
   finalize_node t.root;
-  drain t
+  t.reported <- t.root.out.olen;
+  t.reported
 
-let pending t = count_pending t.root + Queue.length t.root.out
+let check_resolved_index t i =
+  if i < 0 || i >= t.reported then
+    invalid_arg "Online: resolved index out of range"
 
-let modes t = List.map (fun (n, rt) -> (n, State_machine.current rt)) t.machines
+let resolved_tick t i =
+  check_resolved_index t i;
+  t.root.out.obase + i
+
+let resolved_time t i =
+  check_resolved_index t i;
+  t.root.out.ot.(outbuf_phys t.root.out i)
+
+let resolved_verdict t i =
+  check_resolved_index t i;
+  verdict_of_code (Bytes.get t.root.out.ov (outbuf_phys t.root.out i))
+
+let resolved_get t i =
+  check_resolved_index t i;
+  let o = t.root.out in
+  let j = outbuf_phys o i in
+  { tick = o.obase + i;
+    time = o.ot.(j);
+    verdict = verdict_of_code (Bytes.get o.ov j) }
+
+let batch_list t n =
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) (resolved_get t i :: acc)
+  in
+  build (n - 1) []
+
+let step t snapshot = batch_list t (step_resolved t snapshot)
+
+let step_iter t snapshot f =
+  let n = step_resolved t snapshot in
+  for i = 0 to n - 1 do
+    f (resolved_tick t i) (resolved_time t i) (resolved_verdict t i)
+  done
+
+let finalize t = batch_list t (finalize_resolved t)
+
+let pending t = count_pending t.root + (t.root.out.olen - t.reported)
+
+let modes t =
+  Array.to_list
+    (Array.mapi
+       (fun j rt -> (t.machine_names.(j), State_machine.current rt))
+       t.machines)

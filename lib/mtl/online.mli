@@ -9,11 +9,15 @@
     trace length (the property that lets a bolt-on box keep up with a live
     bus).
 
-    Each temporal operator maintains its window incrementally: resolved
-    child verdicts are admitted into (and dropped out of) three sliding
-    counters as the window advances, so the per-tick cost is amortised
-    O(1) per operator — never a re-scan of the buffered window (see
-    DESIGN.md §9).
+    The kernel is incremental per-tick evaluation over flat state
+    (DESIGN.md §12): leaves read per-signal slots refreshed once per tick,
+    each temporal operator slides a three-counter ring-buffer window by
+    monotone index advance, and every node's output is a reusable ring of
+    verdict bytes.  All buffers grow by doubling up to the formula's
+    horizon and are then reused, so a steady-state {!step_resolved} of a
+    machine-free spec performs {e no} minor-heap allocation (asserted by
+    [test/test_online_alloc.ml]); per-operator cost is amortised O(1) per
+    tick.
 
     [step]/[finalize] produce exactly the verdicts {!Offline.eval} assigns,
     in tick order — this equivalence (and the equivalence of both to the
@@ -28,17 +32,66 @@ type resolution = {
   verdict : Verdict.t;
 }
 
-val create : Spec.t -> t
+type shared
+(** A signal environment shared by several monitors running over the same
+    snapshot stream.  Refreshing the per-signal slots from a snapshot is
+    the dominant per-tick cost once the operators are amortised-O(1); with
+    a shared environment the first monitor stepped with a given snapshot
+    (compared by pointer) pays for the refresh and the others reuse it.
+    Sharing is safe for monitors stepped with differing snapshots too —
+    the pointer check simply never hits. *)
+
+val shared_for : Spec.t list -> shared
+(** Environment covering every signal mentioned by any of [specs]. *)
+
+val create : ?shared:shared -> Spec.t -> t
+(** [?shared] must come from a {!shared_for} whose spec list included this
+    spec (more precisely: covers its signals);
+    @raise Invalid_argument otherwise. *)
 
 val step : t -> Monitor_trace.Snapshot.t -> resolution list
 (** Feed the next snapshot (strictly increasing times;
     @raise Invalid_argument otherwise).  Returns every verdict that became
-    decidable, oldest first. *)
+    decidable, oldest first.  Convenience wrapper over {!step_resolved}
+    that allocates the list. *)
 
 val finalize : t -> resolution list
 (** End of log: resolves all still-pending ticks, using [Unknown] for
     obligations the log cannot decide.  The monitor must not be stepped
     afterwards. *)
+
+(** {2 Streaming (non-allocating) interface}
+
+    The zero-allocation path: [step_resolved] returns how many verdicts
+    became decidable; the [resolved_*] accessors index into that batch
+    (0 = oldest).  A batch stays readable until the next
+    [step_resolved]/[finalize_resolved] call retires it.  Ticks resolve in
+    order, so concatenating the batches enumerates ticks [0, 1, 2, ...]
+    with no gaps. *)
+
+val step_resolved : t -> Monitor_trace.Snapshot.t -> int
+(** Like {!step}, but returns only the number of newly resolved ticks and
+    allocates nothing in the steady state (machine-free specs, buffers
+    warmed past the horizon, telemetry off). *)
+
+val finalize_resolved : t -> int
+(** Like {!finalize}: resolves everything still pending and returns the
+    size of the final batch. *)
+
+val resolved_tick : t -> int -> int
+val resolved_time : t -> int -> float
+val resolved_verdict : t -> int -> Verdict.t
+(** Read entry [i] of the current batch.
+    @raise Invalid_argument if [i] is outside the batch returned by the
+    last {!step_resolved}/{!finalize_resolved}. *)
+
+val resolved_get : t -> int -> resolution
+(** Entry [i] of the current batch as a record (allocates). *)
+
+val step_iter :
+  t -> Monitor_trace.Snapshot.t -> (int -> float -> Verdict.t -> unit) -> unit
+(** [step_iter t snap f] steps and calls [f tick time verdict] for each
+    newly resolved tick, oldest first. *)
 
 val pending : t -> int
 (** Ticks whose verdict is not yet resolved. *)

@@ -16,10 +16,15 @@ let decide sem ~nt ~nf ~nu ~complete =
     else Verdict.False
   | Mask -> Verdict.of_bool (nt > 0)
 
-let early sem ~nt ~nf ~nu:_ =
+let early_dominant sem ~nt ~nf =
   match sem with
-  | Universal -> if nf > 0 then Some Verdict.False else None
-  | Existential | Mask -> if nt > 0 then Some Verdict.True else None
+  | Universal -> if nf > 0 then Verdict.False else Verdict.Unknown
+  | Existential | Mask -> if nt > 0 then Verdict.True else Verdict.Unknown
+
+let early sem ~nt ~nf ~nu:_ =
+  match early_dominant sem ~nt ~nf with
+  | Verdict.Unknown -> None
+  | v -> Some v
 
 let check_times who times =
   for i = 1 to Array.length times - 1 do

@@ -28,6 +28,14 @@ val decide : sem -> nt:int -> nf:int -> nu:int -> complete:bool -> Verdict.t
     window endpoints; an incomplete window can only yield the operator's
     dominating verdict or [Unknown]. *)
 
+val early_dominant : sem -> nt:int -> nf:int -> Verdict.t
+(** Non-allocating form of {!early}: the dominating verdict if it is
+    already stable under every extension of the window, [Unknown]
+    otherwise.  [Unknown] is never itself an early verdict, so the
+    encoding is unambiguous.  The incremental online kernel calls this
+    once per pending tick per operator, which is why it must not box an
+    option. *)
+
 val early : sem -> nt:int -> nf:int -> nu:int -> Verdict.t option
 (** The verdict, if it is already stable under {e every} extension of the
     window: more samples can only increase the counts, and completeness

@@ -193,19 +193,26 @@ let check_stale_aware ?preflight ?period ?(k = 3.0) ?hold ~periods specs trace =
 let check_spec_online ?preflight ?period spec trace =
   Option.iter (fun env -> assert_preflight env [ spec ]) preflight;
   let snapshots = snapshots_of_trace ?period trace in
+  let n = List.length snapshots in
   let monitor = Mtl.Online.create spec in
-  let streamed =
-    List.concat_map (fun snap -> Mtl.Online.step monitor snap) snapshots
+  let times = Array.make n 0.0 in
+  let verdicts = Array.make n Mtl.Verdict.Unknown in
+  (* Ticks resolve in order with no gaps, so each batch entry's tick is
+     its destination index — no sort, no intermediate lists. *)
+  let store tick time verdict =
+    times.(tick) <- time;
+    verdicts.(tick) <- verdict
   in
-  let resolutions = streamed @ Mtl.Online.finalize monitor in
-  let ordered =
-    List.sort (fun a b -> Int.compare a.Mtl.Online.tick b.Mtl.Online.tick)
-      resolutions
-  in
-  let times = Array.of_list (List.map (fun r -> r.Mtl.Online.time) ordered) in
-  let verdicts =
-    Array.of_list (List.map (fun r -> r.Mtl.Online.verdict) ordered)
-  in
+  List.iter
+    (fun snap -> Mtl.Online.step_iter monitor snap store)
+    snapshots;
+  let final = Mtl.Online.finalize_resolved monitor in
+  for i = 0 to final - 1 do
+    store
+      (Mtl.Online.resolved_tick monitor i)
+      (Mtl.Online.resolved_time monitor i)
+      (Mtl.Online.resolved_verdict monitor i)
+  done;
   let result =
     outcome_of_verdicts
       ?severity:

@@ -36,7 +36,7 @@ type t = {
   mutex : Mutex.t;
   not_empty : Condition.t;  (* queue gained a job, or the pool is stopping *)
   not_full : Condition.t;   (* queue gained room, or the pool is stopping *)
-  queue : (unit -> unit) Queue.t;
+  queue : (slot -> unit) Queue.t;  (* jobs take the worker's stats slot *)
   capacity : int;
   mutable phase : phase;
   mutable workers : unit Domain.t list;
@@ -68,21 +68,6 @@ let default_num_domains () =
      | Some _ | None -> Domain.recommended_domain_count () - 1)
   | None -> Domain.recommended_domain_count () - 1
 
-(* Run one job in [slot]'s account.  Timing uses the raw monotonic clock
-   rather than the gated [Obs.time_start]: [stats] is a plain API that
-   must report busy time whether or not process telemetry is on, and two
-   clock reads per task are noise against campaign-sized tasks. *)
-let run_job slot job =
-  let t0 = Monitor_obs.Clock.now_ns () in
-  Fun.protect
-    ~finally:(fun () ->
-      let dt = Monitor_obs.Clock.now_ns () - t0 in
-      Atomic.incr slot.s_tasks;
-      ignore (Atomic.fetch_and_add slot.s_busy_ns dt);
-      Obs.incr m_tasks;
-      Obs.observe m_task_seconds (float_of_int dt /. 1e9))
-    job
-
 let worker_loop pool index =
   (* Label trace events from this worker with a stable 1-based id (tid 0
      is the submitting domain). *)
@@ -108,7 +93,7 @@ let worker_loop pool index =
     match job with
     | None -> ()
     | Some job ->
-      run_job slot job;
+      job slot;
       next ()
   in
   next ()
@@ -143,14 +128,27 @@ let num_domains pool = pool.worker_count
 let make_future () =
   { f_mutex = Mutex.create (); f_done = Condition.create (); outcome = Pending }
 
-(* Run the task and publish its outcome; never lets an exception escape
-   into the worker loop. *)
-let fill future task =
+(* Run the task in [slot]'s account and publish its outcome; never lets
+   an exception escape into the worker loop.  Timing uses the raw
+   monotonic clock rather than the gated [Obs.time_start]: [stats] is a
+   plain API that must report busy time whether or not process telemetry
+   is on, and two clock reads per task are noise against campaign-sized
+   tasks.  The counters are bumped *before* the outcome is published:
+   once [await] returns, a [stats] snapshot accounts that task — without
+   this ordering a reader racing the worker's epilogue could see the
+   result but not the count. *)
+let fill slot future task =
+  let t0 = Monitor_obs.Clock.now_ns () in
   let outcome =
     match task () with
     | v -> Value v
     | exception e -> Raised (e, Printexc.get_raw_backtrace ())
   in
+  let dt = Monitor_obs.Clock.now_ns () - t0 in
+  Atomic.incr slot.s_tasks;
+  ignore (Atomic.fetch_and_add slot.s_busy_ns dt);
+  Obs.incr m_tasks;
+  Obs.observe m_task_seconds (float_of_int dt /. 1e9);
   Mutex.lock future.f_mutex;
   future.outcome <- outcome;
   Condition.broadcast future.f_done;
@@ -162,7 +160,7 @@ let submit pool task =
   let future = make_future () in
   if pool.worker_count = 0 then begin
     (match pool.phase with Running -> () | Stopping | Stopped -> refuse ());
-    run_job pool.slots.(0) (fun () -> fill future task)
+    fill pool.slots.(0) future task
   end
   else begin
     Mutex.lock pool.mutex;
@@ -178,7 +176,7 @@ let submit pool task =
         end
     in
     wait_for_room ();
-    Queue.push (fun () -> fill future task) pool.queue;
+    Queue.push (fun slot -> fill slot future task) pool.queue;
     let depth = Queue.length pool.queue in
     if depth > pool.queue_hw then pool.queue_hw <- depth;
     Condition.signal pool.not_empty;

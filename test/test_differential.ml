@@ -309,6 +309,70 @@ let stale_guarded_prop =
         (naive.Offline.times, naive.Offline.verdicts)
       && agree (fast.Offline.times, fast.Offline.verdicts) online)
 
+(* The allocation-free streaming interface and the shared signal
+   environment are pure plumbing: batches read back through the
+   [resolved_*] accessors (or [step_iter]) must enumerate exactly the
+   resolutions the list-returning [step]/[finalize] produce, tick 0
+   upward with no gaps, and several monitors sharing one environment must
+   each see the verdicts they would compute alone.  Two same-spec
+   monitors sharing an env is the sharpest shape: the second one always
+   hits the pointer-equality skip, so any refresh-state leak shows up as
+   a verdict difference. *)
+let run_streamed_shared spec snapshots =
+  let shared = Online.shared_for [ spec ] in
+  let m1 = Online.create ~shared spec in
+  let m2 = Online.create ~shared spec in
+  let ticks1 = ref [] and times1 = ref [] and verdicts1 = ref [] in
+  let record1 tick time verdict =
+    ticks1 := tick :: !ticks1;
+    times1 := time :: !times1;
+    verdicts1 := verdict :: !verdicts1
+  in
+  let ticks2 = ref [] and times2 = ref [] and verdicts2 = ref [] in
+  let drain2 n =
+    for i = 0 to n - 1 do
+      ticks2 := Online.resolved_tick m2 i :: !ticks2;
+      times2 := Online.resolved_time m2 i :: !times2;
+      verdicts2 := Online.resolved_verdict m2 i :: !verdicts2
+    done
+  in
+  List.iter
+    (fun snap ->
+      Online.step_iter m1 snap record1;
+      drain2 (Online.step_resolved m2 snap))
+    snapshots;
+  let final1 = Online.finalize_resolved m1 in
+  for i = 0 to final1 - 1 do
+    record1 (Online.resolved_tick m1 i) (Online.resolved_time m1 i)
+      (Online.resolved_verdict m1 i)
+  done;
+  drain2 (Online.finalize_resolved m2);
+  let pack ticks times verdicts =
+    ( List.rev !ticks,
+      Array.of_list (List.rev !times),
+      Array.of_list (List.rev !verdicts) )
+  in
+  (pack ticks1 times1 verdicts1, pack ticks2 times2 verdicts2)
+
+let streaming_matches_lists case =
+  let spec = Spec.make ~name:"diff" case.formula in
+  let snapshots = snapshots_of_case case in
+  let reference = run_online spec snapshots in
+  let (ticks1, times1, verdicts1), (ticks2, times2, verdicts2) =
+    run_streamed_shared spec snapshots
+  in
+  let contiguous ticks = List.for_all2 ( = ) ticks (List.mapi (fun i _ -> i) ticks) in
+  contiguous ticks1 && contiguous ticks2
+  && agree reference (times1, verdicts1)
+  && agree reference (times2, verdicts2)
+
+let streaming_prop =
+  QCheck.Test.make
+    ~name:"streaming batches = step lists (shared env)"
+    ~count:(max 50 (count / 3))
+    (QCheck.make ~print:print_case ~shrink:shrink_case gen_case)
+    streaming_matches_lists
+
 (* Malformed streams ------------------------------------------------------ *)
 
 let contains_substring haystack needle =
@@ -403,6 +467,7 @@ let suite =
   [ ( "differential",
       [ QCheck_alcotest.to_alcotest differential_prop;
         QCheck_alcotest.to_alcotest stale_guarded_prop;
+        QCheck_alcotest.to_alcotest streaming_prop;
         Alcotest.test_case "malformed stream: identical offline errors" `Quick
           test_bad_stream_messages_match;
         Alcotest.test_case "malformed stream: online error" `Quick
