@@ -147,7 +147,8 @@ let gated =
     "cps_monitor/mtl/offline_long_trace_60s";
     "cps_monitor/mtl/offline_long_trace_600s";
     "cps_monitor/monitor/offline_all_7_rules";
-    "cps_monitor/monitor/set_all_7_rules_online" ]
+    "cps_monitor/monitor/set_all_7_rules_online";
+    "cps_monitor/fleet/ingest_1k_sessions" ]
 
 let median a =
   let a = Array.copy a in

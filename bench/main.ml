@@ -118,33 +118,36 @@ let bench_warmup =
    shapes are slow deterministic oscillations chosen so the rules see a
    non-trivial verdict mix: antecedents arm and disarm, torque changes
    sign, brakes pulse. *)
+let synthetic_signals t =
+  let fv x = Monitor_signal.Value.Float x in
+  let bv x = Monitor_signal.Value.Bool x in
+  let velocity = 25.0 +. (3.0 *. sin (t *. 0.35)) in
+  let torque = 120.0 *. sin (t *. 0.5) in
+  let brake = sin (t *. 0.07) > 0.85 in
+  [ ("Velocity", fv velocity);
+    ("ACCSetSpeed", fv 26.0);
+    ("VehicleAhead", bv (sin (t *. 0.11) > -0.4));
+    ("TargetRange", fv (40.0 +. (25.0 *. sin (t *. 0.17))));
+    ("TargetRelVel", fv (2.0 *. sin (t *. 0.23)));
+    ("SelHeadway", fv 1.0);
+    ("RequestedTorque", fv torque);
+    ("TorqueRequested", bv (torque > 0.0));
+    ("BrakeRequested", bv brake);
+    ("RequestedDecel", fv (if brake then -0.8 else 0.1 *. sin t));
+    ("ServiceACC", bv (sin (t *. 0.013) > 0.95));
+    ("ACCEnabled", bv (sin (t *. 0.013) < 0.97)) ]
+
 let synthetic_snapshots ~duration =
   let period = 0.01 in
   let n = 1 + int_of_float (Float.round (duration /. period)) in
-  let fv x = Monitor_signal.Value.Float x in
-  let bv x = Monitor_signal.Value.Bool x in
   List.init n (fun i ->
       let t = float_of_int i *. period in
-      let velocity = 25.0 +. (3.0 *. sin (t *. 0.35)) in
-      let torque = 120.0 *. sin (t *. 0.5) in
-      let brake = sin (t *. 0.07) > 0.85 in
       let entry v =
         { Monitor_trace.Snapshot.value = v; fresh = true; stale = false;
           last_update = t }
       in
       let entries =
-        [ ("Velocity", entry (fv velocity));
-          ("ACCSetSpeed", entry (fv 26.0));
-          ("VehicleAhead", entry (bv (sin (t *. 0.11) > -0.4)));
-          ("TargetRange", entry (fv (40.0 +. (25.0 *. sin (t *. 0.17)))));
-          ("TargetRelVel", entry (fv (2.0 *. sin (t *. 0.23))));
-          ("SelHeadway", entry (fv 1.0));
-          ("RequestedTorque", entry (fv torque));
-          ("TorqueRequested", entry (bv (torque > 0.0)));
-          ("BrakeRequested", entry (bv brake));
-          ("RequestedDecel", entry (fv (if brake then -0.8 else 0.1 *. sin t)));
-          ("ServiceACC", entry (bv (sin (t *. 0.013) > 0.95)));
-          ("ACCEnabled", entry (bv (sin (t *. 0.013) < 0.97))) ]
+        List.map (fun (name, v) -> (name, entry v)) (synthetic_signals t)
       in
       Monitor_trace.Snapshot.make ~time:t ~entries)
 
@@ -225,6 +228,39 @@ let bench_obs_overhead_on =
          Monitor_obs.Obs.enable_metrics ();
          Fun.protect ~finally:Monitor_obs.Obs.disable_metrics (fun () ->
              offline_all_rules (Lazy.force long_snaps_60))))
+
+(* Fleet serving.  1000 per-VIN sessions multiplexed through one stream
+   server in its serving configuration (shed-oldest overload policy,
+   verdict recording off).  The measured region is the whole session
+   lifecycle: session admission, sharded ingest, incremental per-tick
+   stepping of all seven rules, and the graceful drain.  Gated in CI. *)
+
+let fleet_frames =
+  (* 0.3 s of the synthetic stream above, as raw signal updates. *)
+  lazy
+    (List.init 31 (fun i ->
+         let t = float_of_int i *. 0.01 in
+         (t, synthetic_signals t)))
+
+let bench_fleet_ingest =
+  Test.make ~name:"fleet/ingest_1k_sessions"
+    (Staged.stage (fun () ->
+         let module Fleet = Monitor_fleet.Fleet in
+         let config =
+           { (Fleet.default_config ~specs:Rules.all) with
+             Fleet.record_verdicts = false }
+         in
+         let fleet = Fleet.create config in
+         List.iter
+           (fun (time, updates) ->
+             for i = 0 to 999 do
+               ignore
+                 (Fleet.ingest fleet
+                    { Fleet.vin = Printf.sprintf "VIN%04d" i; time; updates })
+             done;
+             Fleet.pump fleet)
+           (Lazy.force fleet_frames);
+         ignore (Fleet.shutdown fleet)))
 
 (* Monitor micro-benchmarks. --------------------------------------------- *)
 
@@ -501,7 +537,7 @@ let () =
       bench_simplify; bench_monitor_set; bench_ablation_hold;
       bench_snapshots; bench_can_roundtrip; bench_frame_bit_count;
       bench_plant_step; bench_controller_step; bench_obs_overhead_off;
-      bench_obs_overhead_on ]
+      bench_obs_overhead_on; bench_fleet_ingest ]
     @ long_trace_tests
   in
   let selected =

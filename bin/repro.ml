@@ -194,6 +194,31 @@ let lossy_bus_cmd =
        ~doc:"E7: verdict degradation when the monitor's bus tap loses,              delays or corrupts frames")
     Term.(const run $ quick_arg $ seed_arg 2014L $ jobs_arg $ telemetry_term)
 
+(* Re-encode a decoded trace into CAN frames at the recorded times: a
+   frame is emitted whenever the last signal of its message updates —
+   the shape a passive tap on the simulated bus would capture. *)
+let frames_of_trace dbc trace =
+  let frames = ref [] in
+  let store : (string, Monitor_signal.Value.t) Hashtbl.t = Hashtbl.create 32 in
+  Monitor_trace.Trace.iter
+    (fun r ->
+      Hashtbl.replace store r.Monitor_trace.Record.name
+        r.Monitor_trace.Record.value;
+      match
+        Monitor_can.Dbc.message_of_signal dbc r.Monitor_trace.Record.name
+      with
+      | Some m ->
+        let signals = Monitor_can.Message.signal_names m in
+        let last_signal = List.nth signals (List.length signals - 1) in
+        if String.equal last_signal r.Monitor_trace.Record.name then
+          frames :=
+            ( r.Monitor_trace.Record.time,
+              Monitor_can.Message.encode m ~lookup:(Hashtbl.find_opt store) )
+            :: !frames
+      | None -> ())
+    trace;
+  List.rev !frames
+
 let simulate_cmd =
   let scenario_arg =
     let doc =
@@ -245,42 +270,216 @@ let simulate_cmd =
          out
      | `Candump ->
        let result = Monitor_hil.Sim.run config in
-       (* Re-encode the decoded trace into frames at the recorded times. *)
-       let frames = ref [] in
-       let store : (string, Monitor_signal.Value.t) Hashtbl.t =
-         Hashtbl.create 32
+       let frames =
+         frames_of_trace Monitor_fsracc.Io.dbc result.Monitor_hil.Sim.trace
        in
-       let dbc = Monitor_fsracc.Io.dbc in
-       Monitor_trace.Trace.iter
-         (fun r ->
-           Hashtbl.replace store r.Monitor_trace.Record.name
-             r.Monitor_trace.Record.value;
-           (* Emit a frame whenever the last signal of a message updates. *)
-           match
-             Monitor_can.Dbc.message_of_signal dbc r.Monitor_trace.Record.name
-           with
-           | Some m ->
-             let last_signal =
-               List.nth
-                 (Monitor_can.Message.signal_names m)
-                 (List.length (Monitor_can.Message.signal_names m) - 1)
-             in
-             if String.equal last_signal r.Monitor_trace.Record.name then
-               frames :=
-                 ( r.Monitor_trace.Record.time,
-                   Monitor_can.Message.encode m ~lookup:(Hashtbl.find_opt store)
-                 )
-                 :: !frames
-           | None -> ())
-         result.Monitor_hil.Sim.trace;
-       Monitor_can.Candump.save out (List.rev !frames);
-       Printf.printf "wrote %d frames to %s\n" (List.length !frames) out)
+       Monitor_can.Candump.save out frames;
+       Printf.printf "wrote %d frames to %s\n" (List.length frames) out)
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run a scenario and store the captured log (CSV or candump)")
     Term.(const run $ scenario_arg $ out_arg $ road_arg $ format_arg
           $ seed_arg 1L)
+
+let fleet_cmd =
+  let sessions_arg =
+    let doc = "Number of concurrent per-VIN monitor sessions." in
+    Arg.(value & opt int 1000 & info [ "sessions"; "n" ] ~docv:"N" ~doc)
+  in
+  let policy_arg =
+    let doc = "Overload policy for full shard queues: block, shed, reject." in
+    Arg.(value
+         & opt
+             (enum
+                [ ("block", Monitor_fleet.Fleet.Block);
+                  ("shed", Monitor_fleet.Fleet.Shed_oldest);
+                  ("reject", Monitor_fleet.Fleet.Reject) ])
+             Monitor_fleet.Fleet.Shed_oldest
+         & info [ "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let capacity_arg =
+    let doc = "Per-shard ingest queue capacity." in
+    Arg.(value & opt int 1024 & info [ "queue-capacity" ] ~docv:"N" ~doc)
+  in
+  let shards_arg =
+    let doc = "Session shards (VINs are hashed across them)." in
+    Arg.(value & opt int 8 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let loss_arg =
+    let doc =
+      "Per-session lossy tap: each session observes the bus through an \
+       independent Bernoulli($(docv)) channel-fault model, so sessions see \
+       different subsets of the same traffic."
+    in
+    Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P" ~doc)
+  in
+  let crash_arg =
+    let doc =
+      "Chaos: crash $(docv) deterministically-chosen sessions mid-run (the \
+       fleet must quarantine and restart them, not lose them)."
+    in
+    Arg.(value & opt int 0 & info [ "crash" ] ~docv:"N" ~doc)
+  in
+  let verify_arg =
+    let doc =
+      "After the drain, re-run every clean surviving session through the \
+       single-session offline oracle and fail (exit 3) unless the verdict \
+       digests are identical."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let run quick sessions policy capacity shards loss crash verify seed jobs tel
+      =
+    let module Fleet = Monitor_fleet.Fleet in
+    let module Channel = Monitor_inject.Channel in
+    let module Prng = Monitor_util.Prng in
+    let dbc = Monitor_fsracc.Io.dbc in
+    (* One simulated drive, tapped as CAN frames; every session watches
+       (its lossy view of) this same traffic under its own VIN. *)
+    let duration = if quick then 2.0 else 6.0 in
+    let scenario = Monitor_hil.Scenario.steady_follow ~duration () in
+    let config_sim = Monitor_hil.Sim.default_config ~seed scenario in
+    let result = Monitor_hil.Sim.run config_sim in
+    let taps =
+      frames_of_trace dbc result.Monitor_hil.Sim.trace
+      |> List.map (fun (time, frame) ->
+             (time, frame, Monitor_can.Dbc.decode_frame dbc frame))
+    in
+    let vin i = Printf.sprintf "VIN%05d" i in
+    let channels =
+      Array.init sessions (fun i ->
+          let profile =
+            if loss > 0.0 then Channel.Bernoulli loss else Channel.Clean
+          in
+          Channel.model ~seed:(Prng.derive seed (100_000 + i)) profile)
+    in
+    let crash_ticks : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    (if crash > 0 then begin
+       let g = Prng.create (Prng.derive seed 999) in
+       let order = Array.init sessions Fun.id in
+       Prng.shuffle g order;
+       for k = 0 to min crash sessions - 1 do
+         Hashtbl.replace crash_ticks (vin order.(k)) (5 + Prng.int g 100)
+       done
+     end);
+    let config =
+      { (Fleet.default_config ~specs:Monitor_oracle.Rules.all) with
+        Fleet.periods = Monitor_can.Dbc.signal_period dbc;
+        shards;
+        queue_capacity = capacity;
+        overload = policy;
+        seed;
+        record_verdicts = false;
+        inject_fault =
+          (if Hashtbl.length crash_ticks = 0 then None
+           else
+             Some
+               (fun ~vin ~tick ->
+                 match Hashtbl.find_opt crash_ticks vin with
+                 | Some t when t = tick -> failwith "chaos: injected crash"
+                 | Some _ | None -> ())) }
+    in
+    let delivered : (string, (float * (string * Monitor_signal.Value.t) list) list ref)
+        Hashtbl.t =
+      Hashtbl.create (if verify then sessions else 1)
+    in
+    let sent : (string, Fleet.frame list ref) Hashtbl.t =
+      Hashtbl.create (if verify then sessions else 1)
+    in
+    let note_admit (f : Fleet.frame) =
+      if verify then begin
+        let r =
+          match Hashtbl.find_opt sent f.Fleet.vin with
+          | Some r -> r
+          | None ->
+            let r = ref [] in
+            Hashtbl.replace sent f.Fleet.vin r;
+            r
+        in
+        r := f :: !r
+      end
+    in
+    let note_shed (f : Fleet.frame) =
+      if verify then
+        match Hashtbl.find_opt sent f.Fleet.vin with
+        | Some r -> r := List.filter (fun g -> g != f) !r
+        | None -> ()
+    in
+    let summary =
+      with_telemetry tel (fun ~progress ->
+          ignore (progress : string -> Progress.t option);
+          with_pool jobs (fun pool ->
+              let fleet = Fleet.create ~pool config in
+              List.iter
+                (fun (time, frame, updates) ->
+                  for i = 0 to sessions - 1 do
+                    match channels.(i) ~time frame with
+                    | `Deliver ->
+                      let f = { Fleet.vin = vin i; time; updates } in
+                      (match Fleet.ingest fleet f with
+                      | `Accepted -> note_admit f
+                      | `Shed victim -> note_admit f; note_shed victim
+                      | `Rejected -> ())
+                    | `Drop | `Corrupt ->
+                      (* Either way the passive tap never hands the frame
+                         to this session's feed. *)
+                      ()
+                  done;
+                  Fleet.pump fleet)
+                taps;
+              Fleet.shutdown fleet))
+    in
+    ignore
+      (Hashtbl.fold
+         (fun v r () ->
+           Hashtbl.replace delivered v
+             (ref
+                (List.rev_map
+                   (fun (f : Fleet.frame) -> (f.Fleet.time, f.Fleet.updates))
+                   !r)))
+         sent ());
+    print_string (Fleet.render_summary summary);
+    if verify then begin
+      let compared = ref 0 and mismatched = ref 0 and skipped = ref 0 in
+      List.iter
+        (fun (row : Fleet.session_summary) ->
+          match row.Fleet.s_disposition with
+          | Fleet.Served
+            when row.Fleet.s_restarts = 0
+                 && row.Fleet.s_faults = []
+                 && row.Fleet.s_dropped = 0 ->
+            incr compared;
+            let updates =
+              match Hashtbl.find_opt delivered row.Fleet.s_vin with
+              | Some r -> !r
+              | None -> []
+            in
+            let _, digest =
+              Fleet.isolated_stream
+                ~periods:(Monitor_can.Dbc.signal_period dbc)
+                ~specs:Monitor_oracle.Rules.all updates
+            in
+            if digest <> row.Fleet.s_digest then begin
+              incr mismatched;
+              Printf.printf "verify: %s DIVERGED from the isolated oracle\n"
+                row.Fleet.s_vin
+            end
+          | _ -> incr skipped)
+        summary.Fleet.sessions;
+      Printf.printf
+        "verify: %d sessions byte-identical to isolated runs, %d faulted/shed \
+         skipped, %d mismatched\n"
+        (!compared - !mismatched) !skipped !mismatched;
+      if !mismatched > 0 then exit 3
+    end
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Serve many per-VIN monitor sessions from one stream server:            lossy taps, injected session crashes, overload policies,            watchdogs and a graceful drain")
+    Term.(const run $ quick_arg $ sessions_arg $ policy_arg $ capacity_arg
+          $ shards_arg $ loss_arg $ crash_arg $ verify_arg $ seed_arg 2014L
+          $ jobs_arg $ telemetry_term)
 
 let trace_stats_cmd =
   let trace_arg =
@@ -551,5 +750,6 @@ let () =
   let info = Cmd.info "repro" ~doc in
   exit (Cmd.eval (Cmd.group info
     [ figure1_cmd; table1_cmd; vehicle_logs_cmd; multirate_cmd; warmup_cmd;
-      ablation_cmd; lossy_bus_cmd; simulate_cmd; trace_stats_cmd; rules_cmd;
+      ablation_cmd; lossy_bus_cmd; simulate_cmd; fleet_cmd; trace_stats_cmd;
+      rules_cmd;
       lint_cmd; check_cmd; all_cmd ]))

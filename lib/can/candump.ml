@@ -119,14 +119,32 @@ let load ?mode path =
   | source -> of_string ?mode source
   | exception Sys_error msg -> Error msg
 
-let decode dbc frames =
+type undecodable = { time : float; frame : Frame.t; reason : string }
+
+let pp_undecodable ppf u =
+  Fmt.pf ppf "t=%.6f id=0x%X: %s" u.time u.frame.Frame.id u.reason
+
+let decode_diagnosed dbc frames =
   let trace = Monitor_trace.Trace.create () in
+  let skipped = ref [] in
   List.iter
     (fun (time, frame) ->
-      List.iter
-        (fun (name, value) ->
-          Monitor_trace.Trace.append trace
-            (Monitor_trace.Record.make ~time ~name ~value))
-        (Dbc.decode_frame dbc frame))
+      (* A frame whose payload does not match its DBC definition — the
+         truncated final record a live tail produces, or a DLC variant
+         the database does not know — is observation loss, not a crash:
+         skip it and report it, exactly as the lenient line parser skips
+         a mangled line.  [Message.decode] signals the mismatch with
+         [Invalid_argument]. *)
+      match Dbc.decode_frame dbc frame with
+      | decoded ->
+        List.iter
+          (fun (name, value) ->
+            Monitor_trace.Trace.append trace
+              (Monitor_trace.Record.make ~time ~name ~value))
+          decoded
+      | exception Invalid_argument reason ->
+        skipped := { time; frame; reason } :: !skipped)
     frames;
-  trace
+  (trace, List.rev !skipped)
+
+let decode dbc frames = fst (decode_diagnosed dbc frames)

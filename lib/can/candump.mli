@@ -40,6 +40,22 @@ val load :
   ((float * Frame.t) list * diagnostic list, string) result
 (** [of_string] on a file; I/O errors are reported as [Error]. *)
 
+type undecodable = { time : float; frame : Frame.t; reason : string }
+(** A frame skipped during {!decode}: it parsed as a frame but its
+    payload does not match its DBC message definition.  The usual cause
+    is a truncated final record from a live tail — the line ends
+    mid-payload, yielding a short but well-formed frame. *)
+
+val pp_undecodable : Format.formatter -> undecodable -> unit
+
 val decode : Dbc.t -> (float * Frame.t) list -> Monitor_trace.Trace.t
 (** Turn a frame capture into a signal trace via a message database —
-    candump + DBC in, oracle-ready trace out. *)
+    candump + DBC in, oracle-ready trace out.  Frames that cannot be
+    decoded against the database (payload/DLC mismatch, as a truncated
+    live tail produces) are skipped, never raised on; use
+    {!decode_diagnosed} to see what was dropped. *)
+
+val decode_diagnosed :
+  Dbc.t -> (float * Frame.t) list ->
+  Monitor_trace.Trace.t * undecodable list
+(** {!decode} plus the skipped frames, in capture order. *)

@@ -194,39 +194,38 @@ let m_retries =
   Obs.counter ~help:"Campaign runs retried after a failed first attempt"
     "cps_campaign_retries_total"
 
-let guarded ?budget ~label f x =
+let guarded ?budget ?(retries = 1) ~label f x =
   Obs.with_span ~cat:"campaign" ~args:[ ("run", label) ] "campaign.run"
   @@ fun () ->
-  let attempt () =
+  let attempt ~attempt:_ =
     match run_once ?budget f x with
     | Ok y -> Ok y
     | Error msg -> Error (msg, "")
     | exception exn ->
       Error (Printexc.to_string exn, Printexc.get_backtrace ())
   in
-  (* Retry once from the same derived seed: a transient failure (memory
-     pressure, a budget overrun from scheduler noise) gets a second
-     chance; a deterministic one reproduces and is quarantined. *)
-  match attempt () with
+  (* Re-attempt from the same derived seed: a transient failure (memory
+     pressure, a budget overrun from scheduler noise) gets another
+     chance; a deterministic one reproduces and is quarantined.  The
+     attempt loop is the shared Monitor_util.Retry machinery — the same
+     policy the fleet stream server uses to restart crashed sessions. *)
+  match
+    Monitor_util.Retry.with_retries ~retries
+      ~on_retry:(fun ~attempt:_ _ -> Obs.incr m_retries)
+      attempt
+  with
   | Ok y ->
     Obs.incr m_runs_completed;
     Completed y
-  | Error _ -> begin
-    Obs.incr m_retries;
-    match attempt () with
-    | Ok y ->
-      Obs.incr m_runs_completed;
-      Completed y
-    | Error (exn_text, backtrace) ->
-      Obs.incr m_runs_quarantined;
-      Errored { label; exn_text; backtrace; attempts = 2 }
-  end
+  | Error (exn_text, backtrace) ->
+    Obs.incr m_runs_quarantined;
+    Errored { label; exn_text; backtrace; attempts = 1 + max 0 retries }
 
-let guarded_map ?pool ?budget ?on_done ~label f xs =
+let guarded_map ?pool ?budget ?retries ?on_done ~label f xs =
   let step = match on_done with None -> ignore | Some g -> g in
   Monitor_util.Pool.map_list ?pool
     (fun x ->
-      let r = guarded ?budget ~label:(label x) f x in
+      let r = guarded ?budget ?retries ~label:(label x) f x in
       step ();
       r)
     xs

@@ -78,7 +78,8 @@ type error = {
                             the budget-overrun description *)
   backtrace : string;   (** backtrace of the final attempt; [""] unless
                             backtrace recording is on *)
-  attempts : int;       (** how many times the run was tried (2) *)
+  attempts : int;       (** how many times the run was tried
+                            ([retries + 1]) *)
 }
 
 type 'a attempt = Completed of 'a | Errored of error
@@ -92,14 +93,19 @@ val errors : 'a attempt list -> error list
 (** The quarantined failures, in input order. *)
 
 val guarded :
-  ?budget:float -> label:string -> ('a -> 'b) -> 'a -> 'b attempt
-(** One fault-isolated application: retry once, then quarantine.
-    [budget] is wall-clock seconds for a single attempt; an attempt that
-    finishes but took longer counts as a failure (its result is
-    discarded — a run that blows its budget is suspect, not slow-but-ok). *)
+  ?budget:float -> ?retries:int -> label:string -> ('a -> 'b) -> 'a ->
+  'b attempt
+(** One fault-isolated application: retry up to [retries] times (default
+    1, via {!Monitor_util.Retry.with_retries} — the policy shared with
+    the fleet server's session restart), then quarantine.  [retries = 0]
+    quarantines on the first failure.  [budget] is wall-clock seconds
+    for a single attempt; an attempt that finishes but took longer
+    counts as a failure (its result is discarded — a run that blows its
+    budget is suspect, not slow-but-ok). *)
 
 val guarded_map :
-  ?pool:Monitor_util.Pool.t -> ?budget:float -> ?on_done:(unit -> unit) ->
+  ?pool:Monitor_util.Pool.t -> ?budget:float -> ?retries:int ->
+  ?on_done:(unit -> unit) ->
   label:('a -> string) -> ('a -> 'b) -> 'a list -> 'b attempt list
 (** [guarded_map ?pool ~label f xs] is {!Monitor_util.Pool.map_list} with
     every application wrapped in {!guarded}; output order matches input

@@ -180,9 +180,12 @@ let check ?preflight ?period specs trace =
   let cols = Trace.Columns.of_snapshots snaps in
   List.map (fun spec -> outcome_on_snaps spec snaps cols) specs
 
-let check_stale_aware ?preflight ?period ?(k = 3.0) ?hold ~periods specs trace =
+let stale_deadlines ?(k = 3.0) ~periods s =
+  Option.map (fun p -> k *. p) (periods s)
+
+let check_stale_aware ?preflight ?period ?k ?hold ~periods specs trace =
   Option.iter (fun env -> assert_preflight env specs) preflight;
-  let staleness s = Option.map (fun p -> k *. p) (periods s) in
+  let staleness = stale_deadlines ?k ~periods in
   let snaps = Array.of_list (snapshots_of_trace ?period ~staleness trace) in
   let cols = Trace.Columns.of_snapshots snaps in
   List.map

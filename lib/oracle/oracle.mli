@@ -60,6 +60,16 @@ val check :
     per operator in trace length, independent of its window widths.
     [preflight] as in {!check_spec}. *)
 
+val stale_deadlines :
+  ?k:float -> periods:(string -> float option) -> string -> float option
+(** The deadline derivation {!check_stale_aware} applies, as a reusable
+    staleness policy: a signal's maximum acceptable age is
+    [k * its expected period] (default [k = 3]); signals [periods] does
+    not know never go stale.  Pass the result to
+    {!Monitor_trace.Multirate.snapshots} or a
+    {!Monitor_trace.Multirate.Feed} — the fleet stream server derives
+    its per-session watchdogs from exactly this policy. *)
+
 val check_stale_aware :
   ?preflight:Monitor_analysis.Speclint.env ->
   ?period:float -> ?k:float -> ?hold:float ->

@@ -184,6 +184,34 @@ let submit pool task =
   end;
   future
 
+let try_submit pool task =
+  let future = make_future () in
+  if pool.worker_count = 0 then begin
+    (match pool.phase with Running -> () | Stopping | Stopped -> refuse ());
+    fill pool.slots.(0) future task;
+    `Submitted future
+  end
+  else begin
+    Mutex.lock pool.mutex;
+    match pool.phase with
+    | Stopping | Stopped ->
+      Mutex.unlock pool.mutex;
+      refuse ()
+    | Running ->
+      if Queue.length pool.queue >= pool.capacity then begin
+        Mutex.unlock pool.mutex;
+        `Queue_full
+      end
+      else begin
+        Queue.push (fun slot -> fill slot future task) pool.queue;
+        let depth = Queue.length pool.queue in
+        if depth > pool.queue_hw then pool.queue_hw <- depth;
+        Condition.signal pool.not_empty;
+        Mutex.unlock pool.mutex;
+        `Submitted future
+      end
+  end
+
 let await future =
   Mutex.lock future.f_mutex;
   let rec wait () =

@@ -45,6 +45,16 @@ val submit : t -> (unit -> 'a) -> 'a future
     On a zero-worker pool the task runs before [submit] returns.
     @raise Invalid_argument if the pool has been shut down. *)
 
+val try_submit : t -> (unit -> 'a) -> [ `Submitted of 'a future | `Queue_full ]
+(** Non-blocking {!submit}: [`Queue_full] when the bounded job queue has
+    no room, instead of waiting for a worker to make some.  Overload
+    layers (the fleet stream server's [Block]/[Reject] ingest policies)
+    use this to fall back to running work in the calling domain rather
+    than busy-waiting on a saturated pool.  On a zero-worker pool the
+    task runs inline and the future is already complete — a sequential
+    pool is never "full".
+    @raise Invalid_argument if the pool has been shut down. *)
+
 val await : 'a future -> 'a
 (** Blocks until the task finishes.  If the task raised, the exception
     is re-raised here (with its original backtrace) in the awaiting

@@ -1,0 +1,24 @@
+let with_retries ?on_retry ~retries f =
+  let attempts = 1 + max 0 retries in
+  let rec go attempt =
+    match f ~attempt with
+    | Ok _ as ok -> ok
+    | Error e as err ->
+      if attempt >= attempts then err
+      else begin
+        (match on_retry with
+        | Some hook -> hook ~attempt:(attempt + 1) e
+        | None -> ());
+        go (attempt + 1)
+      end
+  in
+  go 1
+
+let backoff ?(factor = 2.0) ?(jitter = 0.25) ~base ~seed attempt =
+  let attempt = max 1 attempt in
+  let scale = base *. (factor ** float_of_int (attempt - 1)) in
+  let j =
+    if jitter <= 0.0 then 0.0
+    else Prng.float (Prng.create (Prng.derive seed attempt)) jitter
+  in
+  scale *. (1.0 +. j)

@@ -1,0 +1,35 @@
+(** One retry/backoff policy for every fault-isolation layer.
+
+    Two subsystems quarantine failing work and give it another chance:
+    {!Monitor_inject.Campaign.guarded} (a campaign run that raised is
+    retried from its same derived seed, then quarantined as an errored
+    row) and the fleet stream server (a crashed per-VIN session is
+    restarted after an exponential backoff, then permanently evicted).
+    Both draw their attempt loop and their backoff schedule from here so
+    the two state machines cannot drift apart.
+
+    Everything is deterministic: the backoff jitter comes from
+    {!Prng.derive}d streams of a caller-supplied seed, never from a
+    clock or a global generator. *)
+
+val with_retries :
+  ?on_retry:(attempt:int -> 'e -> unit) -> retries:int ->
+  (attempt:int -> ('a, 'e) result) -> ('a, 'e) result
+(** [with_retries ~retries f] runs [f ~attempt:1], then — while it keeps
+    returning [Error] — [f ~attempt:2] up to [f ~attempt:(retries + 1)].
+    The first [Ok] wins; the last [Error] is returned after the budget
+    is spent.  [retries < 0] is treated as 0 (a single attempt).
+    [on_retry] fires before each re-attempt with the error that caused
+    it (telemetry hooks; results must not depend on it). *)
+
+val backoff :
+  ?factor:float -> ?jitter:float -> base:float -> seed:int64 -> int -> float
+(** [backoff ~base ~seed attempt] is the delay in seconds to wait
+    before re-attempt number [attempt] (1-based):
+    [base * factor^(attempt - 1) * (1 + j)] where [j] is drawn
+    uniformly from [\[0, jitter)] on the PRNG stream
+    [Prng.derive seed attempt].  Defaults: [factor = 2.0] (exponential
+    doubling), [jitter = 0.25].  The draw is a pure function of
+    [(seed, attempt)], so replaying a schedule replays its delays —
+    the property that keeps fleet restarts byte-deterministic.
+    [attempt < 1] is clamped to 1; [jitter = 0] disables the draw. *)

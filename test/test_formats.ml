@@ -199,6 +199,35 @@ let test_candump_decode_via_dbc () =
         (Float.abs (Value.as_float v -. 25.0) < 3.0)
     | None -> Alcotest.fail "no velocity sample"
 
+let test_candump_truncated_tail_decodes_cleanly () =
+  (* A live tail cut off mid-payload parses as a well-formed short frame;
+     decoding it against the DBC used to raise out of [Candump.decode]
+     and discard the whole capture.  It must be a clean, reported skip. *)
+  let dbc = parse_sample () in
+  let capture =
+    "(0.000000) can0 100#0A00000000000000\n\
+     (0.010000) can0 100#1400000000000000\n\
+     (0.020000) can0 100#28"
+  in
+  match Candump.of_string capture with
+  | Error msg -> Alcotest.failf "short frame must still parse: %s" msg
+  | Ok (frames, _) ->
+    Alcotest.(check int) "three frames parsed" 3 (List.length frames);
+    let trace, skipped = Candump.decode_diagnosed dbc frames in
+    (* two intact frames x two signals per VehicleState message *)
+    Alcotest.(check int) "intact frames decoded" 4
+      (Monitor_trace.Trace.length trace);
+    (match skipped with
+    | [ u ] ->
+      Alcotest.(check (float 1e-9)) "truncated record time" 0.02
+        u.Candump.time;
+      Alcotest.(check bool) "reason recorded" true
+        (String.length u.Candump.reason > 0)
+    | _ -> Alcotest.fail "exactly the truncated frame skipped");
+    (* And the plain [decode] path is the same trace, no exception. *)
+    Alcotest.(check int) "decode never raises" 4
+      (Monitor_trace.Trace.length (Candump.decode dbc frames))
+
 let suite =
   [ ( "formats",
       [ Alcotest.test_case "dbc parse structure" `Quick test_dbc_parse_structure;
@@ -212,4 +241,6 @@ let suite =
         Alcotest.test_case "candump errors" `Quick test_candump_errors;
         Alcotest.test_case "candump lenient" `Quick test_candump_lenient;
         Alcotest.test_case "candump decode pipeline" `Quick
-          test_candump_decode_via_dbc ] ) ]
+          test_candump_decode_via_dbc;
+        Alcotest.test_case "candump truncated tail" `Quick
+          test_candump_truncated_tail_decodes_cleanly ] ) ]

@@ -157,6 +157,40 @@ let test_guarded_quarantines () =
   | Campaign.Completed _ -> Alcotest.fail "must quarantine");
   Alcotest.(check int) "retried exactly once" 2 !calls
 
+let test_guarded_retry_budget_zero () =
+  (* [?retries:0] disables the retry: one attempt, straight to
+     quarantine. *)
+  let calls = ref 0 in
+  (match
+     Campaign.guarded ~retries:0 ~label:"once"
+       (fun () ->
+         incr calls;
+         failwith "no second chance")
+       ()
+   with
+  | Campaign.Errored e ->
+    Alcotest.(check int) "one attempt recorded" 1 e.Campaign.attempts
+  | Campaign.Completed _ -> Alcotest.fail "must quarantine");
+  Alcotest.(check int) "never retried" 1 !calls
+
+let test_guarded_retry_budget_extended () =
+  (* A failure that clears on the fourth try completes under
+     [?retries:3] and would quarantine under the default budget. *)
+  let make_flaky () =
+    let calls = ref 0 in
+    fun x ->
+      incr calls;
+      if !calls < 4 then failwith "still flaky" else x
+  in
+  (match Campaign.guarded ~retries:3 ~label:"stubborn" (make_flaky ()) 9 with
+  | Campaign.Completed 9 -> ()
+  | Campaign.Completed _ | Campaign.Errored _ ->
+    Alcotest.fail "retries:3 should reach the fourth attempt");
+  match Campaign.guarded ~label:"stubborn" (make_flaky ()) 9 with
+  | Campaign.Errored e ->
+    Alcotest.(check int) "default budget is retries:1" 2 e.Campaign.attempts
+  | Campaign.Completed _ -> Alcotest.fail "default budget must quarantine"
+
 let test_guarded_budget () =
   match
     Campaign.guarded ~budget:0.001 ~label:"slow"
@@ -347,6 +381,10 @@ let suite =
         Alcotest.test_case "guarded retry recovers" `Quick
           test_guarded_retry_recovers;
         Alcotest.test_case "guarded quarantines" `Quick test_guarded_quarantines;
+        Alcotest.test_case "guarded retries zero" `Quick
+          test_guarded_retry_budget_zero;
+        Alcotest.test_case "guarded retries extended" `Quick
+          test_guarded_retry_budget_extended;
         Alcotest.test_case "guarded budget" `Quick test_guarded_budget;
         Alcotest.test_case "guarded_map order" `Quick test_guarded_map_order;
         Alcotest.test_case "table1 errored rows" `Slow test_table1_errored_rows;

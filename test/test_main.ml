@@ -11,5 +11,6 @@ let () =
    @ Test_analyze.suite @ Test_bus_errors.suite @ Test_vehicle.suite
    @ Test_fsracc.suite @ Test_hil.suite @ Test_inject.suite
    @ Test_oracle.suite @ Test_vacuity.suite @ Test_speclint.suite
+   @ Test_fleet.suite
    @ Test_online_stress.suite @ Test_online_alloc.suite
    @ Test_experiments.suite @ Test_lossy.suite @ Test_golden.suite)

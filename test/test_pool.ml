@@ -77,6 +77,56 @@ let test_bounded_queue_backpressure () =
         (List.fold_left ( + ) 0 inputs)
         (List.fold_left ( + ) 0 (Pool.map_list ~pool Fun.id inputs)))
 
+let test_try_submit_queue_full () =
+  (* Occupy both workers behind a gate, fill the bounded queue, and the
+     non-blocking submit must report [`Queue_full] instead of waiting;
+     after the gate opens and the queue drains it submits again. *)
+  Pool.with_pool ~num_domains:2 ~queue_capacity:2 (fun pool ->
+      let gate = Atomic.make false in
+      let running = Atomic.make 0 in
+      let blocker () =
+        Atomic.incr running;
+        while not (Atomic.get gate) do
+          Domain.cpu_relax ()
+        done;
+        0
+      in
+      let busy = [ Pool.submit pool blocker; Pool.submit pool blocker ] in
+      while Atomic.get running < 2 do
+        Domain.cpu_relax ()
+      done;
+      let queued = [ Pool.submit pool blocker; Pool.submit pool blocker ] in
+      (match Pool.try_submit pool (fun () -> 1) with
+      | `Queue_full -> ()
+      | `Submitted _ -> Alcotest.fail "full queue must refuse, not enqueue");
+      Atomic.set gate true;
+      List.iter (fun f -> ignore (Pool.await f)) (busy @ queued);
+      match Pool.try_submit pool (fun () -> 41 + 1) with
+      | `Submitted future ->
+        Alcotest.(check int) "submits once drained" 42 (Pool.await future)
+      | `Queue_full -> Alcotest.fail "drained queue must accept")
+
+let test_try_submit_sequential_never_full () =
+  (* A zero-worker pool runs the task inline: it cannot be "full". *)
+  Pool.with_pool ~num_domains:0 (fun pool ->
+      let ran = ref false in
+      match
+        Pool.try_submit pool (fun () ->
+            ran := true;
+            7)
+      with
+      | `Submitted future ->
+        Alcotest.(check bool) "ran inline before return" true !ran;
+        Alcotest.(check int) "result" 7 (Pool.await future)
+      | `Queue_full -> Alcotest.fail "sequential pool is never full")
+
+let test_try_submit_after_shutdown () =
+  let pool = Pool.create ~num_domains:2 () in
+  Pool.shutdown pool;
+  match Pool.try_submit pool (fun () -> 0) with
+  | _ -> Alcotest.fail "try_submit after shutdown must be refused"
+  | exception Invalid_argument _ -> ()
+
 let test_shutdown_idempotent () =
   let pool = Pool.create ~num_domains:2 () in
   let future = Pool.submit pool (fun () -> 5) in
@@ -158,6 +208,12 @@ let suite =
         Alcotest.test_case "sequential fallback" `Quick test_sequential_fallback;
         Alcotest.test_case "bounded queue backpressure" `Quick
           test_bounded_queue_backpressure;
+        Alcotest.test_case "try_submit queue full" `Quick
+          test_try_submit_queue_full;
+        Alcotest.test_case "try_submit sequential" `Quick
+          test_try_submit_sequential_never_full;
+        Alcotest.test_case "try_submit after shutdown" `Quick
+          test_try_submit_after_shutdown;
         Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
         Alcotest.test_case "with_pool cleans up on raise" `Quick
           test_with_pool_shuts_down_on_raise;

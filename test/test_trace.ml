@@ -160,6 +160,108 @@ let csv_roundtrip_prop =
              (fun a b -> Value.equal a.Record.value b.Record.value)
              (Trace.to_list t) (Trace.to_list t'))
 
+(* Multirate.Feed: the incremental snapshot construction the fleet
+   stream server runs on must agree with the offline cutter, record for
+   record, flag for flag. *)
+
+let snapshot_repr (s : Snapshot.t) =
+  Fmt.str "t=%.6f %a"
+    s.Snapshot.time
+    (Fmt.list ~sep:Fmt.sp (fun ppf (n, (e : Snapshot.entry)) ->
+         Fmt.pf ppf "%s=%a fresh=%b stale=%b last=%.6f" n Value.pp
+           e.Snapshot.value e.Snapshot.fresh e.Snapshot.stale
+           e.Snapshot.last_update))
+    s.Snapshot.entries
+
+let feed_all ?staleness ~period records =
+  let feed = Multirate.Feed.create ?staleness ~period () in
+  let out = ref [] in
+  let emit s = out := s :: !out in
+  List.iter
+    (fun (r : Record.t) ->
+      Multirate.Feed.observe feed ~time:r.Record.time
+        [ (r.Record.name, r.Record.value) ]
+        emit)
+    records;
+  Multirate.Feed.drain feed emit;
+  List.rev !out
+
+let test_feed_matches_snapshots_sample () =
+  let t = sample_trace () in
+  let offline = Multirate.snapshots t ~period:0.01 in
+  let online = feed_all ~period:0.01 (Trace.to_list t) in
+  Alcotest.(check (list string))
+    "feed emits exactly the offline snapshots"
+    (List.map snapshot_repr offline)
+    (List.map snapshot_repr online)
+
+let test_feed_advance_is_watchdog () =
+  (* After the last observation, [advance] keeps cutting ticks; with a
+     staleness deadline the held signal goes stale and a later [drain]
+     adds nothing more. *)
+  let staleness _ = Some 0.025 in
+  let feed = Multirate.Feed.create ~staleness ~period:0.01 () in
+  let out = ref [] in
+  let emit s = out := s :: !out in
+  Multirate.Feed.advance feed ~upto:10.0 emit;
+  Alcotest.(check int) "advance before start is a no-op" 0 (List.length !out);
+  Multirate.Feed.observe feed ~time:0.0 [ ("a", fl 1.0) ] emit;
+  Multirate.Feed.advance feed ~upto:0.1 emit;
+  let cut_by_advance = List.length !out in
+  Alcotest.(check bool) "silent ticks still cut" true (cut_by_advance >= 9);
+  Alcotest.(check bool) "held sample went stale" true
+    (Snapshot.is_stale (List.hd !out) "a");
+  Multirate.Feed.drain feed emit;
+  Alcotest.(check int) "drain after advance past the end adds nothing"
+    cut_by_advance (List.length !out)
+
+let feed_equiv_prop =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 40 in
+      let* period = oneofl [ 0.01; 0.05; 0.13 ] in
+      let* deadline = oneofl [ None; Some 0.02; Some 0.1 ] in
+      let* steps =
+        list_size (return n)
+          (triple (int_range 0 30) (oneofl [ "a"; "b"; "c" ])
+             (float_range 0.0 10.0))
+      in
+      return (period, deadline, steps))
+  in
+  QCheck.Test.make ~count:300
+    ~name:"Feed.observe+drain emits exactly Multirate.snapshots"
+    (QCheck.make
+       ~print:(fun (period, deadline, steps) ->
+         Printf.sprintf "period=%.2f deadline=%s n=%d" period
+           (match deadline with
+           | None -> "none"
+           | Some d -> string_of_float d)
+           (List.length steps))
+       gen)
+    (fun (period, deadline, steps) ->
+      (* Gaps between records are multiples of period/3 so cuts land both
+         on, between and far from record times. *)
+      let time = ref 0.0 in
+      let records =
+        List.map
+          (fun (gap, name, v) ->
+            time := !time +. (float_of_int gap *. period /. 3.0);
+            rcd !time name (fl v))
+          steps
+      in
+      let staleness = Option.map (fun d _ -> Some d) deadline in
+      let trace = Trace.of_list records in
+      let offline =
+        Multirate.snapshots ?staleness trace ~period |> List.map snapshot_repr
+      in
+      let online =
+        feed_all ?staleness ~period records |> List.map snapshot_repr
+      in
+      if offline <> online then
+        QCheck.Test.fail_reportf "offline:@.%s@.online:@.%s"
+          (String.concat "\n" offline) (String.concat "\n" online);
+      true)
+
 let suite =
   [ ( "trace",
       [ Alcotest.test_case "append order" `Quick test_append_order;
@@ -178,4 +280,9 @@ let suite =
         Alcotest.test_case "empty trace" `Quick test_empty_trace_snapshots;
         Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
         Alcotest.test_case "csv errors" `Quick test_csv_errors;
+        Alcotest.test_case "feed matches snapshots" `Quick
+          test_feed_matches_snapshots_sample;
+        Alcotest.test_case "feed advance watchdog" `Quick
+          test_feed_advance_is_watchdog;
+        QCheck_alcotest.to_alcotest feed_equiv_prop;
         QCheck_alcotest.to_alcotest csv_roundtrip_prop ] ) ]

@@ -190,6 +190,79 @@ let prng_float_unit =
       let x = Prng.float g bound in
       x >= 0.0 && x < bound)
 
+(* Retry: the one attempt/backoff policy shared by campaign quarantine
+   and fleet session restart. *)
+
+let test_retry_first_try_wins () =
+  let seen = ref [] in
+  (match
+     Monitor_util.Retry.with_retries ~retries:3 (fun ~attempt ->
+         seen := attempt :: !seen;
+         Ok "done")
+   with
+  | Ok "done" -> ()
+  | _ -> Alcotest.fail "expected Ok");
+  Alcotest.(check (list int)) "one attempt" [ 1 ] (List.rev !seen)
+
+let test_retry_recovers_mid_budget () =
+  let hooked = ref [] in
+  (match
+     Monitor_util.Retry.with_retries ~retries:3
+       ~on_retry:(fun ~attempt e -> hooked := (attempt, e) :: !hooked)
+       (fun ~attempt -> if attempt < 3 then Error attempt else Ok attempt)
+   with
+  | Ok 3 -> ()
+  | _ -> Alcotest.fail "should succeed on attempt 3");
+  Alcotest.(check (list (pair int int)))
+    "hook fired before each re-attempt, with the error"
+    [ (2, 1); (3, 2) ]
+    (List.rev !hooked)
+
+let test_retry_budget_exhausted () =
+  let calls = ref 0 in
+  (match
+     Monitor_util.Retry.with_retries ~retries:2 (fun ~attempt ->
+         incr calls;
+         Error attempt)
+   with
+  | Error 3 -> ()
+  | _ -> Alcotest.fail "last error must be returned");
+  Alcotest.(check int) "retries + 1 attempts" 3 !calls;
+  calls := 0;
+  (match
+     Monitor_util.Retry.with_retries ~retries:(-5) (fun ~attempt ->
+         incr calls;
+         Error attempt)
+   with
+  | Error 1 -> ()
+  | _ -> Alcotest.fail "negative budget means one attempt");
+  Alcotest.(check int) "single attempt" 1 !calls
+
+let test_backoff_deterministic_and_bounded () =
+  let base = 0.05 in
+  List.iter
+    (fun attempt ->
+      let d = Monitor_util.Retry.backoff ~base ~seed:42L attempt in
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "attempt %d replays" attempt)
+        d
+        (Monitor_util.Retry.backoff ~base ~seed:42L attempt);
+      let scale = base *. (2.0 ** float_of_int (attempt - 1)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d within jitter band" attempt)
+        true
+        (d >= scale && d < scale *. 1.25))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_backoff_no_jitter_is_exact () =
+  Alcotest.(check (float 1e-12))
+    "pure exponential" 0.4
+    (Monitor_util.Retry.backoff ~jitter:0.0 ~base:0.1 ~seed:1L 3);
+  (* attempt < 1 clamps to the first step *)
+  Alcotest.(check (float 1e-12))
+    "clamped attempt" 0.1
+    (Monitor_util.Retry.backoff ~jitter:0.0 ~base:0.1 ~seed:1L (-2))
+
 let suite =
   [ ( "util",
       [ Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
@@ -215,5 +288,14 @@ let suite =
         Alcotest.test_case "stats basic" `Quick test_stats_basic;
         Alcotest.test_case "stats empty" `Quick test_stats_empty;
         Alcotest.test_case "percentile" `Quick test_percentile;
+        Alcotest.test_case "retry first try wins" `Quick test_retry_first_try_wins;
+        Alcotest.test_case "retry recovers mid-budget" `Quick
+          test_retry_recovers_mid_budget;
+        Alcotest.test_case "retry budget exhausted" `Quick
+          test_retry_budget_exhausted;
+        Alcotest.test_case "backoff deterministic" `Quick
+          test_backoff_deterministic_and_bounded;
+        Alcotest.test_case "backoff no jitter" `Quick
+          test_backoff_no_jitter_is_exact;
         QCheck_alcotest.to_alcotest ring_model;
         QCheck_alcotest.to_alcotest prng_float_unit ] ) ]
