@@ -13,12 +13,21 @@
    slower *relative to everything else*.  A uniform slowdown (slower
    runner) passes; a kernel-specific one fails.
 
+   A second family of checks never looks at the baseline at all: the
+   robust (quantitative) kernels are compared against their boolean
+   counterparts *within the current run* — both numbers come off the
+   same machine seconds apart, so the ratio is machine-independent by
+   construction.  It bounds the price of interval arithmetic: a robust
+   workload may cost at most 1.5x its boolean twin.
+
    Environment:
      BENCH_GATE_SKIP=1            skip the comparison (escape hatch for
                                   intentional regressions; note it in the
                                   PR description)
      BENCH_GATE_TOLERANCE=30      override the allowed normalized
-                                  slowdown, in percent (default 25) *)
+                                  slowdown, in percent (default 25)
+     BENCH_GATE_ROBUST_RATIO=1.8  override the allowed robust/boolean
+                                  ratio (default 1.5) *)
 
 (* The benchmark files are machine-written by [write_json] in
    bench/main.ml — one fixed shape, no arrays, no nesting below two
@@ -146,9 +155,26 @@ let gated =
     "cps_monitor/mtl/online_long_trace_600s";
     "cps_monitor/mtl/offline_long_trace_60s";
     "cps_monitor/mtl/offline_long_trace_600s";
+    "cps_monitor/mtl/offline_robust_60s";
+    "cps_monitor/mtl/offline_robust_600s";
+    "cps_monitor/mtl/online_robust_60s";
+    "cps_monitor/mtl/online_robust_600s";
     "cps_monitor/monitor/offline_all_7_rules";
     "cps_monitor/monitor/set_all_7_rules_online";
     "cps_monitor/fleet/ingest_1k_sessions" ]
+
+(* (robust workload, boolean counterpart) pairs ratio-gated within the
+   current file.  Pairs whose members were not measured (quick mode
+   drops the 600 s traces) are skipped. *)
+let ratio_gates =
+  [ ("cps_monitor/mtl/offline_robust_60s",
+     "cps_monitor/mtl/offline_long_trace_60s");
+    ("cps_monitor/mtl/online_robust_60s",
+     "cps_monitor/mtl/online_long_trace_60s");
+    ("cps_monitor/mtl/offline_robust_600s",
+     "cps_monitor/mtl/offline_long_trace_600s");
+    ("cps_monitor/mtl/online_robust_600s",
+     "cps_monitor/mtl/online_long_trace_600s") ]
 
 let median a =
   let a = Array.copy a in
@@ -223,11 +249,34 @@ let () =
     prerr_endline "bench gate: none of the gated workloads were measured";
     exit 2
   end;
+  let robust_limit =
+    match Sys.getenv_opt "BENCH_GATE_ROBUST_RATIO" with
+    | None -> 1.5
+    | Some s -> (
+      match float_of_string_opt s with
+      | Some r when r > 0.0 -> r
+      | _ ->
+        prerr_endline "bench gate: BENCH_GATE_ROBUST_RATIO must be a number";
+        exit 2)
+  in
+  List.iter
+    (fun (robust_name, boolean_name) ->
+      match
+        (List.assoc_opt robust_name current, List.assoc_opt boolean_name current)
+      with
+      | Some robust, Some boolean when boolean > 0.0 ->
+        let ratio = robust /. boolean in
+        let verdict = if ratio > robust_limit then "FAIL" else "ok" in
+        if ratio > robust_limit then failed := robust_name :: !failed;
+        Printf.printf "  %-4s %6.2fx of boolean     %s (limit %.2fx)\n" verdict
+          ratio robust_name robust_limit
+      | _ -> Printf.printf "  -         (pair not measured)  %s\n" robust_name)
+    ratio_gates;
   if !failed <> [] then begin
     Printf.eprintf
-      "bench gate: %d workload(s) regressed more than %.0f%% beyond the \
-       machine speed factor\n"
-      (List.length !failed) (tolerance *. 100.0);
+      "bench gate: %d workload(s) regressed beyond the machine speed factor \
+       or the robust/boolean ratio limit\n"
+      (List.length !failed);
     Printf.eprintf
       "  (intentional? re-record the baseline or set BENCH_GATE_SKIP=1 \
        with a note in the PR)\n";

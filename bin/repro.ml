@@ -10,6 +10,13 @@ let seed_arg default =
   let doc = "Random seed for the campaign / scenario set." in
   Arg.(value & opt int64 default & info [ "seed" ] ~doc)
 
+let robust_arg =
+  let doc =
+    "Evaluate on the quantitative robustness kernel too: outcomes carry \
+     signed margins, and ranked output sorts most-severe first."
+  in
+  Arg.(value & flag & info [ "robust" ] ~doc)
+
 let jobs_arg =
   let doc =
     "Number of worker domains for parallel campaigns (0 = one per           available core, 1 = sequential).  Output is byte-identical at any           job count."
@@ -105,7 +112,7 @@ let figure1_cmd =
     Term.(const run $ const ())
 
 let table1_cmd =
-  let run quick seed jobs tel =
+  let run quick robust seed jobs tel =
     let base =
       if quick then Monitor_experiments.Table1.quick_options
       else Monitor_experiments.Table1.paper_options
@@ -117,19 +124,24 @@ let table1_cmd =
               Monitor_experiments.Table1.run ~options ~pool
                 ?progress:(progress "table1") ()))
     in
-    print_string (Monitor_experiments.Table1.rendered t)
+    print_string (Monitor_experiments.Table1.rendered t);
+    if robust then begin
+      print_newline ();
+      print_string (Monitor_experiments.Table1.rendered_ranked t)
+    end
   in
   Cmd.v
     (Cmd.info "table1"
        ~doc:"Regenerate Table I: the fault-injection result matrix")
-    Term.(const run $ quick_arg $ seed_arg 2014L $ jobs_arg $ telemetry_term)
+    Term.(const run $ quick_arg $ robust_arg $ seed_arg 2014L $ jobs_arg
+          $ telemetry_term)
 
 let vehicle_logs_cmd =
-  let run seed jobs tel =
+  let run robust seed jobs tel =
     let t =
       with_telemetry tel (fun ~progress ->
           with_pool jobs (fun pool ->
-              Monitor_experiments.Vehicle_logs.run ~seed ~pool
+              Monitor_experiments.Vehicle_logs.run ~seed ~robust ~pool
                 ?progress:(progress "vehicle-logs") ()))
     in
     print_string (Monitor_experiments.Vehicle_logs.rendered t)
@@ -137,7 +149,7 @@ let vehicle_logs_cmd =
   Cmd.v
     (Cmd.info "vehicle-logs"
        ~doc:"Analyse real-vehicle (road-mode) logs with the same rules (SS IV-A)")
-    Term.(const run $ seed_arg 77L $ jobs_arg $ telemetry_term)
+    Term.(const run $ robust_arg $ seed_arg 77L $ jobs_arg $ telemetry_term)
 
 let multirate_cmd =
   let run seed =
@@ -624,7 +636,7 @@ let check_cmd =
     in
     Arg.(value & flag & info [ "lint" ] ~doc)
   in
-  let run trace_file rule_sources spec_file explain lint =
+  let run trace_file rule_sources spec_file explain lint robust =
     match Monitor_trace.Csv.load trace_file with
     | Error msg ->
       prerr_endline ("error: " ^ msg);
@@ -668,7 +680,7 @@ let check_cmd =
           exit 1
         end
       end;
-      let outcomes = Monitor_oracle.Oracle.check specs trace in
+      let outcomes = Monitor_oracle.Oracle.check ~robust specs trace in
       print_endline (Monitor_oracle.Report.render_outcomes outcomes);
       (* A satisfied guarded rule that was never armed proved nothing:
          flag it (SS III-C's coverage concern). *)
@@ -699,7 +711,7 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:"Run the monitor-based oracle over a stored CSV trace")
     Term.(const run $ trace_arg $ rule_arg $ spec_file_arg $ explain_arg
-          $ lint_arg)
+          $ lint_arg $ robust_arg)
 
 let all_cmd =
   let run quick seed jobs tel =

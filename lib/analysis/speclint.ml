@@ -27,6 +27,7 @@ type code =
   | Stale_without_period
   | Warmup_hold_short
   | Stale_deadline_tight
+  | Constant_severity
 
 type severity = Error | Warning | Info
 
@@ -45,7 +46,8 @@ let severity_of = function
   | Unsatisfiable_rule | Tautological_rule -> Error
   | Enum_as_bool | Bool_compared | Always_true_cmp | Always_false_cmp
   | Window_subsamples | Point_window_off_grid | Unbounded_window
-  | Stale_without_period | Warmup_hold_short | Stale_deadline_tight -> Warning
+  | Stale_without_period | Warmup_hold_short | Stale_deadline_tight
+  | Constant_severity -> Warning
   | Decision_latency -> Info
 
 let code_name = function
@@ -66,13 +68,15 @@ let code_name = function
   | Stale_without_period -> "stale-without-period"
   | Warmup_hold_short -> "warmup-hold-short"
   | Stale_deadline_tight -> "stale-deadline-tight"
+  | Constant_severity -> "constant-severity"
 
 let all_codes =
   [ Unknown_signal; Bool_in_arithmetic; Float_as_bool; Enum_as_bool;
     Bool_compared; Always_true_cmp; Always_false_cmp; Vacuous_guard;
     Unsatisfiable_rule; Tautological_rule; Window_subsamples;
     Point_window_off_grid; Unbounded_window; Decision_latency;
-    Stale_without_period; Warmup_hold_short; Stale_deadline_tight ]
+    Stale_without_period; Warmup_hold_short; Stale_deadline_tight;
+    Constant_severity ]
 
 let code_of_name name = List.find_opt (fun c -> code_name c = name) all_codes
 
@@ -445,7 +449,18 @@ let check_env ?(allow = []) env (spec : Spec.t) =
         m.transitions)
     spec.Spec.machines;
   Option.iter
-    (fun e -> ignore (eval_expr env emit "severity" e))
+    (fun e ->
+      ignore (eval_expr env emit "severity" e);
+      (* A severity that reads no signal scores every tick the same: it
+         cannot rank episodes by intensity, and the robustness ranking
+         built on the same magnitude algebra degenerates with it. *)
+      if Spec.severity_signals spec = [] then
+        emit "severity" Constant_severity
+          (Printf.sprintf
+             "severity expression %s reads no signal; every tick scores the \
+              same, so episode intensity and robustness ranking cannot \
+              discriminate"
+             (Fmt.str "%a" Expr.pp e)))
     spec.Spec.severity;
   let vs = eval_formula env emit "formula" spec.Spec.formula in
   let vacuous = ref false in

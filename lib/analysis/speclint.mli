@@ -50,6 +50,9 @@ type code =
   | Stale_without_period  (** [stale] on a signal with no period *)
   | Warmup_hold_short     (** hold shorter than the trigger's period *)
   | Stale_deadline_tight  (** staleness deadline under the period *)
+  | Constant_severity
+      (** a severity expression reading no signal: constant per tick, so
+          episode intensity and the robustness ranking degenerate *)
 
 type severity = Error | Warning | Info
 

@@ -52,7 +52,7 @@ let scenario () =
 let run_one plan =
   let config = Sim.default_config (scenario ()) in
   let result = Sim.run ~plan config in
-  ( Oracle.check Rules.all result.Sim.trace,
+  ( Oracle.check ~robust:true Rules.all result.Sim.trace,
     Vacuity.analyze_many Rules.all result.Sim.trace )
 
 let letters_of_outcomes outcomes_per_run =
@@ -225,6 +225,44 @@ let rendered t =
              (Monitor_util.Stats.max_value s))
          t.latencies)
   ^ Report.render_coverage t.coverage
+
+(* The quantitative view of the same matrix: per rule, the minimum
+   robustness over the row's runs — how close (or how far past) each
+   injection drove each rule, not just whether it crossed. *)
+let ranked_rows t =
+  let rule_count = List.length Rules.all in
+  List.map
+    (fun rr ->
+      let rule_robustness =
+        List.init rule_count (fun i ->
+            List.fold_left
+              (fun acc outcomes ->
+                match (List.nth outcomes i).Oracle.robustness, acc with
+                | Some r, Some a -> Some (Float.min r a)
+                | Some r, None -> Some r
+                | None, acc -> acc)
+              None rr.outcomes_per_run)
+      in
+      let row_robustness =
+        List.fold_left
+          (fun acc r ->
+            match acc, r with
+            | Some a, Some b -> Some (Float.min a b)
+            | None, r | r, None -> r)
+          None rule_robustness
+      in
+      { Report.row =
+          { Report.kind_label = rr.row.Campaign.kind_label;
+            target_label = rr.row.Campaign.target_label;
+            letters = rr.letters };
+        row_robustness;
+        rule_robustness })
+    t.rows
+
+let rendered_ranked t =
+  Report.render_ranked_table
+    ~title:"TABLE I RANKED BY ROBUSTNESS (most severe first)"
+    ~rule_count:(List.length Rules.all) (ranked_rows t)
 
 let rules_ever_violated t =
   let rule_count = List.length Rules.all in

@@ -67,5 +67,14 @@ val run :
 val rendered : t -> string
 (** The Table I text plus the summary lines. *)
 
+val ranked_rows : t -> Monitor_oracle.Report.ranked_row list
+(** The quantitative view of the matrix: each row's per-rule minimum
+    robustness over its runs (the campaign runs with [~robust:true], so
+    every completed outcome carries one). *)
+
+val rendered_ranked : t -> string
+(** {!Monitor_oracle.Report.render_ranked_table} over [ranked_rows] —
+    Table I sorted most-severe first with a min-robustness column. *)
+
 val rules_ever_violated : t -> int list
 (** Rule numbers with at least one V anywhere in the table. *)

@@ -27,7 +27,7 @@ type t = {
 let relaxed_rules () =
   [ Rules.relaxed_rule2 (); Rules.relaxed_rule3 (); Rules.relaxed_rule4 () ]
 
-let run ?(seed = 77L) ?pool ?progress () =
+let run ?(seed = 77L) ?(robust = false) ?pool ?progress () =
   Obs.with_span ~cat:"experiment" "vehicle_logs.run" @@ fun () ->
   let scenarios = Scenario.road_scenarios () in
   Option.iter
@@ -48,7 +48,7 @@ let run ?(seed = 77L) ?pool ?progress () =
             scenario
         in
         let result = Sim.run config in
-        let strict = Oracle.check Rules.all result.Sim.trace in
+        let strict = Oracle.check ~robust Rules.all result.Sim.trace in
         let classification =
           List.map (Intent.classify Intent.transient_tolerant) strict
         in

@@ -30,13 +30,15 @@ type t = {
 }
 
 val run :
-  ?seed:int64 -> ?pool:Monitor_util.Pool.t ->
+  ?seed:int64 -> ?robust:bool -> ?pool:Monitor_util.Pool.t ->
   ?progress:Monitor_obs.Progress.t -> unit -> t
 (** With [?pool], the per-scenario log analyses run in parallel (each
     scenario's seed is derived from its index alone, so the result is
     identical to the sequential one).  Scenario failures are
     fault-isolated via {!Monitor_inject.Campaign.guarded_map};
-    [progress] gets one step per analysed scenario. *)
+    [progress] gets one step per analysed scenario.  [robust] (default
+    false) runs the strict checks on the quantitative kernel too, so the
+    violation details in [rendered] carry min-robustness lines. *)
 
 val rendered : t -> string
 

@@ -31,6 +31,7 @@ type config = {
   evict_idle_after : float option;
   seed : int64;
   record_verdicts : bool;
+  robust_gauges : bool;
   inject_fault : (vin:string -> tick:int -> unit) option;
 }
 
@@ -48,6 +49,7 @@ let default_config ~specs =
     evict_idle_after = None;
     seed = 1L;
     record_verdicts = true;
+    robust_gauges = false;
     inject_fault = None }
 
 type fault = {
@@ -84,6 +86,9 @@ let verdict_line name tick time v =
 type incarnation = {
   feed : Feed.t;
   monitors : Online.t array;
+  rmonitors : Monitor_mtl.Robust.Online.t array;
+      (* quantitative twins of [monitors], same shared signal layout;
+         empty unless [robust_gauges] *)
 }
 
 type session_state =
@@ -121,6 +126,12 @@ type shard = {
   mutable frames_in : int;
   mutable shed : int;
   shed_by_vin : (string, int) Hashtbl.t;
+  r_min : float array;
+      (* per rule, the minimum resolved robustness upper bound seen by any
+         session this shard serves; +inf until one resolves.  Only the
+         shard's worker mutates it (same single-writer discipline as the
+         rest of the shard), so fleet-wide minima are folded at gauge
+         publication without atomics. *)
   g_depth : Monitor_obs.Metrics.gauge;
   g_hw : Monitor_obs.Metrics.gauge;
 }
@@ -184,6 +195,7 @@ type t = {
   m_evicted_faulted : Monitor_obs.Metrics.counter;
   m_evicted_idle : Monitor_obs.Metrics.counter;
   m_availability : Monitor_obs.Metrics.histogram;
+  m_min_rob : Monitor_obs.Metrics.gauge array;  (* per rule *)
 }
 
 (* FNV-1a over the VIN picks the shard; any stable string hash would do,
@@ -212,6 +224,7 @@ let create ?pool (cfg : config) =
           frames_in = 0;
           shed = 0;
           shed_by_vin = Hashtbl.create 8;
+          r_min = Array.make (List.length cfg.specs) Float.infinity;
           g_depth =
             Obs.gauge ~labels ~help:"Fleet shard ingest queue depth"
               "cps_fleet_queue_depth";
@@ -266,14 +279,30 @@ let create ?pool (cfg : config) =
       Obs.histogram
         ~buckets:[| 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 |]
         ~help:"Per-session verdict availability at drain"
-        "cps_fleet_session_availability" }
+        "cps_fleet_session_availability";
+    m_min_rob =
+      Array.of_list
+        (List.map
+           (fun (s : Spec.t) ->
+             Obs.gauge
+               ~labels:[ ("rule", s.Spec.name) ]
+               ~help:
+                 "Fleet-wide minimum resolved robustness upper bound, per rule"
+               "cps_fleet_min_robustness")
+           wrapped_list) }
 
 let shard_of t vin = t.shards.(vin_hash vin mod Array.length t.shards)
 
 let new_incarnation t =
   let shared = Online.shared_for t.wrapped_list in
   { feed = Feed.create ~staleness:t.staleness ~period:t.cfg.period ();
-    monitors = Array.map (fun spec -> Online.create ~shared spec) t.wrapped }
+    monitors = Array.map (fun spec -> Online.create ~shared spec) t.wrapped;
+    rmonitors =
+      (if t.cfg.robust_gauges then
+         Array.map
+           (fun spec -> Monitor_mtl.Robust.Online.create ~shared spec)
+           t.wrapped
+       else [||]) }
 
 let new_session t vin =
   { vin;
@@ -316,7 +345,7 @@ let record t s j tick time v =
    exception here (the chaos hook or a kernel fault) aborts the cut
    mid-flight; the caller quarantines the session and the incarnation is
    discarded, never resumed. *)
-let step t s inc snap =
+let step t (sh : shard) s inc snap =
   let tick = s.ticks in
   s.ticks <- tick + 1;
   (match t.cfg.inject_fault with
@@ -324,9 +353,17 @@ let step t s inc snap =
   | None -> ());
   Array.iteri
     (fun j m -> Online.step_iter m snap (fun rt time v -> record t s j rt time v))
-    inc.monitors
+    inc.monitors;
+  (* Live robustness: fold each rule's resolved upper bounds into the
+     shard's running minimum — how close the fleet has provably come to
+     violating each rule, one float per rule, no per-tick storage. *)
+  Array.iteri
+    (fun j rm ->
+      Monitor_mtl.Robust.Online.step_iter rm snap (fun _rt _time _lo hi ->
+          if hi < sh.r_min.(j) then sh.r_min.(j) <- hi))
+    inc.rmonitors
 
-let finalize_incarnation t s inc =
+let finalize_incarnation t (sh : shard) s inc =
   Array.iteri
     (fun j m ->
       let n = Online.finalize_resolved m in
@@ -336,7 +373,15 @@ let finalize_incarnation t s inc =
           (Online.resolved_time m i)
           (Online.resolved_verdict m i)
       done)
-    inc.monitors
+    inc.monitors;
+  Array.iteri
+    (fun j rm ->
+      let n = Monitor_mtl.Robust.Online.finalize_resolved rm in
+      for i = 0 to n - 1 do
+        let hi = Monitor_mtl.Robust.Online.resolved_hi rm i in
+        if hi < sh.r_min.(j) then sh.r_min.(j) <- hi
+      done)
+    inc.rmonitors
 
 (* Quarantine a crashed session, mirroring Campaign.guarded's Errored
    rows: capture what, where and how often, then either schedule a
@@ -361,16 +406,16 @@ let quarantine t s ~at e =
     s.state <- In_quarantine { until = at +. delay; fault }
   end
 
-let feed_frame t s inc frame =
+let feed_frame t shard s inc frame =
   s.frames <- s.frames + 1;
   s.last_frame <- frame.time;
-  try Feed.observe inc.feed ~time:frame.time frame.updates (step t s inc)
+  try Feed.observe inc.feed ~time:frame.time frame.updates (step t shard s inc)
   with e -> quarantine t s ~at:frame.time e
 
 let deliver t shard (frame : frame) =
   let s = find_session t shard frame.vin in
   match s.state with
-  | Active inc -> feed_frame t s inc frame
+  | Active inc -> feed_frame t shard s inc frame
   | In_quarantine { until; _ } ->
     if frame.time >= until then begin
       (* Backoff served: fresh incarnation, its tick origin re-anchored
@@ -379,7 +424,7 @@ let deliver t shard (frame : frame) =
       Obs.incr t.m_restarts;
       let inc = new_incarnation t in
       s.state <- Active inc;
-      feed_frame t s inc frame
+      feed_frame t shard s inc frame
     end
     else s.dropped <- s.dropped + 1
   | Evicted _ -> s.dropped <- s.dropped + 1
@@ -420,6 +465,21 @@ let live_count t =
 
 let live_sessions = live_count
 
+(* Fleet-wide per-rule minimum over the shard-local accumulators.  Reads
+   from the producer domain only between pumps, when no worker holds a
+   shard. *)
+let rule_min t j =
+  Array.fold_left (fun acc sh -> Float.min acc sh.r_min.(j)) Float.infinity
+    t.shards
+
+let min_robustness t =
+  if not t.cfg.robust_gauges then []
+  else
+    List.filter_map Fun.id
+      (List.init (Array.length t.names) (fun j ->
+           let m = rule_min t j in
+           if m < Float.infinity then Some (t.names.(j), m) else None))
+
 let publish_gauges t =
   if Obs.on () then begin
     Obs.gauge_set t.m_live (float_of_int (live_count t));
@@ -427,7 +487,13 @@ let publish_gauges t =
       (fun sh ->
         Obs.gauge_set sh.g_depth (float_of_int (Queue.length sh.queue));
         Obs.gauge_set sh.g_hw (float_of_int sh.queue_hw))
-      t.shards
+      t.shards;
+    if t.cfg.robust_gauges then
+      Array.iteri
+        (fun j g ->
+          let m = rule_min t j in
+          if m < Float.infinity then Obs.gauge_set g m)
+        t.m_min_rob
   end
 
 let pump t =
@@ -495,7 +561,7 @@ let advance t ~now =
           let s = Hashtbl.find sh.sessions vin in
           (match s.state with
           | Active inc -> (
-            try Feed.advance inc.feed ~upto:now (step t s inc)
+            try Feed.advance inc.feed ~upto:now (step t sh s inc)
             with e -> quarantine t s ~at:now e)
           | In_quarantine _ | Evicted _ -> ());
           match t.cfg.evict_idle_after, s.state with
@@ -504,8 +570,8 @@ let advance t ~now =
             (* Idle watchdog: close the stream out cleanly (drain is a
                no-op when advance already passed the end) and reap. *)
             (try
-               Feed.drain inc.feed (step t s inc);
-               finalize_incarnation t s inc
+               Feed.drain inc.feed (step t sh s inc);
+               finalize_incarnation t sh s inc
              with e -> quarantine t s ~at:now e);
             (match s.state with
             | Active _ ->
@@ -548,8 +614,8 @@ let drain_shard t (shard : shard) =
       match s.state with
       | Active inc -> (
         try
-          Feed.drain inc.feed (step t s inc);
-          finalize_incarnation t s inc
+          Feed.drain inc.feed (step t shard s inc);
+          finalize_incarnation t shard s inc
         with e -> quarantine t s ~at:s.last_frame e)
       | In_quarantine _ | Evicted _ -> ())
     (List.rev shard.roster)

@@ -98,6 +98,14 @@ type config = {
   record_verdicts : bool;
       (** keep each session's rendered verdict stream (memory ∝ ticks);
           the running digest is maintained regardless *)
+  robust_gauges : bool;
+      (** additionally run each session's rules on the quantitative
+          kernel ({!Monitor_mtl.Robust.Online}, same shared signal
+          layout) and keep a fleet-wide per-rule minimum of the resolved
+          robustness upper bounds — published as the
+          [cps_fleet_min_robustness{rule}] gauge and readable via
+          {!min_robustness}.  One float per rule per shard; verdict
+          streams, digests and dispositions are unaffected. *)
   inject_fault : (vin:string -> tick:int -> unit) option;
       (** chaos hook, called before stepping each tick; an exception it
           raises is a session fault like any other.  [tick] counts
@@ -109,7 +117,8 @@ val default_config : specs:Spec.t list -> config
     [stale_hold = None], [shards = 8], [queue_capacity = 1024],
     [overload = Shed_oldest], [max_restarts = 2], [backoff_base = 0.05],
     [evict_idle_after = None], [seed = 1L], [record_verdicts = true],
-    [inject_fault = None].  Override fields with [{ (default_config ...) with ... }]. *)
+    [robust_gauges = false], [inject_fault = None].  Override fields with
+    [{ (default_config ...) with ... }]. *)
 
 (** {1 Serving} *)
 
@@ -149,6 +158,13 @@ val advance : t -> now:float -> unit
 
 val live_sessions : t -> int
 (** Sessions currently active or quarantined (not evicted). *)
+
+val min_robustness : t -> (string * float) list
+(** Per rule (evaluation order), the fleet-wide minimum resolved
+    robustness upper bound so far — the live severity ranking of what the
+    fleet has come closest to violating.  Rules with no resolved tick yet
+    are omitted; always [[]] unless the config set [robust_gauges].
+    Producer-domain read: call between {!pump}s, like {!ingest}. *)
 
 (** {1 Drain and summary} *)
 

@@ -296,6 +296,27 @@ module Naive = struct
   let eval spec snapshots = eval_array spec (Array.of_list snapshots)
 end
 
+(* Boolean evaluation of a bare subformula, exposed for the quantitative
+   kernels in [Robust]: warm-up triggers stay boolean there (so the set of
+   suppressed ticks provably coincides with this module's), and the
+   suppression mask is the same Mask-semantics scan.  [mode_arr] /
+   [mode_lookup_at] come from [run_machines] on the enclosing spec. *)
+let eval_subformula_columns f ~mode_arr cols =
+  let leaf f = Immediate.eval_trace_exn f ~mode_arr cols in
+  eval_formula ~leaf ~scan:window_scan cols.Monitor_trace.Columns.times f
+
+let eval_subformula_naive f ~mode_lookup_at snaps =
+  let times = Array.map (fun s -> s.Monitor_trace.Snapshot.time) snaps in
+  let leaf f = eval_leaf f snaps mode_lookup_at in
+  eval_formula ~leaf ~scan:Naive.window_rescan times f
+
+let mask_scan times verdicts ~hold =
+  window_scan times verdicts ~lo_off:(-.hold) ~hi_off:0.0 ~sem:Window.Mask
+
+let mask_rescan times verdicts ~hold =
+  Naive.window_rescan times verdicts ~lo_off:(-.hold) ~hi_off:0.0
+    ~sem:Window.Mask
+
 let count verdicts v =
   Array.fold_left
     (fun acc x -> if Verdict.equal x v then acc + 1 else acc)

@@ -73,6 +73,45 @@ module Naive : sig
   val eval_array : Spec.t -> Monitor_trace.Snapshot.t array -> outcome
 end
 
+(** {2 Subformula evaluation for the quantitative kernels}
+
+    {!Robust} keeps warm-up triggers boolean — the degree of "has the
+    trigger fired recently" is not meaningful, and evaluating the trigger
+    on this module's kernels guarantees the set of suppressed ticks is
+    identical to the boolean semantics'.  These entry points evaluate a
+    bare subformula (not a whole {!Spec.t}) over an already-built
+    trace view; machine modes come from {!run_machines}. *)
+
+val run_machines :
+  Spec.t -> Monitor_trace.Snapshot.t array -> string array * string array array
+(** Step every state machine of the spec through the whole log once:
+    [(names, modes)] with [modes.(j).(i)] machine [j]'s post-transition
+    state at tick [i].  Guards see pre-step modes, as in {!Online}.  Both
+    arrays are empty when the spec has no machines. *)
+
+val eval_subformula_columns :
+  Formula.t ->
+  mode_arr:(string -> string array option) ->
+  Monitor_trace.Columns.t ->
+  Verdict.t array
+(** Fast-path (columnar) boolean evaluation of one subformula. *)
+
+val eval_subformula_naive :
+  Formula.t ->
+  mode_lookup_at:(int -> string -> string option) ->
+  Monitor_trace.Snapshot.t array ->
+  Verdict.t array
+(** Naive-path boolean evaluation of one subformula (per-tick leaves,
+    window re-scan) — the reference {!Robust.Naive} builds on. *)
+
+val mask_scan : float array -> Verdict.t array -> hold:float -> Verdict.t array
+(** The warm-up suppression window: [True] at tick [k] iff the trigger
+    verdicts contain a [True] in [[t_k - hold, t_k]] (fast kernel). *)
+
+val mask_rescan :
+  float array -> Verdict.t array -> hold:float -> Verdict.t array
+(** Naive form of {!mask_scan} — same outcome, per-tick re-scan. *)
+
 val count : Verdict.t array -> Verdict.t -> int
 
 val satisfied : outcome -> bool

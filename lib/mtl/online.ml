@@ -1115,3 +1115,60 @@ let modes t =
     (Array.mapi
        (fun j rt -> (t.machine_names.(j), State_machine.current rt))
        t.machines)
+
+(* Internal machinery re-exported for the quantitative kernel ------------- *)
+
+(* [Robust.Online] is a second incremental kernel over the same per-tick
+   substrate: the flat signal slots, the slot-compiled expression and
+   immediate-formula evaluators, and (for warm-up masks) whole boolean node
+   trees.  Re-exporting them here keeps exactly one implementation of each
+   — the differential suite then tests the robust kernel's *semantics*, not
+   an accidental reimplementation of leaf evaluation.  [estate] is
+   re-exported concretely (an all-float record) so the robust kernel reads
+   [acc]/[def] as unboxed field loads instead of through float-returning
+   calls. *)
+module Internal = struct
+  type nonrec signals = signals
+
+  type nonrec estate = estate = {
+    mutable acc : float;
+    mutable def : float;
+    mutable dt : float;
+    mutable dt_def : float;
+    mutable now : float;
+  }
+
+  type nonrec env = env
+  type nonrec enode = enode
+  type nonrec vnode = vnode
+  type nonrec node = node
+
+  let signals_make = signals_make
+  let signals_of_shared (s : shared) : signals = s
+  let update_signals = update_signals
+
+  let make_env sg ~nhist ~post_modes =
+    { sg;
+      est = { acc = 0.0; def = 0.0; dt = 0.0; dt_def = 0.0; now = 0.0 };
+      hval = Array.make (max 1 nhist) 0.0;
+      hdef = Bytes.make (max 1 nhist) '\000';
+      post_modes }
+
+  let env_est (e : env) = e.est
+  let machine_index = machine_index
+  let compile_expr = compile_expr
+  let eval_expr = eval_expr
+  let compile_vnode = compile_vnode
+  let eval_vnode = eval_vnode
+  let build = build
+  let advance = advance
+  let finalize_node = finalize_node
+  let out_len (n : node) = n.out.olen
+  let out_base (n : node) = n.out.obase
+
+  let out_verdict (n : node) i =
+    verdict_of_code (Bytes.get n.out.ov (outbuf_phys n.out i))
+
+  let out_time (n : node) i = n.out.ot.(outbuf_phys n.out i)
+  let out_consume (n : node) k = outbuf_consume n.out k
+end

@@ -98,3 +98,62 @@ val pending : t -> int
 
 val modes : t -> (string * string) list
 (** Current (post-step) state of each machine. *)
+
+(** {2 Kernel internals, for {!Robust.Online} only}
+
+    The incremental robust kernel is a second node tree over the same
+    per-tick substrate: flat signal slots, slot-compiled expressions and
+    immediate formulas, and — for warm-up masks — whole boolean node
+    trees.  This module re-exports that substrate so there is exactly one
+    implementation of each piece; it is not a stable API and nothing
+    outside [lib/mtl] should touch it. *)
+module Internal : sig
+  type signals
+  (** The flat per-signal slot state behind {!shared}. *)
+
+  (** All-float scratch record the expression evaluator writes through;
+      concrete so callers read [acc]/[def] as unboxed field loads. *)
+  type estate = {
+    mutable acc : float;     (** value of the node just evaluated *)
+    mutable def : float;     (** 1.0 defined / 0.0 undefined *)
+    mutable dt : float;      (** time since the previous tick *)
+    mutable dt_def : float;  (** 0.0 on the first tick *)
+    mutable now : float;     (** current tick time *)
+  }
+
+  type env
+  type enode
+  type vnode
+  type node
+
+  val signals_make : string list -> signals
+  val signals_of_shared : shared -> signals
+  val update_signals : signals -> Monitor_trace.Snapshot.t -> unit
+
+  val make_env : signals -> nhist:int -> post_modes:string array -> env
+  (** [nhist] must be the final counter value of the [compile_*]/[build]
+      calls whose nodes this environment will evaluate. *)
+
+  val env_est : env -> estate
+  val machine_index : string array -> string -> int
+  val compile_expr : signals -> int ref -> Expr.t -> enode
+  val eval_expr : env -> enode -> unit
+  val compile_vnode : signals -> string array -> int ref -> Formula.t -> vnode
+  val eval_vnode : env -> vnode -> Verdict.t
+  val build : signals -> string array -> int ref -> Formula.t -> node
+
+  val advance : env -> node -> float -> unit
+  (** Feed one tick (the environment's [estate]/slots/modes must already
+      reflect it) and resolve whatever becomes decidable. *)
+
+  val finalize_node : node -> unit
+
+  val out_len : node -> int
+  val out_base : node -> int
+  val out_verdict : node -> int -> Verdict.t
+  val out_time : node -> int -> float
+  val out_consume : node -> int -> unit
+  (** A node's output ring: [out_len] entries, entry [i] being tick
+      [out_base + i]; parents read a prefix and retire it with
+      [out_consume]. *)
+end

@@ -1,0 +1,1307 @@
+(* Quantitative robustness semantics — see robust.mli and DESIGN.md §14.
+
+   Everything here is interval-valued: a tick's robustness is a pair of
+   floats [lo <= hi], degenerate where the trace decides the value
+   exactly, widened to the infinities where partiality (Unknown atoms,
+   staleness suppression, incomplete windows) leaves it open.  The three
+   kernels mirror the boolean ones structurally — same window membership
+   predicates, same completeness criteria, same warm-up machinery — so
+   the differential suite can compare them tick for tick. *)
+
+module Snapshot = Monitor_trace.Snapshot
+module Columns = Monitor_trace.Columns
+
+let time_eps = Window.time_eps
+
+(* Degree algebra --------------------------------------------------------- *)
+
+(* min/max over interval bounds.  Bounds are never NaN (the margin
+   fallback below guarantees it), so the plain comparison form is exact
+   and stays out of the way of the compiler's float unboxing. *)
+let fmin (a : float) (b : float) = if a <= b then a else b
+let fmax (a : float) (b : float) = if a >= b then a else b
+
+let magnitude x = if Float.is_nan x then Float.infinity else Float.abs x
+
+let cmp_holds (op : Formula.comparison) (a : float) (b : float) =
+  match op with
+  | Formula.Lt -> a < b
+  | Formula.Le -> a <= b
+  | Formula.Gt -> a > b
+  | Formula.Ge -> a >= b
+  | Formula.Eq -> a = b
+  | Formula.Ne -> a <> b
+
+let margin op (a : float) (b : float) =
+  let m =
+    match op with
+    | Formula.Lt | Formula.Le -> b -. a
+    | Formula.Gt | Formula.Ge -> a -. b
+    | Formula.Eq -> -.Float.abs (a -. b)
+    | Formula.Ne -> Float.abs (a -. b)
+  in
+  (* A NaN margin (NaN operand, or inf - inf) carries no distance; fall
+     back to the boolean embedding of the atom's IEEE verdict so NaN on
+     the wire still reads as a definite -inf/+inf, never as NaN. *)
+  if Float.is_nan m then
+    if cmp_holds op a b then Float.infinity else Float.neg_infinity
+  else m
+
+type bounds = { lo : float; hi : float }
+
+let unknown_bounds = { lo = Float.neg_infinity; hi = Float.infinity }
+
+let point x = { lo = x; hi = x }
+
+let of_verdict v = { lo = Verdict.robust_lower v; hi = Verdict.robust_upper v }
+
+let verdict_of b =
+  if b.lo > 0.0 then Verdict.True
+  else if b.hi < 0.0 then Verdict.False
+  else Verdict.Unknown
+
+(* Offline kernels --------------------------------------------------------- *)
+
+type outcome = {
+  times : float array;
+  lo : float array;
+  hi : float array;
+}
+
+let min_upper o =
+  let n = Array.length o.hi in
+  if n = 0 then None
+  else begin
+    let m = ref o.hi.(0) in
+    for i = 1 to n - 1 do
+      m := fmin !m o.hi.(i)
+    done;
+    Some !m
+  end
+
+(* Shared evaluation skeleton, the robust analogue of
+   Offline.eval_formula: [leaf] supplies atom bounds, [scan] the window
+   kernel, [bool_sub]/[mask] the boolean trigger evaluation and warm-up
+   suppression window.
+
+   Bound pairs use a point-sharing representation: when a subformula's
+   interval is degenerate at every tick (pure comparisons with no data
+   gaps — the common case), [lo] and [hi] are the SAME array (physical
+   equality), so connectives run one loop over one array instead of two
+   over four.  Every pair is still freshly allocated and uniquely owned
+   per subformula, so connectives overwrite operands in place; they
+   just pick the operand that keeps the result shared when they can.
+   On long traces this halves the float traffic, which is what keeps
+   the robust kernel within the benched ratio of the boolean one. *)
+let combine2 op (la, ha) (lb, hb) =
+  let n = Array.length la in
+  if la == ha && lb == hb then begin
+    for k = 0 to n - 1 do
+      la.(k) <- op la.(k) lb.(k)
+    done;
+    (la, la)
+  end
+  else if la == ha then begin
+    (* Shared left, split right: the result splits; write into b. *)
+    for k = 0 to n - 1 do
+      let x = la.(k) in
+      lb.(k) <- op x lb.(k);
+      hb.(k) <- op x hb.(k)
+    done;
+    (lb, hb)
+  end
+  else begin
+    (* Split left (right shared or split): write into a. *)
+    for k = 0 to n - 1 do
+      la.(k) <- op la.(k) lb.(k);
+      ha.(k) <- op ha.(k) hb.(k)
+    done;
+    (la, ha)
+  end
+
+let eval_formula ~leaf ~scan ~bool_sub ~mask times =
+  let rec eval_f (f : Formula.t) : float array * float array =
+    match f with
+    | Formula.Const _ | Formula.Cmp _ | Formula.Bool_signal _ | Formula.Fresh _
+    | Formula.Known _ | Formula.Stale _ | Formula.In_mode _ -> leaf f
+    | Formula.Not g ->
+      let l, h = eval_f g in
+      if l == h then begin
+        for k = 0 to Array.length l - 1 do
+          l.(k) <- -.l.(k)
+        done;
+        (l, l)
+      end
+      else begin
+        for k = 0 to Array.length l - 1 do
+          let x = l.(k) in
+          l.(k) <- -.h.(k);
+          h.(k) <- -.x
+        done;
+        (l, h)
+      end
+    | Formula.And (a, b) ->
+      let la, ha = eval_f a in
+      combine2 fmin (la, ha) (eval_f b)
+    | Formula.Or (a, b) ->
+      let la, ha = eval_f a in
+      combine2 fmax (la, ha) (eval_f b)
+    | Formula.Implies (a, b) ->
+      (* max(neg a, b); read both of a's bounds before overwriting. *)
+      let la, ha = eval_f a in
+      let lb, hb = eval_f b in
+      let n = Array.length la in
+      if la == ha && lb == hb then begin
+        for k = 0 to n - 1 do
+          la.(k) <- fmax (-.la.(k)) lb.(k)
+        done;
+        (la, la)
+      end
+      else if la == ha then begin
+        for k = 0 to n - 1 do
+          let x = -.la.(k) in
+          lb.(k) <- fmax x lb.(k);
+          hb.(k) <- fmax x hb.(k)
+        done;
+        (lb, hb)
+      end
+      else begin
+        for k = 0 to n - 1 do
+          let na_lo = -.ha.(k) and na_hi = -.la.(k) in
+          la.(k) <- fmax na_lo lb.(k);
+          ha.(k) <- fmax na_hi hb.(k)
+        done;
+        (la, ha)
+      end
+    | Formula.Always (i, g) ->
+      scan times (eval_f g) ~lo_off:i.Formula.lo ~hi_off:i.Formula.hi
+        ~sem:Window.Universal
+    | Formula.Eventually (i, g) ->
+      scan times (eval_f g) ~lo_off:i.Formula.lo ~hi_off:i.Formula.hi
+        ~sem:Window.Existential
+    | Formula.Historically (i, g) ->
+      scan times (eval_f g) ~lo_off:(-.i.Formula.hi) ~hi_off:(-.i.Formula.lo)
+        ~sem:Window.Universal
+    | Formula.Once (i, g) ->
+      scan times (eval_f g) ~lo_off:(-.i.Formula.hi) ~hi_off:(-.i.Formula.lo)
+        ~sem:Window.Existential
+    | Formula.Warmup { trigger; hold; body } ->
+      (* The trigger is evaluated boolean (see the .mli): the set of
+         suppressed ticks is exactly the boolean kernels'. *)
+      let vt = bool_sub trigger in
+      let bl, bh0 = eval_f body in
+      let suppress = mask times vt ~hold in
+      (* Suppression widens to [-inf, +inf], so a shared body must split
+         on the first suppressed tick (and only then). *)
+      let bh = ref bh0 in
+      for k = 0 to Array.length times - 1 do
+        match suppress.(k) with
+        | Verdict.True ->
+          if !bh == bl then bh := Array.copy bl;
+          bl.(k) <- Float.neg_infinity;
+          !bh.(k) <- Float.infinity
+        | Verdict.False | Verdict.Unknown -> ()
+      done;
+      (bl, !bh)
+  in
+  eval_f
+
+(* Fast window kernel: the boolean three-counter slide generalises to a
+   pair of monotonic-wedge deques (sliding-window minimum/maximum).
+   Window membership and completeness are byte-for-byte the boolean
+   window_scan's; only the aggregation differs.  Each tick index is
+   pushed once and popped at most once from each wedge: amortised O(1)
+   per tick, independent of window width.
+
+   A shared (point) child needs only ONE wedge — its lo and hi columns
+   are the same array — and when every window is complete the output is
+   itself a point, so the sharing survives the scan.  The wedge index
+   arrays are pure scratch, reused across every window of one rule via
+   [scratch] instead of reallocated per scan. *)
+type scan_scratch = { mutable ql : int array; mutable qh : int array }
+
+let scratch_make () = { ql = [||]; qh = [||] }
+
+let scratch_arrays scratch n =
+  if Array.length scratch.ql < n then begin
+    scratch.ql <- Array.make n 0;
+    scratch.qh <- Array.make n 0
+  end;
+  (scratch.ql, scratch.qh)
+
+let window_scan scratch times (cl, ch) ~lo_off ~hi_off ~sem =
+  let n = Array.length times in
+  if n = 0 then
+    let out = [||] in
+    (out, out)
+  else begin
+    let shared_child = cl == ch in
+    let universal =
+      match sem with
+      | Window.Universal -> true
+      | Window.Existential | Window.Mask -> false
+    in
+    let t_first = times.(0) and t_last = times.(n - 1) in
+    let first_complete = ref 0 in
+    while
+      !first_complete < n
+      && times.(!first_complete) +. lo_off +. time_eps < t_first
+    do
+      incr first_complete
+    done;
+    let last_complete = ref (n - 1) in
+    while
+      !last_complete >= 0 && times.(!last_complete) +. hi_off -. time_eps > t_last
+    do
+      decr last_complete
+    done;
+    (* Incompleteness widens exactly one side, so only complete-everywhere
+       scans of a point child stay a point. *)
+    let out_lo = Array.make n 0.0 in
+    let out_hi =
+      if shared_child && !first_complete = 0 && !last_complete = n - 1 then
+        out_lo
+      else Array.make n 0.0
+    in
+    (* Index wedges over [cl]/[ch]; front = in-window min (universal)
+       or max (existential).  Tails only ever hold <= n pushes. *)
+    let ql, qh = scratch_arrays scratch n in
+    let ql_head = ref 0 and ql_tail = ref 0 in
+    let qh_head = ref 0 and qh_tail = ref 0 in
+    let push j =
+      if universal then begin
+        while !ql_tail > !ql_head && cl.(ql.(!ql_tail - 1)) >= cl.(j) do
+          decr ql_tail
+        done;
+        if not shared_child then
+          while !qh_tail > !qh_head && ch.(qh.(!qh_tail - 1)) >= ch.(j) do
+            decr qh_tail
+          done
+      end
+      else begin
+        while !ql_tail > !ql_head && cl.(ql.(!ql_tail - 1)) <= cl.(j) do
+          decr ql_tail
+        done;
+        if not shared_child then
+          while !qh_tail > !qh_head && ch.(qh.(!qh_tail - 1)) <= ch.(j) do
+            decr qh_tail
+          done
+      end;
+      ql.(!ql_tail) <- j;
+      incr ql_tail;
+      if not shared_child then begin
+        qh.(!qh_tail) <- j;
+        incr qh_tail
+      end
+    in
+    let identity = if universal then Float.infinity else Float.neg_infinity in
+    let lo = ref 0 and hi = ref (-1) in
+    for k = 0 to n - 1 do
+      let wlo = times.(k) +. lo_off -. time_eps in
+      let whi = times.(k) +. hi_off +. time_eps in
+      while !hi + 1 < n && times.(!hi + 1) <= whi do
+        incr hi;
+        push !hi
+      done;
+      while !lo <= !hi && times.(!lo) < wlo do
+        incr lo
+      done;
+      while !ql_tail > !ql_head && ql.(!ql_head) < !lo do
+        incr ql_head
+      done;
+      let m_lo =
+        if !ql_tail > !ql_head then cl.(ql.(!ql_head)) else identity
+      in
+      let m_hi =
+        if shared_child then m_lo
+        else begin
+          while !qh_tail > !qh_head && qh.(!qh_head) < !lo do
+            incr qh_head
+          done;
+          if !qh_tail > !qh_head then ch.(qh.(!qh_head)) else identity
+        end
+      in
+      let complete = k >= !first_complete && k <= !last_complete in
+      (* When the output is shared every tick is complete, so both
+         decisions collapse to [m_lo = m_hi] and the double write is
+         harmless. *)
+      out_hi.(k) <- Window.decide_robust_hi sem ~m_hi ~complete;
+      out_lo.(k) <- Window.decide_robust_lo sem ~m_lo ~complete
+    done;
+    (out_lo, out_hi)
+  end
+
+(* Bounds of one atom, columnar.  Only comparisons carry a genuine
+   margin; every other atom is the embedding of its boolean verdict.
+   Leaves start as a shared point pair and split lazily at the first
+   tick whose interval is not degenerate (a data gap, or an Unknown
+   verdict) — fully-defined comparison columns, the common case, then
+   cost one array instead of two. *)
+let split_at l i =
+  let h = Array.make (Array.length l) 0.0 in
+  Array.blit l 0 h 0 i;
+  h
+
+let leaf_columns ~mode_arr cols (f : Formula.t) =
+  let n = cols.Columns.n in
+  match f with
+  | Formula.Cmp (ea, op, eb) ->
+    let ca = Expr.eval_trace ea cols and cb = Expr.eval_trace eb cols in
+    let l = Array.make n 0.0 in
+    let h = ref l in
+    for i = 0 to n - 1 do
+      if Expr.defined_at ca i && Expr.defined_at cb i then begin
+        let m = margin op ca.Expr.cv.(i) cb.Expr.cv.(i) in
+        l.(i) <- m;
+        if !h != l then !h.(i) <- m
+      end
+      else begin
+        if !h == l then h := split_at l i;
+        l.(i) <- Float.neg_infinity;
+        !h.(i) <- Float.infinity
+      end
+    done;
+    (l, !h)
+  | _ ->
+    let v = Immediate.eval_trace_exn f ~mode_arr cols in
+    let l = Array.make n 0.0 in
+    let h = ref l in
+    for i = 0 to n - 1 do
+      (match v.(i) with
+      | Verdict.Unknown -> if !h == l then h := split_at l i
+      | Verdict.True | Verdict.False -> ());
+      l.(i) <- Verdict.robust_lower v.(i);
+      if !h != l then !h.(i) <- Verdict.robust_upper v.(i)
+    done;
+    (l, !h)
+
+module Obs = Monitor_obs.Obs
+
+let m_ticks_offline_robust =
+  Obs.counter ~labels:[ ("kernel", "offline_robust") ]
+    ~help:"Ticks evaluated, per kernel" "cps_kernel_ticks_total"
+
+let m_ticks_naive_robust =
+  Obs.counter ~labels:[ ("kernel", "naive_robust") ]
+    ~help:"Ticks evaluated, per kernel" "cps_kernel_ticks_total"
+
+let m_ticks_online_robust =
+  Obs.counter ~labels:[ ("kernel", "online_robust") ]
+    ~help:"Ticks evaluated, per kernel" "cps_kernel_ticks_total"
+
+let eval_columns (spec : Spec.t) snaps cols =
+  Obs.with_span ~cat:"kernel" ~args:[ ("rule", spec.Spec.name) ] "robust.eval"
+  @@ fun () ->
+  let alloc0 = Gc.allocated_bytes () in
+  let n = cols.Columns.n in
+  let times = cols.Columns.times in
+  Window.check_times "Robust.eval" times;
+  let names, modes = Offline.run_machines spec snaps in
+  let mode_arr machine =
+    let m = Array.length names in
+    let rec find j =
+      if j >= m then None
+      else if String.equal names.(j) machine then Some modes.(j)
+      else find (j + 1)
+    in
+    find 0
+  in
+  let lo, hi =
+    if n = 0 then ([||], [||])
+    else
+      eval_formula
+        ~leaf:(leaf_columns ~mode_arr cols)
+        ~scan:(window_scan (scratch_make ()))
+        ~bool_sub:(fun f -> Offline.eval_subformula_columns f ~mode_arr cols)
+        ~mask:Offline.mask_scan times spec.Spec.formula
+  in
+  (* Same pacing note as Offline.eval_columns: these are major-heap
+     allocations the pacer does not count. *)
+  let words = int_of_float ((Gc.allocated_bytes () -. alloc0) /. 8.0) in
+  if words > 0 then ignore (Gc.major_slice words);
+  Obs.add m_ticks_offline_robust n;
+  { times; lo; hi }
+
+let eval_array spec snaps =
+  eval_columns spec snaps (Columns.of_snapshots snaps)
+
+let eval spec snapshots = eval_array spec (Array.of_list snapshots)
+
+let severity_values (spec : Spec.t) cols =
+  match spec.Spec.severity with
+  | None -> None
+  | Some expr ->
+    let col = Expr.eval_trace expr cols in
+    let n = cols.Columns.n in
+    let out = Array.make n None in
+    for i = 0 to n - 1 do
+      if Expr.defined_at col i then out.(i) <- Some (magnitude col.Expr.cv.(i))
+    done;
+    Some out
+
+module Naive = struct
+  (* Executable definition: locate the window afresh at every tick and
+     fold min/max over every sample inside it.  Same membership and
+     completeness predicates as Offline.Naive.window_rescan. *)
+  let window_rescan times (cl, ch) ~lo_off ~hi_off ~sem =
+    let n = Array.length times in
+    let out_lo = Array.make n 0.0 and out_hi = Array.make n 0.0 in
+    let universal =
+      match sem with
+      | Window.Universal -> true
+      | Window.Existential | Window.Mask -> false
+    in
+    let identity = if universal then Float.infinity else Float.neg_infinity in
+    for k = 0 to n - 1 do
+      let wlo = times.(k) +. lo_off -. time_eps in
+      let whi = times.(k) +. hi_off +. time_eps in
+      let j = ref k in
+      while !j > 0 && times.(!j - 1) >= wlo do
+        decr j
+      done;
+      while !j < n && times.(!j) < wlo do
+        incr j
+      done;
+      let m_lo = ref identity and m_hi = ref identity in
+      while !j < n && times.(!j) <= whi do
+        if universal then begin
+          m_lo := fmin !m_lo cl.(!j);
+          m_hi := fmin !m_hi ch.(!j)
+        end
+        else begin
+          m_lo := fmax !m_lo cl.(!j);
+          m_hi := fmax !m_hi ch.(!j)
+        end;
+        incr j
+      done;
+      let complete =
+        times.(n - 1) >= times.(k) +. hi_off -. time_eps
+        && times.(0) <= times.(k) +. lo_off +. time_eps
+      in
+      out_lo.(k) <- Window.decide_robust_lo sem ~m_lo:!m_lo ~complete;
+      out_hi.(k) <- Window.decide_robust_hi sem ~m_hi:!m_hi ~complete
+    done;
+    (out_lo, out_hi)
+
+  (* Per-tick leaves: stateful expression evaluators for comparisons
+     (stepped once per tick, in tick order), immediate boolean
+     evaluation embedded for everything else. *)
+  let leaf_snaps ~mode_lookup_at snaps (f : Formula.t) =
+    let n = Array.length snaps in
+    match f with
+    | Formula.Cmp (ea, op, eb) ->
+      let va = Expr.evaluator ea and vb = Expr.evaluator eb in
+      let l = Array.make n 0.0 and h = Array.make n 0.0 in
+      for i = 0 to n - 1 do
+        let ra = Expr.eval va snaps.(i) in
+        let rb = Expr.eval vb snaps.(i) in
+        match (ra, rb) with
+        | Expr.Defined a, Expr.Defined b ->
+          let m = margin op a b in
+          l.(i) <- m;
+          h.(i) <- m
+        | _, _ ->
+          l.(i) <- Float.neg_infinity;
+          h.(i) <- Float.infinity
+      done;
+      (l, h)
+    | _ ->
+      let v = Offline.eval_subformula_naive f ~mode_lookup_at snaps in
+      let l = Array.make n 0.0 and h = Array.make n 0.0 in
+      for i = 0 to n - 1 do
+        l.(i) <- Verdict.robust_lower v.(i);
+        h.(i) <- Verdict.robust_upper v.(i)
+      done;
+      (l, h)
+
+  let eval_array (spec : Spec.t) snaps =
+    let n = Array.length snaps in
+    let times = Array.map (fun s -> s.Snapshot.time) snaps in
+    Window.check_times "Robust.eval" times;
+    let names, modes = Offline.run_machines spec snaps in
+    let mode_lookup_at i machine =
+      let m = Array.length names in
+      let rec find j =
+        if j >= m then None
+        else if String.equal names.(j) machine then Some modes.(j).(i)
+        else find (j + 1)
+      in
+      find 0
+    in
+    let lo, hi =
+      if n = 0 then ([||], [||])
+      else
+        eval_formula
+          ~leaf:(leaf_snaps ~mode_lookup_at snaps)
+          ~scan:window_rescan
+          ~bool_sub:(fun f ->
+            Offline.eval_subformula_naive f ~mode_lookup_at snaps)
+          ~mask:Offline.mask_rescan times spec.Spec.formula
+    in
+    Obs.add m_ticks_naive_robust n;
+    { times; lo; hi }
+
+  let eval spec snapshots = eval_array spec (Array.of_list snapshots)
+end
+
+(* Online (incremental) kernel --------------------------------------------- *)
+
+type bool_shared = Online.shared
+
+module OI = Online.Internal
+
+module Online = struct
+  (* Bounds ring: the robust counterpart of the boolean kernel's
+     verdict outbuf — per-node resolved (lo, hi, time) triples in tick
+     order, grown by doubling, reused forever after. *)
+  type rbuf = {
+    mutable bl : float array;
+    mutable bh : float array;
+    mutable bt : float array;
+    mutable bhead : int;
+    mutable blen : int;
+    mutable bbase : int;
+  }
+
+  let rbuf_create () =
+    { bl = Array.make 16 0.0; bh = Array.make 16 0.0; bt = Array.make 16 0.0;
+      bhead = 0; blen = 0; bbase = 0 }
+
+  let rbuf_grow b =
+    let cap = Array.length b.bl in
+    let nl = Array.make (cap * 2) 0.0 in
+    let nh = Array.make (cap * 2) 0.0 in
+    let nt = Array.make (cap * 2) 0.0 in
+    for i = 0 to b.blen - 1 do
+      let j = b.bhead + i in
+      let j = if j >= cap then j - cap else j in
+      nl.(i) <- b.bl.(j);
+      nh.(i) <- b.bh.(j);
+      nt.(i) <- b.bt.(j)
+    done;
+    b.bl <- nl;
+    b.bh <- nh;
+    b.bt <- nt;
+    b.bhead <- 0
+
+  let rbuf_reserve b =
+    if b.blen = Array.length b.bl then rbuf_grow b;
+    let j = b.bhead + b.blen in
+    let cap = Array.length b.bl in
+    let j = if j >= cap then j - cap else j in
+    b.blen <- b.blen + 1;
+    j
+
+  let rbuf_phys b i =
+    let j = b.bhead + i in
+    let cap = Array.length b.bl in
+    if j >= cap then j - cap else j
+
+  let rbuf_consume b k =
+    let h = b.bhead + k in
+    let cap = Array.length b.bl in
+    b.bhead <- (if h >= cap then h - cap else h);
+    b.blen <- b.blen - k;
+    b.bbase <- b.bbase + k
+
+  (* Times-only ring for pending ticks. *)
+  type pring = {
+    mutable pv : float array;
+    mutable phead : int;
+    mutable plen : int;
+  }
+
+  let pring_create () = { pv = Array.make 16 0.0; phead = 0; plen = 0 }
+
+  let pring_grow p =
+    let cap = Array.length p.pv in
+    let nv = Array.make (cap * 2) 0.0 in
+    for i = 0 to p.plen - 1 do
+      let j = p.phead + i in
+      let j = if j >= cap then j - cap else j in
+      nv.(i) <- p.pv.(j)
+    done;
+    p.pv <- nv;
+    p.phead <- 0
+
+  let pring_push p t =
+    if p.plen = Array.length p.pv then pring_grow p;
+    let j = p.phead + p.plen in
+    let cap = Array.length p.pv in
+    let j = if j >= cap then j - cap else j in
+    p.pv.(j) <- t;
+    p.plen <- p.plen + 1
+
+  let pring_pop p =
+    let h = p.phead + 1 in
+    let cap = Array.length p.pv in
+    p.phead <- (if h >= cap then h - cap else h);
+    p.plen <- p.plen - 1
+
+  let pring_phys p i =
+    let j = p.phead + i in
+    let cap = Array.length p.pv in
+    if j >= cap then j - cap else j
+
+  (* Monotonic wedge: a (time, value) deque whose values improve
+     strictly toward the back — the streaming form of the offline
+     index wedges.  Front = current in-window min (universal) or max
+     (existential).  Entries are in time order; domination (a later
+     sample at least as good) discards an entry permanently, sound
+     because both window endpoints only ever advance. *)
+  type wedge = {
+    mutable qt : float array;
+    mutable qv : float array;
+    mutable qhead : int;
+    mutable qlen : int;
+  }
+
+  let wedge_create () =
+    { qt = Array.make 16 0.0; qv = Array.make 16 0.0; qhead = 0; qlen = 0 }
+
+  let wedge_phys w i =
+    let j = w.qhead + i in
+    let cap = Array.length w.qt in
+    if j >= cap then j - cap else j
+
+  let wedge_grow w =
+    let cap = Array.length w.qt in
+    let nt = Array.make (cap * 2) 0.0 in
+    let nv = Array.make (cap * 2) 0.0 in
+    for i = 0 to w.qlen - 1 do
+      let j = wedge_phys w i in
+      nt.(i) <- w.qt.(j);
+      nv.(i) <- w.qv.(j)
+    done;
+    w.qt <- nt;
+    w.qv <- nv;
+    w.qhead <- 0
+
+  let wedge_push w ~universal t v =
+    (if universal then
+       while w.qlen > 0 && w.qv.(wedge_phys w (w.qlen - 1)) >= v do
+         w.qlen <- w.qlen - 1
+       done
+     else
+       while w.qlen > 0 && w.qv.(wedge_phys w (w.qlen - 1)) <= v do
+         w.qlen <- w.qlen - 1
+       done);
+    if w.qlen = Array.length w.qt then wedge_grow w;
+    let j = wedge_phys w w.qlen in
+    w.qt.(j) <- t;
+    w.qv.(j) <- v;
+    w.qlen <- w.qlen + 1
+
+  let wedge_drop_front w =
+    let h = w.qhead + 1 in
+    let cap = Array.length w.qt in
+    w.qhead <- (if h >= cap then h - cap else h);
+    w.qlen <- w.qlen - 1
+
+  (* All-float window state, kept in one record so per-tick writes stay
+     unboxed (the same discipline as the boolean kernel's tfloats). *)
+  type rtfloats = {
+    mutable r_child_max : float;
+    mutable r_first_in : float;
+    mutable r_last_in : float;
+    mutable r_wlo : float;
+    mutable r_whi : float;
+  }
+
+  type rnode = { rkind : rkind; rout : rbuf }
+
+  and rkind =
+    | R_leaf of rleaf
+    | R_not of rnode
+    | R_and of rnode * rnode
+    | R_or of rnode * rnode
+    | R_implies of rnode * rnode
+    | R_temporal of rtemporal
+    | R_warmup of { w_mask : OI.node; w_body : rnode }
+        (* The warm-up trigger runs as a whole boolean node tree over
+           [Warmup {trigger; hold; body = Const true}]: its resolved
+           verdict is Unknown exactly on suppressed ticks. *)
+
+  and rleaf =
+    | RL_cmp of Formula.comparison * OI.enode * OI.enode
+    | RL_atom of OI.vnode
+
+  and rtemporal = {
+    r_universal : bool;
+    r_lo_off : float;
+    r_hi_off : float;
+    r_child : rnode;
+    future : rbuf;  (* resolved child samples not yet admitted *)
+    wl : wedge;     (* in-window lower bounds *)
+    wh : wedge;     (* in-window upper bounds *)
+    r_pend : pring; (* pending tick times *)
+    rtf : rtfloats;
+    mutable r_any_child : bool;
+    mutable r_saw_input : bool;
+  }
+
+  let rtemporal ~universal ~lo_off ~hi_off child =
+    { rkind =
+        R_temporal
+          { r_universal = universal; r_lo_off = lo_off; r_hi_off = hi_off;
+            r_child = child;
+            future = rbuf_create ();
+            wl = wedge_create ();
+            wh = wedge_create ();
+            r_pend = pring_create ();
+            rtf =
+              { r_child_max = Float.neg_infinity;
+                r_first_in = 0.0;
+                r_last_in = 0.0;
+                r_wlo = 0.0;
+                r_whi = 0.0 };
+            r_any_child = false;
+            r_saw_input = false };
+      rout = rbuf_create () }
+
+  let rec rbuild sg machine_names nhist (f : Formula.t) : rnode =
+    match f with
+    | Formula.Cmp (a, op, b) ->
+      let ea = OI.compile_expr sg nhist a in
+      let eb = OI.compile_expr sg nhist b in
+      { rkind = R_leaf (RL_cmp (op, ea, eb)); rout = rbuf_create () }
+    | Formula.Const _ | Formula.Bool_signal _ | Formula.Fresh _
+    | Formula.Known _ | Formula.Stale _ | Formula.In_mode _ ->
+      { rkind = R_leaf (RL_atom (OI.compile_vnode sg machine_names nhist f));
+        rout = rbuf_create () }
+    | Formula.Not g ->
+      { rkind = R_not (rbuild sg machine_names nhist g); rout = rbuf_create () }
+    | Formula.And (a, b) ->
+      let l = rbuild sg machine_names nhist a in
+      { rkind = R_and (l, rbuild sg machine_names nhist b);
+        rout = rbuf_create () }
+    | Formula.Or (a, b) ->
+      let l = rbuild sg machine_names nhist a in
+      { rkind = R_or (l, rbuild sg machine_names nhist b);
+        rout = rbuf_create () }
+    | Formula.Implies (a, b) ->
+      let l = rbuild sg machine_names nhist a in
+      { rkind = R_implies (l, rbuild sg machine_names nhist b);
+        rout = rbuf_create () }
+    | Formula.Always (i, g) ->
+      rtemporal ~universal:true ~lo_off:i.Formula.lo ~hi_off:i.Formula.hi
+        (rbuild sg machine_names nhist g)
+    | Formula.Eventually (i, g) ->
+      rtemporal ~universal:false ~lo_off:i.Formula.lo ~hi_off:i.Formula.hi
+        (rbuild sg machine_names nhist g)
+    | Formula.Historically (i, g) ->
+      rtemporal ~universal:true ~lo_off:(-.i.Formula.hi)
+        ~hi_off:(-.i.Formula.lo)
+        (rbuild sg machine_names nhist g)
+    | Formula.Once (i, g) ->
+      rtemporal ~universal:false ~lo_off:(-.i.Formula.hi)
+        ~hi_off:(-.i.Formula.lo)
+        (rbuild sg machine_names nhist g)
+    | Formula.Warmup { trigger; hold; body } ->
+      let w_mask =
+        OI.build sg machine_names nhist
+          (Formula.Warmup { trigger; hold; body = Formula.Const true })
+      in
+      { rkind = R_warmup { w_mask; w_body = rbuild sg machine_names nhist body };
+        rout = rbuf_create () }
+
+  (* Drains --------------------------------------------------------------- *)
+
+  let r_drain_not child out =
+    let c = child.rout in
+    let k = c.blen in
+    if k > 0 then begin
+      for i = 0 to k - 1 do
+        let src = rbuf_phys c i in
+        let nl = -.c.bh.(src) and nh = -.c.bl.(src) and t = c.bt.(src) in
+        let j = rbuf_reserve out in
+        out.bl.(j) <- nl;
+        out.bh.(j) <- nh;
+        out.bt.(j) <- t
+      done;
+      rbuf_consume c k
+    end
+
+  (* op2: 0 = and (min), 1 = or (max), 2 = implies (max of negated
+     left and right). *)
+  let r_drain_bin op2 left right out =
+    let a = left.rout and b = right.rout in
+    let k = if a.blen < b.blen then a.blen else b.blen in
+    if k > 0 then begin
+      assert (a.bbase = b.bbase);
+      for i = 0 to k - 1 do
+        let ai = rbuf_phys a i and bi = rbuf_phys b i in
+        let al = a.bl.(ai) and ah = a.bh.(ai) in
+        let blo = b.bl.(bi) and bhi = b.bh.(bi) in
+        let t = a.bt.(ai) in
+        let ol, oh =
+          if op2 = 0 then (fmin al blo, fmin ah bhi)
+          else if op2 = 1 then (fmax al blo, fmax ah bhi)
+          else (fmax (-.ah) blo, fmax (-.al) bhi)
+        in
+        let j = rbuf_reserve out in
+        out.bl.(j) <- ol;
+        out.bh.(j) <- oh;
+        out.bt.(j) <- t
+      done;
+      rbuf_consume a k;
+      rbuf_consume b k
+    end
+
+  let r_drain_warmup w_mask body out =
+    let m_len = OI.out_len w_mask in
+    let b = body.rout in
+    let k = if m_len < b.blen then m_len else b.blen in
+    if k > 0 then begin
+      assert (OI.out_base w_mask = b.bbase);
+      for i = 0 to k - 1 do
+        let suppressed =
+          match OI.out_verdict w_mask i with
+          | Verdict.Unknown -> true
+          | Verdict.True | Verdict.False -> false
+        in
+        let src = rbuf_phys b i in
+        let ol = if suppressed then Float.neg_infinity else b.bl.(src) in
+        let oh = if suppressed then Float.infinity else b.bh.(src) in
+        let t = b.bt.(src) in
+        let j = rbuf_reserve out in
+        out.bl.(j) <- ol;
+        out.bh.(j) <- oh;
+        out.bt.(j) <- t
+      done;
+      OI.out_consume w_mask k;
+      rbuf_consume b k
+    end
+
+  (* Window machinery ----------------------------------------------------- *)
+
+  let r_absorb_child tp =
+    let c = tp.r_child.rout in
+    let k = c.blen in
+    if k > 0 then begin
+      for i = 0 to k - 1 do
+        let src = rbuf_phys c i in
+        let l = c.bl.(src) and h = c.bh.(src) and t = c.bt.(src) in
+        let j = rbuf_reserve tp.future in
+        tp.future.bl.(j) <- l;
+        tp.future.bh.(j) <- h;
+        tp.future.bt.(j) <- t
+      done;
+      tp.rtf.r_child_max <- c.bt.(rbuf_phys c (k - 1));
+      tp.r_any_child <- true;
+      rbuf_consume c k
+    end
+
+  (* Expire wedge fronts the window start has passed.  Wedge entries
+     are in time order, so only fronts can be stale. *)
+  let r_drop_passed tp =
+    while tp.wl.qlen > 0 && tp.wl.qt.(tp.wl.qhead) < tp.rtf.r_wlo do
+      wedge_drop_front tp.wl
+    done;
+    while tp.wh.qlen > 0 && tp.wh.qt.(tp.wh.qhead) < tp.rtf.r_wlo do
+      wedge_drop_front tp.wh
+    done
+
+  (* Admit resolved samples the window end has reached.  A sample
+     already behind the window start is discarded: the endpoints only
+     advance, so no later window can contain it either. *)
+  let rec r_admit_reached tp =
+    if tp.future.blen > 0 then begin
+      let j = rbuf_phys tp.future 0 in
+      let t = tp.future.bt.(j) in
+      if t <= tp.rtf.r_whi then begin
+        if t >= tp.rtf.r_wlo then begin
+          wedge_push tp.wl ~universal:tp.r_universal t tp.future.bl.(j);
+          wedge_push tp.wh ~universal:tp.r_universal t tp.future.bh.(j)
+        end;
+        rbuf_consume tp.future 1;
+        r_admit_reached tp
+      end
+    end
+
+  (* Unlike the boolean kernel there is no early resolution: a window's
+     robustness needs every sample even once its boolean verdict is
+     stable (one more sample can still lower the min).  A tick resolves
+     exactly when its window closes — the same closure and completeness
+     predicates as the boolean kernel — so past-time operators still
+     resolve at their own tick. *)
+  let rec r_try_resolve ~finalizing tp out =
+    if tp.r_pend.plen > 0 then begin
+      let p_time = tp.r_pend.pv.(tp.r_pend.phead) in
+      tp.rtf.r_wlo <- p_time +. tp.r_lo_off -. time_eps;
+      tp.rtf.r_whi <- p_time +. tp.r_hi_off +. time_eps;
+      r_drop_passed tp;
+      r_admit_reached tp;
+      let window_closed =
+        finalizing
+        || (tp.r_any_child
+           && tp.rtf.r_child_max >= p_time +. tp.r_hi_off -. time_eps)
+      in
+      if window_closed then begin
+        let complete =
+          tp.r_saw_input
+          && tp.rtf.r_last_in >= p_time +. tp.r_hi_off -. time_eps
+          && tp.rtf.r_first_in <= p_time +. tp.r_lo_off +. time_eps
+        in
+        let sem =
+          if tp.r_universal then Window.Universal else Window.Existential
+        in
+        let identity =
+          if tp.r_universal then Float.infinity else Float.neg_infinity
+        in
+        let m_lo = if tp.wl.qlen > 0 then tp.wl.qv.(tp.wl.qhead) else identity in
+        let m_hi = if tp.wh.qlen > 0 then tp.wh.qv.(tp.wh.qhead) else identity in
+        let rl = Window.decide_robust_lo sem ~m_lo ~complete in
+        let rh = Window.decide_robust_hi sem ~m_hi ~complete in
+        pring_pop tp.r_pend;
+        let j = rbuf_reserve out in
+        out.bl.(j) <- rl;
+        out.bh.(j) <- rh;
+        out.bt.(j) <- p_time;
+        r_try_resolve ~finalizing tp out
+      end
+    end
+
+  (* Advancing ------------------------------------------------------------ *)
+
+  let rec radvance env node time =
+    match node.rkind with
+    | R_leaf (RL_cmp (op, ea, eb)) ->
+      let est = OI.env_est env in
+      OI.eval_expr env ea;
+      let a = est.OI.acc and ad = est.OI.def in
+      OI.eval_expr env eb;
+      let b = est.OI.acc and bd = est.OI.def in
+      let o = node.rout in
+      let j = rbuf_reserve o in
+      if ad <> 0.0 && bd <> 0.0 then begin
+        let m = margin op a b in
+        o.bl.(j) <- m;
+        o.bh.(j) <- m
+      end
+      else begin
+        o.bl.(j) <- Float.neg_infinity;
+        o.bh.(j) <- Float.infinity
+      end;
+      o.bt.(j) <- time
+    | R_leaf (RL_atom v) ->
+      let verdict = OI.eval_vnode env v in
+      let o = node.rout in
+      let j = rbuf_reserve o in
+      o.bl.(j) <- Verdict.robust_lower verdict;
+      o.bh.(j) <- Verdict.robust_upper verdict;
+      o.bt.(j) <- time
+    | R_not c ->
+      radvance env c time;
+      r_drain_not c node.rout
+    | R_and (a, b) ->
+      radvance env a time;
+      radvance env b time;
+      r_drain_bin 0 a b node.rout
+    | R_or (a, b) ->
+      radvance env a time;
+      radvance env b time;
+      r_drain_bin 1 a b node.rout
+    | R_implies (a, b) ->
+      radvance env a time;
+      radvance env b time;
+      r_drain_bin 2 a b node.rout
+    | R_temporal tp ->
+      radvance env tp.r_child time;
+      if not tp.r_saw_input then begin
+        tp.rtf.r_first_in <- time;
+        tp.r_saw_input <- true
+      end;
+      tp.rtf.r_last_in <- time;
+      pring_push tp.r_pend time;
+      r_absorb_child tp;
+      r_try_resolve ~finalizing:false tp node.rout
+    | R_warmup { w_mask; w_body } ->
+      OI.advance env w_mask time;
+      radvance env w_body time;
+      r_drain_warmup w_mask w_body node.rout
+
+  let rec rfinalize node =
+    match node.rkind with
+    | R_leaf _ -> ()
+    | R_not c ->
+      rfinalize c;
+      r_drain_not c node.rout
+    | R_and (a, b) ->
+      rfinalize a;
+      rfinalize b;
+      r_drain_bin 0 a b node.rout
+    | R_or (a, b) ->
+      rfinalize a;
+      rfinalize b;
+      r_drain_bin 1 a b node.rout
+    | R_implies (a, b) ->
+      rfinalize a;
+      rfinalize b;
+      r_drain_bin 2 a b node.rout
+    | R_temporal tp ->
+      rfinalize tp.r_child;
+      r_absorb_child tp;
+      r_try_resolve ~finalizing:true tp node.rout
+    | R_warmup { w_mask; w_body } ->
+      OI.finalize_node w_mask;
+      rfinalize w_body;
+      r_drain_warmup w_mask w_body node.rout
+
+  (* Monitor -------------------------------------------------------------- *)
+
+  type mfloats = { mutable last_time : float }
+
+  type t = {
+    spec : Spec.t;
+    root : rnode;
+    env : OI.env;
+    est : OI.estate;
+    sg : OI.signals;
+    machines : State_machine.runtime array;
+    machine_names : string array;
+    pre_modes : string array;
+    post_modes : string array;
+    pre_lookup : string -> string option;
+    mf : mfloats;
+    proot : pring;  (* times of ticks not yet resolved at the root *)
+    mutable next_tick : int;
+    mutable finalized : bool;
+    mutable reported : int;
+  }
+
+  type resolution = { tick : int; time : float; bounds : bounds }
+
+  let create ?shared (spec : Spec.t) =
+    let formula = spec.Spec.formula in
+    let sg =
+      match shared with
+      | Some s -> OI.signals_of_shared s
+      | None -> OI.signals_make (Formula.signals formula)
+    in
+    let machines =
+      Array.of_list (List.map State_machine.start spec.Spec.machines)
+    in
+    let machine_names =
+      Array.of_list
+        (List.map
+           (fun (m : State_machine.t) -> m.State_machine.name)
+           spec.Spec.machines)
+    in
+    let nmach = Array.length machines in
+    let pre_modes = Array.make nmach "" in
+    let post_modes = Array.make nmach "" in
+    Array.iteri
+      (fun j rt ->
+        pre_modes.(j) <- State_machine.current rt;
+        post_modes.(j) <- State_machine.current rt)
+      machines;
+    let pre_lookup name =
+      let j = OI.machine_index machine_names name in
+      if j < 0 then None else Some pre_modes.(j)
+    in
+    let nhist = ref 0 in
+    let root = rbuild sg machine_names nhist formula in
+    let env = OI.make_env sg ~nhist:!nhist ~post_modes in
+    { spec; root; env; est = OI.env_est env; sg; machines; machine_names;
+      pre_modes; post_modes; pre_lookup;
+      mf = { last_time = Float.neg_infinity };
+      proot = pring_create ();
+      next_tick = 0; finalized = false; reported = 0 }
+
+  let step_resolved t snapshot =
+    if t.finalized then
+      invalid_arg "Robust.Online.step: monitor already finalized";
+    let time = snapshot.Snapshot.time in
+    if time <= t.mf.last_time then
+      invalid_arg
+        (Printf.sprintf
+           "Robust.Online.step: snapshot times must be strictly increasing \
+            (tick %d has time %.9g, tick %d has time %.9g)"
+           (t.next_tick - 1) t.mf.last_time t.next_tick time);
+    rbuf_consume t.root.rout t.reported;
+    t.reported <- 0;
+    let est = t.est in
+    est.OI.now <- time;
+    if t.next_tick = 0 then est.OI.dt_def <- 0.0
+    else begin
+      est.OI.dt <- time -. t.mf.last_time;
+      est.OI.dt_def <- 1.0
+    end;
+    t.mf.last_time <- time;
+    t.next_tick <- t.next_tick + 1;
+    OI.update_signals t.sg snapshot;
+    (* Machines first: guards see pre-step modes, the formula post-step
+       modes — the same convention as the boolean kernels. *)
+    let nmach = Array.length t.machines in
+    if nmach > 0 then begin
+      for j = 0 to nmach - 1 do
+        t.pre_modes.(j) <- State_machine.current t.machines.(j)
+      done;
+      for j = 0 to nmach - 1 do
+        ignore
+          (State_machine.step t.machines.(j) ~mode_lookup:t.pre_lookup snapshot)
+      done;
+      for j = 0 to nmach - 1 do
+        t.post_modes.(j) <- State_machine.current t.machines.(j)
+      done
+    end;
+    pring_push t.proot time;
+    radvance t.env t.root time;
+    Obs.incr m_ticks_online_robust;
+    let n = t.root.rout.blen in
+    for _ = 1 to n do
+      pring_pop t.proot
+    done;
+    t.reported <- n;
+    n
+
+  let finalize_resolved t =
+    if t.finalized then invalid_arg "Robust.Online.finalize: already finalized";
+    t.finalized <- true;
+    rbuf_consume t.root.rout t.reported;
+    t.reported <- 0;
+    rfinalize t.root;
+    let n = t.root.rout.blen in
+    for _ = 1 to n do
+      pring_pop t.proot
+    done;
+    t.reported <- n;
+    n
+
+  let check_resolved_index t i =
+    if i < 0 || i >= t.reported then
+      invalid_arg "Robust.Online: resolved index out of range"
+
+  let resolved_tick t i =
+    check_resolved_index t i;
+    t.root.rout.bbase + i
+
+  let resolved_time t i =
+    check_resolved_index t i;
+    t.root.rout.bt.(rbuf_phys t.root.rout i)
+
+  let resolved_lo t i =
+    check_resolved_index t i;
+    t.root.rout.bl.(rbuf_phys t.root.rout i)
+
+  let resolved_hi t i =
+    check_resolved_index t i;
+    t.root.rout.bh.(rbuf_phys t.root.rout i)
+
+  let resolved_get t i =
+    check_resolved_index t i;
+    let o = t.root.rout in
+    let j = rbuf_phys o i in
+    { tick = o.bbase + i;
+      time = o.bt.(j);
+      bounds = { lo = o.bl.(j); hi = o.bh.(j) } }
+
+  let batch_list t n =
+    let rec build i acc =
+      if i < 0 then acc else build (i - 1) (resolved_get t i :: acc)
+    in
+    build (n - 1) []
+
+  let step t snapshot = batch_list t (step_resolved t snapshot)
+
+  let finalize t = batch_list t (finalize_resolved t)
+
+  let step_iter t snapshot f =
+    let n = step_resolved t snapshot in
+    for i = 0 to n - 1 do
+      f (resolved_tick t i) (resolved_time t i) (resolved_lo t i)
+        (resolved_hi t i)
+    done
+
+  let pending t = t.proot.plen + (t.root.rout.blen - t.reported)
+
+  (* Sound bracketing interval for one unresolved tick: what is already
+     known from resolved subresults, widened where the future can still
+     move the value.  Cold path — recursive walk, allocates freely. *)
+  let rec node_bounds nd (tick : int) (time : float) : float * float =
+    let o = nd.rout in
+    if tick >= o.bbase && tick < o.bbase + o.blen then begin
+      let j = rbuf_phys o (tick - o.bbase) in
+      (o.bl.(j), o.bh.(j))
+    end
+    else if tick < o.bbase then (Float.neg_infinity, Float.infinity)
+    else
+      match nd.rkind with
+      | R_leaf _ -> (Float.neg_infinity, Float.infinity)
+      | R_not c ->
+        let l, h = node_bounds c tick time in
+        (-.h, -.l)
+      | R_and (a, b) ->
+        let la, ha = node_bounds a tick time in
+        let lb, hb = node_bounds b tick time in
+        (fmin la lb, fmin ha hb)
+      | R_or (a, b) ->
+        let la, ha = node_bounds a tick time in
+        let lb, hb = node_bounds b tick time in
+        (fmax la lb, fmax ha hb)
+      | R_implies (a, b) ->
+        let la, ha = node_bounds a tick time in
+        let lb, hb = node_bounds b tick time in
+        (fmax (-.ha) lb, fmax (-.la) hb)
+      | R_warmup { w_mask; w_body } ->
+        let mb = OI.out_base w_mask and ml = OI.out_len w_mask in
+        if tick >= mb && tick < mb + ml then begin
+          match OI.out_verdict w_mask (tick - mb) with
+          | Verdict.Unknown -> (Float.neg_infinity, Float.infinity)
+          | Verdict.True | Verdict.False -> node_bounds w_body tick time
+        end
+        else (Float.neg_infinity, Float.infinity)
+      | R_temporal tp ->
+        (* Already-resolved in-window samples bound the aggregate from
+           one side; unresolved future samples can only push it
+           further, and completeness may widen the other side — so
+           only that one side is reported. *)
+        let wlo = time +. tp.r_lo_off -. time_eps in
+        let whi = time +. tp.r_hi_off +. time_eps in
+        if tp.r_universal then begin
+          let m = ref Float.infinity in
+          for i = 0 to tp.wh.qlen - 1 do
+            let j = wedge_phys tp.wh i in
+            let st = tp.wh.qt.(j) in
+            if st >= wlo && st <= whi then m := fmin !m tp.wh.qv.(j)
+          done;
+          for i = 0 to tp.future.blen - 1 do
+            let j = rbuf_phys tp.future i in
+            let st = tp.future.bt.(j) in
+            if st >= wlo && st <= whi then m := fmin !m tp.future.bh.(j)
+          done;
+          (Float.neg_infinity, !m)
+        end
+        else begin
+          let m = ref Float.neg_infinity in
+          for i = 0 to tp.wl.qlen - 1 do
+            let j = wedge_phys tp.wl i in
+            let st = tp.wl.qt.(j) in
+            if st >= wlo && st <= whi then m := fmax !m tp.wl.qv.(j)
+          done;
+          for i = 0 to tp.future.blen - 1 do
+            let j = rbuf_phys tp.future i in
+            let st = tp.future.bt.(j) in
+            if st >= wlo && st <= whi then m := fmax !m tp.future.bl.(j)
+          done;
+          (!m, Float.infinity)
+        end
+
+  let pending_bounds t =
+    let first = t.next_tick - t.proot.plen in
+    let out = ref [] in
+    for i = t.proot.plen - 1 downto 0 do
+      let time = t.proot.pv.(pring_phys t.proot i) in
+      let l, h = node_bounds t.root (first + i) time in
+      out :=
+        { tick = first + i; time; bounds = { lo = l; hi = h } } :: !out
+    done;
+    !out
+
+  let modes t =
+    Array.to_list
+      (Array.mapi
+         (fun j rt -> (t.machine_names.(j), State_machine.current rt))
+         t.machines)
+end

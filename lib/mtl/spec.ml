@@ -85,6 +85,11 @@ let stale_guarded ?(hold = 0.5) ?signals t =
     in
     { t with formula = Formula.Warmup { trigger; hold; body = t.formula } }
 
+(* Severity reads are deliberately excluded from [signals]: they never
+   gate a verdict (no staleness guard, no warm-up), they only scale it. *)
+let severity_signals t =
+  match t.severity with None -> [] | Some e -> Expr.signals e
+
 let signals t =
   let seen = Hashtbl.create 8 in
   let out = ref [] in

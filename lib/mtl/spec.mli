@@ -10,7 +10,10 @@ type t = private {
       (** optional dimensionless badness score, evaluated per tick; the
           oracle records each violation episode's peak |severity| so triage
           can weigh "intensity and duration" (§IV-A of the paper).  By
-          convention |severity| >= 1 is significant. *)
+          convention |severity| >= 1 is significant.  The magnitude
+          algebra (|x|, NaN maximally severe) is defined once, by
+          {!Robust.magnitude}, shared with the quantitative robustness
+          semantics. *)
 }
 
 val make :
@@ -35,7 +38,15 @@ val stale_guarded : ?hold:float -> ?signals:string list -> t -> t
     guarded set is empty is returned unchanged. *)
 
 val signals : t -> string list
-(** Signals used by the formula and all machine guards. *)
+(** Signals used by the formula and all machine guards.  Severity reads
+    are excluded — they never gate a verdict, only scale it; see
+    {!severity_signals}. *)
+
+val severity_signals : t -> string list
+(** Signals the severity expression reads; [[]] without one.  An empty
+    list with a severity {e present} means the score is the same on
+    every tick — it can neither rank episodes nor shape a robustness
+    landscape (speclint warns on it). *)
 
 val horizon : t -> float
 (** See {!Formula.horizon}; machine guards are immediate so only the main

@@ -23,6 +23,19 @@ let equal a b =
   | True, True | False, False | Unknown, Unknown -> true
   | (True | False | Unknown), _ -> false
 
+(* Robustness embedding (DESIGN.md §14): a definite boolean verdict is an
+   infinitely robust point, Unknown is the whole extended real line.  The
+   quantitative kernels in [Robust] use these as the degree of every
+   non-numeric atom, so boolean and quantitative semantics can only differ
+   where a comparison has a finite margin. *)
+let robust_lower = function
+  | True -> Float.infinity
+  | False | Unknown -> Float.neg_infinity
+
+let robust_upper = function
+  | True | Unknown -> Float.infinity
+  | False -> Float.neg_infinity
+
 let to_string = function True -> "T" | False -> "F" | Unknown -> "?"
 
 let pp ppf v = Format.pp_print_string ppf (to_string v)

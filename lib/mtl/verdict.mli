@@ -24,6 +24,14 @@ val implies : t -> t -> t
 
 val equal : t -> t -> bool
 
+val robust_lower : t -> float
+val robust_upper : t -> float
+(** The robustness interval a bare verdict denotes (DESIGN.md §14):
+    [True] is [[+inf, +inf]], [False] is [[-inf, -inf]] and [Unknown] is
+    [[-inf, +inf]].  The embedding every non-numeric atom uses in the
+    quantitative kernels ({!Robust}); it makes the boolean connectives the
+    [min]/[max] algebra restricted to [{-inf, +inf}]. *)
+
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string

@@ -26,6 +26,26 @@ let early sem ~nt ~nf ~nu:_ =
   | Verdict.Unknown -> None
   | v -> Some v
 
+(* Quantitative analogue of [decide] (DESIGN.md §14).  A robust window
+   aggregates the child [lo]/[hi] bound arrays with inf (Universal) or sup
+   (Existential) instead of counting verdicts; [m_lo]/[m_hi] are those
+   aggregates over the sampled window, computed with the semantics'
+   identity on an empty window (+inf for Universal — a complete empty
+   window is vacuously true — and -inf for Existential).  Incompleteness
+   widens the side that unseen samples could still move: the lower bound
+   of an inf, the upper bound of a sup.  [Mask] windows never reach the
+   robust layer (warm-up triggers stay boolean, see [Robust]); they take
+   the Existential rows so the table is total. *)
+let decide_robust_lo sem ~m_lo ~complete =
+  match sem with
+  | Universal -> if complete then m_lo else Float.neg_infinity
+  | Existential | Mask -> m_lo
+
+let decide_robust_hi sem ~m_hi ~complete =
+  match sem with
+  | Universal -> m_hi
+  | Existential | Mask -> if complete then m_hi else Float.infinity
+
 let check_times who times =
   for i = 1 to Array.length times - 1 do
     if times.(i) <= times.(i - 1) then

@@ -44,6 +44,18 @@ val early : sem -> nt:int -> nf:int -> nu:int -> Verdict.t option
     before the window closes.  This is the closed form of enumerating
     [decide] over all flag extensions. *)
 
+val decide_robust_lo : sem -> m_lo:float -> complete:bool -> float
+val decide_robust_hi : sem -> m_hi:float -> complete:bool -> float
+(** Quantitative counterpart of {!decide}, one side of the robustness
+    interval each (two functions so no pair is allocated on the kernels'
+    per-tick paths).  [m_lo]/[m_hi] are the window's inf (for
+    {!Universal}) or sup (for {!Existential}) over the sampled child
+    bounds, taken with the identity of the aggregation on an empty window
+    (+inf / -inf respectively).  An incomplete window widens the side
+    unseen samples could still move, mirroring how {!decide} degrades to
+    the dominating verdict or [Unknown].  {!Mask} never reaches the
+    robust layer; it is given the {!Existential} rows for totality. *)
+
 val check_times : string -> float array -> unit
 (** [check_times who times] validates strict time monotonicity.
     @raise Invalid_argument naming [who], the offending tick index and the

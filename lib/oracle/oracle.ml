@@ -20,6 +20,7 @@ type rule_outcome = {
   ticks_false : int;
   ticks_unknown : int;
   availability : float;
+  robustness : float option;
 }
 
 let default_period = 0.01
@@ -87,26 +88,12 @@ let episodes_of_verdicts ?severity ~times verdicts =
   List.rev !episodes
 
 (* |severity| per tick, when the spec declares a severity expression.
-   NaN severities are treated as maximally severe (an exceptional value on
-   the wire is never a negligible violation).  Evaluated columnar against
-   the trace's shared column view. *)
-let severity_values spec cols =
-  match spec.Mtl.Spec.severity with
-  | None -> None
-  | Some expr ->
-    let col = Mtl.Expr.eval_trace expr cols in
-    let n = cols.Trace.Columns.n in
-    let out = Array.make n None in
-    for i = 0 to n - 1 do
-      if Mtl.Expr.defined_at col i then begin
-        let x = col.Mtl.Expr.cv.(i) in
-        out.(i) <-
-          (if Float.is_nan x then Some Float.infinity else Some (Float.abs x))
-      end
-    done;
-    Some out
+   The magnitude algebra (|x|, with NaN maximally severe) lives in
+   Robust so this legacy column and the robustness ranking are two
+   views of one definition and cannot drift apart. *)
+let severity_values spec cols = Mtl.Robust.severity_values spec cols
 
-let outcome_of_verdicts ?severity spec ~times verdicts =
+let outcome_of_verdicts ?severity ?robustness spec ~times verdicts =
   let count v = Mtl.Offline.count verdicts v in
   let ticks_false = count Mtl.Verdict.False in
   let ticks_true = count Mtl.Verdict.True in
@@ -120,7 +107,8 @@ let outcome_of_verdicts ?severity spec ~times verdicts =
     ticks_unknown = count Mtl.Verdict.Unknown;
     availability =
       (if ticks_total = 0 then 0.0
-       else float_of_int (ticks_true + ticks_false) /. float_of_int ticks_total) }
+       else float_of_int (ticks_true + ticks_false) /. float_of_int ticks_total);
+    robustness }
 
 module Obs = Monitor_obs.Obs
 
@@ -152,48 +140,62 @@ let record_outcome_metrics (o : rule_outcome) =
 (* One spec over an array-backed stream.  Callers below convert the
    snapshot list and transpose it to columns exactly once per trace and
    share both across every rule, so the per-rule cost is the evaluator
-   itself — O(n) per operator regardless of window width. *)
-let outcome_on_snaps spec snaps cols =
+   itself — O(n) per operator regardless of window width.  [robust]
+   additionally runs the quantitative kernel and records the rule's
+   whole-trace robustness (min over ticks of the upper bound). *)
+let outcome_on_snaps ~robust spec snaps cols =
   let t_eval = Obs.time_start () in
   let outcome = Mtl.Offline.eval_columns spec snaps cols in
+  let robustness =
+    if robust then Mtl.Robust.min_upper (Mtl.Robust.eval_columns spec snaps cols)
+    else None
+  in
   let result =
-    outcome_of_verdicts ?severity:(severity_values spec cols) spec
+    outcome_of_verdicts ?severity:(severity_values spec cols) ?robustness spec
       ~times:outcome.Mtl.Offline.times outcome.Mtl.Offline.verdicts
   in
-  if Obs.on () then
+  if Obs.on () then begin
     Obs.observe_since
       (Obs.histogram ~labels:[ ("rule", spec.Mtl.Spec.name) ]
          ~help:"Wall time of one rule evaluation over one trace"
          "cps_oracle_rule_eval_seconds")
       t_eval;
+    Option.iter
+      (Obs.gauge_set
+         (Obs.gauge ~labels:[ ("rule", spec.Mtl.Spec.name) ]
+            ~help:"Whole-trace robustness of the rule (min upper bound)"
+            "cps_oracle_rule_min_robustness"))
+      robustness
+  end;
   record_outcome_metrics result;
   result
 
-let check_spec ?preflight ?period spec trace =
+let check_spec ?preflight ?period ?(robust = false) spec trace =
   Option.iter (fun env -> assert_preflight env [ spec ]) preflight;
   let snaps = Array.of_list (snapshots_of_trace ?period trace) in
-  outcome_on_snaps spec snaps (Trace.Columns.of_snapshots snaps)
+  outcome_on_snaps ~robust spec snaps (Trace.Columns.of_snapshots snaps)
 
-let check ?preflight ?period specs trace =
+let check ?preflight ?period ?(robust = false) specs trace =
   Option.iter (fun env -> assert_preflight env specs) preflight;
   let snaps = Array.of_list (snapshots_of_trace ?period trace) in
   let cols = Trace.Columns.of_snapshots snaps in
-  List.map (fun spec -> outcome_on_snaps spec snaps cols) specs
+  List.map (fun spec -> outcome_on_snaps ~robust spec snaps cols) specs
 
 let stale_deadlines ?(k = 3.0) ~periods s =
   Option.map (fun p -> k *. p) (periods s)
 
-let check_stale_aware ?preflight ?period ?k ?hold ~periods specs trace =
+let check_stale_aware ?preflight ?period ?k ?hold ?(robust = false) ~periods
+    specs trace =
   Option.iter (fun env -> assert_preflight env specs) preflight;
   let staleness = stale_deadlines ?k ~periods in
   let snaps = Array.of_list (snapshots_of_trace ?period ~staleness trace) in
   let cols = Trace.Columns.of_snapshots snaps in
   List.map
     (fun spec ->
-      outcome_on_snaps (Mtl.Spec.stale_guarded ?hold spec) snaps cols)
+      outcome_on_snaps ~robust (Mtl.Spec.stale_guarded ?hold spec) snaps cols)
     specs
 
-let check_spec_online ?preflight ?period spec trace =
+let check_spec_online ?preflight ?period ?(robust = false) spec trace =
   Option.iter (fun env -> assert_preflight env [ spec ]) preflight;
   let snapshots = snapshots_of_trace ?period trace in
   let n = List.length snapshots in
@@ -216,12 +218,30 @@ let check_spec_online ?preflight ?period spec trace =
       (Mtl.Online.resolved_time monitor i)
       (Mtl.Online.resolved_verdict monitor i)
   done;
+  (* Robustness through the incremental quantitative kernel, staying
+     true to the constant-memory evaluation path: fold the minimum of
+     the resolved upper bounds as they stream out. *)
+  let robustness =
+    if not robust || n = 0 then None
+    else begin
+      let rm = Mtl.Robust.Online.create spec in
+      let acc = ref Float.infinity in
+      let fold _tick _time _lo hi = if hi < !acc then acc := hi in
+      List.iter (fun snap -> Mtl.Robust.Online.step_iter rm snap fold) snapshots;
+      let rfinal = Mtl.Robust.Online.finalize_resolved rm in
+      for i = 0 to rfinal - 1 do
+        let hi = Mtl.Robust.Online.resolved_hi rm i in
+        if hi < !acc then acc := hi
+      done;
+      Some !acc
+    end
+  in
   let result =
     outcome_of_verdicts
       ?severity:
         (severity_values spec
            (Trace.Columns.of_snapshots (Array.of_list snapshots)))
-      spec ~times verdicts
+      ?robustness spec ~times verdicts
   in
   record_outcome_metrics result;
   result

@@ -29,6 +29,14 @@ type rule_outcome = {
           [(ticks_true + ticks_false) / ticks_total] — how much of the
           trace the rule actually covered once warm-up and staleness
           inhibition are accounted for; 0 for an empty trace *)
+  robustness : float option;
+      (** whole-trace robustness when the check ran with [~robust:true]
+          ({!Monitor_mtl.Robust.min_upper}): how close the trace provably
+          came to violating the rule, in the units of its comparisons.
+          Negative for violated rules — the distance by which the worst
+          tick failed ([-inf] when a boolean leaf, not a margin, decided
+          it); small positive values flag near-misses Table I's boolean
+          column cannot distinguish from comfortable passes. *)
 }
 
 val default_period : float
@@ -43,22 +51,27 @@ val snapshots_of_trace :
 
 val check_spec :
   ?preflight:Monitor_analysis.Speclint.env ->
-  ?period:float -> Monitor_mtl.Spec.t -> Monitor_trace.Trace.t -> rule_outcome
+  ?period:float -> ?robust:bool ->
+  Monitor_mtl.Spec.t -> Monitor_trace.Trace.t -> rule_outcome
 (** Offline evaluation over the whole log — the paper's workflow.
 
     [preflight] runs {!Monitor_analysis.Speclint} over the spec(s) first
     and raises [Invalid_argument] listing the diagnostics if any are
     [Error]-severity — a defective rule fails loudly before the campaign
-    runs, instead of silently returning evidence-free verdicts. *)
+    runs, instead of silently returning evidence-free verdicts.
+
+    [robust] (default false) additionally evaluates the rule on the
+    quantitative kernel ({!Monitor_mtl.Robust}) and fills the outcome's
+    [robustness] field — the input to severity-ranked reporting. *)
 
 val check :
   ?preflight:Monitor_analysis.Speclint.env ->
-  ?period:float -> Monitor_mtl.Spec.t list -> Monitor_trace.Trace.t ->
-  rule_outcome list
+  ?period:float -> ?robust:bool ->
+  Monitor_mtl.Spec.t list -> Monitor_trace.Trace.t -> rule_outcome list
 (** The snapshot stream is cut once and shared, array-backed, across every
     rule ({!Monitor_mtl.Offline.eval_array}); each rule then costs O(n)
     per operator in trace length, independent of its window widths.
-    [preflight] as in {!check_spec}. *)
+    [preflight] and [robust] as in {!check_spec}. *)
 
 val stale_deadlines :
   ?k:float -> periods:(string -> float option) -> string -> float option
@@ -72,7 +85,7 @@ val stale_deadlines :
 
 val check_stale_aware :
   ?preflight:Monitor_analysis.Speclint.env ->
-  ?period:float -> ?k:float -> ?hold:float ->
+  ?period:float -> ?k:float -> ?hold:float -> ?robust:bool ->
   periods:(string -> float option) -> Monitor_mtl.Spec.t list ->
   Monitor_trace.Trace.t -> rule_outcome list
 (** Degraded-mode evaluation: a signal with no fresh sample within
@@ -86,8 +99,11 @@ val check_stale_aware :
 
 val check_spec_online :
   ?preflight:Monitor_analysis.Speclint.env ->
-  ?period:float -> Monitor_mtl.Spec.t -> Monitor_trace.Trace.t -> rule_outcome
-(** Same verdicts through the constant-memory online monitor. *)
+  ?period:float -> ?robust:bool ->
+  Monitor_mtl.Spec.t -> Monitor_trace.Trace.t -> rule_outcome
+(** Same verdicts through the constant-memory online monitor; [robust]
+    streams the incremental quantitative kernel alongside and folds the
+    running minimum of its resolved upper bounds. *)
 
 val status_letter : status -> string
 (** ["S"] or ["V"] — Table I notation. *)

@@ -48,10 +48,90 @@ let render_outcome (o : Oracle.rule_outcome) =
     o.Oracle.episodes;
   let extra = List.length o.Oracle.episodes - 5 in
   if extra > 0 then add "\n    ... and %d more episodes" extra;
+  (match o.Oracle.robustness with
+   | Some r -> add "\n    min robustness %.4g" r
+   | None -> ());
   Buffer.contents buf
 
 let render_outcomes outcomes =
   String.concat "\n" (List.map render_outcome outcomes)
+
+(* Severity-ranked Table I: same letter matrix, but each row carries the
+   minimum robustness over its rules and the rows are sorted most-severe
+   first — the triage order a test engineer wants, with near-misses
+   (small positive margins) surfacing just under the outright
+   violations. *)
+
+type ranked_row = {
+  row : table_row;
+  row_robustness : float option;
+  rule_robustness : float option list;
+}
+
+let ranked_row ~kind_label ~target_label outcomes =
+  let rule_robustness = List.map (fun o -> o.Oracle.robustness) outcomes in
+  let row_robustness =
+    List.fold_left
+      (fun acc r ->
+        match acc, r with
+        | Some a, Some b -> Some (Float.min a b)
+        | None, r | r, None -> r)
+      None rule_robustness
+  in
+  { row = table_row ~kind_label ~target_label outcomes;
+    row_robustness;
+    rule_robustness }
+
+let robustness_cell = function
+  | None -> "-"
+  | Some r -> Printf.sprintf "%.4g" r
+
+let render_ranked_table
+    ?(title = "FAULT INJECTION RESULTS, RANKED BY ROBUSTNESS") ~rule_count
+    rows =
+  (* Most severe first: ascending robustness, rows without a robustness
+     value (boolean-only outcomes) last, original order otherwise. *)
+  let cmp a b =
+    match a.row_robustness, b.row_robustness with
+    | Some x, Some y -> Float.compare x y
+    | Some _, None -> -1
+    | None, Some _ -> 1
+    | None, None -> 0
+  in
+  let sorted = List.stable_sort cmp rows in
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%s\n" title;
+  add "%-10s %-14s" "Injection" "Target Signal";
+  for r = 0 to rule_count - 1 do
+    add " %d" r
+  done;
+  add " %10s\n" "min-rob";
+  List.iter
+    (fun rr ->
+      add "%-10s %-14s" rr.row.kind_label rr.row.target_label;
+      List.iter (fun letter -> add " %s" letter) rr.row.letters;
+      add " %10s\n" (robustness_cell rr.row_robustness))
+    sorted;
+  (* Footer: the campaign-wide minimum per rule — which margins the whole
+     injection matrix actually exercised. *)
+  add "per-rule min:";
+  for r = 0 to rule_count - 1 do
+    let m =
+      List.fold_left
+        (fun acc rr ->
+          match List.nth_opt rr.rule_robustness r with
+          | Some (Some x) ->
+            (match acc with
+             | None -> Some x
+             | Some y -> Some (Float.min x y))
+          | Some None | None -> acc)
+        None rows
+    in
+    add " #%d=%s" r (robustness_cell m)
+  done;
+  add "\n";
+  Buffer.contents buf
 
 type availability_row = {
   condition_label : string;

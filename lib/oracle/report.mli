@@ -15,9 +15,37 @@ val render_table :
     rule. *)
 
 val render_outcome : Oracle.rule_outcome -> string
-(** One rule's verdict with episode details. *)
+(** One rule's verdict with episode details.  When the outcome carries a
+    robustness value (checked with [~robust:true]) a final
+    ["min robustness"] line is appended; boolean-only outcomes render
+    byte-identically to before the quantitative kernel existed. *)
 
 val render_outcomes : Oracle.rule_outcome list -> string
+
+(** {2 Severity-ranked Table I}
+
+    The quantitative counterpart of {!render_table}: the same letter
+    matrix, but every row carries the minimum robustness over its rule
+    outcomes and the rows are printed most-severe first.  Requires the
+    outcomes to have been produced with [~robust:true]; rows whose
+    outcomes carry no robustness sort last and render ["-"]. *)
+
+type ranked_row = {
+  row : table_row;
+  row_robustness : float option;
+      (** min robustness over the row's rules; [None] if no outcome
+          carried one *)
+  rule_robustness : float option list;  (** per rule, in rule order *)
+}
+
+val ranked_row : kind_label:string -> target_label:string ->
+  Oracle.rule_outcome list -> ranked_row
+
+val render_ranked_table :
+  ?title:string -> rule_count:int -> ranked_row list -> string
+(** Rows sorted by ascending robustness (violations, [-inf], first; then
+    near-misses; boolean-only rows last), with a trailing min-robustness
+    column and a per-rule campaign-minimum footer. *)
 
 type availability_row = {
   condition_label : string;         (** e.g. ["loss5%"] *)

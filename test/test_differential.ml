@@ -373,6 +373,80 @@ let streaming_prop =
     (QCheck.make ~print:print_case ~shrink:shrink_case gen_case)
     streaming_matches_lists
 
+(* Quantitative robustness ------------------------------------------------ *)
+
+(* The three robust kernels must assign the same [lo, hi] interval to
+   every tick.  Agreement is to within 1 ulp: the fast offline kernel
+   and the online kernel aggregate with monotonic wedges while the
+   naive reference folds left-to-right, which is value-identical except
+   for the sign of zero on exact ties — [a = b] absorbs -0.0 vs 0.0,
+   the bit-adjacency check any residual association difference. *)
+let ulp_equal (a : float) (b : float) =
+  a = b
+  || (Float.is_nan a && Float.is_nan b)
+  || (Float.sign_bit a = Float.sign_bit b
+     &&
+     let ia = Int64.bits_of_float a and ib = Int64.bits_of_float b in
+     Int64.abs (Int64.sub ia ib) <= 1L)
+
+let robust_agree (times_a, la, ha) (times_b, lb, hb) =
+  Array.length times_a = Array.length times_b
+  && Array.for_all2 (fun (a : float) b -> a = b) times_a times_b
+  && Array.for_all2 ulp_equal la lb
+  && Array.for_all2 ulp_equal ha hb
+
+let run_online_robust spec snapshots =
+  let m = Robust.Online.create spec in
+  let streamed =
+    List.concat_map (fun snap -> Robust.Online.step m snap) snapshots
+  in
+  let resolved = streamed @ Robust.Online.finalize m in
+  let sorted =
+    List.sort
+      (fun (a : Robust.Online.resolution) (b : Robust.Online.resolution) ->
+        Int.compare a.Robust.Online.tick b.Robust.Online.tick)
+      resolved
+  in
+  ( Array.of_list
+      (List.map (fun (r : Robust.Online.resolution) -> r.Robust.Online.time)
+         sorted),
+    Array.of_list
+      (List.map
+         (fun (r : Robust.Online.resolution) -> r.Robust.Online.bounds.Robust.lo)
+         sorted),
+    Array.of_list
+      (List.map
+         (fun (r : Robust.Online.resolution) -> r.Robust.Online.bounds.Robust.hi)
+         sorted) )
+
+let robust_kernels_agree spec snapshots =
+  let fast = Robust.eval spec snapshots in
+  let naive = Robust.Naive.eval spec snapshots in
+  let online = run_online_robust spec snapshots in
+  robust_agree
+    (fast.Robust.times, fast.Robust.lo, fast.Robust.hi)
+    (naive.Robust.times, naive.Robust.lo, naive.Robust.hi)
+  && robust_agree (fast.Robust.times, fast.Robust.lo, fast.Robust.hi) online
+
+let robust_differential_prop =
+  QCheck.Test.make
+    ~name:"robust fast = naive = online on random faulted traces" ~count
+    (QCheck.make ~print:print_case ~shrink:shrink_case gen_case)
+    (fun case ->
+      let spec = Spec.make ~name:"diff" case.formula in
+      robust_kernels_agree spec (snapshots_of_case case))
+
+(* Staleness routed through Warmup + Stale leaves: suppressed ticks must
+   widen to [-inf, +inf] identically in all three robust kernels. *)
+let robust_stale_guarded_prop =
+  QCheck.Test.make ~name:"robust stale-guarded fast = naive = online"
+    ~count:(max 50 (count / 3))
+    (QCheck.make ~print:print_case ~shrink:shrink_case gen_case)
+    (fun case ->
+      let spec = Spec.stale_guarded (Spec.make ~name:"diff" case.formula) in
+      robust_kernels_agree spec
+        (snapshots_of_case { case with staleness = Some 0.015 }))
+
 (* Malformed streams ------------------------------------------------------ *)
 
 let contains_substring haystack needle =
@@ -468,6 +542,8 @@ let suite =
       [ QCheck_alcotest.to_alcotest differential_prop;
         QCheck_alcotest.to_alcotest stale_guarded_prop;
         QCheck_alcotest.to_alcotest streaming_prop;
+        QCheck_alcotest.to_alcotest robust_differential_prop;
+        QCheck_alcotest.to_alcotest robust_stale_guarded_prop;
         Alcotest.test_case "malformed stream: identical offline errors" `Quick
           test_bad_stream_messages_match;
         Alcotest.test_case "malformed stream: online error" `Quick

@@ -57,7 +57,10 @@ let test_table1_structure () =
   Alcotest.(check bool) "rendered output has summary" true
     (String.length (E.Table1.rendered t) > 500)
 
-let vehicle_logs = lazy (E.Vehicle_logs.run ())
+(* Shared across the suite (and the golden render, which wants the
+   robustness lines): robustness does not change any verdict, so the
+   shape assertions below are unaffected by the flag. *)
+let vehicle_logs = lazy (E.Vehicle_logs.run ~robust:true ())
 
 let test_vehicle_logs_paper_shape () =
   let t = Lazy.force vehicle_logs in

@@ -83,10 +83,26 @@ let test_e7_golden () =
   let t = Lazy.force Test_lossy.lossy_quick in
   check_golden "e7_quick.txt" (E.Lossy_bus.rendered t)
 
+(* Quick-scale Table I re-sorted by whole-campaign robustness: most
+   severe faults first, per-rule minimum margins in the footer. *)
+let test_table1_ranked_golden () =
+  let t = Lazy.force Test_experiments.quick_table in
+  check_golden "table1_ranked_quick.txt" (E.Table1.rendered_ranked t)
+
+(* The road-log report with quantitative verdicts: every violation
+   detail carries its "min robustness" line. *)
+let test_vehicle_logs_robust_golden () =
+  let t = Lazy.force Test_experiments.vehicle_logs in
+  check_golden "vehicle_logs_robust.txt" (E.Vehicle_logs.rendered t)
+
 let suite =
   [ ( "golden",
       [ Alcotest.test_case "table1 quick render" `Quick test_table1_golden;
         Alcotest.test_case "availability table render" `Quick
           test_availability_golden;
-        Alcotest.test_case "e7 degradation render" `Quick test_e7_golden ] )
+        Alcotest.test_case "e7 degradation render" `Quick test_e7_golden;
+        Alcotest.test_case "table1 ranked render" `Quick
+          test_table1_ranked_golden;
+        Alcotest.test_case "vehicle logs robust render" `Quick
+          test_vehicle_logs_robust_golden ] )
   ]

@@ -5,7 +5,8 @@ let () =
    @ Test_can.suite
    @ Test_lexer.suite @ Test_scheduler.suite @ Test_semantics_edge.suite
    @ Test_refinement.suite @ Test_explain.suite
-   @ Test_mtl.suite @ Test_differential.suite @ Test_rewrite.suite
+   @ Test_mtl.suite @ Test_differential.suite @ Test_robust.suite
+   @ Test_rewrite.suite
    @ Test_spec_file.suite
    @ Test_formats.suite @ Test_monitor_set.suite @ Test_build.suite
    @ Test_analyze.suite @ Test_bus_errors.suite @ Test_vehicle.suite

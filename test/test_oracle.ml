@@ -146,7 +146,7 @@ let outcome_with episodes =
   { Oracle.spec = Rules.rule 5;
     status = (if episodes = [] then Oracle.Satisfied else Oracle.Violated);
     episodes; ticks_total = 100; ticks_true = 90; ticks_false = 10;
-    ticks_unknown = 0; availability = 1.0 }
+    ticks_unknown = 0; availability = 1.0; robustness = None }
 
 let test_intent_classify () =
   Alcotest.(check bool) "clean" true

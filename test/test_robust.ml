@@ -1,0 +1,371 @@
+(* Quantitative robustness semantics (lib/mtl/robust.ml) beyond the
+   kernel-equivalence property in test_differential:
+
+   - sign consistency: per tick, the robustness interval's sign reading
+     must agree with the boolean kernel's verdict (lo > 0 only on True
+     ticks, hi < 0 only on False ticks, Unknown straddles zero), and a
+     stale-suppressed tick must widen all the way to [-inf, +inf] —
+     never a definite sign;
+   - interval soundness: the online kernel's pending [lo, hi] brackets
+     only shrink as snapshots arrive and always contain the tick's final
+     offline robustness;
+   - severity algebra: Robust.severity_values, which the oracle now
+     delegates to, is byte-identical to the legacy per-tick
+     |eval_trace severity| pass it replaced;
+   - fleet gauges: a robust_gauges fleet reports the exact per-rule
+     minimum resolved margin across sessions.
+
+   Generators, shrinkers and the 1-ulp comparator are shared with
+   test_differential. *)
+
+open Monitor_mtl
+module D = Test_differential
+module Value = Monitor_signal.Value
+module Columns = Monitor_trace.Columns
+module Trace = Monitor_trace.Trace
+module Record = Monitor_trace.Record
+module Oracle = Monitor_oracle.Oracle
+module Fleet = Monitor_fleet.Fleet
+
+(* Sign consistency ------------------------------------------------------- *)
+
+(* The invariant relating the two semantics tick by tick.  It is weaker
+   than "verdict_of bounds = boolean verdict" on purpose: at an exact
+   zero margin (Eq holding, Lt failing by nothing) the boolean verdict
+   is definite while the interval is the point [0, 0]. *)
+let sign_consistent ?(stale_tick = fun _ -> false) spec snapshots =
+  let boolean = Offline.eval spec snapshots in
+  let robust = Robust.eval spec snapshots in
+  let n = Array.length boolean.Offline.verdicts in
+  Array.length robust.Robust.lo = n
+  &&
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let v = boolean.Offline.verdicts.(i) in
+    let lo = robust.Robust.lo.(i) and hi = robust.Robust.hi.(i) in
+    let fine =
+      (not (Float.is_nan lo))
+      && (not (Float.is_nan hi))
+      && lo <= hi
+      && ((not (lo > 0.0)) || v = Verdict.True)
+      && ((not (hi < 0.0)) || v = Verdict.False)
+      && (match v with
+         | Verdict.True -> hi >= 0.0
+         | Verdict.False -> lo <= 0.0
+         | Verdict.Unknown -> lo <= 0.0 && hi >= 0.0)
+      && ((not (stale_tick i))
+         || v = Verdict.Unknown
+            && lo = Float.neg_infinity
+            && hi = Float.infinity)
+    in
+    if not fine then ok := false
+  done;
+  !ok
+
+let sign_prop =
+  QCheck.Test.make
+    ~name:"robustness sign is consistent with the boolean verdict"
+    ~count:D.count
+    (QCheck.make ~print:D.print_case ~shrink:D.shrink_case D.gen_case)
+    (fun case ->
+      let spec = Spec.make ~name:"sign" case.D.formula in
+      sign_consistent spec (D.snapshots_of_case case))
+
+(* Which ticks carry a stale guarded signal, recomputed from the rows
+   with the same hold semantics snapshots_of_rows applies: a signal is
+   stale once the age of its last update exceeds the staleness bound.
+   (Signals never published cannot be flagged, so they are skipped —
+   the monitor may still suppress those ticks, which only widens.) *)
+let stale_tick_flags ~guarded ~staleness rows =
+  let last : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  Array.of_list
+    (List.map
+       (fun (time, fresh_list) ->
+         List.iter (fun (name, _) -> Hashtbl.replace last name time) fresh_list;
+         List.exists
+           (fun s ->
+             match Hashtbl.find_opt last s with
+             | Some t0 -> time -. t0 > staleness
+             | None -> false)
+           guarded)
+       rows)
+
+let stale_sign_prop =
+  QCheck.Test.make
+    ~name:"stale-widened intervals are never definite"
+    ~count:(max 50 (D.count / 3))
+    (QCheck.make ~print:D.print_case ~shrink:D.shrink_case D.gen_case)
+    (fun case ->
+      let staleness = 0.015 in
+      let case = { case with D.staleness = Some staleness } in
+      let base = Spec.make ~name:"sign" case.D.formula in
+      let spec = Spec.stale_guarded base in
+      let guarded = Formula.signals base.Spec.formula in
+      let flags = stale_tick_flags ~guarded ~staleness case.D.rows in
+      sign_consistent
+        ~stale_tick:(fun i -> flags.(i))
+        spec
+        (D.snapshots_of_case case))
+
+(* Online interval soundness ---------------------------------------------- *)
+
+let ulp_le a b = a <= b || D.ulp_equal a b
+
+(* Step the online robust kernel snapshot by snapshot; every interval it
+   ever reports for a tick — pending brackets after each step, then the
+   resolved value — must (a) be well-formed, (b) only shrink relative to
+   the interval last reported for that tick, and (c) contain the tick's
+   final offline robustness interval. *)
+let interval_sound case =
+  let spec = Spec.make ~name:"sound" case.D.formula in
+  let snapshots = D.snapshots_of_case case in
+  let offline = Robust.eval spec snapshots in
+  let m = Robust.Online.create spec in
+  let prev : (int, float * float) Hashtbl.t = Hashtbl.create 16 in
+  let ok = ref true in
+  let check (r : Robust.Online.resolution) =
+    let tick = r.Robust.Online.tick in
+    let lo = r.Robust.Online.bounds.Robust.lo
+    and hi = r.Robust.Online.bounds.Robust.hi in
+    if Float.is_nan lo || Float.is_nan hi || not (lo <= hi) then ok := false;
+    (match Hashtbl.find_opt prev tick with
+    | Some (plo, phi) ->
+      if not (ulp_le plo lo && ulp_le hi phi) then ok := false
+    | None -> ());
+    Hashtbl.replace prev tick (lo, hi);
+    if tick < Array.length offline.Robust.lo then begin
+      if
+        not
+          (ulp_le lo offline.Robust.lo.(tick)
+          && ulp_le offline.Robust.hi.(tick) hi)
+      then ok := false
+    end
+    else ok := false
+  in
+  List.iter
+    (fun snap ->
+      List.iter check (Robust.Online.step m snap);
+      List.iter check (Robust.Online.pending_bounds m))
+    snapshots;
+  List.iter check (Robust.Online.finalize m);
+  !ok
+
+let interval_soundness_prop =
+  QCheck.Test.make
+    ~name:"online robustness intervals shrink and bracket the offline value"
+    ~count:(max 50 (D.count / 2))
+    (QCheck.make ~print:D.print_case ~shrink:D.shrink_case D.gen_case)
+    interval_sound
+
+(* Severity algebra -------------------------------------------------------- *)
+
+(* The pre-robustness oracle computed its severity column inline:
+   per-tick |eval_trace severity| where defined, NaN maximally severe.
+   The oracle now delegates to Robust.severity_values; this replica of
+   the legacy pass pins the two to byte-identical columns so the
+   [?severity] episode ranking cannot drift under the new algebra. *)
+let legacy_severity_values (spec : Spec.t) cols =
+  match spec.Spec.severity with
+  | None -> None
+  | Some e ->
+    let col = Expr.eval_trace e cols in
+    let n = Array.length col.Expr.cv in
+    Some
+      (Array.init n (fun i ->
+           if Expr.defined_at col i then
+             let x = col.Expr.cv.(i) in
+             Some (if Float.is_nan x then Float.infinity else Float.abs x)
+           else None))
+
+let same_severity a b =
+  match (a, b) with
+  | None, None -> true
+  | Some xs, Some ys ->
+    Array.length xs = Array.length ys
+    && Array.for_all2
+         (fun x y ->
+           match (x, y) with
+           | None, None -> true
+           | Some x, Some y -> Int64.bits_of_float x = Int64.bits_of_float y
+           | _ -> false)
+         xs ys
+  | _ -> false
+
+let severity_identity_prop =
+  QCheck.Test.make
+    ~name:"severity column byte-identical to the legacy oracle pass"
+    ~count:D.count
+    (QCheck.make
+       ~print:(fun (e, case) ->
+         Printf.sprintf "severity: %s\n%s"
+           (Format.asprintf "%a" Expr.pp e)
+           (D.print_case case))
+       QCheck.Gen.(pair D.gen_expr D.gen_case))
+    (fun (e, case) ->
+      let spec = Spec.make ~name:"sev" ~severity:e case.D.formula in
+      let snaps = Array.of_list (D.snapshots_of_case case) in
+      let cols = Columns.of_snapshots snaps in
+      same_severity
+        (legacy_severity_values spec cols)
+        (Robust.severity_values spec cols))
+
+(* Hand-picked severity edge cases: hold semantics, NaN -> +inf, and
+   Prev's undefined first tick. *)
+let test_severity_unit () =
+  let rows =
+    [ (0.0, [ ("x", Value.Float 3.5) ]);
+      (0.01, [ ("x", Value.Float (-2.0)) ]);
+      (0.02, [ ("x", Value.Float Float.nan) ]);
+      (0.03, []);
+      (0.04, [ ("x", Value.Float 0.25) ]) ]
+  in
+  let snaps = Array.of_list (D.snapshots_of_rows rows) in
+  let cols = Columns.of_snapshots snaps in
+  let formula = Formula.Cmp (Expr.Signal "x", Formula.Le, Expr.Const 100.0) in
+  let check name severity expected =
+    let spec = Spec.make ~name:"sev" ~severity formula in
+    match Robust.severity_values spec cols with
+    | None -> Alcotest.failf "%s: expected a severity column" name
+    | Some got ->
+      Alcotest.(check int)
+        (name ^ ": length") (Array.length expected) (Array.length got);
+      Array.iteri
+        (fun i e ->
+          match (e, got.(i)) with
+          | None, None -> ()
+          | Some a, Some b when Int64.bits_of_float a = Int64.bits_of_float b
+            -> ()
+          | _ -> Alcotest.failf "%s: tick %d differs" name i)
+        expected
+  in
+  check "signal" (Expr.Signal "x")
+    [| Some 3.5;
+       Some 2.0;
+       Some Float.infinity;
+       Some Float.infinity;
+       Some 0.25 |];
+  check "prev"
+    (Expr.Prev (Expr.Signal "x"))
+    [| None; Some 3.5; Some 2.0; Some Float.infinity; Some Float.infinity |];
+  let bare = Spec.make ~name:"bare" formula in
+  (match Robust.severity_values bare cols with
+  | None -> ()
+  | Some _ -> Alcotest.fail "spec without severity must report None")
+
+(* Oracle integration ------------------------------------------------------ *)
+
+let trace_of series =
+  Trace.of_list
+    (List.concat
+       (List.mapi
+          (fun i pairs ->
+            List.map
+              (fun (name, v) ->
+                Record.make ~time:(float_of_int i *. 0.01) ~name ~value:v)
+              pairs)
+          series))
+
+(* The robustness field ranks what the boolean column cannot: a pass by
+   2.0 units reports exactly that margin, a violation the (negative)
+   distance by which it failed, and the online checker agrees with the
+   offline one. *)
+let test_oracle_robustness () =
+  let spec =
+    Spec.make ~name:"cap"
+      (Formula.Cmp (Expr.Signal "Speed", Formula.Le, Expr.Const 30.0))
+  in
+  let near_miss =
+    trace_of
+      [ [ ("Speed", Value.Float 20.0) ];
+        [ ("Speed", Value.Float 28.0) ];
+        [ ("Speed", Value.Float 25.5) ] ]
+  in
+  let o = Oracle.check_spec ~robust:true spec near_miss in
+  Alcotest.(check (option (float 0.0)))
+    "near-miss margin" (Some 2.0) o.Oracle.robustness;
+  let online = Oracle.check_spec_online ~robust:true spec near_miss in
+  Alcotest.(check (option (float 0.0)))
+    "online agrees" (Some 2.0) online.Oracle.robustness;
+  Alcotest.(check (option (float 0.0)))
+    "robust off by default" None
+    (Oracle.check_spec spec near_miss).Oracle.robustness;
+  let violated =
+    trace_of
+      [ [ ("Speed", Value.Float 20.0) ]; [ ("Speed", Value.Float 31.0) ] ]
+  in
+  let o = Oracle.check_spec ~robust:true spec violated in
+  Alcotest.(check (option (float 0.0)))
+    "violation margin" (Some (-1.0)) o.Oracle.robustness
+
+(* Fleet gauges ------------------------------------------------------------ *)
+
+(* One rule with an immediate per-tick margin (30 - Speed), two sessions:
+   the fleet-wide minimum robustness must equal the margin of the fastest
+   frame ever admitted, bit for bit. *)
+let test_fleet_min_robustness () =
+  let specs =
+    [ Spec.make ~name:"speed_cap"
+        (Formula.Cmp (Expr.Signal "Speed", Formula.Le, Expr.Const 30.0)) ]
+  in
+  let schedules =
+    [ ("VINA", [ 21.0; 24.5; 29.25 ]); ("VINB", [ 22.0; 31.5; 18.0 ]) ]
+  in
+  let max_speed =
+    List.fold_left
+      (fun m (_, speeds) -> List.fold_left Float.max m speeds)
+      Float.neg_infinity schedules
+  in
+  let config =
+    { (Fleet.default_config ~specs) with
+      robust_gauges = true;
+      overload = Fleet.Block }
+  in
+  let fleet = Fleet.create config in
+  List.iteri
+    (fun k _ ->
+      List.iter
+        (fun (vin, speeds) ->
+          let time = float_of_int k *. 0.01 in
+          let frame =
+            { Fleet.vin;
+              time;
+              updates = [ ("Speed", Value.Float (List.nth speeds k)) ] }
+          in
+          match Fleet.ingest fleet frame with
+          | `Accepted -> ()
+          | `Shed _ | `Rejected -> Alcotest.fail "unexpected overload")
+        schedules)
+    [ 0; 1; 2 ];
+  Fleet.pump fleet;
+  ignore (Fleet.shutdown fleet);
+  (match Fleet.min_robustness fleet with
+  | [ ("speed_cap", m) ] ->
+    Alcotest.(check (float 0.0)) "fleet minimum margin" (30.0 -. max_speed) m
+  | other ->
+    Alcotest.failf "expected one gauge, got %d" (List.length other));
+  (* Without the config flag the accessor stays empty. *)
+  let plain = Fleet.create (Fleet.default_config ~specs) in
+  List.iter
+    (fun (vin, _) ->
+      ignore
+        (Fleet.ingest plain
+           { Fleet.vin; time = 0.0; updates = [ ("Speed", Value.Float 20.0) ] }))
+    schedules;
+  Fleet.pump plain;
+  ignore (Fleet.shutdown plain);
+  Alcotest.(check int)
+    "no gauges without robust_gauges" 0
+    (List.length (Fleet.min_robustness plain))
+
+let suite =
+  [ ( "robust",
+      [ QCheck_alcotest.to_alcotest sign_prop;
+        QCheck_alcotest.to_alcotest stale_sign_prop;
+        QCheck_alcotest.to_alcotest interval_soundness_prop;
+        QCheck_alcotest.to_alcotest severity_identity_prop;
+        Alcotest.test_case "severity algebra edge cases" `Quick
+          test_severity_unit;
+        Alcotest.test_case "oracle robustness field" `Quick
+          test_oracle_robustness;
+        Alcotest.test_case "fleet minimum-robustness gauges" `Quick
+          test_fleet_min_robustness ] ) ]
