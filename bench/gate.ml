@@ -20,6 +20,13 @@
    construction.  It bounds the price of interval arithmetic: a robust
    workload may cost at most 1.5x its boolean twin.
 
+   The same within-run construction also gates the fused evaluation
+   plan: each plan workload is compared against its per-rule twin from
+   the same file, and fails if fusing the rule set does not pay — the
+   whole point of compiling one shared DAG is to beat one-kernel-per-
+   rule, so the fused/per-rule ratio must stay at or under 1.0 (small
+   headroom via BENCH_GATE_PLAN_RATIO).
+
    Environment:
      BENCH_GATE_SKIP=1            skip the comparison (escape hatch for
                                   intentional regressions; note it in the
@@ -27,7 +34,9 @@
      BENCH_GATE_TOLERANCE=30      override the allowed normalized
                                   slowdown, in percent (default 25)
      BENCH_GATE_ROBUST_RATIO=1.8  override the allowed robust/boolean
-                                  ratio (default 1.5) *)
+                                  ratio (default 1.5)
+     BENCH_GATE_PLAN_RATIO=0.9    override the allowed fused/per-rule
+                                  ratio (default 1.0) *)
 
 (* The benchmark files are machine-written by [write_json] in
    bench/main.ml — one fixed shape, no arrays, no nesting below two
@@ -161,6 +170,9 @@ let gated =
     "cps_monitor/mtl/online_robust_600s";
     "cps_monitor/monitor/offline_all_7_rules";
     "cps_monitor/monitor/set_all_7_rules_online";
+    "cps_monitor/plan/set_all_7_rules";
+    "cps_monitor/plan/set_all_7_rules_online";
+    "cps_monitor/multirate/spacing_and_deltas";
     "cps_monitor/fleet/ingest_1k_sessions" ]
 
 (* (robust workload, boolean counterpart) pairs ratio-gated within the
@@ -175,6 +187,15 @@ let ratio_gates =
      "cps_monitor/mtl/offline_long_trace_600s");
     ("cps_monitor/mtl/online_robust_600s",
      "cps_monitor/mtl/online_long_trace_600s") ]
+
+(* (fused plan workload, per-rule counterpart) pairs, also ratio-gated
+   within the current file: the fused traversal must not cost more than
+   running the kernels one rule at a time, or the plan has no point. *)
+let plan_gates =
+  [ ("cps_monitor/plan/set_all_7_rules",
+     "cps_monitor/monitor/offline_all_7_rules");
+    ("cps_monitor/plan/set_all_7_rules_online",
+     "cps_monitor/monitor/set_all_7_rules_online") ]
 
 let median a =
   let a = Array.copy a in
@@ -272,6 +293,29 @@ let () =
           ratio robust_name robust_limit
       | _ -> Printf.printf "  -         (pair not measured)  %s\n" robust_name)
     ratio_gates;
+  let plan_limit =
+    match Sys.getenv_opt "BENCH_GATE_PLAN_RATIO" with
+    | None -> 1.0
+    | Some s -> (
+      match float_of_string_opt s with
+      | Some r when r > 0.0 -> r
+      | _ ->
+        prerr_endline "bench gate: BENCH_GATE_PLAN_RATIO must be a number";
+        exit 2)
+  in
+  List.iter
+    (fun (fused_name, per_rule_name) ->
+      match
+        (List.assoc_opt fused_name current, List.assoc_opt per_rule_name current)
+      with
+      | Some fused, Some per_rule when per_rule > 0.0 ->
+        let ratio = fused /. per_rule in
+        let verdict = if ratio > plan_limit then "FAIL" else "ok" in
+        if ratio > plan_limit then failed := fused_name :: !failed;
+        Printf.printf "  %-4s %6.2fx of per-rule    %s (limit %.2fx)\n" verdict
+          ratio fused_name plan_limit
+      | _ -> Printf.printf "  -         (pair not measured)  %s\n" fused_name)
+    plan_gates;
   if !failed <> [] then begin
     Printf.eprintf
       "bench gate: %d workload(s) regressed beyond the machine speed factor \

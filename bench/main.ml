@@ -350,6 +350,32 @@ let bench_monitor_set =
            (Lazy.force short_snapshots);
          Mtl.Monitor_set.finalize set))
 
+(* The fused counterparts of the seven-rule set: the rules hash-consed
+   into one shared-DAG plan ([Mtl.Plan]), then every rule evaluated by a
+   single traversal (offline) or a single per-tick advance (online).
+   Plan compilation is inside the measured region — it is part of the
+   deployed fast path, and amortising it would flatter the plan.  The CI
+   gate holds each fused workload under its per-rule twin
+   (monitor/offline_all_7_rules, monitor/set_all_7_rules_online). *)
+let bench_plan_set_offline =
+  Test.make ~name:"plan/set_all_7_rules"
+    (Staged.stage (fun () ->
+         let snaps = Array.of_list (Lazy.force short_snapshots) in
+         let cols = Monitor_trace.Columns.of_snapshots snaps in
+         let plan = Mtl.Plan.compile Rules.all in
+         ignore (Mtl.Plan_exec.eval_columns plan snaps cols)))
+
+let bench_plan_set_online =
+  Test.make ~name:"plan/set_all_7_rules_online"
+    (Staged.stage (fun () ->
+         let plan = Mtl.Plan.compile Rules.all in
+         let fused = Mtl.Online.Fused.create plan in
+         List.iter
+           (fun snap ->
+             Mtl.Online.Fused.step_iter fused snap (fun _ _ _ _ -> ()))
+           (Lazy.force short_snapshots);
+         Mtl.Online.Fused.finalize_iter fused (fun _ _ _ _ -> ())))
+
 let bench_ablation_hold =
   Test.make ~name:"ablation/warmup_sweep_piece"
     (Staged.stage (fun () ->
@@ -610,7 +636,8 @@ let () =
       bench_lossy_bus_run; bench_multirate; bench_warmup; bench_offline_rule 0;
       bench_offline_rule 1; bench_offline_rule 4; bench_online_rule 1;
       bench_online_rule 5; bench_all_rules_offline; bench_parser;
-      bench_simplify; bench_monitor_set; bench_ablation_hold;
+      bench_simplify; bench_monitor_set; bench_plan_set_offline;
+      bench_plan_set_online; bench_ablation_hold;
       bench_snapshots; bench_can_roundtrip; bench_frame_bit_count;
       bench_plant_step; bench_controller_step; bench_obs_overhead_off;
       bench_obs_overhead_on; bench_fleet_ingest ]

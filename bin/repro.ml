@@ -570,7 +570,14 @@ let lint_cmd =
     in
     Arg.(value & opt_all string [] & info [ "allow" ] ~docv:"CODE" ~doc)
   in
-  let run target use_dbc strict allow_names =
+  let json_arg =
+    let doc =
+      "Emit the diagnostics as one JSON object (code, severity, path, \
+       span, message per diagnostic) instead of the text report."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run target use_dbc strict allow_names json =
     let allow =
       List.map
         (fun name ->
@@ -586,11 +593,22 @@ let lint_cmd =
     in
     let env = if use_dbc then fsracc_lint_env () else L.env () in
     let items =
-      if String.equal target "builtin" then
+      if String.equal target "builtin" then begin
+        let specs = builtin_specs () in
+        let cross = L.cross_check specs in
         Ok
-          (List.map
-             (fun spec -> (spec, L.check_env ~allow env spec))
-             (builtin_specs ()))
+          (List.mapi
+             (fun i spec ->
+               let mine =
+                 List.filter_map
+                   (fun (j, (d : L.diagnostic)) ->
+                     if j = i && not (List.mem d.L.code allow) then Some d
+                     else None)
+                   cross
+               in
+               (spec, L.check_env ~allow env spec @ mine))
+             specs)
+      end
       else L.lint_file ~env ~allow target
     in
     match items with
@@ -598,7 +616,9 @@ let lint_cmd =
       prerr_endline ("spec file error: " ^ msg);
       exit 1
     | Ok items ->
-      print_string (Monitor_oracle.Report.render_diagnostics items);
+      print_string
+        (if json then Monitor_oracle.Report.render_diagnostics_json items
+         else Monitor_oracle.Report.render_diagnostics items);
       let has_errors =
         List.exists (fun (_, ds) -> L.errors ds <> []) items
       in
@@ -607,7 +627,58 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically analyse rule specifications (resolution, ranges,              multi-rate windows, staleness/warm-up consistency)")
-    Term.(const run $ target_arg $ dbc_arg $ strict_arg $ allow_arg)
+    Term.(const run $ target_arg $ dbc_arg $ strict_arg $ allow_arg $ json_arg)
+
+let plan_cmd =
+  let module L = Monitor_analysis.Speclint in
+  let module P = Monitor_analysis.Specplan in
+  let target_arg =
+    let doc =
+      "What to compile: a .spec file path, or 'builtin' for the seven \
+       compiled-in paper rules."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc)
+  in
+  let dbc_arg =
+    let doc =
+      "Fold the built-in FSRACC signal ranges through the plan: nodes the \
+       declared ranges decide statically are marked always-true/false and \
+       the branches they short-circuit are marked dead."
+    in
+    Arg.(value & flag & info [ "dbc" ] ~doc)
+  in
+  let dot_arg =
+    let doc = "Emit the shared DAG as a Graphviz digraph." in
+    Arg.(value & flag & info [ "dot" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the plan and its analysis facts as one JSON object." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run target use_dbc dot json =
+    let specs =
+      if String.equal target "builtin" then Monitor_oracle.Rules.all
+      else
+        match Monitor_mtl.Spec_file.load target with
+        | Ok specs -> specs
+        | Error msg ->
+          prerr_endline ("spec file error: " ^ msg);
+          exit 1
+    in
+    if specs = [] then begin
+      prerr_endline "no specs to compile";
+      exit 1
+    end;
+    let env = if use_dbc then fsracc_lint_env () else L.env () in
+    let t = P.analyze ~env specs in
+    if dot then print_string (P.to_dot t)
+    else if json then print_string (P.to_json t)
+    else print_string (P.render t)
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Compile a rule set into the fused evaluation plan and dump            the shared DAG, the static analysis facts (shared subterms,            statically decided nodes, per-rule cost) and the instruction            listing")
+    Term.(const run $ target_arg $ dbc_arg $ dot_arg $ json_arg)
 
 let check_cmd =
   let trace_arg =
@@ -764,4 +835,4 @@ let () =
     [ figure1_cmd; table1_cmd; vehicle_logs_cmd; multirate_cmd; warmup_cmd;
       ablation_cmd; lossy_bus_cmd; simulate_cmd; fleet_cmd; trace_stats_cmd;
       rules_cmd;
-      lint_cmd; check_cmd; all_cmd ]))
+      lint_cmd; plan_cmd; check_cmd; all_cmd ]))

@@ -28,6 +28,8 @@ type code =
   | Warmup_hold_short
   | Stale_deadline_tight
   | Constant_severity
+  | Duplicate_rule
+  | Subsumed_rule
 
 type severity = Error | Warning | Info
 
@@ -47,8 +49,8 @@ let severity_of = function
   | Enum_as_bool | Bool_compared | Always_true_cmp | Always_false_cmp
   | Window_subsamples | Point_window_off_grid | Unbounded_window
   | Stale_without_period | Warmup_hold_short | Stale_deadline_tight
-  | Constant_severity -> Warning
-  | Decision_latency -> Info
+  | Constant_severity | Duplicate_rule -> Warning
+  | Decision_latency | Subsumed_rule -> Info
 
 let code_name = function
   | Unknown_signal -> "unknown-signal"
@@ -69,6 +71,8 @@ let code_name = function
   | Warmup_hold_short -> "warmup-hold-short"
   | Stale_deadline_tight -> "stale-deadline-tight"
   | Constant_severity -> "constant-severity"
+  | Duplicate_rule -> "duplicate-rule"
+  | Subsumed_rule -> "subsumed-rule"
 
 let all_codes =
   [ Unknown_signal; Bool_in_arithmetic; Float_as_bool; Enum_as_bool;
@@ -76,7 +80,7 @@ let all_codes =
     Unsatisfiable_rule; Tautological_rule; Window_subsamples;
     Point_window_off_grid; Unbounded_window; Decision_latency;
     Stale_without_period; Warmup_hold_short; Stale_deadline_tight;
-    Constant_severity ]
+    Constant_severity; Duplicate_rule; Subsumed_rule ]
 
 let code_of_name name = List.find_opt (fun c -> code_name c = name) all_codes
 
@@ -509,6 +513,86 @@ let check_env ?(allow = []) env (spec : Spec.t) =
 let check ?dbc ?defs ?period ?staleness ?allow spec =
   check_env ?allow (env ?dbc ?defs ?period ?staleness ()) spec
 
+(* Verdict sets for other analyses (Specplan) ------------------------------- *)
+
+type outcomes = { can_true : bool; can_false : bool; can_unknown : bool }
+
+let possible_verdicts env f =
+  let v = eval_formula env no_emit "formula" f in
+  { can_true = v.vt; can_false = v.vf; can_unknown = v.vu }
+
+(* Cross-rule checks -------------------------------------------------------- *)
+
+(* Duplicate/subsumption detection works on simplified bodies: the
+   simplifier normalises [a -> b] to [or (not a) b], folds constants and
+   strips idempotent repeats, so textual variation that does not change
+   the verdict stream compares equal.  Machines make textually equal
+   formulas semantically distinct (each rule instantiates its own), so
+   machine-using rules never participate. *)
+
+let rec conjuncts (f : Formula.t) acc =
+  match f with
+  | Formula.And (a, b) -> conjuncts a (conjuncts b acc)
+  | f -> f :: acc
+
+let overlap_pairs specs =
+  let specs = Array.of_list specs in
+  let info =
+    Array.map
+      (fun (s : Spec.t) ->
+        if s.Spec.machines <> [] then None
+        else
+          let nf = Monitor_mtl.Rewrite.simplify s.Spec.formula in
+          Some (conjuncts nf []))
+      specs
+  in
+  let subset xs ys =
+    List.for_all (fun x -> List.exists (Formula.equal x) ys) xs
+  in
+  let out = ref [] in
+  let n = Array.length specs in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      match info.(i), info.(j) with
+      | Some ci, Some cj ->
+        let i_in_j = subset ci cj and j_in_i = subset cj ci in
+        (* conj(i) ⊆ conj(j) means rule j's body implies rule i's, so by
+           contraposition every violation of i is a violation of j: i is
+           the redundant one. *)
+        if i_in_j && j_in_i then out := (i, j, `Duplicate) :: !out
+        else if i_in_j then out := (i, j, `Subsumed) :: !out
+        else if j_in_i then out := (j, i, `Subsumed) :: !out
+      | _ -> ()
+    done
+  done;
+  List.rev !out
+
+let cross_check specs =
+  let arr = Array.of_list specs in
+  let name i = arr.(i).Spec.name in
+  List.map
+    (fun (i, j, kind) ->
+      let diag code message =
+        { code; severity = severity_of code; message; path = "formula";
+          span = None }
+      in
+      match kind with
+      | `Duplicate ->
+        ( j,
+          diag Duplicate_rule
+            (Printf.sprintf
+               "rule %s duplicates rule %s: the bodies are identical after \
+                simplification; the monitor evaluates the same oracle twice"
+               (name j) (name i)) )
+      | `Subsumed ->
+        ( i,
+          diag Subsumed_rule
+            (Printf.sprintf
+               "rule %s is subsumed by rule %s: every in-range violation of \
+                %s is also a violation of %s"
+               (name i) (name j) (name i) (name j)) ))
+    (overlap_pairs (Array.to_list arr))
+
 (* Spec files --------------------------------------------------------------- *)
 
 let has_prefix p s =
@@ -526,9 +610,20 @@ let attach_span file (spans : Spec_file.item_spans) d =
 
 let lint_items ?env:env_opt ?allow file items =
   let e = match env_opt with Some e -> e | None -> env () in
-  List.map
-    (fun (spec, spans) ->
-      (spec, List.map (attach_span file spans) (check_env ?allow e spec)))
+  let allowed = Option.value allow ~default:[] in
+  let cross = cross_check (List.map fst items) in
+  List.mapi
+    (fun i (spec, spans) ->
+      let own = List.map (attach_span file spans) (check_env ?allow e spec) in
+      let mine =
+        List.filter_map
+          (fun (r, d) ->
+            if r = i && not (List.mem d.code allowed) then
+              Some (attach_span file spans d)
+            else None)
+          cross
+      in
+      (spec, own @ mine))
     items
 
 let lint_file ?env ?allow path =

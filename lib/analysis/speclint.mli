@@ -53,6 +53,12 @@ type code =
   | Constant_severity
       (** a severity expression reading no signal: constant per tick, so
           episode intensity and the robustness ranking degenerate *)
+  | Duplicate_rule
+      (** two rules whose bodies are identical after simplification —
+          the monitor evaluates the same oracle twice *)
+  | Subsumed_rule
+      (** a rule whose violations are all violations of another rule
+          (its simplified conjunct set is a subset of the other's) *)
 
 type severity = Error | Warning | Info
 
@@ -125,6 +131,38 @@ val check :
   ?allow:code list ->
   Monitor_mtl.Spec.t -> diagnostic list
 (** [check spec = check_env (env ()) spec]; builds a one-shot {!env}. *)
+
+type outcomes = { can_true : bool; can_false : bool; can_unknown : bool }
+(** Which verdicts a formula can take on some in-range trace, each field
+    over-approximated independently (see {!Interval}). *)
+
+val possible_verdicts : env -> Monitor_mtl.Formula.t -> outcomes
+(** The range walk of {!check_env} without the diagnostics — the hook
+    {!Specplan} uses to fold the interval analysis over plan nodes. *)
+
+(** {1 Cross-rule checks}
+
+    Redundancy is only visible across the whole rule set, so these run
+    over the spec list rather than one spec: bodies are simplified
+    ({!Monitor_mtl.Rewrite.simplify}) and compared structurally.
+    Machine-using rules never participate — each rule instantiates its
+    own machines, so textually equal formulas denote different state. *)
+
+val overlap_pairs :
+  Monitor_mtl.Spec.t list ->
+  (int * int * [ `Duplicate | `Subsumed ]) list
+(** [(i, j, `Duplicate)] with [i < j]: the two bodies are equal (as
+    simplified conjunct sets) — rule [j] re-states rule [i].
+    [(i, j, `Subsumed)]: rule [i]'s simplified conjunct set is a strict
+    subset of rule [j]'s, so [j]'s body implies [i]'s and every
+    violation of [i] is already a violation of [j]. *)
+
+val cross_check :
+  Monitor_mtl.Spec.t list -> (int * diagnostic) list
+(** {!overlap_pairs} as diagnostics, attributed to the redundant rule's
+    index ([Duplicate_rule] on the later duplicate, [Subsumed_rule] on
+    the subsumed rule).  {!lint_file}/{!lint_string} fold these into the
+    per-spec lists. *)
 
 val lint_file :
   ?env:env -> ?allow:code list ->

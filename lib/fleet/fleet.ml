@@ -82,13 +82,21 @@ let verdict_line name tick time v =
 
 (* One live evaluation pipeline: an incremental snapshot feed driving the
    session's monitors.  A restart discards the incarnation wholesale — a
-   crashed monitor's internal state is not trusted to resume. *)
+   crashed monitor's internal state is not trusted to resume.
+
+   All boolean rules run in one fused whole-spec monitor over the plan
+   compiled at fleet creation: a single pass per tick advances every
+   rule, with cross-rule shared subterms advanced once.  The fused
+   driver reports each rule's batch in rule order, exactly as the old
+   per-rule loop did, and each batch is byte-identical to a dedicated
+   monitor's — so session digests are unchanged (the chaos-smoke CI gate
+   checks this against the per-rule [isolated_stream] replay). *)
 type incarnation = {
   feed : Feed.t;
-  monitors : Online.t array;
+  fused : Online.Fused.t;
   rmonitors : Monitor_mtl.Robust.Online.t array;
-      (* quantitative twins of [monitors], same shared signal layout;
-         empty unless [robust_gauges] *)
+      (* quantitative twins of the fused rules, same shared signal
+         layout; empty unless [robust_gauges] *)
 }
 
 type session_state =
@@ -177,6 +185,7 @@ type t = {
   pool : Pool.t option;
   wrapped : Spec.t array;  (* stale_guarded specs, session evaluation order *)
   wrapped_list : Spec.t list;
+  plan : Monitor_mtl.Plan.t;  (* compiled once, shared by every session *)
   names : string array;
   staleness : string -> float option;
   shards : shard array;
@@ -237,6 +246,7 @@ let create ?pool (cfg : config) =
     pool;
     wrapped;
     wrapped_list;
+    plan = Monitor_mtl.Plan.compile wrapped_list;
     names = Array.map (fun (s : Spec.t) -> s.Spec.name) wrapped;
     staleness =
       Monitor_oracle.Oracle.stale_deadlines ~k:cfg.watchdog_k
@@ -296,7 +306,7 @@ let shard_of t vin = t.shards.(vin_hash vin mod Array.length t.shards)
 let new_incarnation t =
   let shared = Online.shared_for t.wrapped_list in
   { feed = Feed.create ~staleness:t.staleness ~period:t.cfg.period ();
-    monitors = Array.map (fun spec -> Online.create ~shared spec) t.wrapped;
+    fused = Online.Fused.create ~shared t.plan;
     rmonitors =
       (if t.cfg.robust_gauges then
          Array.map
@@ -351,9 +361,8 @@ let step t (sh : shard) s inc snap =
   (match t.cfg.inject_fault with
   | Some hook -> hook ~vin:s.vin ~tick
   | None -> ());
-  Array.iteri
-    (fun j m -> Online.step_iter m snap (fun rt time v -> record t s j rt time v))
-    inc.monitors;
+  Online.Fused.step_iter inc.fused snap (fun j rt time v ->
+      record t s j rt time v);
   (* Live robustness: fold each rule's resolved upper bounds into the
      shard's running minimum — how close the fleet has provably come to
      violating each rule, one float per rule, no per-tick storage. *)
@@ -364,16 +373,8 @@ let step t (sh : shard) s inc snap =
     inc.rmonitors
 
 let finalize_incarnation t (sh : shard) s inc =
-  Array.iteri
-    (fun j m ->
-      let n = Online.finalize_resolved m in
-      for i = 0 to n - 1 do
-        record t s j
-          (Online.resolved_tick m i)
-          (Online.resolved_time m i)
-          (Online.resolved_verdict m i)
-      done)
-    inc.monitors;
+  Online.Fused.finalize_iter inc.fused (fun j tick time v ->
+      record t s j tick time v);
   Array.iteri
     (fun j rm ->
       let n = Monitor_mtl.Robust.Online.finalize_resolved rm in
@@ -784,6 +785,10 @@ let isolated_stream ?(period = 0.01) ?(watchdog_k = 3.0) ?stale_hold
   let snaps = Trace.Multirate.snapshots ~staleness trace ~period in
   let wrapped = List.map (Spec.stale_guarded ?hold:stale_hold) specs in
   let shared = Online.shared_for wrapped in
+  (* Deliberately per-rule monitors, NOT the fused plan the live sessions
+     run: a [--verify] digest comparison against this replay is then an
+     end-to-end differential check of the fused driver, not a replay of
+     the same code path. *)
   let monitors = Array.of_list (List.map (Online.create ~shared) wrapped) in
   let names =
     Array.of_list (List.map (fun (s : Spec.t) -> s.Spec.name) wrapped)

@@ -104,6 +104,16 @@ val eval_subformula_naive :
 (** Naive-path boolean evaluation of one subformula (per-tick leaves,
     window re-scan) — the reference {!Robust.Naive} builds on. *)
 
+val window_scan :
+  float array -> Verdict.t array -> lo_off:float -> hi_off:float ->
+  sem:Window.sem -> Verdict.t array
+(** The sliding-window kernel itself: verdict at tick [k] of the window
+    [[t_k + lo_off, t_k + hi_off]] over the child verdicts, under [sem]'s
+    decision table.  Allocates a fresh output and never mutates [child] —
+    the plan executor ({!Plan_exec}) relies on this to aggregate over
+    memoized, shared child columns.  Past operators are expressed with
+    negative offsets ([Once [a,b]] is [lo_off = -b], [hi_off = -a]). *)
+
 val mask_scan : float array -> Verdict.t array -> hold:float -> Verdict.t array
 (** The warm-up suppression window: [True] at tick [k] iff the trigger
     verdicts contain a [True] in [[t_k - hold, t_k]] (fast kernel). *)

@@ -564,6 +564,21 @@ and kind =
       right : node;
     }
   | Temporal of temporal
+  | Tap of tap
+
+(* A non-destructive reader of a shared node's output, used only by the
+   fused whole-spec driver ({!Fused}).  The consumption protocol above is
+   destructive — each parent drains its child's ring — so a node shared
+   by several parents in a plan DAG gets one [Tap] per consuming edge:
+   the tap copies newly resolved entries (absolute tick >= [copied]) out
+   of the shared "hub" node's ring into its own private ring, which its
+   parent then drains destructively as usual.  The driver retires a
+   hub's entries once per tick, after every tap has copied them.  Tree
+   monitors ({!create}) never contain taps. *)
+and tap = {
+  src : node;
+  mutable copied : int;  (* absolute tick up to which entries are copied *)
+}
 
 (* Sliding-window state.  The window ring holds resolved child verdicts in
    tick order; its front [counted] entries are the samples inside the
@@ -781,6 +796,19 @@ let drain_bin op left right out =
     outbuf_consume r k
   end
 
+let tap_drain tap out =
+  let s = tap.src.out in
+  let start = tap.copied - s.obase in
+  if start < s.olen then begin
+    for i = start to s.olen - 1 do
+      let src = outbuf_phys s i in
+      let j = outbuf_reserve out in
+      Bytes.unsafe_set out.ov j (Bytes.unsafe_get s.ov src);
+      out.ot.(j) <- s.ot.(src)
+    done;
+    tap.copied <- s.obase + s.olen
+  end
+
 let absorb_child tp =
   let c = tp.child.out in
   let k = c.olen in
@@ -878,7 +906,13 @@ let rec try_resolve_temporal ~finalizing tp out =
     end
   end
 
-let rec advance env node time =
+(* One node's own per-tick work, children already advanced this tick.
+   The tree walker below recurses into children first and then calls
+   this, so for tree monitors the split is behaviour-preserving; the
+   fused driver instead calls it over a topologically ordered node
+   array, where a shared child is advanced once however many parents
+   consume it. *)
+let advance_self env node time =
   match node.kind with
   | Leaf v ->
     let verdict = eval_vnode env v in
@@ -886,15 +920,9 @@ let rec advance env node time =
     let j = outbuf_reserve o in
     Bytes.unsafe_set o.ov j (code_of_verdict verdict);
     o.ot.(j) <- time
-  | Not1 child ->
-    advance env child time;
-    drain_not child node.out
-  | Bin { op; left; right } ->
-    advance env left time;
-    advance env right time;
-    drain_bin op left right node.out
+  | Not1 child -> drain_not child node.out
+  | Bin { op; left; right } -> drain_bin op left right node.out
   | Temporal tp ->
-    advance env tp.child time;
     if not tp.saw_input then begin
       tp.tf.first_input <- time;
       tp.saw_input <- true
@@ -904,25 +932,41 @@ let rec advance env node time =
     tp.pend.fv.(j) <- time;
     absorb_child tp;
     try_resolve_temporal ~finalizing:false tp node.out
+  | Tap tap -> tap_drain tap node.out
 
-let rec finalize_node node =
+let rec advance env node time =
+  (match node.kind with
+  | Leaf _ | Tap _ -> ()
+  | Not1 child -> advance env child time
+  | Bin { left; right; _ } ->
+    advance env left time;
+    advance env right time
+  | Temporal tp -> advance env tp.child time);
+  advance_self env node time
+
+let finalize_self node =
   match node.kind with
   | Leaf _ -> ()
-  | Not1 child ->
-    finalize_node child;
-    drain_not child node.out
-  | Bin { op; left; right } ->
-    finalize_node left;
-    finalize_node right;
-    drain_bin op left right node.out
+  | Not1 child -> drain_not child node.out
+  | Bin { op; left; right } -> drain_bin op left right node.out
   | Temporal tp ->
-    finalize_node tp.child;
     absorb_child tp;
     try_resolve_temporal ~finalizing:true tp node.out
+  | Tap tap -> tap_drain tap node.out
+
+let rec finalize_node node =
+  (match node.kind with
+  | Leaf _ | Tap _ -> ()
+  | Not1 child -> finalize_node child
+  | Bin { left; right; _ } ->
+    finalize_node left;
+    finalize_node right
+  | Temporal tp -> finalize_node tp.child);
+  finalize_self node
 
 let rec count_pending node =
   match node.kind with
-  | Leaf _ -> 0
+  | Leaf _ | Tap _ -> 0
   | Not1 child -> count_pending child
   | Bin { left; right; _ } -> count_pending left + count_pending right
   | Temporal tp -> tp.pend.flen + count_pending tp.child
@@ -1115,6 +1159,287 @@ let modes t =
     (Array.mapi
        (fun j rt -> (t.machine_names.(j), State_machine.current rt))
        t.machines)
+
+(* Fused whole-spec execution --------------------------------------------- *)
+
+(* One incremental monitor over a {!Plan}: every rule of a spec file
+   advances in a single pass over a topologically ordered node array,
+   with each shared subterm's node advanced once per tick.  Shared nodes
+   ("hubs") are consumed through one [Tap] per consuming edge; exclusive
+   nodes keep the ordinary destructive protocol.  Because a hub's output
+   stream is exactly what a private copy of its subtree would emit (same
+   inputs, same deterministic state evolution), every rule's verdict
+   stream — content and resolution timing — is byte-identical to a
+   per-rule monitor's, which the differential suite checks.
+
+   Machines stay per-rule state: the runtimes are concatenated into one
+   global array, and each rule compiles its [in_mode] atoms against a
+   padded name table that exposes only that rule's slice (at global
+   indices), so mode references resolve rule-locally exactly as in
+   {!create}.
+
+   The steady-state allocation discipline is the tree kernel's: after
+   the rings reach the plan's horizon, a step of a machine-free plan
+   performs no minor-heap allocation (covered by test_online_alloc). *)
+module Fused = struct
+  type rule = {
+    r_out : node;  (* report node: an exclusive root or a private tap *)
+    r_mach_off : int;
+    r_mach_len : int;
+    r_pre_lookup : string -> string option;
+  }
+
+  type t = {
+    plan : Plan.t;
+    rules : rule array;
+    exec : node array;    (* execution order: children (and taps) first *)
+    hubs : outbuf array;  (* shared-node rings, retired once per tick *)
+    env : env;
+    machines : State_machine.runtime array;   (* all rules, concatenated *)
+    machine_names : string array;
+    pre_modes : string array;
+    mf : mfloats;
+    mutable next_tick : int;
+    mutable finalized : bool;
+  }
+
+  let create ?shared (plan : Plan.t) =
+    let specs = plan.Plan.specs in
+    let sg =
+      match shared with
+      | Some sg -> sg
+      | None -> signals_make (Plan.signals plan)
+    in
+    (* Global machine tables plus per-rule padded views. *)
+    let nmach =
+      Array.fold_left
+        (fun acc (s : Spec.t) -> acc + List.length s.Spec.machines)
+        0 specs
+    in
+    let machines = Array.make nmach None in
+    let machine_names = Array.make nmach "" in
+    let offs = Array.make (Array.length specs) 0 in
+    let lens = Array.make (Array.length specs) 0 in
+    let pos = ref 0 in
+    Array.iteri
+      (fun r (s : Spec.t) ->
+        offs.(r) <- !pos;
+        List.iter
+          (fun (m : State_machine.t) ->
+            machines.(!pos) <- Some (State_machine.start m);
+            machine_names.(!pos) <- m.State_machine.name;
+            incr pos)
+          s.Spec.machines;
+        lens.(r) <- !pos - offs.(r))
+      specs;
+    let machines =
+      Array.map (function Some rt -> rt | None -> assert false) machines
+    in
+    let pre_modes = Array.make nmach "" in
+    let post_modes = Array.make nmach "" in
+    Array.iteri
+      (fun j rt ->
+        pre_modes.(j) <- State_machine.current rt;
+        post_modes.(j) <- State_machine.current rt)
+      machines;
+    let padded_names =
+      Array.init (Array.length specs) (fun r ->
+          Array.init nmach (fun j ->
+              if j >= offs.(r) && j < offs.(r) + lens.(r) then
+                machine_names.(j)
+              else ""))
+    in
+    let no_machines = [||] in
+    let nhist = ref 0 in
+    (* Build the DAG bottom-up in plan order; consuming edges of shared
+       nodes go through taps, appended to the execution order between
+       the hub and its parent. *)
+    let nnodes = Array.length plan.Plan.nodes in
+    let built = Array.make nnodes None in
+    let exec = ref [] in
+    let hubs = ref [] in
+    let push n = exec := n :: !exec in
+    let hub_of id = match built.(id) with Some n -> n | None -> assert false in
+    let edge id =
+      let n = hub_of id in
+      if plan.Plan.nodes.(id).Plan.uses > 1 then begin
+        let tap = { kind = Tap { src = n; copied = 0 }; out = outbuf_create () } in
+        push tap;
+        tap
+      end
+      else n
+    in
+    Array.iteri
+      (fun id (pnode : Plan.node) ->
+        let names =
+          if pnode.Plan.owner < 0 then no_machines
+          else padded_names.(pnode.Plan.owner)
+        in
+        let n =
+          match pnode.Plan.shape with
+          | Plan.Atom ->
+            { kind = Leaf (compile_vnode sg names nhist pnode.Plan.form);
+              out = outbuf_create () }
+          | Plan.Not c -> { kind = Not1 (edge c); out = outbuf_create () }
+          | Plan.And (a, b) ->
+            let left = edge a in
+            { kind = Bin { op = Verdict.and_; left; right = edge b };
+              out = outbuf_create () }
+          | Plan.Or (a, b) ->
+            let left = edge a in
+            { kind = Bin { op = Verdict.or_; left; right = edge b };
+              out = outbuf_create () }
+          | Plan.Implies (a, b) ->
+            let left = edge a in
+            { kind = Bin { op = Verdict.implies; left; right = edge b };
+              out = outbuf_create () }
+          | Plan.Window { op; lo; hi; child } ->
+            let c = edge child in
+            (match op with
+            | Plan.W_always ->
+              temporal ~lo_off:lo ~hi_off:hi ~sem:Window.Universal c
+            | Plan.W_eventually ->
+              temporal ~lo_off:lo ~hi_off:hi ~sem:Window.Existential c
+            | Plan.W_historically ->
+              temporal ~lo_off:(-.hi) ~hi_off:(-.lo) ~sem:Window.Universal c
+            | Plan.W_once ->
+              temporal ~lo_off:(-.hi) ~hi_off:(-.lo) ~sem:Window.Existential c)
+          | Plan.Warmup { trigger; hold; body } ->
+            (* Same shape as [build]: a Mask temporal over the trigger,
+               combined with the body.  The mask node is private to this
+               warm-up, so it joins the execution order directly. *)
+            let mask =
+              temporal ~lo_off:(-.hold) ~hi_off:0.0 ~sem:Window.Mask
+                (edge trigger)
+            in
+            push mask;
+            { kind = Bin { op = mask_combine; left = mask; right = edge body };
+              out = outbuf_create () }
+        in
+        push n;
+        if pnode.Plan.uses > 1 then hubs := n.out :: !hubs;
+        built.(id) <- Some n)
+      plan.Plan.nodes;
+    let rules =
+      Array.mapi
+        (fun r root_id ->
+          let pre_lookup name =
+            let j = machine_index padded_names.(r) name in
+            if j < 0 then None else Some pre_modes.(j)
+          in
+          { r_out = edge root_id;
+            r_mach_off = offs.(r);
+            r_mach_len = lens.(r);
+            r_pre_lookup = pre_lookup })
+        plan.Plan.roots
+    in
+    let env =
+      { sg;
+        est = { acc = 0.0; def = 0.0; dt = 0.0; dt_def = 0.0; now = 0.0 };
+        hval = Array.make (max 1 !nhist) 0.0;
+        hdef = Bytes.make (max 1 !nhist) '\000';
+        post_modes }
+    in
+    { plan; rules;
+      exec = Array.of_list (List.rev !exec);
+      hubs = Array.of_list (List.rev !hubs);
+      env; machines; machine_names; pre_modes;
+      mf = { last_time = Float.neg_infinity };
+      next_tick = 0; finalized = false }
+
+  let rule_count t = Array.length t.rules
+
+  let m_ticks_online_fused =
+    Obs.counter ~labels:[ ("kernel", "online_fused") ]
+      ~help:"Ticks evaluated, per kernel" "cps_kernel_ticks_total"
+
+  (* Drain rule [r]'s report ring through [f], then retire it. *)
+  let report t f =
+    for r = 0 to Array.length t.rules - 1 do
+      let o = (Array.unsafe_get t.rules r).r_out.out in
+      let k = o.olen in
+      if k > 0 then begin
+        for i = 0 to k - 1 do
+          let j = outbuf_phys o i in
+          f r (o.obase + i) o.ot.(j) (verdict_of_code (Bytes.unsafe_get o.ov j))
+        done;
+        outbuf_consume o k
+      end
+    done
+
+  let step_iter t snapshot f =
+    if t.finalized then invalid_arg "Online.step: monitor already finalized";
+    let time = snapshot.Monitor_trace.Snapshot.time in
+    if time <= t.mf.last_time then
+      invalid_arg
+        (Printf.sprintf
+           "Online.step: snapshot times must be strictly increasing (tick %d \
+            has time %.9g, tick %d has time %.9g)"
+           (t.next_tick - 1) t.mf.last_time t.next_tick time);
+    let est = t.env.est in
+    est.now <- time;
+    if t.next_tick = 0 then est.dt_def <- 0.0
+    else begin
+      est.dt <- time -. t.mf.last_time;
+      est.dt_def <- 1.0
+    end;
+    t.mf.last_time <- time;
+    t.next_tick <- t.next_tick + 1;
+    update_signals t.env.sg snapshot;
+    (* Machines first, rule by rule: each rule's guards look up pre-step
+       modes through that rule's own name table. *)
+    let nmach = Array.length t.machines in
+    if nmach > 0 then begin
+      for j = 0 to nmach - 1 do
+        t.pre_modes.(j) <- State_machine.current t.machines.(j)
+      done;
+      for r = 0 to Array.length t.rules - 1 do
+        let rule = t.rules.(r) in
+        for j = rule.r_mach_off to rule.r_mach_off + rule.r_mach_len - 1 do
+          ignore
+            (State_machine.step t.machines.(j) ~mode_lookup:rule.r_pre_lookup
+               snapshot)
+        done
+      done;
+      for j = 0 to nmach - 1 do
+        t.env.post_modes.(j) <- State_machine.current t.machines.(j)
+      done
+    end;
+    let exec = t.exec in
+    for i = 0 to Array.length exec - 1 do
+      advance_self t.env (Array.unsafe_get exec i) time
+    done;
+    (* Every tap has copied the hubs' new entries by now; retire them. *)
+    let hubs = t.hubs in
+    for i = 0 to Array.length hubs - 1 do
+      let h = Array.unsafe_get hubs i in
+      outbuf_consume h h.olen
+    done;
+    Obs.add m_ticks_online_fused (Array.length t.rules);
+    report t f
+
+  let finalize_iter t f =
+    if t.finalized then invalid_arg "Online.finalize: already finalized";
+    t.finalized <- true;
+    let exec = t.exec in
+    for i = 0 to Array.length exec - 1 do
+      finalize_self (Array.unsafe_get exec i)
+    done;
+    let hubs = t.hubs in
+    for i = 0 to Array.length hubs - 1 do
+      let h = Array.unsafe_get hubs i in
+      outbuf_consume h h.olen
+    done;
+    report t f
+
+  let modes t r =
+    let rule = t.rules.(r) in
+    let out = ref [] in
+    for j = rule.r_mach_off + rule.r_mach_len - 1 downto rule.r_mach_off do
+      out := (t.machine_names.(j), State_machine.current t.machines.(j)) :: !out
+    done;
+    !out
+end
 
 (* Internal machinery re-exported for the quantitative kernel ------------- *)
 

@@ -99,6 +99,51 @@ val pending : t -> int
 val modes : t -> (string * string) list
 (** Current (post-step) state of each machine. *)
 
+(** {2 Fused whole-spec monitoring}
+
+    One incremental monitor over a whole-spec {!Plan}: every rule
+    advances in a single pass per tick over the plan's topologically
+    ordered node array, and each subterm shared across rules (or within
+    one rule) is advanced once instead of once per occurrence.  Every
+    rule's verdict stream — content {e and} resolution timing — is
+    byte-identical to a dedicated per-rule monitor's ({!create} +
+    {!step}), which is what lets the fleet layer adopt the fused driver
+    without perturbing its replay digests; the equivalence is enforced
+    by the differential property in [test/test_plan.ml].
+
+    Machines remain per-rule state (only machine-free subterms are
+    shared, see {!Plan}), and the steady-state zero-allocation
+    discipline of the tree kernel carries over. *)
+module Fused : sig
+  type t
+
+  val create : ?shared:shared -> Plan.t -> t
+  (** [?shared] as in {!val:create}: must cover every signal of every
+      rule in the plan (use {!shared_for} on [plan.specs]). *)
+
+  val rule_count : t -> int
+
+  val step_iter :
+    t ->
+    Monitor_trace.Snapshot.t ->
+    (int -> int -> float -> Verdict.t -> unit) ->
+    unit
+  (** [step_iter t snap f] feeds the next snapshot (strictly increasing
+      times; @raise Invalid_argument otherwise) and calls
+      [f rule tick time verdict] for every newly resolved tick of every
+      rule — per rule oldest first, rules in [plan.specs] order.
+      Allocates nothing in the steady state for machine-free plans. *)
+
+  val finalize_iter : t -> (int -> int -> float -> Verdict.t -> unit) -> unit
+  (** End of log: resolves every still-pending tick of every rule
+      ([Unknown] where the log cannot decide) and reports them through
+      [f] as {!step_iter} does.  The monitor must not be stepped
+      afterwards. *)
+
+  val modes : t -> int -> (string * string) list
+  (** Current (post-step) state of rule [r]'s machines. *)
+end
+
 (** {2 Kernel internals, for {!Robust.Online} only}
 
     The incremental robust kernel is a second node tree over the same

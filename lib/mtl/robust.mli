@@ -112,6 +112,37 @@ val severity_values :
     delegates here so the legacy [?severity] column and the robustness
     ranking cannot drift apart. *)
 
+(** {2 Subterm evaluation for the plan executor}
+
+    {!Plan_exec} evaluates a hash-consed whole-spec DAG node by node;
+    these are the same primitives {!eval_columns} composes internally,
+    exposed so the fused pass is the per-rule kernel's code run in a
+    different order, not a reimplementation. *)
+
+type scan_scratch
+(** Reusable deque storage for {!window_scan} — one per traversal, so a
+    fused pass over many rules allocates the wedges once. *)
+
+val scratch_make : unit -> scan_scratch
+
+val window_scan :
+  scan_scratch -> float array -> float array * float array ->
+  lo_off:float -> hi_off:float -> sem:Window.sem ->
+  float array * float array
+(** Sliding inf/sup aggregation of the child's [(lo, hi)] columns over
+    the window [[t_k + lo_off, t_k + hi_off]], in amortised O(1) per
+    tick.  Allocates fresh output columns and never mutates the child —
+    safe over memoized, shared columns.  The output shares one physical
+    array for both bounds iff the child does and every window is
+    complete. *)
+
+val leaf_columns :
+  mode_arr:(string -> string array option) ->
+  Monitor_trace.Columns.t -> Formula.t -> float array * float array
+(** Columnar [(lo, hi)] bounds of one atom: signed margins for
+    comparisons (see {!margin}), the boolean embedding for the
+    remaining atoms.  Point results share one physical array. *)
+
 (** The naive reference — the semantics of record for robustness, the
     same way {!Offline.Naive} is for verdicts.  Per-tick window
     re-scans, stateful expression evaluators, O(n·w). *)

@@ -170,29 +170,124 @@ let outcome_on_snaps ~robust spec snaps cols =
   record_outcome_metrics result;
   result
 
-let check_spec ?preflight ?period ?(robust = false) spec trace =
+(* Whole-set evaluation through the fused plan: the rule list is
+   compiled once ({!Mtl.Plan.compile}) and every rule's verdicts come
+   out of a single trace traversal.  The plan executors are
+   verdict-byte-identical to the per-rule kernels (differential suite),
+   so [?plan] only changes the cost, never an outcome. *)
+let outcomes_on_snaps_fused ~robust specs snaps cols =
+  let plan = Mtl.Plan.compile specs in
+  let t_eval = Obs.time_start () in
+  let outs = Mtl.Plan_exec.eval_columns plan snaps cols in
+  let routs =
+    if robust then Some (Mtl.Plan_exec.eval_columns_robust plan snaps cols)
+    else None
+  in
+  if Obs.on () then
+    Obs.observe_since
+      (Obs.histogram
+         ~labels:[ ("rules", string_of_int (Mtl.Plan.rule_count plan)) ]
+         ~help:"Wall time of one fused whole-set evaluation over one trace"
+         "cps_oracle_plan_eval_seconds")
+      t_eval;
+  List.mapi
+    (fun r spec ->
+      let o = outs.(r) in
+      let robustness =
+        match routs with
+        | Some ro -> Mtl.Robust.min_upper ro.(r)
+        | None -> None
+      in
+      let result =
+        outcome_of_verdicts ?severity:(severity_values spec cols) ?robustness
+          spec ~times:o.Mtl.Offline.times o.Mtl.Offline.verdicts
+      in
+      record_outcome_metrics result;
+      result)
+    specs
+
+let check_specs_on_snaps ~robust ~plan specs snaps cols =
+  if plan then outcomes_on_snaps_fused ~robust specs snaps cols
+  else List.map (fun spec -> outcome_on_snaps ~robust spec snaps cols) specs
+
+let check_spec ?preflight ?period ?(robust = false) ?(plan = true) spec trace =
   Option.iter (fun env -> assert_preflight env [ spec ]) preflight;
   let snaps = Array.of_list (snapshots_of_trace ?period trace) in
-  outcome_on_snaps ~robust spec snaps (Trace.Columns.of_snapshots snaps)
+  let cols = Trace.Columns.of_snapshots snaps in
+  List.hd (check_specs_on_snaps ~robust ~plan [ spec ] snaps cols)
 
-let check ?preflight ?period ?(robust = false) specs trace =
+let check ?preflight ?period ?(robust = false) ?(plan = true) specs trace =
   Option.iter (fun env -> assert_preflight env specs) preflight;
   let snaps = Array.of_list (snapshots_of_trace ?period trace) in
   let cols = Trace.Columns.of_snapshots snaps in
-  List.map (fun spec -> outcome_on_snaps ~robust spec snaps cols) specs
+  check_specs_on_snaps ~robust ~plan specs snaps cols
 
 let stale_deadlines ?(k = 3.0) ~periods s =
   Option.map (fun p -> k *. p) (periods s)
 
-let check_stale_aware ?preflight ?period ?k ?hold ?(robust = false) ~periods
-    specs trace =
+let check_stale_aware ?preflight ?period ?k ?hold ?(robust = false)
+    ?(plan = true) ~periods specs trace =
   Option.iter (fun env -> assert_preflight env specs) preflight;
   let staleness = stale_deadlines ?k ~periods in
   let snaps = Array.of_list (snapshots_of_trace ?period ~staleness trace) in
   let cols = Trace.Columns.of_snapshots snaps in
-  List.map
-    (fun spec ->
-      outcome_on_snaps ~robust (Mtl.Spec.stale_guarded ?hold spec) snaps cols)
+  (* The plan compiles over the wrapped rules, so the warm-up guards are
+     part of the DAG and share their trigger subterms too. *)
+  let wrapped = List.map (Mtl.Spec.stale_guarded ?hold) specs in
+  check_specs_on_snaps ~robust ~plan wrapped snaps cols
+
+let check_online ?preflight ?period ?(robust = false) specs trace =
+  Option.iter (fun env -> assert_preflight env specs) preflight;
+  let snapshots = snapshots_of_trace ?period trace in
+  let n = List.length snapshots in
+  let plan = Mtl.Plan.compile specs in
+  let nr = Mtl.Plan.rule_count plan in
+  let shared = Mtl.Online.shared_for specs in
+  let fused = Mtl.Online.Fused.create ~shared plan in
+  let times = Array.init nr (fun _ -> Array.make n 0.0) in
+  let verdicts = Array.init nr (fun _ -> Array.make n Mtl.Verdict.Unknown) in
+  let store r tick time verdict =
+    times.(r).(tick) <- time;
+    verdicts.(r).(tick) <- verdict
+  in
+  List.iter (fun snap -> Mtl.Online.Fused.step_iter fused snap store) snapshots;
+  Mtl.Online.Fused.finalize_iter fused store;
+  (* Robustness still streams through the per-rule incremental
+     quantitative kernel (there is no fused robust online path); the
+     signal environment is shared so the per-tick refresh is paid once. *)
+  let robustness =
+    if not robust || n = 0 then fun _ -> None
+    else begin
+      let mins =
+        List.map
+          (fun spec ->
+            let rm = Mtl.Robust.Online.create ~shared spec in
+            let acc = ref Float.infinity in
+            let fold _tick _time _lo hi = if hi < !acc then acc := hi in
+            List.iter
+              (fun snap -> Mtl.Robust.Online.step_iter rm snap fold)
+              snapshots;
+            let rfinal = Mtl.Robust.Online.finalize_resolved rm in
+            for i = 0 to rfinal - 1 do
+              let hi = Mtl.Robust.Online.resolved_hi rm i in
+              if hi < !acc then acc := hi
+            done;
+            Some !acc)
+          specs
+      in
+      let mins = Array.of_list mins in
+      fun r -> mins.(r)
+    end
+  in
+  let cols = Trace.Columns.of_snapshots (Array.of_list snapshots) in
+  List.mapi
+    (fun r spec ->
+      let result =
+        outcome_of_verdicts ?severity:(severity_values spec cols)
+          ?robustness:(robustness r) spec ~times:times.(r) verdicts.(r)
+      in
+      record_outcome_metrics result;
+      result)
     specs
 
 let check_spec_online ?preflight ?period ?(robust = false) spec trace =

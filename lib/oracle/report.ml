@@ -246,6 +246,44 @@ let render_diagnostics items =
     !total_warnings (List.length items);
   Buffer.contents buf
 
+let render_diagnostics_json items =
+  let esc = Monitor_obs.Metrics.json_escape in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let severity_name = function
+    | Speclint.Error -> "error"
+    | Speclint.Warning -> "warning"
+    | Speclint.Info -> "info"
+  in
+  let total_errors = ref 0 and total_warnings = ref 0 in
+  add "{\"specs\":[";
+  List.iteri
+    (fun i ((spec : Monitor_mtl.Spec.t), ds) ->
+      if i > 0 then add ",";
+      add "{\"name\":\"%s\",\"diagnostics\":[" (esc spec.Monitor_mtl.Spec.name);
+      List.iteri
+        (fun j (d : Speclint.diagnostic) ->
+          (match d.Speclint.severity with
+           | Speclint.Error -> incr total_errors
+           | Speclint.Warning -> incr total_warnings
+           | Speclint.Info -> ());
+          if j > 0 then add ",";
+          add "{\"code\":\"%s\",\"severity\":\"%s\",\"path\":\"%s\","
+            (esc (Speclint.code_name d.Speclint.code))
+            (severity_name d.Speclint.severity)
+            (esc d.Speclint.path);
+          (match d.Speclint.span with
+           | Some s ->
+             add "\"span\":{\"file\":\"%s\",\"line\":%d,\"col\":%d},"
+               (esc s.Speclint.file) s.Speclint.line s.Speclint.col
+           | None -> add "\"span\":null,");
+          add "\"message\":\"%s\"}" (esc d.Speclint.message))
+        ds;
+      add "]}")
+    items;
+  add "],\"errors\":%d,\"warnings\":%d}\n" !total_errors !total_warnings;
+  Buffer.contents buf
+
 let summarize rows ~rule_count =
   let violated_rows = Array.make rule_count 0 in
   List.iter

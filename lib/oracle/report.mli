@@ -98,3 +98,12 @@ val render_diagnostics :
   string
 (** The lint report: one block per spec with its diagnostics (clean specs
     get a one-liner), then an error/warning total. *)
+
+val render_diagnostics_json :
+  (Monitor_mtl.Spec.t * Monitor_analysis.Speclint.diagnostic list) list ->
+  string
+(** The same report as one JSON object for tooling:
+    [{"specs":[{"name","diagnostics":[{code,severity,path,span,message}]}],
+    "errors":N,"warnings":N}].  [span] is [null] for compiled-in specs,
+    [{file,line,col}] (1-based) for [.spec] sources; [code] is the stable
+    kebab-case {!Monitor_analysis.Speclint.code_name}. *)

@@ -210,6 +210,117 @@ let test_code_names_roundtrip () =
       | _ -> Alcotest.failf "code name %s does not round-trip" (L.code_name c))
     L.all_codes
 
+(* Cross-rule redundancy ---------------------------------------------------- *)
+
+let named name src =
+  Mtl.Spec.make ~name (Mtl.Parser.formula_of_string_exn src)
+
+let test_duplicate_rule () =
+  let specs =
+    [ named "a" "BrakeRequested -> RequestedDecel <= 0.0";
+      named "b" "BrakeRequested -> RequestedDecel <= 0.0" ]
+  in
+  (match L.overlap_pairs specs with
+   | [ (0, 1, `Duplicate) ] -> ()
+   | _ -> Alcotest.fail "expected exactly (0, 1, `Duplicate)");
+  (match L.cross_check specs with
+   | [ (1, d) ] ->
+     Alcotest.(check bool) "code" true (d.L.code = L.Duplicate_rule);
+     Alcotest.(check bool) "warning" true (d.L.severity = L.Warning)
+   | _ -> Alcotest.fail "one diagnostic, on the later duplicate, expected");
+  Alcotest.(check bool) "warning severity" true
+    (L.severity_of L.Duplicate_rule = L.Warning)
+
+let test_duplicate_modulo_order () =
+  (* Conjunct sets, not syntax: commuted conjunctions still match. *)
+  let specs =
+    [ named "a" "BrakeRequested and VehicleAhead";
+      named "b" "VehicleAhead and BrakeRequested" ]
+  in
+  match L.overlap_pairs specs with
+  | [ (0, 1, `Duplicate) ] -> ()
+  | _ -> Alcotest.fail "commuted conjunctions should be duplicates"
+
+let test_subsumed_rule () =
+  (* Every violation of the single-conjunct rule is a violation of the
+     conjunction that also demands it: the wide rule is redundant. *)
+  let specs =
+    [ named "wide" "RequestedDecel <= 0.0";
+      named "narrow" "RequestedDecel <= 0.0 and Velocity < 50.0" ]
+  in
+  (match L.overlap_pairs specs with
+   | [ (0, 1, `Subsumed) ] -> ()
+   | _ -> Alcotest.fail "expected wide subsumed by narrow");
+  (match L.cross_check specs with
+   | [ (0, d) ] ->
+     Alcotest.(check bool) "code" true (d.L.code = L.Subsumed_rule);
+     Alcotest.(check bool) "info" true (d.L.severity = L.Info)
+   | _ -> Alcotest.fail "one diagnostic, on the subsumed rule, expected");
+  (* Unrelated rules draw nothing. *)
+  Alcotest.(check int) "disjoint rules clean" 0
+    (List.length
+       (L.cross_check
+          [ named "a" "BrakeRequested"; named "b" "VehicleAhead" ]))
+
+let test_machines_never_overlap () =
+  (* Textually identical machine-using rules instantiate distinct state,
+     so they are not duplicates. *)
+  let source =
+    "spec a\n\
+     machine m {\n\
+    \  initial s\n\
+    \  states s t\n\
+    \  s -> t when VehicleAhead\n\
+     }\n\
+     formula mode(m, t) -> BrakeRequested\n\n\
+     spec b\n\
+     machine m {\n\
+    \  initial s\n\
+    \  states s t\n\
+    \  s -> t when VehicleAhead\n\
+     }\n\
+     formula mode(m, t) -> BrakeRequested\n"
+  in
+  match L.lint_string ~env:fsracc_env source with
+  | Error msg -> Alcotest.fail msg
+  | Ok items ->
+    List.iter
+      (fun (_, ds) ->
+        Alcotest.(check bool) "no duplicate-rule" false
+          (has L.Duplicate_rule ds);
+        Alcotest.(check bool) "no subsumed-rule" false
+          (has L.Subsumed_rule ds))
+      items
+
+let test_cross_rule_in_lint_string () =
+  let source =
+    "spec a\nformula BrakeRequested -> RequestedDecel <= 0.0\n\
+     spec b\nformula BrakeRequested -> RequestedDecel <= 0.0\n"
+  in
+  match L.lint_string ~env:fsracc_env ~file:"dup.spec" source with
+  | Error msg -> Alcotest.fail msg
+  | Ok [ (_, da); (_, db) ] ->
+    Alcotest.(check bool) "first of the pair is clean" false
+      (has L.Duplicate_rule da);
+    Alcotest.(check bool) "later duplicate flagged" true
+      (has L.Duplicate_rule db);
+    (match List.find_opt (fun d -> d.L.code = L.Duplicate_rule) db with
+     | Some { L.span = Some s; _ } ->
+       Alcotest.(check string) "span file" "dup.spec" s.L.file
+     | _ -> Alcotest.fail "span expected on the cross-rule diagnostic");
+    (* [allow] suppresses cross-rule codes like any other. *)
+    (match
+       L.lint_string ~env:fsracc_env ~allow:[ L.Duplicate_rule ] source
+     with
+     | Ok items ->
+       List.iter
+         (fun (_, ds) ->
+           Alcotest.(check bool) "allowed away" false
+             (has L.Duplicate_rule ds))
+         items
+     | Error msg -> Alcotest.fail msg)
+  | Ok items -> Alcotest.failf "two specs expected, got %d" (List.length items)
+
 (* Interval corners --------------------------------------------------------- *)
 
 let test_interval_nan_ne () =
@@ -316,6 +427,14 @@ let suite =
         Alcotest.test_case "spans" `Quick test_spans;
         Alcotest.test_case "code names round-trip" `Quick
           test_code_names_roundtrip;
+        Alcotest.test_case "duplicate rule" `Quick test_duplicate_rule;
+        Alcotest.test_case "duplicate modulo conjunct order" `Quick
+          test_duplicate_modulo_order;
+        Alcotest.test_case "subsumed rule" `Quick test_subsumed_rule;
+        Alcotest.test_case "machine rules never overlap" `Quick
+          test_machines_never_overlap;
+        Alcotest.test_case "cross-rule diagnostics in lint_string" `Quick
+          test_cross_rule_in_lint_string;
         Alcotest.test_case "interval nan vs !=" `Quick test_interval_nan_ne;
         Alcotest.test_case "interval division nan" `Quick test_interval_div_nan;
         QCheck_alcotest.to_alcotest static_vacuous_is_dynamic_vacuous;

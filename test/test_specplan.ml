@@ -1,0 +1,144 @@
+(* Whole-spec plan analysis: sharing and cost facts, interval-decided
+   nodes and the dead branches they short-circuit, and the [repro plan]
+   render compared byte-for-byte against a committed fixture. *)
+
+module Mtl = Monitor_mtl
+module L = Monitor_analysis.Speclint
+module SP = Monitor_analysis.Specplan
+
+let fsracc_env =
+  L.env ~dbc:Monitor_fsracc.Io.dbc
+    ~defs:(List.map snd Monitor_fsracc.Io.signals)
+    ()
+
+let named name src =
+  Mtl.Spec.make ~name (Mtl.Parser.formula_of_string_exn src)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+(* One atomic rule: no sharing, fused cost equals tree cost. *)
+let test_single_rule_costs () =
+  let t = SP.analyze [ named "only" "BrakeRequested" ] in
+  Alcotest.(check int) "one rule" 1 (Array.length t.SP.rules);
+  let r = t.SP.rules.(0) in
+  Alcotest.(check int) "atom costs 2" 2 r.SP.fused_cost;
+  Alcotest.(check int) "tree = fused without sharing" r.SP.fused_cost
+    r.SP.tree_cost;
+  Alcotest.(check (list int)) "nothing shared" [] (SP.shared_nodes t);
+  Alcotest.(check (list int)) "nothing dead" [] (SP.dead_nodes t)
+
+(* A subterm used by two rules is priced once fused, twice tree-walked. *)
+let test_sharing_saves_cost () =
+  let t =
+    SP.analyze
+      [ named "a" "BrakeRequested -> RequestedDecel <= 0.0";
+        named "b" "RequestedDecel <= 0.0" ]
+  in
+  Alcotest.(check bool) "a shared node exists" true (SP.shared_nodes t <> []);
+  Alcotest.(check bool) "fused under tree" true
+    (t.SP.total_fused_cost < t.SP.total_tree_cost);
+  (* Rule b's root IS the shared atom: its fused cost is that one node. *)
+  Alcotest.(check int) "b rides on a's atom" 2 t.SP.rules.(1).SP.fused_cost
+
+(* Declared ranges decide nodes, and a decided sibling kills a branch:
+   Velocity is declared [0, 80], so [Velocity > 100.0] is always false
+   and the conjunction never looks at [BrakeRequested]. *)
+let test_decided_and_dead () =
+  let t =
+    SP.analyze ~env:fsracc_env
+      [ named "dead_arm" "Velocity > 100.0 and BrakeRequested" ]
+  in
+  let find p =
+    let found = ref None in
+    Array.iteri
+      (fun id (n : Mtl.Plan.node) -> if p n then found := Some id)
+      t.SP.plan.Mtl.Plan.nodes;
+    match !found with
+    | Some id -> id
+    | None -> Alcotest.fail "expected node not in plan"
+  in
+  let is_atom_on s (n : Mtl.Plan.node) =
+    n.Mtl.Plan.shape = Mtl.Plan.Atom
+    && Mtl.Formula.signals n.Mtl.Plan.form = [ s ]
+  in
+  let vel = find (is_atom_on "Velocity") in
+  let brake = find (is_atom_on "BrakeRequested") in
+  Alcotest.(check bool) "comparison decided false" true
+    (t.SP.nodes.(vel).SP.decided = Some SP.Always_false);
+  Alcotest.(check bool) "short-circuited sibling is dead" true
+    (not t.SP.nodes.(brake).SP.live);
+  Alcotest.(check (list int)) "exactly that node is dead" [ brake ]
+    (SP.dead_nodes t);
+  (* Without the range environment nothing is decided and nothing dies. *)
+  let t0 = SP.analyze [ named "dead_arm" "Velocity > 100.0 and BrakeRequested" ] in
+  Alcotest.(check (list int)) "no env, no dead nodes" [] (SP.dead_nodes t0)
+
+(* Redundant rules surface in the plan report via the linter's pairs. *)
+let test_overlaps_reported () =
+  let t =
+    SP.analyze
+      [ named "a" "BrakeRequested -> RequestedDecel <= 0.0";
+        named "b" "BrakeRequested -> RequestedDecel <= 0.0" ]
+  in
+  (match t.SP.overlaps with
+   | [ (0, 1, `Duplicate) ] -> ()
+   | _ -> Alcotest.fail "duplicate pair expected");
+  let rendered = SP.render t in
+  Alcotest.(check bool) "render mentions the overlap" true
+    (contains ~affix:"duplicates" rendered)
+
+(* Horizon and history flow from the formulas into the rule facts. *)
+let test_rule_extents () =
+  let t =
+    SP.analyze [ named "windowed" "eventually[0.0, 0.4] BrakeRequested" ]
+  in
+  Alcotest.(check (float 1e-9)) "horizon" 0.4 t.SP.rules.(0).SP.horizon;
+  Alcotest.(check (float 1e-9)) "history" 0.0 t.SP.rules.(0).SP.history
+
+let paper_specs () =
+  let path =
+    if Sys.file_exists "../specs/paper_rules.spec" then
+      "../specs/paper_rules.spec"
+    else "specs/paper_rules.spec"
+  in
+  match Mtl.Spec_file.load path with
+  | Ok specs -> specs
+  | Error msg -> Alcotest.fail msg
+
+(* The [repro plan --dbc] render of the paper's seven rules, frozen as a
+   fixture: any drift in hash-consing, the cost model or the interval
+   facts shows up as a byte diff here. *)
+let test_plan_render_golden () =
+  let t = SP.analyze ~env:fsracc_env (paper_specs ()) in
+  Test_golden.check_golden "plan_paper_rules.txt" (SP.render t)
+
+(* Structural sanity of the machine dumps on the same rule set. *)
+let test_dot_and_json_shape () =
+  let t = SP.analyze ~env:fsracc_env (paper_specs ()) in
+  let dot = SP.to_dot t in
+  Alcotest.(check bool) "dot digraph" true
+    (String.length dot >= 16 && String.sub dot 0 16 = "digraph specplan");
+  Alcotest.(check bool) "dot closes" true
+    (String.length dot >= 2 && String.sub dot (String.length dot - 2) 2 = "}\n");
+  let json = SP.to_json t in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) (affix ^ " present") true
+        (contains ~affix json))
+    [ "\"rules\":["; "\"nodes\":["; "\"overlaps\":["; "\"summary\":{" ]
+
+let suite =
+  [ ( "specplan",
+      [ Alcotest.test_case "single rule costs" `Quick test_single_rule_costs;
+        Alcotest.test_case "sharing saves cost" `Quick test_sharing_saves_cost;
+        Alcotest.test_case "decided nodes and dead branches" `Quick
+          test_decided_and_dead;
+        Alcotest.test_case "overlaps reported" `Quick test_overlaps_reported;
+        Alcotest.test_case "rule extents" `Quick test_rule_extents;
+        Alcotest.test_case "paper rules plan render" `Quick
+          test_plan_render_golden;
+        Alcotest.test_case "dot and json shape" `Quick test_dot_and_json_shape ]
+    ) ]
