@@ -173,7 +173,8 @@ let gated =
     "cps_monitor/plan/set_all_7_rules";
     "cps_monitor/plan/set_all_7_rules_online";
     "cps_monitor/multirate/spacing_and_deltas";
-    "cps_monitor/fleet/ingest_1k_sessions" ]
+    "cps_monitor/fleet/ingest_1k_sessions";
+    "cps_monitor/fleet/ingest_1k_sessions_recorder" ]
 
 (* (robust workload, boolean counterpart) pairs ratio-gated within the
    current file.  Pairs whose members were not measured (quick mode
@@ -196,6 +197,13 @@ let plan_gates =
      "cps_monitor/monitor/offline_all_7_rules");
     ("cps_monitor/plan/set_all_7_rules_online",
      "cps_monitor/monitor/set_all_7_rules_online") ]
+
+(* (recorder-on workload, recorder-off counterpart): the flight recorder
+   must stay a cheap always-on facility — its ring pushes and tick
+   digests may cost at most 10% of the bare fleet lifecycle. *)
+let recorder_gates =
+  [ ("cps_monitor/fleet/ingest_1k_sessions_recorder",
+     "cps_monitor/fleet/ingest_1k_sessions") ]
 
 let median a =
   let a = Array.copy a in
@@ -316,10 +324,33 @@ let () =
           ratio fused_name plan_limit
       | _ -> Printf.printf "  -         (pair not measured)  %s\n" fused_name)
     plan_gates;
+  let recorder_limit =
+    match Sys.getenv_opt "BENCH_GATE_RECORDER_RATIO" with
+    | None -> 1.10
+    | Some s -> (
+      match float_of_string_opt s with
+      | Some r when r > 0.0 -> r
+      | _ ->
+        prerr_endline "bench gate: BENCH_GATE_RECORDER_RATIO must be a number";
+        exit 2)
+  in
+  List.iter
+    (fun (recorder_name, bare_name) ->
+      match
+        (List.assoc_opt recorder_name current, List.assoc_opt bare_name current)
+      with
+      | Some recorder, Some bare when bare > 0.0 ->
+        let ratio = recorder /. bare in
+        let verdict = if ratio > recorder_limit then "FAIL" else "ok" in
+        if ratio > recorder_limit then failed := recorder_name :: !failed;
+        Printf.printf "  %-4s %6.2fx of bare fleet  %s (limit %.2fx)\n" verdict
+          ratio recorder_name recorder_limit
+      | _ -> Printf.printf "  -         (pair not measured)  %s\n" recorder_name)
+    recorder_gates;
   if !failed <> [] then begin
     Printf.eprintf
       "bench gate: %d workload(s) regressed beyond the machine speed factor \
-       or the robust/boolean ratio limit\n"
+       or a within-run ratio limit\n"
       (List.length !failed);
     Printf.eprintf
       "  (intentional? re-record the baseline or set BENCH_GATE_SKIP=1 \

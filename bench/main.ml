@@ -284,25 +284,47 @@ let fleet_frames =
          let t = float_of_int i *. 0.01 in
          (t, synthetic_signals t)))
 
+let run_fleet_ingest config =
+  let module Fleet = Monitor_fleet.Fleet in
+  let fleet = Fleet.create config in
+  List.iter
+    (fun (time, updates) ->
+      for i = 0 to 999 do
+        ignore
+          (Fleet.ingest fleet
+             { Fleet.vin = Printf.sprintf "VIN%04d" i; time; updates })
+      done;
+      Fleet.pump fleet)
+    (Lazy.force fleet_frames);
+  ignore (Fleet.shutdown fleet)
+
 let bench_fleet_ingest =
   Test.make ~name:"fleet/ingest_1k_sessions"
     (Staged.stage (fun () ->
          let module Fleet = Monitor_fleet.Fleet in
-         let config =
+         run_fleet_ingest
            { (Fleet.default_config ~specs:Rules.all) with
-             Fleet.record_verdicts = false }
-         in
-         let fleet = Fleet.create config in
-         List.iter
-           (fun (time, updates) ->
-             for i = 0 to 999 do
-               ignore
-                 (Fleet.ingest fleet
-                    { Fleet.vin = Printf.sprintf "VIN%04d" i; time; updates })
-             done;
-             Fleet.pump fleet)
-           (Lazy.force fleet_frames);
-         ignore (Fleet.shutdown fleet)))
+             Fleet.record_verdicts = false }))
+
+(* The same lifecycle with every session carrying a flight-recorder ring.
+   The synthetic stream violates nothing, so no bundle I/O happens — the
+   measured delta is pure recording overhead (ring pushes, trims, tick
+   digests), ratio-gated against the bare workload in CI. *)
+let bench_fleet_ingest_recorder =
+  Test.make ~name:"fleet/ingest_1k_sessions_recorder"
+    (Staged.stage (fun () ->
+         let module Fleet = Monitor_fleet.Fleet in
+         let module Recorder = Monitor_fleet.Recorder in
+         run_fleet_ingest
+           { (Fleet.default_config ~specs:Rules.all) with
+             Fleet.record_verdicts = false;
+             Fleet.recorder =
+               Some
+                 (Recorder.default_config
+                    ~dir:
+                      (Filename.concat
+                         (Filename.get_temp_dir_name ())
+                         "cps_bench_postmortem")) }))
 
 (* Monitor micro-benchmarks. --------------------------------------------- *)
 
@@ -533,7 +555,12 @@ let benchmark ~quick tests =
     (fun t ->
       let name = Test.Elt.name (List.hd (Test.elements t)) in
       let seconds =
-        if quick then 0.4
+        (* The ~300 ms fleet pair is ratio-gated at a tight 1.10x
+           margin (recorder on vs off); at the default quick quota it
+           fits a single sample and the ratio is pure noise, so it gets
+           the larger quota in both modes. *)
+        if substring_matches "fleet/" name then if quick then 1.6 else 3.0
+        else if quick then 0.4
         else if substring_matches "600s" name then 6.0
         else 1.2
       in
@@ -640,7 +667,8 @@ let () =
       bench_plan_set_online; bench_ablation_hold;
       bench_snapshots; bench_can_roundtrip; bench_frame_bit_count;
       bench_plant_step; bench_controller_step; bench_obs_overhead_off;
-      bench_obs_overhead_on; bench_fleet_ingest ]
+      bench_obs_overhead_on; bench_fleet_ingest;
+      bench_fleet_ingest_recorder ]
     @ long_trace_tests
   in
   let selected =

@@ -37,11 +37,13 @@ module Obs = Monitor_obs.Obs
 module Metrics = Monitor_obs.Metrics
 module Tracer = Monitor_obs.Tracer
 module Progress = Monitor_obs.Progress
+module Serve = Monitor_obs.Serve
 
 type telemetry = {
   metrics_file : string option;
   trace_file : string option;
   progress_flag : bool;
+  status_port : int option;
 }
 
 let telemetry_term =
@@ -67,10 +69,22 @@ let telemetry_term =
     in
     Arg.(value & flag & info [ "progress" ] ~doc)
   in
-  let make metrics_file trace_file progress_flag =
-    { metrics_file; trace_file; progress_flag }
+  let status_port_arg =
+    let doc =
+      "Serve a live status endpoint on 127.0.0.1:$(docv) while the command \
+       runs: GET /metrics (Prometheus text, live registry), /healthz, \
+       /plan (the fused evaluation plan of the loaded rules as JSON), \
+       and — under $(b,fleet) — /sessions (per-VIN state as JSON).  \
+       Port 0 picks an ephemeral port (printed to stderr)."
+    in
+    Arg.(value
+         & opt (some int) None
+         & info [ "status-port" ] ~docv:"PORT" ~doc)
   in
-  Term.(const make $ metrics_arg $ trace_arg $ progress_arg)
+  let make metrics_file trace_file progress_flag status_port =
+    { metrics_file; trace_file; progress_flag; status_port }
+  in
+  Term.(const make $ metrics_arg $ trace_arg $ progress_arg $ status_port_arg)
 
 let write_file path contents =
   let oc = open_out path in
@@ -78,32 +92,91 @@ let write_file path contents =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
 
+(* The full lint environment for the built-in system: message existence
+   and periods from the FSRACC DBC, physical ranges from the signal
+   definitions. *)
+let fsracc_lint_env () =
+  Monitor_analysis.Speclint.env ~dbc:Monitor_fsracc.Io.dbc
+    ~defs:(List.map snd Monitor_fsracc.Io.signals)
+    ()
+
+(* /plan payload: the fused evaluation plan of the built-in rule set —
+   what every campaign and the fleet actually run.  Pure, so computed
+   once on first scrape. *)
+let builtin_plan_json =
+  lazy
+    (let module P = Monitor_analysis.Specplan in
+     P.to_json (P.analyze ~env:(fsracc_lint_env ()) Monitor_oracle.Rules.all))
+
+let plan_route () =
+  ( "/plan",
+    fun () ->
+      Serve.ok ~content_type:"application/json" (Lazy.force builtin_plan_json)
+  )
+
 (* Bracket one command invocation: flip the process-global gates on, run,
    and dump to the requested files even if the run raises — a crashed
    campaign's partial counters are exactly when the dump is wanted.  [f]
    receives a per-experiment progress-reporter factory ([None]s when
-   --progress wasn't given). *)
-let with_telemetry tel f =
-  if tel.metrics_file <> None then Obs.enable_metrics ();
+   --progress wasn't given).
+
+   Two live surfaces ride on the same bracket: SIGUSR1 flushes the
+   current metrics/trace to the --metrics/--trace paths mid-run (the
+   files are rewritten at exit as usual), and --status-port mounts the
+   HTTP status endpoint for the duration of the run ([extra_routes] lets
+   the fleet add /sessions). *)
+let with_telemetry ?(extra_routes = []) tel f =
+  if tel.metrics_file <> None || tel.status_port <> None then
+    Obs.enable_metrics ();
   let tracer = Option.map (fun _ -> Tracer.create ()) tel.trace_file in
   Obs.set_tracer tracer;
-  let progress label =
-    if tel.progress_flag then Some (Progress.create ~label ()) else None
+  let progress ?unit_name label =
+    if tel.progress_flag then Some (Progress.create ?unit_name ~label ())
+    else None
+  in
+  let dump () =
+    Option.iter
+      (fun path ->
+        write_file path
+          (if Filename.check_suffix path ".json" then
+             Metrics.render_json Obs.registry
+           else Metrics.render_prometheus Obs.registry))
+      tel.metrics_file;
+    match tel.trace_file, tracer with
+    | Some path, Some t -> write_file path (Tracer.to_json t)
+    | (Some _ | None), _ -> ()
+  in
+  (* Metrics reads and the tracer's renderer are atomic-based, so a dump
+     from a signal handler observes a consistent (if mid-run) registry. *)
+  let prev_usr1 =
+    if tel.metrics_file <> None || tel.trace_file <> None then
+      try Some (Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> dump ())))
+      with Invalid_argument _ | Sys_error _ -> None
+    else None
+  in
+  let server =
+    Option.map
+      (fun port ->
+        let routes =
+          [ Serve.metrics_route (); Serve.health_route (); plan_route () ]
+          @ extra_routes
+        in
+        let s = Serve.create ~port ~routes () in
+        Printf.eprintf "status endpoint: http://127.0.0.1:%d/\n%!"
+          (Serve.port s);
+        s)
+      tel.status_port
   in
   Fun.protect
     ~finally:(fun () ->
+      Option.iter Serve.stop server;
+      (match prev_usr1 with
+      | Some behaviour -> (
+        try Sys.set_signal Sys.sigusr1 behaviour with _ -> ())
+      | None -> ());
       Obs.set_tracer None;
       Obs.disable_metrics ();
-      Option.iter
-        (fun path ->
-          write_file path
-            (if Filename.check_suffix path ".json" then
-               Metrics.render_json Obs.registry
-             else Metrics.render_prometheus Obs.registry))
-        tel.metrics_file;
-      match tel.trace_file, tracer with
-      | Some path, Some t -> write_file path (Tracer.to_json t)
-      | (Some _ | None), _ -> ())
+      dump ())
     (fun () -> f ~progress)
 
 let figure1_cmd =
@@ -341,8 +414,39 @@ let fleet_cmd =
     in
     Arg.(value & flag & info [ "verify" ] ~doc)
   in
-  let run quick sessions policy capacity shards loss crash verify seed jobs tel
-      =
+  let violate_arg =
+    let doc =
+      "Chaos: make $(docv) deterministically-chosen sessions observe a \
+       rule-violating frame burst (BrakeRequested held with positive \
+       RequestedDecel) mid-run; with --postmortem-dir each writes a \
+       violation bundle."
+    in
+    Arg.(value & opt int 0 & info [ "violate" ] ~docv:"N" ~doc)
+  in
+  let postmortem_arg =
+    let doc =
+      "Give every session a flight recorder: rule violations and \
+       quarantines freeze the recent-frame ring into post-mortem bundles \
+       (candump slice, explanation, metrics, manifest) under $(docv)."
+    in
+    Arg.(value
+         & opt (some string) None
+         & info [ "postmortem-dir" ] ~docv:"DIR" ~doc)
+  in
+  let recorder_window_arg =
+    let doc = "Seconds of ingested frames the flight recorder retains." in
+    Arg.(value & opt float 5.0 & info [ "recorder-window" ] ~docv:"SECONDS" ~doc)
+  in
+  let hold_arg =
+    let doc =
+      "Keep the fleet (and its --status-port endpoint) alive for $(docv) \
+       seconds after ingest, before the drain — a scrape window for \
+       operators and CI."
+    in
+    Arg.(value & opt float 0.0 & info [ "hold" ] ~docv:"SECONDS" ~doc)
+  in
+  let run quick sessions policy capacity shards loss crash verify violate
+      postmortem_dir recorder_window hold seed jobs tel =
     let module Fleet = Monitor_fleet.Fleet in
     let module Channel = Monitor_inject.Channel in
     let module Prng = Monitor_util.Prng in
@@ -375,6 +479,24 @@ let fleet_cmd =
          Hashtbl.replace crash_ticks (vin order.(k)) (5 + Prng.int g 100)
        done
      end);
+    (* Violation chaos: an independent derived stream picks the victims,
+       skipping crash-chosen VINs so the two bundle kinds stay disjoint
+       and CI can assert on each. *)
+    let violate_vins : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+    (if violate > 0 then begin
+       let g = Prng.create (Prng.derive seed 777) in
+       let order = Array.init sessions Fun.id in
+       Prng.shuffle g order;
+       let chosen = ref 0 in
+       Array.iter
+         (fun idx ->
+           let v = vin idx in
+           if !chosen < violate && not (Hashtbl.mem crash_ticks v) then begin
+             Hashtbl.replace violate_vins v ();
+             incr chosen
+           end)
+         order
+     end);
     let config =
       { (Fleet.default_config ~specs:Monitor_oracle.Rules.all) with
         Fleet.periods = Monitor_can.Dbc.signal_period dbc;
@@ -383,6 +505,13 @@ let fleet_cmd =
         overload = policy;
         seed;
         record_verdicts = false;
+        publish_status = tel.status_port <> None;
+        recorder =
+          Option.map
+            (fun dir ->
+              { (Monitor_fleet.Recorder.default_config ~dir) with
+                Monitor_fleet.Recorder.window = recorder_window })
+            postmortem_dir;
         inject_fault =
           (if Hashtbl.length crash_ticks = 0 then None
            else
@@ -418,16 +547,51 @@ let fleet_cmd =
         | Some r -> r := List.filter (fun g -> g != f) !r
         | None -> ()
     in
+    (* Five consecutive taps in the middle of the drive carry the
+       violating overrides for the chosen sessions: BrakeRequested held
+       true against a positive commanded deceleration (rule5 is
+       tick-local, so the recorded slice replays to the same verdict on
+       any tick grid). *)
+    let ntaps = List.length taps in
+    let inject_lo = ntaps / 3 in
+    let violation_updates =
+      [ ("BrakeRequested", Monitor_signal.Value.Bool true);
+        ("RequestedDecel", Monitor_signal.Value.Float 1.5) ]
+    in
+    (* /sessions reads the fleet's atomically-published status document;
+       the cell starts empty because the fleet only exists once the pool
+       is up. *)
+    let fleet_cell = Atomic.make None in
+    let sessions_route =
+      ( "/sessions",
+        fun () ->
+          Serve.ok ~content_type:"application/json"
+            (match Atomic.get fleet_cell with
+            | Some fleet -> Fleet.published_status fleet
+            | None -> "{\"sessions\":[],\"shards\":[],\"totals\":{}}\n") )
+    in
     let summary =
-      with_telemetry tel (fun ~progress ->
-          ignore (progress : string -> Progress.t option);
+      with_telemetry ~extra_routes:[ sessions_route ] tel (fun ~progress ->
           with_pool jobs (fun pool ->
-              let fleet = Fleet.create ~pool config in
-              List.iter
-                (fun (time, frame, updates) ->
+              let prog = progress ~unit_name:"frames" "fleet" in
+              (match prog with
+              | Some p -> Progress.start p ~total:(ntaps * sessions)
+              | None -> ());
+              let fleet = Fleet.create ~pool ?progress:prog config in
+              Atomic.set fleet_cell (Some fleet);
+              List.iteri
+                (fun ti (time, frame, updates) ->
                   for i = 0 to sessions - 1 do
                     match channels.(i) ~time frame with
                     | `Deliver ->
+                      let updates =
+                        if
+                          ti >= inject_lo
+                          && ti < inject_lo + 5
+                          && Hashtbl.mem violate_vins (vin i)
+                        then updates @ violation_updates
+                        else updates
+                      in
                       let f = { Fleet.vin = vin i; time; updates } in
                       (match Fleet.ingest fleet f with
                       | `Accepted -> note_admit f
@@ -440,7 +604,10 @@ let fleet_cmd =
                   done;
                   Fleet.pump fleet)
                 taps;
-              Fleet.shutdown fleet))
+              if hold > 0.0 then Unix.sleepf hold;
+              let summary = Fleet.shutdown fleet in
+              (match prog with Some p -> Progress.finish p | None -> ());
+              summary))
     in
     ignore
       (Hashtbl.fold
@@ -490,7 +657,8 @@ let fleet_cmd =
     (Cmd.info "fleet"
        ~doc:"Serve many per-VIN monitor sessions from one stream server:            lossy taps, injected session crashes, overload policies,            watchdogs and a graceful drain")
     Term.(const run $ quick_arg $ sessions_arg $ policy_arg $ capacity_arg
-          $ shards_arg $ loss_arg $ crash_arg $ verify_arg $ seed_arg 2014L
+          $ shards_arg $ loss_arg $ crash_arg $ verify_arg $ violate_arg
+          $ postmortem_arg $ recorder_window_arg $ hold_arg $ seed_arg 2014L
           $ jobs_arg $ telemetry_term)
 
 let trace_stats_cmd =
@@ -524,14 +692,6 @@ let rules_cmd =
   in
   Cmd.v (Cmd.info "rules" ~doc:"Print the seven safety rules")
     Term.(const run $ const ())
-
-(* The full lint environment for the built-in system: message existence
-   and periods from the FSRACC DBC, physical ranges from the signal
-   definitions. *)
-let fsracc_lint_env () =
-  Monitor_analysis.Speclint.env ~dbc:Monitor_fsracc.Io.dbc
-    ~defs:(List.map snd Monitor_fsracc.Io.signals)
-    ()
 
 let builtin_specs () =
   Monitor_oracle.Rules.all

@@ -33,6 +33,8 @@ type config = {
   record_verdicts : bool;
   robust_gauges : bool;
   inject_fault : (vin:string -> tick:int -> unit) option;
+  publish_status : bool;
+  recorder : Recorder.config option;
 }
 
 let default_config ~specs =
@@ -50,7 +52,9 @@ let default_config ~specs =
     seed = 1L;
     record_verdicts = true;
     robust_gauges = false;
-    inject_fault = None }
+    inject_fault = None;
+    publish_status = false;
+    recorder = None }
 
 type fault = {
   f_exn : string;
@@ -119,6 +123,12 @@ type session = {
   mutable digest : int;
   buf : Buffer.t option;
   mutable last_frame : float;
+  recorder : Recorder.t option;
+  mutable bundled_rules : int list;
+      (* rule indices already bundled for violation: one post-mortem per
+         rule per session keeps bundle existence a per-session property,
+         independent of cross-session scheduling *)
+  mutable min_rob : float;  (* per-session min resolved hi; robust_gauges *)
 }
 
 (* Everything a shard mutates lives inside it.  Shards partition the VIN
@@ -183,6 +193,10 @@ type summary = {
 type t = {
   cfg : config;
   pool : Pool.t option;
+  progress : Monitor_obs.Progress.t option;
+  status : string Atomic.t;
+      (* latest /sessions JSON; written by the producer domain between
+         pumps, read by the status-endpoint domain *)
   wrapped : Spec.t array;  (* stale_guarded specs, session evaluation order *)
   wrapped_list : Spec.t list;
   plan : Monitor_mtl.Plan.t;  (* compiled once, shared by every session *)
@@ -214,7 +228,7 @@ let vin_hash vin =
   String.iter (fun c -> h := digest_mix !h (Char.code c)) vin;
   !h
 
-let create ?pool (cfg : config) =
+let create ?pool ?progress (cfg : config) =
   if cfg.shards < 1 then invalid_arg "Fleet.create: shards < 1";
   if cfg.queue_capacity < 1 then invalid_arg "Fleet.create: queue_capacity < 1";
   if cfg.period <= 0.0 then invalid_arg "Fleet.create: period <= 0";
@@ -244,6 +258,8 @@ let create ?pool (cfg : config) =
   in
   { cfg;
     pool;
+    progress;
+    status = Atomic.make "{\"sessions\":[],\"shards\":[],\"totals\":{}}\n";
     wrapped;
     wrapped_list;
     plan = Monitor_mtl.Plan.compile wrapped_list;
@@ -328,7 +344,10 @@ let new_session t vin =
     v_unknown = 0;
     digest = digest_seed;
     buf = (if t.cfg.record_verdicts then Some (Buffer.create 256) else None);
-    last_frame = neg_infinity }
+    last_frame = neg_infinity;
+    recorder = Option.map Recorder.create t.cfg.recorder;
+    bundled_rules = [];
+    min_rob = Float.infinity }
 
 let find_session t (shard : shard) vin =
   match Hashtbl.find_opt shard.sessions vin with
@@ -339,6 +358,34 @@ let find_session t (shard : shard) vin =
     shard.roster <- vin :: shard.roster;
     s
 
+(* First False per rule per session: freeze the flight-recorder ring into
+   a post-mortem bundle, with the rule's subformula tree rebuilt from the
+   recorded slice.  Runs on the shard worker that owns the session, so no
+   two writers share a bundle directory. *)
+let bundle_violation t s j ~tick ~time =
+  match s.recorder with
+  | Some r when not (List.mem j s.bundled_rules) ->
+    s.bundled_rules <- j :: s.bundled_rules;
+    let slice = Recorder.slice r in
+    let explain =
+      match
+        Monitor_mtl.Explain.of_slice ~period:t.cfg.period
+          ~staleness:t.staleness t.wrapped.(j) slice ~time
+      with
+      | Some (etick, etime, tree) ->
+        Some
+          (Printf.sprintf
+             "%s violated at live tick %d t=%.3f (slice tick %d t=%.3f)\n%s"
+             t.names.(j) tick time etick etime
+             (Monitor_mtl.Explain.render tree))
+      | None -> None
+    in
+    ignore
+      (Recorder.bundle r ~vin:s.vin ~seed:s.seed
+         ~reason:(`Violation t.names.(j)) ~tick ~time ~digest:s.digest
+         ~explain)
+  | Some _ | None -> ()
+
 let record t s j tick time v =
   (match v with
   | Verdict.True -> s.v_true <- s.v_true + 1
@@ -346,9 +393,12 @@ let record t s j tick time v =
   | Verdict.Unknown -> s.v_unknown <- s.v_unknown + 1);
   s.digest <-
     digest_mix (digest_mix (digest_mix s.digest tick) j) (verdict_tag v);
-  match s.buf with
+  (match s.buf with
   | Some b -> Buffer.add_string b (verdict_line t.names.(j) tick time v)
-  | None -> ()
+  | None -> ());
+  match v with
+  | Verdict.False -> bundle_violation t s j ~tick ~time
+  | Verdict.True | Verdict.Unknown -> ()
 
 (* Step one completed snapshot through every monitor of the session.
    Runs inside [Feed.observe]/[advance]/[drain]'s emit callback, so an
@@ -369,8 +419,14 @@ let step t (sh : shard) s inc snap =
   Array.iteri
     (fun j rm ->
       Monitor_mtl.Robust.Online.step_iter rm snap (fun _rt _time _lo hi ->
-          if hi < sh.r_min.(j) then sh.r_min.(j) <- hi))
-    inc.rmonitors
+          if hi < sh.r_min.(j) then sh.r_min.(j) <- hi;
+          if hi < s.min_rob then s.min_rob <- hi))
+    inc.rmonitors;
+  match s.recorder with
+  | Some r ->
+    Recorder.record_tick r ~tick ~time:snap.Trace.Snapshot.time
+      ~digest:s.digest
+  | None -> ()
 
 let finalize_incarnation t (sh : shard) s inc =
   Online.Fused.finalize_iter inc.fused (fun j tick time v ->
@@ -396,6 +452,16 @@ let quarantine t s ~at e =
   in
   s.faults <- fault :: s.faults;
   Obs.incr t.m_quarantines;
+  (match s.recorder with
+  | Some r ->
+    (* The crashed incarnation's post-mortem: no violating rule to
+       explain, but the input slice and manifest make the crash
+       reproducible offline. *)
+    ignore
+      (Recorder.bundle r ~vin:s.vin ~seed:s.seed
+         ~reason:(`Crash fault.f_exn) ~tick:s.ticks ~time:at
+         ~digest:s.digest ~explain:None)
+  | None -> ());
   if s.restarts >= t.cfg.max_restarts then begin
     s.state <- Evicted (Evicted_faulted fault);
     Obs.incr t.m_evicted_faulted
@@ -410,6 +476,9 @@ let quarantine t s ~at e =
 let feed_frame t shard s inc frame =
   s.frames <- s.frames + 1;
   s.last_frame <- frame.time;
+  (match s.recorder with
+  | Some r -> Recorder.record_frame r ~time:frame.time frame.updates
+  | None -> ());
   try Feed.observe inc.feed ~time:frame.time frame.updates (step t shard s inc)
   with e -> quarantine t s ~at:frame.time e
 
@@ -497,6 +566,102 @@ let publish_gauges t =
         t.m_min_rob
   end
 
+let state_counts t =
+  Array.fold_left
+    (fun acc (sh : shard) ->
+      Hashtbl.fold
+        (fun _ s (a, q) ->
+          match s.state with
+          | Active _ -> (a + 1, q)
+          | In_quarantine _ -> (a, q + 1)
+          | Evicted _ -> (a, q))
+        sh.sessions acc)
+    (0, 0) t.shards
+
+(* JSON has no spelling for non-finite numbers. *)
+let json_float x =
+  if Float.is_finite x then Printf.sprintf "%.9g" x else "null"
+
+let state_fields s =
+  match s.state with
+  | Active _ -> ("active", None)
+  | In_quarantine { until; _ } -> ("quarantined", Some until)
+  | Evicted (Evicted_faulted _) -> ("evicted:fault", None)
+  | Evicted (Evicted_idle _) -> ("evicted:idle", None)
+  | Evicted (Served | Quarantined _) -> ("evicted", None)
+
+(* The /sessions payload.  Built on the producer domain between pumps —
+   the only moment no worker holds a shard — and published through an
+   atomic cell so the status-endpoint domain reads a complete document
+   without ever touching shard state. *)
+let render_status t =
+  let esc = Monitor_obs.Metrics.json_escape in
+  let rows = ref [] in
+  Array.iter
+    (fun (sh : shard) ->
+      Hashtbl.iter (fun _ s -> rows := (s, sh.sh_index) :: !rows) sh.sessions)
+    t.shards;
+  let rows =
+    List.sort (fun (a, _) (b, _) -> String.compare a.vin b.vin) !rows
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"sessions\":[";
+  List.iteri
+    (fun i (s, shard_id) ->
+      if i > 0 then Buffer.add_char b ',';
+      let state, backoff = state_fields s in
+      let total = s.v_true + s.v_false + s.v_unknown in
+      let avail =
+        if total = 0 then 0.0
+        else float_of_int (s.v_true + s.v_false) /. float_of_int total
+      in
+      Printf.bprintf b
+        "{\"vin\":\"%s\",\"shard\":%d,\"state\":\"%s\",\"frames\":%d,\
+         \"dropped\":%d,\"ticks\":%d,\"verdicts\":{\"true\":%d,\"false\":%d,\
+         \"unknown\":%d},\"availability\":%s,\"min_robustness\":%s,\
+         \"restarts\":%d,\"faults\":%d,\"backoff_until\":%s"
+        (esc s.vin) shard_id state s.frames s.dropped s.ticks s.v_true
+        s.v_false s.v_unknown (json_float avail) (json_float s.min_rob)
+        s.restarts (List.length s.faults)
+        (match backoff with Some u -> json_float u | None -> "null");
+      (match s.recorder with
+      | Some r ->
+        Printf.bprintf b ",\"recorder_frames\":%d,\"bundles\":%d"
+          (Recorder.frames r) (Recorder.bundles_written r)
+      | None -> ());
+      Buffer.add_char b '}')
+    rows;
+  Buffer.add_string b "],\"shards\":[";
+  Array.iteri
+    (fun i (sh : shard) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b
+        "{\"id\":%d,\"sessions\":%d,\"frames\":%d,\"shed\":%d,\
+         \"queue_depth\":%d,\"queue_high_water\":%d}"
+        sh.sh_index (Hashtbl.length sh.sessions) sh.frames_in sh.shed
+        (Queue.length sh.queue) sh.queue_hw)
+    t.shards;
+  let active, quarantined = state_counts t in
+  Printf.bprintf b
+    "],\"totals\":{\"active\":%d,\"quarantined\":%d,\"frames\":%d,\"shed\":%d,\
+     \"rejected\":%d,\"blocked_flushes\":%d}}\n"
+    active quarantined
+    (Array.fold_left (fun a (sh : shard) -> a + sh.frames_in) 0 t.shards)
+    (Array.fold_left (fun a (sh : shard) -> a + sh.shed) 0 t.shards)
+    t.rejected t.blocked;
+  Buffer.contents b
+
+let publish_status_now t =
+  if t.cfg.publish_status then Atomic.set t.status (render_status t);
+  match t.progress with
+  | Some p ->
+    let active, quarantined = state_counts t in
+    Monitor_obs.Progress.set_note p
+      (Printf.sprintf "live=%d quarantined=%d" active quarantined)
+  | None -> ()
+
+let published_status t = Atomic.get t.status
+
 let pump t =
   Obs.with_span ~cat:"fleet" "fleet.pump" @@ fun () ->
   let pending =
@@ -505,7 +670,8 @@ let pump t =
       (Array.to_list t.shards)
   in
   over_shards t pending (flush_shard t);
-  publish_gauges t
+  publish_gauges t;
+  publish_status_now t
 
 let ingest t (frame : frame) =
   if t.closed then begin
@@ -519,6 +685,9 @@ let ingest t (frame : frame) =
       Queue.push frame shard.queue;
       shard.frames_in <- shard.frames_in + 1;
       Obs.incr t.m_frames;
+      (match t.progress with
+      | Some p -> Monitor_obs.Progress.step p
+      | None -> ());
       let depth = Queue.length shard.queue in
       if depth > shard.queue_hw then shard.queue_hw <- depth
     in
@@ -582,7 +751,8 @@ let advance t ~now =
           | _ -> ())
         (List.rev sh.roster))
     t.shards;
-  publish_gauges t
+  publish_gauges t;
+  publish_status_now t
 
 let summary_of_session s =
   let total = s.v_true + s.v_false + s.v_unknown in
@@ -703,6 +873,7 @@ let shutdown t =
         restarts_total = !restarts }
     in
     publish_gauges t;
+    publish_status_now t;
     t.cached_summary <- Some summary;
     summary
 

@@ -110,6 +110,14 @@ type config = {
       (** chaos hook, called before stepping each tick; an exception it
           raises is a session fault like any other.  [tick] counts
           cumulatively across restarts. *)
+  publish_status : bool;
+      (** rebuild the {!published_status} JSON document after every
+          {!pump}/{!advance}/{!shutdown}; off by default because the
+          walk is O(sessions) per pump *)
+  recorder : Recorder.config option;
+      (** give every session a {!Recorder} flight ring; rule violations
+          and quarantines then write post-mortem bundles under the
+          config's directory ([None]: no recording, no bundles) *)
 }
 
 val default_config : specs:Spec.t list -> config
@@ -117,18 +125,25 @@ val default_config : specs:Spec.t list -> config
     [stale_hold = None], [shards = 8], [queue_capacity = 1024],
     [overload = Shed_oldest], [max_restarts = 2], [backoff_base = 0.05],
     [evict_idle_after = None], [seed = 1L], [record_verdicts = true],
-    [robust_gauges = false], [inject_fault = None].  Override fields with
+    [robust_gauges = false], [inject_fault = None],
+    [publish_status = false], [recorder = None].  Override fields with
     [{ (default_config ...) with ... }]. *)
 
 (** {1 Serving} *)
 
 type t
 
-val create : ?pool:Monitor_util.Pool.t -> config -> t
+val create :
+  ?pool:Monitor_util.Pool.t -> ?progress:Monitor_obs.Progress.t -> config -> t
 (** A fresh fleet.  [pool] parallelises shard stepping in {!pump} and
     {!shutdown}; without it (or with a zero-worker pool) shards are
     stepped sequentially in the caller — results are identical either
     way.  Sessions are created lazily on a VIN's first frame.
+
+    [progress] is stepped once per admitted frame and its note is kept
+    at ["live=N quarantined=M"] — the caller {!Monitor_obs.Progress.start}s
+    it with the expected frame total (heartbeats go to stderr, so
+    verdict streams and summaries stay byte-identical either way).
     @raise Invalid_argument on [shards < 1], [queue_capacity < 1] or
     [period <= 0]. *)
 
@@ -158,6 +173,15 @@ val advance : t -> now:float -> unit
 
 val live_sessions : t -> int
 (** Sessions currently active or quarantined (not evicted). *)
+
+val published_status : t -> string
+(** The latest /sessions JSON document: per-VIN state (verdict counts,
+    availability, min robustness, restarts, quarantine backoff deadline,
+    recorder occupancy and bundles written), per-shard queue depth and
+    high-water, and fleet totals.  Rebuilt by the producer domain at
+    every {!pump}/{!advance}/{!shutdown} when the config set
+    [publish_status], and published through an atomic cell — safe to
+    call from any domain at any time (the status-endpoint route does). *)
 
 val min_robustness : t -> (string * float) list
 (** Per rule (evaluation order), the fleet-wide minimum resolved

@@ -87,6 +87,28 @@ let render ?(max_depth = 6) t =
   go 0 t;
   Buffer.contents buf
 
+let of_slice ?(period = 0.01) ?staleness spec trace ~time =
+  let snapshots =
+    Monitor_trace.Multirate.snapshots ?staleness trace ~period
+  in
+  match snapshots with
+  | [] -> None
+  | _ ->
+    (* The slice's tick grid starts at its own first record, not the
+       grid the live session used; pick the slice tick closest to the
+       violating wall time and explain there. *)
+    let best = ref 0 and best_d = ref infinity in
+    List.iteri
+      (fun i (snap : Monitor_trace.Snapshot.t) ->
+        let d = Float.abs (snap.Monitor_trace.Snapshot.time -. time) in
+        if d < !best_d then begin best := i; best_d := d end)
+      snapshots;
+    let tick = !best in
+    let tick_time =
+      (List.nth snapshots tick).Monitor_trace.Snapshot.time
+    in
+    Some (tick, tick_time, at_tick spec snapshots ~tick)
+
 let first_violation ?(period = 0.01) spec trace =
   let snapshots = Monitor_trace.Multirate.snapshots trace ~period in
   let outcome = Offline.eval spec snapshots in

@@ -24,3 +24,14 @@ val render : ?max_depth:int -> t -> string
 val first_violation :
   ?period:float -> Spec.t -> Monitor_trace.Trace.t -> (float * t) option
 (** Convenience: explain the spec at its first violating tick, if any. *)
+
+val of_slice :
+  ?period:float -> ?staleness:(string -> float option) -> Spec.t ->
+  Monitor_trace.Trace.t -> time:float -> (int * float * t) option
+(** Rebuild an explanation from a recorded trace slice — the flight
+    recorder's post-mortem path.  The slice is re-snapshotted on its own
+    grid (which starts at the slice's first record, not the live
+    session's [t0]), and the spec is explained at the tick whose time is
+    closest to [time], the wall time of the live violation.  Returns
+    [(tick, tick_time, tree)]; [None] on an empty slice.  [period]
+    defaults to 0.01 s, as in {!first_violation}. *)

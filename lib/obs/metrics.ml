@@ -174,6 +174,48 @@ let histogram_buckets h =
       ( (if i < Array.length h.bounds then h.bounds.(i) else Float.infinity),
         !cumulative ))
 
+(* Derived quantile from the fixed buckets, the histogram_quantile way:
+   find the bucket holding the q*n-th observation and interpolate
+   linearly inside it (lower edge 0 for the first bucket).  The +Inf
+   bucket has no upper edge, so a quantile landing there degrades to the
+   largest finite bound.  Inputs are integer bucket counts and the fixed
+   bounds, so the result — and its rendering — is a pure function of
+   what was recorded: byte-deterministic across domains and runs. *)
+let quantile_of_totals bounds totals q =
+  let n = Array.fold_left ( + ) 0 totals in
+  if n = 0 then Float.nan
+  else begin
+    let target = q *. float_of_int n in
+    let last = Array.length totals - 1 in
+    let rec locate i cum =
+      let cum' = cum + totals.(i) in
+      if (totals.(i) > 0 && float_of_int cum' >= target) || i = last then
+        (i, cum, cum')
+      else locate (i + 1) cum'
+    in
+    let i, cum_lo, cum_hi = locate 0 0 in
+    let finite = Array.length bounds in
+    if i >= finite then if finite = 0 then Float.nan else bounds.(finite - 1)
+    else
+      let lo = if i = 0 then 0.0 else bounds.(i - 1) in
+      let hi = bounds.(i) in
+      if cum_hi = cum_lo then hi
+      else
+        lo
+        +. (hi -. lo)
+           *. ((target -. float_of_int cum_lo)
+              /. float_of_int (cum_hi - cum_lo))
+  end
+
+let histogram_quantile h q =
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Metrics.histogram_quantile: q outside [0, 1]";
+  quantile_of_totals h.bounds (bucket_totals h) q
+
+(* The derived quantile lines every rendering appends to a non-empty
+   histogram: suffix and point, in rendering order. *)
+let quantile_points = [ ("p50", 0.5); ("p95", 0.95); ("p99", 0.99) ]
+
 let reset t =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
@@ -260,7 +302,14 @@ let render_prometheus t =
             add "%s_sum%s %s\n" name (label_text i.labels)
               (float_str (histogram_sum h));
             add "%s_count%s %d\n" name (label_text i.labels)
-              (histogram_count h))
+              (histogram_count h);
+            let totals = bucket_totals h in
+            if Array.fold_left ( + ) 0 totals > 0 then
+              List.iter
+                (fun (suffix, q) ->
+                  add "%s_%s%s %s\n" name suffix (label_text i.labels)
+                    (float_str (quantile_of_totals h.bounds totals q)))
+                quantile_points)
         instances)
     (sorted_families t);
   Buffer.contents buf
@@ -310,8 +359,20 @@ let render_json t =
           | Counter c -> add "\"value\":%d}" (counter_value c)
           | Gauge g -> add "\"value\":%s}" (json_float (gauge_value g))
           | Histogram h ->
-            add "\"count\":%d,\"sum\":%s,\"buckets\":[" (histogram_count h)
+            add "\"count\":%d,\"sum\":%s," (histogram_count h)
               (json_float (histogram_sum h));
+            let totals = bucket_totals h in
+            if Array.fold_left ( + ) 0 totals > 0 then begin
+              add "\"quantiles\":{";
+              List.iteri
+                (fun qi (suffix, q) ->
+                  if qi > 0 then add ",";
+                  add "\"%s\":%s" suffix
+                    (json_float (quantile_of_totals h.bounds totals q)))
+                quantile_points;
+              add "},"
+            end;
+            add "\"buckets\":[";
             List.iteri
               (fun bi (le, count) ->
                 if bi > 0 then add ",";

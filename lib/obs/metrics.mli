@@ -99,6 +99,21 @@ val histogram_buckets : histogram -> (float * int) list
 (** Cumulative counts per upper bound, Prometheus-style; the last entry's
     bound is [Float.infinity] and its count equals {!histogram_count}. *)
 
+val histogram_quantile : histogram -> float -> float
+(** Derived quantile estimate from the fixed buckets, the
+    [histogram_quantile] way: locate the bucket holding the [q*count]-th
+    observation and interpolate linearly within it (the first bucket's
+    lower edge is 0; a quantile landing in the [+Inf] bucket degrades to
+    the largest finite bound).  Computed from integer bucket counts and
+    the fixed bounds only, so equal recordings yield bit-equal results
+    whatever domain recorded them.  [nan] on an empty histogram.
+    @raise Invalid_argument if [q] is outside [0, 1].
+
+    Both renderings derive p50/p95/p99 lines from this estimator for
+    every non-empty histogram: Prometheus text as [<name>_p50] /
+    [_p95] / [_p99] samples after [_count], JSON as a ["quantiles"]
+    object. *)
+
 val reset : t -> unit
 (** Zero every cell of every registered metric.  Handles stay valid. *)
 

@@ -3,16 +3,19 @@ type t = {
   interval_ns : int;
   out : out_channel;
   label : string;
+  unit_name : string;
   mutable total : int;        (* 0 = not started *)
   mutable start_ns : int;
   done_count : int Atomic.t;
   last_emit_ns : int Atomic.t;
+  note : string Atomic.t;
 }
 
 let create ?(clock = Clock.now_ns) ?(interval_ns = 1_000_000_000)
-    ?(out = stderr) ~label () =
-  { clock; interval_ns; out; label; total = 0; start_ns = 0;
-    done_count = Atomic.make 0; last_emit_ns = Atomic.make 0 }
+    ?(out = stderr) ?(unit_name = "runs") ~label () =
+  { clock; interval_ns; out; label; unit_name; total = 0; start_ns = 0;
+    done_count = Atomic.make 0; last_emit_ns = Atomic.make 0;
+    note = Atomic.make "" }
 
 let start t ~total =
   t.total <- total;
@@ -20,21 +23,27 @@ let start t ~total =
   Atomic.set t.last_emit_ns (t.start_ns - t.interval_ns);
   Atomic.set t.done_count 0
 
+let set_note t s = Atomic.set t.note s
+
 let seconds ns = float_of_int ns /. 1e9
 
 let line t ~done_ ~now =
   let elapsed = seconds (now - t.start_ns) in
+  let note =
+    match Atomic.get t.note with "" -> "" | s -> ", " ^ s
+  in
   if done_ >= t.total then
-    Printf.sprintf "%s: %d/%d runs, total %.1fs" t.label done_ t.total elapsed
+    Printf.sprintf "%s: %d/%d %s, total %.1fs%s" t.label done_ t.total
+      t.unit_name elapsed note
   else if done_ = 0 then
-    Printf.sprintf "%s: 0/%d runs (0.0%%), elapsed %.1fs" t.label t.total
-      elapsed
+    Printf.sprintf "%s: 0/%d %s (0.0%%), elapsed %.1fs%s" t.label t.total
+      t.unit_name elapsed note
   else
     let eta = elapsed *. float_of_int (t.total - done_) /. float_of_int done_ in
-    Printf.sprintf "%s: %d/%d runs (%.1f%%), elapsed %.1fs, ETA %.1fs" t.label
-      done_ t.total
+    Printf.sprintf "%s: %d/%d %s (%.1f%%), elapsed %.1fs, ETA %.1fs%s" t.label
+      done_ t.total t.unit_name
       (100.0 *. float_of_int done_ /. float_of_int t.total)
-      elapsed eta
+      elapsed eta note
 
 let emit t s =
   (* Channels are locked internally in OCaml 5; one output call per line

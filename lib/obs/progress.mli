@@ -15,10 +15,11 @@
 type t
 
 val create :
-  ?clock:Clock.t -> ?interval_ns:int -> ?out:out_channel -> label:string ->
-  unit -> t
+  ?clock:Clock.t -> ?interval_ns:int -> ?out:out_channel ->
+  ?unit_name:string -> label:string -> unit -> t
 (** [interval_ns] (default 1 s) is the minimum spacing between heartbeat
-    lines; [out] defaults to [stderr]. *)
+    lines; [out] defaults to [stderr]; [unit_name] (default ["runs"]) is
+    the word printed after the counts — a fleet says ["frames"]. *)
 
 val start : t -> total:int -> unit
 (** Arm the reporter: record the start instant and the denominator.
@@ -27,6 +28,10 @@ val start : t -> total:int -> unit
 val step : t -> unit
 (** One unit of work completed.  Prints a heartbeat line if at least
     [interval_ns] elapsed since the last one.  No-op before {!start}. *)
+
+val set_note : t -> string -> unit
+(** Attach a short free-form suffix (e.g. ["live=874 quarantined=3"]) to
+    subsequent heartbeat lines; [""] clears it.  Safe from any domain. *)
 
 val finish : t -> unit
 (** Print the final "n/n, total Xs" line unconditionally. *)

@@ -1,0 +1,194 @@
+type response = { status : int; content_type : string; body : string }
+
+let ok ?(content_type = "text/plain; charset=utf-8") body =
+  { status = 200; content_type; body }
+
+type route = string * (unit -> response)
+
+let metrics_route ?registry () =
+  ( "/metrics",
+    fun () ->
+      let registry =
+        match registry with Some r -> r | None -> Obs.registry
+      in
+      ok ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+        (Metrics.render_prometheus registry) )
+
+let health_route () = ("/healthz", fun () -> ok "ok\n")
+
+type t = {
+  sock : Unix.file_descr;
+  bound_port : int;
+  stopping : bool Atomic.t;
+  mutable domain : unit Domain.t option;  (* None once joined *)
+}
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | _ -> "Status"
+
+let write_all fd s =
+  let n = String.length s in
+  let sent = ref 0 in
+  (* Partial writes and EINTR both just mean "go again"; a closed peer
+     (EPIPE/ECONNRESET) means stop bothering. *)
+  try
+    while !sent < n do
+      sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+    done
+  with
+  | Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+
+let respond fd r =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\n\
+       Content-Type: %s\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\
+       \r\n"
+      r.status (status_text r.status) r.content_type (String.length r.body)
+  in
+  write_all fd (head ^ r.body)
+
+(* Read until the blank line ending the header block, bounded: an
+   operator port has no business accepting multi-kilobyte requests, and
+   the bound keeps a garbage-spewing client from growing the buffer. *)
+let read_request fd =
+  let limit = 8192 in
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 512 in
+  let rec has_terminator () =
+    let s = Buffer.contents buf in
+    let n = String.length s in
+    let rec scan i =
+      i + 3 < n
+      && ((s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+           && s.[i + 3] = '\n')
+         || scan (i + 1))
+    in
+    (* A bare "\n\n" from a hand-typed client is accepted too. *)
+    let rec scan_lf i = (i + 1 < n && s.[i] = '\n' && s.[i + 1] = '\n') || (i + 1 < n && scan_lf (i + 1)) in
+    scan 0 || scan_lf 0
+  and go () =
+    if has_terminator () || Buffer.length buf > limit then Buffer.contents buf
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Buffer.contents buf
+      | k ->
+        Buffer.add_subbytes buf chunk 0 k;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+(* "GET /path?query HTTP/1.1" -> (meth, path). *)
+let parse_request_line raw =
+  match String.index_opt raw '\n' with
+  | None -> None
+  | Some eol ->
+    let line = String.sub raw 0 eol in
+    let line =
+      if String.length line > 0 && line.[String.length line - 1] = '\r' then
+        String.sub line 0 (String.length line - 1)
+      else line
+    in
+    (match String.split_on_char ' ' line with
+    | meth :: target :: _ ->
+      let path =
+        match String.index_opt target '?' with
+        | Some q -> String.sub target 0 q
+        | None -> target
+      in
+      Some (meth, path)
+    | _ -> None)
+
+let handle routes conn =
+  (* A stalled client must not wedge the server domain forever. *)
+  (try Unix.setsockopt_float conn Unix.SO_RCVTIMEO 2.0 with _ -> ());
+  let raw = read_request conn in
+  let resp =
+    match parse_request_line raw with
+    | None -> { status = 400; content_type = "text/plain"; body = "bad request\n" }
+    | Some (meth, path) ->
+      if not (String.equal meth "GET") then
+        { status = 405; content_type = "text/plain"; body = "GET only\n" }
+      else begin
+        match List.assoc_opt path routes with
+        | Some handler -> (
+          try handler ()
+          with e ->
+            { status = 500;
+              content_type = "text/plain";
+              body = "handler error: " ^ Printexc.to_string e ^ "\n" })
+        | None ->
+          { status = 404;
+            content_type = "text/plain";
+            body =
+              "not found; routes: "
+              ^ String.concat " " (List.map fst routes)
+              ^ "\n" }
+      end
+  in
+  respond conn resp
+
+let rec accept_loop sock stopping routes requests =
+  if not (Atomic.get stopping) then begin
+    (* select with a short timeout keeps [stop] latency bounded without
+       the close-the-fd-under-accept race. *)
+    let readable =
+      match Unix.select [ sock ] [] [] 0.1 with
+      | r, _, _ -> r <> []
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    in
+    if readable && not (Atomic.get stopping) then begin
+      match Unix.accept ~cloexec:true sock with
+      | conn, _ ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close conn with _ -> ())
+          (fun () -> try handle routes conn with _ -> ());
+        Obs.incr requests
+      | exception Unix.Unix_error (_, _, _) -> ()
+    end;
+    accept_loop sock stopping routes requests
+  end
+
+let create ?(addr = "127.0.0.1") ?(port = 0) ~routes () =
+  let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let bound_port =
+    try
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+      Unix.listen sock 16;
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    with e ->
+      (try Unix.close sock with _ -> ());
+      raise e
+  in
+  let stopping = Atomic.make false in
+  let requests =
+    Obs.counter ~help:"HTTP requests served by the status endpoint"
+      "cps_obs_http_requests_total"
+  in
+  let domain =
+    Domain.spawn (fun () -> accept_loop sock stopping routes requests)
+  in
+  { sock; bound_port; stopping; domain = Some domain }
+
+let port t = t.bound_port
+
+let stop t =
+  match t.domain with
+  | None -> ()
+  | Some d ->
+    Atomic.set t.stopping true;
+    Domain.join d;
+    t.domain <- None;
+    (try Unix.close t.sock with _ -> ())

@@ -1,0 +1,69 @@
+(** Embedded HTTP/1.1 status endpoint.
+
+    A deployed monitor must expose its own health and verdict stream to
+    the surrounding system (Schwenger's integration step); a monitor you
+    can only interrogate by killing it and reading the exit dump is a
+    black box exactly when it matters.  This module serves that need with
+    the smallest thing that a Prometheus scraper and [curl] both speak:
+    a single-threaded HTTP/1.1 server on a loopback (by default) TCP
+    socket, built on stdlib [Unix] only — no new dependencies.
+
+    Design constraints, in order:
+
+    - {b Never perturb the monitor.}  The server runs on one dedicated
+      domain; request handling shares no mutable state with the
+      evaluation path except what a route closure explicitly reads
+      (atomics and the metrics registry, which are safe from any
+      domain).  A slow or hostile client can at worst stall the server
+      domain — never a shard worker.
+    - {b Deterministic payloads.}  Routes return whole bodies as
+      strings; what a scrape returns is exactly what the corresponding
+      [--metrics] dump would have written at the same instant, because
+      both call the same renderer on the same registry.
+    - {b Boring protocol.}  Every response is [Connection: close] with
+      an explicit [Content-Length]; requests other than [GET] get 405,
+      unknown paths 404, handler exceptions 500.  No keep-alive, no
+      chunking, no TLS — this is an operator/scraper port, not a public
+      web server. *)
+
+type response = {
+  status : int;         (** e.g. 200, 404 *)
+  content_type : string;
+  body : string;
+}
+
+val ok : ?content_type:string -> string -> response
+(** A 200 response; [content_type] defaults to
+    ["text/plain; charset=utf-8"]. *)
+
+type route = string * (unit -> response)
+(** Exact path (no patterns, query strings are stripped before matching)
+    and its handler.  Handlers run on the server domain: they must only
+    touch domain-safe state (atomics, the metrics registry, immutable
+    captures). *)
+
+val metrics_route : ?registry:Metrics.t -> unit -> route
+(** [GET /metrics]: the Prometheus text exposition of [registry]
+    (default {!Obs.registry}), rendered live at request time —
+    byte-identical to a [--metrics] dump taken at the same instant. *)
+
+val health_route : unit -> route
+(** [GET /healthz]: ["ok\n"].  Liveness of the serving process, nothing
+    more. *)
+
+type t
+
+val create : ?addr:string -> ?port:int -> routes:route list -> unit -> t
+(** Bind [addr:port] (default [127.0.0.1], port 0 = ephemeral), start
+    the accept loop on a fresh domain, and return immediately.  Requests
+    hitting a path registered twice use the first entry.
+    @raise Unix.Unix_error if the address cannot be bound (the socket is
+    closed first, nothing leaks). *)
+
+val port : t -> int
+(** The actually-bound port — the one to scrape when [create] was given
+    port 0. *)
+
+val stop : t -> unit
+(** Stop accepting, join the server domain, close the socket.
+    In-flight requests complete first.  Idempotent. *)

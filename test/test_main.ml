@@ -15,5 +15,6 @@ let () =
    @ Test_oracle.suite @ Test_vacuity.suite @ Test_speclint.suite
    @ Test_specplan.suite
    @ Test_fleet.suite
+   @ Test_serve.suite @ Test_recorder.suite
    @ Test_online_stress.suite @ Test_online_alloc.suite
    @ Test_experiments.suite @ Test_lossy.suite @ Test_golden.suite)

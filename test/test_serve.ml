@@ -1,0 +1,271 @@
+(* The embedded HTTP status endpoint: a real client over a real loopback
+   socket against all four route families (metrics, health, sessions,
+   plan), the error paths (404/405/400), byte-consistency between a
+   scrape and a --metrics-style dump, and server lifecycle. *)
+
+module Serve = Monitor_obs.Serve
+module Metrics = Monitor_obs.Metrics
+module Fleet = Monitor_fleet.Fleet
+module Value = Monitor_signal.Value
+
+let check = Alcotest.check
+let check_contains = Test_obs.check_contains
+
+(* [split_once ~sep s] splits at the first occurrence of [sep]. *)
+let split_once ~sep s =
+  let sl = String.length sep and n = String.length s in
+  let rec go i =
+    if i + sl > n then None
+    else if String.sub s i sl = sep then
+      Some (String.sub s 0 i, String.sub s (i + sl) (n - i - sl))
+    else go (i + 1)
+  in
+  go 0
+
+(* Minimal blocking HTTP/1.1 client: one request, Connection: close.
+   Returns (status code, headers lowercase-keyed, body). *)
+let http_request ~port ?(meth = "GET") ?(raw = None) path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with _ -> ())
+    (fun () ->
+      Unix.connect sock
+        (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+      let request =
+        match raw with
+        | Some r -> r
+        | None ->
+          Printf.sprintf "%s %s HTTP/1.1\r\nHost: localhost\r\n\r\n" meth path
+      in
+      let _ =
+        Unix.write_substring sock request 0 (String.length request)
+      in
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read sock chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+      in
+      drain ();
+      let response = Buffer.contents buf in
+      let head, body =
+        match split_once ~sep:"\r\n\r\n" response with
+        | Some (h, b) -> (h, b)
+        | None -> Alcotest.failf "no header terminator in %S" response
+      in
+      let lines = String.split_on_char '\n' head in
+      let status_line = List.hd lines in
+      let code =
+        match String.split_on_char ' ' status_line with
+        | _ :: code :: _ -> int_of_string code
+        | _ -> Alcotest.failf "bad status line %S" status_line
+      in
+      let headers =
+        List.filter_map
+          (fun line ->
+            let line = String.trim line in
+            match String.index_opt line ':' with
+            | Some i ->
+              Some
+                ( String.lowercase_ascii (String.sub line 0 i),
+                  String.trim
+                    (String.sub line (i + 1) (String.length line - i - 1)) )
+            | None -> None)
+          (List.tl lines)
+      in
+      (code, headers, body))
+
+let header name headers =
+  match List.assoc_opt name headers with
+  | Some v -> v
+  | None -> Alcotest.failf "missing %s header" name
+
+let with_server routes f =
+  let server = Serve.create ~routes () in
+  Fun.protect ~finally:(fun () -> Serve.stop server) (fun () ->
+      f (Serve.port server))
+
+(* A registry with one of each metric kind, fixed contents. *)
+let fixed_registry () =
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter r ~help:"C" "srv_requests_total") 7;
+  Metrics.set (Metrics.gauge r ~help:"G" "srv_depth") 1.5;
+  let h = Metrics.histogram r ~buckets:[| 0.1; 1.0 |] ~help:"H" "srv_seconds" in
+  Metrics.observe h 0.05;
+  Metrics.observe h 0.5;
+  r
+
+(* Every sample line of a Prometheus exposition must be
+   "name[{labels}] value" and every other line a # comment: the same
+   shape the CI smoke parser enforces. *)
+let check_prometheus_parseable text =
+  let is_name_char c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+    | _ -> false
+  in
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' then begin
+        let name_end = ref 0 in
+        while
+          !name_end < String.length line && is_name_char line.[!name_end]
+        do
+          incr name_end
+        done;
+        if !name_end = 0 then Alcotest.failf "unparseable sample %S" line;
+        let rest = String.sub line !name_end (String.length line - !name_end) in
+        let rest =
+          if rest <> "" && rest.[0] = '{' then
+            match String.index_opt rest '}' with
+            | Some i -> String.sub rest (i + 1) (String.length rest - i - 1)
+            | None -> Alcotest.failf "unclosed label set in %S" line
+          else rest
+        in
+        match String.split_on_char ' ' (String.trim rest) with
+        | [ value ] when float_of_string_opt value <> None -> ()
+        | _ -> Alcotest.failf "unparseable sample value in %S" line
+      end)
+    (String.split_on_char '\n' text)
+
+let test_metrics_and_health () =
+  let registry = fixed_registry () in
+  with_server
+    [ Serve.metrics_route ~registry (); Serve.health_route () ]
+    (fun port ->
+      let code, headers, body = http_request ~port "/healthz" in
+      check Alcotest.int "healthz status" 200 code;
+      check Alcotest.string "healthz body" "ok\n" body;
+      check Alcotest.string "healthz content-type"
+        "text/plain; charset=utf-8"
+        (header "content-type" headers);
+      let code, headers, body = http_request ~port "/metrics" in
+      check Alcotest.int "metrics status" 200 code;
+      check Alcotest.string "prometheus content-type"
+        "text/plain; version=0.0.4; charset=utf-8"
+        (header "content-type" headers);
+      check Alcotest.int "content-length is exact"
+        (String.length body)
+        (int_of_string (header "content-length" headers));
+      (* The scrape is byte-identical to a --metrics dump taken at the
+         same instant: both are the same renderer on the same registry. *)
+      check Alcotest.string "scrape = dump"
+        (Metrics.render_prometheus registry)
+        body;
+      check_prometheus_parseable body;
+      (* Quantile satellite: the non-empty histogram exposes derived
+         p50/p95/p99 sample lines. *)
+      List.iter
+        (fun needle -> check_contains "quantile line" needle body)
+        [ "srv_seconds_p50 "; "srv_seconds_p95 "; "srv_seconds_p99 " ])
+
+let test_error_paths () =
+  with_server
+    [ Serve.health_route ();
+      ("/boom", fun () -> failwith "handler exploded") ]
+    (fun port ->
+      let code, _, body = http_request ~port "/nope" in
+      check Alcotest.int "404 for unknown path" 404 code;
+      check_contains "404 lists routes" "/healthz" body;
+      let code, _, _ = http_request ~port ~meth:"POST" "/healthz" in
+      check Alcotest.int "405 for non-GET" 405 code;
+      let code, _, body = http_request ~port "/boom" in
+      check Alcotest.int "500 for handler exception" 500 code;
+      check_contains "500 carries the exception" "exploded" body;
+      let code, _, _ =
+        http_request ~port ~raw:(Some "gibberish\r\n\r\n") "/"
+      in
+      check Alcotest.int "400 for garbage" 400 code;
+      (* Query strings are stripped before route matching. *)
+      let code, _, _ = http_request ~port "/healthz?verbose=1" in
+      check Alcotest.int "query string stripped" 200 code)
+
+let test_lifecycle () =
+  let server = Serve.create ~routes:[ Serve.health_route () ] () in
+  let port = Serve.port server in
+  Alcotest.(check bool) "ephemeral port allocated" true (port > 0);
+  let code, _, _ = http_request ~port "/healthz" in
+  check Alcotest.int "serves before stop" 200 code;
+  Serve.stop server;
+  Serve.stop server;
+  (* Stop is idempotent *)
+  (match http_request ~port "/healthz" with
+  | exception Unix.Unix_error _ -> ()
+  | _code, _, _ ->
+    (* A racing connect may still be accepted by the OS backlog, but the
+       port must be closed shortly after stop; a second attempt fails. *)
+    (match http_request ~port "/healthz" with
+    | exception Unix.Unix_error _ -> ()
+    | _ -> Alcotest.fail "server still serving after stop"))
+
+(* The fleet's /sessions document over a real socket: ingest a couple of
+   VINs, then scrape and validate the JSON. *)
+let test_fleet_sessions_route () =
+  let specs =
+    [ Monitor_mtl.Spec.make ~name:"cap"
+        (Monitor_mtl.Parser.formula_of_string_exn "Speed <= 30.0") ]
+  in
+  let config =
+    { (Fleet.default_config ~specs) with
+      Fleet.record_verdicts = false;
+      publish_status = true }
+  in
+  let fleet = Fleet.create config in
+  for k = 0 to 9 do
+    let time = float_of_int k *. 0.01 in
+    List.iter
+      (fun vin ->
+        ignore
+          (Fleet.ingest fleet
+             { Fleet.vin; time; updates = [ ("Speed", Value.Float 20.0) ] }))
+      [ "CARA"; "CARB" ];
+    Fleet.pump fleet
+  done;
+  with_server
+    [ ( "/sessions",
+        fun () ->
+          Serve.ok ~content_type:"application/json"
+            (Fleet.published_status fleet) ) ]
+    (fun port ->
+      let code, headers, body = http_request ~port "/sessions" in
+      check Alcotest.int "sessions status" 200 code;
+      check Alcotest.string "sessions content-type" "application/json"
+        (header "content-type" headers);
+      Test_obs.check_json body;
+      List.iter
+        (fun needle -> check_contains "sessions content" needle body)
+        [ "\"vin\":\"CARA\""; "\"vin\":\"CARB\""; "\"state\":\"active\"";
+          "\"shards\":["; "\"totals\":{"; "\"queue_depth\":" ]);
+  ignore (Fleet.shutdown fleet)
+
+(* /plan serves the same JSON the `repro plan --json` path renders. *)
+let test_plan_route () =
+  let module P = Monitor_analysis.Specplan in
+  let plan_json =
+    P.to_json (P.analyze ~env:(Monitor_analysis.Speclint.env ())
+                 Monitor_oracle.Rules.all)
+  in
+  with_server
+    [ ("/plan", fun () -> Serve.ok ~content_type:"application/json" plan_json) ]
+    (fun port ->
+      let code, _, body = http_request ~port "/plan" in
+      check Alcotest.int "plan status" 200 code;
+      Test_obs.check_json body;
+      check Alcotest.string "plan body served verbatim" plan_json body;
+      List.iter
+        (fun needle -> check_contains "plan content" needle body)
+        [ "\"rules\":["; "rule5" ])
+
+let suite =
+  [ ( "serve",
+      [ Alcotest.test_case "metrics + healthz over a socket" `Quick
+          test_metrics_and_health;
+        Alcotest.test_case "404/405/500/400 paths" `Quick test_error_paths;
+        Alcotest.test_case "lifecycle: ephemeral port, idempotent stop" `Quick
+          test_lifecycle;
+        Alcotest.test_case "fleet /sessions JSON" `Quick
+          test_fleet_sessions_route;
+        Alcotest.test_case "/plan JSON" `Quick test_plan_route ] ) ]
