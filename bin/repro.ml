@@ -146,13 +146,33 @@ let with_telemetry ?(extra_routes = []) tel f =
     | Some path, Some t -> write_file path (Tracer.to_json t)
     | (Some _ | None), _ -> ()
   in
-  (* Metrics reads and the tracer's renderer are atomic-based, so a dump
-     from a signal handler observes a consistent (if mid-run) registry. *)
+  (* A dump walks the registry under its mutex and opens files — neither
+     is safe from inside a signal handler, which OCaml runs on the main
+     thread and could land while that same thread already holds the
+     registry mutex (metric registration, reset).  The handler therefore
+     only raises a flag; a watcher domain notices it and performs the
+     dump off the main thread. *)
+  let usr1_requested = Atomic.make false in
   let prev_usr1 =
     if tel.metrics_file <> None || tel.trace_file <> None then
-      try Some (Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> dump ())))
+      try
+        Some
+          (Sys.signal Sys.sigusr1
+             (Sys.Signal_handle (fun _ -> Atomic.set usr1_requested true)))
       with Invalid_argument _ | Sys_error _ -> None
     else None
+  in
+  let watcher_stop = Atomic.make false in
+  let watcher =
+    Option.map
+      (fun (_ : Sys.signal_behavior) ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get watcher_stop) do
+              if Atomic.compare_and_set usr1_requested true false then (
+                try dump () with _ -> ());
+              Unix.sleepf 0.05
+            done))
+      prev_usr1
   in
   let server =
     Option.map
@@ -173,6 +193,11 @@ let with_telemetry ?(extra_routes = []) tel f =
       (match prev_usr1 with
       | Some behaviour -> (
         try Sys.set_signal Sys.sigusr1 behaviour with _ -> ())
+      | None -> ());
+      (match watcher with
+      | Some d ->
+        Atomic.set watcher_stop true;
+        Domain.join d
       | None -> ());
       Obs.set_tracer None;
       Obs.disable_metrics ();

@@ -302,15 +302,36 @@ let render_prometheus t =
             add "%s_sum%s %s\n" name (label_text i.labels)
               (float_str (histogram_sum h));
             add "%s_count%s %d\n" name (label_text i.labels)
-              (histogram_count h);
-            let totals = bucket_totals h in
-            if Array.fold_left ( + ) 0 totals > 0 then
+              (histogram_count h))
+        instances;
+      (* Derived quantiles live in their own gauge families: a histogram
+         TYPE block only admits _bucket/_sum/_count samples, so emitting
+         _pNN lines inside it would be rejected by strict exposition
+         parsers. *)
+      if String.equal kind "histogram" then begin
+        let nonempty =
+          List.filter_map
+            (fun i ->
+              match i.instrument with
+              | Histogram h ->
+                let totals = bucket_totals h in
+                if Array.fold_left ( + ) 0 totals > 0 then
+                  Some (i.labels, h.bounds, totals)
+                else None
+              | Counter _ | Gauge _ -> None)
+            instances
+        in
+        if nonempty <> [] then
+          List.iter
+            (fun (suffix, q) ->
+              add "# TYPE %s_%s gauge\n" name suffix;
               List.iter
-                (fun (suffix, q) ->
-                  add "%s_%s%s %s\n" name suffix (label_text i.labels)
-                    (float_str (quantile_of_totals h.bounds totals q)))
-                quantile_points)
-        instances)
+                (fun (labels, bounds, totals) ->
+                  add "%s_%s%s %s\n" name suffix (label_text labels)
+                    (float_str (quantile_of_totals bounds totals q)))
+                nonempty)
+            quantile_points
+      end)
     (sorted_families t);
   Buffer.contents buf
 

@@ -110,9 +110,10 @@ val histogram_quantile : histogram -> float -> float
     @raise Invalid_argument if [q] is outside [0, 1].
 
     Both renderings derive p50/p95/p99 lines from this estimator for
-    every non-empty histogram: Prometheus text as [<name>_p50] /
-    [_p95] / [_p99] samples after [_count], JSON as a ["quantiles"]
-    object. *)
+    every non-empty histogram: Prometheus text as companion gauge
+    families [<name>_p50] / [_p95] / [_p99] emitted after the histogram
+    family (a [histogram] TYPE block only admits [_bucket]/[_sum]/
+    [_count] samples), JSON as a ["quantiles"] object. *)
 
 val reset : t -> unit
 (** Zero every cell of every registered metric.  Handles stay valid. *)

@@ -34,15 +34,16 @@ let status_text = function
 let write_all fd s =
   let n = String.length s in
   let sent = ref 0 in
-  (* Partial writes and EINTR both just mean "go again"; a closed peer
-     (EPIPE/ECONNRESET) means stop bothering. *)
+  (* Partial writes and EINTR both just mean "go again" (EINTR is caught
+     around the single syscall so the loop actually resumes); a closed
+     peer (EPIPE/ECONNRESET) means stop bothering. *)
   try
     while !sent < n do
-      sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+      match Unix.write_substring fd s !sent (n - !sent) with
+      | k -> sent := !sent + k
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     done
-  with
-  | Unix.Unix_error (Unix.EINTR, _, _) -> ()
-  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
 
 let respond fd r =
   let head =
@@ -159,6 +160,12 @@ let rec accept_loop sock stopping routes requests =
   end
 
 let create ?(addr = "127.0.0.1") ?(port = 0) ~routes () =
+  (* A client that disconnects mid-response must surface as EPIPE (which
+     [write_all] swallows), not as a SIGPIPE whose default disposition
+     kills the whole process — a dropped curl must never take the
+     monitor down with it. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   let bound_port =
     try

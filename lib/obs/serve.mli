@@ -56,7 +56,10 @@ type t
 val create : ?addr:string -> ?port:int -> routes:route list -> unit -> t
 (** Bind [addr:port] (default [127.0.0.1], port 0 = ephemeral), start
     the accept loop on a fresh domain, and return immediately.  Requests
-    hitting a path registered twice use the first entry.
+    hitting a path registered twice use the first entry.  Sets the
+    process's [SIGPIPE] disposition to ignore, so a client vanishing
+    mid-response surfaces as a swallowed [EPIPE] instead of killing the
+    monitor.
     @raise Unix.Unix_error if the address cannot be bound (the socket is
     closed first, nothing leaks). *)
 

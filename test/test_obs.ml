@@ -260,8 +260,11 @@ let test_render_prometheus () =
      t_latency_seconds_bucket{le=\"+Inf\"} 2\n\
      t_latency_seconds_sum 0.55\n\
      t_latency_seconds_count 2\n\
+     # TYPE t_latency_seconds_p50 gauge\n\
      t_latency_seconds_p50 0.1\n\
+     # TYPE t_latency_seconds_p95 gauge\n\
      t_latency_seconds_p95 0.91\n\
+     # TYPE t_latency_seconds_p99 gauge\n\
      t_latency_seconds_p99 0.982\n\
      # HELP t_requests_total A counter\n\
      # TYPE t_requests_total counter\n\
